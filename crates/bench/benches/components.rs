@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the reproduction's own components:
+//! simulator throughput, cache model, encoder/decoder, profiler, synthesis
+//! and translation. These benchmark the *tooling* (so regressions in the
+//! infrastructure are visible), not the paper's results — those come from
+//! `paper_figures` and the `powerfits-repro` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fits_core::{profile, synthesize, translate, FitsSet, SynthOptions};
+use fits_isa::Instr;
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_sim::{Ar32Set, Cache as SimCache, CacheConfig, Machine, Sa1100Config};
+
+fn bench_simulator(c: &mut Criterion) {
+    let program = Kernel::Crc32.compile(Scale { n: 64 }).unwrap();
+    let steps = Machine::new(Ar32Set::load(&program)).run().unwrap().steps;
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(steps));
+    g.bench_function("functional_ar32", |b| {
+        b.iter_batched(
+            || Machine::new(Ar32Set::load(&program)),
+            |mut m| m.run().unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("timed_ar32", |b| {
+        b.iter_batched(
+            || Machine::new(Ar32Set::load(&program)),
+            |mut m| m.run_timed(&Sa1100Config::icache_16k()).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    let flow = fits_core::FitsFlow::new().run(&program).unwrap();
+    g.bench_function("timed_fits", |b| {
+        b.iter_batched(
+            || Machine::new(FitsSet::load(&flow.fits).unwrap()),
+            |mut m| m.run_timed(&Sa1100Config::icache_16k()).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("access_10k", |b| {
+        b.iter_batched(
+            || SimCache::new(CacheConfig::sa1100_icache()),
+            |mut cache| {
+                let mut x: u32 = 1;
+                for i in 0..10_000u64 {
+                    x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    cache.access((x >> 8) % (64 * 1024), false, x, i);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_isa(c: &mut Criterion) {
+    let program = Kernel::Sha.compile(Scale { n: 64 }).unwrap();
+    let words: Vec<u32> = program.text.iter().map(Instr::encode).collect();
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(program.text.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            program
+                .text
+                .iter()
+                .map(Instr::encode)
+                .fold(0u32, |a, w| a ^ w)
+        });
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .map(|w| Instr::decode(*w).unwrap())
+                .filter(|i| i.sets_flags())
+                .count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let program = Kernel::Sha.compile(Scale { n: 64 }).unwrap();
+    let prof = profile(&program).unwrap();
+    let mut g = c.benchmark_group("synthesis");
+    g.bench_function("profile", |b| {
+        b.iter(|| profile(&program).unwrap());
+    });
+    g.bench_function("synthesize", |b| {
+        b.iter(|| synthesize(&prof, &SynthOptions::default()));
+    });
+    let synthesis = synthesize(&prof, &SynthOptions::default());
+    g.bench_function("translate", |b| {
+        b.iter(|| translate(&program, &synthesis.config).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_kernels_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.bench_function("compile_sha", |b| {
+        b.iter(|| Kernel::Sha.compile(Scale { n: 64 }).unwrap());
+    });
+    g.bench_function("compile_susan_corners", |b| {
+        b.iter(|| Kernel::SusanCorners.compile(Scale { n: 64 }).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator, bench_cache, bench_isa, bench_synthesis, bench_kernels_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates every paper figure at reduced scale (fast enough for CI).
+//! Run with `cargo bench -p fits-bench --bench paper_figures`; the full
+//! reproduction is `cargo run -p fits-bench --bin powerfits-repro --release`.
+
+use fits_bench::{figures, run_suite};
+use fits_kernels::kernels::{Kernel, Scale};
+
+fn main() {
+    let scale = Scale { n: 256 };
+    let suite = run_suite(Kernel::ALL, scale).expect("suite runs");
+    println!("PowerFITS paper figures (reduced scale n={})", scale.n);
+    for table in figures::all_figures(&suite) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,23 @@
+//! The full PowerFITS reproduction: every figure at experiment scale.
+
+use fits_bench::{figures, run_suite};
+use fits_kernels::kernels::{Kernel, Scale};
+
+fn main() {
+    let start = std::time::Instant::now();
+    let scale = Scale::experiment();
+    eprintln!("running {} kernels x 4 configurations at scale n={} ...", Kernel::ALL.len(), scale.n);
+    let suite = match run_suite(Kernel::ALL, scale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("PowerFITS reproduction — all paper figures (scale n={})", scale.n);
+    println!("================================================================");
+    for table in figures::all_figures(&suite) {
+        println!("{table}");
+    }
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+}

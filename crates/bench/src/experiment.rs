@@ -1,0 +1,270 @@
+//! The §5 experimental setup: four processor configurations (ARM16, ARM8,
+//! FITS16, FITS8 — ISA × I-cache size, everything else fixed at the
+//! SA-1100 model) swept over the benchmark suite.
+
+use std::fmt;
+
+use fits_core::{FitsFlow, FlowError};
+use fits_isa::thumb;
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_power::{cache_power, chip_power_with, CachePower, ChipPower, DecodeKind, TechParams};
+use fits_sim::{Ar32Set, Machine, Sa1100Config, SimResult};
+
+/// One of the paper's four simulated configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Config {
+    /// Native ISA, 16 KB I-cache (the baseline).
+    Arm16,
+    /// Native ISA, 8 KB I-cache.
+    Arm8,
+    /// FITS ISA, 16 KB I-cache.
+    Fits16,
+    /// FITS ISA, 8 KB I-cache.
+    Fits8,
+}
+
+impl Config {
+    /// All four configurations in the paper's order.
+    pub const ALL: [Config; 4] = [Config::Arm16, Config::Arm8, Config::Fits16, Config::Fits8];
+
+    /// I-cache capacity for the configuration.
+    #[must_use]
+    pub fn icache_bytes(self) -> u32 {
+        match self {
+            Config::Arm16 | Config::Fits16 => 16 * 1024,
+            Config::Arm8 | Config::Fits8 => 8 * 1024,
+        }
+    }
+
+    /// Whether this configuration runs the synthesized ISA.
+    #[must_use]
+    pub fn is_fits(self) -> bool {
+        matches!(self, Config::Fits16 | Config::Fits8)
+    }
+
+    fn index(self) -> usize {
+        Config::ALL.iter().position(|c| *c == self).expect("known")
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Config::Arm16 => "ARM16",
+            Config::Arm8 => "ARM8",
+            Config::Fits16 => "FITS16",
+            Config::Fits8 => "FITS8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One timed run of one kernel under one configuration.
+#[derive(Clone, Debug)]
+pub struct ConfigRun {
+    /// Microarchitectural statistics.
+    pub sim: SimResult,
+    /// I-cache power report.
+    pub icache: CachePower,
+    /// Chip-wide power report.
+    pub chip: ChipPower,
+}
+
+/// Everything measured for one kernel.
+#[derive(Clone, Debug)]
+pub struct KernelResults {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Native code size in bytes.
+    pub arm_code_bytes: usize,
+    /// T16 (Thumb-like) translation size in bytes (Figure 5 baseline).
+    pub thumb_code_bytes: usize,
+    /// FITS code size in bytes.
+    pub fits_code_bytes: usize,
+    /// Static 1-to-1 mapping rate (Figure 3).
+    pub mapping_static: f64,
+    /// Dynamic 1-to-1 mapping rate (Figure 4).
+    pub mapping_dynamic: f64,
+    /// Programmable-decoder configuration size in bits.
+    pub config_bits: usize,
+    /// Timed runs, indexed by [`Config::ALL`] order.
+    pub runs: Vec<ConfigRun>,
+}
+
+impl KernelResults {
+    /// The run for one configuration.
+    #[must_use]
+    pub fn run(&self, cfg: Config) -> &ConfigRun {
+        &self.runs[cfg.index()]
+    }
+}
+
+/// Whole-suite results.
+#[derive(Clone, Debug)]
+pub struct SuiteResults {
+    /// Per-kernel measurements, in [`Kernel::ALL`] order (for the kernels
+    /// that were requested).
+    pub kernels: Vec<KernelResults>,
+    /// The workload scale used.
+    pub scale: Scale,
+}
+
+/// Experiment failure for one kernel.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Kernel compilation failed (a kernel bug).
+    Compile(fits_kernels::codegen::CompileError),
+    /// The FITS flow failed.
+    Flow(FlowError),
+    /// A timed simulation failed.
+    Sim(fits_sim::SimError),
+    /// The FITS binary failed to load.
+    Decode(fits_core::exec::FitsDecodeError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Compile(e) => write!(f, "compile: {e}"),
+            ExperimentError::Flow(e) => write!(f, "flow: {e}"),
+            ExperimentError::Sim(e) => write!(f, "sim: {e}"),
+            ExperimentError::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Runs all four configurations for one kernel.
+///
+/// # Errors
+///
+/// Propagates compilation, synthesis, translation and simulation failures
+/// (none are expected for the shipped kernels).
+pub fn run_kernel(kernel: Kernel, scale: Scale) -> Result<KernelResults, ExperimentError> {
+    let tech = TechParams::sa1100();
+    let program = kernel.compile(scale).map_err(ExperimentError::Compile)?;
+    let flow = FitsFlow::new().run(&program).map_err(ExperimentError::Flow)?;
+    // The THUMB baseline is a recompilation for the 8-register window
+    // (r0-r3 scratch + r4-r7 allocatable): higher register pressure, more
+    // spill code — the §6.2 effect — then a structural translation into
+    // the 16-bit T16 encodings.
+    let low_regs = [
+        fits_isa::Reg::R4,
+        fits_isa::Reg::R5,
+        fits_isa::Reg::R6,
+        fits_isa::Reg::R7,
+    ];
+    let thumb_program =
+        fits_kernels::codegen::compile_with_regs(&kernel.build_module(scale), &low_regs)
+            .map_err(ExperimentError::Compile)?;
+    let t16 = thumb::translate(&thumb_program);
+
+    let mut runs = Vec::with_capacity(4);
+    for cfg in Config::ALL {
+        let sa = Sa1100Config::icache_16k().with_icache_bytes(cfg.icache_bytes());
+        let sim = if cfg.is_fits() {
+            let set =
+                fits_core::FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
+            let mut m = Machine::new(set);
+            let (_, sim) = m.run_timed(&sa).map_err(ExperimentError::Sim)?;
+            sim
+        } else {
+            let mut m = Machine::new(Ar32Set::load(&program));
+            let (_, sim) = m.run_timed(&sa).map_err(ExperimentError::Sim)?;
+            sim
+        };
+        let icache = cache_power(&sa.icache, &sim.icache, sim.cycles, &tech);
+        let decode = if cfg.is_fits() {
+            DecodeKind::Programmable {
+                config_bits: flow.fits.config.config_bits(),
+            }
+        } else {
+            DecodeKind::Fixed32
+        };
+        let chip = chip_power_with(&sim, &sa.icache, &sa.dcache, decode, &tech);
+        runs.push(ConfigRun { sim, icache, chip });
+    }
+
+    Ok(KernelResults {
+        kernel,
+        arm_code_bytes: program.code_bytes(),
+        thumb_code_bytes: t16.code_bytes(),
+        fits_code_bytes: flow.fits.code_bytes(),
+        mapping_static: flow.mapping.static_one_to_one_rate(),
+        mapping_dynamic: flow.dynamic_rate(),
+        config_bits: flow.fits.config.config_bits(),
+        runs,
+    })
+}
+
+/// Runs the whole suite, one worker thread per CPU.
+///
+/// # Errors
+///
+/// Fails if any kernel fails (kernels are expected to be infallible; an
+/// error indicates a regression).
+pub fn run_suite(kernels: &[Kernel], scale: Scale) -> Result<SuiteResults, ExperimentError> {
+    let mut slots: Vec<Option<Result<KernelResults, ExperimentError>>> =
+        (0..kernels.len()).map(|_| None).collect();
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots_mutex = parking_lot::Mutex::new(&mut slots);
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers.min(kernels.len()) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= kernels.len() {
+                    break;
+                }
+                let result = run_kernel(kernels[i], scale);
+                slots_mutex.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let mut out = Vec::with_capacity(kernels.len());
+    for slot in slots {
+        out.push(slot.expect("every slot filled")?);
+    }
+    Ok(SuiteResults {
+        kernels: out,
+        scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kernel_all_configs() {
+        let r = run_kernel(Kernel::Crc32, Scale::test()).unwrap();
+        assert_eq!(r.runs.len(), 4);
+        // FITS configurations fetch roughly half as many I-cache words.
+        let arm = &r.run(Config::Arm16).sim;
+        let fits = &r.run(Config::Fits16).sim;
+        let ratio = fits.icache.accesses as f64 / arm.icache.accesses as f64;
+        assert!(
+            (0.45..=0.62).contains(&ratio),
+            "FITS fetch ratio {ratio:.3} should be near one half"
+        );
+        // Retired instructions are close (high 1-to-1 mapping).
+        let inflate = fits.retired as f64 / arm.retired as f64;
+        assert!((0.99..=1.15).contains(&inflate), "inflation {inflate:.3}");
+        // Code sizes: FITS ~half of ARM, T16 in between.
+        assert!(r.fits_code_bytes * 10 < r.arm_code_bytes * 6);
+        assert!(r.thumb_code_bytes < r.arm_code_bytes);
+        assert!(r.thumb_code_bytes > r.fits_code_bytes);
+    }
+
+    #[test]
+    fn suite_runs_in_parallel() {
+        let suite = run_suite(&[Kernel::Crc32, Kernel::Bitcount], Scale::test()).unwrap();
+        assert_eq!(suite.kernels.len(), 2);
+        assert_eq!(suite.kernels[0].kernel, Kernel::Crc32);
+        assert_eq!(suite.kernels[1].kernel, Kernel::Bitcount);
+    }
+}

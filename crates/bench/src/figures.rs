@@ -1,0 +1,280 @@
+//! One table builder per paper figure (the DESIGN.md experiment index).
+
+use fits_power::ChipComponent;
+
+use crate::experiment::{Config, SuiteResults};
+use crate::report::{Row, Table};
+
+fn saving_columns() -> Vec<String> {
+    vec!["FITS16".to_string(), "FITS8".to_string(), "ARM8".to_string()]
+}
+
+fn config_columns() -> Vec<String> {
+    Config::ALL.iter().map(ToString::to_string).collect()
+}
+
+/// Figure 3: ARM→FITS static one-to-one mapping rate per benchmark.
+#[must_use]
+pub fn fig3_static_mapping(suite: &SuiteResults) -> Table {
+    Table {
+        id: "fig3",
+        title: "ARM-to-FITS Static Mapping (1-to-1 rate)".to_string(),
+        unit: "%",
+        columns: vec!["static".to_string()],
+        rows: suite
+            .kernels
+            .iter()
+            .map(|k| Row {
+                label: k.kernel.name().to_string(),
+                values: vec![k.mapping_static],
+            })
+            .collect(),
+    }
+}
+
+/// Figure 4: dynamic one-to-one mapping rate.
+#[must_use]
+pub fn fig4_dynamic_mapping(suite: &SuiteResults) -> Table {
+    Table {
+        id: "fig4",
+        title: "ARM-to-FITS Dynamic Mapping (1-to-1 rate)".to_string(),
+        unit: "%",
+        columns: vec!["dynamic".to_string()],
+        rows: suite
+            .kernels
+            .iter()
+            .map(|k| Row {
+                label: k.kernel.name().to_string(),
+                values: vec![k.mapping_dynamic],
+            })
+            .collect(),
+    }
+}
+
+/// Figure 5: code-size footprint normalized to ARM (= 1.0).
+#[must_use]
+pub fn fig5_code_size(suite: &SuiteResults) -> Table {
+    Table {
+        id: "fig5",
+        title: "Code Size Footprint (normalized to ARM)".to_string(),
+        unit: "ratio",
+        columns: vec!["ARM".to_string(), "THUMB".to_string(), "FITS".to_string()],
+        rows: suite
+            .kernels
+            .iter()
+            .map(|k| {
+                let arm = k.arm_code_bytes as f64;
+                Row {
+                    label: k.kernel.name().to_string(),
+                    values: vec![
+                        1.0,
+                        k.thumb_code_bytes as f64 / arm,
+                        k.fits_code_bytes as f64 / arm,
+                    ],
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Figure 6: I-cache power breakdown per configuration (suite averages of
+/// the switching/internal/leakage shares).
+#[must_use]
+pub fn fig6_power_breakdown(suite: &SuiteResults) -> Table {
+    let mut rows = Vec::new();
+    for cfg in Config::ALL {
+        let mut sw = 0.0;
+        let mut int = 0.0;
+        let mut lk = 0.0;
+        for k in &suite.kernels {
+            let (s, i, l) = k.run(cfg).icache.breakdown();
+            sw += s;
+            int += i;
+            lk += l;
+        }
+        let n = suite.kernels.len().max(1) as f64;
+        rows.push(Row {
+            label: cfg.to_string(),
+            values: vec![sw / n, int / n, lk / n],
+        });
+    }
+    Table {
+        id: "fig6",
+        title: "I-Cache Power Breakdown (suite average)".to_string(),
+        unit: "%",
+        columns: vec![
+            "switching".to_string(),
+            "internal".to_string(),
+            "leakage".to_string(),
+        ],
+        rows,
+    }
+}
+
+fn savings_table(
+    id: &'static str,
+    title: &str,
+    suite: &SuiteResults,
+    pick: impl Fn(&crate::experiment::ConfigRun, &crate::experiment::ConfigRun) -> f64,
+) -> Table {
+    Table {
+        id,
+        title: title.to_string(),
+        unit: "%",
+        columns: saving_columns(),
+        rows: suite
+            .kernels
+            .iter()
+            .map(|k| {
+                let base = k.run(Config::Arm16);
+                Row {
+                    label: k.kernel.name().to_string(),
+                    values: [Config::Fits16, Config::Fits8, Config::Arm8]
+                        .iter()
+                        .map(|c| pick(k.run(*c), base))
+                        .collect(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Figure 7: I-cache switching-power saving vs ARM16.
+#[must_use]
+pub fn fig7_switching_saving(suite: &SuiteResults) -> Table {
+    savings_table("fig7", "I-Cache Switching Power Saving", suite, |run, base| {
+        run.icache.saving_vs(&base.icache).switching
+    })
+}
+
+/// Figure 8: I-cache internal-power saving.
+#[must_use]
+pub fn fig8_internal_saving(suite: &SuiteResults) -> Table {
+    savings_table("fig8", "I-Cache Internal Power Saving", suite, |run, base| {
+        run.icache.saving_vs(&base.icache).internal
+    })
+}
+
+/// Figure 9: I-cache leakage-power saving.
+#[must_use]
+pub fn fig9_leakage_saving(suite: &SuiteResults) -> Table {
+    savings_table("fig9", "I-Cache Leakage Power Saving", suite, |run, base| {
+        run.icache.saving_vs(&base.icache).leakage
+    })
+}
+
+/// Figure 10: I-cache peak-power saving.
+#[must_use]
+pub fn fig10_peak_saving(suite: &SuiteResults) -> Table {
+    savings_table("fig10", "I-Cache Peak Power Saving", suite, |run, base| {
+        run.icache.saving_vs(&base.icache).peak
+    })
+}
+
+/// Figure 11: total I-cache power saving.
+#[must_use]
+pub fn fig11_total_saving(suite: &SuiteResults) -> Table {
+    savings_table("fig11", "Total I-Cache Power Saving", suite, |run, base| {
+        run.icache.saving_vs(&base.icache).total
+    })
+}
+
+/// Figure 12: total chip power saving.
+#[must_use]
+pub fn fig12_chip_saving(suite: &SuiteResults) -> Table {
+    savings_table("fig12", "Total Chip Power Saving", suite, |run, base| {
+        run.chip.saving_vs(&base.chip)
+    })
+}
+
+/// Figure 13: I-cache misses per million accesses, all four configurations.
+#[must_use]
+pub fn fig13_miss_rate(suite: &SuiteResults) -> Table {
+    Table {
+        id: "fig13",
+        title: "Instruction Cache Miss Rate (misses per million accesses)".to_string(),
+        unit: "ppm",
+        columns: config_columns(),
+        rows: suite
+            .kernels
+            .iter()
+            .map(|k| Row {
+                label: k.kernel.name().to_string(),
+                values: Config::ALL
+                    .iter()
+                    .map(|c| k.run(*c).sim.icache.misses_per_million())
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Figure 14: IPC for all four configurations (dual-issue, max 2).
+#[must_use]
+pub fn fig14_ipc(suite: &SuiteResults) -> Table {
+    Table {
+        id: "fig14",
+        title: "Instructions Per Cycle".to_string(),
+        unit: "ipc",
+        columns: config_columns(),
+        rows: suite
+            .kernels
+            .iter()
+            .map(|k| Row {
+                label: k.kernel.name().to_string(),
+                values: Config::ALL
+                    .iter()
+                    .map(|c| k.run(*c).sim.ipc())
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Supplementary: chip-power component shares for the ARM16 baseline (the
+/// calibration view backing Figure 12's mapping; compare with the
+/// StrongARM breakdown the paper cites).
+#[must_use]
+pub fn chip_breakdown(suite: &SuiteResults) -> Table {
+    let n = suite.kernels.len().max(1) as f64;
+    let mut rows = Vec::new();
+    for cfg in Config::ALL {
+        let mut shares = vec![0.0; ChipComponent::ALL.len()];
+        for k in &suite.kernels {
+            for (s, c) in shares.iter_mut().zip(ChipComponent::ALL) {
+                *s += k.run(cfg).chip.share(c);
+            }
+        }
+        rows.push(Row {
+            label: cfg.to_string(),
+            values: shares.into_iter().map(|s| s / n).collect(),
+        });
+    }
+    Table {
+        id: "chip",
+        title: "Chip Power Breakdown by Component (suite average)".to_string(),
+        unit: "%",
+        columns: ChipComponent::ALL.iter().map(ToString::to_string).collect(),
+        rows,
+    }
+}
+
+/// All figure tables, in paper order.
+#[must_use]
+pub fn all_figures(suite: &SuiteResults) -> Vec<Table> {
+    vec![
+        fig3_static_mapping(suite),
+        fig4_dynamic_mapping(suite),
+        fig5_code_size(suite),
+        fig6_power_breakdown(suite),
+        fig7_switching_saving(suite),
+        fig8_internal_saving(suite),
+        fig9_leakage_saving(suite),
+        fig10_peak_saving(suite),
+        fig11_total_saving(suite),
+        fig12_chip_saving(suite),
+        fig13_miss_rate(suite),
+        fig14_ipc(suite),
+        chip_breakdown(suite),
+    ]
+}

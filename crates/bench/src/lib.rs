@@ -1,0 +1,25 @@
+//! # fits-bench — the PowerFITS experiment harness
+//!
+//! Reproduces every table and figure of the paper's evaluation (§5–6):
+//! four simulated SA-1100 configurations (ARM16/ARM8/FITS16/FITS8) swept
+//! over the 21-kernel MiBench-like suite, with one table builder per
+//! figure ([`figures`]), a parallel suite runner ([`experiment`]) and a
+//! plain-text reporter ([`report`]).
+//!
+//! Entry points:
+//!
+//! * `cargo run -p fits-bench --bin powerfits-repro --release` — the full
+//!   reproduction at experiment scale.
+//! * `cargo bench -p fits-bench` — the same tables at reduced scale
+//!   (`paper_figures`), design-choice ablations (`ablations`) and
+//!   criterion micro-benchmarks (`components`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+
+pub use experiment::{run_kernel, run_suite, Config, ConfigRun, KernelResults, SuiteResults};
+pub use report::{Row, Table};

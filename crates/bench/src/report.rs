@@ -1,0 +1,125 @@
+//! Plain-text tables, one per paper figure.
+
+use std::fmt;
+
+/// One table row: a label and numeric cells.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row label (benchmark name or configuration).
+    pub label: String,
+    /// Cell values, one per column.
+    pub values: Vec<f64>,
+}
+
+/// A figure-shaped table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Paper artifact id, e.g. `"fig7"`.
+    pub id: &'static str,
+    /// Title (the paper's caption).
+    pub title: String,
+    /// Unit/format hint: `"%"`, `"ratio"`, `"ppm"`, `"ipc"`, `"mW"`.
+    pub unit: &'static str,
+    /// Column headers (after the label column).
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Arithmetic-mean row over all rows (the paper reports suite
+    /// averages for every figure).
+    #[must_use]
+    pub fn mean(&self) -> Row {
+        let n = self.rows.len().max(1) as f64;
+        let cols = self.columns.len();
+        let mut sums = vec![0.0; cols];
+        for row in &self.rows {
+            for (s, v) in sums.iter_mut().zip(&row.values) {
+                *s += v;
+            }
+        }
+        Row {
+            label: "average".to_string(),
+            values: sums.into_iter().map(|s| s / n).collect(),
+        }
+    }
+
+    /// A column's mean value.
+    #[must_use]
+    pub fn column_mean(&self, col: usize) -> f64 {
+        self.mean().values.get(col).copied().unwrap_or(0.0)
+    }
+
+    fn fmt_value(&self, v: f64) -> String {
+        match self.unit {
+            "%" => format!("{:8.1}", v * 100.0),
+            "ratio" => format!("{v:8.3}"),
+            "ppm" => format!("{v:8.0}"),
+            "ipc" => format!("{v:8.3}"),
+            "mW" => format!("{:8.2}", v * 1e3),
+            _ => format!("{v:8.3}"),
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {} ({})", self.id, self.title, self.unit)?;
+        write!(f, "  {:<18}", "")?;
+        for c in &self.columns {
+            write!(f, "{c:>9}")?;
+        }
+        writeln!(f)?;
+        for row in self.rows.iter().chain(std::iter::once(&self.mean())) {
+            write!(f, "  {:<18}", row.label)?;
+            for v in &row.values {
+                write!(f, " {}", self.fmt_value(*v))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table {
+            id: "figX",
+            title: "Sample".to_string(),
+            unit: "%",
+            columns: vec!["A".to_string(), "B".to_string()],
+            rows: vec![
+                Row {
+                    label: "k1".to_string(),
+                    values: vec![0.5, 0.25],
+                },
+                Row {
+                    label: "k2".to_string(),
+                    values: vec![0.7, 0.35],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn mean_row() {
+        let t = sample();
+        let m = t.mean();
+        assert!((m.values[0] - 0.6).abs() < 1e-12);
+        assert!((m.values[1] - 0.3).abs() < 1e-12);
+        assert!((t.column_mean(1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renders_all_rows_plus_average() {
+        let s = sample().to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("k1"));
+        assert!(s.contains("average"));
+        assert!(s.contains("60.0"), "{s}");
+    }
+}

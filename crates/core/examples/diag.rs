@@ -1,0 +1,32 @@
+use fits_core::profile::profile;
+use fits_core::synth::{synthesize, SynthOptions};
+use fits_core::translate::translate;
+use fits_kernels::kernels::{Kernel, Scale};
+use std::collections::HashMap;
+
+fn main() {
+    for k in [Kernel::Crc32, Kernel::SusanEdges, Kernel::Sha, Kernel::Fft] {
+        let program = k.compile(Scale::test()).unwrap();
+        let p = profile(&program).unwrap();
+        let s = synthesize(&p, &SynthOptions::default());
+        let t = translate(&program, &s.config).unwrap();
+        println!("== {} static {:.1}% dynamic {:.1}%  predicted exp {:.3}",
+            k.name(),
+            100.0 * t.stats.static_one_to_one_rate(),
+            100.0 * t.stats.dynamic_one_to_one_rate(&p.exec_counts),
+            s.report.predicted_expansion);
+        // aggregate expanded dyn weight per disassembly line
+        let mut agg: HashMap<String, u64> = HashMap::new();
+        for (i, e) in t.stats.expansion.iter().enumerate() {
+            if *e > 1 && p.exec_counts[i] > 0 {
+                let key = format!("{} (n={})", program.text[i], e);
+                *agg.entry(key).or_default() += p.exec_counts[i];
+            }
+        }
+        let mut v: Vec<_> = agg.into_iter().collect();
+        v.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        for (k2, c) in v.iter().take(12) {
+            println!("   {c:>9}  {k2}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+use fits_core::{profile::profile, synthesize, translate, FitsSet, SynthOptions};
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_sim::InstrSet;
+
+fn main() {
+    let k = Kernel::JpegDct;
+    let program = k.compile(Scale::test()).unwrap();
+    let p = profile(&program).unwrap();
+    let s = synthesize(&p, &SynthOptions::default());
+    let t = translate(&program, &s.config).unwrap();
+    let set = FitsSet::load(&t.fits).unwrap();
+    // Map ARM index -> FITS position
+    let mut pos = 0usize;
+    for (i, e) in t.stats.expansion.iter().enumerate().take(75) {
+        for j in 0..*e {
+            let pc = fits_isa::TEXT_BASE + (pos as u32) * 2;
+            let op = set.op_at(pc).unwrap();
+            let first = if j == 0 { format!("arm[{i}] {}", program.text[i]) } else { String::new() };
+            println!("f[{pos:4}] {:<60} {first}", format!("{op:?}"));
+            pos += 1;
+        }
+    }
+}

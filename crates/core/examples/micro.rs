@@ -1,0 +1,88 @@
+use fits_core::FitsFlow;
+use fits_kernels::builder::{FnBuilder, ModuleBuilder};
+use fits_kernels::codegen::compile;
+use fits_kernels::ir::{BinOp, CmpOp};
+use fits_sim::{Ar32Set, Machine};
+
+fn check(name: &str, build: impl FnOnce(&mut FnBuilder)) {
+    let mut mb = ModuleBuilder::new();
+    let mut f = FnBuilder::new("main", 0);
+    build(&mut f);
+    mb.push(f.finish());
+    let module = mb.finish(vec![0u8; 256]);
+    let program = compile(&module).unwrap();
+    let arm = Machine::new(Ar32Set::load(&program)).run().unwrap();
+    match FitsFlow::new().run(&program) {
+        Ok(_) => println!("{name:30} OK (exit {:#x})", arm.exit_code),
+        Err(e) => println!("{name:30} FAIL: {e}"),
+    }
+}
+
+fn main() {
+    check("shift_by_reg_asr", |f| {
+        let x = f.imm(0xffff_1234u32);
+        let n = f.imm(12u32);
+        let y = f.bin(BinOp::Sar, x, n);
+        f.ret(Some(y));
+    });
+    check("shift_by_reg_many", |f| {
+        let acc = f.imm(0u32);
+        f.repeat(20u32, |f, i| {
+            let x = f.imm(0x8234_5678u32);
+            let y = f.bin(BinOp::Shr, x, i);
+            let z = f.bin(BinOp::Sar, x, i);
+            let w = f.bin(BinOp::Shl, x, i);
+            let t1 = f.xor(y, z);
+            let t2 = f.xor(t1, w);
+            let a2 = f.add(acc, t2);
+            f.copy(acc, a2);
+        });
+        f.ret(Some(acc));
+    });
+    check("shift_imm_various", |f| {
+        let x = f.imm(0x8234_5678u32);
+        let mut acc = f.imm(0u32);
+        for n in [1u32, 2, 3, 4, 5, 7, 8, 12, 15, 16, 24, 31] {
+            let a = f.shl(x, n);
+            let b = f.shr(x, n);
+            let c = f.sar(x, n);
+            let d = f.bin(BinOp::Ror, x, n);
+            let t = f.xor(a, b);
+            let t2 = f.xor(c, d);
+            let t3 = f.xor(t, t2);
+            acc = f.add(acc, t3);
+        }
+        f.ret(Some(acc));
+    });
+    check("ldrsh_and_ldrsb", |f| {
+        let base = f.imm(fits_isa::DATA_BASE);
+        let v = f.imm(0xabcd_8f7fu32);
+        f.store_w(base, 16, v);
+        let a = f.load_sh(base, 16);
+        let b = f.load_sh(base, 18);
+        let c = f.load_sb(base, 19);
+        let t = f.xor(a, b);
+        let t2 = f.xor(t, c);
+        f.ret(Some(t2));
+    });
+    check("mul_add_chain", |f| {
+        let mut acc = f.imm(1u32);
+        for k in [3u32, 7, 11, 100, 255] {
+            let c = f.imm(k);
+            acc = f.mul(acc, c);
+            acc = f.add(acc, 1u32);
+        }
+        f.ret(Some(acc));
+    });
+    check("cmp_signed_negatives", |f| {
+        let a = f.imm(-5i32);
+        let out = f.imm(0u32);
+        f.if_(f.cmp(CmpOp::LtS, a, 0u32), |f| {
+            let n = f.neg(a);
+            f.copy(a, n);
+        });
+        f.if_(f.cmp(CmpOp::LeS, a, 20u32), |f| f.set_imm(out, 7));
+        let r = f.add(out, a);
+        f.ret(Some(r));
+    });
+}

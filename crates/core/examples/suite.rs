@@ -1,0 +1,26 @@
+use fits_core::FitsFlow;
+use fits_kernels::kernels::{Kernel, Scale};
+
+fn main() {
+    let mut stat_sum = 0.0;
+    let mut dyn_sum = 0.0;
+    let mut ratio_sum = 0.0;
+    for k in Kernel::ALL {
+        let program = k.compile(Scale::test()).unwrap();
+        match FitsFlow::new().run(&program) {
+            Ok(out) => {
+                let s = out.mapping.static_one_to_one_rate();
+                let d = out.dynamic_rate();
+                let r = out.code_ratio(program.code_bytes());
+                stat_sum += s; dyn_sum += d; ratio_sum += r;
+                println!("{:18} static {:5.1}%  dyn {:5.1}%  code {:4.2}  opcodes {:3}  dict {:3}  verified {}",
+                    k.name(), 100.0*s, 100.0*d, r,
+                    out.config().ops.len(), out.config().dicts.entries(),
+                    out.fits_run.is_some());
+            }
+            Err(e) => println!("{:18} ERROR: {e}", k.name()),
+        }
+    }
+    let n = Kernel::ALL.len() as f64;
+    println!("AVG static {:.1}%  dyn {:.1}%  code {:.3}", 100.0*stat_sum/n, 100.0*dyn_sum/n, ratio_sum/n);
+}

@@ -1,0 +1,278 @@
+//! The five-stage FITS system design flow (Figure 1): profile → synthesize
+//! → compile → configure → execute, with the iterate-on-failure loop the
+//! figure draws back from "requirements met?" to the synthesize stage.
+
+use std::fmt;
+
+use fits_isa::Program;
+use fits_sim::{Machine, RunOutput, SimError};
+
+use crate::decoder::DecoderConfig;
+use crate::exec::{FitsDecodeError, FitsSet};
+use crate::profile::{profile, Profile};
+use crate::synth::{synthesize, SynthOptions, Synthesis};
+use crate::translate::{translate, FitsProgram, MappingStats, TranslateError, Translation};
+
+/// Flow failure.
+#[derive(Debug)]
+pub enum FlowError {
+    /// The profiling or verification run failed.
+    Sim(SimError),
+    /// Translation failed.
+    Translate(TranslateError),
+    /// The FITS binary failed to decode under its own configuration.
+    Decode(FitsDecodeError),
+    /// The FITS binary's behaviour diverged from the native program — the
+    /// synthesized ISA is unsound (never expected; a hard bug).
+    Mismatch {
+        /// Native result.
+        arm: RunOutput,
+        /// FITS result.
+        fits: RunOutput,
+    },
+    /// The mapping-rate floor was not reached within the iteration budget.
+    RequirementsNotMet {
+        /// Best static 1-to-1 rate achieved.
+        best_static_rate: f64,
+        /// The floor that was requested.
+        floor: f64,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Sim(e) => write!(f, "simulation failed: {e}"),
+            FlowError::Translate(e) => write!(f, "translation failed: {e}"),
+            FlowError::Decode(e) => write!(f, "decode failed: {e}"),
+            FlowError::Mismatch { arm, fits } => write!(
+                f,
+                "FITS binary diverged: arm exit {:#x} vs fits exit {:#x}",
+                arm.exit_code, fits.exit_code
+            ),
+            FlowError::RequirementsNotMet { best_static_rate, floor } => write!(
+                f,
+                "mapping rate {best_static_rate:.3} below floor {floor:.3} after all iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+impl From<TranslateError> for FlowError {
+    fn from(e: TranslateError) -> Self {
+        FlowError::Translate(e)
+    }
+}
+
+impl From<FitsDecodeError> for FlowError {
+    fn from(e: FitsDecodeError) -> Self {
+        FlowError::Decode(e)
+    }
+}
+
+/// The FITS design flow driver.
+///
+/// ```
+/// use fits_core::FitsFlow;
+/// use fits_kernels::kernels::{Kernel, Scale};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Kernel::Crc32.compile(Scale::test())?;
+/// let outcome = FitsFlow::new().run(&program)?;
+/// assert!(outcome.mapping.static_one_to_one_rate() > 0.9);
+/// assert!(outcome.fits.code_bytes() * 2 <= program.code_bytes() + 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FitsFlow {
+    /// Synthesis options for the first iteration.
+    pub options: SynthOptions,
+    /// Static mapping-rate floor; below it the flow iterates with a larger
+    /// dictionary budget (the Figure-1 feedback arrow).
+    pub min_static_rate: f64,
+    /// Maximum synthesize→verify iterations.
+    pub max_iterations: usize,
+    /// Verify the FITS binary functionally against the profiling run
+    /// (differential execution). Disable only for coverage probes.
+    pub verify: bool,
+}
+
+impl Default for FitsFlow {
+    fn default() -> Self {
+        FitsFlow {
+            options: SynthOptions::default(),
+            min_static_rate: 0.85,
+            max_iterations: 3,
+            verify: true,
+        }
+    }
+}
+
+/// Everything the flow produced.
+#[derive(Clone, Debug)]
+pub struct FlowOutcome {
+    /// Stage-1 profile.
+    pub profile: Profile,
+    /// Stage-2 synthesis (of the accepted iteration).
+    pub synthesis: Synthesis,
+    /// The FITS binary (stage 3/4: compiled and configured).
+    pub fits: FitsProgram,
+    /// Mapping statistics.
+    pub mapping: MappingStats,
+    /// Stage-5 verification run of the FITS binary (when enabled).
+    pub fits_run: Option<RunOutput>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+impl FlowOutcome {
+    /// The dynamic 1-to-1 mapping rate (Figure 4's metric).
+    #[must_use]
+    pub fn dynamic_rate(&self) -> f64 {
+        self.mapping.dynamic_one_to_one_rate(&self.profile.exec_counts)
+    }
+
+    /// Code-size ratio versus the native program (Figure 5's metric),
+    /// given the native size in bytes.
+    #[must_use]
+    pub fn code_ratio(&self, native_bytes: usize) -> f64 {
+        self.fits.code_bytes() as f64 / native_bytes as f64
+    }
+
+    /// The final decoder configuration.
+    #[must_use]
+    pub fn config(&self) -> &DecoderConfig {
+        &self.fits.config
+    }
+}
+
+impl FitsFlow {
+    /// A flow with default options.
+    #[must_use]
+    pub fn new() -> FitsFlow {
+        FitsFlow::default()
+    }
+
+    /// Builder-style override of the synthesis options.
+    #[must_use]
+    pub fn with_options(mut self, options: SynthOptions) -> FitsFlow {
+        self.options = options;
+        self
+    }
+
+    /// Runs the full flow on a native program.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`]; `Mismatch` indicates a synthesis soundness bug
+    /// and is checked on every run when `verify` is on.
+    pub fn run(&self, program: &Program) -> Result<FlowOutcome, FlowError> {
+        // Stage 1: profile.
+        let prof = profile(program)?;
+
+        let mut opts = self.options.clone();
+        let mut best: Option<(Synthesis, Translation)> = None;
+        let mut iterations = 0;
+        for round in 0..self.max_iterations.max(1) {
+            iterations = round + 1;
+            // Stage 2: synthesize.
+            let synthesis = synthesize(&prof, &opts);
+            // Stage 3: compile (translate).
+            let translation = translate(program, &synthesis.config)?;
+            let rate = translation.stats.static_one_to_one_rate();
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, t)| rate > t.stats.static_one_to_one_rate());
+            if better {
+                best = Some((synthesis, translation));
+            }
+            if rate >= self.min_static_rate {
+                break;
+            }
+            // Iterate: widen the dictionaries (cheapest corrective lever).
+            opts.max_dict_bits = (opts.max_dict_bits + 1).min(8);
+        }
+        let (synthesis, translation) = best.expect("at least one iteration ran");
+        let rate = translation.stats.static_one_to_one_rate();
+        if rate < self.min_static_rate {
+            return Err(FlowError::RequirementsNotMet {
+                best_static_rate: rate,
+                floor: self.min_static_rate,
+            });
+        }
+
+        // Stage 4/5: configure the decoder (pre-decode) and execute.
+        let fits_run = if self.verify {
+            let set = FitsSet::load(&translation.fits)?;
+            let mut machine = Machine::new(set);
+            let run = machine.run()?;
+            let arm = prof.run.as_ref().expect("profiling run recorded");
+            if run.exit_code != arm.exit_code || run.emitted != arm.emitted {
+                return Err(FlowError::Mismatch { arm: *arm, fits: run });
+            }
+            Some(run)
+        } else {
+            None
+        };
+
+        Ok(FlowOutcome {
+            profile: prof,
+            synthesis,
+            fits: translation.fits,
+            mapping: translation.stats,
+            fits_run,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fits_kernels::kernels::{Kernel, Scale};
+
+    #[test]
+    fn flow_runs_end_to_end_and_verifies() {
+        let program = Kernel::AdpcmEnc.compile(Scale::test()).unwrap();
+        let out = FitsFlow::new().run(&program).unwrap();
+        assert!(out.fits_run.is_some());
+        assert!(out.mapping.static_one_to_one_rate() > 0.9);
+        assert!(out.dynamic_rate() > 0.9);
+        assert!(out.code_ratio(program.code_bytes()) < 0.6);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn flow_reports_unreachable_floor() {
+        let program = Kernel::Crc32.compile(Scale::test()).unwrap();
+        let flow = FitsFlow {
+            min_static_rate: 1.1, // impossible
+            max_iterations: 2,
+            ..FitsFlow::default()
+        };
+        match flow.run(&program) {
+            Err(FlowError::RequirementsNotMet { .. }) => {}
+            other => panic!("expected RequirementsNotMet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let program = Kernel::Crc32.compile(Scale::test()).unwrap();
+        let flow = FitsFlow {
+            verify: false,
+            ..FitsFlow::default()
+        };
+        let out = flow.run(&program).unwrap();
+        assert!(out.fits_run.is_none());
+    }
+}

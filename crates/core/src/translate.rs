@@ -1,0 +1,1630 @@
+//! ARM→FITS translation (stage 3 of the Figure-1 flow — "compile").
+//!
+//! Rewrites an AR32 program into the synthesized 16-bit instruction set.
+//! Each ARM instruction maps **1-to-1** when the decoder config has a
+//! matching opcode whose fields can hold the operands, and **1-to-n**
+//! otherwise (§6.1: "in theory, n could be any number ranging from 2 to 4;
+//! however, in practice, n = 2 is almost always the case"). Expansions use
+//! `r12`/`ip` — the intra-procedure scratch register the kernel compiler
+//! reserves — exactly as a dual-ISA linker veneer would.
+//!
+//! Branches are re-linked to FITS positions with iterative relaxation:
+//! out-of-range conditional branches become inverse-condition hops over an
+//! unconditional branch, and far calls go through the target dictionary
+//! (`movd ip, =target ; jalr ip`).
+
+use std::fmt;
+
+use fits_isa::{
+    AddrOffset, Cond, DpOp, Instr, MemOp, Operand2, Program, Reg, Shift, ShiftKind, TEXT_BASE,
+};
+
+use crate::decoder::{DecoderConfig, Dictionaries, Layout, MicroOp, OpcodeEntry};
+use crate::synth::mem_lit_fits;
+
+/// Translation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A register used by the program is not in the synthesized window.
+    RegisterOutsideWindow {
+        /// The physical register.
+        reg: u8,
+        /// Text index of the instruction.
+        index: usize,
+    },
+    /// An instruction shape the translator does not support.
+    Unsupported {
+        /// Text index.
+        index: usize,
+        /// Description.
+        what: String,
+    },
+    /// The configuration is missing a required base operation (a synthesis
+    /// bug — BIS guarantees these).
+    MissingBaseOp {
+        /// Description of the missing operation.
+        what: String,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::RegisterOutsideWindow { reg, index } => {
+                write!(f, "r{reg} at instruction {index} is outside the register window")
+            }
+            TranslateError::Unsupported { index, what } => {
+                write!(f, "unsupported instruction at {index}: {what}")
+            }
+            TranslateError::MissingBaseOp { what } => {
+                write!(f, "decoder config lacks required base op: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// One translated (but not yet branch-resolved) FITS instruction.
+#[derive(Clone, Debug)]
+pub enum Draft {
+    /// A fully-determined instruction: opcode-table index plus raw field
+    /// values in layout order.
+    Op {
+        /// Index into `config.ops`.
+        entry: usize,
+        /// Field values: registers as window encodings, immediates raw.
+        fields: [u16; 3],
+    },
+    /// A short intra-expansion forward branch skipping `skip` instructions
+    /// (encoded displacement is `skip - 1`: branch displacements are
+    /// relative to `pc + 4`, one instruction past sequential).
+    LocalBranch {
+        /// Opcode-table index of the branch op.
+        entry: usize,
+        /// Instructions to skip (must be >= 1).
+        skip: u16,
+    },
+    /// A program-level branch, resolved during relaxation.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Link (BL).
+        link: bool,
+        /// ARM text index of the target.
+        target_arm: usize,
+    },
+}
+
+/// The encoded FITS binary plus its (final) decoder configuration.
+#[derive(Clone, Debug)]
+pub struct FitsProgram {
+    /// Encoded 16-bit instructions.
+    pub instrs: Vec<u16>,
+    /// Data image (identical to the ARM program's).
+    pub data: Vec<u8>,
+    /// Entry instruction index.
+    pub entry: usize,
+    /// The decoder configuration, including translator-appended dictionary
+    /// entries (far targets, overflow constants).
+    pub config: DecoderConfig,
+}
+
+impl FitsProgram {
+    /// Code size in bytes (2 per instruction).
+    #[must_use]
+    pub fn code_bytes(&self) -> usize {
+        self.instrs.len() * 2
+    }
+}
+
+/// Mapping statistics (Figures 3 and 4).
+#[derive(Clone, Debug, Default)]
+pub struct MappingStats {
+    /// FITS instructions emitted per ARM instruction.
+    pub expansion: Vec<u32>,
+}
+
+impl MappingStats {
+    /// Fraction of ARM instructions that mapped 1-to-1 (Figure 3).
+    #[must_use]
+    pub fn static_one_to_one_rate(&self) -> f64 {
+        if self.expansion.is_empty() {
+            return 1.0;
+        }
+        let ones = self.expansion.iter().filter(|&&e| e == 1).count();
+        ones as f64 / self.expansion.len() as f64
+    }
+
+    /// Dynamically-weighted 1-to-1 rate given per-instruction execution
+    /// counts (Figure 4).
+    #[must_use]
+    pub fn dynamic_one_to_one_rate(&self, exec_counts: &[u64]) -> f64 {
+        let total: u64 = exec_counts.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ones: u64 = self
+            .expansion
+            .iter()
+            .zip(exec_counts)
+            .filter(|(e, _)| **e == 1)
+            .map(|(_, c)| *c)
+            .sum();
+        ones as f64 / total as f64
+    }
+
+    /// Average expansion factor (FITS instrs per ARM instr), statically.
+    #[must_use]
+    pub fn static_expansion(&self) -> f64 {
+        if self.expansion.is_empty() {
+            return 1.0;
+        }
+        self.expansion.iter().sum::<u32>() as f64 / self.expansion.len() as f64
+    }
+}
+
+/// Translation output.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// The FITS binary.
+    pub fits: FitsProgram,
+    /// Mapping statistics.
+    pub stats: MappingStats,
+}
+
+// ---------------------------------------------------------------------------
+// Config lookup helpers
+// ---------------------------------------------------------------------------
+
+struct Finder<'a> {
+    cfg: &'a DecoderConfig,
+}
+
+impl<'a> Finder<'a> {
+    fn entry_idx(&self, pred: impl Fn(&OpcodeEntry) -> bool) -> Option<usize> {
+        self.cfg.ops.iter().position(pred)
+    }
+
+    fn dp3(&self, op: DpOp, sf: bool) -> Option<usize> {
+        self.entry_idx(|e| {
+            matches!(e.micro, MicroOp::Dp3 { op: o, set_flags: s } if o == op && s == sf)
+                && e.layout == Layout::R3
+        })
+    }
+
+    fn dp2reg(&self, op: DpOp, sf: bool) -> Option<usize> {
+        self.entry_idx(|e| {
+            matches!(e.micro, MicroOp::Dp2Reg { op: o, set_flags: s } if o == op && s == sf)
+        })
+    }
+
+    fn dp3imm_lit(&self, op: DpOp, sf: bool) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| {
+            match (e.micro, e.layout) {
+                (MicroOp::Dp3 { op: o, set_flags: s }, Layout::RRImm { w })
+                    if o == op && s == sf =>
+                {
+                    Some((i, w))
+                }
+                _ => None,
+            }
+        })
+    }
+
+    fn dp3imm_dict(&self, op: DpOp, sf: bool) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| {
+            match (e.micro, e.layout) {
+                (MicroOp::Dp3 { op: o, set_flags: s }, Layout::RRDict { w })
+                    if o == op && s == sf =>
+                {
+                    Some((i, w))
+                }
+                _ => None,
+            }
+        })
+    }
+
+    fn dp2imm_lit(&self, op: DpOp, sf: bool) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| {
+            match (e.micro, e.layout) {
+                (MicroOp::Dp2Imm { op: o, set_flags: s }, Layout::R2Imm { w })
+                    if o == op && s == sf =>
+                {
+                    Some((i, w))
+                }
+                _ => None,
+            }
+        })
+    }
+
+    fn dp2imm_dict(&self, op: DpOp, sf: bool) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| {
+            match (e.micro, e.layout) {
+                (MicroOp::Dp2Imm { op: o, set_flags: s }, Layout::R2Dict { w })
+                    if o == op && s == sf =>
+                {
+                    Some((i, w))
+                }
+                _ => None,
+            }
+        })
+    }
+
+    fn cmp_reg(&self, op: DpOp) -> Option<usize> {
+        self.entry_idx(|e| matches!(e.micro, MicroOp::CmpReg { op: o } if o == op))
+    }
+
+    fn cmp_imm_lit(&self, op: DpOp) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::CmpImm { op: o }, Layout::R2Imm { w }) if o == op => Some((i, w)),
+            _ => None,
+        })
+    }
+
+    fn cmp_imm_dict(&self, op: DpOp) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::CmpImm { op: o }, Layout::R2Dict { w }) if o == op => Some((i, w)),
+            _ => None,
+        })
+    }
+
+    fn shift_lit(&self, kind: ShiftKind, sf: bool) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::ShiftImm { kind: k, set_flags: s }, Layout::RRImm { w })
+                if k == kind && s == sf =>
+            {
+                Some((i, w))
+            }
+            _ => None,
+        })
+    }
+
+    fn shift_dict(&self, kind: ShiftKind, sf: bool) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::ShiftImm { kind: k, set_flags: s }, Layout::RRDict { w })
+                if k == kind && s == sf =>
+            {
+                Some((i, w))
+            }
+            _ => None,
+        })
+    }
+
+    fn shift_reg(&self, kind: ShiftKind, sf: bool) -> Option<usize> {
+        self.entry_idx(|e| {
+            matches!(e.micro, MicroOp::ShiftReg { kind: k, set_flags: s } if k == kind && s == sf)
+        })
+    }
+
+    fn mul3(&self) -> Option<usize> {
+        self.entry_idx(|e| e.micro == MicroOp::Mul3)
+    }
+
+    fn mem_lit(&self, op: MemOp) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::Mem { op: o }, Layout::MemImm { w }) if o == op => Some((i, w)),
+            _ => None,
+        })
+    }
+
+    fn mem_dict(&self, op: MemOp) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::Mem { op: o }, Layout::MemDict { w }) if o == op => Some((i, w)),
+            _ => None,
+        })
+    }
+
+    fn branch(&self, cond: Cond, link: bool) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::Branch { cond: c, link: l }, Layout::Br { w })
+                if c == cond && l == link =>
+            {
+                Some((i, w))
+            }
+            _ => None,
+        })
+    }
+
+    fn branch_reg(&self, link: bool) -> Option<usize> {
+        self.entry_idx(|e| matches!(e.micro, MicroOp::BranchReg { link: l } if l == link))
+    }
+
+    fn pred_mov_imm(&self, cond: Cond) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::PredMovImm { cond: c }, Layout::R2Imm { w }) if c == cond => Some((i, w)),
+            _ => None,
+        })
+    }
+
+    fn pred_mov_reg(&self, cond: Cond) -> Option<usize> {
+        self.entry_idx(|e| matches!(e.micro, MicroOp::PredMovReg { cond: c } if c == cond))
+    }
+
+    fn load_target(&self) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::LoadTarget, Layout::R2Dict { w }) => Some((i, w)),
+            _ => None,
+        })
+    }
+
+    fn swi(&self) -> Option<(usize, u8)> {
+        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
+            (MicroOp::Swi, Layout::Trap { w }) => Some((i, w)),
+            _ => None,
+        })
+    }
+}
+
+fn fits_unsigned(v: u32, w: u8) -> bool {
+    w >= 1 && crate::profile::unsigned_bits(v) <= w && w <= 16
+}
+
+// ---------------------------------------------------------------------------
+// The translator
+// ---------------------------------------------------------------------------
+
+struct Translator<'a> {
+    program: &'a Program,
+    cfg: DecoderConfig,
+    /// Maximum entries the operate dictionary may grow to (its widest
+    /// addressing opcode's capacity).
+    op_dict_cap: usize,
+    movd: Option<(usize, u8)>,
+}
+
+impl<'a> Translator<'a> {
+    fn finder(&self) -> Finder<'_> {
+        Finder { cfg: &self.cfg }
+    }
+
+    fn reg(&self, r: Reg, index: usize) -> Result<u16, TranslateError> {
+        self.cfg
+            .regs
+            .encode(r)
+            .ok_or(TranslateError::RegisterOutsideWindow {
+                reg: r.index(),
+                index,
+            })
+    }
+
+    fn scratch(&self, index: usize) -> Result<u16, TranslateError> {
+        self.reg(Reg::IP, index)
+    }
+
+    /// Finds or appends an absolute code address in the target dictionary.
+    fn target_dict_index(&mut self, addr: u32, w: u8, index: usize) -> Result<u16, TranslateError> {
+        if let Some(i) = Dictionaries::index_of(&self.cfg.dicts.target, addr, w) {
+            return Ok(i);
+        }
+        if self.cfg.dicts.target.len() < (1usize << w) {
+            self.cfg.dicts.target.push(addr);
+            return Ok((self.cfg.dicts.target.len() - 1) as u16);
+        }
+        Err(TranslateError::Unsupported {
+            index,
+            what: "target dictionary exhausted".to_string(),
+        })
+    }
+
+    /// Finds or appends a value in the operate dictionary; returns its
+    /// index if addressable within `w` bits.
+    fn op_dict_index(&mut self, value: u32, w: u8) -> Option<u16> {
+        if let Some(i) = Dictionaries::index_of(&self.cfg.dicts.operate, value, w) {
+            return Some(i);
+        }
+        let cap = (1usize << w).min(self.op_dict_cap);
+        if self.cfg.dicts.operate.len() < cap {
+            self.cfg.dicts.operate.push(value);
+            return Some((self.cfg.dicts.operate.len() - 1) as u16);
+        }
+        None
+    }
+
+    /// Emits a constant build into `dst` (window encoding). Returns the
+    /// drafts. Order of preference: literal move, dictionary move, nibble
+    /// chain (`movi`/`lsli`/`ori`).
+    fn build_const(
+        &mut self,
+        dst: u16,
+        value: u32,
+        out: &mut Vec<Draft>,
+        index: usize,
+    ) -> Result<(), TranslateError> {
+        let f = self.finder();
+        if let Some((e, w)) = f.dp2imm_lit(DpOp::Mov, false) {
+            if fits_unsigned(value, w) {
+                out.push(Draft::Op {
+                    entry: e,
+                    fields: [dst, value as u16, 0],
+                });
+                return Ok(());
+            }
+        }
+        let movd = self.movd;
+        if let Some((e, w)) = movd {
+            if let Some(idx) = self.op_dict_index(value, w) {
+                out.push(Draft::Op {
+                    entry: e,
+                    fields: [dst, idx, 0],
+                });
+                return Ok(());
+            }
+        }
+        // Nibble chain.
+        let f = self.finder();
+        let movi = f
+            .dp2imm_lit(DpOp::Mov, false)
+            .ok_or(TranslateError::MissingBaseOp {
+                what: "movi".to_string(),
+            })?;
+        let ori = f
+            .dp2imm_lit(DpOp::Orr, false)
+            .ok_or(TranslateError::MissingBaseOp {
+                what: "ori".to_string(),
+            })?;
+        let lsli = f
+            .shift_lit(ShiftKind::Lsl, false)
+            .ok_or(TranslateError::MissingBaseOp {
+                what: "lsli".to_string(),
+            })?;
+        let _ = index;
+        let nib_w = movi.1.min(4);
+        let step = u32::from(nib_w);
+        let nibbles: Vec<u32> = (0..(32 + step - 1) / step)
+            .rev()
+            .map(|k| (value >> (k * step)) & ((1 << step) - 1))
+            .collect();
+        let mut started = false;
+        for nib in nibbles {
+            if !started {
+                if nib == 0 {
+                    continue;
+                }
+                out.push(Draft::Op {
+                    entry: movi.0,
+                    fields: [dst, nib as u16, 0],
+                });
+                started = true;
+            } else {
+                out.push(Draft::Op {
+                    entry: lsli.0,
+                    fields: [dst, dst, u16::from(nib_w)],
+                });
+                if nib != 0 {
+                    out.push(Draft::Op {
+                        entry: ori.0,
+                        fields: [dst, nib as u16, 0],
+                    });
+                }
+            }
+        }
+        if !started {
+            out.push(Draft::Op {
+                entry: movi.0,
+                fields: [dst, 0, 0],
+            });
+        }
+        Ok(())
+    }
+
+    /// Register-to-register move.
+    fn mov_reg(&self, dst: u16, src: u16, out: &mut Vec<Draft>) -> Result<(), TranslateError> {
+        let e = self
+            .finder()
+            .dp2reg(DpOp::Mov, false)
+            .ok_or(TranslateError::MissingBaseOp {
+                what: "mov".to_string(),
+            })?;
+        out.push(Draft::Op {
+            entry: e,
+            fields: [dst, src, 0],
+        });
+        Ok(())
+    }
+
+    /// A register-register DP operation with full operand generality.
+    fn dp_reg_general(
+        &mut self,
+        op: DpOp,
+        sf: bool,
+        rd: u16,
+        rn: u16,
+        rm: u16,
+        out: &mut Vec<Draft>,
+        index: usize,
+    ) -> Result<(), TranslateError> {
+        let f = self.finder();
+        if let Some(e) = f.dp3(op, sf) {
+            out.push(Draft::Op {
+                entry: e,
+                fields: [rd, rn, rm],
+            });
+            return Ok(());
+        }
+        let two = f.dp2reg(op, sf).ok_or(TranslateError::MissingBaseOp {
+            what: format!("2-address {op}"),
+        })?;
+        if op.ignores_rn() {
+            out.push(Draft::Op {
+                entry: two,
+                fields: [rd, rm, 0],
+            });
+            return Ok(());
+        }
+        if rd == rn {
+            out.push(Draft::Op {
+                entry: two,
+                fields: [rd, rm, 0],
+            });
+            return Ok(());
+        }
+        if rd == rm {
+            let commutative = matches!(op, DpOp::Add | DpOp::And | DpOp::Orr | DpOp::Eor);
+            if commutative {
+                out.push(Draft::Op {
+                    entry: two,
+                    fields: [rd, rn, 0],
+                });
+                return Ok(());
+            }
+            // rd aliases the second operand of a non-commutative op: stash
+            // it in the scratch register first.
+            let ip = self.scratch(index)?;
+            self.mov_reg(ip, rm, out)?;
+            self.mov_reg(rd, rn, out)?;
+            out.push(Draft::Op {
+                entry: two,
+                fields: [rd, ip, 0],
+            });
+            return Ok(());
+        }
+        self.mov_reg(rd, rn, out)?;
+        out.push(Draft::Op {
+            entry: two,
+            fields: [rd, rm, 0],
+        });
+        Ok(())
+    }
+
+    /// A shift of `rm` by constant `n` into `rd`.
+    fn shift_imm_general(
+        &mut self,
+        kind: ShiftKind,
+        sf: bool,
+        rd: u16,
+        rm: u16,
+        n: u32,
+        out: &mut Vec<Draft>,
+        index: usize,
+    ) -> Result<(), TranslateError> {
+        let f = self.finder();
+        if let Some((e, w)) = f.shift_lit(kind, sf) {
+            if fits_unsigned(n, w) {
+                out.push(Draft::Op {
+                    entry: e,
+                    fields: [rd, rm, n as u16],
+                });
+                return Ok(());
+            }
+        }
+        if let Some((e, w)) = f.shift_dict(kind, sf) {
+            if let Some(idx) = Dictionaries::index_of(&self.cfg.dicts.shift, n, w) {
+                out.push(Draft::Op {
+                    entry: e,
+                    fields: [rd, rm, idx],
+                });
+                return Ok(());
+            }
+            // Append to free dictionary capacity.
+            if self.cfg.dicts.shift.len() < (1usize << w) {
+                self.cfg.dicts.shift.push(n);
+                out.push(Draft::Op {
+                    entry: e,
+                    fields: [rd, rm, (self.cfg.dicts.shift.len() - 1) as u16],
+                });
+                return Ok(());
+            }
+        }
+        // Fallback: amount into scratch, two-address shift. Impossible when
+        // the destination *is* the scratch (it cannot hold both the amount
+        // and the shifted value); synthesis prevents this by always
+        // providing a dictionary form for used shift kinds.
+        let ip = self.scratch(index)?;
+        if rd == ip {
+            return Err(TranslateError::Unsupported {
+                index,
+                what: format!("shift into scratch with no encodable amount #{n}"),
+            });
+        }
+        self.build_const(ip, n, out, index)?;
+        let sr = self
+            .finder()
+            .shift_reg(kind, sf)
+            .ok_or(TranslateError::MissingBaseOp {
+                what: format!("shift-reg {kind}"),
+            })?;
+        if rd != rm {
+            self.mov_reg(rd, rm, out)?;
+        }
+        out.push(Draft::Op {
+            entry: sr,
+            fields: [rd, ip, 0],
+        });
+        Ok(())
+    }
+
+    /// Translates one AL-condition instruction (predication is handled by
+    /// the caller). Pushes drafts; the count is the expansion factor.
+    #[allow(clippy::too_many_lines)]
+    fn expand(
+        &mut self,
+        instr: &Instr,
+        index: usize,
+        out: &mut Vec<Draft>,
+    ) -> Result<(), TranslateError> {
+        match instr {
+            Instr::Dp {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+                ..
+            } => {
+                // Compares.
+                if op.is_compare() {
+                    let rn_e = self.reg(*rn, index)?;
+                    match op2 {
+                        Operand2::Reg(rm, Shift::Imm(ShiftKind::Lsl, 0)) => {
+                            let rm_e = self.reg(*rm, index)?;
+                            let e = self.finder().cmp_reg(*op).ok_or(
+                                TranslateError::MissingBaseOp {
+                                    what: format!("{op} reg"),
+                                },
+                            )?;
+                            out.push(Draft::Op {
+                                entry: e,
+                                fields: [rn_e, rm_e, 0],
+                            });
+                        }
+                        Operand2::Imm(imm) => {
+                            let v = imm.value();
+                            // Logical flag-setting immediates with a rotated
+                            // encoding change C; the translator refuses them
+                            // (the kernel compiler never emits them).
+                            if !op.is_arithmetic() && imm.rot() != 0 {
+                                return Err(TranslateError::Unsupported {
+                                    index,
+                                    what: "rotated logical compare immediate".to_string(),
+                                });
+                            }
+                            let f = self.finder();
+                            if let Some((e, w)) = f.cmp_imm_lit(*op) {
+                                if fits_unsigned(v, w) {
+                                    out.push(Draft::Op {
+                                        entry: e,
+                                        fields: [rn_e, v as u16, 0],
+                                    });
+                                    return Ok(());
+                                }
+                            }
+                            if let Some((e, w)) = f.cmp_imm_dict(*op) {
+                                if let Some(idx) =
+                                    Dictionaries::index_of(&self.cfg.dicts.operate, v, w)
+                                {
+                                    out.push(Draft::Op {
+                                        entry: e,
+                                        fields: [rn_e, idx, 0],
+                                    });
+                                    return Ok(());
+                                }
+                                // Try appending to the reserved slots.
+                                let e_w = (e, w);
+                                if let Some(idx) = self.op_dict_index(v, e_w.1) {
+                                    out.push(Draft::Op {
+                                        entry: e_w.0,
+                                        fields: [rn_e, idx, 0],
+                                    });
+                                    return Ok(());
+                                }
+                            }
+                            // Build the constant and compare by register.
+                            let ip = self.scratch(index)?;
+                            self.build_const(ip, v, out, index)?;
+                            let e = self.finder().cmp_reg(*op).ok_or(
+                                TranslateError::MissingBaseOp {
+                                    what: format!("{op} reg"),
+                                },
+                            )?;
+                            out.push(Draft::Op {
+                                entry: e,
+                                fields: [rn_e, ip, 0],
+                            });
+                        }
+                        Operand2::Reg(rm, shift) => {
+                            // Compare against a shifted register: shift into
+                            // scratch first.
+                            let ip = self.scratch(index)?;
+                            self.expand_shift_operand(*rm, *shift, ip, index, out)?;
+                            let e = self.finder().cmp_reg(*op).ok_or(
+                                TranslateError::MissingBaseOp {
+                                    what: format!("{op} reg"),
+                                },
+                            )?;
+                            out.push(Draft::Op {
+                                entry: e,
+                                fields: [rn_e, ip, 0],
+                            });
+                        }
+                    }
+                    return Ok(());
+                }
+
+                // PC writes are indirect jumps.
+                if rd.is_pc() {
+                    if *op == DpOp::Mov {
+                        if let Operand2::Reg(rm, Shift::Imm(ShiftKind::Lsl, 0)) = op2 {
+                            let ra = self.reg(*rm, index)?;
+                            let e = self.finder().branch_reg(false).ok_or(
+                                TranslateError::MissingBaseOp {
+                                    what: "jr".to_string(),
+                                },
+                            )?;
+                            out.push(Draft::Op {
+                                entry: e,
+                                fields: [ra, 0, 0],
+                            });
+                            return Ok(());
+                        }
+                    }
+                    return Err(TranslateError::Unsupported {
+                        index,
+                        what: "non-mov PC write".to_string(),
+                    });
+                }
+
+                let rd_e = self.reg(*rd, index)?;
+                match (op, op2) {
+                    // Shift-by-immediate moves.
+                    (DpOp::Mov, Operand2::Reg(rm, Shift::Imm(kind, n))) if *n > 0 => {
+                        let rm_e = self.reg(*rm, index)?;
+                        self.shift_imm_general(
+                            *kind,
+                            *set_flags,
+                            rd_e,
+                            rm_e,
+                            u32::from(*n),
+                            out,
+                            index,
+                        )?;
+                    }
+                    // Shift-by-register moves.
+                    (DpOp::Mov, Operand2::Reg(rm, Shift::Reg(kind, rs))) => {
+                        let rm_e = self.reg(*rm, index)?;
+                        let rs_e = self.reg(*rs, index)?;
+                        let sr = self.finder().shift_reg(*kind, *set_flags).ok_or(
+                            TranslateError::MissingBaseOp {
+                                what: format!("shift-reg {kind}"),
+                            },
+                        )?;
+                        if rd_e == rm_e {
+                            out.push(Draft::Op {
+                                entry: sr,
+                                fields: [rd_e, rs_e, 0],
+                            });
+                        } else if rd_e == rs_e {
+                            let ip = self.scratch(index)?;
+                            self.mov_reg(ip, rs_e, out)?;
+                            self.mov_reg(rd_e, rm_e, out)?;
+                            out.push(Draft::Op {
+                                entry: sr,
+                                fields: [rd_e, ip, 0],
+                            });
+                        } else {
+                            self.mov_reg(rd_e, rm_e, out)?;
+                            out.push(Draft::Op {
+                                entry: sr,
+                                fields: [rd_e, rs_e, 0],
+                            });
+                        }
+                    }
+                    // Plain register operands.
+                    (_, Operand2::Reg(rm, Shift::Imm(ShiftKind::Lsl, 0))) => {
+                        let rn_e = self.reg(*rn, index)?;
+                        let rm_e = self.reg(*rm, index)?;
+                        self.dp_reg_general(*op, *set_flags, rd_e, rn_e, rm_e, out, index)?;
+                    }
+                    // Immediates.
+                    (_, Operand2::Imm(imm)) => {
+                        let v = imm.value();
+                        if !op.is_arithmetic() && *set_flags && imm.rot() != 0 {
+                            return Err(TranslateError::Unsupported {
+                                index,
+                                what: "rotated logical flag-setting immediate".to_string(),
+                            });
+                        }
+                        let rn_e = if op.ignores_rn() { rd_e } else { self.reg(*rn, index)? };
+                        let f = self.finder();
+                        // Figure-2 Operate: 3-address immediate forms first.
+                        if !op.ignores_rn() {
+                            if let Some((e, w)) = f.dp3imm_lit(*op, *set_flags) {
+                                if fits_unsigned(v, w) {
+                                    out.push(Draft::Op {
+                                        entry: e,
+                                        fields: [rd_e, rn_e, v as u16],
+                                    });
+                                    return Ok(());
+                                }
+                            }
+                            if let Some((e, w)) = f.dp3imm_dict(*op, *set_flags) {
+                                if let Some(idx) =
+                                    Dictionaries::index_of(&self.cfg.dicts.operate, v, w)
+                                {
+                                    out.push(Draft::Op {
+                                        entry: e,
+                                        fields: [rd_e, rn_e, idx],
+                                    });
+                                    return Ok(());
+                                }
+                            }
+                        }
+                        let lit = f.dp2imm_lit(*op, *set_flags);
+                        let dict = f.dp2imm_dict(*op, *set_flags);
+                        let two_addr_ok = op.ignores_rn() || rd_e == rn_e;
+                        if two_addr_ok {
+                            if let Some((e, w)) = lit {
+                                if fits_unsigned(v, w) {
+                                    out.push(Draft::Op {
+                                        entry: e,
+                                        fields: [rd_e, v as u16, 0],
+                                    });
+                                    return Ok(());
+                                }
+                            }
+                            if let Some((e, w)) = dict {
+                                if let Some(idx) =
+                                    Dictionaries::index_of(&self.cfg.dicts.operate, v, w)
+                                {
+                                    out.push(Draft::Op {
+                                        entry: e,
+                                        fields: [rd_e, idx, 0],
+                                    });
+                                    return Ok(());
+                                }
+                            }
+                        }
+                        // MOV/MVN of an arbitrary value.
+                        if *op == DpOp::Mov && !*set_flags {
+                            self.build_const(rd_e, v, out, index)?;
+                            return Ok(());
+                        }
+                        if *op == DpOp::Mvn && !*set_flags {
+                            self.build_const(rd_e, !v, out, index)?;
+                            return Ok(());
+                        }
+                        // Two-address form reachable with a mov first?
+                        if !two_addr_ok {
+                            let fits_lit = lit.is_some_and(|(_, w)| fits_unsigned(v, w));
+                            let dict_idx = dict.and_then(|(_, w)| {
+                                Dictionaries::index_of(&self.cfg.dicts.operate, v, w)
+                            });
+                            if fits_lit || dict_idx.is_some() {
+                                self.mov_reg(rd_e, rn_e, out)?;
+                                if fits_lit {
+                                    let (e, _) = lit.expect("checked");
+                                    out.push(Draft::Op {
+                                        entry: e,
+                                        fields: [rd_e, v as u16, 0],
+                                    });
+                                } else {
+                                    let (e, _) = dict.expect("checked");
+                                    out.push(Draft::Op {
+                                        entry: e,
+                                        fields: [rd_e, dict_idx.expect("checked"), 0],
+                                    });
+                                }
+                                return Ok(());
+                            }
+                        }
+                        // General fallback: constant into scratch, then the
+                        // register-register path.
+                        let ip = self.scratch(index)?;
+                        self.build_const(ip, v, out, index)?;
+                        self.dp_reg_general(*op, *set_flags, rd_e, rn_e, ip, out, index)?;
+                    }
+                    // Shifted-register operands on non-mov ops.
+                    (_, Operand2::Reg(rm, shift)) => {
+                        let rn_e = self.reg(*rn, index)?;
+                        let ip = self.scratch(index)?;
+                        self.expand_shift_operand(*rm, *shift, ip, index, out)?;
+                        self.dp_reg_general(*op, *set_flags, rd_e, rn_e, ip, out, index)?;
+                    }
+                }
+                Ok(())
+            }
+            Instr::Mul {
+                set_flags,
+                rd,
+                rm,
+                rs,
+                acc,
+                ..
+            } => {
+                if *set_flags {
+                    return Err(TranslateError::Unsupported {
+                        index,
+                        what: "flag-setting multiply".to_string(),
+                    });
+                }
+                let e = self.finder().mul3().ok_or(TranslateError::MissingBaseOp {
+                    what: "mul".to_string(),
+                })?;
+                let rd_e = self.reg(*rd, index)?;
+                let rm_e = self.reg(*rm, index)?;
+                let rs_e = self.reg(*rs, index)?;
+                match acc {
+                    None => out.push(Draft::Op {
+                        entry: e,
+                        fields: [rd_e, rm_e, rs_e],
+                    }),
+                    Some(rn) => {
+                        // MLA: multiply into scratch, then add.
+                        let ip = self.scratch(index)?;
+                        out.push(Draft::Op {
+                            entry: e,
+                            fields: [ip, rm_e, rs_e],
+                        });
+                        let rn_e = self.reg(*rn, index)?;
+                        self.dp_reg_general(DpOp::Add, false, rd_e, rn_e, ip, out, index)?;
+                    }
+                }
+                Ok(())
+            }
+            Instr::Mem {
+                op,
+                rd,
+                rn,
+                offset,
+                index: idx_mode,
+                ..
+            } => {
+                if *idx_mode != fits_isa::Index::PreNoWb {
+                    return Err(TranslateError::Unsupported {
+                        index,
+                        what: "writeback addressing".to_string(),
+                    });
+                }
+                if rd.is_pc() {
+                    return Err(TranslateError::Unsupported {
+                        index,
+                        what: "PC-destination load".to_string(),
+                    });
+                }
+                let rd_e = self.reg(*rd, index)?;
+                let rn_e = self.reg(*rn, index)?;
+                match offset {
+                    AddrOffset::Imm(d) => {
+                        let scale = match op.size() {
+                            4 => 4u32,
+                            2 => 2,
+                            _ => 1,
+                        };
+                        let f = self.finder();
+                        if let Some((e, w)) = f.mem_lit(*op) {
+                            if mem_lit_fits(*d, w, scale) {
+                                let field = if scale == 1 {
+                                    (*d as u16) & ((1u16 << w) - 1)
+                                } else {
+                                    (*d as u32 / scale) as u16
+                                };
+                                out.push(Draft::Op {
+                                    entry: e,
+                                    fields: [rd_e, rn_e, field],
+                                });
+                                return Ok(());
+                            }
+                        }
+                        if let Some((e, w)) = f.mem_dict(*op) {
+                            if let Some(idx) =
+                                Dictionaries::index_of(&self.cfg.dicts.mem_disp, *d as u32, w)
+                            {
+                                out.push(Draft::Op {
+                                    entry: e,
+                                    fields: [rd_e, rn_e, idx],
+                                });
+                                return Ok(());
+                            }
+                        }
+                        // Address arithmetic through the scratch register.
+                        let ip = self.scratch(index)?;
+                        self.build_const(ip, *d as u32, out, index)?;
+                        self.dp_reg_general(DpOp::Add, false, ip, ip, rn_e, out, index)?;
+                        let (e, w) = self.finder().mem_lit(*op).ok_or(
+                            TranslateError::MissingBaseOp {
+                                what: format!("{op}"),
+                            },
+                        )?;
+                        debug_assert!(mem_lit_fits(0, w.max(0), scale) || w == 0);
+                        let _ = w;
+                        out.push(Draft::Op {
+                            entry: e,
+                            fields: [rd_e, ip, 0],
+                        });
+                        Ok(())
+                    }
+                    AddrOffset::Reg {
+                        rm,
+                        shift,
+                        subtract,
+                    } => {
+                        let ip = self.scratch(index)?;
+                        self.expand_shift_operand(*rm, *shift, ip, index, out)?;
+                        let op_combine = if *subtract { DpOp::Rsb } else { DpOp::Add };
+                        let _ = op_combine;
+                        if *subtract {
+                            return Err(TranslateError::Unsupported {
+                                index,
+                                what: "subtracting register offset".to_string(),
+                            });
+                        }
+                        self.dp_reg_general(DpOp::Add, false, ip, ip, rn_e, out, index)?;
+                        let (e, _) = self.finder().mem_lit(*op).ok_or(
+                            TranslateError::MissingBaseOp {
+                                what: format!("{op}"),
+                            },
+                        )?;
+                        out.push(Draft::Op {
+                            entry: e,
+                            fields: [rd_e, ip, 0],
+                        });
+                        Ok(())
+                    }
+                }
+            }
+            Instr::Branch {
+                cond, link, offset, ..
+            } => {
+                let target = index as i64 + 2 + i64::from(*offset);
+                let target_arm = usize::try_from(target).map_err(|_| {
+                    TranslateError::Unsupported {
+                        index,
+                        what: "branch before text start".to_string(),
+                    }
+                })?;
+                if target_arm >= self.program.text.len() {
+                    return Err(TranslateError::Unsupported {
+                        index,
+                        what: "branch past text end".to_string(),
+                    });
+                }
+                out.push(Draft::Branch {
+                    cond: *cond,
+                    link: *link,
+                    target_arm,
+                });
+                Ok(())
+            }
+            Instr::Swi { imm, .. } => {
+                let (e, w) = self.finder().swi().ok_or(TranslateError::MissingBaseOp {
+                    what: "swi".to_string(),
+                })?;
+                if !fits_unsigned(*imm, w) && *imm != 0 {
+                    return Err(TranslateError::Unsupported {
+                        index,
+                        what: "trap number too wide".to_string(),
+                    });
+                }
+                out.push(Draft::Op {
+                    entry: e,
+                    fields: [*imm as u16, 0, 0],
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Computes `shift(rm)` into `dst`.
+    fn expand_shift_operand(
+        &mut self,
+        rm: Reg,
+        shift: Shift,
+        dst: u16,
+        index: usize,
+        out: &mut Vec<Draft>,
+    ) -> Result<(), TranslateError> {
+        let rm_e = self.reg(rm, index)?;
+        match shift {
+            Shift::Imm(ShiftKind::Lsl, 0) => self.mov_reg(dst, rm_e, out),
+            Shift::Imm(kind, n) => {
+                self.shift_imm_general(kind, false, dst, rm_e, u32::from(n), out, index)
+            }
+            Shift::Reg(kind, rs) => {
+                let rs_e = self.reg(rs, index)?;
+                let sr = self
+                    .finder()
+                    .shift_reg(kind, false)
+                    .ok_or(TranslateError::MissingBaseOp {
+                        what: format!("shift-reg {kind}"),
+                    })?;
+                self.mov_reg(dst, rm_e, out)?;
+                out.push(Draft::Op {
+                    entry: sr,
+                    fields: [dst, rs_e, 0],
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Translates one instruction including its predication wrapper.
+    fn translate_instr(
+        &mut self,
+        instr: &Instr,
+        index: usize,
+        out: &mut Vec<Draft>,
+    ) -> Result<(), TranslateError> {
+        let cond = instr.cond();
+        if cond == Cond::Al || matches!(instr, Instr::Branch { .. }) {
+            return self.expand(instr, index, out);
+        }
+        // Predicated moves may have dedicated opcodes.
+        if let Instr::Dp {
+            op: DpOp::Mov,
+            set_flags: false,
+            rd,
+            op2,
+            ..
+        } = instr
+        {
+            if !rd.is_pc() {
+                let rd_e = self.reg(*rd, index)?;
+                match op2 {
+                    Operand2::Imm(imm) => {
+                        if let Some((e, w)) = self.finder().pred_mov_imm(cond) {
+                            if fits_unsigned(imm.value(), w) {
+                                out.push(Draft::Op {
+                                    entry: e,
+                                    fields: [rd_e, imm.value() as u16, 0],
+                                });
+                                return Ok(());
+                            }
+                        }
+                    }
+                    Operand2::Reg(rm, Shift::Imm(ShiftKind::Lsl, 0)) => {
+                        if let Some(e) = self.finder().pred_mov_reg(cond) {
+                            let rm_e = self.reg(*rm, index)?;
+                            out.push(Draft::Op {
+                                entry: e,
+                                fields: [rd_e, rm_e, 0],
+                            });
+                            return Ok(());
+                        }
+                    }
+                    Operand2::Reg(..) => {}
+                }
+            }
+        }
+        // Generic predication: inverse-condition branch around the
+        // unconditional expansion.
+        let mut body = Vec::new();
+        self.expand(&instr.with_cond(Cond::Al), index, &mut body)?;
+        let inv = cond.inverse();
+        let (e, w) = self
+            .finder()
+            .branch(inv, false)
+            .ok_or(TranslateError::MissingBaseOp {
+                what: format!("b{inv}"),
+            })?;
+        let skip = body.len() as u16;
+        if !fits_unsigned(u32::from(skip), w.saturating_sub(1)) {
+            return Err(TranslateError::Unsupported {
+                index,
+                what: "predicated expansion too long for branch-around".to_string(),
+            });
+        }
+        out.push(Draft::LocalBranch { entry: e, skip });
+        out.extend(body);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field packing
+// ---------------------------------------------------------------------------
+
+/// Packs an opcode entry and its field values into the 16-bit word.
+#[must_use]
+pub fn pack(entry: &OpcodeEntry, fields: [u16; 3], r: u8) -> u16 {
+    let mut word = entry.code;
+    let operand_bits = 16 - entry.len;
+    let _ = operand_bits;
+    let r = u16::from(r);
+    let body: u16 = match entry.layout {
+        Layout::R3 => (fields[0] << (2 * r)) | (fields[1] << r) | fields[2],
+        Layout::R2 => (fields[0] << r) | fields[1],
+        Layout::R2Imm { w } | Layout::R2Dict { w } => {
+            (fields[0] << w) | (fields[1] & ((1 << w) - 1))
+        }
+        Layout::RRImm { w } | Layout::RRDict { w } => {
+            (fields[0] << (r + u16::from(w)))
+                | (fields[1] << w)
+                | (fields[2] & ((1 << w) - 1))
+        }
+        Layout::MemImm { w } | Layout::MemDict { w } => {
+            (fields[0] << (r + u16::from(w)))
+                | (fields[1] << w)
+                | (fields[2] & ((1 << w) - 1))
+        }
+        Layout::Br { w } | Layout::Trap { w } => fields[0] & ((1u16 << w) - 1),
+        Layout::R1 => fields[0],
+    };
+    word |= body;
+    word
+}
+
+/// Unpacks the operand fields of a word for the given entry, reversing
+/// [`pack`].
+#[must_use]
+pub fn unpack(entry: &OpcodeEntry, word: u16, r: u8) -> [u16; 3] {
+    let r16 = u16::from(r);
+    let rmask = (1u16 << r16) - 1;
+    match entry.layout {
+        Layout::R3 => [
+            (word >> (2 * r16)) & rmask,
+            (word >> r16) & rmask,
+            word & rmask,
+        ],
+        Layout::R2 => [(word >> r16) & rmask, word & rmask, 0],
+        Layout::R2Imm { w } | Layout::R2Dict { w } => {
+            [(word >> w) & rmask, word & ((1 << w) - 1), 0]
+        }
+        Layout::RRImm { w } | Layout::RRDict { w } | Layout::MemImm { w } | Layout::MemDict { w } => [
+            (word >> (r16 + u16::from(w))) & rmask,
+            (word >> w) & rmask,
+            word & ((1 << w) - 1),
+        ],
+        Layout::Br { w } | Layout::Trap { w } => [word & ((1u16 << w) - 1), 0, 0],
+        Layout::R1 => [word & rmask, 0, 0],
+    }
+}
+
+fn sign_fits(v: i64, w: u8) -> bool {
+    w >= 1 && v >= -(1i64 << (w - 1)) && v < (1i64 << (w - 1))
+}
+
+// ---------------------------------------------------------------------------
+// Top-level translation with branch relaxation
+// ---------------------------------------------------------------------------
+
+/// How a program-level branch is realized after relaxation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BrForm {
+    /// One branch instruction.
+    Short,
+    /// Inverse-condition hop over an unconditional branch.
+    InvPair,
+    /// Target loaded from the dictionary, then `jr`/`jalr` (2 instrs, or 3
+    /// with a conditional hop).
+    Dict,
+}
+
+impl BrForm {
+    fn size(self, cond: Cond, link: bool) -> u32 {
+        match self {
+            BrForm::Short => 1,
+            BrForm::InvPair => 2,
+            BrForm::Dict => {
+                if cond == Cond::Al || link {
+                    2
+                } else {
+                    3
+                }
+            }
+        }
+    }
+}
+
+/// Translates `program` under `config`, producing the FITS binary and
+/// mapping statistics. The returned configuration may contain additional
+/// dictionary entries discovered during translation.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] when the program uses registers outside the
+/// synthesized window or instruction shapes outside the supported set.
+pub fn translate(
+    program: &Program,
+    config: &DecoderConfig,
+) -> Result<Translation, TranslateError> {
+    let movd = Finder { cfg: config }.dp2imm_dict(DpOp::Mov, false);
+    let op_dict_cap = movd.map_or(0, |(_, w)| 1usize << w);
+    let mut tr = Translator {
+        program,
+        cfg: config.clone(),
+        op_dict_cap,
+        movd,
+    };
+
+    // Pass 1: expand every instruction.
+    let mut drafts: Vec<Vec<Draft>> = Vec::with_capacity(program.text.len());
+    for (i, instr) in program.text.iter().enumerate() {
+        let mut out = Vec::with_capacity(1);
+        tr.translate_instr(instr, i, &mut out)?;
+        debug_assert!(!out.is_empty());
+        drafts.push(out);
+    }
+
+    // Pass 2: branch relaxation to a fixpoint.
+    let mut forms: Vec<BrForm> = vec![BrForm::Short; program.text.len()];
+    let r = tr.cfg.regs.field_bits;
+    loop {
+        // Positions.
+        let mut pos = vec![0u32; program.text.len() + 1];
+        for i in 0..program.text.len() {
+            let mut size = 0u32;
+            for d in &drafts[i] {
+                size += match d {
+                    Draft::Branch { cond, link, .. } => forms[i].size(*cond, *link),
+                    _ => 1,
+                };
+            }
+            pos[i + 1] = pos[i] + size;
+        }
+        let mut changed = false;
+        for (i, dv) in drafts.iter().enumerate() {
+            // The branch draft is always last in its expansion.
+            let Some(Draft::Branch { cond, link, target_arm }) = dv.last() else {
+                continue;
+            };
+            let fnd = Finder { cfg: &tr.cfg };
+            let (_, w) = fnd
+                .branch(*cond, *link)
+                .ok_or(TranslateError::MissingBaseOp {
+                    what: format!("b{cond}"),
+                })?;
+            // Where does the branch instruction itself sit?
+            let br_pos = pos[i + 1] - forms[i].size(*cond, *link);
+            let disp = i64::from(pos[*target_arm]) - (i64::from(br_pos) + 2);
+            let needed = if sign_fits(disp, w) {
+                BrForm::Short
+            } else {
+                // Try the inverse pair (unconditional branch range).
+                let bal = fnd
+                    .branch(Cond::Al, false)
+                    .ok_or(TranslateError::MissingBaseOp {
+                        what: "b".to_string(),
+                    })?;
+                let uncond_disp =
+                    i64::from(pos[*target_arm]) - (i64::from(br_pos) + 1 + 2);
+                if !link && *cond != Cond::Al && sign_fits(uncond_disp, bal.1) {
+                    BrForm::InvPair
+                } else if *cond == Cond::Al && !link {
+                    BrForm::Dict // should be rare
+                } else if sign_fits(disp, bal.1) && *cond == Cond::Al {
+                    BrForm::Short
+                } else {
+                    BrForm::Dict
+                }
+            };
+            // Forms only grow (monotone), guaranteeing termination.
+            if needed.size(*cond, *link) > forms[i].size(*cond, *link) {
+                forms[i] = needed;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final positions.
+    let mut pos = vec![0u32; program.text.len() + 1];
+    let mut expansion = vec![0u32; program.text.len()];
+    for i in 0..program.text.len() {
+        let mut size = 0u32;
+        for d in &drafts[i] {
+            size += match d {
+                Draft::Branch { cond, link, .. } => forms[i].size(*cond, *link),
+                _ => 1,
+            };
+        }
+        expansion[i] = size;
+        pos[i + 1] = pos[i] + size;
+    }
+
+    // Pass 3: encode.
+    let total = pos[program.text.len()] as usize;
+    let mut words: Vec<u16> = Vec::with_capacity(total);
+    for (i, dv) in drafts.iter().enumerate() {
+        for d in dv {
+            match d {
+                Draft::Op { entry, fields } => {
+                    words.push(pack(&tr.cfg.ops[*entry], *fields, r));
+                }
+                Draft::LocalBranch { entry, skip } => {
+                    debug_assert!(*skip >= 1);
+                    words.push(pack(&tr.cfg.ops[*entry], [*skip - 1, 0, 0], r));
+                }
+                Draft::Branch {
+                    cond,
+                    link,
+                    target_arm,
+                } => {
+                    let (e, w) = {
+                        let fnd = Finder { cfg: &tr.cfg };
+                        fnd.branch(*cond, *link).expect("validated in relaxation")
+                    };
+                    let target_pos = i64::from(pos[*target_arm]);
+                    match forms[i] {
+                        BrForm::Short => {
+                            let here = words.len() as i64;
+                            let disp = target_pos - (here + 2);
+                            debug_assert!(sign_fits(disp, w), "short branch overflow");
+                            words.push(pack(
+                                &tr.cfg.ops[e],
+                                [(disp as u16) & ((1u16 << w) - 1), 0, 0],
+                                r,
+                            ));
+                        }
+                        BrForm::InvPair => {
+                            let inv = cond.inverse();
+                            let (ei, wi) = {
+                                let fnd = Finder { cfg: &tr.cfg };
+                                fnd.branch(inv, false).expect("BIS pairs")
+                            };
+                            // Hop over the unconditional branch:
+                            // displacement 0 lands one past it (pc + 4).
+                            let _ = wi;
+                            words.push(pack(&tr.cfg.ops[ei], [0, 0, 0], r));
+                            let (eb, wb) = {
+                                let fnd = Finder { cfg: &tr.cfg };
+                                fnd.branch(Cond::Al, false).expect("BIS b")
+                            };
+                            let here = words.len() as i64;
+                            let disp = target_pos - (here + 2);
+                            debug_assert!(sign_fits(disp, wb), "pair branch overflow");
+                            words.push(pack(
+                                &tr.cfg.ops[eb],
+                                [(disp as u16) & ((1u16 << wb) - 1), 0, 0],
+                                r,
+                            ));
+                        }
+                        BrForm::Dict => {
+                            // Optional conditional hop, then the always
+                            // exactly-one-instruction target-dictionary load
+                            // and the indirect jump (sizes must match the
+                            // relaxation's accounting).
+                            let cond = *cond;
+                            let link = *link;
+                            let target_addr = TEXT_BASE + (pos[*target_arm] * 2);
+                            let ip = tr.scratch(i)?;
+                            if cond != Cond::Al && !link {
+                                let inv = cond.inverse();
+                                let (ei, _) = {
+                                    let fnd = Finder { cfg: &tr.cfg };
+                                    fnd.branch(inv, false).expect("BIS pairs")
+                                };
+                                // Skip the 2-instruction far sequence:
+                                // displacement 1 (relative to pc + 4).
+                                words.push(pack(&tr.cfg.ops[ei], [1, 0, 0], r));
+                            }
+                            let (lt, ltw) = {
+                                let fnd = Finder { cfg: &tr.cfg };
+                                fnd.load_target().ok_or(TranslateError::MissingBaseOp {
+                                    what: "load-target".to_string(),
+                                })?
+                            };
+                            let idx = tr.target_dict_index(target_addr, ltw, i)?;
+                            words.push(pack(&tr.cfg.ops[lt], [ip, idx, 0], r));
+                            let jr = tr
+                                .finder()
+                                .branch_reg(link)
+                                .ok_or(TranslateError::MissingBaseOp {
+                                    what: "jr/jalr".to_string(),
+                                })?;
+                            words.push(pack(&tr.cfg.ops[jr], [ip, 0, 0], r));
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(words.len() as u32, pos[i + 1], "layout drift at {i}");
+    }
+
+    let entry = pos[program.entry] as usize;
+    Ok(Translation {
+        fits: FitsProgram {
+            instrs: words,
+            data: program.data.clone(),
+            entry,
+            config: tr.cfg,
+        },
+        stats: MappingStats { expansion },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile;
+    use crate::synth::{synthesize, SynthOptions};
+    use fits_kernels::kernels::{Kernel, Scale};
+
+    fn translate_kernel(k: Kernel) -> (Translation, crate::profile::Profile) {
+        let program = k.compile(Scale::test()).unwrap();
+        let p = profile(&program).unwrap();
+        let s = synthesize(&p, &SynthOptions::default());
+        let t = translate(&program, &s.config).unwrap();
+        (t, p)
+    }
+
+    #[test]
+    fn crc32_translates_with_high_mapping_rate() {
+        let (t, p) = translate_kernel(Kernel::Crc32);
+        let stat = t.stats.static_one_to_one_rate();
+        let dynr = t.stats.dynamic_one_to_one_rate(&p.exec_counts);
+        assert!(stat > 0.85, "static 1-to-1 rate {stat}");
+        assert!(dynr > 0.90, "dynamic 1-to-1 rate {dynr}");
+    }
+
+    #[test]
+    fn code_size_is_roughly_halved() {
+        let program = Kernel::Crc32.compile(Scale::test()).unwrap();
+        let p = profile(&program).unwrap();
+        let s = synthesize(&p, &SynthOptions::default());
+        let t = translate(&program, &s.config).unwrap();
+        let ratio = t.fits.code_bytes() as f64 / program.code_bytes() as f64;
+        assert!(ratio < 0.62, "code ratio {ratio}");
+        assert!(ratio >= 0.5, "cannot beat the 2-byte floor: {ratio}");
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        use crate::decoder::Tier;
+        for layout in [
+            Layout::R3,
+            Layout::R2,
+            Layout::R2Imm { w: 5 },
+            Layout::RRImm { w: 4 },
+            Layout::MemImm { w: 4 },
+            Layout::Br { w: 10 },
+            Layout::R1,
+            Layout::Trap { w: 4 },
+        ] {
+            let entry = OpcodeEntry {
+                code: 0b1010 << 12,
+                len: 16 - layout.operand_bits(4),
+                micro: MicroOp::Mul3,
+                layout,
+                tier: Tier::Bis,
+            };
+            let fields = match layout {
+                Layout::R3 => [3u16, 7, 11],
+                Layout::R2 => [5, 9, 0],
+                Layout::R2Imm { .. } => [4, 19, 0],
+                Layout::RRImm { .. } => [2, 6, 9],
+                Layout::MemImm { .. } => [1, 13, 7],
+                Layout::Br { .. } => [0x2a5 & 0x3ff, 0, 0],
+                Layout::R1 => [14, 0, 0],
+                _ => [9, 0, 0],
+            };
+            let word = pack(&entry, fields, 4);
+            let back = unpack(&entry, word, 4);
+            assert_eq!(back, fields, "{layout:?}");
+            assert_eq!(
+                word >> (16 - entry.len),
+                entry.code >> (16 - entry.len),
+                "opcode prefix preserved for {layout:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_counts_match_instruction_stream() {
+        let (t, _) = translate_kernel(Kernel::Bitcount);
+        let total: u32 = t.stats.expansion.iter().sum();
+        assert_eq!(total as usize, t.fits.instrs.len());
+        assert!(t.stats.expansion.iter().all(|&e| e >= 1));
+    }
+}

@@ -1,0 +1,328 @@
+//! Flag-exact ALU semantics shared by the AR32 executor and the synthesized
+//! FITS executor.
+//!
+//! FITS maps its 16-bit opcodes onto the *same* datapath as the native ISA
+//! (the paper's programmable-decoder design), so both executors must agree
+//! bit-for-bit on results and condition flags. Centralizing the semantics
+//! here is what makes the differential tests meaningful.
+
+use crate::{DpOp, Operand2, RotImm, Shift, ShiftKind};
+
+/// The four condition flags (the CPSR's NZCV nibble).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Negative: bit 31 of the result.
+    pub n: bool,
+    /// Zero: result was zero.
+    pub z: bool,
+    /// Carry (or NOT-borrow for subtraction; shifter carry for logical ops).
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+/// The result of evaluating a data-processing operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DpResult {
+    /// The 32-bit result (meaningless for compare ops except via flags).
+    pub value: u32,
+    /// The flags the operation would set if its `S` bit is on.
+    pub flags: Flags,
+}
+
+/// Applies a barrel-shifter operation.
+///
+/// `amount` is the *runtime* amount: for register-specified shifts ARM uses
+/// the low byte of the register, so amounts of 32 and above are meaningful
+/// and handled per the architecture (e.g. `LSL #32` yields 0 with C = old
+/// bit 0). Returns the shifted value and the shifter carry-out.
+#[must_use]
+pub fn barrel_shift(kind: ShiftKind, value: u32, amount: u32, carry_in: bool) -> (u32, bool) {
+    match kind {
+        ShiftKind::Lsl => match amount {
+            0 => (value, carry_in),
+            1..=31 => (value << amount, (value >> (32 - amount)) & 1 != 0),
+            32 => (0, value & 1 != 0),
+            _ => (0, false),
+        },
+        ShiftKind::Lsr => match amount {
+            0 => (value, carry_in),
+            1..=31 => (value >> amount, (value >> (amount - 1)) & 1 != 0),
+            32 => (0, value >> 31 != 0),
+            _ => (0, false),
+        },
+        ShiftKind::Asr => match amount {
+            0 => (value, carry_in),
+            1..=31 => (
+                ((value as i32) >> amount) as u32,
+                (value >> (amount - 1)) & 1 != 0,
+            ),
+            _ => {
+                let fill = if value >> 31 != 0 { u32::MAX } else { 0 };
+                (fill, value >> 31 != 0)
+            }
+        },
+        ShiftKind::Ror => {
+            if amount == 0 {
+                (value, carry_in)
+            } else {
+                let eff = amount % 32;
+                let rotated = value.rotate_right(eff);
+                // ROR by a multiple of 32 leaves the value; C = bit 31.
+                (rotated, rotated >> 31 != 0)
+            }
+        }
+    }
+}
+
+/// Evaluates the shifter operand (`Operand2`) given the register file.
+///
+/// `read_reg` must return the current value of a register (including the
+/// executor's view of the PC if the operand names it). Returns the operand
+/// value and shifter carry-out.
+pub fn shifter_operand(
+    op2: &Operand2,
+    carry_in: bool,
+    mut read_reg: impl FnMut(crate::Reg) -> u32,
+) -> (u32, bool) {
+    match op2 {
+        Operand2::Imm(imm) => (imm.value(), imm.carry_out(carry_in)),
+        Operand2::Reg(rm, shift) => {
+            let base = read_reg(*rm);
+            match shift {
+                Shift::Imm(kind, n) => {
+                    // Encoded amount 0 means 32 for LSR/ASR.
+                    let amount = match (kind, *n) {
+                        (ShiftKind::Lsr | ShiftKind::Asr, 32) => 32,
+                        (_, n) => u32::from(n),
+                    };
+                    barrel_shift(*kind, base, amount, carry_in)
+                }
+                Shift::Reg(kind, rs) => {
+                    let amount = read_reg(*rs) & 0xff;
+                    if amount == 0 {
+                        (base, carry_in)
+                    } else {
+                        barrel_shift(*kind, base, amount, carry_in)
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn add_with_carry(a: u32, b: u32, carry: bool) -> (u32, bool, bool) {
+    let (s1, c1) = a.overflowing_add(b);
+    let (sum, c2) = s1.overflowing_add(u32::from(carry));
+    let carry_out = c1 || c2;
+    let overflow = ((a ^ sum) & (b ^ sum)) >> 31 != 0;
+    (sum, carry_out, overflow)
+}
+
+/// Evaluates a data-processing operation on already-shifted operands.
+///
+/// `a` is the `rn` value, `b` the shifter-operand value, `shifter_carry` the
+/// shifter carry-out, `flags_in` the incoming flags (needed by ADC/SBC/RSC
+/// and to preserve V on logical ops).
+#[must_use]
+pub fn dp_eval(op: DpOp, a: u32, b: u32, shifter_carry: bool, flags_in: Flags) -> DpResult {
+    let logical = |value: u32| DpResult {
+        value,
+        flags: Flags {
+            n: value >> 31 != 0,
+            z: value == 0,
+            c: shifter_carry,
+            v: flags_in.v,
+        },
+    };
+    let arith = |value: u32, c: bool, v: bool| DpResult {
+        value,
+        flags: Flags {
+            n: value >> 31 != 0,
+            z: value == 0,
+            c,
+            v,
+        },
+    };
+    match op {
+        DpOp::And | DpOp::Tst => logical(a & b),
+        DpOp::Eor | DpOp::Teq => logical(a ^ b),
+        DpOp::Orr => logical(a | b),
+        DpOp::Bic => logical(a & !b),
+        DpOp::Mov => logical(b),
+        DpOp::Mvn => logical(!b),
+        DpOp::Add | DpOp::Cmn => {
+            let (s, c, v) = add_with_carry(a, b, false);
+            arith(s, c, v)
+        }
+        DpOp::Adc => {
+            let (s, c, v) = add_with_carry(a, b, flags_in.c);
+            arith(s, c, v)
+        }
+        DpOp::Sub | DpOp::Cmp => {
+            let (s, c, v) = add_with_carry(a, !b, true);
+            arith(s, c, v)
+        }
+        DpOp::Sbc => {
+            let (s, c, v) = add_with_carry(a, !b, flags_in.c);
+            arith(s, c, v)
+        }
+        DpOp::Rsb => {
+            let (s, c, v) = add_with_carry(b, !a, true);
+            arith(s, c, v)
+        }
+        DpOp::Rsc => {
+            let (s, c, v) = add_with_carry(b, !a, flags_in.c);
+            arith(s, c, v)
+        }
+    }
+}
+
+/// Flags produced by a flag-setting multiply (`MULS`/`MLAS`): N and Z from
+/// the result, C and V unchanged (ARMv4 leaves C meaningless; we preserve).
+#[must_use]
+pub fn mul_flags(result: u32, flags_in: Flags) -> Flags {
+    Flags {
+        n: result >> 31 != 0,
+        z: result == 0,
+        c: flags_in.c,
+        v: flags_in.v,
+    }
+}
+
+/// Convenience used by constant materialization: the value denoted by a
+/// rotated immediate.
+#[must_use]
+pub fn rot_imm_value(imm: RotImm) -> u32 {
+    imm.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    const F0: Flags = Flags {
+        n: false,
+        z: false,
+        c: false,
+        v: false,
+    };
+
+    #[test]
+    fn add_flags() {
+        let r = dp_eval(DpOp::Add, 1, 2, false, F0);
+        assert_eq!(r.value, 3);
+        assert!(!r.flags.n && !r.flags.z && !r.flags.c && !r.flags.v);
+
+        // Unsigned wrap sets C.
+        let r = dp_eval(DpOp::Add, u32::MAX, 1, false, F0);
+        assert_eq!(r.value, 0);
+        assert!(r.flags.z && r.flags.c && !r.flags.v);
+
+        // Signed overflow sets V.
+        let r = dp_eval(DpOp::Add, 0x7fff_ffff, 1, false, F0);
+        assert_eq!(r.value, 0x8000_0000);
+        assert!(r.flags.n && r.flags.v && !r.flags.c);
+    }
+
+    #[test]
+    fn sub_borrow_semantics() {
+        // 5 - 3: no borrow -> C set (ARM convention).
+        let r = dp_eval(DpOp::Sub, 5, 3, false, F0);
+        assert_eq!(r.value, 2);
+        assert!(r.flags.c && !r.flags.n);
+
+        // 3 - 5: borrow -> C clear, negative.
+        let r = dp_eval(DpOp::Sub, 3, 5, false, F0);
+        assert_eq!(r.value, (-2i32) as u32);
+        assert!(!r.flags.c && r.flags.n);
+
+        // x - x: zero, C set.
+        let r = dp_eval(DpOp::Cmp, 9, 9, false, F0);
+        assert!(r.flags.z && r.flags.c);
+    }
+
+    #[test]
+    fn adc_sbc_chain() {
+        // 64-bit add: low words wrap, carry feeds the high add.
+        let lo = dp_eval(DpOp::Add, 0xffff_ffff, 2, false, F0);
+        assert!(lo.flags.c);
+        let hi = dp_eval(DpOp::Adc, 1, 0, false, lo.flags);
+        assert_eq!(hi.value, 2);
+
+        // SBC with carry set behaves as plain SUB.
+        let carry_set = Flags { c: true, ..F0 };
+        assert_eq!(dp_eval(DpOp::Sbc, 10, 4, false, carry_set).value, 6);
+        // SBC with carry clear subtracts one more.
+        assert_eq!(dp_eval(DpOp::Sbc, 10, 4, false, F0).value, 5);
+    }
+
+    #[test]
+    fn rsb_reverses() {
+        let r = dp_eval(DpOp::Rsb, 3, 10, false, F0);
+        assert_eq!(r.value, 7);
+        let r = dp_eval(DpOp::Rsc, 3, 10, false, Flags { c: true, ..F0 });
+        assert_eq!(r.value, 7);
+    }
+
+    #[test]
+    fn logical_ops_preserve_v_and_take_shifter_carry() {
+        let vin = Flags { v: true, ..F0 };
+        let r = dp_eval(DpOp::And, 0b1100, 0b1010, true, vin);
+        assert_eq!(r.value, 0b1000);
+        assert!(r.flags.c, "C comes from the shifter");
+        assert!(r.flags.v, "V preserved by logical ops");
+        assert_eq!(dp_eval(DpOp::Mvn, 0, 0, false, F0).value, u32::MAX);
+        assert_eq!(dp_eval(DpOp::Bic, 0xff, 0x0f, false, F0).value, 0xf0);
+    }
+
+    #[test]
+    fn barrel_shift_edge_cases() {
+        assert_eq!(barrel_shift(ShiftKind::Lsl, 1, 0, true), (1, true));
+        assert_eq!(barrel_shift(ShiftKind::Lsl, 1, 31, false), (0x8000_0000, false));
+        assert_eq!(barrel_shift(ShiftKind::Lsl, 3, 32, false), (0, true));
+        assert_eq!(barrel_shift(ShiftKind::Lsl, 3, 33, true), (0, false));
+        assert_eq!(barrel_shift(ShiftKind::Lsr, 0x8000_0000, 31, false), (1, false));
+        assert_eq!(barrel_shift(ShiftKind::Lsr, 0x8000_0000, 32, false), (0, true));
+        assert_eq!(
+            barrel_shift(ShiftKind::Asr, 0x8000_0000, 4, false),
+            (0xf800_0000, false)
+        );
+        assert_eq!(
+            barrel_shift(ShiftKind::Asr, 0x8000_0000, 40, false),
+            (u32::MAX, true)
+        );
+        assert_eq!(barrel_shift(ShiftKind::Asr, 0x7fff_ffff, 40, true), (0, false));
+        assert_eq!(
+            barrel_shift(ShiftKind::Ror, 0x0000_00f0, 4, false),
+            (0x0000_000f, false)
+        );
+        assert_eq!(
+            barrel_shift(ShiftKind::Ror, 0x0000_000f, 4, false),
+            (0xf000_0000, true)
+        );
+    }
+
+    #[test]
+    fn shifter_operand_register_amount_zero_keeps_carry() {
+        let read = |r: Reg| if r == Reg::R1 { 0xabcd } else { 0 };
+        let op2 = Operand2::Reg(Reg::R1, Shift::Reg(ShiftKind::Lsr, Reg::R2));
+        let (v, c) = shifter_operand(&op2, true, read);
+        assert_eq!(v, 0xabcd);
+        assert!(c);
+    }
+
+    #[test]
+    fn mul_flags_touch_only_nz() {
+        let fin = Flags {
+            c: true,
+            v: true,
+            ..F0
+        };
+        let f = mul_flags(0, fin);
+        assert!(f.z && !f.n && f.c && f.v);
+        let f = mul_flags(0x8000_0000, fin);
+        assert!(f.n && !f.z);
+    }
+}

@@ -1,0 +1,209 @@
+use std::fmt;
+
+use crate::alu::Flags;
+
+/// An AR32 condition code, the 4-bit predicate every instruction carries.
+///
+/// Semantics are the standard ARM ones; [`Cond::holds`] evaluates the
+/// predicate against a [`Flags`] snapshot.
+///
+/// ```
+/// use fits_isa::Cond;
+/// use fits_isa::alu::Flags;
+///
+/// let flags = Flags { n: false, z: true, c: true, v: false };
+/// assert!(Cond::Eq.holds(flags));
+/// assert!(!Cond::Ne.holds(flags));
+/// assert!(Cond::Al.holds(flags));
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`Z == 1`).
+    Eq = 0,
+    /// Not equal (`Z == 0`).
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same (`C == 1`).
+    Cs = 2,
+    /// Carry clear / unsigned lower (`C == 0`).
+    Cc = 3,
+    /// Minus / negative (`N == 1`).
+    Mi = 4,
+    /// Plus / positive-or-zero (`N == 0`).
+    Pl = 5,
+    /// Overflow set (`V == 1`).
+    Vs = 6,
+    /// Overflow clear (`V == 0`).
+    Vc = 7,
+    /// Unsigned higher (`C == 1 && Z == 0`).
+    Hi = 8,
+    /// Unsigned lower-or-same (`C == 0 || Z == 1`).
+    Ls = 9,
+    /// Signed greater-or-equal (`N == V`).
+    Ge = 10,
+    /// Signed less-than (`N != V`).
+    Lt = 11,
+    /// Signed greater-than (`Z == 0 && N == V`).
+    Gt = 12,
+    /// Signed less-or-equal (`Z == 1 || N != V`).
+    Le = 13,
+    /// Always.
+    Al = 14,
+    /// Never (the ARM `NV` encoding; retained so decode is total over 0..=15).
+    Nv = 15,
+}
+
+impl Cond {
+    /// All sixteen condition codes, in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+        Cond::Nv,
+    ];
+
+    /// Decodes a 4-bit condition field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 15`.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Cond {
+        Cond::ALL[usize::from(bits)]
+    }
+
+    /// The 4-bit encoding of this condition.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Evaluates the predicate against a flag snapshot.
+    #[must_use]
+    pub fn holds(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+            Cond::Al => true,
+            Cond::Nv => false,
+        }
+    }
+
+    /// The logical inverse of this condition (`EQ` ↔ `NE`, …).
+    ///
+    /// Used by the ARM→FITS translator to rewrite a rarely-used predicated
+    /// instruction as a branch-around with the inverted condition.
+    #[must_use]
+    pub fn inverse(self) -> Cond {
+        Cond::from_bits(self.bits() ^ 1)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+            Cond::Nv => "nv",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(n: bool, z: bool, c: bool, v: bool) -> Flags {
+        Flags { n, z, c, v }
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for cond in Cond::ALL {
+            assert_eq!(Cond::from_bits(cond.bits()), cond);
+        }
+    }
+
+    #[test]
+    fn inverse_pairs() {
+        assert_eq!(Cond::Eq.inverse(), Cond::Ne);
+        assert_eq!(Cond::Ge.inverse(), Cond::Lt);
+        assert_eq!(Cond::Hi.inverse(), Cond::Ls);
+        for cond in Cond::ALL {
+            assert_eq!(cond.inverse().inverse(), cond);
+        }
+    }
+
+    #[test]
+    fn inverse_is_semantic_complement() {
+        for cond in Cond::ALL {
+            // AL/NV are each other's inverse in encoding; skip the pair since
+            // AL is unconditionally true by definition.
+            if cond == Cond::Al || cond == Cond::Nv {
+                continue;
+            }
+            for bits in 0..16u8 {
+                let f = flags(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+                assert_ne!(cond.holds(f), cond.inverse().holds(f), "{cond:?} on {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // 3 - 5: N=1, V=0 -> LT holds.
+        let f = flags(true, false, false, false);
+        assert!(Cond::Lt.holds(f));
+        assert!(!Cond::Ge.holds(f));
+        assert!(Cond::Le.holds(f));
+        assert!(!Cond::Gt.holds(f));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        // 5 - 3 (unsigned): C=1 (no borrow), Z=0 -> HI holds.
+        let f = flags(false, false, true, false);
+        assert!(Cond::Hi.holds(f));
+        assert!(!Cond::Ls.holds(f));
+        assert!(Cond::Cs.holds(f));
+    }
+}

@@ -1,0 +1,291 @@
+//! AR32 instruction decoding.
+
+use std::fmt;
+
+use crate::{
+    AddrOffset, Cond, DpOp, Index, Instr, MemOp, Operand2, Reg, RotImm, Shift, ShiftKind,
+};
+
+/// Error returned when a 32-bit word is not a valid AR32 instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+    reason: &'static str,
+}
+
+impl DecodeError {
+    fn new(word: u32, reason: &'static str) -> DecodeError {
+        DecodeError { word, reason }
+    }
+
+    /// The offending machine word.
+    #[must_use]
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn reg(word: u32, shift: u32) -> Reg {
+    Reg::new(((word >> shift) & 0xf) as u8)
+}
+
+fn decode_shift_imm(word: u32) -> Result<Shift, DecodeError> {
+    let amount = ((word >> 7) & 0x1f) as u8;
+    let kind = ShiftKind::from_bits(((word >> 5) & 3) as u8);
+    let shift = match (kind, amount) {
+        (ShiftKind::Lsl, n) => Shift::Imm(ShiftKind::Lsl, n),
+        (ShiftKind::Lsr, 0) => Shift::Imm(ShiftKind::Lsr, 32),
+        (ShiftKind::Asr, 0) => Shift::Imm(ShiftKind::Asr, 32),
+        (ShiftKind::Ror, 0) => return Err(DecodeError::new(word, "RRX is not supported")),
+        (k, n) => Shift::Imm(k, n),
+    };
+    Ok(shift)
+}
+
+fn decode_op2(word: u32) -> Result<Operand2, DecodeError> {
+    if word & (1 << 25) != 0 {
+        let rot = ((word >> 8) & 0xf) as u8;
+        let imm8 = (word & 0xff) as u8;
+        Ok(Operand2::Imm(RotImm::from_fields(imm8, rot)))
+    } else {
+        let rm = reg(word, 0);
+        if word & (1 << 4) != 0 {
+            if word & (1 << 7) != 0 {
+                return Err(DecodeError::new(word, "bit 7 set in register-shift form"));
+            }
+            let rs = reg(word, 8);
+            let kind = ShiftKind::from_bits(((word >> 5) & 3) as u8);
+            Ok(Operand2::Reg(rm, Shift::Reg(kind, rs)))
+        } else {
+            Ok(Operand2::Reg(rm, decode_shift_imm(word)?))
+        }
+    }
+}
+
+fn decode_index(word: u32) -> Result<Index, DecodeError> {
+    let p = word & (1 << 24) != 0;
+    let w = word & (1 << 21) != 0;
+    match (p, w) {
+        (true, false) => Ok(Index::PreNoWb),
+        (true, true) => Ok(Index::PreWb),
+        (false, false) => Ok(Index::Post),
+        (false, true) => Err(DecodeError::new(word, "post-indexed with W set (T-form)")),
+    }
+}
+
+impl Instr {
+    /// Decodes a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the word does not correspond to an AR32
+    /// instruction (unsupported ARM instruction classes — coprocessor, block
+    /// transfer, RRX shifter forms — or malformed fields).
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let cond = Cond::from_bits((word >> 28) as u8);
+        match (word >> 25) & 0b111 {
+            0b000 => {
+                let bit4 = word & (1 << 4) != 0;
+                let bit7 = word & (1 << 7) != 0;
+                if bit4 && bit7 {
+                    // Multiply or halfword-form transfer.
+                    let sh = (word >> 5) & 3;
+                    if sh == 0 {
+                        // Bits 7..4 == 1001: multiply family.
+                        if (word >> 22) & 0b11_1111 != 0 {
+                            return Err(DecodeError::new(word, "long multiply not supported"));
+                        }
+                        let acc = if word & (1 << 21) != 0 {
+                            Some(reg(word, 12))
+                        } else {
+                            if (word >> 12) & 0xf != 0 {
+                                return Err(DecodeError::new(word, "MUL with nonzero Rn field"));
+                            }
+                            None
+                        };
+                        Ok(Instr::Mul {
+                            cond,
+                            set_flags: word & (1 << 20) != 0,
+                            rd: reg(word, 16),
+                            rm: reg(word, 0),
+                            rs: reg(word, 8),
+                            acc,
+                        })
+                    } else {
+                        let load = word & (1 << 20) != 0;
+                        let op = match (load, sh) {
+                            (true, 0b01) => MemOp::Ldrh,
+                            (false, 0b01) => MemOp::Strh,
+                            (true, 0b10) => MemOp::Ldrsb,
+                            (true, 0b11) => MemOp::Ldrsh,
+                            _ => return Err(DecodeError::new(word, "signed store form")),
+                        };
+                        let up = word & (1 << 23) != 0;
+                        let offset = if word & (1 << 22) != 0 {
+                            let mag = (((word >> 8) & 0xf) << 4 | (word & 0xf)) as i32;
+                            AddrOffset::Imm(if up { mag } else { -mag })
+                        } else {
+                            if (word >> 8) & 0xf != 0 {
+                                return Err(DecodeError::new(word, "halfword reg offset hi bits"));
+                            }
+                            AddrOffset::Reg {
+                                rm: reg(word, 0),
+                                shift: Shift::NONE,
+                                subtract: !up,
+                            }
+                        };
+                        Ok(Instr::Mem {
+                            cond,
+                            op,
+                            rd: reg(word, 12),
+                            rn: reg(word, 16),
+                            offset,
+                            index: decode_index(word)?,
+                        })
+                    }
+                } else {
+                    Self::decode_dp(word, cond)
+                }
+            }
+            0b001 => Self::decode_dp(word, cond),
+            0b010 | 0b011 => {
+                let load = word & (1 << 20) != 0;
+                let byte = word & (1 << 22) != 0;
+                let op = match (load, byte) {
+                    (true, false) => MemOp::Ldr,
+                    (false, false) => MemOp::Str,
+                    (true, true) => MemOp::Ldrb,
+                    (false, true) => MemOp::Strb,
+                };
+                let up = word & (1 << 23) != 0;
+                let offset = if word & (1 << 25) != 0 {
+                    if word & (1 << 4) != 0 {
+                        return Err(DecodeError::new(word, "register-shift memory offset"));
+                    }
+                    AddrOffset::Reg {
+                        rm: reg(word, 0),
+                        shift: decode_shift_imm(word)?,
+                        subtract: !up,
+                    }
+                } else {
+                    let mag = (word & 0xfff) as i32;
+                    AddrOffset::Imm(if up { mag } else { -mag })
+                };
+                Ok(Instr::Mem {
+                    cond,
+                    op,
+                    rd: reg(word, 12),
+                    rn: reg(word, 16),
+                    offset,
+                    index: decode_index(word)?,
+                })
+            }
+            0b101 => {
+                let raw = word & 0x00ff_ffff;
+                // Sign-extend the 24-bit field.
+                let offset = ((raw << 8) as i32) >> 8;
+                Ok(Instr::Branch {
+                    cond,
+                    link: word & (1 << 24) != 0,
+                    offset,
+                })
+            }
+            0b111 if (word >> 24) & 0xf == 0b1111 => Ok(Instr::Swi {
+                cond,
+                imm: word & 0x00ff_ffff,
+            }),
+            _ => Err(DecodeError::new(word, "unsupported instruction class")),
+        }
+    }
+
+    fn decode_dp(word: u32, cond: Cond) -> Result<Instr, DecodeError> {
+        let op = DpOp::from_bits(((word >> 21) & 0xf) as u8);
+        let set_flags = word & (1 << 20) != 0;
+        if op.is_compare() && !set_flags {
+            return Err(DecodeError::new(word, "PSR transfer (compare without S)"));
+        }
+        Ok(Instr::Dp {
+            cond,
+            op,
+            set_flags,
+            rd: reg(word, 12),
+            rn: reg(word, 16),
+            op2: decode_op2(word)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, DpOp};
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            Instr::decode(0xe281_0004).unwrap(),
+            Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::imm(4).unwrap())
+        );
+        assert_eq!(
+            Instr::decode(0xe1a0_2003).unwrap(),
+            Instr::mov(Reg::R2, Operand2::reg(Reg::R3))
+        );
+        assert_eq!(
+            Instr::decode(0xea00_0002).unwrap(),
+            Instr::b(2)
+        );
+        assert_eq!(
+            Instr::decode(0xebff_fffe).unwrap(),
+            Instr::Branch {
+                cond: Cond::Al,
+                link: true,
+                offset: -2
+            }
+        );
+        assert_eq!(
+            Instr::decode(0xe000_0291).unwrap(),
+            Instr::mul(Reg::R0, Reg::R1, Reg::R2)
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_classes() {
+        // Block data transfer (LDM/STM): bits 27..25 = 100.
+        assert!(Instr::decode(0xe8bd_8000).is_err());
+        // Coprocessor op.
+        assert!(Instr::decode(0xee00_0000).is_err());
+        // MRS (compare without S).
+        assert!(Instr::decode(0xe10f_0000).is_err());
+        // RRX shifter form (ROR #0 on a DP register operand).
+        assert!(Instr::decode(0xe1a0_0062).is_err());
+        // Long multiply (UMULL).
+        assert!(Instr::decode(0xe080_0291).is_err());
+    }
+
+    #[test]
+    fn lsr32_round_trips_via_zero_amount() {
+        let i = Instr::mov(
+            Reg::R0,
+            Operand2::Reg(Reg::R1, Shift::Imm(ShiftKind::Lsr, 32)),
+        );
+        let w = i.encode();
+        assert_eq!((w >> 7) & 0x1f, 0, "LSR #32 encodes amount 0");
+        assert_eq!(Instr::decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn negative_displacement_round_trips() {
+        let i = Instr::mem(MemOp::Ldrh, Reg::R0, Reg::R1, -40);
+        assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+        let i = Instr::mem(MemOp::Str, Reg::R3, Reg::SP, -4092);
+        assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+    }
+}

@@ -1,0 +1,222 @@
+//! AR32 instruction encoding, following the classic ARM 32-bit layouts.
+
+use crate::{AddrOffset, Index, Instr, MemOp, Operand2, Shift};
+
+fn encode_shift_fields(shift: Shift) -> u32 {
+    match shift {
+        Shift::Imm(kind, amount) => {
+            debug_assert!(shift.is_valid(), "invalid shift {shift:?}");
+            // LSR/ASR #32 are encoded with a zero amount field.
+            let field = if amount == 32 { 0 } else { u32::from(amount) };
+            (field << 7) | (u32::from(kind.bits()) << 5)
+        }
+        Shift::Reg(kind, rs) => {
+            (u32::from(rs.index()) << 8) | (u32::from(kind.bits()) << 5) | (1 << 4)
+        }
+    }
+}
+
+impl Instr {
+    /// Encodes the instruction to its 32-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a field is out of range — e.g. a branch
+    /// offset beyond 24 bits or an invalid displacement. The kernel compiler
+    /// and the translator only construct in-range instructions; the encoder
+    /// asserts rather than silently truncating.
+    #[must_use]
+    pub fn encode(&self) -> u32 {
+        let cond = u32::from(self.cond().bits()) << 28;
+        match *self {
+            Instr::Dp {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+                ..
+            } => {
+                let s = u32::from(set_flags) << 20;
+                let base = cond
+                    | (u32::from(op.bits()) << 21)
+                    | s
+                    | (u32::from(rn.index()) << 16)
+                    | (u32::from(rd.index()) << 12);
+                match op2 {
+                    Operand2::Imm(imm) => {
+                        base | (1 << 25) | (u32::from(imm.rot()) << 8) | u32::from(imm.imm8())
+                    }
+                    Operand2::Reg(rm, shift) => {
+                        base | encode_shift_fields(shift) | u32::from(rm.index())
+                    }
+                }
+            }
+            Instr::Mul {
+                set_flags,
+                rd,
+                rm,
+                rs,
+                acc,
+                ..
+            } => {
+                let a = u32::from(acc.is_some()) << 21;
+                let rn = acc.map_or(0, |r| u32::from(r.index())) << 12;
+                cond | a
+                    | (u32::from(set_flags) << 20)
+                    | (u32::from(rd.index()) << 16)
+                    | rn
+                    | (u32::from(rs.index()) << 8)
+                    | (0b1001 << 4)
+                    | u32::from(rm.index())
+            }
+            Instr::Mem {
+                op,
+                rd,
+                rn,
+                offset,
+                index,
+                ..
+            } => {
+                debug_assert!(offset.is_valid_for(op), "offset {offset:?} invalid for {op}");
+                let (p, w) = match index {
+                    Index::PreNoWb => (1u32, 0u32),
+                    Index::PreWb => (1, 1),
+                    Index::Post => (0, 0),
+                };
+                let l = u32::from(op.is_load());
+                let regs = (u32::from(rn.index()) << 16) | (u32::from(rd.index()) << 12);
+                if op.is_halfword_form() {
+                    // Halfword / signed-byte transfer form.
+                    let (s, h) = match op {
+                        MemOp::Ldrh | MemOp::Strh => (0u32, 1u32),
+                        MemOp::Ldrsb => (1, 0),
+                        MemOp::Ldrsh => (1, 1),
+                        _ => unreachable!(),
+                    };
+                    let (u, i, off_hi, off_lo) = match offset {
+                        AddrOffset::Imm(d) => {
+                            let mag = d.unsigned_abs();
+                            (u32::from(d >= 0), 1u32, mag >> 4, mag & 0xf)
+                        }
+                        AddrOffset::Reg { rm, subtract, .. } => {
+                            (u32::from(!subtract), 0, 0, u32::from(rm.index()))
+                        }
+                    };
+                    cond | (p << 24)
+                        | (u << 23)
+                        | (i << 22)
+                        | (w << 21)
+                        | (l << 20)
+                        | regs
+                        | (off_hi << 8)
+                        | (1 << 7)
+                        | (s << 6)
+                        | (h << 5)
+                        | (1 << 4)
+                        | off_lo
+                } else {
+                    // Single data transfer (word / unsigned byte).
+                    let b = u32::from(matches!(op, MemOp::Ldrb | MemOp::Strb));
+                    let (u, i, off) = match offset {
+                        AddrOffset::Imm(d) => (u32::from(d >= 0), 0u32, d.unsigned_abs()),
+                        AddrOffset::Reg {
+                            rm,
+                            shift,
+                            subtract,
+                        } => (
+                            u32::from(!subtract),
+                            1,
+                            encode_shift_fields(shift) | u32::from(rm.index()),
+                        ),
+                    };
+                    cond | (0b01 << 26)
+                        | (i << 25)
+                        | (p << 24)
+                        | (u << 23)
+                        | (b << 22)
+                        | (w << 21)
+                        | (l << 20)
+                        | regs
+                        | off
+                }
+            }
+            Instr::Branch { link, offset, .. } => {
+                debug_assert!(
+                    (-(1 << 23)..(1 << 23)).contains(&offset),
+                    "branch offset {offset} exceeds 24 bits"
+                );
+                cond | (0b101 << 25) | (u32::from(link) << 24) | ((offset as u32) & 0x00ff_ffff)
+            }
+            Instr::Swi { imm, .. } => {
+                debug_assert!(imm < (1 << 24), "swi number {imm} exceeds 24 bits");
+                cond | (0b1111 << 24) | imm
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, DpOp, Reg, RotImm};
+
+    #[test]
+    fn known_encodings() {
+        // add r0, r1, #4  ->  cond=AL(0xE), I=1, op=ADD(0100), rn=1, rd=0.
+        let add = Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::imm(4).unwrap());
+        assert_eq!(add.encode(), 0xe281_0004);
+
+        // mov r2, r3 -> 0xe1a02003
+        let mov = Instr::mov(Reg::R2, Operand2::reg(Reg::R3));
+        assert_eq!(mov.encode(), 0xe1a0_2003);
+
+        // cmp r1, #0 -> 0xe3510000
+        let cmp = Instr::cmp(Reg::R1, Operand2::imm(0).unwrap());
+        assert_eq!(cmp.encode(), 0xe351_0000);
+
+        // ldr r0, [r1, #8] -> 0xe5910008
+        let ldr = Instr::mem(MemOp::Ldr, Reg::R0, Reg::R1, 8);
+        assert_eq!(ldr.encode(), 0xe591_0008);
+
+        // str r0, [r1, #-4] -> 0xe5010004 (U=0)
+        let str_ = Instr::mem(MemOp::Str, Reg::R0, Reg::R1, -4);
+        assert_eq!(str_.encode(), 0xe501_0004);
+
+        // b +8 (offset field 2) -> 0xea000002
+        assert_eq!(Instr::b(2).encode(), 0xea00_0002);
+
+        // bl backwards -> offset sign bits fill the 24-bit field.
+        let bl = Instr::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: -2,
+        };
+        assert_eq!(bl.encode(), 0xebff_fffe);
+
+        // mul r0, r1, r2 -> 0xe0000291
+        assert_eq!(Instr::mul(Reg::R0, Reg::R1, Reg::R2).encode(), 0xe000_0291);
+
+        // swi #17 -> 0xef000011
+        let swi = Instr::Swi {
+            cond: Cond::Al,
+            imm: 17,
+        };
+        assert_eq!(swi.encode(), 0xef00_0011);
+    }
+
+    #[test]
+    fn rotated_immediate_fields() {
+        let imm = RotImm::encode(0xff00).unwrap();
+        let add = Instr::dp(DpOp::Add, Reg::R0, Reg::R0, Operand2::Imm(imm));
+        let word = add.encode();
+        assert_eq!(word & 0xff, u32::from(imm.imm8()));
+        assert_eq!((word >> 8) & 0xf, u32::from(imm.rot()));
+    }
+
+    #[test]
+    fn conditional_encodes_in_top_nibble() {
+        let i = Instr::b(0).with_cond(Cond::Ne);
+        assert_eq!(i.encode() >> 28, 1);
+    }
+}

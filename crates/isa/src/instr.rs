@@ -1,0 +1,480 @@
+use std::fmt;
+
+use crate::{AddrOffset, Cond, DpOp, Index, MemOp, Operand2, Reg, Shift};
+
+/// A broad instruction category, used by the profiler and the FITS format
+/// allocator (the paper's four categories: operate, memory, branch, trap —
+/// Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstrClass {
+    /// Data-processing and multiply instructions.
+    Operate,
+    /// Loads and stores.
+    Memory,
+    /// Branches (including branch-and-link and register jumps).
+    Branch,
+    /// Software interrupts / traps.
+    Trap,
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstrClass::Operate => "operate",
+            InstrClass::Memory => "memory",
+            InstrClass::Branch => "branch",
+            InstrClass::Trap => "trap",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One AR32 instruction.
+///
+/// Every variant carries its condition code. Branch offsets are stored the
+/// way the hardware sees them: a signed *word* offset relative to `PC + 8`
+/// (two instructions ahead of the branch), exactly as in ARM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// A data-processing instruction (`ADD`, `CMP`, `MOV`, …).
+    Dp {
+        /// Condition code.
+        cond: Cond,
+        /// Operation.
+        op: DpOp,
+        /// Whether to update the flags (`S` bit). Compare ops always do.
+        set_flags: bool,
+        /// Destination register (ignored for compare ops).
+        rd: Reg,
+        /// First source register (ignored for MOV/MVN).
+        rn: Reg,
+        /// Flexible second operand.
+        op2: Operand2,
+    },
+    /// Multiply / multiply-accumulate: `rd = rm * rs (+ rn)`.
+    Mul {
+        /// Condition code.
+        cond: Cond,
+        /// Whether to update N and Z.
+        set_flags: bool,
+        /// Destination register.
+        rd: Reg,
+        /// Multiplicand.
+        rm: Reg,
+        /// Multiplier.
+        rs: Reg,
+        /// Accumulator register (`Some` makes this an `MLA`).
+        acc: Option<Reg>,
+    },
+    /// A load or store.
+    Mem {
+        /// Condition code.
+        cond: Cond,
+        /// Operation (size/direction/extension).
+        op: MemOp,
+        /// Data register (destination for loads, source for stores).
+        rd: Reg,
+        /// Base address register.
+        rn: Reg,
+        /// Offset.
+        offset: AddrOffset,
+        /// Indexing / writeback mode.
+        index: Index,
+    },
+    /// A PC-relative branch. `offset` is in words relative to `PC + 8`.
+    Branch {
+        /// Condition code.
+        cond: Cond,
+        /// Whether to write the return address to `lr` (`BL`).
+        link: bool,
+        /// Signed word offset from `PC + 8` (24-bit range).
+        offset: i32,
+    },
+    /// A software interrupt (trap) with a 24-bit comment field.
+    Swi {
+        /// Condition code.
+        cond: Cond,
+        /// 24-bit trap number.
+        imm: u32,
+    },
+}
+
+impl Instr {
+    /// Builds an unconditional, non-flag-setting data-processing instruction.
+    #[must_use]
+    pub fn dp(op: DpOp, rd: Reg, rn: Reg, op2: Operand2) -> Instr {
+        Instr::Dp {
+            cond: Cond::Al,
+            op,
+            set_flags: op.is_compare(),
+            rd,
+            rn,
+            op2,
+        }
+    }
+
+    /// Builds an unconditional `MOV rd, op2`.
+    #[must_use]
+    pub fn mov(rd: Reg, op2: Operand2) -> Instr {
+        Instr::dp(DpOp::Mov, rd, Reg::R0, op2)
+    }
+
+    /// Builds an unconditional `CMP rn, op2`.
+    #[must_use]
+    pub fn cmp(rn: Reg, op2: Operand2) -> Instr {
+        Instr::dp(DpOp::Cmp, Reg::R0, rn, op2)
+    }
+
+    /// Builds an unconditional `MUL rd, rm, rs`.
+    #[must_use]
+    pub fn mul(rd: Reg, rm: Reg, rs: Reg) -> Instr {
+        Instr::Mul {
+            cond: Cond::Al,
+            set_flags: false,
+            rd,
+            rm,
+            rs,
+            acc: None,
+        }
+    }
+
+    /// Builds an unconditional load/store with a pre-indexed immediate
+    /// displacement and no writeback.
+    #[must_use]
+    pub fn mem(op: MemOp, rd: Reg, rn: Reg, disp: i32) -> Instr {
+        Instr::Mem {
+            cond: Cond::Al,
+            op,
+            rd,
+            rn,
+            offset: AddrOffset::Imm(disp),
+            index: Index::PreNoWb,
+        }
+    }
+
+    /// Builds an unconditional branch with the given word offset from
+    /// `PC + 8`.
+    #[must_use]
+    pub fn b(offset: i32) -> Instr {
+        Instr::Branch {
+            cond: Cond::Al,
+            link: false,
+            offset,
+        }
+    }
+
+    /// The instruction's condition code.
+    #[must_use]
+    pub fn cond(&self) -> Cond {
+        match *self {
+            Instr::Dp { cond, .. }
+            | Instr::Mul { cond, .. }
+            | Instr::Mem { cond, .. }
+            | Instr::Branch { cond, .. }
+            | Instr::Swi { cond, .. } => cond,
+        }
+    }
+
+    /// Returns a copy with the condition replaced.
+    #[must_use]
+    pub fn with_cond(mut self, new: Cond) -> Instr {
+        match &mut self {
+            Instr::Dp { cond, .. }
+            | Instr::Mul { cond, .. }
+            | Instr::Mem { cond, .. }
+            | Instr::Branch { cond, .. }
+            | Instr::Swi { cond, .. } => *cond = new,
+        }
+        self
+    }
+
+    /// The broad category this instruction falls in.
+    #[must_use]
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Dp { .. } | Instr::Mul { .. } => InstrClass::Operate,
+            Instr::Mem { .. } => InstrClass::Memory,
+            // Writing the PC with a data-processing op is still classified
+            // as Operate here; `is_control_flow` captures the jump aspect.
+            Instr::Branch { .. } => InstrClass::Branch,
+            Instr::Swi { .. } => InstrClass::Trap,
+        }
+    }
+
+    /// Whether executing this instruction may redirect the PC.
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        match self {
+            Instr::Branch { .. } | Instr::Swi { .. } => true,
+            Instr::Dp { rd, op, .. } => rd.is_pc() && !op.is_compare(),
+            Instr::Mem { op, rd, .. } => op.is_load() && rd.is_pc(),
+            Instr::Mul { .. } => false,
+        }
+    }
+
+    /// Registers this instruction reads.
+    #[must_use]
+    pub fn reads(&self) -> Vec<Reg> {
+        let mut out = Vec::with_capacity(3);
+        match self {
+            Instr::Dp { op, rn, op2, .. } => {
+                if !op.ignores_rn() {
+                    out.push(*rn);
+                }
+                out.extend(op2.reads());
+            }
+            Instr::Mul { rm, rs, acc, .. } => {
+                out.push(*rm);
+                out.push(*rs);
+                if let Some(rn) = acc {
+                    out.push(*rn);
+                }
+            }
+            Instr::Mem {
+                op, rd, rn, offset, ..
+            } => {
+                out.push(*rn);
+                if let AddrOffset::Reg { rm, .. } = offset {
+                    out.push(*rm);
+                }
+                if !op.is_load() {
+                    out.push(*rd);
+                }
+            }
+            Instr::Branch { .. } | Instr::Swi { .. } => {}
+        }
+        out
+    }
+
+    /// Registers this instruction writes.
+    #[must_use]
+    pub fn writes(&self) -> Vec<Reg> {
+        let mut out = Vec::with_capacity(2);
+        match self {
+            Instr::Dp { op, rd, .. } => {
+                if !op.is_compare() {
+                    out.push(*rd);
+                }
+            }
+            Instr::Mul { rd, .. } => out.push(*rd),
+            Instr::Mem {
+                op, rd, rn, index, ..
+            } => {
+                if op.is_load() {
+                    out.push(*rd);
+                }
+                if index.writes_base() {
+                    out.push(*rn);
+                }
+            }
+            Instr::Branch { link, .. } => {
+                if *link {
+                    out.push(Reg::LR);
+                }
+            }
+            Instr::Swi { .. } => {}
+        }
+        out
+    }
+
+    /// Whether this instruction updates the condition flags.
+    #[must_use]
+    pub fn sets_flags(&self) -> bool {
+        match self {
+            Instr::Dp { set_flags, .. } | Instr::Mul { set_flags, .. } => *set_flags,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Dp {
+                cond,
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+            } => {
+                let s = if *set_flags && !op.is_compare() { "s" } else { "" };
+                if op.is_compare() {
+                    write!(f, "{op}{cond} {rn}, {op2}")
+                } else if op.ignores_rn() {
+                    write!(f, "{op}{cond}{s} {rd}, {op2}")
+                } else {
+                    write!(f, "{op}{cond}{s} {rd}, {rn}, {op2}")
+                }
+            }
+            Instr::Mul {
+                cond,
+                set_flags,
+                rd,
+                rm,
+                rs,
+                acc,
+            } => {
+                let s = if *set_flags { "s" } else { "" };
+                match acc {
+                    Some(rn) => write!(f, "mla{cond}{s} {rd}, {rm}, {rs}, {rn}"),
+                    None => write!(f, "mul{cond}{s} {rd}, {rm}, {rs}"),
+                }
+            }
+            Instr::Mem {
+                cond,
+                op,
+                rd,
+                rn,
+                offset,
+                index,
+            } => {
+                write!(f, "{op}{cond} {rd}, [{rn}")?;
+                let off = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    match offset {
+                        AddrOffset::Imm(0) => Ok(()),
+                        AddrOffset::Imm(d) => write!(f, ", #{d}"),
+                        AddrOffset::Reg {
+                            rm,
+                            shift,
+                            subtract,
+                        } => {
+                            let sign = if *subtract { "-" } else { "" };
+                            match shift {
+                                &Shift::NONE => write!(f, ", {sign}{rm}"),
+                                s => write!(f, ", {sign}{rm}{s}"),
+                            }
+                        }
+                    }
+                };
+                match index {
+                    Index::PreNoWb => {
+                        off(f)?;
+                        write!(f, "]")
+                    }
+                    Index::PreWb => {
+                        off(f)?;
+                        write!(f, "]!")
+                    }
+                    Index::Post => {
+                        write!(f, "]")?;
+                        off(f)
+                    }
+                }
+            }
+            Instr::Branch { cond, link, offset } => {
+                let l = if *link { "l" } else { "" };
+                write!(f, "b{l}{cond} {:+}", offset * 4)
+            }
+            Instr::Swi { cond, imm } => write!(f, "swi{cond} #{imm}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShiftKind;
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::reg(Reg::R2)).class(),
+            InstrClass::Operate
+        );
+        assert_eq!(Instr::mem(MemOp::Ldr, Reg::R0, Reg::R1, 4).class(), InstrClass::Memory);
+        assert_eq!(Instr::b(-2).class(), InstrClass::Branch);
+        assert_eq!(
+            Instr::Swi {
+                cond: Cond::Al,
+                imm: 0
+            }
+            .class(),
+            InstrClass::Trap
+        );
+    }
+
+    #[test]
+    fn control_flow_detection() {
+        assert!(Instr::b(0).is_control_flow());
+        assert!(Instr::mov(Reg::PC, Operand2::reg(Reg::LR)).is_control_flow());
+        assert!(!Instr::mov(Reg::R0, Operand2::reg(Reg::LR)).is_control_flow());
+        assert!(!Instr::cmp(Reg::PC, Operand2::imm(0).unwrap()).is_control_flow());
+        assert!(Instr::mem(MemOp::Ldr, Reg::PC, Reg::SP, 0).is_control_flow());
+        assert!(!Instr::mem(MemOp::Str, Reg::PC, Reg::SP, 0).is_control_flow());
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let add = Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::reg(Reg::R2));
+        assert_eq!(add.reads(), vec![Reg::R1, Reg::R2]);
+        assert_eq!(add.writes(), vec![Reg::R0]);
+
+        let cmp = Instr::cmp(Reg::R3, Operand2::imm(1).unwrap());
+        assert_eq!(cmp.reads(), vec![Reg::R3]);
+        assert!(cmp.writes().is_empty());
+        assert!(cmp.sets_flags());
+
+        let store = Instr::mem(MemOp::Str, Reg::R4, Reg::R5, 8);
+        assert_eq!(store.reads(), vec![Reg::R5, Reg::R4]);
+        assert!(store.writes().is_empty());
+
+        let post = Instr::Mem {
+            cond: Cond::Al,
+            op: MemOp::Ldr,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: AddrOffset::Imm(4),
+            index: Index::Post,
+        };
+        assert_eq!(post.writes(), vec![Reg::R0, Reg::R1]);
+
+        let bl = Instr::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: 10,
+        };
+        assert_eq!(bl.writes(), vec![Reg::LR]);
+
+        let mla = Instr::Mul {
+            cond: Cond::Al,
+            set_flags: false,
+            rd: Reg::R0,
+            rm: Reg::R1,
+            rs: Reg::R2,
+            acc: Some(Reg::R3),
+        };
+        assert_eq!(mla.reads(), vec![Reg::R1, Reg::R2, Reg::R3]);
+    }
+
+    #[test]
+    fn display_assembly() {
+        assert_eq!(
+            Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::imm(4).unwrap()).to_string(),
+            "add r0, r1, #4"
+        );
+        assert_eq!(Instr::mov(Reg::R2, Operand2::reg(Reg::R3)).to_string(), "mov r2, r3");
+        assert_eq!(Instr::cmp(Reg::R1, Operand2::imm(0).unwrap()).to_string(), "cmp r1, #0");
+        assert_eq!(
+            Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::reg(Reg::R2))
+                .with_cond(Cond::Ne)
+                .to_string(),
+            "addne r0, r1, r2"
+        );
+        assert_eq!(Instr::mem(MemOp::Ldrb, Reg::R0, Reg::R1, 3).to_string(), "ldrb r0, [r1, #3]");
+        let idx = Instr::Mem {
+            cond: Cond::Al,
+            op: MemOp::Ldr,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: AddrOffset::Reg {
+                rm: Reg::R2,
+                shift: Shift::Imm(ShiftKind::Lsl, 2),
+                subtract: false,
+            },
+            index: Index::PreNoWb,
+        };
+        assert_eq!(idx.to_string(), "ldr r0, [r1, r2, lsl #2]");
+        assert_eq!(Instr::b(-2).to_string(), "b -8");
+    }
+}

@@ -1,0 +1,564 @@
+use std::fmt;
+
+use crate::Reg;
+
+/// The sixteen ARM data-processing opcodes, in their 4-bit encoding order.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum DpOp {
+    /// Bitwise AND: `rd = rn & op2`.
+    And = 0,
+    /// Bitwise exclusive OR: `rd = rn ^ op2`.
+    Eor = 1,
+    /// Subtract: `rd = rn - op2`.
+    Sub = 2,
+    /// Reverse subtract: `rd = op2 - rn`.
+    Rsb = 3,
+    /// Add: `rd = rn + op2`.
+    Add = 4,
+    /// Add with carry: `rd = rn + op2 + C`.
+    Adc = 5,
+    /// Subtract with carry: `rd = rn - op2 - !C`.
+    Sbc = 6,
+    /// Reverse subtract with carry: `rd = op2 - rn - !C`.
+    Rsc = 7,
+    /// Test bits (AND, flags only).
+    Tst = 8,
+    /// Test equivalence (EOR, flags only).
+    Teq = 9,
+    /// Compare (SUB, flags only).
+    Cmp = 10,
+    /// Compare negative (ADD, flags only).
+    Cmn = 11,
+    /// Bitwise OR: `rd = rn | op2`.
+    Orr = 12,
+    /// Move: `rd = op2` (`rn` ignored).
+    Mov = 13,
+    /// Bit clear: `rd = rn & !op2`.
+    Bic = 14,
+    /// Move NOT: `rd = !op2` (`rn` ignored).
+    Mvn = 15,
+}
+
+impl DpOp {
+    /// All sixteen opcodes in encoding order.
+    pub const ALL: [DpOp; 16] = [
+        DpOp::And,
+        DpOp::Eor,
+        DpOp::Sub,
+        DpOp::Rsb,
+        DpOp::Add,
+        DpOp::Adc,
+        DpOp::Sbc,
+        DpOp::Rsc,
+        DpOp::Tst,
+        DpOp::Teq,
+        DpOp::Cmp,
+        DpOp::Cmn,
+        DpOp::Orr,
+        DpOp::Mov,
+        DpOp::Bic,
+        DpOp::Mvn,
+    ];
+
+    /// Decodes a 4-bit opcode field.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> DpOp {
+        DpOp::ALL[usize::from(bits & 0xf)]
+    }
+
+    /// The 4-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether the op writes only flags (TST/TEQ/CMP/CMN): no destination.
+    #[must_use]
+    pub fn is_compare(self) -> bool {
+        matches!(self, DpOp::Tst | DpOp::Teq | DpOp::Cmp | DpOp::Cmn)
+    }
+
+    /// Whether the op ignores its first source register (MOV/MVN).
+    #[must_use]
+    pub fn ignores_rn(self) -> bool {
+        matches!(self, DpOp::Mov | DpOp::Mvn)
+    }
+
+    /// Whether the op is arithmetic (sets C/V from the adder) as opposed to
+    /// logical (sets C from the shifter, leaves V).
+    #[must_use]
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            DpOp::Sub
+                | DpOp::Rsb
+                | DpOp::Add
+                | DpOp::Adc
+                | DpOp::Sbc
+                | DpOp::Rsc
+                | DpOp::Cmp
+                | DpOp::Cmn
+        )
+    }
+}
+
+impl fmt::Display for DpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DpOp::And => "and",
+            DpOp::Eor => "eor",
+            DpOp::Sub => "sub",
+            DpOp::Rsb => "rsb",
+            DpOp::Add => "add",
+            DpOp::Adc => "adc",
+            DpOp::Sbc => "sbc",
+            DpOp::Rsc => "rsc",
+            DpOp::Tst => "tst",
+            DpOp::Teq => "teq",
+            DpOp::Cmp => "cmp",
+            DpOp::Cmn => "cmn",
+            DpOp::Orr => "orr",
+            DpOp::Mov => "mov",
+            DpOp::Bic => "bic",
+            DpOp::Mvn => "mvn",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A barrel-shifter operation kind.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ShiftKind {
+    /// Logical shift left.
+    Lsl = 0,
+    /// Logical shift right.
+    Lsr = 1,
+    /// Arithmetic shift right.
+    Asr = 2,
+    /// Rotate right.
+    Ror = 3,
+}
+
+impl ShiftKind {
+    /// Decodes the 2-bit shift-type field.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> ShiftKind {
+        match bits & 3 {
+            0 => ShiftKind::Lsl,
+            1 => ShiftKind::Lsr,
+            2 => ShiftKind::Asr,
+            _ => ShiftKind::Ror,
+        }
+    }
+
+    /// The 2-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for ShiftKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ShiftKind::Lsl => "lsl",
+            ShiftKind::Lsr => "lsr",
+            ShiftKind::Asr => "asr",
+            ShiftKind::Ror => "ror",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A barrel-shifter specification applied to a register operand.
+///
+/// Immediate amounts follow the ARM canonical ranges: `LSL` takes `0..=31`
+/// (where 0 means "no shift"), `LSR`/`ASR` take `1..=32` (32 is encoded as a
+/// zero amount field), and `ROR` takes `1..=31` (`ROR #0` would encode `RRX`,
+/// which AR32 does not provide).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Shift {
+    /// Shift by a constant amount.
+    Imm(ShiftKind, u8),
+    /// Shift by the low byte of a register.
+    Reg(ShiftKind, Reg),
+}
+
+impl Shift {
+    /// No shift at all (`LSL #0`).
+    pub const NONE: Shift = Shift::Imm(ShiftKind::Lsl, 0);
+
+    /// Validates the immediate amount ranges described on the type.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        match self {
+            Shift::Imm(ShiftKind::Lsl, n) => n <= 31,
+            Shift::Imm(ShiftKind::Lsr | ShiftKind::Asr, n) => (1..=32).contains(&n),
+            Shift::Imm(ShiftKind::Ror, n) => (1..=31).contains(&n),
+            Shift::Reg(..) => true,
+        }
+    }
+}
+
+impl fmt::Display for Shift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shift::Imm(ShiftKind::Lsl, 0) => Ok(()),
+            Shift::Imm(kind, n) => write!(f, ", {kind} #{n}"),
+            Shift::Reg(kind, r) => write!(f, ", {kind} {r}"),
+        }
+    }
+}
+
+/// An ARM "rotated immediate": an 8-bit value rotated right by `2 * rot`.
+///
+/// This is the only immediate form data-processing instructions accept, and
+/// its limited expressiveness is exactly what the kernel compiler's constant
+/// materializer and the FITS immediate-dictionary synthesis have to work
+/// around.
+///
+/// ```
+/// use fits_isa::RotImm;
+/// assert_eq!(RotImm::encode(0xff00).unwrap().value(), 0xff00);
+/// assert!(RotImm::encode(0x1234_5678).is_none());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RotImm {
+    imm8: u8,
+    rot: u8,
+}
+
+impl RotImm {
+    /// Builds from raw fields. `rot` is the 4-bit rotation count (the value
+    /// is rotated right by `2 * rot`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rot > 15`.
+    #[must_use]
+    pub fn from_fields(imm8: u8, rot: u8) -> RotImm {
+        assert!(rot < 16, "rotation field {rot} out of range");
+        RotImm { imm8, rot }
+    }
+
+    /// Tries to encode an arbitrary 32-bit constant, choosing the smallest
+    /// rotation that works (the canonical ARM assembler behaviour). Returns
+    /// `None` if the constant is not expressible.
+    #[must_use]
+    pub fn encode(value: u32) -> Option<RotImm> {
+        for rot in 0..16u8 {
+            let rotated = value.rotate_left(u32::from(rot) * 2);
+            if rotated <= 0xff {
+                return Some(RotImm {
+                    imm8: rotated as u8,
+                    rot,
+                });
+            }
+        }
+        None
+    }
+
+    /// The 32-bit value this immediate denotes.
+    #[must_use]
+    pub fn value(self) -> u32 {
+        u32::from(self.imm8).rotate_right(u32::from(self.rot) * 2)
+    }
+
+    /// The raw 8-bit immediate field.
+    #[must_use]
+    pub fn imm8(self) -> u8 {
+        self.imm8
+    }
+
+    /// The raw 4-bit rotation field.
+    #[must_use]
+    pub fn rot(self) -> u8 {
+        self.rot
+    }
+
+    /// Shifter carry-out for this immediate given the incoming carry: ARM
+    /// leaves C unchanged when the rotation is zero, otherwise C becomes
+    /// bit 31 of the value.
+    #[must_use]
+    pub fn carry_out(self, carry_in: bool) -> bool {
+        if self.rot == 0 {
+            carry_in
+        } else {
+            self.value() >> 31 != 0
+        }
+    }
+}
+
+/// The flexible second operand of a data-processing instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand2 {
+    /// A rotated 8-bit immediate.
+    Imm(RotImm),
+    /// A register, optionally passed through the barrel shifter.
+    Reg(Reg, Shift),
+}
+
+impl Operand2 {
+    /// Convenience: encode a constant, if expressible.
+    #[must_use]
+    pub fn imm(value: u32) -> Option<Operand2> {
+        RotImm::encode(value).map(Operand2::Imm)
+    }
+
+    /// Convenience: a plain (unshifted) register operand.
+    #[must_use]
+    pub fn reg(r: Reg) -> Operand2 {
+        Operand2::Reg(r, Shift::NONE)
+    }
+
+    /// The registers this operand reads.
+    pub fn reads(&self) -> impl Iterator<Item = Reg> + '_ {
+        let (a, b) = match self {
+            Operand2::Imm(_) => (None, None),
+            Operand2::Reg(r, Shift::Reg(_, rs)) => (Some(*r), Some(*rs)),
+            Operand2::Reg(r, _) => (Some(*r), None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand2::Imm(imm) => write!(f, "#{}", imm.value()),
+            Operand2::Reg(r, shift) => write!(f, "{r}{shift}"),
+        }
+    }
+}
+
+/// A load/store operation kind (size, direction and extension).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemOp {
+    /// Load 32-bit word.
+    Ldr,
+    /// Store 32-bit word.
+    Str,
+    /// Load byte, zero-extended.
+    Ldrb,
+    /// Store byte.
+    Strb,
+    /// Load halfword, zero-extended.
+    Ldrh,
+    /// Store halfword.
+    Strh,
+    /// Load byte, sign-extended.
+    Ldrsb,
+    /// Load halfword, sign-extended.
+    Ldrsh,
+}
+
+impl MemOp {
+    /// Whether this operation reads memory.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        !matches!(self, MemOp::Str | MemOp::Strb | MemOp::Strh)
+    }
+
+    /// Access width in bytes.
+    #[must_use]
+    pub fn size(self) -> u32 {
+        match self {
+            MemOp::Ldr | MemOp::Str => 4,
+            MemOp::Ldrh | MemOp::Strh | MemOp::Ldrsh => 2,
+            MemOp::Ldrb | MemOp::Strb | MemOp::Ldrsb => 1,
+        }
+    }
+
+    /// Whether this op uses the ARM halfword/signed transfer encoding
+    /// (as opposed to the single-data-transfer word/byte encoding).
+    #[must_use]
+    pub fn is_halfword_form(self) -> bool {
+        matches!(self, MemOp::Ldrh | MemOp::Strh | MemOp::Ldrsb | MemOp::Ldrsh)
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemOp::Ldr => "ldr",
+            MemOp::Str => "str",
+            MemOp::Ldrb => "ldrb",
+            MemOp::Strb => "strb",
+            MemOp::Ldrh => "ldrh",
+            MemOp::Strh => "strh",
+            MemOp::Ldrsb => "ldrsb",
+            MemOp::Ldrsh => "ldrsh",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The offset part of a load/store address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AddrOffset {
+    /// A signed immediate displacement. Word/byte transfers accept
+    /// `-4095..=4095`; halfword-form transfers accept `-255..=255`.
+    Imm(i32),
+    /// A register offset, added or subtracted, optionally shifted
+    /// (immediate shifts only; halfword-form transfers take no shift).
+    Reg {
+        /// The offset register.
+        rm: Reg,
+        /// Shift applied to `rm` (must be an immediate shift).
+        shift: Shift,
+        /// `true` to subtract the offset instead of adding it.
+        subtract: bool,
+    },
+}
+
+impl AddrOffset {
+    /// A zero displacement.
+    pub const ZERO: AddrOffset = AddrOffset::Imm(0);
+
+    /// Checks the displacement/shift limits for the given operation.
+    #[must_use]
+    pub fn is_valid_for(self, op: MemOp) -> bool {
+        match self {
+            AddrOffset::Imm(d) => {
+                let limit = if op.is_halfword_form() { 255 } else { 4095 };
+                (-limit..=limit).contains(&d)
+            }
+            AddrOffset::Reg { shift, .. } => {
+                if op.is_halfword_form() {
+                    shift == Shift::NONE
+                } else {
+                    matches!(shift, Shift::Imm(..)) && shift.is_valid()
+                }
+            }
+        }
+    }
+}
+
+/// The indexing mode of a load/store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Index {
+    /// Offset applied before the access; base unchanged.
+    PreNoWb,
+    /// Offset applied before the access; base updated (`!` writeback).
+    PreWb,
+    /// Base used as-is; offset applied to the base after the access.
+    Post,
+}
+
+impl Index {
+    /// Whether the base register is written back.
+    #[must_use]
+    pub fn writes_base(self) -> bool {
+        !matches!(self, Index::PreNoWb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpop_bits_round_trip() {
+        for op in DpOp::ALL {
+            assert_eq!(DpOp::from_bits(op.bits()), op);
+        }
+    }
+
+    #[test]
+    fn compare_ops() {
+        assert!(DpOp::Cmp.is_compare());
+        assert!(DpOp::Tst.is_compare());
+        assert!(!DpOp::Add.is_compare());
+        assert!(DpOp::Mov.ignores_rn());
+        assert!(!DpOp::Add.ignores_rn());
+        assert!(DpOp::Add.is_arithmetic());
+        assert!(!DpOp::Orr.is_arithmetic());
+    }
+
+    #[test]
+    fn rot_imm_encodes_classic_values() {
+        for v in [0u32, 1, 0xff, 0x100, 0xff00, 0xff00_0000, 0xf000_000f, 104] {
+            let imm = RotImm::encode(v).unwrap_or_else(|| panic!("{v:#x} should encode"));
+            assert_eq!(imm.value(), v, "{v:#x}");
+        }
+        assert!(RotImm::encode(0x101).is_none());
+        assert!(RotImm::encode(0x1234_5678).is_none());
+        assert!(RotImm::encode(0xffff_ffff).is_none());
+    }
+
+    #[test]
+    fn rot_imm_prefers_smallest_rotation() {
+        // 0xff is expressible with rot 0; ensure we pick it (canonical form).
+        let imm = RotImm::encode(0xff).unwrap();
+        assert_eq!(imm.rot(), 0);
+        assert_eq!(imm.imm8(), 0xff);
+    }
+
+    #[test]
+    fn rot_imm_carry_out() {
+        let no_rot = RotImm::encode(0x80).unwrap();
+        assert_eq!(no_rot.rot(), 0);
+        assert!(no_rot.carry_out(true));
+        assert!(!no_rot.carry_out(false));
+        let high = RotImm::encode(0x8000_0000).unwrap();
+        assert_ne!(high.rot(), 0);
+        assert!(high.carry_out(false));
+    }
+
+    #[test]
+    fn shift_validity() {
+        assert!(Shift::Imm(ShiftKind::Lsl, 0).is_valid());
+        assert!(Shift::Imm(ShiftKind::Lsl, 31).is_valid());
+        assert!(!Shift::Imm(ShiftKind::Lsl, 32).is_valid());
+        assert!(Shift::Imm(ShiftKind::Lsr, 32).is_valid());
+        assert!(!Shift::Imm(ShiftKind::Lsr, 0).is_valid());
+        assert!(!Shift::Imm(ShiftKind::Ror, 0).is_valid());
+        assert!(Shift::Reg(ShiftKind::Asr, Reg::R3).is_valid());
+    }
+
+    #[test]
+    fn addr_offset_limits() {
+        assert!(AddrOffset::Imm(4095).is_valid_for(MemOp::Ldr));
+        assert!(!AddrOffset::Imm(4096).is_valid_for(MemOp::Ldr));
+        assert!(AddrOffset::Imm(-255).is_valid_for(MemOp::Ldrh));
+        assert!(!AddrOffset::Imm(300).is_valid_for(MemOp::Ldrsh));
+        let reg_off = AddrOffset::Reg {
+            rm: Reg::R2,
+            shift: Shift::Imm(ShiftKind::Lsl, 2),
+            subtract: false,
+        };
+        assert!(reg_off.is_valid_for(MemOp::Ldr));
+        assert!(!reg_off.is_valid_for(MemOp::Ldrh));
+        let by_reg = AddrOffset::Reg {
+            rm: Reg::R2,
+            shift: Shift::Reg(ShiftKind::Lsl, Reg::R3),
+            subtract: false,
+        };
+        assert!(!by_reg.is_valid_for(MemOp::Ldr));
+    }
+
+    #[test]
+    fn operand2_reads() {
+        let imm = Operand2::imm(4).unwrap();
+        assert_eq!(imm.reads().count(), 0);
+        let reg = Operand2::reg(Reg::R1);
+        assert_eq!(reg.reads().collect::<Vec<_>>(), vec![Reg::R1]);
+        let shifted = Operand2::Reg(Reg::R1, Shift::Reg(ShiftKind::Lsl, Reg::R2));
+        assert_eq!(shifted.reads().collect::<Vec<_>>(), vec![Reg::R1, Reg::R2]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand2::imm(42).unwrap().to_string(), "#42");
+        assert_eq!(Operand2::reg(Reg::R7).to_string(), "r7");
+        assert_eq!(
+            Operand2::Reg(Reg::R1, Shift::Imm(ShiftKind::Lsr, 3)).to_string(),
+            "r1, lsr #3"
+        );
+    }
+}

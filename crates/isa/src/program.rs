@@ -1,0 +1,150 @@
+//! Program images: a text segment of instructions plus a data segment.
+
+use std::fmt;
+
+use crate::Instr;
+
+/// Base address of the text (code) segment.
+pub const TEXT_BASE: u32 = 0x0000_8000;
+/// Base address of the data segment.
+pub const DATA_BASE: u32 = 0x0010_0000;
+/// Initial stack pointer (stack grows down).
+pub const STACK_TOP: u32 = 0x0020_0000;
+
+/// A complete AR32 program image: instructions, initialized data and entry
+/// point. This is what the kernel compiler emits and what both the profiler
+/// and the ARM→FITS translator consume.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// The instructions, laid out contiguously from [`TEXT_BASE`].
+    pub text: Vec<Instr>,
+    /// The initialized data image, laid out from [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Entry point, as an index into `text`.
+    pub entry: usize,
+    /// Optional symbol table: (text index, name) pairs for disassembly.
+    pub symbols: Vec<(usize, String)>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Code size in bytes (4 bytes per AR32 instruction).
+    #[must_use]
+    pub fn code_bytes(&self) -> usize {
+        self.text.len() * 4
+    }
+
+    /// The address of the instruction at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds of the text segment.
+    #[must_use]
+    pub fn addr_of(&self, index: usize) -> u32 {
+        assert!(index <= self.text.len(), "text index {index} out of range");
+        TEXT_BASE + (index as u32) * 4
+    }
+
+    /// The text index of an address, if it falls in the text segment and is
+    /// instruction-aligned.
+    #[must_use]
+    pub fn index_of(&self, addr: u32) -> Option<usize> {
+        if addr < TEXT_BASE || addr % 4 != 0 {
+            return None;
+        }
+        let index = ((addr - TEXT_BASE) / 4) as usize;
+        (index < self.text.len()).then_some(index)
+    }
+
+    /// The branch-target text index of the branch at `index`, if that
+    /// instruction is a PC-relative branch. AR32 branch offsets are relative
+    /// to `PC + 8`, i.e. two instructions past the branch.
+    #[must_use]
+    pub fn branch_target(&self, index: usize) -> Option<usize> {
+        match self.text.get(index) {
+            Some(Instr::Branch { offset, .. }) => {
+                let target = index as i64 + 2 + i64::from(*offset);
+                usize::try_from(target).ok().filter(|t| *t < self.text.len())
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders a disassembly listing with addresses and symbols.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, instr) in self.text.iter().enumerate() {
+            for (sym_idx, name) in &self.symbols {
+                if *sym_idx == i {
+                    out.push_str(&format!("{name}:\n"));
+                }
+            }
+            out.push_str(&format!("  {:#010x}:  {instr}\n", self.addr_of(i)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program: {} instructions ({} bytes text, {} bytes data)",
+            self.text.len(),
+            self.code_bytes(),
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DpOp, Operand2, Reg};
+
+    fn sample() -> Program {
+        Program {
+            text: vec![
+                Instr::mov(Reg::R0, Operand2::imm(1).unwrap()),
+                Instr::b(-1),
+                Instr::dp(DpOp::Add, Reg::R0, Reg::R0, Operand2::imm(1).unwrap()),
+            ],
+            data: vec![1, 2, 3],
+            entry: 0,
+            symbols: vec![(0, "main".to_string())],
+        }
+    }
+
+    #[test]
+    fn addressing() {
+        let p = sample();
+        assert_eq!(p.addr_of(0), TEXT_BASE);
+        assert_eq!(p.addr_of(2), TEXT_BASE + 8);
+        assert_eq!(p.index_of(TEXT_BASE + 4), Some(1));
+        assert_eq!(p.index_of(TEXT_BASE + 5), None);
+        assert_eq!(p.index_of(TEXT_BASE - 4), None);
+        assert_eq!(p.index_of(TEXT_BASE + 400), None);
+        assert_eq!(p.code_bytes(), 12);
+    }
+
+    #[test]
+    fn branch_targets() {
+        let p = sample();
+        // Branch at index 1 with offset -1 targets index 1 + 2 - 1 = 2.
+        assert_eq!(p.branch_target(1), Some(2));
+        assert_eq!(p.branch_target(0), None);
+    }
+
+    #[test]
+    fn disassembly_includes_symbols() {
+        let text = sample().disassemble();
+        assert!(text.starts_with("main:\n"));
+        assert!(text.contains("mov r0, #1"));
+    }
+}

@@ -1,0 +1,140 @@
+use std::fmt;
+
+/// An AR32 general-purpose register, `r0` through `r15`.
+///
+/// The calling/layout conventions mirror ARM's: `r13` is the stack pointer
+/// ([`Reg::SP`]), `r14` the link register ([`Reg::LR`]) and `r15` the program
+/// counter ([`Reg::PC`]). `r12` ([`Reg::IP`]) is reserved by the kernel
+/// compiler as the intra-procedure scratch register, which the ARM→FITS
+/// translator is then free to use for 1-to-n expansion sequences.
+///
+/// ```
+/// use fits_isa::Reg;
+/// assert_eq!(Reg::SP.index(), 13);
+/// assert_eq!(Reg::new(3).to_string(), "r3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Register `r0` (first argument / return value).
+    pub const R0: Reg = Reg(0);
+    /// Register `r1`.
+    pub const R1: Reg = Reg(1);
+    /// Register `r2`.
+    pub const R2: Reg = Reg(2);
+    /// Register `r3`.
+    pub const R3: Reg = Reg(3);
+    /// Register `r4`.
+    pub const R4: Reg = Reg(4);
+    /// Register `r5`.
+    pub const R5: Reg = Reg(5);
+    /// Register `r6`.
+    pub const R6: Reg = Reg(6);
+    /// Register `r7`.
+    pub const R7: Reg = Reg(7);
+    /// Register `r8`.
+    pub const R8: Reg = Reg(8);
+    /// Register `r9`.
+    pub const R9: Reg = Reg(9);
+    /// Register `r10`.
+    pub const R10: Reg = Reg(10);
+    /// Register `r11`.
+    pub const R11: Reg = Reg(11);
+    /// Register `r12`, the intra-procedure scratch register (`ip`).
+    pub const IP: Reg = Reg(12);
+    /// Register `r13`, the stack pointer.
+    pub const SP: Reg = Reg(13);
+    /// Register `r14`, the link register.
+    pub const LR: Reg = Reg(14);
+    /// Register `r15`, the program counter.
+    pub const PC: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index, `0..=15`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all sixteen registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+
+    /// Whether this is the program counter.
+    #[must_use]
+    pub fn is_pc(self) -> bool {
+        self.0 == 15
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => f.write_str("sp"),
+            14 => f.write_str("lr"),
+            15 => f.write_str("pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_match_indices() {
+        assert_eq!(Reg::IP.index(), 12);
+        assert_eq!(Reg::SP.index(), 13);
+        assert_eq!(Reg::LR.index(), 14);
+        assert_eq!(Reg::PC.index(), 15);
+        assert!(Reg::PC.is_pc());
+        assert!(!Reg::LR.is_pc());
+    }
+
+    #[test]
+    fn display_uses_arm_names() {
+        assert_eq!(Reg::new(0).to_string(), "r0");
+        assert_eq!(Reg::new(12).to_string(), "r12");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::PC.to_string(), "pc");
+    }
+
+    #[test]
+    fn all_yields_sixteen() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 16);
+        assert_eq!(regs[5], Reg::R5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(16);
+    }
+}

@@ -1,0 +1,760 @@
+//! T16 — a Thumb-like 16-bit instruction set used as the code-size baseline
+//! of the paper's Figure 5.
+//!
+//! THUMB is the "general-purpose 16-bit ISA" FITS is contrasted against: it
+//! spends encoding space on general-purpose coverage, so it sees only 8
+//! registers from ALU operations, is almost entirely 2-address, and has
+//! small immediate and displacement fields. Those structural constraints —
+//! not the halved instruction width — are why THUMB recovers only ~33% of
+//! ARM code size where FITS recovers ~47%.
+//!
+//! [`translate`] rewrites an AR32 [`Program`] into T16 under those
+//! constraints, expanding each AR32 instruction into one or more T16
+//! instructions. The translation is used for *code-size accounting only*
+//! (the paper never executes THUMB either; its Figure 5 compares static
+//! segment sizes), so T16 carries enough operand detail to be inspectable
+//! and countable, but no executor is provided.
+
+use std::fmt;
+
+use crate::{AddrOffset, Cond, DpOp, Instr, MemOp, Operand2, Program, Reg, Shift, ShiftKind};
+
+/// A T16 (Thumb-like) instruction. Sizes are 2 bytes except [`T16Instr::Bl`]
+/// which, as in Thumb, occupies two halfwords.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum T16Instr {
+    /// 3-address shift by immediate: `lsl/lsr/asr rd, rm, #imm5`.
+    ShiftImm(ShiftKind, Reg, Reg, u8),
+    /// 3-address add/subtract of registers or a 3-bit immediate.
+    AddSub3 {
+        /// `true` for subtract.
+        sub: bool,
+        /// Destination (low register).
+        rd: Reg,
+        /// First operand (low register).
+        rn: Reg,
+        /// Register or tiny-immediate second operand.
+        rhs: AddSubRhs,
+    },
+    /// `mov/cmp/add/sub rd, #imm8` (2-address immediate group).
+    Imm8(Imm8Op, Reg, u8),
+    /// 2-address register ALU group (`and`, `eor`, `adc`, `mul`, …).
+    Alu(T16Alu, Reg, Reg),
+    /// Hi-register move/add/compare (the only ALU access to `r8`–`r14`).
+    HiOp(HiOp, Reg, Reg),
+    /// Branch-exchange to a register (`bx lr` serves as return).
+    Bx(Reg),
+    /// Load/store with a scaled 5-bit immediate displacement.
+    MemImm(MemOp, Reg, Reg, u8),
+    /// Load/store with a register offset (includes the signed-load forms).
+    MemReg(MemOp, Reg, Reg, Reg),
+    /// SP-relative load/store with a scaled 8-bit displacement.
+    MemSp {
+        /// `true` for load.
+        load: bool,
+        /// Data register.
+        rd: Reg,
+        /// Word-scaled displacement (`0..=255`, i.e. up to 1020 bytes).
+        imm8: u8,
+    },
+    /// Conditional branch, ±128 instructions.
+    BCond(Cond, i32),
+    /// Unconditional branch, ±1024 instructions.
+    B(i32),
+    /// Branch-and-link; a two-halfword (4-byte) instruction as in Thumb.
+    Bl(i32),
+    /// Software interrupt with an 8-bit number.
+    Swi(u8),
+}
+
+/// The register-or-tiny-immediate operand of [`T16Instr::AddSub3`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AddSubRhs {
+    /// A low register.
+    Reg(Reg),
+    /// A 3-bit immediate.
+    Imm3(u8),
+}
+
+/// Operations in the `#imm8` group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Imm8Op {
+    Mov,
+    Cmp,
+    Add,
+    Sub,
+}
+
+/// The 2-address register ALU operations T16 provides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum T16Alu {
+    And,
+    Eor,
+    Lsl,
+    Lsr,
+    Asr,
+    Adc,
+    Sbc,
+    Ror,
+    Tst,
+    Neg,
+    Cmp,
+    Cmn,
+    Orr,
+    Mul,
+    Bic,
+    Mvn,
+}
+
+/// Hi-register operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum HiOp {
+    Add,
+    Cmp,
+    Mov,
+}
+
+impl T16Instr {
+    /// Encoded size in bytes (2, or 4 for `BL`).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            T16Instr::Bl(_) => 4,
+            _ => 2,
+        }
+    }
+}
+
+impl fmt::Display for T16Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            T16Instr::ShiftImm(k, rd, rm, n) => write!(f, "{k} {rd}, {rm}, #{n}"),
+            T16Instr::AddSub3 { sub, rd, rn, rhs } => {
+                let op = if *sub { "sub" } else { "add" };
+                match rhs {
+                    AddSubRhs::Reg(rm) => write!(f, "{op} {rd}, {rn}, {rm}"),
+                    AddSubRhs::Imm3(n) => write!(f, "{op} {rd}, {rn}, #{n}"),
+                }
+            }
+            T16Instr::Imm8(op, rd, n) => {
+                let s = match op {
+                    Imm8Op::Mov => "mov",
+                    Imm8Op::Cmp => "cmp",
+                    Imm8Op::Add => "add",
+                    Imm8Op::Sub => "sub",
+                };
+                write!(f, "{s} {rd}, #{n}")
+            }
+            T16Instr::Alu(op, rd, rm) => write!(f, "{} {rd}, {rm}", alu_name(*op)),
+            T16Instr::HiOp(op, rd, rm) => {
+                let s = match op {
+                    HiOp::Add => "add",
+                    HiOp::Cmp => "cmp",
+                    HiOp::Mov => "mov",
+                };
+                write!(f, "{s} {rd}, {rm}")
+            }
+            T16Instr::Bx(r) => write!(f, "bx {r}"),
+            T16Instr::MemImm(op, rd, rn, n) => write!(f, "{op} {rd}, [{rn}, #{n}]"),
+            T16Instr::MemReg(op, rd, rn, rm) => write!(f, "{op} {rd}, [{rn}, {rm}]"),
+            T16Instr::MemSp { load, rd, imm8 } => {
+                let s = if *load { "ldr" } else { "str" };
+                write!(f, "{s} {rd}, [sp, #{}]", u32::from(*imm8) * 4)
+            }
+            T16Instr::BCond(cond, off) => write!(f, "b{cond} {off:+}"),
+            T16Instr::B(off) => write!(f, "b {off:+}"),
+            T16Instr::Bl(off) => write!(f, "bl {off:+}"),
+            T16Instr::Swi(n) => write!(f, "swi #{n}"),
+        }
+    }
+}
+
+fn alu_name(op: T16Alu) -> &'static str {
+    match op {
+        T16Alu::And => "and",
+        T16Alu::Eor => "eor",
+        T16Alu::Lsl => "lsl",
+        T16Alu::Lsr => "lsr",
+        T16Alu::Asr => "asr",
+        T16Alu::Adc => "adc",
+        T16Alu::Sbc => "sbc",
+        T16Alu::Ror => "ror",
+        T16Alu::Tst => "tst",
+        T16Alu::Neg => "neg",
+        T16Alu::Cmp => "cmp",
+        T16Alu::Cmn => "cmn",
+        T16Alu::Orr => "orr",
+        T16Alu::Mul => "mul",
+        T16Alu::Bic => "bic",
+        T16Alu::Mvn => "mvn",
+    }
+}
+
+/// The result of an AR32→T16 translation.
+#[derive(Clone, Debug, Default)]
+pub struct T16Program {
+    /// The emitted T16 instructions, in program order.
+    pub instrs: Vec<T16Instr>,
+    /// For each AR32 instruction index, the number of T16 instructions it
+    /// expanded into.
+    pub expansion: Vec<u32>,
+}
+
+impl T16Program {
+    /// Total encoded size in bytes.
+    #[must_use]
+    pub fn code_bytes(&self) -> usize {
+        self.instrs.iter().map(T16Instr::size).sum()
+    }
+
+    /// Fraction of AR32 instructions that mapped 1-to-1.
+    #[must_use]
+    pub fn one_to_one_rate(&self) -> f64 {
+        if self.expansion.is_empty() {
+            return 1.0;
+        }
+        let ones = self.expansion.iter().filter(|&&n| n == 1).count();
+        ones as f64 / self.expansion.len() as f64
+    }
+}
+
+const TMP: Reg = Reg::R7; // conventionally sacrificed work register
+
+fn is_low(r: Reg) -> bool {
+    r.index() < 8
+}
+
+/// Cost (and instructions) to bring a high register into a low one.
+fn demote(r: Reg, out: &mut Vec<T16Instr>) -> Reg {
+    if is_low(r) {
+        r
+    } else {
+        out.push(T16Instr::HiOp(HiOp::Mov, TMP, r));
+        TMP
+    }
+}
+
+/// Materializes a 32-bit constant into `rd` using MOV/shift/ADD sequences,
+/// the standard Thumb idiom in the absence of literal pools.
+fn materialize(rd: Reg, value: u32, out: &mut Vec<T16Instr>) {
+    if value <= 0xff {
+        out.push(T16Instr::Imm8(Imm8Op::Mov, rd, value as u8));
+        return;
+    }
+    let neg = value.wrapping_neg();
+    if neg <= 0xff {
+        out.push(T16Instr::Imm8(Imm8Op::Mov, rd, neg as u8));
+        out.push(T16Instr::Alu(T16Alu::Neg, rd, rd));
+        return;
+    }
+    // Shifted byte: v == b << s.
+    let tz = value.trailing_zeros();
+    if value >> tz <= 0xff {
+        out.push(T16Instr::Imm8(Imm8Op::Mov, rd, (value >> tz) as u8));
+        out.push(T16Instr::ShiftImm(ShiftKind::Lsl, rd, rd, tz as u8));
+        return;
+    }
+    // General case: build byte-by-byte (mov, lsl #8, add) — up to 7 instrs.
+    let bytes = value.to_be_bytes();
+    let mut started = false;
+    for (i, b) in bytes.iter().enumerate() {
+        if !started {
+            if *b == 0 {
+                continue;
+            }
+            out.push(T16Instr::Imm8(Imm8Op::Mov, rd, *b));
+            started = true;
+        } else {
+            out.push(T16Instr::ShiftImm(ShiftKind::Lsl, rd, rd, 8));
+            if *b != 0 {
+                out.push(T16Instr::Imm8(Imm8Op::Add, rd, *b));
+            }
+        }
+        let _ = i;
+    }
+    if !started {
+        out.push(T16Instr::Imm8(Imm8Op::Mov, rd, 0));
+    }
+}
+
+fn dp_to_alu(op: DpOp) -> Option<T16Alu> {
+    match op {
+        DpOp::And => Some(T16Alu::And),
+        DpOp::Eor => Some(T16Alu::Eor),
+        DpOp::Adc => Some(T16Alu::Adc),
+        DpOp::Sbc => Some(T16Alu::Sbc),
+        DpOp::Tst => Some(T16Alu::Tst),
+        DpOp::Cmp => Some(T16Alu::Cmp),
+        DpOp::Cmn => Some(T16Alu::Cmn),
+        DpOp::Orr => Some(T16Alu::Orr),
+        DpOp::Bic => Some(T16Alu::Bic),
+        DpOp::Mvn => Some(T16Alu::Mvn),
+        _ => None,
+    }
+}
+
+/// Lowers the flexible operand into a low register, returning it.
+fn lower_op2(op2: &Operand2, out: &mut Vec<T16Instr>) -> Reg {
+    match op2 {
+        Operand2::Imm(imm) => {
+            materialize(TMP, imm.value(), out);
+            TMP
+        }
+        Operand2::Reg(rm, Shift::Imm(ShiftKind::Lsl, 0)) => demote(*rm, out),
+        Operand2::Reg(rm, Shift::Imm(kind, n)) => {
+            let low = demote(*rm, out);
+            out.push(T16Instr::ShiftImm(*kind, TMP, low, (*n).min(31)));
+            TMP
+        }
+        Operand2::Reg(rm, Shift::Reg(kind, rs)) => {
+            let low = demote(*rm, out);
+            if low != TMP {
+                out.push(T16Instr::HiOp(HiOp::Mov, TMP, low));
+            }
+            let alu = match kind {
+                ShiftKind::Lsl => T16Alu::Lsl,
+                ShiftKind::Lsr => T16Alu::Lsr,
+                ShiftKind::Asr => T16Alu::Asr,
+                ShiftKind::Ror => T16Alu::Ror,
+            };
+            let rs_low = demote(*rs, out);
+            out.push(T16Instr::Alu(alu, TMP, rs_low));
+            TMP
+        }
+    }
+}
+
+fn translate_one(instr: &Instr, out: &mut Vec<T16Instr>) {
+    // Predication: T16 (like Thumb) has no conditional execution except
+    // branches; a predicated instruction becomes a branch-around.
+    let cond = instr.cond();
+    let body_start = out.len();
+    let needs_guard = cond != Cond::Al && !matches!(instr, Instr::Branch { .. });
+    if needs_guard {
+        // Placeholder; patched below once the body length is known.
+        out.push(T16Instr::BCond(cond.inverse(), 0));
+    }
+
+    match instr {
+        Instr::Dp {
+            op, rd, rn, op2, ..
+        } => match op {
+            DpOp::Mov => match op2 {
+                Operand2::Imm(imm) if is_low(*rd) => materialize(*rd, imm.value(), out),
+                Operand2::Imm(imm) => {
+                    materialize(TMP, imm.value(), out);
+                    out.push(T16Instr::HiOp(HiOp::Mov, *rd, TMP));
+                }
+                Operand2::Reg(rm, Shift::Imm(ShiftKind::Lsl, 0)) => {
+                    out.push(T16Instr::HiOp(HiOp::Mov, *rd, *rm));
+                }
+                Operand2::Reg(rm, Shift::Imm(kind, n)) if is_low(*rd) && is_low(*rm) => {
+                    out.push(T16Instr::ShiftImm(*kind, *rd, *rm, (*n).min(31)));
+                }
+                _ => {
+                    let val = lower_op2(op2, out);
+                    out.push(T16Instr::HiOp(HiOp::Mov, *rd, val));
+                }
+            },
+            DpOp::Add | DpOp::Sub => {
+                let sub = *op == DpOp::Sub;
+                match op2 {
+                    Operand2::Imm(imm)
+                        if imm.value() <= 7 && is_low(*rd) && is_low(*rn) =>
+                    {
+                        out.push(T16Instr::AddSub3 {
+                            sub,
+                            rd: *rd,
+                            rn: *rn,
+                            rhs: AddSubRhs::Imm3(imm.value() as u8),
+                        });
+                    }
+                    Operand2::Imm(imm) if imm.value() <= 0xff && rd == rn && is_low(*rd) => {
+                        let op8 = if sub { Imm8Op::Sub } else { Imm8Op::Add };
+                        out.push(T16Instr::Imm8(op8, *rd, imm.value() as u8));
+                    }
+                    Operand2::Reg(rm, Shift::Imm(ShiftKind::Lsl, 0))
+                        if is_low(*rd) && is_low(*rn) && is_low(*rm) =>
+                    {
+                        out.push(T16Instr::AddSub3 {
+                            sub,
+                            rd: *rd,
+                            rn: *rn,
+                            rhs: AddSubRhs::Reg(*rm),
+                        });
+                    }
+                    _ => {
+                        let val = lower_op2(op2, out);
+                        if sub {
+                            let rn_low = demote(*rn, out);
+                            out.push(T16Instr::AddSub3 {
+                                sub: true,
+                                rd: if is_low(*rd) { *rd } else { TMP },
+                                rn: rn_low,
+                                rhs: AddSubRhs::Reg(val),
+                            });
+                        } else {
+                            // Hi-reg ADD tolerates any registers.
+                            if rd != rn {
+                                out.push(T16Instr::HiOp(HiOp::Mov, *rd, *rn));
+                            }
+                            out.push(T16Instr::HiOp(HiOp::Add, *rd, val));
+                        }
+                        if sub && !is_low(*rd) {
+                            out.push(T16Instr::HiOp(HiOp::Mov, *rd, TMP));
+                        }
+                    }
+                }
+            }
+            DpOp::Cmp => match op2 {
+                Operand2::Imm(imm) if imm.value() <= 0xff && is_low(*rn) => {
+                    out.push(T16Instr::Imm8(Imm8Op::Cmp, *rn, imm.value() as u8));
+                }
+                Operand2::Reg(rm, Shift::Imm(ShiftKind::Lsl, 0)) => {
+                    out.push(T16Instr::HiOp(HiOp::Cmp, *rn, *rm));
+                }
+                _ => {
+                    let val = lower_op2(op2, out);
+                    out.push(T16Instr::HiOp(HiOp::Cmp, *rn, val));
+                }
+            },
+            DpOp::Rsb => {
+                // Thumb NEG covers `rsb rd, rn, #0`; everything else expands.
+                if matches!(op2, Operand2::Imm(i) if i.value() == 0)
+                    && is_low(*rd)
+                    && is_low(*rn)
+                {
+                    if rd != rn {
+                        out.push(T16Instr::HiOp(HiOp::Mov, *rd, *rn));
+                    }
+                    out.push(T16Instr::Alu(T16Alu::Neg, *rd, *rd));
+                } else {
+                    let val = lower_op2(op2, out);
+                    let rn_low = demote(*rn, out);
+                    out.push(T16Instr::AddSub3 {
+                        sub: true,
+                        rd: if is_low(*rd) { *rd } else { TMP },
+                        rn: val,
+                        rhs: AddSubRhs::Reg(rn_low),
+                    });
+                    if !is_low(*rd) {
+                        out.push(T16Instr::HiOp(HiOp::Mov, *rd, TMP));
+                    }
+                }
+            }
+            _ => {
+                // 2-address ALU group: and/eor/orr/bic/mvn/adc/sbc/tst/teq/
+                // cmn and the shift-by-register forms.
+                let alu = dp_to_alu(*op).unwrap_or(T16Alu::Eor); // TEQ ~ EOR+flags
+                let val = lower_op2(op2, out);
+                if op.is_compare() {
+                    let rn_low = demote(*rn, out);
+                    out.push(T16Instr::Alu(alu, rn_low, val));
+                } else {
+                    let rd_low = if is_low(*rd) { *rd } else { TMP };
+                    if !op.ignores_rn() && rd != rn {
+                        out.push(T16Instr::HiOp(HiOp::Mov, rd_low, *rn));
+                    }
+                    out.push(T16Instr::Alu(alu, rd_low, val));
+                    if !is_low(*rd) {
+                        out.push(T16Instr::HiOp(HiOp::Mov, *rd, rd_low));
+                    }
+                }
+            }
+        },
+        Instr::Mul { rd, rm, rs, acc, .. } => {
+            let rd_low = if is_low(*rd) { *rd } else { TMP };
+            if rd_low != *rm {
+                out.push(T16Instr::HiOp(HiOp::Mov, rd_low, *rm));
+            }
+            out.push(T16Instr::Alu(T16Alu::Mul, rd_low, *rs));
+            if let Some(rn) = acc {
+                out.push(T16Instr::HiOp(HiOp::Add, rd_low, *rn));
+            }
+            if !is_low(*rd) {
+                out.push(T16Instr::HiOp(HiOp::Mov, *rd, rd_low));
+            }
+        }
+        Instr::Mem {
+            op,
+            rd,
+            rn,
+            offset,
+            index,
+            ..
+        } => {
+            let rd_low = demote(*rd, out);
+            // Writeback modes don't exist in T16: address arithmetic is
+            // explicit.
+            if index.writes_base() {
+                let val = lower_op2(
+                    &match offset {
+                        AddrOffset::Imm(d) => {
+                            Operand2::imm(d.unsigned_abs()).unwrap_or(Operand2::reg(TMP))
+                        }
+                        AddrOffset::Reg { rm, .. } => Operand2::reg(*rm),
+                    },
+                    out,
+                );
+                out.push(T16Instr::HiOp(HiOp::Add, *rn, val));
+                let base = demote(*rn, out);
+                out.push(T16Instr::MemImm(*op, rd_low, base, 0));
+                return_patch(needs_guard, body_start, out);
+                return;
+            }
+            match offset {
+                AddrOffset::Imm(d) => {
+                    let scale = op.size() as i32;
+                    let scaled = d / scale;
+                    let in_range = *d >= 0
+                        && d % scale == 0
+                        && scaled <= 31
+                        && !matches!(op, MemOp::Ldrsb | MemOp::Ldrsh);
+                    if *rn == Reg::SP && matches!(op, MemOp::Ldr | MemOp::Str) {
+                        let w = d / 4;
+                        if *d >= 0 && d % 4 == 0 && w <= 255 {
+                            out.push(T16Instr::MemSp {
+                                load: op.is_load(),
+                                rd: rd_low,
+                                imm8: w as u8,
+                            });
+                        } else {
+                            materialize(TMP, *d as u32, out);
+                            out.push(T16Instr::HiOp(HiOp::Add, TMP, Reg::SP));
+                            out.push(T16Instr::MemImm(*op, rd_low, TMP, 0));
+                        }
+                    } else if in_range && is_low(*rn) {
+                        out.push(T16Instr::MemImm(*op, rd_low, *rn, scaled as u8));
+                    } else {
+                        // Signed loads and out-of-range displacements take
+                        // the register-offset form.
+                        materialize(TMP, *d as u32, out);
+                        let base = demote(*rn, out);
+                        out.push(T16Instr::MemReg(*op, rd_low, base, TMP));
+                    }
+                }
+                AddrOffset::Reg { rm, shift, subtract } => {
+                    let mut idx = demote(*rm, out);
+                    if *shift != Shift::NONE || *subtract {
+                        let val = lower_op2(&Operand2::Reg(*rm, *shift), out);
+                        if *subtract {
+                            out.push(T16Instr::Alu(T16Alu::Neg, val, val));
+                        }
+                        idx = val;
+                    }
+                    let base = demote(*rn, out);
+                    out.push(T16Instr::MemReg(*op, rd_low, base, idx));
+                }
+            }
+            if !is_low(*rd) && op.is_load() {
+                out.push(T16Instr::HiOp(HiOp::Mov, *rd, rd_low));
+            }
+        }
+        Instr::Branch { cond, link, offset } => {
+            if *link {
+                out.push(T16Instr::Bl(*offset));
+            } else if *cond == Cond::Al {
+                out.push(T16Instr::B(*offset));
+            } else {
+                out.push(T16Instr::BCond(*cond, *offset));
+            }
+        }
+        Instr::Swi { imm, .. } => out.push(T16Instr::Swi((*imm & 0xff) as u8)),
+    }
+
+    return_patch(needs_guard, body_start, out);
+}
+
+fn return_patch(needs_guard: bool, body_start: usize, out: &mut Vec<T16Instr>) {
+    if needs_guard {
+        let body_len = (out.len() - body_start - 1) as i32;
+        if let T16Instr::BCond(_, off) = &mut out[body_start] {
+            *off = body_len;
+        }
+    }
+}
+
+/// Translates an AR32 program into T16, applying Thumb's structural
+/// constraints, then relaxes branches whose targets fall outside the short
+/// ranges (±128 instructions conditional, ±1024 unconditional) into longer
+/// sequences, iterating to a fixpoint as a real assembler would.
+#[must_use]
+pub fn translate(program: &Program) -> T16Program {
+    let mut expansion: Vec<u32> = Vec::with_capacity(program.text.len());
+    let mut instrs = Vec::with_capacity(program.text.len() * 2);
+    for instr in &program.text {
+        let start = instrs.len();
+        translate_one(instr, &mut instrs);
+        expansion.push((instrs.len() - start) as u32);
+    }
+
+    // Branch relaxation on instruction counts. Positions move as branches
+    // grow, so iterate to a fixpoint (growth is monotone; terminates).
+    let mut extra: Vec<u32> = vec![0; program.text.len()];
+    loop {
+        let mut changed = false;
+        // Prefix positions in halfwords (BL counts as 2).
+        let mut pos = vec![0u32; program.text.len() + 1];
+        for i in 0..program.text.len() {
+            pos[i + 1] = pos[i] + expansion[i] + extra[i];
+        }
+        for (i, instr) in program.text.iter().enumerate() {
+            if let Instr::Branch { cond, link, .. } = instr {
+                if *link {
+                    continue; // BL already has long range
+                }
+                let Some(target) = program.branch_target(i) else {
+                    continue;
+                };
+                let dist = i64::from(pos[target]) - i64::from(pos[i + 1]);
+                let limit: i64 = if *cond == Cond::Al { 1024 } else { 128 };
+                // Either relaxation form costs one extra halfword: a
+                // conditional branch grows to invert + long b, an
+                // unconditional one to the BL-style long form.
+                let out_of_range = (dist.abs() >= limit && *cond != Cond::Al)
+                    || dist.abs() >= 1024;
+                let needed = u32::from(out_of_range);
+                if extra[i] < needed {
+                    extra[i] = needed;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (i, e) in extra.iter().enumerate() {
+        expansion[i] += e;
+        for _ in 0..*e {
+            instrs.push(T16Instr::B(0)); // placeholder long-form halfword
+        }
+    }
+
+    T16Program { instrs, expansion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instr, Operand2};
+
+    fn prog(text: Vec<Instr>) -> Program {
+        Program {
+            text,
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn simple_ops_map_one_to_one() {
+        let p = prog(vec![
+            Instr::mov(Reg::R0, Operand2::imm(5).unwrap()),
+            Instr::dp(DpOp::Add, Reg::R0, Reg::R0, Operand2::imm(1).unwrap()),
+            Instr::dp(DpOp::Add, Reg::R2, Reg::R0, Operand2::reg(Reg::R1)),
+            Instr::cmp(Reg::R0, Operand2::imm(10).unwrap()),
+            Instr::b(-3),
+        ]);
+        let t = translate(&p);
+        assert_eq!(t.expansion, vec![1, 1, 1, 1, 1]);
+        assert_eq!(t.code_bytes(), 10);
+        assert!((t.one_to_one_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_address_logical_expands() {
+        // and r2, r0, r1 has no 3-address T16 form.
+        let p = prog(vec![Instr::dp(
+            DpOp::And,
+            Reg::R2,
+            Reg::R0,
+            Operand2::reg(Reg::R1),
+        )]);
+        let t = translate(&p);
+        assert_eq!(t.expansion, vec![2]);
+    }
+
+    #[test]
+    fn big_immediate_expands() {
+        let p = prog(vec![Instr::mov(
+            Reg::R0,
+            Operand2::imm(0x0001_0000).unwrap(),
+        )]);
+        let t = translate(&p);
+        assert!(t.expansion[0] >= 2, "0x10000 needs mov+lsl: {:?}", t.instrs);
+    }
+
+    #[test]
+    fn predication_costs_a_branch() {
+        let p = prog(vec![Instr::dp(
+            DpOp::Add,
+            Reg::R0,
+            Reg::R0,
+            Operand2::imm(1).unwrap(),
+        )
+        .with_cond(Cond::Eq)]);
+        let t = translate(&p);
+        assert_eq!(t.expansion, vec![2]);
+        assert!(matches!(t.instrs[0], T16Instr::BCond(Cond::Ne, 1)));
+    }
+
+    #[test]
+    fn high_registers_cost_moves() {
+        let p = prog(vec![Instr::dp(
+            DpOp::Eor,
+            Reg::R9,
+            Reg::R9,
+            Operand2::reg(Reg::R10),
+        )]);
+        let t = translate(&p);
+        assert!(t.expansion[0] >= 3, "{:?}", t.instrs);
+    }
+
+    #[test]
+    fn signed_load_uses_register_form() {
+        let p = prog(vec![Instr::mem(MemOp::Ldrsh, Reg::R0, Reg::R1, 6)]);
+        let t = translate(&p);
+        assert!(t
+            .instrs
+            .iter()
+            .any(|i| matches!(i, T16Instr::MemReg(MemOp::Ldrsh, ..))));
+    }
+
+    #[test]
+    fn sp_relative_load_is_single() {
+        let p = prog(vec![Instr::mem(MemOp::Ldr, Reg::R0, Reg::SP, 16)]);
+        let t = translate(&p);
+        assert_eq!(t.expansion, vec![1]);
+        assert!(matches!(t.instrs[0], T16Instr::MemSp { load: true, imm8: 4, .. }));
+    }
+
+    #[test]
+    fn far_conditional_branch_relaxes() {
+        // A conditional branch over ~300 instructions must grow.
+        let mut text = vec![Instr::Branch {
+            cond: Cond::Eq,
+            link: false,
+            offset: 300,
+        }];
+        for _ in 0..302 {
+            text.push(Instr::dp(DpOp::Add, Reg::R0, Reg::R0, Operand2::imm(1).unwrap()));
+        }
+        let t = translate(&prog(text));
+        assert_eq!(t.expansion[0], 2);
+    }
+
+    #[test]
+    fn bl_is_four_bytes() {
+        let p = prog(vec![Instr::Branch {
+            cond: Cond::Al,
+            link: true,
+            offset: 0,
+        }]);
+        let t = translate(&p);
+        assert_eq!(t.code_bytes(), 4);
+        assert_eq!(t.expansion, vec![1]);
+    }
+}

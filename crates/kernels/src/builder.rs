@@ -1,0 +1,438 @@
+//! Ergonomic construction of IR functions and modules.
+//!
+//! ```
+//! use fits_kernels::builder::{FnBuilder, ModuleBuilder};
+//! use fits_kernels::ir::CmpOp;
+//!
+//! let mut module = ModuleBuilder::new();
+//! let mut f = FnBuilder::new("main", 0);
+//! let i = f.imm(0);
+//! let sum = f.imm(0);
+//! f.while_(f.cmp(CmpOp::LtU, i, 10u32), |f| {
+//!     let next = f.add(sum, i);
+//!     f.copy(sum, next);
+//!     let step = f.add(i, 1u32);
+//!     f.copy(i, step);
+//! });
+//! f.ret(Some(sum));
+//! module.push(f.finish());
+//! let m = module.finish(Vec::new());
+//! assert_eq!(m.funcs.len(), 1);
+//! ```
+
+use crate::ir::{BinOp, CmpOp, Cond, Function, Module, Operand, Rvalue, Stmt, UnOp, Val, Width};
+
+/// Builds one [`Function`] with nested control flow via closures.
+#[derive(Debug)]
+pub struct FnBuilder {
+    name: String,
+    params: u32,
+    next: u32,
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl FnBuilder {
+    /// Starts a function with `params` parameters (≤ 4). Parameter values
+    /// are the first virtual registers, retrievable with [`FnBuilder::param`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params > 4` (the AR32 calling convention passes arguments
+    /// in `r0`–`r3`).
+    #[must_use]
+    pub fn new(name: &str, params: u32) -> FnBuilder {
+        assert!(params <= 4, "at most 4 parameters");
+        FnBuilder {
+            name: name.to_string(),
+            params,
+            next: params,
+            stack: vec![Vec::new()],
+        }
+    }
+
+    /// The `i`-th parameter's virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn param(&self, i: u32) -> Val {
+        assert!(i < self.params, "parameter {i} out of range");
+        Val(i)
+    }
+
+    fn fresh(&mut self) -> Val {
+        let v = Val(self.next);
+        self.next += 1;
+        v
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.stack
+            .last_mut()
+            .expect("builder block stack never empty")
+            .push(stmt);
+    }
+
+    fn assign_new(&mut self, rv: Rvalue) -> Val {
+        let dst = self.fresh();
+        self.push(Stmt::Assign(dst, rv));
+        dst
+    }
+
+    /// A fresh register holding a constant.
+    pub fn imm(&mut self, value: impl Into<Operand>) -> Val {
+        match value.into() {
+            Operand::Imm(v) => self.assign_new(Rvalue::Imm(v)),
+            Operand::Val(v) => self.assign_new(Rvalue::Copy(v)),
+        }
+    }
+
+    /// Copies `src` into the existing register `dst` (loop-variable update).
+    pub fn copy(&mut self, dst: Val, src: Val) {
+        self.push(Stmt::Assign(dst, Rvalue::Copy(src)));
+    }
+
+    /// Stores a constant into the existing register `dst`.
+    pub fn set_imm(&mut self, dst: Val, value: u32) {
+        self.push(Stmt::Assign(dst, Rvalue::Imm(value)));
+    }
+
+    /// Builds a condition for use with `if_`/`while_`.
+    #[must_use]
+    pub fn cmp(&self, op: CmpOp, a: Val, b: impl Into<Operand>) -> Cond {
+        Cond::new(op, a, b)
+    }
+
+    /// `dst = if cond { 1 } else { 0 }` into a fresh register.
+    pub fn set_cond(&mut self, cond: Cond) -> Val {
+        self.assign_new(Rvalue::SetCond(cond))
+    }
+
+    /// Emits a binary operation into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: Val, b: impl Into<Operand>) -> Val {
+        self.assign_new(Rvalue::Binary(op, a, b.into()))
+    }
+
+    /// Emits a binary operation into an existing register (in-place update).
+    pub fn bin_into(&mut self, dst: Val, op: BinOp, a: Val, b: impl Into<Operand>) {
+        self.push(Stmt::Assign(dst, Rvalue::Binary(op, a, b.into())));
+    }
+
+    /// Addition.
+    pub fn add(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Subtraction.
+    pub fn sub(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::Xor, a, b)
+    }
+
+    /// Logical shift left.
+    pub fn shl(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::Shl, a, b)
+    }
+
+    /// Logical shift right.
+    pub fn shr(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::Shr, a, b)
+    }
+
+    /// Arithmetic shift right.
+    pub fn sar(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::Sar, a, b)
+    }
+
+    /// Multiplication (low 32 bits).
+    pub fn mul(&mut self, a: Val, b: impl Into<Operand>) -> Val {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: Val) -> Val {
+        self.assign_new(Rvalue::Unary(UnOp::Not, a))
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: Val) -> Val {
+        self.assign_new(Rvalue::Unary(UnOp::Neg, a))
+    }
+
+    fn load(&mut self, width: Width, signed: bool, base: Val, disp: i32) -> Val {
+        self.assign_new(Rvalue::Load {
+            width,
+            signed,
+            base,
+            disp,
+        })
+    }
+
+    /// Word load.
+    pub fn load_w(&mut self, base: Val, disp: i32) -> Val {
+        self.load(Width::W, false, base, disp)
+    }
+
+    /// Zero-extending halfword load.
+    pub fn load_h(&mut self, base: Val, disp: i32) -> Val {
+        self.load(Width::H, false, base, disp)
+    }
+
+    /// Zero-extending byte load.
+    pub fn load_b(&mut self, base: Val, disp: i32) -> Val {
+        self.load(Width::B, false, base, disp)
+    }
+
+    /// Sign-extending halfword load.
+    pub fn load_sh(&mut self, base: Val, disp: i32) -> Val {
+        self.load(Width::H, true, base, disp)
+    }
+
+    /// Sign-extending byte load.
+    pub fn load_sb(&mut self, base: Val, disp: i32) -> Val {
+        self.load(Width::B, true, base, disp)
+    }
+
+    /// Word store.
+    pub fn store_w(&mut self, base: Val, disp: i32, src: Val) {
+        self.push(Stmt::Store {
+            width: Width::W,
+            base,
+            disp,
+            src,
+        });
+    }
+
+    /// Halfword store.
+    pub fn store_h(&mut self, base: Val, disp: i32, src: Val) {
+        self.push(Stmt::Store {
+            width: Width::H,
+            base,
+            disp,
+            src,
+        });
+    }
+
+    /// Byte store.
+    pub fn store_b(&mut self, base: Val, disp: i32, src: Val) {
+        self.push(Stmt::Store {
+            width: Width::B,
+            base,
+            disp,
+            src,
+        });
+    }
+
+    /// Structured `if`.
+    pub fn if_(&mut self, cond: Cond, then: impl FnOnce(&mut Self)) {
+        self.stack.push(Vec::new());
+        then(self);
+        let block = self.stack.pop().expect("then block");
+        self.push(Stmt::If {
+            cond,
+            then: block,
+            els: Vec::new(),
+        });
+    }
+
+    /// Structured `if`/`else`.
+    pub fn if_else(
+        &mut self,
+        cond: Cond,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
+        self.stack.push(Vec::new());
+        then(self);
+        let t = self.stack.pop().expect("then block");
+        self.stack.push(Vec::new());
+        els(self);
+        let e = self.stack.pop().expect("else block");
+        self.push(Stmt::If { cond, then: t, els: e });
+    }
+
+    /// Structured top-tested loop.
+    pub fn while_(&mut self, cond: Cond, body: impl FnOnce(&mut Self)) {
+        self.stack.push(Vec::new());
+        body(self);
+        let block = self.stack.pop().expect("while block");
+        self.push(Stmt::While { cond, body: block });
+    }
+
+    /// Counted loop: `for i in 0..n { body(b, i) }` with `i` in a register.
+    /// Returns nothing; the index register is scoped to the loop.
+    pub fn repeat(&mut self, n: impl Into<Operand>, body: impl FnOnce(&mut Self, Val)) {
+        let i = self.imm(0u32);
+        let cond = self.cmp(CmpOp::LtU, i, n);
+        self.while_(cond, |b| {
+            body(b, i);
+            let next = b.add(i, 1u32);
+            b.copy(i, next);
+        });
+    }
+
+    /// Calls another function, returning its result in a fresh register.
+    pub fn call(&mut self, callee: &str, args: &[Val]) -> Val {
+        assert!(args.len() <= 4, "at most 4 arguments");
+        let dst = self.fresh();
+        self.push(Stmt::Call {
+            callee: callee.to_string(),
+            args: args.to_vec(),
+            ret: Some(dst),
+        });
+        dst
+    }
+
+    /// Calls another function, discarding any result.
+    pub fn call_void(&mut self, callee: &str, args: &[Val]) {
+        assert!(args.len() <= 4, "at most 4 arguments");
+        self.push(Stmt::Call {
+            callee: callee.to_string(),
+            args: args.to_vec(),
+            ret: None,
+        });
+    }
+
+    /// Emits a word to the simulator output stream.
+    pub fn emit(&mut self, v: Val) {
+        self.push(Stmt::Emit(v));
+    }
+
+    /// Returns from the function.
+    pub fn ret(&mut self, value: Option<Val>) {
+        self.push(Stmt::Return(value));
+    }
+
+    /// Finalizes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if control-flow blocks are unbalanced (an internal bug).
+    #[must_use]
+    pub fn finish(mut self) -> Function {
+        assert_eq!(self.stack.len(), 1, "unbalanced blocks in {}", self.name);
+        Function {
+            name: self.name,
+            params: self.params,
+            vregs: self.next,
+            body: self.stack.pop().expect("body"),
+        }
+    }
+}
+
+/// Accumulates functions into a [`Module`].
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    funcs: Vec<Function>,
+}
+
+impl ModuleBuilder {
+    /// An empty module builder.
+    #[must_use]
+    pub fn new() -> ModuleBuilder {
+        ModuleBuilder::default()
+    }
+
+    /// Adds a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate function names.
+    pub fn push(&mut self, f: Function) {
+        assert!(
+            self.funcs.iter().all(|g| g.name != f.name),
+            "duplicate function {}",
+            f.name
+        );
+        self.funcs.push(f);
+    }
+
+    /// Finalizes the module with its data image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `main` function was added.
+    #[must_use]
+    pub fn finish(self, data: Vec<u8>) -> Module {
+        assert!(
+            self.funcs.iter().any(|f| f.name == "main"),
+            "module needs a main function"
+        );
+        Module {
+            funcs: self.funcs,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_blocks_balance() {
+        let mut f = FnBuilder::new("main", 0);
+        let x = f.imm(1u32);
+        f.if_else(
+            f.cmp(CmpOp::Eq, x, 1u32),
+            |f| {
+                f.while_(f.cmp(CmpOp::LtU, x, 10u32), |f| {
+                    let n = f.add(x, 1u32);
+                    f.copy(x, n);
+                });
+            },
+            |f| {
+                f.set_imm(x, 0);
+            },
+        );
+        f.ret(Some(x));
+        let func = f.finish();
+        assert_eq!(func.body.len(), 3);
+        assert!(func.vregs >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_names_rejected() {
+        let mut m = ModuleBuilder::new();
+        let mk = || {
+            let mut f = FnBuilder::new("main", 0);
+            f.ret(None);
+            f.finish()
+        };
+        m.push(mk());
+        m.push(mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a main")]
+    fn missing_main_rejected() {
+        let mut m = ModuleBuilder::new();
+        let mut f = FnBuilder::new("helper", 0);
+        f.ret(None);
+        m.push(f.finish());
+        let _ = m.finish(Vec::new());
+    }
+
+    #[test]
+    fn params_are_first_vregs() {
+        let f = FnBuilder::new("f", 2);
+        assert_eq!(f.param(0).index(), 0);
+        assert_eq!(f.param(1).index(), 1);
+    }
+}

@@ -1,0 +1,784 @@
+//! Code generation: LIR + register allocation → AR32 [`Program`].
+//!
+//! The conventions mirror a simple ARM ABI: arguments and return value in
+//! `r0`–`r3`/`r0`, virtual registers in callee-saved `r4`–`r11`, spills in a
+//! fixed-size frame below `sp`, `r12` untouched (reserved for the ARM→FITS
+//! translator's expansion sequences), returns via `mov pc, lr`. Constants
+//! are materialized with `MOV`/`MVN`/`ORR` chunk sequences rather than
+//! literal pools, so the text segment contains only instructions (keeping
+//! code-size comparisons across ISAs exact).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fits_isa::{
+    AddrOffset, Cond as ACond, DpOp, Instr, MemOp, Operand2, Program, Reg, Shift,
+    ShiftKind,
+};
+
+use crate::ir::{BinOp, CmpOp, Cond, Module, Operand, UnOp, Width};
+use crate::lower::{lower, LFunction, LInst, Label};
+use crate::regalloc::{Allocation, Loc};
+
+/// Errors from module compilation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A call referenced a function not present in the module.
+    UnknownFunction {
+        /// The missing callee.
+        callee: String,
+        /// The calling function.
+        caller: String,
+    },
+    /// A branch target ended up out of the 24-bit range (would need veneers).
+    BranchOutOfRange {
+        /// The function containing the branch.
+        func: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownFunction { callee, caller } => {
+                write!(f, "call to unknown function `{callee}` from `{caller}`")
+            }
+            CompileError::BranchOutOfRange { func } => {
+                write!(f, "branch out of range in `{func}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Map a comparison operator onto the AR32 condition that holds after
+/// `CMP a, b`.
+fn cond_of(op: CmpOp) -> ACond {
+    match op {
+        CmpOp::Eq => ACond::Eq,
+        CmpOp::Ne => ACond::Ne,
+        CmpOp::LtS => ACond::Lt,
+        CmpOp::LeS => ACond::Le,
+        CmpOp::GtS => ACond::Gt,
+        CmpOp::GeS => ACond::Ge,
+        CmpOp::LtU => ACond::Cc,
+        CmpOp::LeU => ACond::Ls,
+        CmpOp::GtU => ACond::Hi,
+        CmpOp::GeU => ACond::Cs,
+    }
+}
+
+/// Scratch registers (the caller-saved argument registers).
+const SCR0: Reg = Reg::R0;
+const SCR1: Reg = Reg::R1;
+const SCR2: Reg = Reg::R2;
+
+enum Fixup {
+    /// Branch to a function-local label.
+    Local(Label),
+    /// `BL` to a function by name.
+    Func(String),
+}
+
+struct FnEmitter<'a> {
+    alloc: &'a Allocation,
+    out: Vec<Instr>,
+    fixups: Vec<(usize, Fixup)>,
+    labels: HashMap<Label, usize>,
+    frame: u32,
+    saved: Vec<Reg>, // callee-saved regs + lr, in save order
+    is_main: bool,
+}
+
+impl<'a> FnEmitter<'a> {
+    fn spill_off(&self, slot: u32) -> i32 {
+        (self.saved.len() as i32 + slot as i32) * 4
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.out.push(i);
+    }
+
+    /// Materializes an arbitrary constant into `rd`.
+    fn emit_const(&mut self, rd: Reg, value: u32) {
+        if let Some(op2) = Operand2::imm(value) {
+            self.push(Instr::mov(rd, op2));
+            return;
+        }
+        if let Some(op2) = Operand2::imm(!value) {
+            self.push(Instr::dp(DpOp::Mvn, rd, Reg::R0, op2));
+            return;
+        }
+        // Chunked MOV/ORR: each byte lane is individually encodable.
+        let mut first = true;
+        for shift in [0u32, 8, 16, 24] {
+            let chunk = value & (0xff << shift);
+            if chunk == 0 && !(first && shift == 24) {
+                continue;
+            }
+            let op2 = Operand2::imm(chunk).expect("byte-lane chunk is encodable");
+            if first {
+                self.push(Instr::mov(rd, op2));
+                first = false;
+            } else {
+                self.push(Instr::dp(DpOp::Orr, rd, rd, op2));
+            }
+        }
+        if first {
+            self.push(Instr::mov(rd, Operand2::imm(0).expect("zero encodes")));
+        }
+    }
+
+    /// Brings a vreg's value into a physical register, using `scratch` when
+    /// it lives in a spill slot.
+    fn read(&mut self, v: crate::ir::Val, scratch: Reg) -> Reg {
+        match self.alloc.locs[v.index() as usize] {
+            Loc::Reg(r) => r,
+            Loc::Slot(s) => {
+                let off = self.spill_off(s);
+                self.push(Instr::mem(MemOp::Ldr, scratch, Reg::SP, off));
+                scratch
+            }
+        }
+    }
+
+    /// The register to compute a vreg's new value into; spilled vregs get
+    /// `scratch` plus a store-back emitted by `write_back`.
+    fn dest(&self, v: crate::ir::Val, scratch: Reg) -> Reg {
+        match self.alloc.locs[v.index() as usize] {
+            Loc::Reg(r) => r,
+            Loc::Slot(_) => scratch,
+        }
+    }
+
+    fn write_back(&mut self, v: crate::ir::Val, from: Reg) {
+        if let Loc::Slot(s) = self.alloc.locs[v.index() as usize] {
+            let off = self.spill_off(s);
+            self.push(Instr::mem(MemOp::Str, from, Reg::SP, off));
+        }
+    }
+
+    /// Turns an IR operand into an AR32 `Operand2`, materializing into
+    /// `scratch` when the immediate doesn't encode. Returns the operand and
+    /// whether the immediate had to be negated (for add/sub folding, handled
+    /// by the caller via `negated_op`).
+    fn operand2(&mut self, b: &Operand, scratch: Reg) -> Operand2 {
+        match b {
+            Operand::Val(v) => Operand2::reg(self.read(*v, scratch)),
+            Operand::Imm(value) => {
+                if let Some(op2) = Operand2::imm(*value) {
+                    op2
+                } else {
+                    self.emit_const(scratch, *value);
+                    Operand2::reg(scratch)
+                }
+            }
+        }
+    }
+
+    fn prologue(&mut self, f: &LFunction) {
+        if self.frame > 0 {
+            let imm = Operand2::imm(self.frame).expect("frame size encodes");
+            self.push(Instr::dp(DpOp::Sub, Reg::SP, Reg::SP, imm));
+        }
+        let saved = self.saved.clone();
+        for (i, r) in saved.iter().enumerate() {
+            self.push(Instr::mem(MemOp::Str, *r, Reg::SP, (i as i32) * 4));
+        }
+        // Home the parameters.
+        for p in 0..f.params {
+            let src = Reg::new(p as u8);
+            match self.alloc.locs[p as usize] {
+                Loc::Reg(r) => self.push(Instr::mov(r, Operand2::reg(src))),
+                Loc::Slot(s) => {
+                    let off = self.spill_off(s);
+                    self.push(Instr::mem(MemOp::Str, src, Reg::SP, off));
+                }
+            }
+        }
+    }
+
+    fn epilogue(&mut self, value: Option<crate::ir::Val>) {
+        if let Some(v) = value {
+            let r = self.read(v, SCR0);
+            if r != Reg::R0 {
+                self.push(Instr::mov(Reg::R0, Operand2::reg(r)));
+            }
+        }
+        let saved = self.saved.clone();
+        for (i, r) in saved.iter().enumerate() {
+            self.push(Instr::mem(MemOp::Ldr, *r, Reg::SP, (i as i32) * 4));
+        }
+        if self.frame > 0 {
+            let imm = Operand2::imm(self.frame).expect("frame size encodes");
+            self.push(Instr::dp(DpOp::Add, Reg::SP, Reg::SP, imm));
+        }
+        if self.is_main {
+            self.push(Instr::Swi {
+                cond: ACond::Al,
+                imm: 0,
+            });
+        } else {
+            self.push(Instr::mov(Reg::PC, Operand2::reg(Reg::LR)));
+        }
+    }
+
+    /// Emits a load/store with displacement splitting when out of range.
+    fn mem_access(&mut self, op: MemOp, data: Reg, base: Reg, disp: i32) {
+        if AddrOffset::Imm(disp).is_valid_for(op) {
+            self.push(Instr::mem(op, data, base, disp));
+        } else {
+            // base + disp doesn't fit the offset field: split via SCR2 (or
+            // SCR1 if the data register is SCR2).
+            let tmp = if data == SCR2 || base == SCR2 { SCR1 } else { SCR2 };
+            self.emit_const(tmp, disp as u32);
+            self.push(Instr::dp(DpOp::Add, tmp, base, Operand2::reg(tmp)));
+            self.push(Instr::mem(op, data, tmp, 0));
+        }
+    }
+
+    fn shift_bin(&mut self, op: BinOp, rd: Reg, ra: Reg, b: &Operand) {
+        let kind = match op {
+            BinOp::Shl => ShiftKind::Lsl,
+            BinOp::Shr => ShiftKind::Lsr,
+            BinOp::Sar => ShiftKind::Asr,
+            BinOp::Ror => ShiftKind::Ror,
+            _ => unreachable!(),
+        };
+        match b {
+            Operand::Imm(n) => {
+                let n = *n;
+                let shift = match (kind, n) {
+                    (_, 0) => Shift::NONE,
+                    (ShiftKind::Lsl, 1..=31) => Shift::Imm(kind, n as u8),
+                    (ShiftKind::Lsl, _) => {
+                        // Fully shifted out.
+                        self.push(Instr::mov(rd, Operand2::imm(0).expect("zero")));
+                        return;
+                    }
+                    (ShiftKind::Lsr, 1..=31) => Shift::Imm(kind, n as u8),
+                    (ShiftKind::Lsr, _) => {
+                        self.push(Instr::mov(rd, Operand2::imm(0).expect("zero")));
+                        return;
+                    }
+                    (ShiftKind::Asr, 1..=31) => Shift::Imm(kind, n as u8),
+                    (ShiftKind::Asr, _) => Shift::Imm(ShiftKind::Asr, 32),
+                    (ShiftKind::Ror, _) => {
+                        let m = (n % 32) as u8;
+                        if m == 0 {
+                            Shift::NONE
+                        } else {
+                            Shift::Imm(ShiftKind::Ror, m)
+                        }
+                    }
+                };
+                self.push(Instr::mov(rd, Operand2::Reg(ra, shift)));
+            }
+            Operand::Val(v) => {
+                let rs = self.read(*v, SCR2);
+                self.push(Instr::mov(rd, Operand2::Reg(ra, Shift::Reg(kind, rs))));
+            }
+        }
+    }
+
+    fn bin(&mut self, op: BinOp, d: crate::ir::Val, a: crate::ir::Val, b: &Operand) {
+        let rd = self.dest(d, SCR0);
+        match op {
+            BinOp::Shl | BinOp::Shr | BinOp::Sar | BinOp::Ror => {
+                let ra = self.read(a, SCR1);
+                self.shift_bin(op, rd, ra, b);
+            }
+            BinOp::Mul => {
+                let ra = self.read(a, SCR1);
+                let rb = match b {
+                    Operand::Val(v) => self.read(*v, SCR2),
+                    Operand::Imm(value) => {
+                        self.emit_const(SCR2, *value);
+                        SCR2
+                    }
+                };
+                self.push(Instr::mul(rd, ra, rb));
+            }
+            BinOp::Add | BinOp::Sub => {
+                let ra = self.read(a, SCR1);
+                // Fold negated immediates: `add #-n` -> `sub #n`.
+                let (dp, op2) = match b {
+                    Operand::Imm(v) if Operand2::imm(*v).is_none()
+                        && Operand2::imm(v.wrapping_neg()).is_some() =>
+                    {
+                        let flipped = if op == BinOp::Add { DpOp::Sub } else { DpOp::Add };
+                        (flipped, Operand2::imm(v.wrapping_neg()).expect("checked"))
+                    }
+                    _ => {
+                        let dp = if op == BinOp::Add { DpOp::Add } else { DpOp::Sub };
+                        (dp, self.operand2(b, SCR2))
+                    }
+                };
+                self.push(Instr::dp(dp, rd, ra, op2));
+            }
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Bic => {
+                let ra = self.read(a, SCR1);
+                // Fold inverted masks: `and #m` with unencodable m but
+                // encodable !m becomes `bic #!m` (and vice versa).
+                let (dp, op2) = match (op, b) {
+                    (BinOp::And, Operand::Imm(v))
+                        if Operand2::imm(*v).is_none() && Operand2::imm(!v).is_some() =>
+                    {
+                        (DpOp::Bic, Operand2::imm(!v).expect("checked"))
+                    }
+                    (BinOp::Bic, Operand::Imm(v))
+                        if Operand2::imm(*v).is_none() && Operand2::imm(!v).is_some() =>
+                    {
+                        (DpOp::And, Operand2::imm(!v).expect("checked"))
+                    }
+                    _ => {
+                        let dp = match op {
+                            BinOp::And => DpOp::And,
+                            BinOp::Or => DpOp::Orr,
+                            BinOp::Xor => DpOp::Eor,
+                            BinOp::Bic => DpOp::Bic,
+                            _ => unreachable!(),
+                        };
+                        (dp, self.operand2(b, SCR2))
+                    }
+                };
+                self.push(Instr::dp(dp, rd, ra, op2));
+            }
+        }
+        self.write_back(d, rd);
+    }
+
+    fn compare(&mut self, cond: &Cond) -> ACond {
+        let ra = self.read(cond.a, SCR1);
+        let op2 = self.operand2(&cond.b, SCR2);
+        self.push(Instr::cmp(ra, op2));
+        cond_of(cond.op)
+    }
+
+    fn emit_inst(&mut self, f: &LFunction, inst: &LInst) {
+        match inst {
+            LInst::MovImm(d, value) => {
+                let rd = self.dest(*d, SCR0);
+                self.emit_const(rd, *value);
+                self.write_back(*d, rd);
+            }
+            LInst::Mov(d, s) => {
+                let rs = self.read(*s, SCR1);
+                let rd = self.dest(*d, SCR0);
+                if rd != rs {
+                    self.push(Instr::mov(rd, Operand2::reg(rs)));
+                    self.write_back(*d, rd);
+                } else {
+                    self.write_back(*d, rd);
+                }
+            }
+            LInst::Un(op, d, a) => {
+                let ra = self.read(*a, SCR1);
+                let rd = self.dest(*d, SCR0);
+                match op {
+                    UnOp::Not => self.push(Instr::dp(DpOp::Mvn, rd, Reg::R0, Operand2::reg(ra))),
+                    UnOp::Neg => self.push(Instr::dp(
+                        DpOp::Rsb,
+                        rd,
+                        ra,
+                        Operand2::imm(0).expect("zero"),
+                    )),
+                }
+                self.write_back(*d, rd);
+            }
+            LInst::Bin(op, d, a, b) => self.bin(*op, *d, *a, b),
+            LInst::SetCond(d, cond) => {
+                let cc = self.compare(cond);
+                let rd = self.dest(*d, SCR0);
+                let one = Operand2::imm(1).expect("one");
+                let zero = Operand2::imm(0).expect("zero");
+                self.push(Instr::mov(rd, one).with_cond(cc));
+                self.push(Instr::mov(rd, zero).with_cond(cc.inverse()));
+                self.write_back(*d, rd);
+            }
+            LInst::Load {
+                width,
+                signed,
+                dst,
+                base,
+                disp,
+            } => {
+                let rb = self.read(*base, SCR1);
+                let rd = self.dest(*dst, SCR0);
+                let op = match (width, signed) {
+                    (Width::W, _) => MemOp::Ldr,
+                    (Width::H, false) => MemOp::Ldrh,
+                    (Width::H, true) => MemOp::Ldrsh,
+                    (Width::B, false) => MemOp::Ldrb,
+                    (Width::B, true) => MemOp::Ldrsb,
+                };
+                self.mem_access(op, rd, rb, *disp);
+                self.write_back(*dst, rd);
+            }
+            LInst::Store {
+                width,
+                src,
+                base,
+                disp,
+            } => {
+                let rs = self.read(*src, SCR0);
+                let rb = self.read(*base, SCR1);
+                let op = match width {
+                    Width::W => MemOp::Str,
+                    Width::H => MemOp::Strh,
+                    Width::B => MemOp::Strb,
+                };
+                self.mem_access(op, rs, rb, *disp);
+            }
+            LInst::CmpBr(cond, target) => {
+                let cc = self.compare(cond);
+                let at = self.out.len();
+                self.push(Instr::b(0).with_cond(cc));
+                self.fixups.push((at, Fixup::Local(*target)));
+            }
+            LInst::Br(target) => {
+                let at = self.out.len();
+                self.push(Instr::b(0));
+                self.fixups.push((at, Fixup::Local(*target)));
+            }
+            LInst::Lbl(l) => {
+                self.labels.insert(*l, self.out.len());
+            }
+            LInst::Call { callee, args, ret } => {
+                for (i, arg) in args.iter().enumerate() {
+                    let dst = Reg::new(i as u8);
+                    match self.alloc.locs[arg.index() as usize] {
+                        Loc::Reg(r) => self.push(Instr::mov(dst, Operand2::reg(r))),
+                        Loc::Slot(s) => {
+                            let off = self.spill_off(s);
+                            self.push(Instr::mem(MemOp::Ldr, dst, Reg::SP, off));
+                        }
+                    }
+                }
+                let at = self.out.len();
+                self.push(Instr::Branch {
+                    cond: ACond::Al,
+                    link: true,
+                    offset: 0,
+                });
+                self.fixups.push((at, Fixup::Func(callee.clone())));
+                if let Some(d) = ret {
+                    match self.alloc.locs[d.index() as usize] {
+                        Loc::Reg(r) => self.push(Instr::mov(r, Operand2::reg(Reg::R0))),
+                        Loc::Slot(s) => {
+                            let off = self.spill_off(s);
+                            self.push(Instr::mem(MemOp::Str, Reg::R0, Reg::SP, off));
+                        }
+                    }
+                }
+            }
+            LInst::Emit(v) => {
+                let r = self.read(*v, SCR0);
+                if r != Reg::R0 {
+                    self.push(Instr::mov(Reg::R0, Operand2::reg(r)));
+                }
+                self.push(Instr::Swi {
+                    cond: ACond::Al,
+                    imm: 1,
+                });
+            }
+            LInst::Ret(v) => self.epilogue(*v),
+        }
+        let _ = f;
+    }
+}
+
+/// Compiles a module to an AR32 program. `main` is placed first and becomes
+/// the entry point.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for calls to unknown functions or branch targets
+/// beyond the 24-bit range.
+pub fn compile(module: &Module) -> Result<Program, CompileError> {
+    compile_with_regs(module, &crate::regalloc::ALLOCATABLE)
+}
+
+/// Compiles with a restricted allocatable register set — used to model
+/// recompilation for a target with a narrow register window (the Thumb
+/// code-size baseline of the paper's Figure 5).
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_with_regs(module: &Module, allocatable: &[Reg]) -> Result<Program, CompileError> {
+    // Lower and allocate every function, main first.
+    let mut lowered: Vec<LFunction> = Vec::with_capacity(module.funcs.len());
+    for f in &module.funcs {
+        lowered.push(lower(f));
+    }
+    lowered.sort_by_key(|f| if f.name == "main" { 0 } else { 1 });
+
+    let mut text: Vec<Instr> = Vec::new();
+    let mut symbols: Vec<(usize, String)> = Vec::new();
+    let mut func_start: HashMap<String, usize> = HashMap::new();
+    let mut all_fixups: Vec<(usize, Fixup, String)> = Vec::new();
+    let mut all_labels: HashMap<(String, Label), usize> = HashMap::new();
+
+    for lf in &lowered {
+        let alloc = crate::regalloc::allocate_with(lf, allocatable);
+        let mut saved: Vec<Reg> = alloc.used_regs.clone();
+        saved.push(Reg::LR);
+        let frame = {
+            let words = saved.len() as u32 + alloc.slots;
+            (words * 4 + 7) & !7
+        };
+        let mut em = FnEmitter {
+            alloc: &alloc,
+            out: Vec::new(),
+            fixups: Vec::new(),
+            labels: HashMap::new(),
+            frame,
+            saved,
+            is_main: lf.name == "main",
+        };
+        em.prologue(lf);
+        for inst in &lf.code {
+            em.emit_inst(lf, inst);
+        }
+        let base = text.len();
+        func_start.insert(lf.name.clone(), base);
+        symbols.push((base, lf.name.clone()));
+        for (at, fix) in em.fixups {
+            all_fixups.push((base + at, fix, lf.name.clone()));
+        }
+        for (l, pos) in em.labels {
+            all_labels.insert((lf.name.clone(), l), base + pos);
+        }
+        text.extend(em.out);
+    }
+
+    // Patch branches.
+    for (at, fix, owner) in all_fixups {
+        let target = match &fix {
+            Fixup::Local(l) => *all_labels
+                .get(&(owner.clone(), *l))
+                .expect("label defined in its function"),
+            Fixup::Func(name) => *func_start.get(name).ok_or_else(|| {
+                CompileError::UnknownFunction {
+                    callee: name.clone(),
+                    caller: owner.clone(),
+                }
+            })?,
+        };
+        let offset = target as i64 - (at as i64 + 2);
+        if !(-(1 << 23)..(1 << 23)).contains(&offset) {
+            return Err(CompileError::BranchOutOfRange { func: owner });
+        }
+        match &mut text[at] {
+            Instr::Branch { offset: o, .. } => *o = offset as i32,
+            other => unreachable!("fixup target is not a branch: {other}"),
+        }
+    }
+
+    Ok(Program {
+        entry: func_start["main"],
+        text,
+        data: module.data.clone(),
+        symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FnBuilder, ModuleBuilder};
+    use crate::ir::CmpOp;
+    use fits_isa::DATA_BASE;
+    use fits_sim::{Ar32Set, Machine};
+
+    fn run(module: &Module) -> u32 {
+        let program = compile(module).expect("compiles");
+        let mut m = Machine::new(Ar32Set::load(&program));
+        m.run().expect("runs").exit_code
+    }
+
+    #[test]
+    fn arithmetic_pipeline() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("main", 0);
+        let a = f.imm(100u32);
+        let b = f.imm(7u32);
+        let c = f.mul(a, b); // 700
+        let d = f.sub(c, 55u32); // 645
+        let e = f.xor(d, 0xffu32); // 645 ^ 255
+        let g = f.shr(e, 1u32);
+        f.ret(Some(g));
+        mb.push(f.finish());
+        assert_eq!(run(&mb.finish(Vec::new())), ((700u32 - 55) ^ 0xff) >> 1);
+    }
+
+    #[test]
+    fn loops_and_memory() {
+        // Sum 32 bytes of the data segment.
+        let data: Vec<u8> = (0..32u8).collect();
+        let expect: u32 = data.iter().map(|&b| u32::from(b)).sum();
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("main", 0);
+        let base = f.imm(DATA_BASE);
+        let sum = f.imm(0u32);
+        f.repeat(32u32, |f, i| {
+            let p = f.add(base, i);
+            let v = f.load_b(p, 0);
+            let s = f.add(sum, v);
+            f.copy(sum, s);
+        });
+        f.ret(Some(sum));
+        mb.push(f.finish());
+        assert_eq!(run(&mb.finish(data)), expect);
+    }
+
+    #[test]
+    fn cross_function_calls() {
+        let mut mb = ModuleBuilder::new();
+
+        let mut g = FnBuilder::new("mix", 2);
+        let x = g.param(0);
+        let y = g.param(1);
+        let t = g.xor(x, y);
+        let u = g.shl(t, 3u32);
+        g.ret(Some(u));
+        mb.push(g.finish());
+
+        let mut f = FnBuilder::new("main", 0);
+        let a = f.imm(0x5au32);
+        let b = f.imm(0xa5u32);
+        let r = f.call("mix", &[a, b]);
+        f.ret(Some(r));
+        mb.push(f.finish());
+
+        assert_eq!(run(&mb.finish(Vec::new())), (0x5au32 ^ 0xa5) << 3);
+    }
+
+    #[test]
+    fn recursion_works() {
+        // fib(12) the slow way.
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("fib", 1);
+        let n = f.param(0);
+        let out = f.imm(0u32);
+        f.if_else(
+            f.cmp(CmpOp::LtU, n, 2u32),
+            |f| f.copy(out, n),
+            |f| {
+                let n1 = f.sub(n, 1u32);
+                let a = f.call("fib", &[n1]);
+                let n2 = f.sub(n, 2u32);
+                let b = f.call("fib", &[n2]);
+                let s = f.add(a, b);
+                f.copy(out, s);
+            },
+        );
+        f.ret(Some(out));
+        mb.push(f.finish());
+
+        let mut m = FnBuilder::new("main", 0);
+        let n = m.imm(12u32);
+        let r = m.call("fib", &[n]);
+        m.ret(Some(r));
+        mb.push(m.finish());
+
+        assert_eq!(run(&mb.finish(Vec::new())), 144);
+    }
+
+    #[test]
+    fn spills_preserve_values() {
+        // Force heavy pressure: 16 live values combined at the end.
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("main", 0);
+        let vals: Vec<_> = (0..16).map(|i| f.imm(1u32 << i)).collect();
+        let mut acc = f.imm(0u32);
+        for v in vals.iter().rev() {
+            acc = f.add(acc, *v);
+        }
+        f.ret(Some(acc));
+        mb.push(f.finish());
+        assert_eq!(run(&mb.finish(Vec::new())), 0xffff);
+    }
+
+    #[test]
+    fn big_constants_materialize() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("main", 0);
+        let a = f.imm(0x1234_5678u32);
+        let b = f.imm(0xdead_beefu32);
+        let c = f.xor(a, b);
+        f.ret(Some(c));
+        mb.push(f.finish());
+        assert_eq!(run(&mb.finish(Vec::new())), 0x1234_5678 ^ 0xdead_beef);
+    }
+
+    #[test]
+    fn set_cond_produces_booleans() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("main", 0);
+        let a = f.imm(5u32);
+        let t = f.set_cond(f.cmp(CmpOp::LtU, a, 9u32));
+        let u = f.set_cond(f.cmp(CmpOp::GtS, a, 9u32));
+        let packed = f.shl(t, 1u32);
+        let r = f.or(packed, u);
+        f.ret(Some(r));
+        mb.push(f.finish());
+        assert_eq!(run(&mb.finish(Vec::new())), 0b10);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compares() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("main", 0);
+        let minus_one = f.imm(-1i32);
+        let one = f.imm(1u32);
+        // Signed: -1 < 1. Unsigned: 0xffffffff > 1.
+        let s = f.set_cond(f.cmp(CmpOp::LtS, minus_one, one));
+        let u = f.set_cond(f.cmp(CmpOp::GtU, minus_one, one));
+        let packed = f.shl(s, 1u32);
+        let r = f.or(packed, u);
+        f.ret(Some(r));
+        mb.push(f.finish());
+        assert_eq!(run(&mb.finish(Vec::new())), 0b11);
+    }
+
+    #[test]
+    fn unknown_callee_is_an_error() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("main", 0);
+        let a = f.imm(0u32);
+        let r = f.call("nonexistent", &[a]);
+        f.ret(Some(r));
+        mb.push(f.finish());
+        let module = mb.finish(Vec::new());
+        assert!(matches!(
+            compile(&module),
+            Err(CompileError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn emit_reaches_output_stream() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = FnBuilder::new("main", 0);
+        let a = f.imm(0xabcdu32);
+        f.emit(a);
+        f.ret(Some(a));
+        mb.push(f.finish());
+        let program = compile(&mb.finish(Vec::new())).unwrap();
+        let mut m = Machine::new(Ar32Set::load(&program));
+        let out = m.run().unwrap();
+        assert_eq!(out.exit_code, 0xabcd);
+        // Emitting changes the hash away from the empty-stream value.
+        let mut f2 = FnBuilder::new("main", 0);
+        let a2 = f2.imm(0xabcdu32);
+        f2.ret(Some(a2));
+        let mut mb2 = ModuleBuilder::new();
+        mb2.push(f2.finish());
+        let p2 = compile(&mb2.finish(Vec::new())).unwrap();
+        let out2 = Machine::new(Ar32Set::load(&p2)).run().unwrap();
+        assert_ne!(out.emitted, out2.emitted);
+    }
+}

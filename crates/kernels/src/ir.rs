@@ -1,0 +1,403 @@
+//! The kernel intermediate representation.
+//!
+//! Benchmarks are written against a small structured IR — virtual registers,
+//! explicit loads/stores, and nested `if`/`while` blocks — and compiled to
+//! AR32 by this crate's code generator. The IR deliberately mirrors what a
+//! simple embedded C compiler would produce, so the statistical properties
+//! FITS synthesis feeds on (opcode mix, immediate distributions, register
+//! pressure) look like compiled MiBench code rather than hand-scheduled
+//! assembly.
+
+use std::fmt;
+
+/// A virtual register. Functions may use an unbounded number; the register
+/// allocator maps them onto `r4`–`r11` with stack spills.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Val(pub(crate) u32);
+
+impl Val {
+    /// The virtual register's index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Memory access width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 32-bit word.
+    W,
+    /// 16-bit halfword.
+    H,
+    /// 8-bit byte.
+    B,
+}
+
+impl Width {
+    /// Width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::W => 4,
+            Width::H => 2,
+            Width::B => 1,
+        }
+    }
+}
+
+/// Unary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise NOT.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+}
+
+/// Binary operations. All arithmetic is 32-bit wrapping, matching both the
+/// AR32 datapath and the Rust reference implementations (which use
+/// `wrapping_*`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bit clear (`a & !b`).
+    Bic,
+    /// Logical shift left (amount taken mod 256, ARM register-shift rules).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Rotate right.
+    Ror,
+    /// 32-bit multiply (low word).
+    Mul,
+}
+
+/// Comparison operators for conditional control flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    LtS,
+    /// Signed less-or-equal.
+    LeS,
+    /// Signed greater-than.
+    GtS,
+    /// Signed greater-or-equal.
+    GeS,
+    /// Unsigned less-than.
+    LtU,
+    /// Unsigned less-or-equal.
+    LeU,
+    /// Unsigned greater-than.
+    GtU,
+    /// Unsigned greater-or-equal.
+    GeU,
+}
+
+impl CmpOp {
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    #[must_use]
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::LtS => CmpOp::GtS,
+            CmpOp::LeS => CmpOp::GeS,
+            CmpOp::GtS => CmpOp::LtS,
+            CmpOp::GeS => CmpOp::LeS,
+            CmpOp::LtU => CmpOp::GtU,
+            CmpOp::LeU => CmpOp::GeU,
+            CmpOp::GtU => CmpOp::LtU,
+            CmpOp::GeU => CmpOp::LeU,
+        }
+    }
+
+    /// The logical negation (`a < b` ⇔ `!(a >= b)`).
+    #[must_use]
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::LtS => CmpOp::GeS,
+            CmpOp::LeS => CmpOp::GtS,
+            CmpOp::GtS => CmpOp::LeS,
+            CmpOp::GeS => CmpOp::LtS,
+            CmpOp::LtU => CmpOp::GeU,
+            CmpOp::LeU => CmpOp::GtU,
+            CmpOp::GtU => CmpOp::LeU,
+            CmpOp::GeU => CmpOp::LtU,
+        }
+    }
+
+    /// Evaluates the comparison (used by the IR interpreter in tests).
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::LtS => sa < sb,
+            CmpOp::LeS => sa <= sb,
+            CmpOp::GtS => sa > sb,
+            CmpOp::GeS => sa >= sb,
+            CmpOp::LtU => a < b,
+            CmpOp::LeU => a <= b,
+            CmpOp::GtU => a > b,
+            CmpOp::GeU => a >= b,
+        }
+    }
+}
+
+/// A register-or-immediate right-hand operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual register.
+    Val(Val),
+    /// A 32-bit constant.
+    Imm(u32),
+}
+
+impl From<Val> for Operand {
+    fn from(v: Val) -> Operand {
+        Operand::Val(v)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v as u32)
+    }
+}
+
+/// A branch condition: one comparison between a register and an operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cond {
+    /// The comparison.
+    pub op: CmpOp,
+    /// Left operand.
+    pub a: Val,
+    /// Right operand.
+    pub b: Operand,
+}
+
+impl Cond {
+    /// Builds a condition.
+    pub fn new(op: CmpOp, a: Val, b: impl Into<Operand>) -> Cond {
+        Cond {
+            op,
+            a,
+            b: b.into(),
+        }
+    }
+}
+
+/// The right-hand side of an assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rvalue {
+    /// A constant.
+    Imm(u32),
+    /// A copy of another virtual register.
+    Copy(Val),
+    /// A unary operation.
+    Unary(UnOp, Val),
+    /// A binary operation.
+    Binary(BinOp, Val, Operand),
+    /// A load: `*(base + disp)`, optionally sign-extended.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Sign-extend sub-word loads.
+        signed: bool,
+        /// Base address register.
+        base: Val,
+        /// Constant displacement in bytes.
+        disp: i32,
+    },
+    /// A conditional select: `if cond { 1 } else { 0 }` — lowered to a
+    /// compare plus predicated moves (keeps AR32's conditional execution
+    /// exercised, which matters for the FITS condition-code analysis).
+    SetCond(Cond),
+}
+
+/// One IR statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `dst = rvalue`.
+    Assign(Val, Rvalue),
+    /// `*(base + disp) = src` at the given width.
+    Store {
+        /// Access width.
+        width: Width,
+        /// Base address register.
+        base: Val,
+        /// Constant displacement in bytes.
+        disp: i32,
+        /// Value to store.
+        src: Val,
+    },
+    /// Two-way conditional.
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Taken block.
+        then: Vec<Stmt>,
+        /// Else block (may be empty).
+        els: Vec<Stmt>,
+    },
+    /// Top-tested loop.
+    While {
+        /// Loop condition, re-evaluated each iteration.
+        cond: Cond,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Call to another function in the module. Up to four arguments.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments (at most four).
+        args: Vec<Val>,
+        /// Destination of the return value, if used.
+        ret: Option<Val>,
+    },
+    /// Passes a word to the simulator's output stream (SWI 1).
+    Emit(Val),
+    /// Returns from the function (`main`'s return value is the exit code).
+    Return(Option<Val>),
+}
+
+/// A function: a parameter count and a structured body.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Number of parameters (≤ 4), pre-assigned to the first virtual regs.
+    pub params: u32,
+    /// Number of virtual registers used.
+    pub vregs: u32,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A compilation unit: functions plus an initialized data image.
+///
+/// The function named `main` is the entry point; its `Return` becomes the
+/// simulator exit trap.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// The functions; `main` must be present.
+    pub funcs: Vec<Function>,
+    /// Initialized data, loaded at `DATA_BASE`.
+    pub data: Vec<u8>,
+}
+
+impl Module {
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn func(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Total IR statement count (structured statements, recursively).
+    #[must_use]
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { then, els, .. } => 1 + count(then) + count(els),
+                    Stmt::While { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.funcs.iter().map(|f| count(&f.body)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negation_and_swap() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::LtS,
+            CmpOp::LeS,
+            CmpOp::GtS,
+            CmpOp::GeS,
+            CmpOp::LtU,
+            CmpOp::LeU,
+            CmpOp::GtU,
+            CmpOp::GeU,
+        ] {
+            for (a, b) in [(0u32, 0u32), (1, 2), (2, 1), (u32::MAX, 1), (1, u32::MAX)] {
+                assert_eq!(op.eval(a, b), !op.negated().eval(a, b), "{op:?} {a} {b}");
+                assert_eq!(op.eval(a, b), op.swapped().eval(b, a), "{op:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let v = Val(3);
+        assert_eq!(Operand::from(v), Operand::Val(v));
+        assert_eq!(Operand::from(7u32), Operand::Imm(7));
+        assert_eq!(Operand::from(-1i32), Operand::Imm(u32::MAX));
+    }
+
+    #[test]
+    fn module_stmt_count_recurses() {
+        let m = Module {
+            funcs: vec![Function {
+                name: "main".into(),
+                params: 0,
+                vregs: 1,
+                body: vec![
+                    Stmt::Assign(Val(0), Rvalue::Imm(0)),
+                    Stmt::While {
+                        cond: Cond::new(CmpOp::LtU, Val(0), 4u32),
+                        body: vec![Stmt::Assign(
+                            Val(0),
+                            Rvalue::Binary(BinOp::Add, Val(0), Operand::Imm(1)),
+                        )],
+                    },
+                    Stmt::Return(Some(Val(0))),
+                ],
+            }],
+            data: Vec::new(),
+        };
+        assert_eq!(m.stmt_count(), 4);
+        assert!(m.func("main").is_some());
+        assert!(m.func("nope").is_none());
+    }
+}

@@ -1,0 +1,743 @@
+//! Automotive kernels: `bitcount`, `qsort`, and the three `susan` passes.
+
+use super::util::{random_words, test_image, DataBuilder, RefSink};
+use super::{RefOutput, Scale};
+use crate::builder::{FnBuilder, ModuleBuilder};
+use crate::ir::{BinOp, CmpOp, Module, Val};
+
+fn fold(acc: u32, v: u32) -> u32 {
+    acc.rotate_left(1) ^ v
+}
+
+fn ir_fold(f: &mut FnBuilder, acc: Val, v: Val) {
+    let r = f.bin(BinOp::Ror, acc, 31u32);
+    f.bin_into(acc, BinOp::Xor, r, v);
+}
+
+// --------------------------------------------------------------------------
+// bitcount — five counting strategies over a word array, like MiBench's
+// seven-way bitcount driver.
+// --------------------------------------------------------------------------
+
+fn bitcount_len(scale: Scale) -> usize {
+    (scale.n as usize * 4).max(64)
+}
+
+fn nibble_table() -> Vec<u32> {
+    (0..16u32).map(u32::count_ones).collect()
+}
+
+fn byte_table() -> Vec<u8> {
+    (0..=255u8).map(|b| b.count_ones() as u8).collect()
+}
+
+pub(super) fn build_bitcount(scale: Scale) -> Module {
+    let len = bitcount_len(scale);
+    let words = random_words(0xb17c, len);
+    let mut d = DataBuilder::new();
+    let data = d.words(&words);
+    let ntab = d.words(&nibble_table());
+    let btab = d.bytes(&byte_table());
+
+    let mut mb = ModuleBuilder::new();
+
+    // Method 1: Kernighan's loop.
+    let mut f = FnBuilder::new("bc_kernighan", 1);
+    let x = f.param(0);
+    let v = f.imm(0u32);
+    f.copy(v, x);
+    let c = f.imm(0u32);
+    f.while_(f.cmp(CmpOp::Ne, v, 0u32), |f| {
+        let m1 = f.sub(v, 1u32);
+        let nv = f.and(v, m1);
+        f.copy(v, nv);
+        let nc = f.add(c, 1u32);
+        f.copy(c, nc);
+    });
+    f.ret(Some(c));
+    mb.push(f.finish());
+
+    // Method 2: SWAR parallel reduction.
+    let mut f = FnBuilder::new("bc_swar", 1);
+    let x = f.param(0);
+    let h = f.shr(x, 1u32);
+    let h5 = f.and(h, 0x5555_5555u32);
+    let v1 = f.sub(x, h5);
+    let a = f.and(v1, 0x3333_3333u32);
+    let b0 = f.shr(v1, 2u32);
+    let b = f.and(b0, 0x3333_3333u32);
+    let v2 = f.add(a, b);
+    let c0 = f.shr(v2, 4u32);
+    let v3 = f.add(v2, c0);
+    let v4 = f.and(v3, 0x0f0f_0f0fu32);
+    let v5 = f.mul(v4, 0x0101_0101u32);
+    let out = f.shr(v5, 24u32);
+    f.ret(Some(out));
+    mb.push(f.finish());
+
+    // Method 3: eight nibble-table lookups, fully unrolled.
+    let mut f = FnBuilder::new("bc_nibble", 1);
+    let x = f.param(0);
+    let tab = f.imm(ntab);
+    let c = f.imm(0u32);
+    for k in 0..8u32 {
+        let sh = f.shr(x, k * 4);
+        let nib = f.and(sh, 0xfu32);
+        let off = f.shl(nib, 2u32);
+        let p = f.add(tab, off);
+        let e = f.load_w(p, 0);
+        let nc = f.add(c, e);
+        f.copy(c, nc);
+    }
+    f.ret(Some(c));
+    mb.push(f.finish());
+
+    // Method 4: four byte-table lookups.
+    let mut f = FnBuilder::new("bc_byte", 1);
+    let x = f.param(0);
+    let tab = f.imm(btab);
+    let c = f.imm(0u32);
+    for k in 0..4u32 {
+        let sh = f.shr(x, k * 8);
+        let byte = f.and(sh, 0xffu32);
+        let p = f.add(tab, byte);
+        let e = f.load_b(p, 0);
+        let nc = f.add(c, e);
+        f.copy(c, nc);
+    }
+    f.ret(Some(c));
+    mb.push(f.finish());
+
+    // Method 5: shift-and-add over all 32 bit positions, unrolled.
+    let mut f = FnBuilder::new("bc_shift", 1);
+    let x = f.param(0);
+    let c = f.imm(0u32);
+    for k in 0..32u32 {
+        let sh = f.shr(x, k);
+        let bit = f.and(sh, 1u32);
+        let nc = f.add(c, bit);
+        f.copy(c, nc);
+    }
+    f.ret(Some(c));
+    mb.push(f.finish());
+
+    let mut f = FnBuilder::new("main", 0);
+    let base = f.imm(data);
+    let total = f.imm(0u32);
+    let methods = ["bc_kernighan", "bc_swar", "bc_nibble", "bc_byte", "bc_shift"];
+    for name in methods {
+        let sum = f.imm(0u32);
+        f.repeat(len as u32, |f, i| {
+            let off = f.shl(i, 2u32);
+            let p = f.add(base, off);
+            let w = f.load_w(p, 0);
+            let c = f.call(name, &[w]);
+            let ns = f.add(sum, c);
+            f.copy(sum, ns);
+        });
+        f.emit(sum);
+        ir_fold(&mut f, total, sum);
+    }
+    f.ret(Some(total));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_bitcount(scale: Scale) -> RefOutput {
+    let len = bitcount_len(scale);
+    let words = random_words(0xb17c, len);
+    let per_method: u32 = words.iter().map(|w| w.count_ones()).sum();
+    let mut sink = RefSink::new();
+    let mut total: u32 = 0;
+    for _ in 0..5 {
+        sink.emit(per_method);
+        total = fold(total, per_method);
+    }
+    RefOutput {
+        exit_code: total,
+        emitted: sink.into_words(),
+    }
+}
+
+// --------------------------------------------------------------------------
+// qsort — recursive quicksort (median-of-3 Hoare partition) with an
+// insertion-sort finish, over unsigned words.
+// --------------------------------------------------------------------------
+
+fn qsort_len(scale: Scale) -> usize {
+    (scale.n as usize * 8).max(64)
+}
+
+pub(super) fn build_qsort(scale: Scale) -> Module {
+    let len = qsort_len(scale);
+    let words = random_words(0x9507, len);
+    let mut d = DataBuilder::new();
+    let arr = d.words(&words);
+
+    let mut mb = ModuleBuilder::new();
+
+    // insertion_sort(base, lo, hi) — indices inclusive, signed.
+    let mut f = FnBuilder::new("isort", 3);
+    let base = f.param(0);
+    let lo = f.param(1);
+    let hi = f.param(2);
+    let i = f.add(lo, 1u32);
+    f.while_(f.cmp(CmpOp::LeS, i, hi), |f| {
+        let i4 = f.shl(i, 2u32);
+        let pi = f.add(base, i4);
+        let key = f.load_w(pi, 0);
+        let j = f.sub(i, 1u32);
+        let run = f.imm(1u32);
+        f.while_(f.cmp(CmpOp::Ne, run, 0u32), |f| {
+            f.if_else(
+                f.cmp(CmpOp::LtS, j, lo),
+                |f| f.set_imm(run, 0),
+                |f| {
+                    let j4 = f.shl(j, 2u32);
+                    let pj = f.add(base, j4);
+                    let vj = f.load_w(pj, 0);
+                    f.if_else(
+                        f.cmp(CmpOp::GtU, vj, key),
+                        |f| {
+                            f.store_w(pj, 4, vj);
+                            let nj = f.sub(j, 1u32);
+                            f.copy(j, nj);
+                        },
+                        |f| f.set_imm(run, 0),
+                    );
+                },
+            );
+        });
+        let j4 = f.shl(j, 2u32);
+        let pj = f.add(base, j4);
+        f.store_w(pj, 4, key);
+        let ni = f.add(i, 1u32);
+        f.copy(i, ni);
+    });
+    f.ret(None);
+    mb.push(f.finish());
+
+    // quicksort(base, lo, hi) — recursive.
+    let mut f = FnBuilder::new("quicksort", 3);
+    let base = f.param(0);
+    let lo = f.param(1);
+    let hi = f.param(2);
+    let span = f.sub(hi, lo);
+    f.if_else(
+        f.cmp(CmpOp::LtS, span, 12u32),
+        |f| {
+            f.if_(f.cmp(CmpOp::GtS, span, 0u32), |f| {
+                f.call_void("isort", &[base, lo, hi]);
+            });
+        },
+        |f| {
+            // Median-of-3: order arr[lo], arr[mid], arr[hi].
+            let sum = f.add(lo, hi);
+            let mid = f.shr(sum, 1u32);
+            let lo4 = f.shl(lo, 2u32);
+            let mid4 = f.shl(mid, 2u32);
+            let hi4 = f.shl(hi, 2u32);
+            let plo = f.add(base, lo4);
+            let pmid = f.add(base, mid4);
+            let phi = f.add(base, hi4);
+            let a = f.load_w(plo, 0);
+            let b = f.load_w(pmid, 0);
+            let c = f.load_w(phi, 0);
+            // Three compare-swaps, operating on registers then stored back.
+            f.if_(f.cmp(CmpOp::GtU, a, b), |f| {
+                let t = f.imm(0u32);
+                f.copy(t, a);
+                f.copy(a, b);
+                f.copy(b, t);
+            });
+            f.if_(f.cmp(CmpOp::GtU, b, c), |f| {
+                let t = f.imm(0u32);
+                f.copy(t, b);
+                f.copy(b, c);
+                f.copy(c, t);
+            });
+            f.if_(f.cmp(CmpOp::GtU, a, b), |f| {
+                let t = f.imm(0u32);
+                f.copy(t, a);
+                f.copy(a, b);
+                f.copy(b, t);
+            });
+            f.store_w(plo, 0, a);
+            f.store_w(pmid, 0, b);
+            f.store_w(phi, 0, c);
+            let pivot = f.imm(0u32);
+            f.copy(pivot, b);
+
+            // Hoare partition.
+            let i = f.imm(0u32);
+            f.copy(i, lo);
+            let j = f.imm(0u32);
+            f.copy(j, hi);
+            f.while_(f.cmp(CmpOp::LeS, i, j), |f| {
+                // Scan i rightwards.
+                let i4 = f.shl(i, 2u32);
+                let pi = f.add(base, i4);
+                let vi = f.load_w(pi, 0);
+                f.while_(f.cmp(CmpOp::LtU, vi, pivot), |f| {
+                    let ni = f.add(i, 1u32);
+                    f.copy(i, ni);
+                    let i4 = f.shl(i, 2u32);
+                    let pi = f.add(base, i4);
+                    let nv = f.load_w(pi, 0);
+                    f.copy(vi, nv);
+                });
+                // Scan j leftwards.
+                let j4 = f.shl(j, 2u32);
+                let pj = f.add(base, j4);
+                let vj = f.load_w(pj, 0);
+                f.while_(f.cmp(CmpOp::GtU, vj, pivot), |f| {
+                    let nj = f.sub(j, 1u32);
+                    f.copy(j, nj);
+                    let j4 = f.shl(j, 2u32);
+                    let pj = f.add(base, j4);
+                    let nv = f.load_w(pj, 0);
+                    f.copy(vj, nv);
+                });
+                f.if_(f.cmp(CmpOp::LeS, i, j), |f| {
+                    let i4 = f.shl(i, 2u32);
+                    let j4 = f.shl(j, 2u32);
+                    let pi = f.add(base, i4);
+                    let pj = f.add(base, j4);
+                    f.store_w(pi, 0, vj);
+                    f.store_w(pj, 0, vi);
+                    let ni = f.add(i, 1u32);
+                    f.copy(i, ni);
+                    let nj = f.sub(j, 1u32);
+                    f.copy(j, nj);
+                });
+            });
+            f.if_(f.cmp(CmpOp::LtS, lo, j), |f| {
+                f.call_void("quicksort", &[base, lo, j]);
+            });
+            f.if_(f.cmp(CmpOp::LtS, i, hi), |f| {
+                f.call_void("quicksort", &[base, i, hi]);
+            });
+        },
+    );
+    f.ret(None);
+    mb.push(f.finish());
+
+    let mut f = FnBuilder::new("main", 0);
+    let base = f.imm(arr);
+    let lo = f.imm(0u32);
+    let hi = f.imm((len - 1) as u32);
+    f.call_void("quicksort", &[base, lo, hi]);
+    // Sample the sorted array.
+    let stride = (len / 16).max(1) as u32;
+    let acc = f.imm(0u32);
+    let k = f.imm(0u32);
+    f.while_(f.cmp(CmpOp::LtU, k, len as u32), |f| {
+        let k4 = f.shl(k, 2u32);
+        let p = f.add(base, k4);
+        let v = f.load_w(p, 0);
+        f.emit(v);
+        ir_fold(f, acc, v);
+        let nk = f.add(k, stride);
+        f.copy(k, nk);
+    });
+    f.ret(Some(acc));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_qsort(scale: Scale) -> RefOutput {
+    let len = qsort_len(scale);
+    let mut words = random_words(0x9507, len);
+    words.sort_unstable();
+    let stride = (len / 16).max(1);
+    let mut sink = RefSink::new();
+    let mut acc: u32 = 0;
+    let mut k = 0usize;
+    while k < len {
+        sink.emit(words[k]);
+        acc = fold(acc, words[k]);
+        k += stride;
+    }
+    RefOutput {
+        exit_code: acc,
+        emitted: sink.into_words(),
+    }
+}
+
+// --------------------------------------------------------------------------
+// susan — smoothing / edges / corners over a grayscale image.
+// --------------------------------------------------------------------------
+
+const SUSAN_W: usize = 64;
+
+fn susan_h(scale: Scale) -> usize {
+    (scale.n as usize / 4).clamp(16, 256)
+}
+
+/// The 3×3 smoothing taps (weight, dy, dx); weights sum to 16.
+const SMOOTH_TAPS: [(u32, i32, i32); 9] = [
+    (1, -1, -1),
+    (2, -1, 0),
+    (1, -1, 1),
+    (2, 0, -1),
+    (4, 0, 0),
+    (2, 0, 1),
+    (1, 1, -1),
+    (2, 1, 0),
+    (1, 1, 1),
+];
+
+/// 5×5 mask minus corners (20 offsets, center excluded) — the USAN
+/// neighbourhood for the edge pass.
+fn edge_mask() -> Vec<(i32, i32)> {
+    let mut m = Vec::new();
+    for dy in -2i32..=2 {
+        for dx in -2i32..=2 {
+            if (dy, dx) == (0, 0) {
+                continue;
+            }
+            if dy.abs() == 2 && dx.abs() == 2 {
+                continue;
+            }
+            m.push((dy, dx));
+        }
+    }
+    m
+}
+
+/// Full 5×5 mask minus center (24 offsets) for the corner pass.
+fn corner_mask() -> Vec<(i32, i32)> {
+    let mut m = Vec::new();
+    for dy in -2i32..=2 {
+        for dx in -2i32..=2 {
+            if (dy, dx) != (0, 0) {
+                m.push((dy, dx));
+            }
+        }
+    }
+    m
+}
+
+const EDGE_T: u32 = 20;
+const EDGE_G: u32 = 14;
+const CORNER_T: u32 = 25;
+const CORNER_G: u32 = 12;
+
+/// How many output columns each inner-loop iteration handles. This is the
+/// unroll factor that sets the hot-loop footprint (see the module docs on
+/// matching MiBench's text-size spread).
+const SMOOTH_UNROLL: usize = 2;
+const EDGE_UNROLL: usize = 12;
+const CORNER_UNROLL: usize = 15;
+
+pub(super) fn build_susan_smoothing(scale: Scale) -> Module {
+    let (w, h) = (SUSAN_W, susan_h(scale));
+    let img = test_image(0x5a5a, w, h);
+    let mut d = DataBuilder::new();
+    let src = d.bytes(&img);
+    let dst = d.zeroed(w * h, 4);
+
+    let mut mb = ModuleBuilder::new();
+    let mut f = FnBuilder::new("main", 0);
+    let srcv = f.imm(src);
+    let dstv = f.imm(dst);
+    let acc = f.imm(0u32);
+    let y = f.imm(1u32);
+    let inner = ((w - 2) / SMOOTH_UNROLL * SMOOTH_UNROLL) as u32;
+    f.while_(f.cmp(CmpOp::LtU, y, (h - 1) as u32), |f| {
+        let row = f.mul(y, w as u32);
+        let sp = f.add(srcv, row);
+        let dp = f.add(dstv, row);
+        // Row pointers, the way the original SUSAN C code walks the image —
+        // keeps every load displacement tiny (dx plus the unroll offset).
+        let row_up = f.sub(sp, w as u32);
+        let row_dn = f.add(sp, w as u32);
+        let x = f.imm(1u32);
+        f.while_(f.cmp(CmpOp::LeU, x, inner), |f| {
+            let pu = f.add(row_up, x);
+            let pc = f.add(sp, x);
+            let pd = f.add(row_dn, x);
+            let dbase = f.add(dp, x);
+            for u in 0..SMOOTH_UNROLL {
+                let sum = f.imm(8u32); // rounding
+                for (wt, dy, dx) in SMOOTH_TAPS {
+                    let rowp = match dy {
+                        -1 => pu,
+                        0 => pc,
+                        _ => pd,
+                    };
+                    let p = f.load_b(rowp, dx + u as i32);
+                    let wp = f.mul(p, wt);
+                    let ns = f.add(sum, wp);
+                    f.copy(sum, ns);
+                }
+                let v = f.shr(sum, 4u32);
+                f.store_b(dbase, u as i32, v);
+                ir_fold(f, acc, v);
+            }
+            let nx = f.add(x, SMOOTH_UNROLL as u32);
+            f.copy(x, nx);
+        });
+        let ny = f.add(y, 1u32);
+        f.copy(y, ny);
+    });
+    f.emit(acc);
+    f.ret(Some(acc));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_susan_smoothing(scale: Scale) -> RefOutput {
+    let (w, h) = (SUSAN_W, susan_h(scale));
+    let img = test_image(0x5a5a, w, h);
+    let inner = (w - 2) / SMOOTH_UNROLL * SMOOTH_UNROLL;
+    let mut acc: u32 = 0;
+    for y in 1..h - 1 {
+        for x in 1..=inner {
+            let mut sum: u32 = 8;
+            for (wt, dy, dx) in SMOOTH_TAPS {
+                let p = img[(y as i32 + dy) as usize * w + (x as i32 + dx) as usize];
+                sum = sum.wrapping_add(u32::from(p).wrapping_mul(wt));
+            }
+            acc = fold(acc, sum >> 4);
+        }
+    }
+    RefOutput {
+        exit_code: acc,
+        emitted: vec![acc],
+    }
+}
+
+/// Shared shape of the edge/corner USAN kernels.
+fn build_susan_usan(
+    scale: Scale,
+    mask: &[(i32, i32)],
+    t: u32,
+    g: u32,
+    unroll: usize,
+    centroid: bool,
+) -> Module {
+    let (w, h) = (SUSAN_W, susan_h(scale));
+    let img = test_image(0x5a5a, w, h);
+    let mut d = DataBuilder::new();
+    let src = d.bytes(&img);
+
+    let mut mb = ModuleBuilder::new();
+    let mut f = FnBuilder::new("main", 0);
+    let srcv = f.imm(src);
+    let count = f.imm(0u32);
+    let acc = f.imm(0u32);
+    let y = f.imm(2u32);
+    let first = 2usize;
+    let span = (w - 4) / unroll * unroll;
+    f.while_(f.cmp(CmpOp::LtU, y, (h - 2) as u32), |f| {
+        let row = f.mul(y, w as u32);
+        let sp = f.add(srcv, row);
+        // Row pointers for the 5-row USAN window (real SUSAN walks the image
+        // with pointers, keeping displacements in the byte-load short range).
+        let rows: [Val; 5] = [
+            f.sub(sp, 2 * w as u32),
+            f.sub(sp, w as u32),
+            sp,
+            f.add(sp, w as u32),
+            f.add(sp, 2 * w as u32),
+        ];
+        let x = f.imm(first as u32);
+        f.while_(f.cmp(CmpOp::LtU, x, (first + span) as u32), |f| {
+            let ptrs: [Val; 5] = [
+                f.add(rows[0], x),
+                f.add(rows[1], x),
+                f.add(rows[2], x),
+                f.add(rows[3], x),
+                f.add(rows[4], x),
+            ];
+            let sbase = ptrs[2];
+            for u in 0..unroll {
+                let c = f.load_b(sbase, u as i32);
+                let usan = f.imm(0u32);
+                let cx = if centroid { Some(f.imm(0u32)) } else { None };
+                let cy = if centroid { Some(f.imm(0u32)) } else { None };
+                for &(dy, dx) in mask {
+                    let p = f.load_b(ptrs[(dy + 2) as usize], dx + u as i32);
+                    let diff = f.sub(p, c);
+                    f.if_(f.cmp(CmpOp::LtS, diff, 0u32), |f| {
+                        let nd = f.neg(diff);
+                        f.copy(diff, nd);
+                    });
+                    f.if_(f.cmp(CmpOp::LeS, diff, t), |f| {
+                        let nu = f.add(usan, 1u32);
+                        f.copy(usan, nu);
+                        if let (Some(cx), Some(cy)) = (cx, cy) {
+                            let nx = f.add(cx, dx);
+                            f.copy(cx, nx);
+                            let ny = f.add(cy, dy);
+                            f.copy(cy, ny);
+                        }
+                    });
+                }
+                f.if_(f.cmp(CmpOp::LtU, usan, g), |f| {
+                    let passes = if let (Some(cx), Some(cy)) = (cx, cy) {
+                        // Corner: require displaced centroid.
+                        let axv = f.imm(0u32);
+                        f.copy(axv, cx);
+                        f.if_(f.cmp(CmpOp::LtS, axv, 0u32), |f| {
+                            let n = f.neg(axv);
+                            f.copy(axv, n);
+                        });
+                        let ayv = f.imm(0u32);
+                        f.copy(ayv, cy);
+                        f.if_(f.cmp(CmpOp::LtS, ayv, 0u32), |f| {
+                            let n = f.neg(ayv);
+                            f.copy(ayv, n);
+                        });
+                        let mag = f.add(axv, ayv);
+                        f.set_cond(f.cmp(CmpOp::GtU, mag, 2u32))
+                    } else {
+                        f.imm(1u32)
+                    };
+                    f.if_(f.cmp(CmpOp::Ne, passes, 0u32), |f| {
+                        let nc = f.add(count, 1u32);
+                        f.copy(count, nc);
+                        let gv = f.imm(g);
+                        let strength = f.sub(gv, usan);
+                        ir_fold(f, acc, strength);
+                    });
+                });
+            }
+            let nx = f.add(x, unroll as u32);
+            f.copy(x, nx);
+        });
+        let ny = f.add(y, 1u32);
+        f.copy(y, ny);
+    });
+    f.emit(count);
+    f.emit(acc);
+    let out = f.xor(acc, count);
+    f.ret(Some(out));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+fn ref_susan_usan(
+    scale: Scale,
+    mask: &[(i32, i32)],
+    t: u32,
+    g: u32,
+    unroll: usize,
+    centroid: bool,
+) -> RefOutput {
+    let (w, h) = (SUSAN_W, susan_h(scale));
+    let img = test_image(0x5a5a, w, h);
+    let first = 2usize;
+    let span = (w - 4) / unroll * unroll;
+    let mut count: u32 = 0;
+    let mut acc: u32 = 0;
+    for y in 2..h - 2 {
+        for x in first..first + span {
+            let c = i32::from(img[y * w + x]);
+            let mut usan: u32 = 0;
+            let mut cx: i32 = 0;
+            let mut cy: i32 = 0;
+            for &(dy, dx) in mask {
+                let p = i32::from(img[(y as i32 + dy) as usize * w + (x as i32 + dx) as usize]);
+                let diff = (p - c).abs();
+                if diff <= t as i32 {
+                    usan += 1;
+                    cx += dx;
+                    cy += dy;
+                }
+            }
+            if usan < g {
+                let passes = if centroid {
+                    (cx.abs() + cy.abs()) as u32 > 2
+                } else {
+                    true
+                };
+                if passes {
+                    count += 1;
+                    acc = fold(acc, g - usan);
+                }
+            }
+        }
+    }
+    RefOutput {
+        exit_code: acc ^ count,
+        emitted: vec![count, acc],
+    }
+}
+
+pub(super) fn build_susan_edges(scale: Scale) -> Module {
+    build_susan_usan(scale, &edge_mask(), EDGE_T, EDGE_G, EDGE_UNROLL, false)
+}
+
+pub(super) fn ref_susan_edges(scale: Scale) -> RefOutput {
+    ref_susan_usan(scale, &edge_mask(), EDGE_T, EDGE_G, EDGE_UNROLL, false)
+}
+
+pub(super) fn build_susan_corners(scale: Scale) -> Module {
+    build_susan_usan(
+        scale,
+        &corner_mask(),
+        CORNER_T,
+        CORNER_G,
+        CORNER_UNROLL,
+        true,
+    )
+}
+
+pub(super) fn ref_susan_corners(scale: Scale) -> RefOutput {
+    ref_susan_usan(
+        scale,
+        &corner_mask(),
+        CORNER_T,
+        CORNER_G,
+        CORNER_UNROLL,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::differential;
+    use super::*;
+
+    #[test]
+    fn bitcount_matches_reference() {
+        differential(build_bitcount, ref_bitcount);
+    }
+
+    #[test]
+    fn qsort_matches_reference() {
+        differential(build_qsort, ref_qsort);
+    }
+
+    #[test]
+    fn susan_smoothing_matches_reference() {
+        differential(build_susan_smoothing, ref_susan_smoothing);
+    }
+
+    #[test]
+    fn susan_edges_matches_reference() {
+        differential(build_susan_edges, ref_susan_edges);
+    }
+
+    #[test]
+    fn susan_corners_matches_reference() {
+        differential(build_susan_corners, ref_susan_corners);
+    }
+
+    #[test]
+    fn masks_have_expected_sizes() {
+        assert_eq!(edge_mask().len(), 20);
+        assert_eq!(corner_mask().len(), 24);
+    }
+
+    #[test]
+    fn susan_detects_features() {
+        // The synthetic image has rectangles, so the detectors must fire.
+        let out = ref_susan_edges(Scale::test());
+        assert!(out.emitted[0] > 0, "edge count must be nonzero");
+        let out = ref_susan_corners(Scale::test());
+        assert!(out.emitted[0] > 0, "corner count must be nonzero");
+    }
+}

@@ -1,0 +1,314 @@
+//! Consumer kernels: `jpeg.dct` (block DCT + quantize) and `lame.filter`
+//! (polyphase-style FIR subband filter).
+
+use super::util::{audio_samples, test_image, DataBuilder, RefSink};
+use super::{RefOutput, Scale};
+use crate::builder::{FnBuilder, ModuleBuilder};
+use crate::ir::{BinOp, CmpOp, Module, Val};
+
+fn fold(acc: u32, v: u32) -> u32 {
+    acc.rotate_left(1) ^ v
+}
+
+fn ir_fold(f: &mut FnBuilder, acc: Val, v: Val) {
+    let r = f.bin(BinOp::Ror, acc, 31u32);
+    f.bin_into(acc, BinOp::Xor, r, v);
+}
+
+// --------------------------------------------------------------------------
+// jpeg.dct — 8×8 forward DCT by table-driven matrix multiply, then
+// shift-quantization (no divider on the SA-1100-class datapath, so the
+// quantizer is a per-coefficient arithmetic shift, as fixed-point codecs do).
+// --------------------------------------------------------------------------
+
+fn jpeg_blocks(scale: Scale) -> usize {
+    (scale.n as usize / 8).max(4)
+}
+
+/// DCT-II basis, 12-bit fixed point: `C[u][x] = alpha(u) * cos((2x+1)uπ/16)`.
+fn dct_table() -> Vec<i16> {
+    let mut t = Vec::with_capacity(64);
+    for u in 0..8usize {
+        let alpha = if u == 0 {
+            (1.0f64 / 8.0).sqrt()
+        } else {
+            (2.0f64 / 8.0).sqrt()
+        };
+        for x in 0..8usize {
+            let c = alpha * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            t.push((c * 4096.0).round() as i16);
+        }
+    }
+    t
+}
+
+/// Per-coefficient quantization shifts (coarser for high frequencies).
+fn quant_shifts() -> Vec<u32> {
+    let mut q = Vec::with_capacity(64);
+    for u in 0..8usize {
+        for v in 0..8usize {
+            q.push(((u + v) / 3 + 1).min(6) as u32);
+        }
+    }
+    q
+}
+
+pub(super) fn build_jpeg_dct(scale: Scale) -> Module {
+    let blocks = jpeg_blocks(scale);
+    // The image is a strip of `blocks` 8x8 blocks side by side.
+    let img = test_image(0x09e6, 8 * blocks, 8);
+    let mut d = DataBuilder::new();
+    let src = d.bytes(&img);
+    let ctab = d.halves(&dct_table());
+    let qtab = d.words(&quant_shifts());
+    let tmp = d.zeroed(64 * 4, 4); // row-pass intermediate, i32
+    let out = d.zeroed(64 * 4, 4);
+
+    let mut mb = ModuleBuilder::new();
+
+    // dct_block(src_base) -> folded coefficients for one 8x8 block. Source
+    // rows are `8 * blocks` bytes apart (the image stride).
+    let stride = (8 * blocks) as u32;
+    let mut f = FnBuilder::new("dct_block", 1);
+    let sbase = f.param(0);
+    let qt = f.imm(qtab);
+    let tmpv = f.imm(tmp);
+    let outv = f.imm(out);
+
+    // Row pass: tmp[y][u] = (sum_x (in[y][x]-128) * C[u][x]) >> 9.
+    f.repeat(8u32, |f, yy| {
+        let soff = f.mul(yy, stride);
+        let srow = f.add(sbase, soff);
+        // Load and level-shift the eight pixels of the row.
+        let px: Vec<Val> = (0..8)
+            .map(|x| {
+                let p = f.load_b(srow, x);
+                f.sub(p, 128u32)
+            })
+            .collect();
+        let toff = f.shl(yy, 5u32); // y * 8 coeffs * 4 bytes
+        let trow = f.add(tmpv, toff);
+        for u in 0..8usize {
+            let cbase = f.imm(ctab + (u as u32) * 16);
+            let acc = f.imm(0u32);
+            for (x, p) in px.iter().enumerate() {
+                let c = f.load_sh(cbase, (x * 2) as i32);
+                let m = f.mul(*p, c);
+                let na = f.add(acc, m);
+                f.copy(acc, na);
+            }
+            let sc = f.sar(acc, 9u32);
+            f.store_w(trow, (u * 4) as i32, sc);
+        }
+    });
+
+    // Column pass + quantization:
+    // out[u][v] = ((sum_y tmp[y][v] * C[u][y]) >> 12) >> qshift[u][v].
+    let acc_all = f.imm(0u32);
+    f.repeat(8u32, |f, u| {
+        let row_off = f.shl(u, 5u32);
+        let orow = f.add(outv, row_off);
+        let qrow = f.add(qt, row_off);
+        let c_off = f.shl(u, 4u32); // u * 8 coeffs * 2 bytes
+        let ct_c = f.imm(ctab);
+        let crow = f.add(ct_c, c_off);
+        for v in 0..8usize {
+            let acc = f.imm(0u32);
+            for y in 0..8usize {
+                let t = f.load_w(tmpv, (y * 32 + v * 4) as i32);
+                let c = f.load_sh(crow, (y * 2) as i32);
+                let m = f.mul(t, c);
+                let na = f.add(acc, m);
+                f.copy(acc, na);
+            }
+            let sc = f.sar(acc, 12u32);
+            let qs = f.load_w(qrow, (v * 4) as i32);
+            let qv = f.bin(BinOp::Sar, sc, qs);
+            f.store_w(orow, (v * 4) as i32, qv);
+            ir_fold(f, acc_all, qv);
+        }
+    });
+    f.ret(Some(acc_all));
+    mb.push(f.finish());
+
+    let mut f = FnBuilder::new("main", 0);
+    let total = f.imm(0u32);
+    f.repeat(blocks as u32, |f, b| {
+        let boff = f.shl(b, 3u32); // blocks sit 8 pixels apart in the strip
+        let srcv = f.imm(src);
+        let block_base = f.add(srcv, boff);
+        let h = f.call("dct_block", &[block_base]);
+        f.emit(h);
+        ir_fold(f, total, h);
+    });
+    f.ret(Some(total));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_jpeg_dct(scale: Scale) -> RefOutput {
+    let blocks = jpeg_blocks(scale);
+    let img = test_image(0x09e6, 8 * blocks, 8);
+    let ctab = dct_table();
+    let qtab = quant_shifts();
+    let stride = 8 * blocks;
+    let mut sink = RefSink::new();
+    let mut total: u32 = 0;
+    for b in 0..blocks {
+        // The block's fold restarts per block but the accumulator register
+        // in the kernel is function-local, so it restarts there too.
+        let mut tmp = [0u32; 64];
+        for y in 0..8usize {
+            for u in 0..8usize {
+                let mut acc: u32 = 0;
+                for x in 0..8usize {
+                    let p = u32::from(img[y * stride + b * 8 + x]).wrapping_sub(128);
+                    let c = i32::from(ctab[u * 8 + x]) as u32;
+                    acc = acc.wrapping_add(p.wrapping_mul(c));
+                }
+                tmp[y * 8 + u] = ((acc as i32) >> 9) as u32;
+            }
+        }
+        let mut h: u32 = 0;
+        for u in 0..8usize {
+            for v in 0..8usize {
+                let mut acc: u32 = 0;
+                for y in 0..8usize {
+                    let c = i32::from(ctab[u * 8 + y]) as u32;
+                    acc = acc.wrapping_add(tmp[y * 8 + v].wrapping_mul(c));
+                }
+                let sc = ((acc as i32) >> 12) as u32;
+                let qv = ((sc as i32) >> qtab[u * 8 + v]) as u32;
+                h = fold(h, qv);
+            }
+        }
+        sink.emit(h);
+        total = fold(total, h);
+    }
+    RefOutput {
+        exit_code: total,
+        emitted: sink.into_words(),
+    }
+}
+
+// --------------------------------------------------------------------------
+// lame.filter — 64-tap windowed FIR with 8× decimation, fully unrolled taps
+// (the shape of LAME's polyphase subband window stage).
+// --------------------------------------------------------------------------
+
+const TAPS: usize = 64;
+const DECIM: usize = 8;
+
+fn lame_samples(scale: Scale) -> usize {
+    (scale.n as usize * 8).max(256)
+}
+
+fn window() -> Vec<i16> {
+    // A raised-cosine window in 14-bit fixed point; generated, not
+    // tabulated, so both sides share the exact values.
+    (0..TAPS)
+        .map(|k| {
+            let x = (k as f64 + 0.5) / TAPS as f64;
+            let w = (std::f64::consts::PI * x).sin().powi(2) * 16383.0;
+            w as i16
+        })
+        .collect()
+}
+
+pub(super) fn build_lame_filter(scale: Scale) -> Module {
+    let n = lame_samples(scale);
+    let samples = audio_samples(0x1a3e, n);
+    let win = window();
+    let n_out = (n - TAPS) / DECIM;
+
+    let mut d = DataBuilder::new();
+    let inp = d.halves(&samples);
+    let wtab = d.halves(&win);
+
+    let mut mb = ModuleBuilder::new();
+    let mut f = FnBuilder::new("main", 0);
+    let inpv = f.imm(inp);
+    let wv = f.imm(wtab);
+    let acc_all = f.imm(0u32);
+    f.repeat(n_out as u32, |f, k| {
+        let start = f.mul(k, (DECIM * 2) as u32);
+        let base = f.add(inpv, start);
+        let acc = f.imm(0u32);
+        for t in 0..TAPS {
+            let s = f.load_sh(base, (t * 2) as i32);
+            let w = f.load_sh(wv, (t * 2) as i32);
+            let m = f.mul(s, w);
+            let na = f.add(acc, m);
+            f.copy(acc, na);
+        }
+        let out = f.sar(acc, 14u32);
+        ir_fold(f, acc_all, out);
+        let mask = f.and(k, 63u32);
+        f.if_(f.cmp(CmpOp::Eq, mask, 0u32), |f| f.emit(out));
+    });
+    f.emit(acc_all);
+    f.ret(Some(acc_all));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_lame_filter(scale: Scale) -> RefOutput {
+    let n = lame_samples(scale);
+    let samples = audio_samples(0x1a3e, n);
+    let win = window();
+    let n_out = (n - TAPS) / DECIM;
+    let mut sink = RefSink::new();
+    let mut acc_all: u32 = 0;
+    for k in 0..n_out {
+        let mut acc: u32 = 0;
+        for t in 0..TAPS {
+            let s = i32::from(samples[k * DECIM + t]) as u32;
+            let w = i32::from(win[t]) as u32;
+            acc = acc.wrapping_add(s.wrapping_mul(w));
+        }
+        let out = ((acc as i32) >> 14) as u32;
+        acc_all = fold(acc_all, out);
+        if k % 64 == 0 {
+            sink.emit(out);
+        }
+    }
+    sink.emit(acc_all);
+    RefOutput {
+        exit_code: acc_all,
+        emitted: sink.into_words(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::differential;
+    use super::*;
+
+    #[test]
+    fn jpeg_dct_matches_reference() {
+        differential(build_jpeg_dct, ref_jpeg_dct);
+    }
+
+    #[test]
+    fn lame_filter_matches_reference() {
+        differential(build_lame_filter, ref_lame_filter);
+    }
+
+    #[test]
+    fn dct_dc_row_is_flat() {
+        let t = dct_table();
+        // u = 0 row: all entries equal (alpha(0) * cos(0)).
+        assert!(t[0..8].iter().all(|&c| c == t[0]));
+        assert!(t[0] > 1400 && t[0] < 1500, "alpha0*4096 ~ 1448: {}", t[0]);
+    }
+
+    #[test]
+    fn window_is_symmetric_and_positive() {
+        let w = window();
+        assert_eq!(w.len(), TAPS);
+        for k in 0..TAPS / 2 {
+            assert_eq!(w[k], w[TAPS - 1 - k], "tap {k}");
+        }
+        assert!(w.iter().all(|&v| v >= 0));
+    }
+}

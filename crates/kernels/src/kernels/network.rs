@@ -1,0 +1,387 @@
+//! Network kernels: `dijkstra` (dense shortest paths) and `patricia`
+//! (binary radix-trie routing-table lookups).
+
+use super::util::{rng, DataBuilder, RefSink};
+use super::{RefOutput, Scale};
+use crate::builder::{FnBuilder, ModuleBuilder};
+use crate::ir::{BinOp, CmpOp, Module, Val};
+use rand::Rng;
+
+fn fold(acc: u32, v: u32) -> u32 {
+    acc.rotate_left(1) ^ v
+}
+
+fn ir_fold(f: &mut FnBuilder, acc: Val, v: Val) {
+    let r = f.bin(BinOp::Ror, acc, 31u32);
+    f.bin_into(acc, BinOp::Xor, r, v);
+}
+
+// --------------------------------------------------------------------------
+// dijkstra — O(V^2) single-source shortest paths on a dense adjacency
+// matrix, run from several sources (MiBench's driver computes many pairs).
+// --------------------------------------------------------------------------
+
+const INF: u32 = 0x3fff_ffff;
+const SOURCES: u32 = 4;
+
+fn dijkstra_v(scale: Scale) -> usize {
+    (scale.n as usize / 2).clamp(16, 96)
+}
+
+fn adjacency(v: usize) -> Vec<u32> {
+    let mut r = rng(0xd13a);
+    let mut adj = vec![INF; v * v];
+    for i in 0..v {
+        adj[i * v + i] = 0;
+        for j in 0..v {
+            if i != j && r.gen_range(0..100u32) < 35 {
+                adj[i * v + j] = r.gen_range(1..1000u32);
+            }
+        }
+    }
+    adj
+}
+
+pub(super) fn build_dijkstra(scale: Scale) -> Module {
+    let v = dijkstra_v(scale);
+    let adj = adjacency(v);
+    let mut d = DataBuilder::new();
+    let adj_a = d.words(&adj);
+    let dist_a = d.zeroed(v * 4, 4);
+    let seen_a = d.zeroed(v * 4, 4);
+
+    let mut mb = ModuleBuilder::new();
+
+    // shortest_paths(src) -> fold of all distances from src.
+    let mut f = FnBuilder::new("shortest_paths", 1);
+    let src = f.param(0);
+    let adjv = f.imm(adj_a);
+    let dist = f.imm(dist_a);
+    let seen = f.imm(seen_a);
+
+    // Initialize.
+    f.repeat(v as u32, |f, i| {
+        let i4 = f.shl(i, 2u32);
+        let dp = f.add(dist, i4);
+        let inf = f.imm(INF);
+        f.store_w(dp, 0, inf);
+        let sp = f.add(seen, i4);
+        let zero = f.imm(0u32);
+        f.store_w(sp, 0, zero);
+    });
+    let s4 = f.shl(src, 2u32);
+    let sdp = f.add(dist, s4);
+    let zero = f.imm(0u32);
+    f.store_w(sdp, 0, zero);
+
+    // Main loop: V iterations of select-min + relax.
+    f.repeat(v as u32, |f, _round| {
+        let best = f.imm(INF);
+        let best_i = f.imm(v as u32);
+        f.repeat(v as u32, |f, i| {
+            let i4 = f.shl(i, 2u32);
+            let sp = f.add(seen, i4);
+            let vis = f.load_w(sp, 0);
+            f.if_(f.cmp(CmpOp::Eq, vis, 0u32), |f| {
+                let dp = f.add(dist, i4);
+                let dv = f.load_w(dp, 0);
+                f.if_(f.cmp(CmpOp::LtU, dv, best), |f| {
+                    f.copy(best, dv);
+                    f.copy(best_i, i);
+                });
+            });
+        });
+        f.if_(f.cmp(CmpOp::LtU, best_i, v as u32), |f| {
+            let b4 = f.shl(best_i, 2u32);
+            let sp = f.add(seen, b4);
+            let one = f.imm(1u32);
+            f.store_w(sp, 0, one);
+            let row_off = f.mul(best_i, (v * 4) as u32);
+            let row = f.add(adjv, row_off);
+            f.repeat(v as u32, |f, j| {
+                let j4 = f.shl(j, 2u32);
+                let wp = f.add(row, j4);
+                let w = f.load_w(wp, 0);
+                f.if_(f.cmp(CmpOp::LtU, w, INF), |f| {
+                    let cand = f.add(best, w);
+                    let dp = f.add(dist, j4);
+                    let dv = f.load_w(dp, 0);
+                    f.if_(f.cmp(CmpOp::LtU, cand, dv), |f| {
+                        f.store_w(dp, 0, cand);
+                    });
+                });
+            });
+        });
+    });
+
+    let acc = f.imm(0u32);
+    f.repeat(v as u32, |f, i| {
+        let i4 = f.shl(i, 2u32);
+        let dp = f.add(dist, i4);
+        let dv = f.load_w(dp, 0);
+        ir_fold(f, acc, dv);
+    });
+    f.ret(Some(acc));
+    mb.push(f.finish());
+
+    let mut f = FnBuilder::new("main", 0);
+    let total = f.imm(0u32);
+    f.repeat(SOURCES, |f, s| {
+        let h = f.call("shortest_paths", &[s]);
+        f.emit(h);
+        ir_fold(f, total, h);
+    });
+    f.ret(Some(total));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_dijkstra(scale: Scale) -> RefOutput {
+    let v = dijkstra_v(scale);
+    let adj = adjacency(v);
+    let mut sink = RefSink::new();
+    let mut total: u32 = 0;
+    for src in 0..SOURCES as usize {
+        let mut dist = vec![INF; v];
+        let mut seen = vec![false; v];
+        dist[src] = 0;
+        for _ in 0..v {
+            let mut best = INF;
+            let mut best_i = v;
+            for i in 0..v {
+                if !seen[i] && dist[i] < best {
+                    best = dist[i];
+                    best_i = i;
+                }
+            }
+            if best_i < v {
+                seen[best_i] = true;
+                for j in 0..v {
+                    let w = adj[best_i * v + j];
+                    if w < INF {
+                        let cand = best.wrapping_add(w);
+                        if cand < dist[j] {
+                            dist[j] = cand;
+                        }
+                    }
+                }
+            }
+        }
+        let mut h: u32 = 0;
+        for dv in &dist {
+            h = fold(h, *dv);
+        }
+        sink.emit(h);
+        total = fold(total, h);
+    }
+    RefOutput {
+        exit_code: total,
+        emitted: sink.into_words(),
+    }
+}
+
+// --------------------------------------------------------------------------
+// patricia — binary radix trie on the top PREFIX_BITS of IPv4-like keys:
+// insert a routing table, then look up a query stream (half hits).
+// --------------------------------------------------------------------------
+
+const PREFIX_BITS: u32 = 20;
+
+fn patricia_n(scale: Scale) -> usize {
+    (scale.n as usize * 2).clamp(32, 2048)
+}
+
+fn patricia_keys(n: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut r = rng(0x9a77);
+    let inserted: Vec<u32> = (0..n).map(|_| r.gen()).collect();
+    let mut queries = Vec::with_capacity(2 * n);
+    for i in 0..2 * n {
+        if i % 2 == 0 {
+            queries.push(inserted[r.gen_range(0..n)]);
+        } else {
+            queries.push(r.gen());
+        }
+    }
+    (inserted, queries)
+}
+
+pub(super) fn build_patricia(scale: Scale) -> Module {
+    let n = patricia_n(scale);
+    let (inserted, queries) = patricia_keys(n);
+    let mut d = DataBuilder::new();
+    let ins_a = d.words(&inserted);
+    let qry_a = d.words(&queries);
+    // Node pool: {left, right} word pairs. Index 0 is null, index 1 is the
+    // root; worst case one new node per key per level.
+    let pool_nodes = 2 + n * PREFIX_BITS as usize;
+    let pool_a = d.zeroed(pool_nodes * 8, 4);
+
+    let mut mb = ModuleBuilder::new();
+
+    // insert(key) — walks the top bits, allocating missing nodes. The pool
+    // bump pointer lives in the pool's slot 0 (node 0 is never used).
+    let mut f = FnBuilder::new("trie_insert", 1);
+    let key = f.param(0);
+    let pool = f.imm(pool_a);
+    let cur = f.imm(1u32);
+    let next_free = f.load_w(pool, 0);
+    // First call: bump pointer starts at 0 -> fix to 2.
+    f.if_(f.cmp(CmpOp::LtU, next_free, 2u32), |f| f.set_imm(next_free, 2));
+    f.repeat(PREFIX_BITS, |f, b| {
+        let amt = f.imm(31u32);
+        let sh = f.sub(amt, b);
+        let shifted = f.bin(BinOp::Shr, key, sh);
+        let bit = f.and(shifted, 1u32);
+        let off8 = f.shl(cur, 3u32);
+        let bit4 = f.shl(bit, 2u32);
+        let slot_off = f.add(off8, bit4);
+        let slot = f.add(pool, slot_off);
+        let child = f.load_w(slot, 0);
+        f.if_(f.cmp(CmpOp::Eq, child, 0u32), |f| {
+            f.copy(child, next_free);
+            f.store_w(slot, 0, child);
+            let nf = f.add(next_free, 1u32);
+            f.copy(next_free, nf);
+        });
+        f.copy(cur, child);
+    });
+    f.store_w(pool, 0, next_free);
+    f.ret(None);
+    mb.push(f.finish());
+
+    // lookup(key) -> 1 if the full prefix path exists.
+    let mut f = FnBuilder::new("trie_lookup", 1);
+    let key = f.param(0);
+    let pool = f.imm(pool_a);
+    let cur = f.imm(1u32);
+    let found = f.imm(1u32);
+    f.repeat(PREFIX_BITS, |f, b| {
+        f.if_(f.cmp(CmpOp::Ne, found, 0u32), |f| {
+            let amt = f.imm(31u32);
+            let sh = f.sub(amt, b);
+            let shifted = f.bin(BinOp::Shr, key, sh);
+            let bit = f.and(shifted, 1u32);
+            let off8 = f.shl(cur, 3u32);
+            let bit4 = f.shl(bit, 2u32);
+            let slot_off = f.add(off8, bit4);
+            let slot = f.add(pool, slot_off);
+            let child = f.load_w(slot, 0);
+            f.if_else(
+                f.cmp(CmpOp::Eq, child, 0u32),
+                |f| f.set_imm(found, 0),
+                |f| f.copy(cur, child),
+            );
+        });
+    });
+    f.ret(Some(found));
+    mb.push(f.finish());
+
+    let mut f = FnBuilder::new("main", 0);
+    let insv = f.imm(ins_a);
+    f.repeat(n as u32, |f, i| {
+        let i4 = f.shl(i, 2u32);
+        let p = f.add(insv, i4);
+        let k = f.load_w(p, 0);
+        f.call_void("trie_insert", &[k]);
+    });
+    let qryv = f.imm(qry_a);
+    let hits = f.imm(0u32);
+    f.repeat((2 * n) as u32, |f, i| {
+        let i4 = f.shl(i, 2u32);
+        let p = f.add(qryv, i4);
+        let k = f.load_w(p, 0);
+        let r = f.call("trie_lookup", &[k]);
+        let nh = f.add(hits, r);
+        f.copy(hits, nh);
+    });
+    f.emit(hits);
+    // Fold in the final bump pointer (trie shape check).
+    let pool = f.imm(pool_a);
+    let nodes = f.load_w(pool, 0);
+    f.emit(nodes);
+    let out = f.xor(hits, nodes);
+    f.ret(Some(out));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_patricia(scale: Scale) -> RefOutput {
+    let n = patricia_n(scale);
+    let (inserted, queries) = patricia_keys(n);
+    // Mirror the pool-based trie exactly (node counts must match).
+    let mut pool: Vec<[u32; 2]> = vec![[0, 0]; 2 + n * PREFIX_BITS as usize];
+    let mut next_free: u32 = 2;
+    for &key in &inserted {
+        let mut cur = 1u32;
+        for b in 0..PREFIX_BITS {
+            let bit = (key >> (31 - b)) & 1;
+            let child = pool[cur as usize][bit as usize];
+            let child = if child == 0 {
+                let c = next_free;
+                next_free += 1;
+                pool[cur as usize][bit as usize] = c;
+                c
+            } else {
+                child
+            };
+            cur = child;
+        }
+    }
+    let mut hits: u32 = 0;
+    for &key in &queries {
+        let mut cur = 1u32;
+        let mut found = 1u32;
+        for b in 0..PREFIX_BITS {
+            let bit = (key >> (31 - b)) & 1;
+            let child = pool[cur as usize][bit as usize];
+            if child == 0 {
+                found = 0;
+                break;
+            }
+            cur = child;
+        }
+        hits += found;
+    }
+    RefOutput {
+        exit_code: hits ^ next_free,
+        emitted: vec![hits, next_free],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::differential;
+    use super::*;
+
+    #[test]
+    fn dijkstra_matches_reference() {
+        differential(build_dijkstra, ref_dijkstra);
+    }
+
+    #[test]
+    fn patricia_matches_reference() {
+        differential(build_patricia, ref_patricia);
+    }
+
+    #[test]
+    fn adjacency_is_connected_enough() {
+        let v = 32;
+        let adj = adjacency(v);
+        let out = ref_dijkstra(Scale { n: 64 });
+        // With 35% density the graph is almost surely connected; distances
+        // must differ across sources.
+        assert!(out.emitted.windows(2).any(|w| w[0] != w[1]));
+        assert_eq!(adj.len(), v * v);
+    }
+
+    #[test]
+    fn patricia_hit_rate_is_plausible() {
+        let out = ref_patricia(Scale::test());
+        let n = patricia_n(Scale::test()) as u32;
+        let hits = out.emitted[0];
+        // At least the n inserted-key queries must hit; random keys rarely do
+        // at 20-bit depth.
+        assert!(hits >= n, "hits {hits} < {n}");
+        assert!(hits <= 2 * n);
+    }
+}

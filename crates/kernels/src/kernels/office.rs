@@ -1,0 +1,443 @@
+//! Office kernels: `stringsearch` (Boyer–Moore–Horspool) and `ispell`
+//! (hash-table dictionary lookups).
+
+use super::util::{rng, DataBuilder, RefSink};
+use super::{RefOutput, Scale};
+use crate::builder::{FnBuilder, ModuleBuilder};
+use crate::ir::{BinOp, CmpOp, Module, Val};
+use rand::Rng;
+
+fn fold(acc: u32, v: u32) -> u32 {
+    acc.rotate_left(1) ^ v
+}
+
+fn ir_fold(f: &mut FnBuilder, acc: Val, v: Val) {
+    let r = f.bin(BinOp::Ror, acc, 31u32);
+    f.bin_into(acc, BinOp::Xor, r, v);
+}
+
+// --------------------------------------------------------------------------
+// stringsearch — BMH over a lowercase text for a mixed hit/miss pattern set.
+// --------------------------------------------------------------------------
+
+const NPATTERNS: usize = 12;
+
+fn text_len(scale: Scale) -> usize {
+    (scale.n as usize * 64).max(1024)
+}
+
+fn search_data(scale: Scale) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let len = text_len(scale);
+    let mut r = rng(0x5ea5);
+    // Lowercase text with a small alphabet so patterns repeat.
+    let text: Vec<u8> = (0..len).map(|_| b'a' + r.gen_range(0..6u8)).collect();
+    let mut patterns = Vec::with_capacity(NPATTERNS);
+    for i in 0..NPATTERNS {
+        if i % 3 != 2 {
+            // Sampled substring (guaranteed at least one hit).
+            let plen = r.gen_range(4..=10usize);
+            let start = r.gen_range(0..len - plen);
+            patterns.push(text[start..start + plen].to_vec());
+        } else {
+            // Random pattern (usually a miss) over a wider alphabet.
+            let plen = r.gen_range(4..=10usize);
+            patterns.push((0..plen).map(|_| b'a' + r.gen_range(0..26u8)).collect());
+        }
+    }
+    (text, patterns)
+}
+
+pub(super) fn build_stringsearch(scale: Scale) -> Module {
+    let (text, patterns) = search_data(scale);
+    let tlen = text.len();
+    let mut d = DataBuilder::new();
+    let text_a = d.bytes(&text);
+    // Pattern table: (addr, len) word pairs, then the bytes.
+    let mut pat_entries = Vec::new();
+    for p in &patterns {
+        let addr = d.bytes(p);
+        pat_entries.push(addr);
+        pat_entries.push(p.len() as u32);
+    }
+    let pat_tab = d.words(&pat_entries);
+    let skip_a = d.zeroed(256 * 4, 4);
+
+    let mut mb = ModuleBuilder::new();
+
+    // bmh(pat, plen) -> match count in the global text.
+    let mut f = FnBuilder::new("bmh", 2);
+    let pat = f.param(0);
+    let plen = f.param(1);
+    let skip = f.imm(skip_a);
+    let textv = f.imm(text_a);
+    // Build the skip table: default plen, then len-1-j for each prefix char.
+    f.repeat(256u32, |f, c| {
+        let c4 = f.shl(c, 2u32);
+        let sp = f.add(skip, c4);
+        f.store_w(sp, 0, plen);
+    });
+    let last = f.sub(plen, 1u32);
+    f.repeat(last, |f, j| {
+        let pp = f.add(pat, j);
+        let ch = f.load_b(pp, 0);
+        let c4 = f.shl(ch, 2u32);
+        let sp = f.add(skip, c4);
+        let dist = f.sub(last, j);
+        f.store_w(sp, 0, dist);
+    });
+    // Scan.
+    let count = f.imm(0u32);
+    let i = f.imm(0u32);
+    let limit = f.imm(tlen as u32);
+    let lim = f.sub(limit, plen);
+    f.while_(f.cmp(CmpOp::LeU, i, lim), |f| {
+        let tp = f.add(textv, i);
+        // Compare backwards from the last character.
+        let j = f.imm(0u32);
+        f.copy(j, last);
+        let matched = f.imm(1u32);
+        let run = f.imm(1u32);
+        f.while_(f.cmp(CmpOp::Ne, run, 0u32), |f| {
+            let tcp = f.add(tp, j);
+            let tc = f.load_b(tcp, 0);
+            let pcp = f.add(pat, j);
+            let pc = f.load_b(pcp, 0);
+            f.if_else(
+                f.cmp(CmpOp::Ne, tc, pc),
+                |f| {
+                    f.set_imm(matched, 0);
+                    f.set_imm(run, 0);
+                },
+                |f| {
+                    f.if_else(
+                        f.cmp(CmpOp::Eq, j, 0u32),
+                        |f| f.set_imm(run, 0),
+                        |f| {
+                            let nj = f.sub(j, 1u32);
+                            f.copy(j, nj);
+                        },
+                    );
+                },
+            );
+        });
+        let nc = f.add(count, matched);
+        f.copy(count, nc);
+        // Advance by the skip of the window's last character.
+        let lcp = f.add(tp, last);
+        let lc = f.load_b(lcp, 0);
+        let c4 = f.shl(lc, 2u32);
+        let sp = f.add(skip, c4);
+        let s = f.load_w(sp, 0);
+        let ni = f.add(i, s);
+        f.copy(i, ni);
+    });
+    f.ret(Some(count));
+    mb.push(f.finish());
+
+    let mut f = FnBuilder::new("main", 0);
+    let tab = f.imm(pat_tab);
+    let total = f.imm(0u32);
+    for k in 0..NPATTERNS {
+        let addr = f.load_w(tab, (k * 8) as i32);
+        let len = f.load_w(tab, (k * 8 + 4) as i32);
+        let c = f.call("bmh", &[addr, len]);
+        f.emit(c);
+        ir_fold(&mut f, total, c);
+    }
+    f.ret(Some(total));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_stringsearch(scale: Scale) -> RefOutput {
+    let (text, patterns) = search_data(scale);
+    let mut sink = RefSink::new();
+    let mut total: u32 = 0;
+    for pat in &patterns {
+        let plen = pat.len();
+        let mut skip = [plen as u32; 256];
+        for (j, &c) in pat[..plen - 1].iter().enumerate() {
+            skip[c as usize] = (plen - 1 - j) as u32;
+        }
+        let mut count: u32 = 0;
+        let mut i = 0usize;
+        while i <= text.len() - plen {
+            if text[i..i + plen] == pat[..] {
+                count += 1;
+            }
+            i += skip[text[i + plen - 1] as usize] as usize;
+        }
+        sink.emit(count);
+        total = fold(total, count);
+    }
+    RefOutput {
+        exit_code: total,
+        emitted: sink.into_words(),
+    }
+}
+
+// --------------------------------------------------------------------------
+// ispell — djb2-hashed dictionary with linear probing: build the table,
+// then check a query stream (half present, half single-char mutations).
+// --------------------------------------------------------------------------
+
+fn dict_size(scale: Scale) -> usize {
+    (scale.n as usize).max(64)
+}
+
+/// Word records are `[len][bytes...]`; returns (record blob, offsets).
+fn dictionary(scale: Scale) -> (Vec<u8>, Vec<u32>, Vec<u32>) {
+    let n = dict_size(scale);
+    let mut r = rng(0x15be);
+    let mut blob = Vec::new();
+    let mut offsets = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while offsets.len() < n {
+        let len = r.gen_range(4..=10usize);
+        let w: Vec<u8> = (0..len).map(|_| b'a' + r.gen_range(0..26u8)).collect();
+        if !seen.insert(w.clone()) {
+            continue;
+        }
+        offsets.push(blob.len() as u32);
+        blob.push(len as u8);
+        blob.extend_from_slice(&w);
+    }
+    // Queries: offsets into a second blob of query records.
+    let mut qblob = Vec::new();
+    let mut qoffsets = Vec::with_capacity(2 * n);
+    for i in 0..2 * n {
+        let off = offsets[r.gen_range(0..n)] as usize;
+        let len = blob[off] as usize;
+        let mut w = blob[off + 1..off + 1 + len].to_vec();
+        if i % 2 == 1 {
+            // Mutate one character (usually a miss).
+            let k = r.gen_range(0..len);
+            w[k] = b'a' + r.gen_range(0..26u8);
+        }
+        qoffsets.push(qblob.len() as u32);
+        qblob.push(len as u8);
+        qblob.extend_from_slice(&w);
+    }
+    let mut all = blob;
+    let qbase = all.len() as u32;
+    all.extend_from_slice(&qblob);
+    let qoffsets = qoffsets.iter().map(|o| o + qbase).collect();
+    (all, offsets, qoffsets)
+}
+
+fn djb2(word: &[u8]) -> u32 {
+    word.iter()
+        .fold(5381u32, |h, &c| h.wrapping_mul(33).wrapping_add(u32::from(c)))
+}
+
+pub(super) fn build_ispell(scale: Scale) -> Module {
+    let n = dict_size(scale);
+    let (blob, offsets, qoffsets) = dictionary(scale);
+    let slots = (4 * n).next_power_of_two();
+    let mask = (slots - 1) as u32;
+
+    let mut d = DataBuilder::new();
+    let blob_a = d.bytes(&blob);
+    let dict_tab = d.words(&offsets.iter().map(|o| o + blob_a).collect::<Vec<_>>());
+    let qry_tab = d.words(&qoffsets.iter().map(|o| o + blob_a).collect::<Vec<_>>());
+    let table_a = d.zeroed(slots * 4, 4);
+
+    let mut mb = ModuleBuilder::new();
+
+    // hash(rec) over a [len][bytes] record.
+    let mut f = FnBuilder::new("hash_word", 1);
+    let rec = f.param(0);
+    let len = f.load_b(rec, 0);
+    let h = f.imm(5381u32);
+    f.repeat(len, |f, j| {
+        let cp = f.add(rec, j);
+        let c = f.load_b(cp, 1);
+        let h33 = f.mul(h, 33u32);
+        f.bin_into(h, BinOp::Add, h33, c);
+    });
+    f.ret(Some(h));
+    mb.push(f.finish());
+
+    // words_equal(a, b) over two records.
+    let mut f = FnBuilder::new("words_equal", 2);
+    let a = f.param(0);
+    let b = f.param(1);
+    let la = f.load_b(a, 0);
+    let lb = f.load_b(b, 0);
+    let eq = f.imm(0u32);
+    f.if_(f.cmp(CmpOp::Eq, la, lb), |f| {
+        f.set_imm(eq, 1);
+        f.repeat(la, |f, j| {
+            let pa = f.add(a, j);
+            let ca = f.load_b(pa, 1);
+            let pb = f.add(b, j);
+            let cb = f.load_b(pb, 1);
+            f.if_(f.cmp(CmpOp::Ne, ca, cb), |f| f.set_imm(eq, 0));
+        });
+    });
+    f.ret(Some(eq));
+    mb.push(f.finish());
+
+    // insert(rec): linear probe for a free slot, store rec address.
+    let mut f = FnBuilder::new("dict_insert", 1);
+    let rec = f.param(0);
+    let table = f.imm(table_a);
+    let h = f.call("hash_word", &[rec]);
+    let slot = f.and(h, mask);
+    let run = f.imm(1u32);
+    f.while_(f.cmp(CmpOp::Ne, run, 0u32), |f| {
+        let s4 = f.shl(slot, 2u32);
+        let sp = f.add(table, s4);
+        let v = f.load_w(sp, 0);
+        f.if_else(
+            f.cmp(CmpOp::Eq, v, 0u32),
+            |f| {
+                f.store_w(sp, 0, rec);
+                f.set_imm(run, 0);
+            },
+            |f| {
+                let ns = f.add(slot, 1u32);
+                let wrapped = f.and(ns, mask);
+                f.copy(slot, wrapped);
+            },
+        );
+    });
+    f.ret(None);
+    mb.push(f.finish());
+
+    // lookup(rec) -> 1 if present.
+    let mut f = FnBuilder::new("dict_lookup", 1);
+    let rec = f.param(0);
+    let table = f.imm(table_a);
+    let h = f.call("hash_word", &[rec]);
+    let slot = f.and(h, mask);
+    let run = f.imm(1u32);
+    let found = f.imm(0u32);
+    f.while_(f.cmp(CmpOp::Ne, run, 0u32), |f| {
+        let s4 = f.shl(slot, 2u32);
+        let sp = f.add(table, s4);
+        let v = f.load_w(sp, 0);
+        f.if_else(
+            f.cmp(CmpOp::Eq, v, 0u32),
+            |f| f.set_imm(run, 0),
+            |f| {
+                let eq = f.call("words_equal", &[v, rec]);
+                f.if_else(
+                    f.cmp(CmpOp::Ne, eq, 0u32),
+                    |f| {
+                        f.set_imm(found, 1);
+                        f.set_imm(run, 0);
+                    },
+                    |f| {
+                        let ns = f.add(slot, 1u32);
+                        let wrapped = f.and(ns, mask);
+                        f.copy(slot, wrapped);
+                    },
+                );
+            },
+        );
+    });
+    f.ret(Some(found));
+    mb.push(f.finish());
+
+    let mut f = FnBuilder::new("main", 0);
+    let dictv = f.imm(dict_tab);
+    f.repeat(n as u32, |f, i| {
+        let i4 = f.shl(i, 2u32);
+        let p = f.add(dictv, i4);
+        let rec = f.load_w(p, 0);
+        f.call_void("dict_insert", &[rec]);
+    });
+    let qryv = f.imm(qry_tab);
+    let hits = f.imm(0u32);
+    f.repeat((2 * n) as u32, |f, i| {
+        let i4 = f.shl(i, 2u32);
+        let p = f.add(qryv, i4);
+        let rec = f.load_w(p, 0);
+        let r = f.call("dict_lookup", &[rec]);
+        let nh = f.add(hits, r);
+        f.copy(hits, nh);
+    });
+    f.emit(hits);
+    f.ret(Some(hits));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_ispell(scale: Scale) -> RefOutput {
+    let n = dict_size(scale);
+    let (blob, offsets, qoffsets) = dictionary(scale);
+    let slots = (4 * n).next_power_of_two();
+    let mask = (slots - 1) as u32;
+    let word = |off: u32| -> &[u8] {
+        let off = off as usize;
+        let len = blob[off] as usize;
+        &blob[off + 1..off + 1 + len]
+    };
+    let mut table: Vec<Option<u32>> = vec![None; slots];
+    for &off in &offsets {
+        let mut slot = djb2(word(off)) & mask;
+        while table[slot as usize].is_some() {
+            slot = (slot + 1) & mask;
+        }
+        table[slot as usize] = Some(off);
+    }
+    let mut hits: u32 = 0;
+    for &q in &qoffsets {
+        let w = word(q);
+        let mut slot = djb2(w) & mask;
+        loop {
+            match table[slot as usize] {
+                None => break,
+                Some(off) => {
+                    if word(off) == w {
+                        hits += 1;
+                        break;
+                    }
+                    slot = (slot + 1) & mask;
+                }
+            }
+        }
+    }
+    RefOutput {
+        exit_code: hits,
+        emitted: vec![hits],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::differential;
+    use super::*;
+
+    #[test]
+    fn stringsearch_matches_reference() {
+        differential(build_stringsearch, ref_stringsearch);
+    }
+
+    #[test]
+    fn ispell_matches_reference() {
+        differential(build_ispell, ref_ispell);
+    }
+
+    #[test]
+    fn sampled_patterns_hit() {
+        let out = ref_stringsearch(Scale::test());
+        // Two of every three patterns are sampled from the text.
+        let hits = out.emitted.iter().filter(|&&c| c > 0).count();
+        assert!(hits >= NPATTERNS * 2 / 3, "only {hits} patterns hit");
+    }
+
+    #[test]
+    fn ispell_hits_at_least_the_real_words() {
+        let out = ref_ispell(Scale::test());
+        let n = dict_size(Scale::test()) as u32;
+        assert!(out.exit_code >= n, "hits {} < {n}", out.exit_code);
+    }
+
+    #[test]
+    fn djb2_known_values() {
+        assert_eq!(djb2(b""), 5381);
+        assert_eq!(djb2(b"a"), 5381u32.wrapping_mul(33) + u32::from(b'a'));
+    }
+}

@@ -1,0 +1,904 @@
+//! Telecom kernels: `crc32`, `adpcm.enc`, `adpcm.dec`, `fft`, `gsm`.
+
+use super::util::{audio_samples, random_bytes, DataBuilder, RefSink};
+use super::{RefOutput, Scale};
+use crate::builder::{FnBuilder, ModuleBuilder};
+use crate::ir::{BinOp, CmpOp, Module, Val};
+
+/// Mixes a word into a running fold the same way on both sides:
+/// `acc = rotl(acc, 1) ^ v`.
+fn fold(acc: u32, v: u32) -> u32 {
+    acc.rotate_left(1) ^ v
+}
+
+/// IR version of [`fold`], updating `acc` in place.
+fn ir_fold(f: &mut FnBuilder, acc: Val, v: Val) {
+    // rotl(acc, 1) == ror(acc, 31)
+    let r = f.bin(BinOp::Ror, acc, 31u32);
+    f.bin_into(acc, BinOp::Xor, r, v);
+}
+
+// --------------------------------------------------------------------------
+// crc32
+// --------------------------------------------------------------------------
+
+const CRC_POLY: u32 = 0xedb8_8320;
+
+fn crc_table() -> Vec<u32> {
+    (0..256u32)
+        .map(|mut c| {
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ CRC_POLY } else { c >> 1 };
+            }
+            c
+        })
+        .collect()
+}
+
+fn crc32_len(scale: Scale) -> usize {
+    ((scale.n as usize * 16).max(64) + 7) & !7
+}
+
+/// Table-driven CRC-32 over a buffer (8-byte unrolled inner loop), plus a
+/// bitwise CRC over a prefix — the two classic implementations MiBench's
+/// `crc32` exercises.
+pub(super) fn build_crc32(scale: Scale) -> Module {
+    let len = crc32_len(scale);
+    let mut d = DataBuilder::new();
+    let tab = d.words(&crc_table());
+    let buf = d.bytes(&random_bytes(0xc3c3, len));
+
+    let mut mb = ModuleBuilder::new();
+    let mut f = FnBuilder::new("main", 0);
+
+    let tabv = f.imm(tab);
+    let bufv = f.imm(buf);
+    let crc = f.imm(0xffff_ffffu32);
+    let i = f.imm(0u32);
+    f.while_(f.cmp(CmpOp::LtU, i, len as u32), |f| {
+        let p = f.add(bufv, i);
+        for k in 0..8 {
+            let b = f.load_b(p, k);
+            let x = f.xor(crc, b);
+            let idx = f.and(x, 0xffu32);
+            let off = f.shl(idx, 2u32);
+            let ep = f.add(tabv, off);
+            let e = f.load_w(ep, 0);
+            let hi = f.shr(crc, 8u32);
+            f.bin_into(crc, BinOp::Xor, hi, e);
+        }
+        let next = f.add(i, 8u32);
+        f.copy(i, next);
+    });
+    let table_crc = f.not(crc);
+    f.emit(table_crc);
+
+    // Bitwise variant over the first 256 bytes.
+    let prefix = (len.min(256)) as u32;
+    let crc2 = f.imm(0xffff_ffffu32);
+    let j = f.imm(0u32);
+    f.while_(f.cmp(CmpOp::LtU, j, prefix), |f| {
+        let p = f.add(bufv, j);
+        let b = f.load_b(p, 0);
+        let x = f.xor(crc2, b);
+        f.copy(crc2, x);
+        for _ in 0..8 {
+            let bit = f.and(crc2, 1u32);
+            let sh = f.shr(crc2, 1u32);
+            f.copy(crc2, sh);
+            f.if_(f.cmp(CmpOp::Ne, bit, 0u32), |f| {
+                let t = f.xor(crc2, CRC_POLY);
+                f.copy(crc2, t);
+            });
+        }
+        let next = f.add(j, 1u32);
+        f.copy(j, next);
+    });
+    let bit_crc = f.not(crc2);
+    f.emit(bit_crc);
+
+    let total = f.add(table_crc, bit_crc);
+    f.ret(Some(total));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_crc32(scale: Scale) -> RefOutput {
+    let len = crc32_len(scale);
+    let tab = crc_table();
+    let buf = random_bytes(0xc3c3, len);
+    let mut sink = RefSink::new();
+
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in &buf {
+        crc = (crc >> 8) ^ tab[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    let table_crc = !crc;
+    sink.emit(table_crc);
+
+    let mut crc2: u32 = 0xffff_ffff;
+    for &b in &buf[..len.min(256)] {
+        crc2 ^= u32::from(b);
+        for _ in 0..8 {
+            crc2 = if crc2 & 1 != 0 { (crc2 >> 1) ^ CRC_POLY } else { crc2 >> 1 };
+        }
+    }
+    let bit_crc = !crc2;
+    sink.emit(bit_crc);
+
+    RefOutput {
+        exit_code: table_crc.wrapping_add(bit_crc),
+        emitted: sink.into_words(),
+    }
+}
+
+// --------------------------------------------------------------------------
+// adpcm (IMA)
+// --------------------------------------------------------------------------
+
+const STEP_TAB: [u32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+const INDEX_TAB: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+fn adpcm_len(scale: Scale) -> usize {
+    ((scale.n as usize * 8).max(32) + 1) & !1
+}
+
+/// Reference IMA-ADPCM encoder, also used to produce the decoder kernel's
+/// input stream.
+fn ima_encode(samples: &[i16]) -> Vec<u8> {
+    let mut valpred: i32 = 0;
+    let mut index: i32 = 0;
+    let mut out = Vec::with_capacity(samples.len() / 2);
+    let mut pending: Option<u8> = None;
+    for &s in samples {
+        let mut diff = i32::from(s).wrapping_sub(valpred);
+        let sign: u32 = if diff < 0 { 8 } else { 0 };
+        if sign != 0 {
+            diff = -diff;
+        }
+        let mut step = STEP_TAB[index as usize] as i32;
+        let mut delta: u32 = 0;
+        let mut vpdiff = step >> 3;
+        if diff >= step {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 1;
+            vpdiff += step;
+        }
+        if sign != 0 {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+        valpred = valpred.clamp(-32768, 32767);
+        let code = (delta | sign) as u8;
+        index += INDEX_TAB[code as usize];
+        index = index.clamp(0, 88);
+        match pending.take() {
+            None => pending = Some(code),
+            Some(lo) => out.push(lo | (code << 4)),
+        }
+    }
+    if let Some(lo) = pending {
+        out.push(lo);
+    }
+    out
+}
+
+/// Reference IMA-ADPCM decoder.
+fn ima_decode(codes: &[u8], nsamples: usize) -> Vec<i32> {
+    let mut valpred: i32 = 0;
+    let mut index: i32 = 0;
+    let mut out = Vec::with_capacity(nsamples);
+    for k in 0..nsamples {
+        let byte = codes[k / 2];
+        let code = if k % 2 == 0 { byte & 0xf } else { byte >> 4 };
+        let sign = code & 8;
+        let delta = i32::from(code & 7);
+        let step = STEP_TAB[index as usize] as i32;
+        let mut vpdiff = step >> 3;
+        if delta & 4 != 0 {
+            vpdiff += step;
+        }
+        if delta & 2 != 0 {
+            vpdiff += step >> 1;
+        }
+        if delta & 1 != 0 {
+            vpdiff += step >> 2;
+        }
+        if sign != 0 {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+        valpred = valpred.clamp(-32768, 32767);
+        index += INDEX_TAB[code as usize];
+        index = index.clamp(0, 88);
+        out.push(valpred);
+    }
+    out
+}
+
+/// Emits IR that clamps the signed value in `v` to `[lo, hi]` in place.
+fn ir_clamp(f: &mut FnBuilder, v: Val, lo: i32, hi: i32) {
+    f.if_(f.cmp(CmpOp::GtS, v, hi), |f| f.set_imm(v, hi as u32));
+    f.if_(f.cmp(CmpOp::LtS, v, lo), |f| f.set_imm(v, lo as u32));
+}
+
+pub(super) fn build_adpcm_enc(scale: Scale) -> Module {
+    let n = adpcm_len(scale);
+    let samples = audio_samples(0xada0, n);
+    let mut d = DataBuilder::new();
+    let steps = d.words(&STEP_TAB);
+    let idxs = d.words(&INDEX_TAB.map(|v| v as u32));
+    let inp = d.halves(&samples);
+    let out = d.zeroed(n / 2 + 1, 4);
+
+    let mut mb = ModuleBuilder::new();
+    let mut f = FnBuilder::new("main", 0);
+    let stepsv = f.imm(steps);
+    let idxsv = f.imm(idxs);
+    let inpv = f.imm(inp);
+    let outv = f.imm(out);
+    let valpred = f.imm(0u32);
+    let index = f.imm(0u32);
+    let k = f.imm(0u32);
+    let fold_acc = f.imm(0u32);
+
+    // Process two samples per iteration, packing one output byte.
+    f.while_(f.cmp(CmpOp::LtU, k, n as u32), |f| {
+        let mut codes: Vec<Val> = Vec::new();
+        for half in 0..2u32 {
+            let off = f.add(k, half);
+            let addr2 = f.shl(off, 1u32);
+            let p = f.add(inpv, addr2);
+            let sample = f.load_sh(p, 0);
+            let diff = f.sub(sample, valpred);
+            let sign = f.imm(0u32);
+            f.if_(f.cmp(CmpOp::LtS, diff, 0u32), |f| {
+                f.set_imm(sign, 8);
+                let nd = f.neg(diff);
+                f.copy(diff, nd);
+            });
+            let idx4 = f.shl(index, 2u32);
+            let sp = f.add(stepsv, idx4);
+            let step = f.load_w(sp, 0);
+            let delta = f.imm(0u32);
+            let vpdiff = f.sar(step, 3u32);
+            f.if_(f.cmp(CmpOp::GeS, diff, step), |f| {
+                f.set_imm(delta, 4);
+                let nd = f.sub(diff, step);
+                f.copy(diff, nd);
+                let nv = f.add(vpdiff, step);
+                f.copy(vpdiff, nv);
+            });
+            let s1 = f.sar(step, 1u32);
+            f.copy(step, s1);
+            f.if_(f.cmp(CmpOp::GeS, diff, step), |f| {
+                let d2 = f.or(delta, 2u32);
+                f.copy(delta, d2);
+                let nd = f.sub(diff, step);
+                f.copy(diff, nd);
+                let nv = f.add(vpdiff, step);
+                f.copy(vpdiff, nv);
+            });
+            let s2 = f.sar(step, 1u32);
+            f.copy(step, s2);
+            f.if_(f.cmp(CmpOp::GeS, diff, step), |f| {
+                let d1 = f.or(delta, 1u32);
+                f.copy(delta, d1);
+                let nv = f.add(vpdiff, step);
+                f.copy(vpdiff, nv);
+            });
+            f.if_else(
+                f.cmp(CmpOp::Ne, sign, 0u32),
+                |f| {
+                    let nv = f.sub(valpred, vpdiff);
+                    f.copy(valpred, nv);
+                },
+                |f| {
+                    let nv = f.add(valpred, vpdiff);
+                    f.copy(valpred, nv);
+                },
+            );
+            ir_clamp(f, valpred, -32768, 32767);
+            let code = f.or(delta, sign);
+            let c4 = f.shl(code, 2u32);
+            let ip = f.add(idxsv, c4);
+            let adj = f.load_w(ip, 0);
+            let ni = f.add(index, adj);
+            f.copy(index, ni);
+            ir_clamp(f, index, 0, 88);
+            codes.push(code);
+        }
+        let hi = f.shl(codes[1], 4u32);
+        let byte = f.or(codes[0], hi);
+        let k2 = f.shr(k, 1u32);
+        let op = f.add(outv, k2);
+        f.store_b(op, 0, byte);
+        ir_fold(f, fold_acc, byte);
+        let nk = f.add(k, 2u32);
+        f.copy(k, nk);
+    });
+    f.emit(fold_acc);
+    f.ret(Some(fold_acc));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_adpcm_enc(scale: Scale) -> RefOutput {
+    let n = adpcm_len(scale);
+    let samples = audio_samples(0xada0, n);
+    let encoded = ima_encode(&samples);
+    let mut acc: u32 = 0;
+    for &b in &encoded {
+        acc = fold(acc, u32::from(b));
+    }
+    RefOutput {
+        exit_code: acc,
+        emitted: vec![acc],
+    }
+}
+
+pub(super) fn build_adpcm_dec(scale: Scale) -> Module {
+    let n = adpcm_len(scale);
+    let samples = audio_samples(0xada0, n);
+    let encoded = ima_encode(&samples);
+    let mut d = DataBuilder::new();
+    let steps = d.words(&STEP_TAB);
+    let idxs = d.words(&INDEX_TAB.map(|v| v as u32));
+    let inp = d.bytes(&encoded);
+
+    let mut mb = ModuleBuilder::new();
+    let mut f = FnBuilder::new("main", 0);
+    let stepsv = f.imm(steps);
+    let idxsv = f.imm(idxs);
+    let inpv = f.imm(inp);
+    let valpred = f.imm(0u32);
+    let index = f.imm(0u32);
+    let k = f.imm(0u32);
+    let acc = f.imm(0u32);
+
+    f.while_(f.cmp(CmpOp::LtU, k, n as u32), |f| {
+        let k2 = f.shr(k, 1u32);
+        let bp = f.add(inpv, k2);
+        let byte = f.load_b(bp, 0);
+        for half in 0..2u32 {
+            let code = if half == 0 {
+                f.and(byte, 0xfu32)
+            } else {
+                f.shr(byte, 4u32)
+            };
+            let sign = f.and(code, 8u32);
+            let delta = f.and(code, 7u32);
+            let idx4 = f.shl(index, 2u32);
+            let sp = f.add(stepsv, idx4);
+            let step = f.load_w(sp, 0);
+            let vpdiff = f.sar(step, 3u32);
+            let b4 = f.and(delta, 4u32);
+            f.if_(f.cmp(CmpOp::Ne, b4, 0u32), |f| {
+                let nv = f.add(vpdiff, step);
+                f.copy(vpdiff, nv);
+            });
+            let b2 = f.and(delta, 2u32);
+            f.if_(f.cmp(CmpOp::Ne, b2, 0u32), |f| {
+                let half_step = f.sar(step, 1u32);
+                let nv = f.add(vpdiff, half_step);
+                f.copy(vpdiff, nv);
+            });
+            let b1 = f.and(delta, 1u32);
+            f.if_(f.cmp(CmpOp::Ne, b1, 0u32), |f| {
+                let quarter = f.sar(step, 2u32);
+                let nv = f.add(vpdiff, quarter);
+                f.copy(vpdiff, nv);
+            });
+            f.if_else(
+                f.cmp(CmpOp::Ne, sign, 0u32),
+                |f| {
+                    let nv = f.sub(valpred, vpdiff);
+                    f.copy(valpred, nv);
+                },
+                |f| {
+                    let nv = f.add(valpred, vpdiff);
+                    f.copy(valpred, nv);
+                },
+            );
+            ir_clamp(f, valpred, -32768, 32767);
+            let c4 = f.shl(code, 2u32);
+            let ip = f.add(idxsv, c4);
+            let adj = f.load_w(ip, 0);
+            let ni = f.add(index, adj);
+            f.copy(index, ni);
+            ir_clamp(f, index, 0, 88);
+            ir_fold(f, acc, valpred);
+        }
+        let nk = f.add(k, 2u32);
+        f.copy(k, nk);
+    });
+    f.emit(acc);
+    f.ret(Some(acc));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_adpcm_dec(scale: Scale) -> RefOutput {
+    let n = adpcm_len(scale);
+    let samples = audio_samples(0xada0, n);
+    let encoded = ima_encode(&samples);
+    let decoded = ima_decode(&encoded, n);
+    let mut acc: u32 = 0;
+    for v in decoded {
+        acc = fold(acc, v as u32);
+    }
+    RefOutput {
+        exit_code: acc,
+        emitted: vec![acc],
+    }
+}
+
+// --------------------------------------------------------------------------
+// fft (fixed-point radix-2)
+// --------------------------------------------------------------------------
+
+fn fft_size(scale: Scale) -> usize {
+    (scale.n as usize * 2).next_power_of_two().clamp(64, 4096)
+}
+
+fn twiddles(size: usize) -> (Vec<i16>, Vec<i16>) {
+    let mut wr = Vec::with_capacity(size / 2);
+    let mut wi = Vec::with_capacity(size / 2);
+    for j in 0..size / 2 {
+        let ang = -2.0 * std::f64::consts::PI * j as f64 / size as f64;
+        wr.push((ang.cos() * 32767.0) as i16);
+        wi.push((ang.sin() * 32767.0) as i16);
+    }
+    (wr, wi)
+}
+
+fn bitrev(v: usize, bits: u32) -> usize {
+    let mut r = 0usize;
+    let mut x = v;
+    for _ in 0..bits {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    r
+}
+
+pub(super) fn build_fft(scale: Scale) -> Module {
+    let size = fft_size(scale);
+    let bits = size.trailing_zeros();
+    let samples = audio_samples(0xff7, size);
+    let (wr, wi) = twiddles(size);
+
+    let mut d = DataBuilder::new();
+    let wr_a = d.halves(&wr);
+    let wi_a = d.halves(&wi);
+    let re_init: Vec<u32> = samples.iter().map(|&s| i32::from(s) as u32).collect();
+    let re_a = d.words(&re_init);
+    let im_a = d.zeroed(size * 4, 4);
+
+    let mut mb = ModuleBuilder::new();
+    let mut f = FnBuilder::new("main", 0);
+    let re = f.imm(re_a);
+    let im = f.imm(im_a);
+    let wrv = f.imm(wr_a);
+    let wiv = f.imm(wi_a);
+
+    // Bit-reversal permutation.
+    f.repeat(size as u32, |f, i| {
+        // j = bitrev(i)
+        let j = f.imm(0u32);
+        let x = f.imm(0u32);
+        f.copy(x, i);
+        for _ in 0..bits {
+            let j1 = f.shl(j, 1u32);
+            let lsb = f.and(x, 1u32);
+            f.bin_into(j, BinOp::Or, j1, lsb);
+            let xs = f.shr(x, 1u32);
+            f.copy(x, xs);
+        }
+        f.if_(f.cmp(CmpOp::LtU, i, j), |f| {
+            let i4 = f.shl(i, 2u32);
+            let j4 = f.shl(j, 2u32);
+            for arr in [re, im] {
+                let pa = f.add(arr, i4);
+                let pb = f.add(arr, j4);
+                let a = f.load_w(pa, 0);
+                let b = f.load_w(pb, 0);
+                f.store_w(pa, 0, b);
+                f.store_w(pb, 0, a);
+            }
+        });
+    });
+
+    // Butterfly passes.
+    let len = f.imm(2u32);
+    f.while_(f.cmp(CmpOp::LeU, len, size as u32), |f| {
+        let half = f.shr(len, 1u32);
+        // tstep = size / len
+        let lg = f.imm(0u32);
+        let tmp = f.imm(1u32);
+        f.while_(f.cmp(CmpOp::LtU, tmp, len), |f| {
+            let t2 = f.shl(tmp, 1u32);
+            f.copy(tmp, t2);
+            let l1 = f.add(lg, 1u32);
+            f.copy(lg, l1);
+        });
+        let tstep = f.imm(size as u32);
+        let ts = f.shr(tstep, lg);
+        f.copy(tstep, ts);
+
+        let i = f.imm(0u32);
+        f.while_(f.cmp(CmpOp::LtU, i, size as u32), |f| {
+            let j = f.imm(0u32);
+            f.while_(f.cmp(CmpOp::LtU, j, half), |f| {
+                let widx = f.mul(j, tstep);
+                let w2 = f.shl(widx, 1u32);
+                let wrp = f.add(wrv, w2);
+                let wip = f.add(wiv, w2);
+                let w_re = f.load_sh(wrp, 0);
+                let w_im = f.load_sh(wip, 0);
+                let a = f.add(i, j);
+                let b = f.add(a, half);
+                let a4 = f.shl(a, 2u32);
+                let b4 = f.shl(b, 2u32);
+                let rea_p = f.add(re, a4);
+                let reb_p = f.add(re, b4);
+                let ima_p = f.add(im, a4);
+                let imb_p = f.add(im, b4);
+                let re_b = f.load_w(reb_p, 0);
+                let im_b = f.load_w(imb_p, 0);
+                let m1 = f.mul(w_re, re_b);
+                let m2 = f.mul(w_im, im_b);
+                let t_re_raw = f.sub(m1, m2);
+                let t_re = f.sar(t_re_raw, 15u32);
+                let m3 = f.mul(w_re, im_b);
+                let m4 = f.mul(w_im, re_b);
+                let t_im_raw = f.add(m3, m4);
+                let t_im = f.sar(t_im_raw, 15u32);
+                let re_a_v = f.load_w(rea_p, 0);
+                let im_a_v = f.load_w(ima_p, 0);
+                let nb_re = f.sub(re_a_v, t_re);
+                let nb_im = f.sub(im_a_v, t_im);
+                f.store_w(reb_p, 0, nb_re);
+                f.store_w(imb_p, 0, nb_im);
+                let na_re = f.add(re_a_v, t_re);
+                let na_im = f.add(im_a_v, t_im);
+                f.store_w(rea_p, 0, na_re);
+                f.store_w(ima_p, 0, na_im);
+                let nj = f.add(j, 1u32);
+                f.copy(j, nj);
+            });
+            let ni = f.add(i, len);
+            f.copy(i, ni);
+        });
+        let nl = f.shl(len, 1u32);
+        f.copy(len, nl);
+    });
+
+    // Fold the spectrum; emit a few bins.
+    let acc = f.imm(0u32);
+    f.repeat(size as u32, |f, i| {
+        let i4 = f.shl(i, 2u32);
+        let rp = f.add(re, i4);
+        let ip = f.add(im, i4);
+        let rv = f.load_w(rp, 0);
+        let iv = f.load_w(ip, 0);
+        ir_fold(f, acc, rv);
+        ir_fold(f, acc, iv);
+    });
+    for bin in [0usize, 1, size / 4, size / 2] {
+        let p = f.imm(re_a + (bin as u32) * 4);
+        let v = f.load_w(p, 0);
+        f.emit(v);
+    }
+    f.emit(acc);
+    f.ret(Some(acc));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_fft(scale: Scale) -> RefOutput {
+    let size = fft_size(scale);
+    let bits = size.trailing_zeros();
+    let samples = audio_samples(0xff7, size);
+    let (wr, wi) = twiddles(size);
+    let mut re: Vec<u32> = samples.iter().map(|&s| i32::from(s) as u32).collect();
+    let mut im: Vec<u32> = vec![0; size];
+
+    for i in 0..size {
+        let j = bitrev(i, bits);
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2usize;
+    while len <= size {
+        let half = len / 2;
+        let tstep = size / len;
+        let mut i = 0usize;
+        while i < size {
+            for j in 0..half {
+                let widx = j * tstep;
+                let w_re = i32::from(wr[widx]) as u32;
+                let w_im = i32::from(wi[widx]) as u32;
+                let a = i + j;
+                let b = a + half;
+                let t_re =
+                    ((w_re.wrapping_mul(re[b]).wrapping_sub(w_im.wrapping_mul(im[b]))) as i32
+                        >> 15) as u32;
+                let t_im =
+                    ((w_re.wrapping_mul(im[b]).wrapping_add(w_im.wrapping_mul(re[b]))) as i32
+                        >> 15) as u32;
+                let (ra, ia) = (re[a], im[a]);
+                re[b] = ra.wrapping_sub(t_re);
+                im[b] = ia.wrapping_sub(t_im);
+                re[a] = ra.wrapping_add(t_re);
+                im[a] = ia.wrapping_add(t_im);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    let mut sink = RefSink::new();
+    let mut acc: u32 = 0;
+    for i in 0..size {
+        acc = fold(acc, re[i]);
+        acc = fold(acc, im[i]);
+    }
+    for bin in [0usize, 1, size / 4, size / 2] {
+        sink.emit(re[bin]);
+    }
+    sink.emit(acc);
+    RefOutput {
+        exit_code: acc,
+        emitted: sink.into_words(),
+    }
+}
+
+// --------------------------------------------------------------------------
+// gsm (short-term lattice filtering + long-term lag search)
+// --------------------------------------------------------------------------
+
+const GSM_FRAME: usize = 160;
+const GSM_STAGES: usize = 8;
+
+fn gsm_frames(scale: Scale) -> usize {
+    (scale.n as usize / 32).max(1)
+}
+
+fn gsm_coeffs(frames: usize) -> Vec<i16> {
+    let mut r = super::util::rng(0x65a1);
+    use rand::Rng;
+    (0..frames * GSM_STAGES)
+        .map(|_| r.gen_range(-28000i32..28000) as i16)
+        .collect()
+}
+
+pub(super) fn build_gsm(scale: Scale) -> Module {
+    let frames = gsm_frames(scale);
+    let nsamples = frames * GSM_FRAME;
+    let samples = audio_samples(0x65a2, nsamples);
+    let coeffs = gsm_coeffs(frames);
+
+    let mut d = DataBuilder::new();
+    let rp_a = d.halves(&coeffs);
+    let in_a = d.halves(&samples);
+    let u_a = d.zeroed(GSM_STAGES * 4, 4);
+
+    let mut mb = ModuleBuilder::new();
+
+    // Short-term analysis lattice over one frame.
+    // args: sample base, rp base; returns folded output.
+    let mut st = FnBuilder::new("short_term", 2);
+    let sbase = st.param(0);
+    let rbase = st.param(1);
+    let uv = st.imm(u_a);
+    // Load the 8 reflection coefficients once.
+    let rp: Vec<Val> = (0..GSM_STAGES)
+        .map(|j| st.load_sh(rbase, (j * 2) as i32))
+        .collect();
+    let acc = st.imm(0u32);
+    st.repeat(GSM_FRAME as u32, |f, k| {
+        let k2 = f.shl(k, 1u32);
+        let sp = f.add(sbase, k2);
+        let di = f.load_sh(sp, 0);
+        let sav = f.imm(0u32);
+        f.copy(sav, di);
+        for (j, rpj) in rp.iter().enumerate() {
+            let ui = f.load_w(uv, (j * 4) as i32);
+            f.store_w(uv, (j * 4) as i32, sav);
+            let m1 = f.mul(*rpj, di);
+            let s1 = f.sar(m1, 15u32);
+            let nsav = f.add(ui, s1);
+            f.copy(sav, nsav);
+            let m2 = f.mul(*rpj, ui);
+            let s2 = f.sar(m2, 15u32);
+            let ndi = f.add(di, s2);
+            f.copy(di, ndi);
+        }
+        ir_fold(f, acc, di);
+    });
+    st.ret(Some(acc));
+    mb.push(st.finish());
+
+    // Long-term lag search: best cross-correlation lag in [40, 120).
+    let mut lt = FnBuilder::new("lag_search", 1);
+    let base = lt.param(0);
+    let best_lag = lt.imm(40u32);
+    let best_corr = lt.imm(0u32);
+    let lag = lt.imm(40u32);
+    lt.while_(lt.cmp(CmpOp::LtU, lag, 120u32), |f| {
+        let corr = f.imm(0u32);
+        let i = f.imm(120u32);
+        f.while_(f.cmp(CmpOp::LtU, i, GSM_FRAME as u32), |f| {
+            let i2 = f.shl(i, 1u32);
+            let p1 = f.add(base, i2);
+            let s1 = f.load_sh(p1, 0);
+            let back = f.sub(i, lag);
+            let b2 = f.shl(back, 1u32);
+            let p2 = f.add(base, b2);
+            let s2 = f.load_sh(p2, 0);
+            let m = f.mul(s1, s2);
+            let scaled = f.sar(m, 6u32);
+            let nc = f.add(corr, scaled);
+            f.copy(corr, nc);
+            let ni = f.add(i, 1u32);
+            f.copy(i, ni);
+        });
+        f.if_(f.cmp(CmpOp::GtS, corr, best_corr), |f| {
+            f.copy(best_corr, corr);
+            f.copy(best_lag, lag);
+        });
+        let nl = f.add(lag, 1u32);
+        f.copy(lag, nl);
+    });
+    lt.ret(Some(best_lag));
+    mb.push(lt.finish());
+
+    let mut f = FnBuilder::new("main", 0);
+    let total = f.imm(0u32);
+    f.repeat(frames as u32, |f, fr| {
+        let off = f.mul(fr, (GSM_FRAME * 2) as u32);
+        let in_base_c = f.imm(in_a);
+        let sbase = f.add(in_base_c, off);
+        let roff = f.mul(fr, (GSM_STAGES * 2) as u32);
+        let rp_base_c = f.imm(rp_a);
+        let rbase = f.add(rp_base_c, roff);
+        let st_out = f.call("short_term", &[sbase, rbase]);
+        let lag = f.call("lag_search", &[sbase]);
+        f.emit(lag);
+        let mixed = f.xor(st_out, lag);
+        ir_fold(f, total, mixed);
+    });
+    f.emit(total);
+    f.ret(Some(total));
+    mb.push(f.finish());
+    mb.finish(d.finish())
+}
+
+pub(super) fn ref_gsm(scale: Scale) -> RefOutput {
+    let frames = gsm_frames(scale);
+    let nsamples = frames * GSM_FRAME;
+    let samples = audio_samples(0x65a2, nsamples);
+    let coeffs = gsm_coeffs(frames);
+    let mut sink = RefSink::new();
+    let mut total: u32 = 0;
+    let mut u = [0u32; GSM_STAGES];
+
+    for fr in 0..frames {
+        let frame = &samples[fr * GSM_FRAME..(fr + 1) * GSM_FRAME];
+        let rp = &coeffs[fr * GSM_STAGES..(fr + 1) * GSM_STAGES];
+        // Short-term lattice (note: `u` persists across frames, matching the
+        // kernel's statically-allocated state array).
+        let mut acc: u32 = 0;
+        for &s in frame {
+            let mut di = i32::from(s) as u32;
+            let mut sav = di;
+            for j in 0..GSM_STAGES {
+                let ui = u[j];
+                u[j] = sav;
+                let rpj = i32::from(rp[j]) as u32;
+                sav = ui.wrapping_add(((rpj.wrapping_mul(di)) as i32 >> 15) as u32);
+                di = di.wrapping_add(((rpj.wrapping_mul(ui)) as i32 >> 15) as u32);
+            }
+            acc = fold(acc, di);
+        }
+        // Lag search.
+        let mut best_lag: u32 = 40;
+        let mut best_corr: i32 = 0;
+        for lag in 40..120usize {
+            let mut corr: i32 = 0;
+            for i in 120..GSM_FRAME {
+                let s1 = i32::from(frame[i]) as u32;
+                let s2 = i32::from(frame[i - lag]) as u32;
+                corr = corr.wrapping_add((s1.wrapping_mul(s2) as i32) >> 6);
+            }
+            if corr > best_corr {
+                best_corr = corr;
+                best_lag = lag as u32;
+            }
+        }
+        sink.emit(best_lag);
+        total = fold(total, acc ^ best_lag);
+    }
+    sink.emit(total);
+    RefOutput {
+        exit_code: total,
+        emitted: sink.into_words(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::differential;
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference() {
+        differential(build_crc32, ref_crc32);
+    }
+
+    #[test]
+    fn adpcm_enc_matches_reference() {
+        differential(build_adpcm_enc, ref_adpcm_enc);
+    }
+
+    #[test]
+    fn adpcm_dec_matches_reference() {
+        differential(build_adpcm_dec, ref_adpcm_dec);
+    }
+
+    #[test]
+    fn fft_matches_reference() {
+        differential(build_fft, ref_fft);
+    }
+
+    #[test]
+    fn gsm_matches_reference() {
+        differential(build_gsm, ref_gsm);
+    }
+
+    #[test]
+    fn crc32_known_value_for_empty_poly_table() {
+        // The table's first entries are the classic CRC-32 constants.
+        let t = crc_table();
+        assert_eq!(t[0], 0);
+        assert_eq!(t[1], 0x7707_3096);
+        assert_eq!(t[255], 0x2d02_ef8d);
+    }
+
+    #[test]
+    fn ima_codec_round_trip_tracks_signal() {
+        let samples = audio_samples(1, 256);
+        let enc = ima_encode(&samples);
+        let dec = ima_decode(&enc, 256);
+        // ADPCM is lossy but must track the waveform loosely.
+        let mut err: i64 = 0;
+        for (s, d) in samples.iter().zip(&dec) {
+            err += (i64::from(*s) - i64::from(*d)).abs();
+        }
+        assert!((err / 256) < 2000, "mean abs error too high: {}", err / 256);
+    }
+}

@@ -1,0 +1,201 @@
+//! Shared helpers for kernel construction: data-segment layout and
+//! deterministic input generation.
+
+use fits_isa::DATA_BASE;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the initialized data image for a kernel, handing out absolute
+/// addresses (the IR bakes them in as constants, exactly like a linker
+/// resolving symbols).
+#[derive(Debug, Default)]
+pub struct DataBuilder {
+    bytes: Vec<u8>,
+}
+
+impl DataBuilder {
+    /// An empty data image.
+    #[must_use]
+    pub fn new() -> DataBuilder {
+        DataBuilder::default()
+    }
+
+    fn align(&mut self, align: usize) {
+        while self.bytes.len() % align != 0 {
+            self.bytes.push(0);
+        }
+    }
+
+    /// Appends raw bytes, returning their absolute address.
+    pub fn bytes(&mut self, data: &[u8]) -> u32 {
+        let addr = DATA_BASE + self.bytes.len() as u32;
+        self.bytes.extend_from_slice(data);
+        addr
+    }
+
+    /// Appends 32-bit words (little-endian), 4-aligned.
+    pub fn words(&mut self, data: &[u32]) -> u32 {
+        self.align(4);
+        let addr = DATA_BASE + self.bytes.len() as u32;
+        for w in data {
+            self.bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends 16-bit halfwords (little-endian), 2-aligned.
+    pub fn halves(&mut self, data: &[i16]) -> u32 {
+        self.align(2);
+        let addr = DATA_BASE + self.bytes.len() as u32;
+        for h in data {
+            self.bytes.extend_from_slice(&h.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Reserves a zeroed region with the given alignment.
+    pub fn zeroed(&mut self, len: usize, align: usize) -> u32 {
+        self.align(align);
+        let addr = DATA_BASE + self.bytes.len() as u32;
+        self.bytes.resize(self.bytes.len() + len, 0);
+        addr
+    }
+
+    /// Finalizes the image.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A deterministic RNG for workload generation. Every kernel derives its
+/// stream from its own fixed seed so inputs are stable across runs and
+/// machines (the reproduction's substitute for MiBench's packaged inputs).
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `len` random bytes.
+#[must_use]
+pub fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut r = rng(seed);
+    (0..len).map(|_| r.gen()).collect()
+}
+
+/// `len` random words.
+#[must_use]
+pub fn random_words(seed: u64, len: usize) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..len).map(|_| r.gen()).collect()
+}
+
+/// `len` pseudo-audio samples: a few sine components plus noise, quantized
+/// to i16 — gives ADPCM/filter kernels realistic (compressible) signals.
+#[must_use]
+pub fn audio_samples(seed: u64, len: usize) -> Vec<i16> {
+    let mut r = rng(seed);
+    let f1 = r.gen_range(0.01..0.05);
+    let f2 = r.gen_range(0.002..0.01);
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            let v = 9000.0 * (t * f1).sin() + 4000.0 * (t * f2).sin()
+                + f64::from(r.gen_range(-500i32..500));
+            v as i16
+        })
+        .collect()
+}
+
+/// A grayscale test image: smooth gradients with blocky structures and
+/// noise, so edge/corner detectors have real features to find.
+#[must_use]
+pub fn test_image(seed: u64, width: usize, height: usize) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut img = vec![0u8; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let g = (x * 255 / width.max(1)) as i32;
+            img[y * width + x] = (g / 2 + 64) as u8;
+        }
+    }
+    // Scatter rectangles of differing brightness.
+    for _ in 0..24 {
+        let x0 = r.gen_range(0..width.max(2) - 1);
+        let y0 = r.gen_range(0..height.max(2) - 1);
+        let w = r.gen_range(1..=(width / 4).max(1));
+        let h = r.gen_range(1..=(height / 4).max(1));
+        let v: u8 = r.gen();
+        for y in y0..(y0 + h).min(height) {
+            for x in x0..(x0 + w).min(width) {
+                img[y * width + x] = v;
+            }
+        }
+    }
+    // Light noise.
+    for p in img.iter_mut() {
+        let n: i32 = r.gen_range(-6..=6);
+        *p = (i32::from(*p) + n).clamp(0, 255) as u8;
+    }
+    img
+}
+
+/// The reference-side emit stream collector; mirrors the simulator's
+/// `SWI 1` trap.
+#[derive(Debug, Default)]
+pub struct RefSink {
+    emitted: Vec<u32>,
+}
+
+impl RefSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> RefSink {
+        RefSink::default()
+    }
+
+    /// Records one emitted word.
+    pub fn emit(&mut self, word: u32) {
+        self.emitted.push(word);
+    }
+
+    /// The recorded stream.
+    #[must_use]
+    pub fn into_words(self) -> Vec<u32> {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_builder_alignment_and_addresses() {
+        let mut d = DataBuilder::new();
+        let a = d.bytes(&[1, 2, 3]);
+        let b = d.words(&[0xaabbccdd]);
+        let c = d.zeroed(10, 8);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(b, DATA_BASE + 4, "word region 4-aligned");
+        assert_eq!(c % 8, 0);
+        let img = d.finish();
+        assert_eq!(&img[4..8], &0xaabb_ccddu32.to_le_bytes());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_bytes(7, 64), random_bytes(7, 64));
+        assert_ne!(random_bytes(7, 64), random_bytes(8, 64));
+        assert_eq!(audio_samples(3, 32), audio_samples(3, 32));
+        assert_eq!(test_image(1, 16, 16), test_image(1, 16, 16));
+    }
+
+    #[test]
+    fn image_has_contrast() {
+        let img = test_image(2, 64, 64);
+        let min = img.iter().min().unwrap();
+        let max = img.iter().max().unwrap();
+        assert!(max - min > 100, "image should have usable dynamic range");
+    }
+}

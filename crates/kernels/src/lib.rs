@@ -1,0 +1,39 @@
+//! # fits-kernels — benchmark IR, compiler and MiBench-like kernels
+//!
+//! The workload substrate of the PowerFITS reproduction, standing in for
+//! GCC-compiled MiBench:
+//!
+//! * [`ir`]/[`builder`] — a small structured intermediate representation
+//!   (virtual registers, nested `if`/`while`, explicit memory operations)
+//!   with an ergonomic closure-based builder;
+//! * [`lower`] — lowering to a linear form with labels and branches;
+//! * [`regalloc`] — linear-scan register allocation onto `r4`–`r11` (the
+//!   allocatable set is parameterizable, which is how the Thumb baseline's
+//!   register pressure is modeled);
+//! * [`codegen`] — AR32 code generation: instruction selection, rotated-
+//!   immediate materialization, spill code, calls and branch fixup;
+//! * [`kernels`] — the 21 MiBench-like benchmarks across the six MiBench
+//!   categories, each paired with a pure-Rust reference implementation and
+//!   a deterministic seeded input generator.
+//!
+//! ## Example
+//!
+//! ```
+//! use fits_kernels::kernels::{Kernel, Scale};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Kernel::Crc32.compile(Scale::test())?;
+//! assert!(!program.text.is_empty());
+//! println!("{}", program); // instruction/byte counts
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod codegen;
+pub mod ir;
+pub mod kernels;
+pub mod lower;
+pub mod regalloc;

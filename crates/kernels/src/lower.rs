@@ -1,0 +1,505 @@
+//! Lowering from structured IR to linear LIR (labels + conditional
+//! branches), the form the register allocator and code generator work on.
+
+use crate::ir::{Cond, Function, Operand, Rvalue, Stmt, UnOp, Val, Width};
+use crate::ir::BinOp;
+
+/// A label within one function's LIR stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+/// One linear instruction.
+#[derive(Clone, Debug)]
+pub enum LInst {
+    /// `dst = imm`.
+    MovImm(Val, u32),
+    /// `dst = src`.
+    Mov(Val, Val),
+    /// `dst = op(a)`.
+    Un(UnOp, Val, Val),
+    /// `dst = op(a, b)`.
+    Bin(BinOp, Val, Val, Operand),
+    /// `dst = if cond { 1 } else { 0 }`.
+    SetCond(Val, Cond),
+    /// Load from `base + disp`.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Sign extension.
+        signed: bool,
+        /// Destination.
+        dst: Val,
+        /// Base register.
+        base: Val,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// Store to `base + disp`.
+    Store {
+        /// Access width.
+        width: Width,
+        /// Value to store.
+        src: Val,
+        /// Base register.
+        base: Val,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// Conditional branch to `target` when `cond` holds.
+    CmpBr(Cond, Label),
+    /// Unconditional branch.
+    Br(Label),
+    /// Label definition.
+    Lbl(Label),
+    /// Function call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument registers.
+        args: Vec<Val>,
+        /// Return-value destination.
+        ret: Option<Val>,
+    },
+    /// Emit trap.
+    Emit(Val),
+    /// Function return.
+    Ret(Option<Val>),
+}
+
+/// A lowered function.
+#[derive(Clone, Debug)]
+pub struct LFunction {
+    /// Name (unique in module).
+    pub name: String,
+    /// Parameter count.
+    pub params: u32,
+    /// Virtual register count.
+    pub vregs: u32,
+    /// The linear instruction stream.
+    pub code: Vec<LInst>,
+}
+
+struct Lowerer {
+    code: Vec<LInst>,
+    next_label: u32,
+}
+
+impl Lowerer {
+    fn fresh(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            self.lower_stmt(stmt);
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign(dst, rv) => match rv {
+                Rvalue::Imm(v) => self.code.push(LInst::MovImm(*dst, *v)),
+                Rvalue::Copy(s) => self.code.push(LInst::Mov(*dst, *s)),
+                Rvalue::Unary(op, a) => self.code.push(LInst::Un(*op, *dst, *a)),
+                Rvalue::Binary(op, a, b) => self.code.push(LInst::Bin(*op, *dst, *a, *b)),
+                Rvalue::Load {
+                    width,
+                    signed,
+                    base,
+                    disp,
+                } => self.code.push(LInst::Load {
+                    width: *width,
+                    signed: *signed,
+                    dst: *dst,
+                    base: *base,
+                    disp: *disp,
+                }),
+                Rvalue::SetCond(cond) => self.code.push(LInst::SetCond(*dst, *cond)),
+            },
+            Stmt::Store {
+                width,
+                base,
+                disp,
+                src,
+            } => self.code.push(LInst::Store {
+                width: *width,
+                src: *src,
+                base: *base,
+                disp: *disp,
+            }),
+            Stmt::If { cond, then, els } => {
+                let skip = self.fresh();
+                let negated = Cond {
+                    op: cond.op.negated(),
+                    ..*cond
+                };
+                if els.is_empty() {
+                    self.code.push(LInst::CmpBr(negated, skip));
+                    self.lower_block(then);
+                    self.code.push(LInst::Lbl(skip));
+                } else {
+                    let end = self.fresh();
+                    self.code.push(LInst::CmpBr(negated, skip));
+                    self.lower_block(then);
+                    self.code.push(LInst::Br(end));
+                    self.code.push(LInst::Lbl(skip));
+                    self.lower_block(els);
+                    self.code.push(LInst::Lbl(end));
+                }
+            }
+            Stmt::While { cond, body } => {
+                // head: if !cond goto end; body; goto head; end:
+                let head = self.fresh();
+                let end = self.fresh();
+                let negated = Cond {
+                    op: cond.op.negated(),
+                    ..*cond
+                };
+                self.code.push(LInst::Lbl(head));
+                self.code.push(LInst::CmpBr(negated, end));
+                self.lower_block(body);
+                self.code.push(LInst::Br(head));
+                self.code.push(LInst::Lbl(end));
+            }
+            Stmt::Call { callee, args, ret } => self.code.push(LInst::Call {
+                callee: callee.clone(),
+                args: args.clone(),
+                ret: *ret,
+            }),
+            Stmt::Emit(v) => self.code.push(LInst::Emit(*v)),
+            Stmt::Return(v) => self.code.push(LInst::Ret(*v)),
+        }
+    }
+}
+
+/// Lowers one function to LIR. Appends an implicit `Return(None)` if the
+/// body can fall off the end.
+#[must_use]
+pub fn lower(f: &Function) -> LFunction {
+    let mut l = Lowerer {
+        code: Vec::new(),
+        next_label: 0,
+    };
+    l.lower_block(&f.body);
+    if !matches!(l.code.last(), Some(LInst::Ret(_))) {
+        l.code.push(LInst::Ret(None));
+    }
+    LFunction {
+        name: f.name.clone(),
+        params: f.params,
+        vregs: f.vregs,
+        code: l.code,
+    }
+}
+
+/// All virtual registers an instruction reads.
+#[must_use]
+pub fn uses(inst: &LInst) -> Vec<Val> {
+    let operand = |b: &Operand| match b {
+        Operand::Val(v) => Some(*v),
+        Operand::Imm(_) => None,
+    };
+    match inst {
+        LInst::MovImm(..) | LInst::Br(_) | LInst::Lbl(_) => Vec::new(),
+        LInst::Mov(_, s) | LInst::Un(_, _, s) => vec![*s],
+        LInst::Bin(_, _, a, b) => std::iter::once(*a).chain(operand(b)).collect(),
+        LInst::SetCond(_, c) | LInst::CmpBr(c, _) => {
+            std::iter::once(c.a).chain(operand(&c.b)).collect()
+        }
+        LInst::Load { base, .. } => vec![*base],
+        LInst::Store { src, base, .. } => vec![*src, *base],
+        LInst::Call { args, .. } => args.clone(),
+        LInst::Emit(v) => vec![*v],
+        LInst::Ret(v) => v.iter().copied().collect(),
+    }
+}
+
+/// The virtual register an instruction defines, if any.
+#[must_use]
+pub fn def(inst: &LInst) -> Option<Val> {
+    match inst {
+        LInst::MovImm(d, _)
+        | LInst::Mov(d, _)
+        | LInst::Un(_, d, _)
+        | LInst::Bin(_, d, _, _)
+        | LInst::SetCond(d, _)
+        | LInst::Load { dst: d, .. } => Some(*d),
+        LInst::Call { ret, .. } => *ret,
+        _ => None,
+    }
+}
+
+/// A tiny LIR interpreter used to validate lowering and (differentially)
+/// the code generator. Memory is a byte array indexed from zero; the data
+/// image is placed at `data_base`.
+#[cfg(test)]
+pub mod interp {
+    use super::*;
+    use std::collections::HashMap;
+
+    pub struct Interp<'m> {
+        pub funcs: HashMap<String, &'m LFunction>,
+        pub mem: Vec<u8>,
+        pub emitted: Vec<u32>,
+        pub steps: u64,
+    }
+
+    impl<'m> Interp<'m> {
+        pub fn run(&mut self, name: &str, args: &[u32]) -> Option<u32> {
+            self.steps += 1;
+            let f = self.funcs[name];
+            let mut regs = vec![0u32; f.vregs.max(4) as usize];
+            regs[..args.len()].copy_from_slice(args);
+            // Label positions.
+            let mut labels = HashMap::new();
+            for (i, inst) in f.code.iter().enumerate() {
+                if let LInst::Lbl(l) = inst {
+                    labels.insert(*l, i);
+                }
+            }
+            let opv = |regs: &[u32], o: &Operand| match o {
+                Operand::Val(v) => regs[v.0 as usize],
+                Operand::Imm(i) => *i,
+            };
+            let mut pc = 0usize;
+            loop {
+                self.steps += 1;
+                assert!(self.steps < 100_000_000, "interpreter runaway");
+                match &f.code[pc] {
+                    LInst::MovImm(d, v) => regs[d.0 as usize] = *v,
+                    LInst::Mov(d, s) => regs[d.0 as usize] = regs[s.0 as usize],
+                    LInst::Un(op, d, a) => {
+                        let x = regs[a.0 as usize];
+                        regs[d.0 as usize] = match op {
+                            UnOp::Not => !x,
+                            UnOp::Neg => x.wrapping_neg(),
+                        };
+                    }
+                    LInst::Bin(op, d, a, b) => {
+                        let x = regs[a.0 as usize];
+                        let y = opv(&regs, b);
+                        regs[d.0 as usize] = eval_bin(*op, x, y);
+                    }
+                    LInst::SetCond(d, c) => {
+                        regs[d.0 as usize] =
+                            u32::from(c.op.eval(regs[c.a.0 as usize], opv(&regs, &c.b)));
+                    }
+                    LInst::Load {
+                        width,
+                        signed,
+                        dst,
+                        base,
+                        disp,
+                    } => {
+                        let addr = (regs[base.0 as usize] as i64 + i64::from(*disp)) as usize;
+                        let raw = match width {
+                            Width::W => u32::from_le_bytes(
+                                self.mem[addr..addr + 4].try_into().unwrap(),
+                            ),
+                            Width::H => u32::from(u16::from_le_bytes(
+                                self.mem[addr..addr + 2].try_into().unwrap(),
+                            )),
+                            Width::B => u32::from(self.mem[addr]),
+                        };
+                        regs[dst.0 as usize] = match (width, signed) {
+                            (Width::H, true) => raw as u16 as i16 as i32 as u32,
+                            (Width::B, true) => raw as u8 as i8 as i32 as u32,
+                            _ => raw,
+                        };
+                    }
+                    LInst::Store {
+                        width,
+                        src,
+                        base,
+                        disp,
+                    } => {
+                        let addr = (regs[base.0 as usize] as i64 + i64::from(*disp)) as usize;
+                        let v = regs[src.0 as usize];
+                        match width {
+                            Width::W => {
+                                self.mem[addr..addr + 4].copy_from_slice(&v.to_le_bytes());
+                            }
+                            Width::H => self.mem[addr..addr + 2]
+                                .copy_from_slice(&(v as u16).to_le_bytes()),
+                            Width::B => self.mem[addr] = v as u8,
+                        }
+                    }
+                    LInst::CmpBr(c, l) => {
+                        if c.op.eval(regs[c.a.0 as usize], opv(&regs, &c.b)) {
+                            pc = labels[l];
+                        }
+                    }
+                    LInst::Br(l) => pc = labels[l],
+                    LInst::Lbl(_) => {}
+                    LInst::Call { callee, args, ret } => {
+                        let vals: Vec<u32> = args.iter().map(|v| regs[v.0 as usize]).collect();
+                        let r = self.run(callee, &vals);
+                        if let Some(dst) = ret {
+                            regs[dst.0 as usize] = r.unwrap_or(0);
+                        }
+                    }
+                    LInst::Emit(v) => self.emitted.push(regs[v.0 as usize]),
+                    LInst::Ret(v) => return v.map(|v| regs[v.0 as usize]),
+                }
+                pc += 1;
+            }
+        }
+    }
+
+    pub fn eval_bin(op: BinOp, x: u32, y: u32) -> u32 {
+        // Shift semantics follow ARM register-shift rules: the amount is
+        // the low byte; >= 32 shifts out completely.
+        let sh = y & 0xff;
+        match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Bic => x & !y,
+            BinOp::Shl => {
+                if sh >= 32 {
+                    0
+                } else {
+                    x << sh
+                }
+            }
+            BinOp::Shr => {
+                if sh >= 32 {
+                    0
+                } else {
+                    x >> sh
+                }
+            }
+            BinOp::Sar => {
+                let s = sh.min(31);
+                ((x as i32) >> s) as u32
+            }
+            BinOp::Ror => x.rotate_right(sh % 32),
+            BinOp::Mul => x.wrapping_mul(y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FnBuilder;
+    use crate::ir::CmpOp;
+    use std::collections::HashMap;
+
+    #[test]
+    fn while_loop_lowers_and_runs() {
+        let mut f = FnBuilder::new("main", 0);
+        let i = f.imm(0u32);
+        let acc = f.imm(0u32);
+        f.while_(f.cmp(CmpOp::LtU, i, 5u32), |f| {
+            let t = f.add(acc, i);
+            f.copy(acc, t);
+            let n = f.add(i, 1u32);
+            f.copy(i, n);
+        });
+        f.ret(Some(acc));
+        let lf = lower(&f.finish());
+        let mut interp = interp::Interp {
+            funcs: HashMap::from([("main".to_string(), &lf)]),
+            mem: vec![0; 64],
+            emitted: Vec::new(),
+            steps: 0,
+        };
+        assert_eq!(interp.run("main", &[]), Some(10));
+    }
+
+    #[test]
+    fn if_else_lowers_both_arms() {
+        for (input, expect) in [(3u32, 30u32), (7, 70)] {
+            let mut f = FnBuilder::new("main", 1);
+            let x = f.param(0);
+            let out = f.imm(0u32);
+            f.if_else(
+                f.cmp(CmpOp::LtU, x, 5u32),
+                |f| f.set_imm(out, 30),
+                |f| f.set_imm(out, 70),
+            );
+            f.ret(Some(out));
+            let lf = lower(&f.finish());
+            let mut interp = interp::Interp {
+                funcs: HashMap::from([("main".to_string(), &lf)]),
+                mem: vec![0; 64],
+                emitted: Vec::new(),
+                steps: 0,
+            };
+            assert_eq!(interp.run("main", &[input]), Some(expect));
+        }
+    }
+
+    #[test]
+    fn calls_pass_arguments() {
+        let mut g = FnBuilder::new("double", 1);
+        let x = g.param(0);
+        let d = g.add(x, x);
+        g.ret(Some(d));
+        let g = lower(&g.finish());
+
+        let mut f = FnBuilder::new("main", 0);
+        let v = f.imm(21u32);
+        let r = f.call("double", &[v]);
+        f.ret(Some(r));
+        let f = lower(&f.finish());
+
+        let mut interp = interp::Interp {
+            funcs: HashMap::from([("main".to_string(), &f), ("double".to_string(), &g)]),
+            mem: vec![0; 64],
+            emitted: Vec::new(),
+            steps: 0,
+        };
+        assert_eq!(interp.run("main", &[]), Some(42));
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let mut f = FnBuilder::new("main", 0);
+        let base = f.imm(16u32);
+        let v = f.imm(0xdead_beefu32);
+        f.store_w(base, 0, v);
+        let b0 = f.load_b(base, 0);
+        let s = f.load_sb(base, 3); // 0xde -> sign-extended
+        let sum = f.add(b0, s);
+        f.ret(Some(sum));
+        let lf = lower(&f.finish());
+        let mut interp = interp::Interp {
+            funcs: HashMap::from([("main".to_string(), &lf)]),
+            mem: vec![0; 64],
+            emitted: Vec::new(),
+            steps: 0,
+        };
+        assert_eq!(
+            interp.run("main", &[]),
+            Some(0xefu32.wrapping_add(0xde_u8 as i8 as i32 as u32))
+        );
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let i = LInst::Bin(BinOp::Add, Val(2), Val(0), Operand::Val(Val(1)));
+        assert_eq!(uses(&i), vec![Val(0), Val(1)]);
+        assert_eq!(def(&i), Some(Val(2)));
+        let s = LInst::Store {
+            width: Width::W,
+            src: Val(3),
+            base: Val(4),
+            disp: 0,
+        };
+        assert_eq!(uses(&s), vec![Val(3), Val(4)]);
+        assert_eq!(def(&s), None);
+    }
+
+    #[test]
+    fn fallthrough_gets_implicit_return() {
+        let f = FnBuilder::new("main", 0);
+        let lf = lower(&f.finish());
+        assert!(matches!(lf.code.last(), Some(LInst::Ret(None))));
+    }
+}

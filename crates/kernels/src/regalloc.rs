@@ -1,0 +1,289 @@
+//! Linear-scan register allocation over LIR.
+//!
+//! Virtual registers are mapped onto the callee-saved set `r4`–`r11`
+//! (`r0`–`r3` are the argument/scratch registers of the calling convention,
+//! `r12` is reserved for the ARM→FITS translator, `sp`/`lr`/`pc` are
+//! architectural). Intervals are mention spans extended over backward
+//! branches — the classic conservative loop-extension — so a value live
+//! around a loop is never assigned a register that the loop body reuses.
+
+use fits_isa::Reg;
+
+use crate::lower::{def, uses, LFunction, LInst};
+
+/// Where a virtual register lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register (`r4`–`r11`).
+    Reg(Reg),
+    /// A stack spill slot (index into the frame's spill area).
+    Slot(u32),
+}
+
+/// The result of allocation for one function.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Location of each virtual register, indexed by vreg number.
+    pub locs: Vec<Loc>,
+    /// Number of spill slots used.
+    pub slots: u32,
+    /// The callee-saved physical registers actually used, ascending.
+    pub used_regs: Vec<Reg>,
+}
+
+/// The allocatable physical registers.
+pub const ALLOCATABLE: [Reg; 8] = [
+    Reg::R4,
+    Reg::R5,
+    Reg::R6,
+    Reg::R7,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+];
+
+#[derive(Clone, Copy, Debug)]
+struct Interval {
+    vreg: u32,
+    start: u32,
+    end: u32,
+}
+
+/// Computes mention-span live intervals, extended to cover every loop
+/// (backward branch span) they intersect.
+fn intervals(f: &LFunction) -> Vec<Interval> {
+    let n = f.vregs as usize;
+    let mut start = vec![u32::MAX; n];
+    let mut end = vec![0u32; n];
+    let touch = |v: u32, p: u32, start: &mut Vec<u32>, end: &mut Vec<u32>| {
+        start[v as usize] = start[v as usize].min(p);
+        end[v as usize] = end[v as usize].max(p);
+    };
+    // Parameters are defined at entry.
+    for p in 0..f.params {
+        touch(p, 0, &mut start, &mut end);
+    }
+    let mut label_pos = std::collections::HashMap::new();
+    for (i, inst) in f.code.iter().enumerate() {
+        if let LInst::Lbl(l) = inst {
+            label_pos.insert(*l, i as u32);
+        }
+    }
+    for (i, inst) in f.code.iter().enumerate() {
+        let p = i as u32;
+        for v in uses(inst) {
+            touch(v.index(), p, &mut start, &mut end);
+        }
+        if let Some(v) = def(inst) {
+            touch(v.index(), p, &mut start, &mut end);
+        }
+    }
+    // Backward-branch spans.
+    let mut loops: Vec<(u32, u32)> = Vec::new();
+    for (i, inst) in f.code.iter().enumerate() {
+        let target = match inst {
+            LInst::Br(l) | LInst::CmpBr(_, l) => Some(*l),
+            _ => None,
+        };
+        if let Some(l) = target {
+            let t = label_pos[&l];
+            if t <= i as u32 {
+                loops.push((t, i as u32));
+            }
+        }
+    }
+    // Extend until fixpoint (spans can chain through nested loops).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            if start[v] == u32::MAX {
+                continue;
+            }
+            for &(lo, hi) in &loops {
+                // The interval intersects the loop span but doesn't cover it.
+                if start[v] <= hi && end[v] >= lo && (start[v] > lo || end[v] < hi) {
+                    // Only values live across iterations need the extension:
+                    // a value both defined and fully used inside the span is
+                    // still safe to keep short, but detecting that needs
+                    // real liveness; extend conservatively.
+                    if start[v] < lo || end[v] > hi {
+                        let ns = start[v].min(lo);
+                        let ne = end[v].max(hi);
+                        if ns != start[v] || ne != end[v] {
+                            start[v] = ns;
+                            end[v] = ne;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<Interval> = (0..n)
+        .filter(|&v| start[v] != u32::MAX)
+        .map(|v| Interval {
+            vreg: v as u32,
+            start: start[v],
+            end: end[v],
+        })
+        .collect();
+    out.sort_by_key(|iv| (iv.start, iv.vreg));
+    out
+}
+
+/// Allocates registers for a lowered function using the default
+/// eight-register callee-saved set.
+#[must_use]
+pub fn allocate(f: &LFunction) -> Allocation {
+    allocate_with(f, &ALLOCATABLE)
+}
+
+/// Allocates registers from an explicit allocatable set. Shrinking the set
+/// raises register pressure and spill traffic — how a 16-bit target with a
+/// narrow register window (like Thumb's 8 visible registers) pays for its
+/// encoding (§6.2 of the paper).
+#[must_use]
+pub fn allocate_with(f: &LFunction, allocatable: &[Reg]) -> Allocation {
+    let ivs = intervals(f);
+    let mut locs = vec![Loc::Slot(u32::MAX); f.vregs as usize];
+    let mut slots: u32 = 0;
+    let mut free: Vec<Reg> = allocatable.iter().rev().copied().collect();
+    let mut active: Vec<Interval> = Vec::new(); // sorted by end ascending
+    let mut used = [false; 16];
+
+    for iv in ivs {
+        // Expire.
+        active.retain(|a| {
+            if a.end < iv.start {
+                if let Loc::Reg(r) = locs[a.vreg as usize] {
+                    free.push(r);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(r) = free.pop() {
+            locs[iv.vreg as usize] = Loc::Reg(r);
+            used[r.index() as usize] = true;
+            active.push(iv);
+            active.sort_by_key(|a| a.end);
+        } else {
+            // Spill the interval that ends last.
+            let last = active.last().copied();
+            match last {
+                Some(victim) if victim.end > iv.end => {
+                    let r = match locs[victim.vreg as usize] {
+                        Loc::Reg(r) => r,
+                        Loc::Slot(_) => unreachable!("active interval must own a register"),
+                    };
+                    locs[victim.vreg as usize] = Loc::Slot(slots);
+                    slots += 1;
+                    locs[iv.vreg as usize] = Loc::Reg(r);
+                    active.pop();
+                    active.push(iv);
+                    active.sort_by_key(|a| a.end);
+                }
+                _ => {
+                    locs[iv.vreg as usize] = Loc::Slot(slots);
+                    slots += 1;
+                }
+            }
+        }
+    }
+
+    // Registers listed in `used` may have been freed and reused; collect the
+    // final set actually appearing in locs plus any that were ever used
+    // (they were clobbered at some point, so must be saved).
+    let used_regs: Vec<Reg> = allocatable
+        .iter()
+        .copied()
+        .filter(|r| used[r.index() as usize])
+        .collect();
+
+    Allocation {
+        locs,
+        slots,
+        used_regs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FnBuilder;
+    use crate::ir::CmpOp;
+    use crate::lower::lower;
+
+    #[test]
+    fn few_values_all_get_registers() {
+        let mut f = FnBuilder::new("main", 0);
+        let a = f.imm(1u32);
+        let b = f.imm(2u32);
+        let c = f.add(a, b);
+        f.ret(Some(c));
+        let alloc = allocate(&lower(&f.finish()));
+        assert_eq!(alloc.slots, 0);
+        assert!(alloc
+            .locs
+            .iter()
+            .all(|l| matches!(l, Loc::Reg(_) | Loc::Slot(u32::MAX))));
+    }
+
+    #[test]
+    fn pressure_forces_spills() {
+        let mut f = FnBuilder::new("main", 0);
+        let vals: Vec<_> = (0..12).map(|i| f.imm(i as u32)).collect();
+        // Sum them all so every value stays live to the end.
+        let mut acc = f.imm(0u32);
+        for v in &vals {
+            acc = f.add(acc, *v);
+        }
+        f.ret(Some(acc));
+        let alloc = allocate(&lower(&f.finish()));
+        assert!(alloc.slots > 0, "12 simultaneously-live values must spill");
+        assert_eq!(alloc.used_regs.len(), ALLOCATABLE.len());
+    }
+
+    #[test]
+    fn loop_variables_stay_pinned_across_the_loop() {
+        let mut f = FnBuilder::new("main", 0);
+        let i = f.imm(0u32);
+        let acc = f.imm(0u32);
+        f.while_(f.cmp(CmpOp::LtU, i, 100u32), |f| {
+            // Lots of short-lived temporaries inside the loop.
+            let mut t = f.add(i, 1u32);
+            for _ in 0..20 {
+                t = f.add(t, 1u32);
+            }
+            let a2 = f.add(acc, t);
+            f.copy(acc, a2);
+            let n = f.add(i, 1u32);
+            f.copy(i, n);
+        });
+        f.ret(Some(acc));
+        let lf = lower(&f.finish());
+        let alloc = allocate(&lf);
+        // The loop counter and accumulator intervals span the whole loop, so
+        // whatever locations they got, no temporary may alias them.
+        let i_loc = alloc.locs[i.index() as usize];
+        let acc_loc = alloc.locs[acc.index() as usize];
+        assert_ne!(i_loc, acc_loc);
+    }
+
+    #[test]
+    fn disjoint_intervals_share_registers() {
+        let mut f = FnBuilder::new("main", 0);
+        let mut sum = f.imm(0u32);
+        for k in 0..40 {
+            let t = f.imm(k as u32);
+            sum = f.add(sum, t);
+        }
+        f.ret(Some(sum));
+        let alloc = allocate(&lower(&f.finish()));
+        // 40 short temporaries but almost no concurrent liveness.
+        assert_eq!(alloc.slots, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Cache power: geometry + measured activity → the paper's four components.
+
+use fits_sim::{CacheConfig, CacheStats, PEAK_WINDOW_CYCLES};
+
+use crate::TechParams;
+
+/// The power/energy report for one cache over one run — the quantities of
+/// the paper's Figures 6–11.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CachePower {
+    /// Switching (output-driver) energy over the run (J).
+    pub switching_j: f64,
+    /// Internal (array + precharge/clock) energy over the run (J).
+    pub internal_j: f64,
+    /// Leakage energy over the run (J).
+    pub leakage_j: f64,
+    /// Peak power: the busiest sliding window's dynamic energy rate plus
+    /// the static floor (W).
+    pub peak_w: f64,
+    /// Run length in seconds.
+    pub seconds: f64,
+}
+
+impl CachePower {
+    /// Total energy (J) — switching + internal + leakage.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.switching_j + self.internal_j + self.leakage_j
+    }
+
+    /// Average power over the run (W).
+    #[must_use]
+    pub fn average_w(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.total_j() / self.seconds
+        }
+    }
+
+    /// Component shares of the total (switching, internal, leakage) — the
+    /// paper's Figure 6 breakdown.
+    #[must_use]
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let t = self.total_j();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.switching_j / t,
+            self.internal_j / t,
+            self.leakage_j / t,
+        )
+    }
+
+    /// Fractional saving of `self` relative to `baseline` (1.0 =
+    /// eliminated everything; negative = worse), the paper's Figures 7–11.
+    ///
+    /// Switching, internal, leakage and total compare **task energy**
+    /// (§6.3: for the equal-runtime FITS configurations energy and power
+    /// savings coincide; for ARM8 the energy view charges the "longer
+    /// operational period" that §6.3.2's leakage discussion describes).
+    /// Peak compares peak watts directly.
+    #[must_use]
+    pub fn saving_vs(&self, baseline: &CachePower) -> ComponentSavings {
+        let frac = |ours: f64, base: f64| {
+            if base == 0.0 {
+                0.0
+            } else {
+                1.0 - ours / base
+            }
+        };
+        ComponentSavings {
+            switching: frac(self.switching_j, baseline.switching_j),
+            internal: frac(self.internal_j, baseline.internal_j),
+            leakage: frac(self.leakage_j, baseline.leakage_j),
+            peak: frac(self.peak_w, baseline.peak_w),
+            total: frac(self.total_j(), baseline.total_j()),
+        }
+    }
+}
+
+/// Per-component fractional savings versus a baseline configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ComponentSavings {
+    /// Switching-power saving (Figure 7).
+    pub switching: f64,
+    /// Internal-power saving (Figure 8).
+    pub internal: f64,
+    /// Leakage-power saving (Figure 9).
+    pub leakage: f64,
+    /// Peak-power saving (Figure 10).
+    pub peak: f64,
+    /// Total cache-power saving (Figure 11).
+    pub total: f64,
+}
+
+/// Per-access internal (array) energy for a geometry: bitline discharge
+/// proportional to the row count, CAM-style tag compare across the ways,
+/// and the row decoder.
+fn e_array_access(cfg: &CacheConfig, tech: &TechParams) -> f64 {
+    let sets = f64::from(cfg.sets());
+    let ways = f64::from(cfg.ways);
+    let addr_bits = f64::from(32 - cfg.line_bytes.leading_zeros());
+    let tag_bits = 32.0 - (f64::from(cfg.sets() * cfg.line_bytes)).log2();
+    let read_bits = 32.0; // one word per access on this 32-bit fetch path
+    tech.e_bitline_per_row_bit * sets * read_bits
+        + tech.e_tag_bit * ways * tag_bits
+        + tech.e_decode_bit * (sets.log2().max(1.0) + addr_bits)
+}
+
+/// Storage bits (data + tags + valid/dirty/LRU state).
+fn storage_bits(cfg: &CacheConfig) -> f64 {
+    let lines = f64::from(cfg.sets() * cfg.ways);
+    let tag_bits = 32.0 - (f64::from(cfg.sets() * cfg.line_bytes)).log2();
+    let state_bits = 2.0 + 5.0; // valid+dirty plus LRU bookkeeping
+    f64::from(cfg.size_bytes) * 8.0 + lines * (tag_bits + state_bits)
+}
+
+/// Computes the cache power report from measured activity.
+///
+/// `cycles` is the run length of the configuration that produced `stats`
+/// (the cache is clocked, and leaks, for that whole interval — this is the
+/// "longer operational period" effect of the paper's §6.3.2).
+#[must_use]
+pub fn cache_power(
+    cfg: &CacheConfig,
+    stats: &CacheStats,
+    cycles: u64,
+    tech: &TechParams,
+) -> CachePower {
+    let seconds = cycles as f64 * tech.cycle_seconds();
+    let e_access = e_array_access(cfg, tech);
+    let bits = storage_bits(cfg);
+
+    // Switching: per-access driven-bus term (16 effective bits of the
+    // 32-bit read port) plus the measured data-dependent toggling.
+    let switching_j = stats.accesses as f64 * 16.0 * tech.e_output_driven_bit
+        + stats.output_toggles as f64 * tech.e_output_toggle_bit;
+    let internal_j = stats.accesses as f64 * e_access
+        + stats.fill_words as f64 * 32.0 * tech.e_fill_bit
+        + bits * tech.p_clock_per_bit * seconds;
+    let leakage_j = bits * tech.p_leak_per_bit * seconds;
+
+    // Peak: the busiest window's *dynamic* energy rate — the di/dt-relevant
+    // component (§4.1: "sharp changes in power consumption"); the static
+    // floor is flat by definition and common to every instant, so it does
+    // not contribute to the peak-to-peak excursion the figure studies.
+    let window_s = PEAK_WINDOW_CYCLES as f64 * tech.cycle_seconds();
+    let window_j = stats.peak.accesses as f64 * (e_access + 16.0 * tech.e_output_driven_bit)
+        + stats.peak.toggles as f64 * tech.e_output_toggle_bit
+        + stats.peak.fill_words as f64 * 32.0 * tech.e_fill_bit;
+    let peak_w = window_j / window_s;
+
+    CachePower {
+        switching_j,
+        internal_j,
+        leakage_j,
+        peak_w,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fits_sim::WindowPeak;
+
+    fn stats(accesses: u64, toggles: u64, fills: u64) -> CacheStats {
+        CacheStats {
+            accesses,
+            hits: accesses.saturating_sub(fills / 8),
+            misses: fills / 8,
+            fill_words: fills,
+            output_toggles: toggles,
+            peak: WindowPeak {
+                accesses: accesses.min(64),
+                toggles: toggles.min(64 * 12),
+                fill_words: 0,
+            },
+            ..CacheStats::default()
+        }
+    }
+
+    fn icache16() -> CacheConfig {
+        CacheConfig::sa1100_icache()
+    }
+
+    #[test]
+    fn breakdown_matches_paper_shape() {
+        // A representative instruction stream: one access and ~12 toggled
+        // bits per instruction, IPC ~1.3.
+        let tech = TechParams::sa1100();
+        let n: u64 = 1_000_000;
+        let p = cache_power(&icache16(), &stats(n, 12 * n, 800), (n as f64 / 1.3) as u64, &tech);
+        let (sw, int, lk) = p.breakdown();
+        assert!(int > 0.5, "internal must dominate: {int:.3}");
+        assert!(sw > 0.2 && sw < 0.45, "switching share {sw:.3}");
+        assert!(lk > 0.05 && lk < 0.2, "leakage share {lk:.3}");
+        assert!((sw + int + lk - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halving_accesses_halves_switching() {
+        // The FITS16 effect: same cache, half the fetches/toggles.
+        let tech = TechParams::sa1100();
+        let n: u64 = 1_000_000;
+        let cycles = (n as f64 / 1.3) as u64;
+        let base = cache_power(&icache16(), &stats(n, 12 * n, 800), cycles, &tech);
+        let fits = cache_power(&icache16(), &stats(n / 2, 6 * n, 800), cycles, &tech);
+        let s = fits.saving_vs(&base);
+        assert!((s.switching - 0.5).abs() < 0.01, "switching {:.3}", s.switching);
+        assert!(s.internal > 0.05 && s.internal < 0.35, "internal {:.3}", s.internal);
+        assert!(s.leakage.abs() < 0.01, "same size, same time: {:.3}", s.leakage);
+        assert!(s.total > 0.15 && s.total < 0.40, "total {:.3}", s.total);
+    }
+
+    #[test]
+    fn half_size_cache_saves_internal_and_leakage() {
+        // The ARM8 effect: half the array, same access count, 15% more
+        // cycles from extra misses.
+        let tech = TechParams::sa1100();
+        let n: u64 = 1_000_000;
+        let base = cache_power(&icache16(), &stats(n, 12 * n, 800), (n as f64 / 1.3) as u64, &tech);
+        let half = icache16().resized(8 * 1024);
+        let arm8 = cache_power(
+            &half,
+            &stats(n, 12 * n, 8_000),
+            (n as f64 / 1.3 * 1.15) as u64,
+            &tech,
+        );
+        let s = arm8.saving_vs(&base);
+        assert!(s.switching.abs() < 0.02, "switching unchanged: {:.3}", s.switching);
+        assert!(s.internal > 0.25, "internal {:.3}", s.internal);
+        assert!(
+            s.leakage > 0.3 && s.leakage < 0.5,
+            "leakage halved minus longer runtime: {:.3}",
+            s.leakage
+        );
+    }
+
+    #[test]
+    fn peak_reflects_window_activity_and_size() {
+        let tech = TechParams::sa1100();
+        let cfg = icache16();
+        let mut a = stats(1000, 12_000, 0);
+        a.peak = WindowPeak {
+            accesses: 64,
+            toggles: 64 * 12,
+            fill_words: 0,
+        };
+        let mut b = a.clone();
+        b.peak = WindowPeak {
+            accesses: 32,
+            toggles: 32 * 12,
+            fill_words: 0,
+        };
+        let pa = cache_power(&cfg, &a, 1000, &tech);
+        let pb = cache_power(&cfg, &b, 1000, &tech);
+        assert!(pb.peak_w < pa.peak_w);
+        // A half-size cache has a lower peak even at the same window rate.
+        let pc = cache_power(&cfg.resized(8 * 1024), &a, 1000, &tech);
+        assert!(pc.peak_w < pa.peak_w);
+    }
+
+    #[test]
+    fn energy_power_consistency() {
+        let tech = TechParams::sa1100();
+        let p = cache_power(&icache16(), &stats(1000, 12_000, 0), 1000, &tech);
+        let expect = p.total_j() / (1000.0 * tech.cycle_seconds());
+        assert!((p.average_w() - expect).abs() < 1e-12);
+    }
+}

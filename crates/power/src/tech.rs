@@ -1,0 +1,122 @@
+//! Technology parameters: per-event energies and leakage rates.
+
+/// Per-event energy and leakage constants for one fabrication point.
+///
+/// All energies are in joules per event; leakage is watts per bit of
+/// storage. The [`TechParams::sa1100`] defaults model a 0.35 µm, 1.5 V,
+/// 200 MHz StrongARM-class part, calibrated so the simulated ARM16
+/// baseline reproduces the published StrongARM power breakdown the paper
+/// cites (I-cache ≈ 27% of chip power, caches > 40% combined, dynamic
+/// power ≫ leakage). The experiments compare configurations against each
+/// other, so only the *relative* magnitudes matter; the absolute scale is
+/// chosen to land near the SA-1100's ≈0.35 W at 200 MHz.
+#[derive(Clone, Debug)]
+pub struct TechParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Clock frequency (Hz).
+    pub freq_hz: f64,
+    /// Energy per bitline-pair discharge, per row of the array (J). The
+    /// bitline capacitance grows with the number of rows (sets), which is
+    /// what makes a half-size cache cheaper per access.
+    pub e_bitline_per_row_bit: f64,
+    /// Energy per tag-bit compare across the ways (the SA-1100 uses
+    /// CAM-style tags, so every way participates) (J).
+    pub e_tag_bit: f64,
+    /// Row-decoder energy per address bit (J).
+    pub e_decode_bit: f64,
+    /// Output-driver energy per *driven* output bit per access (J) — the
+    /// sim-panalyzer-style switching term ("switching capacitance
+    /// multiplied by the number of microarchitectural accesses"), charged
+    /// for half the 32-bit read port per access (activity factor 0.5).
+    pub e_output_driven_bit: f64,
+    /// Additional output energy per *measured toggled* bit (J) — the
+    /// data-dependent refinement on top of the per-access term; this is
+    /// the part the toggle-aware opcode assignment can reduce.
+    pub e_output_toggle_bit: f64,
+    /// Array-write energy per bit on a line fill (J).
+    pub e_fill_bit: f64,
+    /// Precharge/clock power per bit of cache storage, charged every cycle
+    /// the block is powered (W per bit).
+    pub p_clock_per_bit: f64,
+    /// Leakage power per bit of storage (W per bit). Small at 0.35 µm.
+    pub p_leak_per_bit: f64,
+
+    // ---- chip-level (non-cache) per-event energies --------------------
+    /// Fixed 32-bit instruction decode, per retired instruction (J).
+    pub e_decode32: f64,
+    /// Programmable 16-bit FITS decode, per retired instruction (J). A
+    /// configured table lookup on half the bits; slightly cheaper than the
+    /// hardwired 32-bit decode (§3.1's deactivated-datapath argument).
+    pub e_decode16: f64,
+    /// Register-file energy per port event (J).
+    pub e_regfile_port: f64,
+    /// ALU/shifter energy per executed operate instruction (J).
+    pub e_alu_op: f64,
+    /// Extra multiplier energy per multiply (J).
+    pub e_mul_op: f64,
+    /// Global clock-tree power (W), always on.
+    pub p_clock_tree: f64,
+    /// Everything else (buses, pads, control), per cycle (J).
+    pub e_other_per_cycle: f64,
+    /// Non-cache leakage (W).
+    pub p_leak_other: f64,
+}
+
+impl TechParams {
+    /// The SA-1100-class calibration (see type docs).
+    #[must_use]
+    pub fn sa1100() -> TechParams {
+        // Energy unit: calibrated in tenths of picojoules (1e-13 J).
+        const U: f64 = 1.0e-13;
+        TechParams {
+            vdd: 1.5,
+            freq_hz: 200.0e6,
+            e_bitline_per_row_bit: 0.9 * U,
+            e_tag_bit: 0.35 * U,
+            e_decode_bit: 9.0 * U,
+            e_output_driven_bit: 62.0 * U,
+            e_output_toggle_bit: 12.0 * U,
+            e_fill_bit: 1.4 * U,
+            // 0.0122 U per bit per cycle of precharge/clock energy.
+            p_clock_per_bit: 2.4e-7,
+            // 0.004 U per bit per cycle of leakage at 0.35 um.
+            p_leak_per_bit: 8.0e-8,
+            e_decode32: 2300.0 * U,
+            e_decode16: 2100.0 * U,
+            e_regfile_port: 420.0 * U,
+            e_alu_op: 1500.0 * U,
+            e_mul_op: 3600.0 * U,
+            p_clock_tree: 16.0e-3,
+            e_other_per_cycle: 3500.0 * U,
+            p_leak_other: 4.0e-3,
+        }
+    }
+
+    /// Seconds per cycle at this frequency.
+    #[must_use]
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.freq_hz
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams::sa1100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let t = TechParams::sa1100();
+        assert!(t.vdd > 0.0 && t.freq_hz > 0.0);
+        assert!(t.e_output_driven_bit > t.e_bitline_per_row_bit);
+        assert!(t.e_output_toggle_bit > t.e_bitline_per_row_bit);
+        assert!(t.p_leak_per_bit < t.p_clock_per_bit, "0.35um: leakage small");
+        assert!((t.cycle_seconds() - 5e-9).abs() < 1e-12);
+    }
+}

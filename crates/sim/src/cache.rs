@@ -1,0 +1,487 @@
+//! Set-associative cache model with the activity counters the power model
+//! consumes.
+//!
+//! Beyond the usual hit/miss accounting, every access records the Hamming
+//! distance between successive data words on the cache's output port (the
+//! "switching" activity of the paper's power breakdown) and feeds a sliding
+//! cycle window that captures the busiest interval (the "peak power" input).
+
+use crate::SimError;
+
+/// Width of the sliding window used for peak-activity tracking, in cycles.
+///
+/// sim-panalyzer reports peak power per cycle; a single-cycle window makes
+/// the metric binary (an access happened or not), so we follow the common
+/// practice of a short multi-cycle window that still captures `di/dt`-scale
+/// bursts.
+pub const PEAK_WINDOW_CYCLES: u64 = 64;
+
+/// Replacement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used.
+    Lru,
+    /// Pseudo-random (LFSR victim selection), the policy ARM's
+    /// high-associativity caches actually implement — and what keeps a
+    /// slightly-overflowing loop from degenerating into the 100% miss rate
+    /// LRU produces on cyclic reference streams.
+    PseudoRandom,
+}
+
+/// Geometry and identity of a cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name (for reports).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (number of ways).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// The SA-1100 instruction cache: 16 KB, 32-way, 32-byte lines.
+    #[must_use]
+    pub fn sa1100_icache() -> CacheConfig {
+        CacheConfig {
+            name: "icache".to_string(),
+            size_bytes: 16 * 1024,
+            ways: 32,
+            line_bytes: 32,
+            replacement: Replacement::PseudoRandom,
+        }
+    }
+
+    /// The SA-1100 data cache: 8 KB, 32-way, 32-byte lines.
+    #[must_use]
+    pub fn sa1100_dcache() -> CacheConfig {
+        CacheConfig {
+            name: "dcache".to_string(),
+            size_bytes: 8 * 1024,
+            ways: 32,
+            line_bytes: 32,
+            replacement: Replacement::PseudoRandom,
+        }
+    }
+
+    /// Returns a copy resized to `size_bytes` (associativity and line size
+    /// kept; the set count shrinks/grows), the paper's single controlled
+    /// variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not a multiple of `ways * line_bytes`.
+    #[must_use]
+    pub fn resized(&self, size_bytes: u32) -> CacheConfig {
+        let mut cfg = self.clone();
+        cfg.size_bytes = size_bytes;
+        assert_eq!(
+            size_bytes % (cfg.ways * cfg.line_bytes),
+            0,
+            "{size_bytes} bytes not divisible into {} ways of {}-byte lines",
+            cfg.ways,
+            cfg.line_bytes
+        );
+        cfg
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Peak-activity snapshot: the busiest [`PEAK_WINDOW_CYCLES`]-cycle window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowPeak {
+    /// Accesses in the busiest window.
+    pub accesses: u64,
+    /// Output-bit toggles in that window.
+    pub toggles: u64,
+    /// Line-fill words in that window.
+    pub fill_words: u64,
+}
+
+/// Activity counters accumulated by a [`Cache`] over a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Words transferred by line fills.
+    pub fill_words: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Write accesses (0 for an I-cache).
+    pub writes: u64,
+    /// Total Hamming distance between successive output words.
+    pub output_toggles: u64,
+    /// Busiest-window snapshot.
+    pub peak: WindowPeak,
+}
+
+impl CacheStats {
+    /// Miss rate as a fraction of accesses (0 when idle).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per million accesses, the unit of the paper's Figure 13.
+    #[must_use]
+    pub fn misses_per_million(&self) -> f64 {
+        self.miss_rate() * 1.0e6
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// An LRU set-associative cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+    last_output: u32,
+    window_start: u64,
+    window: WindowPeak,
+    /// Deterministic xorshift state for pseudo-random victim selection.
+    lfsr: u32,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let lines = vec![Line::default(); (cfg.sets() * cfg.ways) as usize];
+        Cache {
+            cfg,
+            lines,
+            tick: 0,
+            stats: CacheStats::default(),
+            last_output: 0,
+            window_start: 0,
+            window: WindowPeak::default(),
+            lfsr: 0x2545_f491,
+        }
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics. Call [`Cache::finish`] first to fold the
+    /// in-flight peak window in.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn roll_window(&mut self, cycle: u64) {
+        let bucket = cycle / PEAK_WINDOW_CYCLES;
+        if bucket != self.window_start {
+            if self.window.accesses > self.stats.peak.accesses {
+                self.stats.peak = self.window;
+            }
+            self.window = WindowPeak::default();
+            self.window_start = bucket;
+        }
+    }
+
+    /// Performs one access at simulation time `cycle`. Returns `true` on a
+    /// hit. `data` is the word on the cache's data port (instruction word or
+    /// load/store data), used for toggle accounting.
+    pub fn access(&mut self, addr: u32, write: bool, data: u32, cycle: u64) -> bool {
+        self.roll_window(cycle);
+        self.tick += 1;
+        self.stats.accesses += 1;
+        self.window.accesses += 1;
+        if write {
+            self.stats.writes += 1;
+        }
+        let toggles = u64::from((self.last_output ^ data).count_ones());
+        self.stats.output_toggles += toggles;
+        self.window.toggles += toggles;
+        self.last_output = data;
+
+        let line_addr = addr / self.cfg.line_bytes;
+        let set = line_addr % self.cfg.sets();
+        let tag = line_addr / self.cfg.sets();
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            if write {
+                line.dirty = true;
+            }
+            self.stats.hits += 1;
+            return true;
+        }
+
+        // Miss: pick a victim per the replacement policy and fill. Invalid
+        // ways are always preferred.
+        self.stats.misses += 1;
+        let victim = if let Some(invalid) = set_lines.iter_mut().find(|l| !l.valid) {
+            invalid
+        } else {
+            match self.cfg.replacement {
+                Replacement::Lru => set_lines
+                    .iter_mut()
+                    .min_by_key(|l| l.lru)
+                    .expect("at least one way"),
+                Replacement::PseudoRandom => {
+                    // xorshift32
+                    self.lfsr ^= self.lfsr << 13;
+                    self.lfsr ^= self.lfsr >> 17;
+                    self.lfsr ^= self.lfsr << 5;
+                    let way = (self.lfsr as usize) % ways;
+                    &mut set_lines[way]
+                }
+            }
+        };
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.tick,
+        };
+        let fill = u64::from(self.cfg.line_bytes / 4);
+        self.stats.fill_words += fill;
+        self.window.fill_words += fill;
+        false
+    }
+
+    /// Folds the in-flight peak window into the statistics. Idempotent.
+    pub fn finish(&mut self) {
+        if self.window.accesses > self.stats.peak.accesses {
+            self.stats.peak = self.window;
+        }
+        self.window = WindowPeak::default();
+    }
+
+    /// Checks whether an address would hit, without updating any state
+    /// (used by tests and the reference model).
+    #[must_use]
+    pub fn probe(&self, addr: u32) -> bool {
+        let line_addr = addr / self.cfg.line_bytes;
+        let set = line_addr % self.cfg.sets();
+        let tag = line_addr / self.cfg.sets();
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        self.lines[base..base + ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+}
+
+#[cfg(test)]
+/// A deliberately naive reference model (fully associative per set via
+/// linear search over an unbounded history) used by property tests to
+/// validate the LRU implementation.
+#[derive(Debug, Default)]
+struct RefCacheModel {
+    history: Vec<(u32, u64)>, // (line address, last use)
+    tick: u64,
+}
+
+#[cfg(test)]
+impl RefCacheModel {
+    /// Mirrors [`Cache::access`] for hit/miss behaviour given a geometry.
+    fn access(&mut self, cfg: &CacheConfig, addr: u32) -> bool {
+        self.tick += 1;
+        let line_addr = addr / cfg.line_bytes;
+        let set = line_addr % cfg.sets();
+        if let Some(entry) = self.history.iter_mut().find(|(l, _)| *l == line_addr) {
+            entry.1 = self.tick;
+            return true;
+        }
+        // Count resident lines of this set; evict LRU if full.
+        let mut residents: Vec<usize> = self
+            .history
+            .iter()
+            .enumerate()
+            .filter(|(_, (l, _))| l % cfg.sets() == set)
+            .map(|(i, _)| i)
+            .collect();
+        if residents.len() >= cfg.ways as usize {
+            residents.sort_by_key(|&i| self.history[i].1);
+            let evict = residents[0];
+            self.history.remove(evict);
+        }
+        self.history.push((line_addr, self.tick));
+        false
+    }
+}
+
+/// Validates a cache configuration for use by a simulation run.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadInstruction`] describing the problem when the
+/// geometry is degenerate (zero sets, non-power-of-two line size, …).
+pub fn validate_config(cfg: &CacheConfig) -> Result<(), SimError> {
+    let bad = |what: &str| {
+        Err(SimError::BadInstruction {
+            what: format!("cache {}: {what}", cfg.name),
+        })
+    };
+    if cfg.line_bytes < 4 || !cfg.line_bytes.is_power_of_two() {
+        return bad("line size must be a power of two >= 4");
+    }
+    if cfg.ways == 0 {
+        return bad("associativity must be nonzero");
+    }
+    if cfg.size_bytes == 0 || cfg.size_bytes % (cfg.ways * cfg.line_bytes) != 0 {
+        return bad("size must be a multiple of ways * line");
+    }
+    if !cfg.sets().is_power_of_two() {
+        return bad("set count must be a power of two");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheConfig {
+        CacheConfig {
+            name: "t".into(),
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 32,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::sa1100_icache();
+        assert_eq!(c.sets(), 16);
+        assert_eq!(c.resized(8 * 1024).sets(), 8);
+        assert_eq!(tiny().sets(), 4);
+        validate_config(&c).unwrap();
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(tiny());
+        assert!(!c.access(0x1000, false, 1, 0));
+        assert!(c.access(0x1000, false, 1, 1));
+        assert!(c.access(0x101c, false, 1, 2), "same line");
+        assert!(!c.access(0x1020, false, 1, 3), "next line");
+        let s = c.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.fill_words, 16);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = Cache::new(tiny()); // 4 sets, 2 ways, 32B lines
+        // Three lines mapping to set 0: line addresses 0, 4, 8.
+        let a = 0x0000; // set 0
+        let b = 4 * 32; // set 0
+        let d = 8 * 32; // set 0
+        assert!(!c.access(a, false, 0, 0));
+        assert!(!c.access(b, false, 0, 1));
+        assert!(c.access(a, false, 0, 2)); // a most recent
+        assert!(!c.access(d, false, 0, 3)); // evicts b (LRU)
+        assert!(c.access(a, false, 0, 4));
+        assert!(!c.access(b, false, 0, 5), "b was evicted");
+    }
+
+    #[test]
+    fn writeback_counting() {
+        let mut c = Cache::new(tiny());
+        let a = 0x0000;
+        let b = 4 * 32;
+        let d = 8 * 32;
+        c.access(a, true, 0, 0); // dirty
+        c.access(b, false, 0, 1);
+        c.access(d, false, 0, 2); // evicts a (dirty)
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn toggle_accounting_uses_hamming_distance() {
+        let mut c = Cache::new(tiny());
+        c.access(0, false, 0x0000_0000, 0);
+        c.access(0, false, 0xffff_ffff, 1);
+        c.access(0, false, 0xffff_fff0, 2);
+        assert_eq!(c.stats().output_toggles, 32 + 4);
+    }
+
+    #[test]
+    fn peak_window_tracks_busiest_interval() {
+        let mut c = Cache::new(tiny());
+        // Three accesses in window 0, one in window 1.
+        c.access(0, false, 0, 0);
+        c.access(0, false, 0, 1);
+        c.access(0, false, 0, 2);
+        c.access(0, false, 0, PEAK_WINDOW_CYCLES + 1);
+        c.finish();
+        assert_eq!(c.stats().peak.accesses, 3);
+    }
+
+    #[test]
+    fn matches_reference_model() {
+        let cfg = tiny();
+        let mut c = Cache::new(cfg.clone());
+        let mut r = RefCacheModel::default();
+        // A pseudo-random but deterministic address stream.
+        let mut x: u32 = 12345;
+        for i in 0..2000u64 {
+            x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            let addr = (x >> 7) % 4096;
+            assert_eq!(
+                c.access(addr, false, 0, i),
+                r.access(&cfg, addr),
+                "divergence at access {i} addr {addr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let mut cfg = tiny();
+        cfg.ways = 0;
+        assert!(validate_config(&cfg).is_err());
+        let mut cfg = tiny();
+        cfg.line_bytes = 24;
+        assert!(validate_config(&cfg).is_err());
+        let mut cfg = tiny();
+        cfg.size_bytes = 300;
+        assert!(validate_config(&cfg).is_err());
+        let mut cfg = tiny();
+        cfg.size_bytes = 192; // 3 sets
+        assert!(validate_config(&cfg).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors raised while simulating a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The PC left the text segment or was misaligned.
+    BadPc {
+        /// The offending PC value.
+        pc: u32,
+    },
+    /// A data access fell outside the memory image.
+    BadAddress {
+        /// The offending address.
+        addr: u32,
+        /// Access width in bytes.
+        size: u32,
+    },
+    /// A data access was not naturally aligned.
+    Misaligned {
+        /// The offending address.
+        addr: u32,
+        /// Access width in bytes.
+        size: u32,
+    },
+    /// An unknown software-interrupt number was executed.
+    UnknownSwi {
+        /// The trap number.
+        number: u32,
+    },
+    /// The step budget was exhausted before the program exited.
+    MaxSteps {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// An instruction could not be decoded or executed by this instruction
+    /// set (used by the FITS executor for malformed decoder configs).
+    BadInstruction {
+        /// Diagnostic description.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadPc { pc } => write!(f, "pc {pc:#010x} outside text segment"),
+            SimError::BadAddress { addr, size } => {
+                write!(f, "{size}-byte access at {addr:#010x} outside memory")
+            }
+            SimError::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#010x}")
+            }
+            SimError::UnknownSwi { number } => write!(f, "unknown swi #{number}"),
+            SimError::MaxSteps { limit } => {
+                write!(f, "exceeded {limit} steps without exiting")
+            }
+            SimError::BadInstruction { what } => write!(f, "bad instruction: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,287 @@
+//! The machine loop: drives an [`InstrSet`] over memory, optionally feeding
+//! a timing model or a step observer.
+
+use crate::{CpuState, ExecCtx, InstrSet, Memory, Sa1100Config, SimError, SimResult, StepInfo, TimingModel};
+
+/// Default step budget: generous enough for the full-scale benchmark suite,
+/// small enough to catch runaway programs.
+pub const MAX_STEPS_DEFAULT: u64 = 4_000_000_000;
+
+/// The functional result of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutput {
+    /// The value of `r0` at the exit trap.
+    pub exit_code: u32,
+    /// FNV-1a hash over all words passed to the emit trap.
+    pub emitted: u64,
+    /// Dynamic instruction count (retired, including failed-condition ones).
+    pub steps: u64,
+}
+
+impl RunOutput {
+    /// A single checksum combining exit code and emitted stream, used by the
+    /// differential tests (reference vs AR32 vs FITS).
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        fnv1a(fnv1a(FNV_OFFSET, u64::from(self.exit_code)), self.emitted)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds an emit stream into the hash the machine computes, so reference
+/// implementations can be compared against [`RunOutput::emitted`].
+#[must_use]
+pub fn fold_emitted(words: &[u32]) -> u64 {
+    words
+        .iter()
+        .fold(FNV_OFFSET, |h, &w| fnv1a(h, u64::from(w)))
+}
+
+fn fnv1a(hash: u64, value: u64) -> u64 {
+    let mut h = hash;
+    for byte in value.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A simulated machine: CPU state, memory and an instruction set.
+#[derive(Clone, Debug)]
+pub struct Machine<S: InstrSet> {
+    set: S,
+    cpu: CpuState,
+    mem: Memory,
+    pc: u32,
+    step_limit: u64,
+}
+
+impl<S: InstrSet> Machine<S> {
+    /// Builds a machine with fresh state and memory initialized from the
+    /// instruction set's data image.
+    #[must_use]
+    pub fn new(set: S) -> Machine<S> {
+        let mem = Memory::with_data(set.initial_data());
+        let pc = set.entry_pc();
+        Machine {
+            set,
+            cpu: CpuState::new(),
+            mem,
+            pc,
+            step_limit: MAX_STEPS_DEFAULT,
+        }
+    }
+
+    /// Caps the number of dynamic instructions before aborting.
+    pub fn set_step_limit(&mut self, limit: u64) -> &mut Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Read access to the memory image (for result inspection in tests).
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Read access to the CPU state.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuState {
+        &self.cpu
+    }
+
+    /// Runs to the exit trap, functional only (no timing).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised by execution, including step-budget overrun.
+    pub fn run(&mut self) -> Result<RunOutput, SimError> {
+        self.run_observed(|_, _| {})
+    }
+
+    /// Runs to the exit trap, invoking `observer` with every retired
+    /// instruction and its [`StepInfo`] — the hook the FITS profiler uses to
+    /// gather dynamic statistics.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised by execution, including step-budget overrun.
+    pub fn run_observed(
+        &mut self,
+        mut observer: impl FnMut(&S::Op, &StepInfo),
+    ) -> Result<RunOutput, SimError> {
+        let mut steps: u64 = 0;
+        let mut emitted = FNV_OFFSET;
+        loop {
+            if steps >= self.step_limit {
+                return Err(SimError::MaxSteps {
+                    limit: self.step_limit,
+                });
+            }
+            let info = {
+                let op = self.set.op_at(self.pc)?;
+                let meta = self.set.describe(op);
+                let mut ctx = ExecCtx {
+                    cpu: &mut self.cpu,
+                    mem: &mut self.mem,
+                    pc: self.pc,
+                };
+                let out = self.set.execute(op, &mut ctx)?;
+                let fetch_word_addr = self.pc & !3;
+                let info = StepInfo {
+                    pc: self.pc,
+                    size: self.set.op_size(),
+                    fetch_word_addr,
+                    fetch_word_value: self.set.fetch_word(fetch_word_addr),
+                    class: meta.class,
+                    reg_reads: meta.sources.iter().flatten().count() as u32,
+                    reg_writes: meta.dests.iter().flatten().count() as u32,
+                    executed: out.executed,
+                    mem: out.mem,
+                    branch: out.branch,
+                    is_mul: out.is_mul && out.executed,
+                    dests: meta.dests,
+                    sources: meta.sources,
+                    sets_flags: meta.sets_flags && out.executed,
+                    reads_flags: meta.reads_flags,
+                };
+                observer(op, &info);
+                steps += 1;
+                if let Some(word) = out.emit {
+                    emitted = fnv1a(emitted, u64::from(word));
+                }
+                if let Some(code) = out.exit {
+                    return Ok(RunOutput {
+                        exit_code: code,
+                        emitted,
+                        steps,
+                    });
+                }
+                self.pc = out.next_pc;
+                info
+            };
+            let _ = info;
+        }
+    }
+
+    /// Runs to the exit trap under the SA-1100 timing model, returning both
+    /// the functional output and the microarchitectural statistics.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised by execution, including step-budget overrun.
+    pub fn run_timed(&mut self, cfg: &Sa1100Config) -> Result<(RunOutput, SimResult), SimError> {
+        let mut timing = TimingModel::new(cfg.clone())?;
+        let output = self.run_observed(|_, info| timing.observe(info))?;
+        Ok((output, timing.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ar32Set;
+    use fits_isa::{Cond, DpOp, Instr, MemOp, Operand2, Program, Reg, DATA_BASE};
+
+    fn countdown_program() -> Program {
+        Program {
+            text: vec![
+                Instr::mov(Reg::R0, Operand2::imm(100).unwrap()),
+                Instr::mov(Reg::R1, Operand2::imm(0).unwrap()),
+                // loop: r1 += r0; r0 -= 1; bne loop
+                Instr::dp(DpOp::Add, Reg::R1, Reg::R1, Operand2::reg(Reg::R0)),
+                Instr::Dp {
+                    cond: Cond::Al,
+                    op: DpOp::Sub,
+                    set_flags: true,
+                    rd: Reg::R0,
+                    rn: Reg::R0,
+                    op2: Operand2::imm(1).unwrap(),
+                },
+                Instr::b(-4).with_cond(Cond::Ne),
+                Instr::mov(Reg::R0, Operand2::reg(Reg::R1)),
+                Instr::Swi {
+                    cond: Cond::Al,
+                    imm: 0,
+                },
+            ],
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn sums_one_to_hundred() {
+        let mut m = Machine::new(Ar32Set::load(&countdown_program()));
+        let out = m.run().unwrap();
+        assert_eq!(out.exit_code, 5050);
+        assert_eq!(out.steps, 2 + 3 * 100 + 2);
+    }
+
+    #[test]
+    fn step_limit_trips() {
+        let spin = Program {
+            text: vec![Instr::b(-2)], // branch to self
+            ..Program::default()
+        };
+        let mut m = Machine::new(Ar32Set::load(&spin));
+        m.set_step_limit(1000);
+        assert!(matches!(m.run(), Err(SimError::MaxSteps { limit: 1000 })));
+    }
+
+    #[test]
+    fn emit_affects_checksum() {
+        let mk = |emit_value: u32| {
+            let program = Program {
+                text: vec![
+                    Instr::mov(Reg::R0, Operand2::imm(emit_value).unwrap()),
+                    Instr::Swi {
+                        cond: Cond::Al,
+                        imm: 1,
+                    },
+                    Instr::Swi {
+                        cond: Cond::Al,
+                        imm: 0,
+                    },
+                ],
+                ..Program::default()
+            };
+            Machine::new(Ar32Set::load(&program)).run().unwrap()
+        };
+        let a = mk(1);
+        let b = mk(2);
+        assert_eq!(a.exit_code, 1);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn memory_visible_after_run() {
+        let program = Program {
+            text: vec![
+                Instr::mov(Reg::R1, Operand2::imm(DATA_BASE).unwrap()),
+                Instr::mov(Reg::R0, Operand2::imm(42).unwrap()),
+                Instr::mem(MemOp::Str, Reg::R0, Reg::R1, 0),
+                Instr::Swi {
+                    cond: Cond::Al,
+                    imm: 0,
+                },
+            ],
+            ..Program::default()
+        };
+        let mut m = Machine::new(Ar32Set::load(&program));
+        m.run().unwrap();
+        assert_eq!(m.memory().load_w(DATA_BASE).unwrap(), 42);
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        let mut m = Machine::new(Ar32Set::load(&countdown_program()));
+        let mut count = 0u64;
+        let out = m.run_observed(|_, info| {
+            count += 1;
+            assert_eq!(info.size, 4);
+        });
+        assert_eq!(out.unwrap().steps, count);
+    }
+}

@@ -1,0 +1,174 @@
+use fits_isa::{DATA_BASE, STACK_TOP};
+
+use crate::SimError;
+
+/// A flat little-endian memory image covering `0..STACK_TOP`.
+///
+/// Only the data segment and stack live here; instruction fetch goes through
+/// the pre-decoded text held by the [`crate::InstrSet`] (the text segment is
+/// read-only and never loaded from by the benchmark kernels).
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory image and copies `data` to [`DATA_BASE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data image overflows the space below [`STACK_TOP`].
+    #[must_use]
+    pub fn with_data(data: &[u8]) -> Memory {
+        let mut mem = Memory {
+            bytes: vec![0; STACK_TOP as usize],
+        };
+        let start = DATA_BASE as usize;
+        assert!(
+            start + data.len() <= mem.bytes.len(),
+            "data segment of {} bytes does not fit",
+            data.len()
+        );
+        mem.bytes[start..start + data.len()].copy_from_slice(data);
+        mem
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<usize, SimError> {
+        let a = addr as usize;
+        if a + size as usize > self.bytes.len() {
+            return Err(SimError::BadAddress { addr, size });
+        }
+        if addr % size != 0 {
+            return Err(SimError::Misaligned { addr, size });
+        }
+        Ok(a)
+    }
+
+    /// Loads a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range or misaligned addresses.
+    pub fn load_w(&self, addr: u32) -> Result<u32, SimError> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap()))
+    }
+
+    /// Loads a 16-bit halfword (zero-extended).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range or misaligned addresses.
+    pub fn load_h(&self, addr: u32) -> Result<u32, SimError> {
+        let a = self.check(addr, 2)?;
+        Ok(u32::from(u16::from_le_bytes(
+            self.bytes[a..a + 2].try_into().unwrap(),
+        )))
+    }
+
+    /// Loads a byte (zero-extended).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range addresses.
+    pub fn load_b(&self, addr: u32) -> Result<u32, SimError> {
+        let a = self.check(addr, 1)?;
+        Ok(u32::from(self.bytes[a]))
+    }
+
+    /// Stores a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range or misaligned addresses.
+    pub fn store_w(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Stores the low 16 bits of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range or misaligned addresses.
+    pub fn store_h(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let a = self.check(addr, 2)?;
+        self.bytes[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes());
+        Ok(())
+    }
+
+    /// Stores the low 8 bits of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range addresses.
+    pub fn store_b(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = value as u8;
+        Ok(())
+    }
+
+    /// Reads back a slice of memory (for result verification in tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is out of bounds.
+    pub fn read_slice(&self, addr: u32, len: usize) -> Result<&[u8], SimError> {
+        let a = addr as usize;
+        if a + len > self.bytes.len() {
+            return Err(SimError::BadAddress {
+                addr,
+                size: len as u32,
+            });
+        }
+        Ok(&self.bytes[a..a + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_lands_at_data_base() {
+        let mem = Memory::with_data(&[1, 2, 3, 4]);
+        assert_eq!(mem.load_w(DATA_BASE).unwrap(), 0x0403_0201);
+        assert_eq!(mem.load_b(DATA_BASE + 3).unwrap(), 4);
+        assert_eq!(mem.load_h(DATA_BASE + 2).unwrap(), 0x0403);
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let mut mem = Memory::with_data(&[]);
+        mem.store_w(DATA_BASE, 0xdead_beef).unwrap();
+        assert_eq!(mem.load_w(DATA_BASE).unwrap(), 0xdead_beef);
+        mem.store_h(DATA_BASE + 4, 0x1234_5678).unwrap();
+        assert_eq!(mem.load_h(DATA_BASE + 4).unwrap(), 0x5678);
+        mem.store_b(DATA_BASE + 6, 0xab).unwrap();
+        assert_eq!(mem.load_b(DATA_BASE + 6).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn alignment_is_enforced() {
+        let mem = Memory::with_data(&[]);
+        assert!(matches!(
+            mem.load_w(DATA_BASE + 2),
+            Err(SimError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            mem.load_h(DATA_BASE + 1),
+            Err(SimError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mem = Memory::with_data(&[]);
+        assert!(matches!(
+            mem.load_w(STACK_TOP),
+            Err(SimError::BadAddress { .. })
+        ));
+        assert!(mem.load_w(STACK_TOP - 4).is_ok());
+    }
+}

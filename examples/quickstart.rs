@@ -1,0 +1,48 @@
+//! Quickstart: run the complete FITS design flow on one benchmark and
+//! inspect what it synthesized — the five stages of the paper's Figure 1
+//! in about thirty lines.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use powerfits::core::FitsFlow;
+use powerfits::kernels::kernels::{Kernel, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The CRC32 kernel — the same program the paper uses to illustrate its
+    // synthesized instruction formats (Figure 2).
+    let kernel = Kernel::Crc32;
+    let scale = Scale::test();
+    let program = kernel.compile(scale)?;
+    println!(
+        "native program: {} AR32 instructions ({} bytes of text)",
+        program.text.len(),
+        program.code_bytes()
+    );
+
+    // Profile -> synthesize -> translate -> configure -> execute (with
+    // built-in differential verification against the native run).
+    let outcome = FitsFlow::new().run(&program)?;
+
+    println!("\n== mapping (the paper's Figures 3 and 4)");
+    println!(
+        "  static 1-to-1:  {:6.2}%",
+        100.0 * outcome.mapping.static_one_to_one_rate()
+    );
+    println!("  dynamic 1-to-1: {:6.2}%", 100.0 * outcome.dynamic_rate());
+
+    println!("\n== code size (Figure 5)");
+    println!(
+        "  FITS binary: {} bytes ({:.1}% of native)",
+        outcome.fits.code_bytes(),
+        100.0 * outcome.code_ratio(program.code_bytes())
+    );
+
+    println!("\n== the synthesized instruction set (Figure 2's real contents)");
+    print!("{}", outcome.config());
+
+    let run = outcome.fits_run.expect("flow verifies by default");
+    println!("verified: FITS exit code {:#010x} matches native execution", run.exit_code);
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! The reproduction's central correctness property, checked over the whole
+//! suite: for every kernel, the pure-Rust reference, the native AR32
+//! simulation and the synthesized-FITS simulation must produce identical
+//! exit codes and emit streams.
+
+use powerfits::core::FitsFlow;
+use powerfits::kernels::kernels::{Kernel, Scale};
+use powerfits::sim::{fold_emitted, Ar32Set, Machine};
+
+fn check_kernel(kernel: Kernel) {
+    let scale = Scale::test();
+    let program = kernel.compile(scale).expect("kernel compiles");
+
+    // Reference vs native.
+    let reference = kernel.reference(scale);
+    let mut machine = Machine::new(Ar32Set::load(&program));
+    let native = machine.run().expect("native run");
+    assert_eq!(
+        native.exit_code,
+        reference.exit_code,
+        "{kernel}: native exit code diverges from the reference"
+    );
+    assert_eq!(
+        native.emitted,
+        fold_emitted(&reference.emitted),
+        "{kernel}: native emit stream diverges from the reference"
+    );
+
+    // Native vs FITS (the flow verifies internally; assert it did).
+    let outcome = FitsFlow::new().run(&program).expect("FITS flow");
+    let fits = outcome.fits_run.expect("verification enabled");
+    assert_eq!(fits.exit_code, native.exit_code, "{kernel}: FITS exit code");
+    assert_eq!(fits.emitted, native.emitted, "{kernel}: FITS emit stream");
+}
+
+macro_rules! differential_tests {
+    ($($name:ident => $kernel:ident),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check_kernel(Kernel::$kernel);
+            }
+        )+
+    };
+}
+
+differential_tests! {
+    bitcount_three_way => Bitcount,
+    qsort_three_way => Qsort,
+    susan_smoothing_three_way => SusanSmoothing,
+    susan_edges_three_way => SusanEdges,
+    susan_corners_three_way => SusanCorners,
+    jpeg_dct_three_way => JpegDct,
+    lame_filter_three_way => LameFilter,
+    dijkstra_three_way => Dijkstra,
+    patricia_three_way => Patricia,
+    stringsearch_three_way => StringSearch,
+    ispell_three_way => Ispell,
+    blowfish_enc_three_way => BlowfishEnc,
+    blowfish_dec_three_way => BlowfishDec,
+    rijndael_enc_three_way => RijndaelEnc,
+    rijndael_dec_three_way => RijndaelDec,
+    sha_three_way => Sha,
+    adpcm_enc_three_way => AdpcmEnc,
+    adpcm_dec_three_way => AdpcmDec,
+    crc32_three_way => Crc32,
+    fft_three_way => Fft,
+    gsm_three_way => Gsm,
+}
+
+#[test]
+fn differential_holds_at_a_second_scale() {
+    // Guard against scale-dependent divergence (dictionary pressure grows
+    // with input size).
+    let scale = Scale { n: 160 };
+    for kernel in [Kernel::Crc32, Kernel::Sha, Kernel::Patricia, Kernel::Fft] {
+        let program = kernel.compile(scale).expect("compiles");
+        let reference = kernel.reference(scale);
+        let native = Machine::new(Ar32Set::load(&program)).run().expect("runs");
+        assert_eq!(native.exit_code, reference.exit_code, "{kernel} at n=160");
+        let outcome = FitsFlow::new().run(&program).expect("flow");
+        assert_eq!(
+            outcome.fits_run.expect("verified").exit_code,
+            native.exit_code,
+            "{kernel} FITS at n=160"
+        );
+    }
+}
