@@ -31,7 +31,10 @@ fn main() {
 /// knob. Tiny dictionaries force 1-to-n constant construction.
 fn ablation_dict_bits(scale: Scale) {
     println!("[A1] immediate-dictionary index width vs mapping rate");
-    println!("  {:<14} {:>6} {:>10} {:>10} {:>10}", "kernel", "bits", "static%", "dynamic%", "code");
+    println!(
+        "  {:<14} {:>6} {:>10} {:>10} {:>10}",
+        "kernel", "bits", "static%", "dynamic%", "code"
+    );
     for &kernel in KERNELS {
         let program = kernel.compile(scale).expect("compiles");
         let prof = profile(&program).expect("profiles");
@@ -59,7 +62,10 @@ fn ablation_dict_bits(scale: Scale) {
 /// toggles per fetch with the optimization on and off.
 fn ablation_toggle_aware(scale: Scale) {
     println!("[A2] toggle-aware opcode assignment (fetch toggles per access)");
-    println!("  {:<14} {:>12} {:>12} {:>8}", "kernel", "gray-on", "gray-off", "delta%");
+    println!(
+        "  {:<14} {:>12} {:>12} {:>8}",
+        "kernel", "gray-on", "gray-off", "delta%"
+    );
     for &kernel in KERNELS {
         let program = kernel.compile(scale).expect("compiles");
         let prof = profile(&program).expect("profiles");
@@ -93,7 +99,10 @@ fn ablation_toggle_aware(scale: Scale) {
 /// register organization *with* the compiler rather than after it.
 fn ablation_register_window(scale: Scale) {
     println!("[A3] register-window width (4-bit vs 3-bit fields)");
-    println!("  {:<14} {:>10} {:>34}", "kernel", "regs used", "3-bit window outcome");
+    println!(
+        "  {:<14} {:>10} {:>34}",
+        "kernel", "regs used", "3-bit window outcome"
+    );
     for &kernel in KERNELS {
         let program = kernel.compile(scale).expect("compiles");
         let prof = profile(&program).expect("profiles");
@@ -126,7 +135,10 @@ fn ablation_register_window(scale: Scale) {
 /// between resident applications) versus expansion.
 fn ablation_space_budget(scale: Scale) {
     println!("[A4] opcode-space budget vs dynamic mapping rate");
-    println!("  {:<14} {:>8} {:>10} {:>10}", "kernel", "budget", "dynamic%", "opcodes");
+    println!(
+        "  {:<14} {:>8} {:>10} {:>10}",
+        "kernel", "budget", "dynamic%", "opcodes"
+    );
     for &kernel in KERNELS {
         let program = kernel.compile(scale).expect("compiles");
         let prof = profile(&program).expect("profiles");

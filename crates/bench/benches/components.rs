@@ -1,122 +1,133 @@
-//! Criterion micro-benchmarks of the reproduction's own components:
-//! simulator throughput, cache model, encoder/decoder, profiler, synthesis
-//! and translation. These benchmark the *tooling* (so regressions in the
+//! Micro-benchmarks of the reproduction's own components: simulator
+//! throughput, cache model, encoder/decoder, profiler, synthesis and
+//! translation. These benchmark the *tooling* (so regressions in the
 //! infrastructure are visible), not the paper's results — those come from
 //! `paper_figures` and the `powerfits-repro` binary.
+//!
+//! Uses a small self-contained timing harness (median of repeated timed
+//! batches) so the workspace has no external benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+#![allow(clippy::unwrap_used)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
 use fits_core::{profile, synthesize, translate, FitsSet, SynthOptions};
 use fits_isa::Instr;
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_sim::{Ar32Set, Cache as SimCache, CacheConfig, Machine, Sa1100Config};
 
-fn bench_simulator(c: &mut Criterion) {
+/// Times `f` over `samples` batches of `iters` calls and prints the median
+/// per-call latency, plus throughput when `elements` per call is known.
+fn bench(group: &str, name: &str, elements: Option<u64>, mut f: impl FnMut()) {
+    const SAMPLES: usize = 9;
+    const MIN_ITERS: u32 = 3;
+    // Calibrate the batch size to ~20ms so fast ops get enough iterations.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.02 / once) as u32).clamp(MIN_ITERS, 10_000);
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() / f64::from(iters)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[SAMPLES / 2];
+    let rate = elements.map_or(String::new(), |n| {
+        format!("  ({:.1} Melem/s)", n as f64 / median / 1e6)
+    });
+    println!("{group}/{name:<22} {:>10.3} us/iter{rate}", median * 1e6);
+}
+
+fn bench_simulator() {
     let program = Kernel::Crc32.compile(Scale { n: 64 }).unwrap();
     let steps = Machine::new(Ar32Set::load(&program)).run().unwrap().steps;
 
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(Throughput::Elements(steps));
-    g.bench_function("functional_ar32", |b| {
-        b.iter_batched(
-            || Machine::new(Ar32Set::load(&program)),
-            |mut m| m.run().unwrap(),
-            BatchSize::SmallInput,
-        );
+    bench("simulator", "functional_ar32", Some(steps), || {
+        let mut m = Machine::new(Ar32Set::load(&program));
+        black_box(m.run().unwrap());
     });
-    g.bench_function("timed_ar32", |b| {
-        b.iter_batched(
-            || Machine::new(Ar32Set::load(&program)),
-            |mut m| m.run_timed(&Sa1100Config::icache_16k()).unwrap(),
-            BatchSize::SmallInput,
-        );
+    bench("simulator", "timed_ar32", Some(steps), || {
+        let mut m = Machine::new(Ar32Set::load(&program));
+        black_box(m.run_timed(&Sa1100Config::icache_16k()).unwrap());
     });
     let flow = fits_core::FitsFlow::new().run(&program).unwrap();
-    g.bench_function("timed_fits", |b| {
-        b.iter_batched(
-            || Machine::new(FitsSet::load(&flow.fits).unwrap()),
-            |mut m| m.run_timed(&Sa1100Config::icache_16k()).unwrap(),
-            BatchSize::SmallInput,
-        );
+    bench("simulator", "timed_fits", Some(steps), || {
+        let mut m = Machine::new(FitsSet::load(&flow.fits).unwrap());
+        black_box(m.run_timed(&Sa1100Config::icache_16k()).unwrap());
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("access_10k", |b| {
-        b.iter_batched(
-            || SimCache::new(CacheConfig::sa1100_icache()),
-            |mut cache| {
-                let mut x: u32 = 1;
-                for i in 0..10_000u64 {
-                    x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
-                    cache.access((x >> 8) % (64 * 1024), false, x, i);
-                }
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_cache() {
+    bench("cache", "access_10k", Some(10_000), || {
+        let mut cache = SimCache::new(CacheConfig::sa1100_icache());
+        let mut x: u32 = 1;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            cache.access((x >> 8) % (64 * 1024), false, x, i);
+        }
+        black_box(&cache);
     });
-    g.finish();
 }
 
-fn bench_isa(c: &mut Criterion) {
+fn bench_isa() {
     let program = Kernel::Sha.compile(Scale { n: 64 }).unwrap();
     let words: Vec<u32> = program.text.iter().map(Instr::encode).collect();
-    let mut g = c.benchmark_group("isa");
-    g.throughput(Throughput::Elements(program.text.len() as u64));
-    g.bench_function("encode", |b| {
-        b.iter(|| {
+    let n = program.text.len() as u64;
+    bench("isa", "encode", Some(n), || {
+        black_box(
             program
                 .text
                 .iter()
                 .map(Instr::encode)
-                .fold(0u32, |a, w| a ^ w)
-        });
+                .fold(0u32, |a, w| a ^ w),
+        );
     });
-    g.bench_function("decode", |b| {
-        b.iter(|| {
+    bench("isa", "decode", Some(n), || {
+        black_box(
             words
                 .iter()
                 .map(|w| Instr::decode(*w).unwrap())
-                .filter(|i| i.sets_flags())
-                .count()
-        });
+                .filter(Instr::sets_flags)
+                .count(),
+        );
     });
-    g.finish();
 }
 
-fn bench_synthesis(c: &mut Criterion) {
+fn bench_synthesis() {
     let program = Kernel::Sha.compile(Scale { n: 64 }).unwrap();
     let prof = profile(&program).unwrap();
-    let mut g = c.benchmark_group("synthesis");
-    g.bench_function("profile", |b| {
-        b.iter(|| profile(&program).unwrap());
+    bench("synthesis", "profile", None, || {
+        black_box(profile(&program).unwrap());
     });
-    g.bench_function("synthesize", |b| {
-        b.iter(|| synthesize(&prof, &SynthOptions::default()));
+    bench("synthesis", "synthesize", None, || {
+        black_box(synthesize(&prof, &SynthOptions::default()));
     });
     let synthesis = synthesize(&prof, &SynthOptions::default());
-    g.bench_function("translate", |b| {
-        b.iter(|| translate(&program, &synthesis.config).unwrap());
+    bench("synthesis", "translate", None, || {
+        black_box(translate(&program, &synthesis.config).unwrap());
     });
-    g.finish();
 }
 
-fn bench_kernels_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compiler");
-    g.bench_function("compile_sha", |b| {
-        b.iter(|| Kernel::Sha.compile(Scale { n: 64 }).unwrap());
+fn bench_kernels_compile() {
+    bench("compiler", "compile_sha", None, || {
+        black_box(Kernel::Sha.compile(Scale { n: 64 }).unwrap());
     });
-    g.bench_function("compile_susan_corners", |b| {
-        b.iter(|| Kernel::SusanCorners.compile(Scale { n: 64 }).unwrap());
+    bench("compiler", "compile_susan_corners", None, || {
+        black_box(Kernel::SusanCorners.compile(Scale { n: 64 }).unwrap());
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_simulator, bench_cache, bench_isa, bench_synthesis, bench_kernels_compile
+fn main() {
+    bench_simulator();
+    bench_cache();
+    bench_isa();
+    bench_synthesis();
+    bench_kernels_compile();
 }
-criterion_main!(benches);

@@ -1,15 +1,30 @@
+//! Prints the THUMB/ARM static-size ratio per kernel.
+
+#![allow(clippy::unwrap_used)]
+
 use fits_isa::thumb;
 use fits_kernels::kernels::{Kernel, Scale};
 fn main() {
     let mut sum = 0.0;
     for k in Kernel::ALL {
         let p = k.compile(Scale::test()).unwrap();
-        let low = [fits_isa::Reg::R4, fits_isa::Reg::R5, fits_isa::Reg::R6, fits_isa::Reg::R7];
-        let tp = fits_kernels::codegen::compile_with_regs(&k.build_module(Scale::test()), &low).unwrap();
+        let low = [
+            fits_isa::Reg::R4,
+            fits_isa::Reg::R5,
+            fits_isa::Reg::R6,
+            fits_isa::Reg::R7,
+        ];
+        let tp =
+            fits_kernels::codegen::compile_with_regs(&k.build_module(Scale::test()), &low).unwrap();
         let t = thumb::translate(&tp);
         let r = t.code_bytes() as f64 / p.code_bytes() as f64;
         sum += r;
-        println!("{:18} thumb/arm {:.3}  1:1 {:.2}", k.name(), r, t.one_to_one_rate());
+        println!(
+            "{:18} thumb/arm {:.3}  1:1 {:.2}",
+            k.name(),
+            r,
+            t.one_to_one_rate()
+        );
     }
     println!("avg {:.3}", sum / Kernel::ALL.len() as f64);
 }

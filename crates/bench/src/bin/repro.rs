@@ -6,7 +6,11 @@ use fits_kernels::kernels::{Kernel, Scale};
 fn main() {
     let start = std::time::Instant::now();
     let scale = Scale::experiment();
-    eprintln!("running {} kernels x 4 configurations at scale n={} ...", Kernel::ALL.len(), scale.n);
+    eprintln!(
+        "running {} kernels x 4 configurations at scale n={} ...",
+        Kernel::ALL.len(),
+        scale.n
+    );
     let suite = match run_suite(Kernel::ALL, scale) {
         Ok(s) => s,
         Err(e) => {
@@ -14,7 +18,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("PowerFITS reproduction — all paper figures (scale n={})", scale.n);
+    println!(
+        "PowerFITS reproduction — all paper figures (scale n={})",
+        scale.n
+    );
     println!("================================================================");
     for table in figures::all_figures(&suite) {
         println!("{table}");

@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use fits_core::{FitsFlow, FlowError};
+use fits_core::FlowError;
 use fits_isa::thumb;
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_power::{cache_power, chip_power_with, CachePower, ChipPower, DecodeKind, TechParams};
@@ -144,7 +144,11 @@ impl std::error::Error for ExperimentError {}
 pub fn run_kernel(kernel: Kernel, scale: Scale) -> Result<KernelResults, ExperimentError> {
     let tech = TechParams::sa1100();
     let program = kernel.compile(scale).map_err(ExperimentError::Compile)?;
-    let flow = FitsFlow::new().run(&program).map_err(ExperimentError::Flow)?;
+    // The verified flow statically validates the accepted triple (encoding
+    // soundness, CFI, dataflow, translation validation) before execution.
+    let flow = fits_verify::verified_flow()
+        .run(&program)
+        .map_err(ExperimentError::Flow)?;
     // The THUMB baseline is a recompilation for the 8-register window
     // (r0-r3 scratch + r4-r7 allocatable): higher register pressure, more
     // spill code — the §6.2 effect — then a structural translation into
@@ -164,8 +168,7 @@ pub fn run_kernel(kernel: Kernel, scale: Scale) -> Result<KernelResults, Experim
     for cfg in Config::ALL {
         let sa = Sa1100Config::icache_16k().with_icache_bytes(cfg.icache_bytes());
         let sim = if cfg.is_fits() {
-            let set =
-                fits_core::FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
+            let set = fits_core::FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
             let mut m = Machine::new(set);
             let (_, sim) = m.run_timed(&sa).map_err(ExperimentError::Sim)?;
             sim
@@ -205,26 +208,25 @@ pub fn run_kernel(kernel: Kernel, scale: Scale) -> Result<KernelResults, Experim
 /// Fails if any kernel fails (kernels are expected to be infallible; an
 /// error indicates a regression).
 pub fn run_suite(kernels: &[Kernel], scale: Scale) -> Result<SuiteResults, ExperimentError> {
-    let mut slots: Vec<Option<Result<KernelResults, ExperimentError>>> =
-        (0..kernels.len()).map(|_| None).collect();
+    let slots: std::sync::Mutex<Vec<Option<Result<KernelResults, ExperimentError>>>> =
+        std::sync::Mutex::new((0..kernels.len()).map(|_| None).collect());
     let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots_mutex = parking_lot::Mutex::new(&mut slots);
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers.min(kernels.len()) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= kernels.len() {
                     break;
                 }
                 let result = run_kernel(kernels[i], scale);
-                slots_mutex.lock()[i] = Some(result);
+                slots.lock().expect("no worker panicked")[i] = Some(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
+    let slots = slots.into_inner().expect("no worker panicked");
     let mut out = Vec::with_capacity(kernels.len());
     for slot in slots {
         out.push(slot.expect("every slot filled")?);

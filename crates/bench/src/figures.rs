@@ -6,7 +6,11 @@ use crate::experiment::{Config, SuiteResults};
 use crate::report::{Row, Table};
 
 fn saving_columns() -> Vec<String> {
-    vec!["FITS16".to_string(), "FITS8".to_string(), "ARM8".to_string()]
+    vec![
+        "FITS16".to_string(),
+        "FITS8".to_string(),
+        "ARM8".to_string(),
+    ]
 }
 
 fn config_columns() -> Vec<String> {
@@ -142,25 +146,34 @@ fn savings_table(
 /// Figure 7: I-cache switching-power saving vs ARM16.
 #[must_use]
 pub fn fig7_switching_saving(suite: &SuiteResults) -> Table {
-    savings_table("fig7", "I-Cache Switching Power Saving", suite, |run, base| {
-        run.icache.saving_vs(&base.icache).switching
-    })
+    savings_table(
+        "fig7",
+        "I-Cache Switching Power Saving",
+        suite,
+        |run, base| run.icache.saving_vs(&base.icache).switching,
+    )
 }
 
 /// Figure 8: I-cache internal-power saving.
 #[must_use]
 pub fn fig8_internal_saving(suite: &SuiteResults) -> Table {
-    savings_table("fig8", "I-Cache Internal Power Saving", suite, |run, base| {
-        run.icache.saving_vs(&base.icache).internal
-    })
+    savings_table(
+        "fig8",
+        "I-Cache Internal Power Saving",
+        suite,
+        |run, base| run.icache.saving_vs(&base.icache).internal,
+    )
 }
 
 /// Figure 9: I-cache leakage-power saving.
 #[must_use]
 pub fn fig9_leakage_saving(suite: &SuiteResults) -> Table {
-    savings_table("fig9", "I-Cache Leakage Power Saving", suite, |run, base| {
-        run.icache.saving_vs(&base.icache).leakage
-    })
+    savings_table(
+        "fig9",
+        "I-Cache Leakage Power Saving",
+        suite,
+        |run, base| run.icache.saving_vs(&base.icache).leakage,
+    )
 }
 
 /// Figure 10: I-cache peak-power saving.
@@ -222,10 +235,7 @@ pub fn fig14_ipc(suite: &SuiteResults) -> Table {
             .iter()
             .map(|k| Row {
                 label: k.kernel.name().to_string(),
-                values: Config::ALL
-                    .iter()
-                    .map(|c| k.run(*c).sim.ipc())
-                    .collect(),
+                values: Config::ALL.iter().map(|c| k.run(*c).sim.ipc()).collect(),
             })
             .collect(),
     }

@@ -12,10 +12,11 @@
 //!   reproduction at experiment scale.
 //! * `cargo bench -p fits-bench` — the same tables at reduced scale
 //!   (`paper_figures`), design-choice ablations (`ablations`) and
-//!   criterion micro-benchmarks (`components`).
+//!   micro-benchmarks (`components`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod experiment;
 pub mod figures;

@@ -1,3 +1,7 @@
+//! Prints per-kernel diagnostics from the FITS flow.
+
+#![allow(clippy::unwrap_used)]
+
 use fits_core::profile::profile;
 use fits_core::synth::{synthesize, SynthOptions};
 use fits_core::translate::translate;
@@ -10,11 +14,13 @@ fn main() {
         let p = profile(&program).unwrap();
         let s = synthesize(&p, &SynthOptions::default());
         let t = translate(&program, &s.config).unwrap();
-        println!("== {} static {:.1}% dynamic {:.1}%  predicted exp {:.3}",
+        println!(
+            "== {} static {:.1}% dynamic {:.1}%  predicted exp {:.3}",
             k.name(),
             100.0 * t.stats.static_one_to_one_rate(),
             100.0 * t.stats.dynamic_one_to_one_rate(&p.exec_counts),
-            s.report.predicted_expansion);
+            s.report.predicted_expansion
+        );
         // aggregate expanded dyn weight per disassembly line
         let mut agg: HashMap<String, u64> = HashMap::new();
         for (i, e) in t.stats.expansion.iter().enumerate() {

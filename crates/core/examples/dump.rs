@@ -1,3 +1,7 @@
+//! Dumps one kernel's synthesized configuration and translated binary.
+
+#![allow(clippy::unwrap_used)]
+
 use fits_core::{profile::profile, synthesize, translate, FitsSet, SynthOptions};
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_sim::InstrSet;
@@ -15,7 +19,11 @@ fn main() {
         for j in 0..*e {
             let pc = fits_isa::TEXT_BASE + (pos as u32) * 2;
             let op = set.op_at(pc).unwrap();
-            let first = if j == 0 { format!("arm[{i}] {}", program.text[i]) } else { String::new() };
+            let first = if j == 0 {
+                format!("arm[{i}] {}", program.text[i])
+            } else {
+                String::new()
+            };
             println!("f[{pos:4}] {:<60} {first}", format!("{op:?}"));
             pos += 1;
         }

@@ -1,3 +1,7 @@
+//! Runs native and FITS executions in lockstep for one kernel.
+
+#![allow(clippy::unwrap_used)]
+
 use fits_core::{profile::profile, synthesize, translate, FitsSet, SynthOptions};
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_sim::{Ar32Set, Machine};
@@ -9,7 +13,8 @@ fn stores<S: fits_sim::InstrSet>(set: S, lim: usize) -> Vec<(u32, u32, u32)> {
         if let Some(mem) = &info.mem {
             // Skip stores of code addresses (saved LR): those differ
             // between the ISAs' address spaces by design.
-            let is_code = mem.data >= fits_isa::TEXT_BASE && mem.data < fits_isa::TEXT_BASE + 0x20000;
+            let is_code =
+                mem.data >= fits_isa::TEXT_BASE && mem.data < fits_isa::TEXT_BASE + 0x20000;
             if !is_code && v.len() < lim {
                 v.push((mem.addr, mem.data, info.pc));
             }
@@ -29,12 +34,23 @@ fn main() {
     for (i, (x, y)) in a.iter().zip(f.iter()).enumerate() {
         if x.0 != y.0 || x.1 != y.1 {
             println!("divergence at store #{i}:");
-            println!("  ARM : addr {:#010x} data {:#010x} pc {:#010x}", x.0, x.1, x.2);
-            println!("  FITS: addr {:#010x} data {:#010x} pc {:#010x}", y.0, y.1, y.2);
+            println!(
+                "  ARM : addr {:#010x} data {:#010x} pc {:#010x}",
+                x.0, x.1, x.2
+            );
+            println!(
+                "  FITS: addr {:#010x} data {:#010x} pc {:#010x}",
+                y.0, y.1, y.2
+            );
             // context: surrounding ARM disasm
             let idx = ((x.2 - fits_isa::TEXT_BASE) / 4) as usize;
             for j in idx.saturating_sub(12)..(idx + 3).min(program.text.len()) {
-                println!("  {} arm[{}] {}", if j == idx { "=>" } else { "  " }, j, program.text[j]);
+                println!(
+                    "  {} arm[{}] {}",
+                    if j == idx { "=>" } else { "  " },
+                    j,
+                    program.text[j]
+                );
             }
             return;
         }

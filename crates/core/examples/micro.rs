@@ -1,3 +1,7 @@
+//! Exercises the flow on a tiny hand-built program.
+
+#![allow(clippy::unwrap_used)]
+
 use fits_core::FitsFlow;
 use fits_kernels::builder::{FnBuilder, ModuleBuilder};
 use fits_kernels::codegen::compile;

@@ -1,3 +1,7 @@
+//! Runs the FITS flow over the whole kernel suite.
+
+#![allow(clippy::unwrap_used)]
+
 use fits_core::FitsFlow;
 use fits_kernels::kernels::{Kernel, Scale};
 
@@ -12,7 +16,9 @@ fn main() {
                 let s = out.mapping.static_one_to_one_rate();
                 let d = out.dynamic_rate();
                 let r = out.code_ratio(program.code_bytes());
-                stat_sum += s; dyn_sum += d; ratio_sum += r;
+                stat_sum += s;
+                dyn_sum += d;
+                ratio_sum += r;
                 println!("{:18} static {:5.1}%  dyn {:5.1}%  code {:4.2}  opcodes {:3}  dict {:3}  verified {}",
                     k.name(), 100.0*s, 100.0*d, r,
                     out.config().ops.len(), out.config().dicts.entries(),
@@ -22,5 +28,10 @@ fn main() {
         }
     }
     let n = Kernel::ALL.len() as f64;
-    println!("AVG static {:.1}%  dyn {:.1}%  code {:.3}", 100.0*stat_sum/n, 100.0*dyn_sum/n, ratio_sum/n);
+    println!(
+        "AVG static {:.1}%  dyn {:.1}%  code {:.3}",
+        100.0 * stat_sum / n,
+        100.0 * dyn_sum / n,
+        ratio_sum / n
+    );
 }

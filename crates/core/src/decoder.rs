@@ -4,20 +4,19 @@
 //! A [`DecoderConfig`] fully defines a synthesized 16-bit instruction set:
 //! a prefix-free opcode table (each entry pairing a micro-operation template
 //! with an operand-field layout), the register organization, and the
-//! per-category immediate dictionaries. It is serializable (`serde`) because
-//! in the FITS design it is a configuration artifact produced by the
-//! compiler and persisted in the processor's programmable decode storage;
+//! per-category immediate dictionaries. In the FITS design it is a
+//! configuration artifact produced by the compiler and persisted in the
+//! processor's programmable decode storage;
 //! [`DecoderConfig::config_bits`] reports its size, which the power model
 //! charges as decode-path state.
 
 use std::fmt;
 
 use fits_isa::{Cond, DpOp, MemOp, Reg, ShiftKind};
-use serde::{Deserialize, Serialize};
 
 /// A micro-operation template: the datapath operation a synthesized opcode
 /// maps onto. The operand *sources* come from the paired [`Layout`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MicroOp {
     /// `rc = ra <op> rb` (three-address data processing).
     Dp3 {
@@ -109,7 +108,7 @@ pub enum MicroOp {
 /// the opcode prefix mean. Field widths are synthesis outputs (§3.3's
 /// "dynamically reconfigure the total immediate field width and adjust
 /// widths of other instruction fields").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Layout {
     /// `[rc][ra][rb]` — three register fields.
     R3,
@@ -177,7 +176,7 @@ impl Layout {
 }
 
 /// One synthesized opcode: a prefix code, its micro-op and its layout.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OpcodeEntry {
     /// The opcode prefix, left-aligned in the 16-bit word (i.e. the
     /// instruction's top `len` bits equal `code >> (16 - len)`).
@@ -193,7 +192,7 @@ pub struct OpcodeEntry {
 }
 
 /// The paper's instruction-set tiers (§3.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tier {
     /// Base Instruction Set — present for every application.
     Bis,
@@ -217,7 +216,7 @@ impl fmt::Display for Tier {
 
 /// The register organization: how many architectural registers the 16-bit
 /// encodings can name and which physical registers they map to.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RegMap {
     /// Register-field width (3 or 4 bits).
     pub field_bits: u8,
@@ -258,7 +257,7 @@ impl RegMap {
 /// The per-category immediate dictionaries (§3.3: category-based immediate
 /// synthesis; values live in "programmable, non-volatile memory storage",
 /// instructions carry indices).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Dictionaries {
     /// Operate-class immediates (ALU operands, compare values).
     pub operate: Vec<u32>,
@@ -289,7 +288,7 @@ impl Dictionaries {
 }
 
 /// A complete programmable-decoder configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DecoderConfig {
     /// The opcode table, sorted by (len, code).
     pub ops: Vec<OpcodeEntry>,
@@ -400,14 +399,18 @@ mod tests {
     #[test]
     fn prefix_freedom() {
         let cfg = DecoderConfig {
-            ops: vec![entry(0b0000 << 12, 4), entry(0b0001 << 12, 4), entry(0b0010_0 << 11, 5)],
+            ops: vec![
+                entry(0b0000 << 12, 4),
+                entry(0b0001 << 12, 4),
+                entry(0b00100 << 11, 5),
+            ],
             regs: RegMap::full(),
             dicts: Dictionaries::default(),
         };
         assert!(cfg.is_prefix_free());
 
         let bad = DecoderConfig {
-            ops: vec![entry(0b0000 << 12, 4), entry(0b0000_0 << 11, 5)],
+            ops: vec![entry(0b0000 << 12, 4), entry(0b00000 << 11, 5)],
             regs: RegMap::full(),
             dicts: Dictionaries::default(),
         };

@@ -193,7 +193,7 @@ fn decode_one(config: &DecoderConfig, word: u16, index: usize) -> Result<FitsOp,
                 set_flags,
                 rd: reg(0),
                 rn: reg(0),
-                op2: Operand2::Reg(reg(1), shift_of(kind, amount).map_err(|w| err(w))?),
+                op2: Operand2::Reg(reg(1), shift_of(kind, amount).map_err(&err)?),
             })
         }
         (MicroOp::ShiftImm { kind, set_flags }, Layout::RRDict { .. }) => {
@@ -204,7 +204,7 @@ fn decode_one(config: &DecoderConfig, word: u16, index: usize) -> Result<FitsOp,
                 set_flags,
                 rd: reg(0),
                 rn: reg(0),
-                op2: Operand2::Reg(reg(1), shift_of(kind, amount).map_err(|w| err(w))?),
+                op2: Operand2::Reg(reg(1), shift_of(kind, amount).map_err(&err)?),
             })
         }
         (MicroOp::ShiftReg { kind, set_flags }, Layout::R2) => FitsOp::Plain(Instr::Dp {
@@ -282,16 +282,14 @@ fn decode_one(config: &DecoderConfig, word: u16, index: usize) -> Result<FitsOp,
         (MicroOp::BranchReg { link: true }, Layout::R1) => FitsOp::Jalr(reg(0)),
         (MicroOp::PredMovImm { cond }, Layout::R2Imm { .. }) => {
             let op2 = Operand2::imm(u32::from(f[1])).ok_or_else(|| err("predicated imm"))?;
-            FitsOp::Plain(
-                Instr::Dp {
-                    cond,
-                    op: DpOp::Mov,
-                    set_flags: false,
-                    rd: reg(0),
-                    rn: reg(0),
-                    op2,
-                },
-            )
+            FitsOp::Plain(Instr::Dp {
+                cond,
+                op: DpOp::Mov,
+                set_flags: false,
+                rd: reg(0),
+                rn: reg(0),
+                op2,
+            })
         }
         (MicroOp::PredMovReg { cond }, Layout::R2) => FitsOp::Plain(Instr::Dp {
             cond,
@@ -332,6 +330,65 @@ fn shift_of(kind: ShiftKind, amount: u8) -> Result<Shift, &'static str> {
     Ok(s)
 }
 
+/// Decodes one 16-bit FITS instruction word under a decoder configuration.
+///
+/// The public face of the programmable decoder, used by static analyses
+/// (`fits-verify`) that inspect a binary without loading it into a machine.
+///
+/// # Errors
+///
+/// Returns [`FitsDecodeError`] when no opcode prefix matches, a dictionary
+/// index is out of range, or the micro-op/layout pair is inconsistent.
+pub fn decode_word(
+    config: &DecoderConfig,
+    word: u16,
+    index: usize,
+) -> Result<FitsOp, FitsDecodeError> {
+    decode_one(config, word, index)
+}
+
+/// Register/flag metadata for a decoded FITS instruction, independent of
+/// any loaded binary (the per-op part of [`InstrSet::describe`]).
+#[must_use]
+pub fn op_meta(op: &FitsOp) -> fits_sim::OpMeta {
+    match op {
+        FitsOp::Plain(i) => fits_sim::instr_meta(i),
+        FitsOp::WideImm {
+            op,
+            set_flags,
+            rd,
+            rn,
+            ..
+        } => {
+            let compare = op.is_compare();
+            fits_sim::OpMeta {
+                class: InstrClass::Operate,
+                sources: [(!op.ignores_rn()).then_some(*rn), None, None],
+                dests: [(!compare).then_some(*rd), None],
+                sets_flags: *set_flags || compare,
+                reads_flags: matches!(op, DpOp::Adc | DpOp::Sbc | DpOp::Rsc),
+                is_mul: false,
+            }
+        }
+        FitsOp::WideMem { op, rd, rb, .. } => fits_sim::OpMeta {
+            class: InstrClass::Memory,
+            sources: [Some(*rb), (!op.is_load()).then_some(*rd), None],
+            dests: [op.is_load().then_some(*rd), None],
+            sets_flags: false,
+            reads_flags: false,
+            is_mul: false,
+        },
+        FitsOp::Jalr(ra) => fits_sim::OpMeta {
+            class: InstrClass::Branch,
+            sources: [Some(*ra), None, None],
+            dests: [Some(Reg::LR), None],
+            sets_flags: false,
+            reads_flags: false,
+            is_mul: false,
+        },
+    }
+}
+
 impl FitsSet {
     /// Pre-decodes a FITS binary.
     ///
@@ -360,7 +417,7 @@ impl FitsSet {
     }
 
     fn index_of(&self, pc: u32) -> Result<usize, SimError> {
-        if pc < TEXT_BASE || pc % 2 != 0 {
+        if pc < TEXT_BASE || !pc.is_multiple_of(2) {
             return Err(SimError::BadPc { pc });
         }
         let index = ((pc - TEXT_BASE) / 2) as usize;
@@ -391,7 +448,7 @@ impl InstrSet for FitsSet {
     }
 
     fn fetch_word(&self, word_addr: u32) -> u32 {
-        if word_addr < TEXT_BASE || word_addr % 4 != 0 {
+        if word_addr < TEXT_BASE || !word_addr.is_multiple_of(4) {
             return 0;
         }
         let idx = ((word_addr - TEXT_BASE) / 4) as usize;
@@ -399,40 +456,7 @@ impl InstrSet for FitsSet {
     }
 
     fn describe(&self, op: &FitsOp) -> fits_sim::OpMeta {
-        match op {
-            FitsOp::Plain(i) => fits_sim::instr_meta(i),
-            FitsOp::WideImm { op, set_flags, rd, rn, .. } => {
-                let compare = op.is_compare();
-                fits_sim::OpMeta {
-                    class: InstrClass::Operate,
-                    sources: [
-                        (!op.ignores_rn()).then_some(*rn),
-                        None,
-                        None,
-                    ],
-                    dests: [(!compare).then_some(*rd), None],
-                    sets_flags: *set_flags || compare,
-                    reads_flags: matches!(op, DpOp::Adc | DpOp::Sbc | DpOp::Rsc),
-                    is_mul: false,
-                }
-            }
-            FitsOp::WideMem { op, rd, rb, .. } => fits_sim::OpMeta {
-                class: InstrClass::Memory,
-                sources: [Some(*rb), (!op.is_load()).then_some(*rd), None],
-                dests: [op.is_load().then_some(*rd), None],
-                sets_flags: false,
-                reads_flags: false,
-                is_mul: false,
-            },
-            FitsOp::Jalr(ra) => fits_sim::OpMeta {
-                class: InstrClass::Branch,
-                sources: [Some(*ra), None, None],
-                dests: [Some(Reg::LR), None],
-                sets_flags: false,
-                reads_flags: false,
-                is_mul: false,
-            },
-        }
+        op_meta(op)
     }
 
     fn execute(&self, op: &FitsOp, ctx: &mut ExecCtx<'_>) -> Result<StepOutcome, SimError> {
@@ -445,7 +469,11 @@ impl InstrSet for FitsSet {
                 rn,
                 imm,
             } => {
-                let a = if op.ignores_rn() { 0 } else { ctx.read_reg(*rn) };
+                let a = if op.ignores_rn() {
+                    0
+                } else {
+                    ctx.read_reg(*rn)
+                };
                 // Wide immediates behave like unrotated ARM immediates: the
                 // shifter carry-out equals the carry-in.
                 let r = dp_eval(*op, a, *imm, ctx.cpu.flags.c, ctx.cpu.flags);
@@ -495,7 +523,7 @@ impl InstrSet for FitsSet {
             }
             FitsOp::Jalr(ra) => {
                 let target = ctx.read_reg(*ra);
-                if target % 2 != 0 {
+                if !target.is_multiple_of(2) {
                     return Err(SimError::BadPc { pc: target });
                 }
                 ctx.write_reg(Reg::LR, ctx.pc.wrapping_add(2));

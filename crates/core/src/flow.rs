@@ -37,6 +37,12 @@ pub enum FlowError {
         /// The floor that was requested.
         floor: f64,
     },
+    /// A static validator (see [`FlowValidator`]) rejected the accepted
+    /// synthesis/translation pair before execution.
+    Verify {
+        /// The validator's rendered findings.
+        report: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -50,10 +56,16 @@ impl fmt::Display for FlowError {
                 "FITS binary diverged: arm exit {:#x} vs fits exit {:#x}",
                 arm.exit_code, fits.exit_code
             ),
-            FlowError::RequirementsNotMet { best_static_rate, floor } => write!(
+            FlowError::RequirementsNotMet {
+                best_static_rate,
+                floor,
+            } => write!(
                 f,
                 "mapping rate {best_static_rate:.3} below floor {floor:.3} after all iterations"
             ),
+            FlowError::Verify { report } => {
+                write!(f, "static verification rejected the translation:\n{report}")
+            }
         }
     }
 }
@@ -78,6 +90,27 @@ impl From<FitsDecodeError> for FlowError {
     }
 }
 
+/// A static analysis hook run on the accepted `(program, synthesis,
+/// translation)` triple before the flow executes anything.
+///
+/// Implemented by `fits-verify`; defined here so the flow can carry a
+/// validator without `fits-core` depending on the analysis crate.
+pub trait FlowValidator: Send + Sync {
+    /// Checks the triple; on rejection returns the rendered findings,
+    /// which the flow surfaces as [`FlowError::Verify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered diagnostic report when any analysis finds a
+    /// defect.
+    fn validate(
+        &self,
+        program: &Program,
+        synthesis: &Synthesis,
+        translation: &Translation,
+    ) -> Result<(), String>;
+}
+
 /// The FITS design flow driver.
 ///
 /// ```
@@ -92,7 +125,7 @@ impl From<FitsDecodeError> for FlowError {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct FitsFlow {
     /// Synthesis options for the first iteration.
     pub options: SynthOptions,
@@ -104,6 +137,21 @@ pub struct FitsFlow {
     /// Verify the FITS binary functionally against the profiling run
     /// (differential execution). Disable only for coverage probes.
     pub verify: bool,
+    /// Optional static validator run on the accepted triple before any
+    /// FITS execution (`fits_verify::verified_flow()` installs one).
+    pub validator: Option<std::sync::Arc<dyn FlowValidator>>,
+}
+
+impl fmt::Debug for FitsFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FitsFlow")
+            .field("options", &self.options)
+            .field("min_static_rate", &self.min_static_rate)
+            .field("max_iterations", &self.max_iterations)
+            .field("verify", &self.verify)
+            .field("validator", &self.validator.as_ref().map(|_| "<dyn>"))
+            .finish()
+    }
 }
 
 impl Default for FitsFlow {
@@ -113,6 +161,7 @@ impl Default for FitsFlow {
             min_static_rate: 0.85,
             max_iterations: 3,
             verify: true,
+            validator: None,
         }
     }
 }
@@ -138,7 +187,8 @@ impl FlowOutcome {
     /// The dynamic 1-to-1 mapping rate (Figure 4's metric).
     #[must_use]
     pub fn dynamic_rate(&self) -> f64 {
-        self.mapping.dynamic_one_to_one_rate(&self.profile.exec_counts)
+        self.mapping
+            .dynamic_one_to_one_rate(&self.profile.exec_counts)
     }
 
     /// Code-size ratio versus the native program (Figure 5's metric),
@@ -210,6 +260,13 @@ impl FitsFlow {
             });
         }
 
+        // Static verification of the accepted triple, before anything runs.
+        if let Some(validator) = &self.validator {
+            if let Err(report) = validator.validate(program, &synthesis, &translation) {
+                return Err(FlowError::Verify { report });
+            }
+        }
+
         // Stage 4/5: configure the decoder (pre-decode) and execute.
         let fits_run = if self.verify {
             let set = FitsSet::load(&translation.fits)?;
@@ -217,7 +274,10 @@ impl FitsFlow {
             let run = machine.run()?;
             let arm = prof.run.as_ref().expect("profiling run recorded");
             if run.exit_code != arm.exit_code || run.emitted != arm.emitted {
-                return Err(FlowError::Mismatch { arm: *arm, fits: run });
+                return Err(FlowError::Mismatch {
+                    arm: *arm,
+                    fits: run,
+                });
             }
             Some(run)
         } else {

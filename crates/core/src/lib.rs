@@ -43,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod decoder;
 pub mod exec;
@@ -52,8 +53,8 @@ pub mod synth;
 pub mod translate;
 
 pub use decoder::{DecoderConfig, Dictionaries, Layout, MicroOp, OpcodeEntry, RegMap, Tier};
-pub use exec::{disassemble, FitsOp, FitsSet};
-pub use flow::{FitsFlow, FlowError, FlowOutcome};
+pub use exec::{decode_word, disassemble, op_meta, FitsOp, FitsSet};
+pub use flow::{FitsFlow, FlowError, FlowOutcome, FlowValidator};
 pub use profile::{profile, OpKey, Profile};
 pub use synth::{synthesize, SynthOptions, Synthesis};
 pub use translate::{translate, FitsProgram, MappingStats, TranslateError, Translation};

@@ -214,7 +214,7 @@ impl Profile {
     /// Number of distinct physical registers referenced.
     #[must_use]
     pub fn distinct_regs(&self) -> u32 {
-        u32::from(self.regs_used.count_ones())
+        self.regs_used.count_ones()
     }
 
     /// Dynamic usage share of a family.
@@ -223,7 +223,9 @@ impl Profile {
         if self.dyn_total == 0 {
             return 0.0;
         }
-        self.families.get(&key).map_or(0.0, |s| s.dyn_ as f64 / self.dyn_total as f64)
+        self.families
+            .get(&key)
+            .map_or(0.0, |s| s.dyn_ as f64 / self.dyn_total as f64)
     }
 
     /// The fraction of a DP-reg family's executions that are 2-address
@@ -246,7 +248,11 @@ fn record_instr(profile: &mut Profile, instr: &Instr, index: usize, executions: 
     if instr.cond() != Cond::Al && !matches!(instr, Instr::Branch { .. }) {
         profile.pred_conds.insert(instr.cond());
     }
-    if let Instr::Dp { op2: Operand2::Reg(_, shift), .. } = instr {
+    if let Instr::Dp {
+        op2: Operand2::Reg(_, shift),
+        ..
+    } = instr
+    {
         match shift {
             Shift::Imm(kind, n) if *n > 0 => {
                 profile.shift_kinds.insert(*kind);
@@ -268,9 +274,7 @@ fn record_instr(profile: &mut Profile, instr: &Instr, index: usize, executions: 
     };
     profile.families.entry(key).or_default().bump(executions);
     match instr {
-        Instr::Dp {
-            rd, rn, op2, ..
-        } => {
+        Instr::Dp { rd, rn, op2, .. } => {
             if let Operand2::Imm(imm) = op2 {
                 profile
                     .operate_imms
@@ -286,14 +290,16 @@ fn record_instr(profile: &mut Profile, instr: &Instr, index: usize, executions: 
                 e.1 += executions;
             }
         }
-        Instr::Mem { op, offset, .. } => {
-            if let AddrOffset::Imm(d) = offset {
-                profile
-                    .mem_disps
-                    .entry(*op)
-                    .or_default()
-                    .record(*d as u32, executions);
-            }
+        Instr::Mem {
+            op,
+            offset: AddrOffset::Imm(d),
+            ..
+        } => {
+            profile
+                .mem_disps
+                .entry(*op)
+                .or_default()
+                .record(*d as u32, executions);
         }
         Instr::Branch { cond, link, offset } => {
             let _ = index;
@@ -369,7 +375,10 @@ mod tests {
         assert_eq!(classify(&addi), Some(OpKey::DpImm(DpOp::Add, false)));
         let cmp = Instr::cmp(Reg::R0, Operand2::imm(3).unwrap());
         assert_eq!(classify(&cmp), Some(OpKey::CmpImm(DpOp::Cmp)));
-        let lsl = Instr::mov(Reg::R0, Operand2::Reg(Reg::R1, Shift::Imm(ShiftKind::Lsl, 2)));
+        let lsl = Instr::mov(
+            Reg::R0,
+            Operand2::Reg(Reg::R1, Shift::Imm(ShiftKind::Lsl, 2)),
+        );
         assert_eq!(classify(&lsl), Some(OpKey::ShiftImm(ShiftKind::Lsl, false)));
         let ret = Instr::mov(Reg::PC, Operand2::reg(Reg::LR));
         assert_eq!(classify(&ret), Some(OpKey::BranchReg));

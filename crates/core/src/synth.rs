@@ -24,9 +24,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use fits_isa::{Cond, DpOp, MemOp, ShiftKind};
 
-use crate::decoder::{
-    DecoderConfig, Dictionaries, Layout, MicroOp, OpcodeEntry, RegMap, Tier,
-};
+use crate::decoder::{DecoderConfig, Dictionaries, Layout, MicroOp, OpcodeEntry, RegMap, Tier};
 use crate::profile::{signed_bits, unsigned_bits, OpKey, Profile};
 
 /// Synthesis options (the ablation knobs).
@@ -129,7 +127,11 @@ struct FamilyData {
 }
 
 fn rank_map(values: &[(u32, crate::profile::Stat)]) -> HashMap<u32, usize> {
-    values.iter().enumerate().map(|(i, (v, _))| (*v, i)).collect()
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, (v, _))| (*v, i))
+        .collect()
 }
 
 fn build_family_data(profile: &Profile, opts: &SynthOptions) -> HashMap<OpKey, FamilyData> {
@@ -183,15 +185,13 @@ fn build_family_data(profile: &Profile, opts: &SynthOptions) -> HashMap<OpKey, F
                 if let Some(hist) = profile.operate_imms.get(key) {
                     let total = hist.total_dyn().max(1) as f64;
                     for w in 0..=16u8 {
-                        fd.lit_cov[w as usize] = hist.dyn_where(|v| {
-                            w > 0 && unsigned_bits(v) <= w
-                        }) as f64
-                            / total;
+                        fd.lit_cov[w as usize] =
+                            hist.dyn_where(|v| w > 0 && unsigned_bits(v) <= w) as f64 / total;
                         let cap = 1usize << w.min(opts.max_dict_bits);
                         let cap = cap.saturating_sub(if w >= 4 { RESERVED_DICT_SLOTS } else { 0 });
-                        fd.dict_cov[w as usize] = hist.dyn_where(|v| {
-                            operate_rank.get(&v).is_some_and(|r| *r < cap)
-                        }) as f64
+                        fd.dict_cov[w as usize] = hist
+                            .dyn_where(|v| operate_rank.get(&v).is_some_and(|r| *r < cap))
+                            as f64
                             / total;
                     }
                 }
@@ -204,9 +204,9 @@ fn build_family_data(profile: &Profile, opts: &SynthOptions) -> HashMap<OpKey, F
                             hist.dyn_where(|v| w > 0 && unsigned_bits(v) <= w) as f64 / total;
                         let cap = 1usize << w.min(opts.max_dict_bits);
                         let cap = cap.saturating_sub(if w >= 4 { RESERVED_DICT_SLOTS } else { 0 });
-                        fd.dict_cov[w as usize] = hist.dyn_where(|v| {
-                            operate_rank.get(&v).is_some_and(|r| *r < cap)
-                        }) as f64
+                        fd.dict_cov[w as usize] = hist
+                            .dyn_where(|v| operate_rank.get(&v).is_some_and(|r| *r < cap))
+                            as f64
                             / total;
                     }
                 }
@@ -216,15 +216,12 @@ fn build_family_data(profile: &Profile, opts: &SynthOptions) -> HashMap<OpKey, F
                     let total = hist.total_dyn().max(1) as f64;
                     let scale = disp_scale(*op);
                     for w in 0..=16u8 {
-                        fd.lit_cov[w as usize] = hist.dyn_where(|raw| {
-                            mem_lit_fits(raw as i32, w, scale)
-                        }) as f64
-                            / total;
+                        fd.lit_cov[w as usize] =
+                            hist.dyn_where(|raw| mem_lit_fits(raw as i32, w, scale)) as f64 / total;
                         let cap = 1usize << w.min(opts.max_dict_bits);
-                        fd.dict_cov[w as usize] = hist.dyn_where(|v| {
-                            mem_rank.get(&v).is_some_and(|r| *r < cap)
-                        }) as f64
-                            / total;
+                        fd.dict_cov[w as usize] =
+                            hist.dyn_where(|v| mem_rank.get(&v).is_some_and(|r| *r < cap)) as f64
+                                / total;
                     }
                 }
             }
@@ -249,10 +246,9 @@ fn build_family_data(profile: &Profile, opts: &SynthOptions) -> HashMap<OpKey, F
                         fd.lit_cov[w as usize] =
                             hist.dyn_where(|v| w > 0 && unsigned_bits(v) <= w) as f64 / total;
                         let cap = 1usize << w.min(opts.max_dict_bits);
-                        fd.dict_cov[w as usize] = hist.dyn_where(|v| {
-                            shift_rank.get(&v).is_some_and(|r| *r < cap)
-                        }) as f64
-                            / total;
+                        fd.dict_cov[w as usize] =
+                            hist.dyn_where(|v| shift_rank.get(&v).is_some_and(|r| *r < cap)) as f64
+                                / total;
                     }
                 }
             }
@@ -284,7 +280,7 @@ pub(crate) fn mem_lit_fits(disp: i32, w: u8, scale: u32) -> bool {
         w > 0 && signed_bits(disp) <= w
     } else {
         disp >= 0
-            && (disp as u32) % scale == 0
+            && (disp as u32).is_multiple_of(scale)
             && w > 0
             && unsigned_bits(disp as u32 / scale) <= w
     }
@@ -298,8 +294,10 @@ pub(crate) fn mem_lit_fits(disp: i32, w: u8, scale: u32) -> bool {
 /// with the SIS `movi`/`lsli`/`ori` chain (empirical midpoint).
 const CONST_BUILD_COST: f64 = 4.0;
 
-fn selection_widths(sel: &BTreeMap<SelKey, Selected>, micro_pred: impl Fn(&MicroOp) -> bool)
-    -> (Option<u8>, Option<u8>, bool, bool) {
+fn selection_widths(
+    sel: &BTreeMap<SelKey, Selected>,
+    micro_pred: impl Fn(&MicroOp) -> bool,
+) -> (Option<u8>, Option<u8>, bool, bool) {
     // (literal width, dict width, has 3-op, has 2-op-reg) for entries whose
     // micro satisfies the predicate.
     let mut lit = None;
@@ -329,8 +327,10 @@ fn selection_widths(sel: &BTreeMap<SelKey, Selected>, micro_pred: impl Fn(&Micro
 fn family_cost(key: OpKey, fd: &FamilyData, sel: &BTreeMap<SelKey, Selected>) -> f64 {
     match key {
         OpKey::DpReg(op, sf) => {
-            let (_, _, has3, has2) =
-                selection_widths(sel, |m| matches!(m, MicroOp::Dp3{op: o, set_flags: s} | MicroOp::Dp2Reg{op: o, set_flags: s} if *o == op && *s == sf));
+            let (_, _, has3, has2) = selection_widths(
+                sel,
+                |m| matches!(m, MicroOp::Dp3{op: o, set_flags: s} | MicroOp::Dp2Reg{op: o, set_flags: s} if *o == op && *s == sf),
+            );
             if has3 {
                 1.0
             } else if has2 {
@@ -340,10 +340,14 @@ fn family_cost(key: OpKey, fd: &FamilyData, sel: &BTreeMap<SelKey, Selected>) ->
             }
         }
         OpKey::DpImm(op, sf) => {
-            let (lit, dict, _, _) =
-                selection_widths(sel, |m| matches!(m, MicroOp::Dp2Imm{op: o, set_flags: s} if *o == op && *s == sf));
-            let (lit3, dict3, _, _) =
-                selection_widths(sel, |m| matches!(m, MicroOp::Dp3{op: o, set_flags: s} if *o == op && *s == sf));
+            let (lit, dict, _, _) = selection_widths(
+                sel,
+                |m| matches!(m, MicroOp::Dp2Imm{op: o, set_flags: s} if *o == op && *s == sf),
+            );
+            let (lit3, dict3, _, _) = selection_widths(
+                sel,
+                |m| matches!(m, MicroOp::Dp3{op: o, set_flags: s} if *o == op && *s == sf),
+            );
             let lit_cov = lit.map_or(0.0, |w| fd.lit_cov[w as usize]);
             let dict_cov = dict.map_or(0.0, |w| fd.dict_cov[w as usize]);
             // 3-address immediate forms cover regardless of rd == rn.
@@ -360,8 +364,10 @@ fn family_cost(key: OpKey, fd: &FamilyData, sel: &BTreeMap<SelKey, Selected>) ->
             one + 2.0 * two + rest * (CONST_BUILD_COST + 1.0)
         }
         OpKey::CmpImm(op) => {
-            let (lit, dict, _, has2) =
-                selection_widths(sel, |m| matches!(m, MicroOp::CmpImm { op: o } | MicroOp::CmpReg { op: o } if *o == op));
+            let (lit, dict, _, has2) = selection_widths(
+                sel,
+                |m| matches!(m, MicroOp::CmpImm { op: o } | MicroOp::CmpReg { op: o } if *o == op),
+            );
             let _ = has2;
             let lit_cov = lit.map_or(0.0, |w| fd.lit_cov[w as usize]);
             let dict_cov = dict.map_or(0.0, |w| fd.dict_cov[w as usize]);
@@ -377,14 +383,18 @@ fn family_cost(key: OpKey, fd: &FamilyData, sel: &BTreeMap<SelKey, Selected>) ->
             covered + (1.0 - covered) * 3.0
         }
         OpKey::Branch(cond, link) => {
-            let (lit, _, _, _) =
-                selection_widths(sel, |m| matches!(m, MicroOp::Branch { cond: c, link: l } if *c == cond && *l == link));
+            let (lit, _, _, _) = selection_widths(
+                sel,
+                |m| matches!(m, MicroOp::Branch { cond: c, link: l } if *c == cond && *l == link),
+            );
             let cov = lit.map_or(0.0, |w| fd.lit_cov[w as usize]);
             cov + (1.0 - cov) * 2.0
         }
         OpKey::ShiftImm(kind, sf) => {
-            let (lit, dict, _, _) =
-                selection_widths(sel, |m| matches!(m, MicroOp::ShiftImm { kind: k, set_flags: s } if *k == kind && *s == sf));
+            let (lit, dict, _, _) = selection_widths(
+                sel,
+                |m| matches!(m, MicroOp::ShiftImm { kind: k, set_flags: s } if *k == kind && *s == sf),
+            );
             let lit_cov = lit.map_or(0.0, |w| fd.lit_cov[w as usize]);
             let dict_cov = dict.map_or(0.0, |w| fd.dict_cov[w as usize]);
             let covered = lit_cov.max(dict_cov);
@@ -407,10 +417,7 @@ fn family_cost(key: OpKey, fd: &FamilyData, sel: &BTreeMap<SelKey, Selected>) ->
     }
 }
 
-fn total_cost(
-    families: &HashMap<OpKey, FamilyData>,
-    sel: &BTreeMap<SelKey, Selected>,
-) -> f64 {
+fn total_cost(families: &HashMap<OpKey, FamilyData>, sel: &BTreeMap<SelKey, Selected>) -> f64 {
     families
         .iter()
         .map(|(k, fd)| fd.dyn_ as f64 * family_cost(*k, fd, sel))
@@ -418,9 +425,7 @@ fn total_cost(
 }
 
 fn space_of(sel: &BTreeMap<SelKey, Selected>, r: u8) -> u64 {
-    sel.values()
-        .map(|s| 1u64 << s.layout.operand_bits(r))
-        .sum()
+    sel.values().map(|s| 1u64 << s.layout.operand_bits(r)).sum()
 }
 
 // ---------------------------------------------------------------------------
@@ -442,8 +447,7 @@ fn insert(
         weight,
     };
     match sel.get(&key) {
-        Some(existing)
-            if layout.operand_bits(4) <= existing.layout.operand_bits(4) => {}
+        Some(existing) if layout.operand_bits(4) <= existing.layout.operand_bits(4) => {}
         _ => {
             sel.insert(key, entry);
         }
@@ -836,7 +840,7 @@ pub fn synthesize(profile: &Profile, opts: &SynthOptions) -> Synthesis {
             }
             let dspace = (space - base_space.min(space)).max(1) as f64;
             let ratio = gain / dspace;
-            if best.map_or(true, |(b, _)| ratio > b) {
+            if best.is_none_or(|(b, _)| ratio > b) {
                 best = Some((ratio, i));
             }
         }
@@ -952,11 +956,7 @@ pub fn synthesize(profile: &Profile, opts: &SynthOptions) -> Synthesis {
             target: Vec::new(),
         },
     };
-    let space_used = config
-        .ops
-        .iter()
-        .map(|e| 1u64 << (16 - e.len))
-        .sum();
+    let space_used = config.ops.iter().map(|e| 1u64 << (16 - e.len)).sum();
     let predicted = {
         let sel_again: BTreeMap<SelKey, Selected> = config
             .ops
@@ -1049,8 +1049,8 @@ fn assign_codes(entries: &mut [Selected], r: u8, toggle_aware: bool) -> Vec<Opco
             values.sort_by_key(|v| {
                 // Order by gray-coded low bits: adjacent assignments differ
                 // in fewer bits on average.
-                let g = v ^ (v >> 1);
-                g
+
+                v ^ (v >> 1)
             });
         }
         for (k, e) in class.iter().enumerate() {

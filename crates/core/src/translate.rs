@@ -51,7 +51,10 @@ impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::RegisterOutsideWindow { reg, index } => {
-                write!(f, "r{reg} at instruction {index} is outside the register window")
+                write!(
+                    f,
+                    "r{reg} at instruction {index} is outside the register window"
+                )
             }
             TranslateError::Unsupported { index, what } => {
                 write!(f, "unsupported instruction at {index}: {what}")
@@ -154,6 +157,22 @@ impl MappingStats {
         ones as f64 / total as f64
     }
 
+    /// FITS instruction positions of each ARM instruction's expansion:
+    /// `positions()[i]..positions()[i + 1]` is the half-open FITS index
+    /// range that ARM instruction `i` translated to (prefix sums of
+    /// [`MappingStats::expansion`]; the last element is the total length).
+    #[must_use]
+    pub fn positions(&self) -> Vec<u32> {
+        let mut pos = Vec::with_capacity(self.expansion.len() + 1);
+        let mut acc = 0u32;
+        pos.push(0);
+        for e in &self.expansion {
+            acc += e;
+            pos.push(acc);
+        }
+        pos
+    }
+
     /// Average expansion factor (FITS instrs per ARM instr), statically.
     #[must_use]
     pub fn static_expansion(&self) -> f64 {
@@ -194,61 +213,77 @@ impl<'a> Finder<'a> {
     }
 
     fn dp2reg(&self, op: DpOp, sf: bool) -> Option<usize> {
-        self.entry_idx(|e| {
-            matches!(e.micro, MicroOp::Dp2Reg { op: o, set_flags: s } if o == op && s == sf)
-        })
+        self.entry_idx(
+            |e| matches!(e.micro, MicroOp::Dp2Reg { op: o, set_flags: s } if o == op && s == sf),
+        )
     }
 
     fn dp3imm_lit(&self, op: DpOp, sf: bool) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| {
-            match (e.micro, e.layout) {
-                (MicroOp::Dp3 { op: o, set_flags: s }, Layout::RRImm { w })
-                    if o == op && s == sf =>
-                {
-                    Some((i, w))
-                }
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (
+                    MicroOp::Dp3 {
+                        op: o,
+                        set_flags: s,
+                    },
+                    Layout::RRImm { w },
+                ) if o == op && s == sf => Some((i, w)),
                 _ => None,
-            }
-        })
+            })
     }
 
     fn dp3imm_dict(&self, op: DpOp, sf: bool) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| {
-            match (e.micro, e.layout) {
-                (MicroOp::Dp3 { op: o, set_flags: s }, Layout::RRDict { w })
-                    if o == op && s == sf =>
-                {
-                    Some((i, w))
-                }
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (
+                    MicroOp::Dp3 {
+                        op: o,
+                        set_flags: s,
+                    },
+                    Layout::RRDict { w },
+                ) if o == op && s == sf => Some((i, w)),
                 _ => None,
-            }
-        })
+            })
     }
 
     fn dp2imm_lit(&self, op: DpOp, sf: bool) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| {
-            match (e.micro, e.layout) {
-                (MicroOp::Dp2Imm { op: o, set_flags: s }, Layout::R2Imm { w })
-                    if o == op && s == sf =>
-                {
-                    Some((i, w))
-                }
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (
+                    MicroOp::Dp2Imm {
+                        op: o,
+                        set_flags: s,
+                    },
+                    Layout::R2Imm { w },
+                ) if o == op && s == sf => Some((i, w)),
                 _ => None,
-            }
-        })
+            })
     }
 
     fn dp2imm_dict(&self, op: DpOp, sf: bool) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| {
-            match (e.micro, e.layout) {
-                (MicroOp::Dp2Imm { op: o, set_flags: s }, Layout::R2Dict { w })
-                    if o == op && s == sf =>
-                {
-                    Some((i, w))
-                }
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (
+                    MicroOp::Dp2Imm {
+                        op: o,
+                        set_flags: s,
+                    },
+                    Layout::R2Dict { w },
+                ) if o == op && s == sf => Some((i, w)),
                 _ => None,
-            }
-        })
+            })
     }
 
     fn cmp_reg(&self, op: DpOp) -> Option<usize> {
@@ -256,39 +291,59 @@ impl<'a> Finder<'a> {
     }
 
     fn cmp_imm_lit(&self, op: DpOp) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::CmpImm { op: o }, Layout::R2Imm { w }) if o == op => Some((i, w)),
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (MicroOp::CmpImm { op: o }, Layout::R2Imm { w }) if o == op => Some((i, w)),
+                _ => None,
+            })
     }
 
     fn cmp_imm_dict(&self, op: DpOp) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::CmpImm { op: o }, Layout::R2Dict { w }) if o == op => Some((i, w)),
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (MicroOp::CmpImm { op: o }, Layout::R2Dict { w }) if o == op => Some((i, w)),
+                _ => None,
+            })
     }
 
     fn shift_lit(&self, kind: ShiftKind, sf: bool) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::ShiftImm { kind: k, set_flags: s }, Layout::RRImm { w })
-                if k == kind && s == sf =>
-            {
-                Some((i, w))
-            }
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (
+                    MicroOp::ShiftImm {
+                        kind: k,
+                        set_flags: s,
+                    },
+                    Layout::RRImm { w },
+                ) if k == kind && s == sf => Some((i, w)),
+                _ => None,
+            })
     }
 
     fn shift_dict(&self, kind: ShiftKind, sf: bool) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::ShiftImm { kind: k, set_flags: s }, Layout::RRDict { w })
-                if k == kind && s == sf =>
-            {
-                Some((i, w))
-            }
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (
+                    MicroOp::ShiftImm {
+                        kind: k,
+                        set_flags: s,
+                    },
+                    Layout::RRDict { w },
+                ) if k == kind && s == sf => Some((i, w)),
+                _ => None,
+            })
     }
 
     fn shift_reg(&self, kind: ShiftKind, sf: bool) -> Option<usize> {
@@ -302,28 +357,40 @@ impl<'a> Finder<'a> {
     }
 
     fn mem_lit(&self, op: MemOp) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::Mem { op: o }, Layout::MemImm { w }) if o == op => Some((i, w)),
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (MicroOp::Mem { op: o }, Layout::MemImm { w }) if o == op => Some((i, w)),
+                _ => None,
+            })
     }
 
     fn mem_dict(&self, op: MemOp) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::Mem { op: o }, Layout::MemDict { w }) if o == op => Some((i, w)),
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (MicroOp::Mem { op: o }, Layout::MemDict { w }) if o == op => Some((i, w)),
+                _ => None,
+            })
     }
 
     fn branch(&self, cond: Cond, link: bool) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::Branch { cond: c, link: l }, Layout::Br { w })
-                if c == cond && l == link =>
-            {
-                Some((i, w))
-            }
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (MicroOp::Branch { cond: c, link: l }, Layout::Br { w })
+                    if c == cond && l == link =>
+                {
+                    Some((i, w))
+                }
+                _ => None,
+            })
     }
 
     fn branch_reg(&self, link: bool) -> Option<usize> {
@@ -331,10 +398,14 @@ impl<'a> Finder<'a> {
     }
 
     fn pred_mov_imm(&self, cond: Cond) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::PredMovImm { cond: c }, Layout::R2Imm { w }) if c == cond => Some((i, w)),
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (MicroOp::PredMovImm { cond: c }, Layout::R2Imm { w }) if c == cond => Some((i, w)),
+                _ => None,
+            })
     }
 
     fn pred_mov_reg(&self, cond: Cond) -> Option<usize> {
@@ -342,17 +413,25 @@ impl<'a> Finder<'a> {
     }
 
     fn load_target(&self) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::LoadTarget, Layout::R2Dict { w }) => Some((i, w)),
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (MicroOp::LoadTarget, Layout::R2Dict { w }) => Some((i, w)),
+                _ => None,
+            })
     }
 
     fn swi(&self) -> Option<(usize, u8)> {
-        self.cfg.ops.iter().enumerate().find_map(|(i, e)| match (e.micro, e.layout) {
-            (MicroOp::Swi, Layout::Trap { w }) => Some((i, w)),
-            _ => None,
-        })
+        self.cfg
+            .ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match (e.micro, e.layout) {
+                (MicroOp::Swi, Layout::Trap { w }) => Some((i, w)),
+                _ => None,
+            })
     }
 }
 
@@ -471,7 +550,7 @@ impl<'a> Translator<'a> {
         let _ = index;
         let nib_w = movi.1.min(4);
         let step = u32::from(nib_w);
-        let nibbles: Vec<u32> = (0..(32 + step - 1) / step)
+        let nibbles: Vec<u32> = (0..32_u32.div_ceil(step))
             .rev()
             .map(|k| (value >> (k * step)) & ((1 << step) - 1))
             .collect();
@@ -524,6 +603,7 @@ impl<'a> Translator<'a> {
     }
 
     /// A register-register DP operation with full operand generality.
+    #[allow(clippy::too_many_arguments)]
     fn dp_reg_general(
         &mut self,
         op: DpOp,
@@ -588,6 +668,7 @@ impl<'a> Translator<'a> {
     }
 
     /// A shift of `rm` by constant `n` into `rd`.
+    #[allow(clippy::too_many_arguments)]
     fn shift_imm_general(
         &mut self,
         kind: ShiftKind,
@@ -844,7 +925,11 @@ impl<'a> Translator<'a> {
                                 what: "rotated logical flag-setting immediate".to_string(),
                             });
                         }
-                        let rn_e = if op.ignores_rn() { rd_e } else { self.reg(*rn, index)? };
+                        let rn_e = if op.ignores_rn() {
+                            rd_e
+                        } else {
+                            self.reg(*rn, index)?
+                        };
                         let f = self.finder();
                         // Figure-2 Operate: 3-address immediate forms first.
                         if !op.ignores_rn() {
@@ -1040,12 +1125,13 @@ impl<'a> Translator<'a> {
                         let ip = self.scratch(index)?;
                         self.build_const(ip, *d as u32, out, index)?;
                         self.dp_reg_general(DpOp::Add, false, ip, ip, rn_e, out, index)?;
-                        let (e, w) = self.finder().mem_lit(*op).ok_or(
-                            TranslateError::MissingBaseOp {
-                                what: format!("{op}"),
-                            },
-                        )?;
-                        debug_assert!(mem_lit_fits(0, w.max(0), scale) || w == 0);
+                        let (e, w) =
+                            self.finder()
+                                .mem_lit(*op)
+                                .ok_or(TranslateError::MissingBaseOp {
+                                    what: format!("{op}"),
+                                })?;
+                        debug_assert!(mem_lit_fits(0, w, scale) || w == 0);
                         let _ = w;
                         out.push(Draft::Op {
                             entry: e,
@@ -1069,11 +1155,12 @@ impl<'a> Translator<'a> {
                             });
                         }
                         self.dp_reg_general(DpOp::Add, false, ip, ip, rn_e, out, index)?;
-                        let (e, _) = self.finder().mem_lit(*op).ok_or(
-                            TranslateError::MissingBaseOp {
-                                what: format!("{op}"),
-                            },
-                        )?;
+                        let (e, _) =
+                            self.finder()
+                                .mem_lit(*op)
+                                .ok_or(TranslateError::MissingBaseOp {
+                                    what: format!("{op}"),
+                                })?;
                         out.push(Draft::Op {
                             entry: e,
                             fields: [rd_e, ip, 0],
@@ -1086,12 +1173,11 @@ impl<'a> Translator<'a> {
                 cond, link, offset, ..
             } => {
                 let target = index as i64 + 2 + i64::from(*offset);
-                let target_arm = usize::try_from(target).map_err(|_| {
-                    TranslateError::Unsupported {
+                let target_arm =
+                    usize::try_from(target).map_err(|_| TranslateError::Unsupported {
                         index,
                         what: "branch before text start".to_string(),
-                    }
-                })?;
+                    })?;
                 if target_arm >= self.program.text.len() {
                     return Err(TranslateError::Unsupported {
                         index,
@@ -1141,12 +1227,12 @@ impl<'a> Translator<'a> {
             }
             Shift::Reg(kind, rs) => {
                 let rs_e = self.reg(rs, index)?;
-                let sr = self
-                    .finder()
-                    .shift_reg(kind, false)
-                    .ok_or(TranslateError::MissingBaseOp {
-                        what: format!("shift-reg {kind}"),
-                    })?;
+                let sr =
+                    self.finder()
+                        .shift_reg(kind, false)
+                        .ok_or(TranslateError::MissingBaseOp {
+                            what: format!("shift-reg {kind}"),
+                        })?;
                 self.mov_reg(dst, rm_e, out)?;
                 out.push(Draft::Op {
                     entry: sr,
@@ -1247,14 +1333,10 @@ pub fn pack(entry: &OpcodeEntry, fields: [u16; 3], r: u8) -> u16 {
             (fields[0] << w) | (fields[1] & ((1 << w) - 1))
         }
         Layout::RRImm { w } | Layout::RRDict { w } => {
-            (fields[0] << (r + u16::from(w)))
-                | (fields[1] << w)
-                | (fields[2] & ((1 << w) - 1))
+            (fields[0] << (r + u16::from(w))) | (fields[1] << w) | (fields[2] & ((1 << w) - 1))
         }
         Layout::MemImm { w } | Layout::MemDict { w } => {
-            (fields[0] << (r + u16::from(w)))
-                | (fields[1] << w)
-                | (fields[2] & ((1 << w) - 1))
+            (fields[0] << (r + u16::from(w))) | (fields[1] << w) | (fields[2] & ((1 << w) - 1))
         }
         Layout::Br { w } | Layout::Trap { w } => fields[0] & ((1u16 << w) - 1),
         Layout::R1 => fields[0],
@@ -1279,7 +1361,10 @@ pub fn unpack(entry: &OpcodeEntry, word: u16, r: u8) -> [u16; 3] {
         Layout::R2Imm { w } | Layout::R2Dict { w } => {
             [(word >> w) & rmask, word & ((1 << w) - 1), 0]
         }
-        Layout::RRImm { w } | Layout::RRDict { w } | Layout::MemImm { w } | Layout::MemDict { w } => [
+        Layout::RRImm { w }
+        | Layout::RRDict { w }
+        | Layout::MemImm { w }
+        | Layout::MemDict { w } => [
             (word >> (r16 + u16::from(w))) & rmask,
             (word >> w) & rmask,
             word & ((1 << w) - 1),
@@ -1333,10 +1418,7 @@ impl BrForm {
 ///
 /// Returns [`TranslateError`] when the program uses registers outside the
 /// synthesized window or instruction shapes outside the supported set.
-pub fn translate(
-    program: &Program,
-    config: &DecoderConfig,
-) -> Result<Translation, TranslateError> {
+pub fn translate(program: &Program, config: &DecoderConfig) -> Result<Translation, TranslateError> {
     let movd = Finder { cfg: config }.dp2imm_dict(DpOp::Mov, false);
     let op_dict_cap = movd.map_or(0, |(_, w)| 1usize << w);
     let mut tr = Translator {
@@ -1374,7 +1456,12 @@ pub fn translate(
         let mut changed = false;
         for (i, dv) in drafts.iter().enumerate() {
             // The branch draft is always last in its expansion.
-            let Some(Draft::Branch { cond, link, target_arm }) = dv.last() else {
+            let Some(Draft::Branch {
+                cond,
+                link,
+                target_arm,
+            }) = dv.last()
+            else {
                 continue;
             };
             let fnd = Finder { cfg: &tr.cfg };
@@ -1395,8 +1482,7 @@ pub fn translate(
                     .ok_or(TranslateError::MissingBaseOp {
                         what: "b".to_string(),
                     })?;
-                let uncond_disp =
-                    i64::from(pos[*target_arm]) - (i64::from(br_pos) + 1 + 2);
+                let uncond_disp = i64::from(pos[*target_arm]) - (i64::from(br_pos) + 1 + 2);
                 if !link && *cond != Cond::Al && sign_fits(uncond_disp, bal.1) {
                     BrForm::InvPair
                 } else if *cond == Cond::Al && !link {
@@ -1517,12 +1603,11 @@ pub fn translate(
                             };
                             let idx = tr.target_dict_index(target_addr, ltw, i)?;
                             words.push(pack(&tr.cfg.ops[lt], [ip, idx, 0], r));
-                            let jr = tr
-                                .finder()
-                                .branch_reg(link)
-                                .ok_or(TranslateError::MissingBaseOp {
+                            let jr = tr.finder().branch_reg(link).ok_or(
+                                TranslateError::MissingBaseOp {
                                     what: "jr/jalr".to_string(),
-                                })?;
+                                },
+                            )?;
                             words.push(pack(&tr.cfg.ops[jr], [ip, 0, 0], r));
                         }
                     }

@@ -2,6 +2,8 @@
 //! constructs a program that forces one specific fallback and proves the
 //! result still executes identically to the native binary.
 
+#![allow(clippy::unwrap_used)]
+
 use fits_core::{profile, synthesize, translate, FitsFlow, FitsSet, SynthOptions, Tier};
 use fits_isa::{Cond, DpOp, Instr, MemOp, Operand2, Program, Reg};
 use fits_sim::{Ar32Set, Machine};
@@ -38,7 +40,12 @@ fn nibble_chain_builds_arbitrary_constants() {
     for k in 1..=90u32 {
         let v = k << 8; // > any literal field, RotImm-encodable in ARM
         expect = expect.wrapping_add(v);
-        text.push(Instr::dp(DpOp::Add, Reg::R1, Reg::R1, Operand2::imm(v).unwrap()));
+        text.push(Instr::dp(
+            DpOp::Add,
+            Reg::R1,
+            Reg::R1,
+            Operand2::imm(v).unwrap(),
+        ));
     }
     text.push(Instr::mov(Reg::R0, Operand2::reg(Reg::R1)));
     text.push(exit_swi());
@@ -117,7 +124,12 @@ fn far_conditional_branch_goes_through_target_dictionary() {
         },
     ];
     for _ in 0..(9000 - 3) {
-        text.push(Instr::dp(DpOp::Add, Reg::R0, Reg::R0, Operand2::imm(1).unwrap()));
+        text.push(Instr::dp(
+            DpOp::Add,
+            Reg::R0,
+            Reg::R0,
+            Operand2::imm(1).unwrap(),
+        ));
     }
     // Landing pad: r0 must still be 1 (the adds were skipped).
     text.push(exit_swi());
@@ -144,7 +156,12 @@ fn far_call_links_correctly() {
         exit_swi(),
     ];
     for _ in 0..(6000 - 2) {
-        text.push(Instr::dp(DpOp::Add, Reg::R1, Reg::R1, Operand2::imm(1).unwrap()));
+        text.push(Instr::dp(
+            DpOp::Add,
+            Reg::R1,
+            Reg::R1,
+            Operand2::imm(1).unwrap(),
+        ));
     }
     // Callee: r0 = 42; return.
     text.push(Instr::mov(Reg::R0, Operand2::imm(42).unwrap()));
@@ -223,20 +240,28 @@ fn synthesized_tiers_cover_the_contract() {
     let cfg = &synth.config;
     assert!(cfg.tier_ops(Tier::Bis).any(|e| matches!(
         e.micro,
-        fits_core::MicroOp::Dp2Reg { op: DpOp::Mov, set_flags: false }
+        fits_core::MicroOp::Dp2Reg {
+            op: DpOp::Mov,
+            set_flags: false
+        }
     )));
     // The unconditional branch exists (possibly width-upgraded to AIS).
     assert!(cfg.ops.iter().any(|e| matches!(
         e.micro,
-        fits_core::MicroOp::Branch { cond: Cond::Al, link: false }
+        fits_core::MicroOp::Branch {
+            cond: Cond::Al,
+            link: false
+        }
     )));
     // The constant-construction ops exist in some tier (the optimizer may
     // upgrade a SIS op's width, relabeling it AIS).
-    assert!(cfg.ops.iter().any(|e| matches!(
-        e.micro,
-        fits_core::MicroOp::Dp2Imm { op: DpOp::Orr, .. }
-    )));
-    assert!(cfg.tier_ops(Tier::Sis).any(|e| e.micro == fits_core::MicroOp::LoadTarget));
+    assert!(cfg
+        .ops
+        .iter()
+        .any(|e| matches!(e.micro, fits_core::MicroOp::Dp2Imm { op: DpOp::Orr, .. })));
+    assert!(cfg
+        .tier_ops(Tier::Sis)
+        .any(|e| e.micro == fits_core::MicroOp::LoadTarget));
     assert!(cfg
         .tier_ops(Tier::Sis)
         .any(|e| matches!(e.micro, fits_core::MicroOp::BranchReg { link: true })));
@@ -251,5 +276,8 @@ fn disassembly_covers_every_instruction() {
     let text = fits_core::disassemble(&out.fits).expect("disassembles");
     assert_eq!(text.lines().count(), out.fits.instrs.len());
     assert!(text.contains("Plain("), "decoded micro-ops appear");
-    assert!(text.lines().next().unwrap().starts_with('>'), "entry marked");
+    assert!(
+        text.lines().next().unwrap().starts_with('>'),
+        "entry marked"
+    );
 }

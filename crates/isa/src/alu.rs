@@ -280,11 +280,20 @@ mod tests {
     #[test]
     fn barrel_shift_edge_cases() {
         assert_eq!(barrel_shift(ShiftKind::Lsl, 1, 0, true), (1, true));
-        assert_eq!(barrel_shift(ShiftKind::Lsl, 1, 31, false), (0x8000_0000, false));
+        assert_eq!(
+            barrel_shift(ShiftKind::Lsl, 1, 31, false),
+            (0x8000_0000, false)
+        );
         assert_eq!(barrel_shift(ShiftKind::Lsl, 3, 32, false), (0, true));
         assert_eq!(barrel_shift(ShiftKind::Lsl, 3, 33, true), (0, false));
-        assert_eq!(barrel_shift(ShiftKind::Lsr, 0x8000_0000, 31, false), (1, false));
-        assert_eq!(barrel_shift(ShiftKind::Lsr, 0x8000_0000, 32, false), (0, true));
+        assert_eq!(
+            barrel_shift(ShiftKind::Lsr, 0x8000_0000, 31, false),
+            (1, false)
+        );
+        assert_eq!(
+            barrel_shift(ShiftKind::Lsr, 0x8000_0000, 32, false),
+            (0, true)
+        );
         assert_eq!(
             barrel_shift(ShiftKind::Asr, 0x8000_0000, 4, false),
             (0xf800_0000, false)
@@ -293,7 +302,10 @@ mod tests {
             barrel_shift(ShiftKind::Asr, 0x8000_0000, 40, false),
             (u32::MAX, true)
         );
-        assert_eq!(barrel_shift(ShiftKind::Asr, 0x7fff_ffff, 40, true), (0, false));
+        assert_eq!(
+            barrel_shift(ShiftKind::Asr, 0x7fff_ffff, 40, true),
+            (0, false)
+        );
         assert_eq!(
             barrel_shift(ShiftKind::Ror, 0x0000_00f0, 4, false),
             (0x0000_000f, false)

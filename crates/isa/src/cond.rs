@@ -16,7 +16,6 @@ use crate::alu::Flags;
 /// assert!(!Cond::Ne.holds(flags));
 /// assert!(Cond::Al.holds(flags));
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Cond {

@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use crate::{
-    AddrOffset, Cond, DpOp, Index, Instr, MemOp, Operand2, Reg, RotImm, Shift, ShiftKind,
-};
+use crate::{AddrOffset, Cond, DpOp, Index, Instr, MemOp, Operand2, Reg, RotImm, Shift, ShiftKind};
 
 /// Error returned when a 32-bit word is not a valid AR32 instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -238,10 +236,7 @@ mod tests {
             Instr::decode(0xe1a0_2003).unwrap(),
             Instr::mov(Reg::R2, Operand2::reg(Reg::R3))
         );
-        assert_eq!(
-            Instr::decode(0xea00_0002).unwrap(),
-            Instr::b(2)
-        );
+        assert_eq!(Instr::decode(0xea00_0002).unwrap(), Instr::b(2));
         assert_eq!(
             Instr::decode(0xebff_fffe).unwrap(),
             Instr::Branch {

@@ -78,7 +78,10 @@ impl Instr {
                 index,
                 ..
             } => {
-                debug_assert!(offset.is_valid_for(op), "offset {offset:?} invalid for {op}");
+                debug_assert!(
+                    offset.is_valid_for(op),
+                    "offset {offset:?} invalid for {op}"
+                );
                 let (p, w) = match index {
                     Index::PreNoWb => (1u32, 0u32),
                     Index::PreWb => (1, 1),

@@ -298,7 +298,11 @@ impl fmt::Display for Instr {
                 rn,
                 op2,
             } => {
-                let s = if *set_flags && !op.is_compare() { "s" } else { "" };
+                let s = if *set_flags && !op.is_compare() {
+                    "s"
+                } else {
+                    ""
+                };
                 if op.is_compare() {
                     write!(f, "{op}{cond} {rn}, {op2}")
                 } else if op.ignores_rn() {
@@ -382,7 +386,10 @@ mod tests {
             Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::reg(Reg::R2)).class(),
             InstrClass::Operate
         );
-        assert_eq!(Instr::mem(MemOp::Ldr, Reg::R0, Reg::R1, 4).class(), InstrClass::Memory);
+        assert_eq!(
+            Instr::mem(MemOp::Ldr, Reg::R0, Reg::R1, 4).class(),
+            InstrClass::Memory
+        );
         assert_eq!(Instr::b(-2).class(), InstrClass::Branch);
         assert_eq!(
             Instr::Swi {
@@ -453,15 +460,24 @@ mod tests {
             Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::imm(4).unwrap()).to_string(),
             "add r0, r1, #4"
         );
-        assert_eq!(Instr::mov(Reg::R2, Operand2::reg(Reg::R3)).to_string(), "mov r2, r3");
-        assert_eq!(Instr::cmp(Reg::R1, Operand2::imm(0).unwrap()).to_string(), "cmp r1, #0");
+        assert_eq!(
+            Instr::mov(Reg::R2, Operand2::reg(Reg::R3)).to_string(),
+            "mov r2, r3"
+        );
+        assert_eq!(
+            Instr::cmp(Reg::R1, Operand2::imm(0).unwrap()).to_string(),
+            "cmp r1, #0"
+        );
         assert_eq!(
             Instr::dp(DpOp::Add, Reg::R0, Reg::R1, Operand2::reg(Reg::R2))
                 .with_cond(Cond::Ne)
                 .to_string(),
             "addne r0, r1, r2"
         );
-        assert_eq!(Instr::mem(MemOp::Ldrb, Reg::R0, Reg::R1, 3).to_string(), "ldrb r0, [r1, #3]");
+        assert_eq!(
+            Instr::mem(MemOp::Ldrb, Reg::R0, Reg::R1, 3).to_string(),
+            "ldrb r0, [r1, #3]"
+        );
         let idx = Instr::Mem {
             cond: Cond::Al,
             op: MemOp::Ldr,

@@ -3,7 +3,6 @@ use std::fmt;
 use crate::Reg;
 
 /// The sixteen ARM data-processing opcodes, in their 4-bit encoding order.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum DpOp {
@@ -129,7 +128,6 @@ impl fmt::Display for DpOp {
 }
 
 /// A barrel-shifter operation kind.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum ShiftKind {
@@ -336,7 +334,6 @@ impl fmt::Display for Operand2 {
 }
 
 /// A load/store operation kind (size, direction and extension).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemOp {
     /// Load 32-bit word.
@@ -378,7 +375,10 @@ impl MemOp {
     /// (as opposed to the single-data-transfer word/byte encoding).
     #[must_use]
     pub fn is_halfword_form(self) -> bool {
-        matches!(self, MemOp::Ldrh | MemOp::Strh | MemOp::Ldrsb | MemOp::Ldrsh)
+        matches!(
+            self,
+            MemOp::Ldrh | MemOp::Strh | MemOp::Ldrsb | MemOp::Ldrsh
+        )
     }
 }
 

@@ -54,7 +54,7 @@ impl Program {
     /// instruction-aligned.
     #[must_use]
     pub fn index_of(&self, addr: u32) -> Option<usize> {
-        if addr < TEXT_BASE || addr % 4 != 0 {
+        if addr < TEXT_BASE || !addr.is_multiple_of(4) {
             return None;
         }
         let index = ((addr - TEXT_BASE) / 4) as usize;
@@ -69,7 +69,9 @@ impl Program {
         match self.text.get(index) {
             Some(Instr::Branch { offset, .. }) => {
                 let target = index as i64 + 2 + i64::from(*offset);
-                usize::try_from(target).ok().filter(|t| *t < self.text.len())
+                usize::try_from(target)
+                    .ok()
+                    .filter(|t| *t < self.text.len())
             }
             _ => None,
         }

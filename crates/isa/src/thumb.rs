@@ -362,9 +362,7 @@ fn translate_one(instr: &Instr, out: &mut Vec<T16Instr>) {
             DpOp::Add | DpOp::Sub => {
                 let sub = *op == DpOp::Sub;
                 match op2 {
-                    Operand2::Imm(imm)
-                        if imm.value() <= 7 && is_low(*rd) && is_low(*rn) =>
-                    {
+                    Operand2::Imm(imm) if imm.value() <= 7 && is_low(*rd) && is_low(*rn) => {
                         out.push(T16Instr::AddSub3 {
                             sub,
                             rd: *rd,
@@ -423,10 +421,7 @@ fn translate_one(instr: &Instr, out: &mut Vec<T16Instr>) {
             },
             DpOp::Rsb => {
                 // Thumb NEG covers `rsb rd, rn, #0`; everything else expands.
-                if matches!(op2, Operand2::Imm(i) if i.value() == 0)
-                    && is_low(*rd)
-                    && is_low(*rn)
-                {
+                if matches!(op2, Operand2::Imm(i) if i.value() == 0) && is_low(*rd) && is_low(*rn) {
                     if rd != rn {
                         out.push(T16Instr::HiOp(HiOp::Mov, *rd, *rn));
                     }
@@ -465,7 +460,9 @@ fn translate_one(instr: &Instr, out: &mut Vec<T16Instr>) {
                 }
             }
         },
-        Instr::Mul { rd, rm, rs, acc, .. } => {
+        Instr::Mul {
+            rd, rm, rs, acc, ..
+        } => {
             let rd_low = if is_low(*rd) { *rd } else { TMP };
             if rd_low != *rm {
                 out.push(T16Instr::HiOp(HiOp::Mov, rd_low, *rm));
@@ -536,7 +533,11 @@ fn translate_one(instr: &Instr, out: &mut Vec<T16Instr>) {
                         out.push(T16Instr::MemReg(*op, rd_low, base, TMP));
                     }
                 }
-                AddrOffset::Reg { rm, shift, subtract } => {
+                AddrOffset::Reg {
+                    rm,
+                    shift,
+                    subtract,
+                } => {
                     let mut idx = demote(*rm, out);
                     if *shift != Shift::NONE || *subtract {
                         let val = lower_op2(&Operand2::Reg(*rm, *shift), out);
@@ -568,7 +569,7 @@ fn translate_one(instr: &Instr, out: &mut Vec<T16Instr>) {
     return_patch(needs_guard, body_start, out);
 }
 
-fn return_patch(needs_guard: bool, body_start: usize, out: &mut Vec<T16Instr>) {
+fn return_patch(needs_guard: bool, body_start: usize, out: &mut [T16Instr]) {
     if needs_guard {
         let body_len = (out.len() - body_start - 1) as i32;
         if let T16Instr::BCond(_, off) = &mut out[body_start] {
@@ -614,8 +615,7 @@ pub fn translate(program: &Program) -> T16Program {
                 // Either relaxation form costs one extra halfword: a
                 // conditional branch grows to invert + long b, an
                 // unconditional one to the BL-style long form.
-                let out_of_range = (dist.abs() >= limit && *cond != Cond::Al)
-                    || dist.abs() >= 1024;
+                let out_of_range = (dist.abs() >= limit && *cond != Cond::Al) || dist.abs() >= 1024;
                 let needed = u32::from(out_of_range);
                 if extra[i] < needed {
                     extra[i] = needed;
@@ -635,6 +635,363 @@ pub fn translate(program: &Program) -> T16Program {
     }
 
     T16Program { instrs, expansion }
+}
+
+/// Error: a structural T16 instruction has no 16-bit Thumb encoding (e.g. a
+/// `ROR`-by-immediate shift, an immediate-form signed load, or an
+/// out-of-range branch offset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct T16EncodeError {
+    reason: &'static str,
+}
+
+impl fmt::Display for T16EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not encodable in T16: {}", self.reason)
+    }
+}
+
+impl std::error::Error for T16EncodeError {}
+
+/// Error returned when a 16-bit halfword stream is not a valid T16
+/// instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct T16DecodeError {
+    word: u16,
+    reason: &'static str,
+}
+
+impl T16DecodeError {
+    /// The offending halfword.
+    #[must_use]
+    pub fn word(&self) -> u16 {
+        self.word
+    }
+}
+
+impl fmt::Display for T16DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#06x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for T16DecodeError {}
+
+fn enc_err(reason: &'static str) -> T16EncodeError {
+    T16EncodeError { reason }
+}
+
+fn low(r: Reg) -> Result<u16, T16EncodeError> {
+    if is_low(r) {
+        Ok(u16::from(r.index()))
+    } else {
+        Err(enc_err("high register in a low-register field"))
+    }
+}
+
+fn fit_signed(v: i32, bits: u32, reason: &'static str) -> Result<u16, T16EncodeError> {
+    let half = 1i32 << (bits - 1);
+    if (-half..half).contains(&v) {
+        Ok((v as u16) & ((1 << bits) - 1))
+    } else {
+        Err(enc_err(reason))
+    }
+}
+
+impl T16Instr {
+    /// Appends the instruction's halfword encoding (one halfword, or two for
+    /// [`T16Instr::Bl`]) to `out`, using the classic ARM7TDMI Thumb formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`T16EncodeError`] for structural forms the 16-bit encoding
+    /// space cannot express: `ROR`-by-immediate shifts, immediate-form
+    /// signed loads, `b<cond>` with the always condition, and field
+    /// overflows (shift amounts, displacements, branch offsets).
+    pub fn encode(&self, out: &mut Vec<u16>) -> Result<(), T16EncodeError> {
+        let half = match *self {
+            T16Instr::ShiftImm(kind, rd, rm, n) => {
+                let op = match kind {
+                    ShiftKind::Lsl => 0u16,
+                    ShiftKind::Lsr => 1,
+                    ShiftKind::Asr => 2,
+                    ShiftKind::Ror => return Err(enc_err("ROR by immediate")),
+                };
+                let imm5 = match (kind, n) {
+                    (ShiftKind::Lsl, 0..=31) => u16::from(n),
+                    (ShiftKind::Lsr | ShiftKind::Asr, 1..=31) => u16::from(n),
+                    (ShiftKind::Lsr | ShiftKind::Asr, 32) => 0,
+                    _ => return Err(enc_err("shift amount out of range")),
+                };
+                (op << 11) | (imm5 << 6) | (low(rm)? << 3) | low(rd)?
+            }
+            T16Instr::AddSub3 { sub, rd, rn, rhs } => {
+                let (i, field) = match rhs {
+                    AddSubRhs::Reg(rm) => (0u16, low(rm)?),
+                    AddSubRhs::Imm3(n) => {
+                        if n > 7 {
+                            return Err(enc_err("imm3 out of range"));
+                        }
+                        (1, u16::from(n))
+                    }
+                };
+                0b0001_1000_0000_0000
+                    | (i << 10)
+                    | (u16::from(sub) << 9)
+                    | (field << 6)
+                    | (low(rn)? << 3)
+                    | low(rd)?
+            }
+            T16Instr::Imm8(op, rd, n) => {
+                let op = match op {
+                    Imm8Op::Mov => 0u16,
+                    Imm8Op::Cmp => 1,
+                    Imm8Op::Add => 2,
+                    Imm8Op::Sub => 3,
+                };
+                0b0010_0000_0000_0000 | (op << 11) | (low(rd)? << 8) | u16::from(n)
+            }
+            T16Instr::Alu(op, rd, rm) => {
+                0b0100_0000_0000_0000 | ((op as u16) << 6) | (low(rm)? << 3) | low(rd)?
+            }
+            T16Instr::HiOp(op, rd, rm) => {
+                let op = match op {
+                    HiOp::Add => 0u16,
+                    HiOp::Cmp => 1,
+                    HiOp::Mov => 2,
+                };
+                let h1 = u16::from(rd.index() >> 3);
+                let h2 = u16::from(rm.index() >> 3);
+                0b0100_0100_0000_0000
+                    | (op << 8)
+                    | (h1 << 7)
+                    | (h2 << 6)
+                    | (u16::from(rm.index() & 7) << 3)
+                    | u16::from(rd.index() & 7)
+            }
+            T16Instr::Bx(rm) => {
+                let h2 = u16::from(rm.index() >> 3);
+                0b0100_0111_0000_0000 | (h2 << 6) | (u16::from(rm.index() & 7) << 3)
+            }
+            T16Instr::MemReg(op, rd, rn, rm) => {
+                let bits = match op {
+                    MemOp::Str => 0b000u16,
+                    MemOp::Strb => 0b010,
+                    MemOp::Ldr => 0b100,
+                    MemOp::Ldrb => 0b110,
+                    // The `1` in bit 9 selects the halfword/signed group.
+                    MemOp::Strh => 0b001,
+                    MemOp::Ldrsb => 0b011,
+                    MemOp::Ldrh => 0b101,
+                    MemOp::Ldrsh => 0b111,
+                };
+                0b0101_0000_0000_0000 | (bits << 9) | (low(rm)? << 6) | (low(rn)? << 3) | low(rd)?
+            }
+            T16Instr::MemImm(op, rd, rn, n) => {
+                if n > 31 {
+                    return Err(enc_err("imm5 displacement out of range"));
+                }
+                let imm5 = u16::from(n);
+                let base = match op {
+                    MemOp::Str => 0b0110_0000_0000_0000u16,
+                    MemOp::Ldr => 0b0110_1000_0000_0000,
+                    MemOp::Strb => 0b0111_0000_0000_0000,
+                    MemOp::Ldrb => 0b0111_1000_0000_0000,
+                    MemOp::Strh => 0b1000_0000_0000_0000,
+                    MemOp::Ldrh => 0b1000_1000_0000_0000,
+                    MemOp::Ldrsb | MemOp::Ldrsh => {
+                        return Err(enc_err("signed load has no immediate form"))
+                    }
+                };
+                base | (imm5 << 6) | (low(rn)? << 3) | low(rd)?
+            }
+            T16Instr::MemSp { load, rd, imm8 } => {
+                0b1001_0000_0000_0000 | (u16::from(load) << 11) | (low(rd)? << 8) | u16::from(imm8)
+            }
+            T16Instr::BCond(cond, off) => {
+                if cond == Cond::Al || cond.bits() == 0b1111 {
+                    return Err(enc_err("conditional branch with AL/NV condition"));
+                }
+                0b1101_0000_0000_0000
+                    | (u16::from(cond.bits()) << 8)
+                    | fit_signed(off, 8, "conditional branch offset out of range")?
+            }
+            T16Instr::B(off) => {
+                0b1110_0000_0000_0000 | fit_signed(off, 11, "branch offset out of range")?
+            }
+            T16Instr::Swi(n) => 0b1101_1111_0000_0000 | u16::from(n),
+            T16Instr::Bl(off) => {
+                if !(-(1 << 21)..(1 << 21)).contains(&off) {
+                    return Err(enc_err("BL offset out of range"));
+                }
+                let hi = ((off >> 11) as u16) & 0x7ff;
+                let lo = (off as u16) & 0x7ff;
+                out.push(0b1111_0000_0000_0000 | hi);
+                out.push(0b1111_1000_0000_0000 | lo);
+                return Ok(());
+            }
+        };
+        out.push(half);
+        Ok(())
+    }
+
+    /// Decodes the T16 instruction at the head of `stream`, returning it and
+    /// the number of halfwords consumed (1, or 2 for `BL`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`T16DecodeError`] for halfwords in unallocated or
+    /// unsupported Thumb format space (PC-relative loads, `PUSH`/`POP`,
+    /// block transfers, `ADD` to PC/SP, Thumb-2 prefixes) and for a
+    /// truncated or unpaired `BL`.
+    pub fn decode(stream: &[u16]) -> Result<(T16Instr, usize), T16DecodeError> {
+        let Some(&w) = stream.first() else {
+            return Err(T16DecodeError {
+                word: 0,
+                reason: "empty stream",
+            });
+        };
+        let err = |reason| T16DecodeError { word: w, reason };
+        let reg3 = |shift: u16| Reg::new(((w >> shift) & 7) as u8);
+        let instr = match w >> 11 {
+            0b00000..=0b00010 => {
+                let kind = match w >> 11 {
+                    0b00000 => ShiftKind::Lsl,
+                    0b00001 => ShiftKind::Lsr,
+                    _ => ShiftKind::Asr,
+                };
+                let raw = ((w >> 6) & 0x1f) as u8;
+                let n = if raw == 0 && kind != ShiftKind::Lsl {
+                    32
+                } else {
+                    raw
+                };
+                T16Instr::ShiftImm(kind, reg3(0), reg3(3), n)
+            }
+            0b00011 => {
+                let rhs = if w & (1 << 10) != 0 {
+                    AddSubRhs::Imm3(((w >> 6) & 7) as u8)
+                } else {
+                    AddSubRhs::Reg(reg3(6))
+                };
+                T16Instr::AddSub3 {
+                    sub: w & (1 << 9) != 0,
+                    rd: reg3(0),
+                    rn: reg3(3),
+                    rhs,
+                }
+            }
+            0b00100..=0b00111 => {
+                let op = match (w >> 11) & 3 {
+                    0 => Imm8Op::Mov,
+                    1 => Imm8Op::Cmp,
+                    2 => Imm8Op::Add,
+                    _ => Imm8Op::Sub,
+                };
+                T16Instr::Imm8(op, reg3(8), (w & 0xff) as u8)
+            }
+            0b01000 => {
+                if w & (1 << 10) == 0 {
+                    let op = match (w >> 6) & 0xf {
+                        0 => T16Alu::And,
+                        1 => T16Alu::Eor,
+                        2 => T16Alu::Lsl,
+                        3 => T16Alu::Lsr,
+                        4 => T16Alu::Asr,
+                        5 => T16Alu::Adc,
+                        6 => T16Alu::Sbc,
+                        7 => T16Alu::Ror,
+                        8 => T16Alu::Tst,
+                        9 => T16Alu::Neg,
+                        10 => T16Alu::Cmp,
+                        11 => T16Alu::Cmn,
+                        12 => T16Alu::Orr,
+                        13 => T16Alu::Mul,
+                        14 => T16Alu::Bic,
+                        _ => T16Alu::Mvn,
+                    };
+                    T16Instr::Alu(op, reg3(0), reg3(3))
+                } else {
+                    let rd = Reg::new((((w >> 7) & 1) << 3 | (w & 7)) as u8);
+                    let rm = Reg::new((((w >> 6) & 1) << 3 | ((w >> 3) & 7)) as u8);
+                    match (w >> 8) & 3 {
+                        0 => T16Instr::HiOp(HiOp::Add, rd, rm),
+                        1 => T16Instr::HiOp(HiOp::Cmp, rd, rm),
+                        2 => T16Instr::HiOp(HiOp::Mov, rd, rm),
+                        _ => {
+                            if w & (1 << 7) != 0 || w & 7 != 0 {
+                                return Err(err("malformed BX"));
+                            }
+                            T16Instr::Bx(rm)
+                        }
+                    }
+                }
+            }
+            0b01001 => return Err(err("PC-relative load unsupported")),
+            0b01010 | 0b01011 => {
+                let op = match (w >> 9) & 7 {
+                    0b000 => MemOp::Str,
+                    0b010 => MemOp::Strb,
+                    0b100 => MemOp::Ldr,
+                    0b110 => MemOp::Ldrb,
+                    0b001 => MemOp::Strh,
+                    0b011 => MemOp::Ldrsb,
+                    0b101 => MemOp::Ldrh,
+                    _ => MemOp::Ldrsh,
+                };
+                T16Instr::MemReg(op, reg3(0), reg3(3), reg3(6))
+            }
+            0b01100..=0b10001 => {
+                let op = match (w >> 11) & 0b11111 {
+                    0b01100 => MemOp::Str,
+                    0b01101 => MemOp::Ldr,
+                    0b01110 => MemOp::Strb,
+                    0b01111 => MemOp::Ldrb,
+                    0b10000 => MemOp::Strh,
+                    _ => MemOp::Ldrh,
+                };
+                T16Instr::MemImm(op, reg3(0), reg3(3), ((w >> 6) & 0x1f) as u8)
+            }
+            0b10010 | 0b10011 => T16Instr::MemSp {
+                load: w & (1 << 11) != 0,
+                rd: reg3(8),
+                imm8: (w & 0xff) as u8,
+            },
+            0b10100 | 0b10101 => return Err(err("ADD to PC/SP unsupported")),
+            0b10110 | 0b10111 => return Err(err("misc format space unsupported")),
+            0b11000 | 0b11001 => return Err(err("block transfer unsupported")),
+            0b11010 | 0b11011 => {
+                let cond_bits = ((w >> 8) & 0xf) as u8;
+                if cond_bits == 0b1111 {
+                    T16Instr::Swi((w & 0xff) as u8)
+                } else if cond_bits == 0b1110 {
+                    return Err(err("undefined conditional-branch slot"));
+                } else {
+                    let off = i32::from((w & 0xff) as i8);
+                    T16Instr::BCond(Cond::from_bits(cond_bits), off)
+                }
+            }
+            0b11100 => {
+                let off = ((i32::from(w & 0x7ff)) << 21) >> 21;
+                T16Instr::B(off)
+            }
+            0b11101 => return Err(err("Thumb-2 prefix space")),
+            0b11110 => {
+                let Some(&w2) = stream.get(1) else {
+                    return Err(err("truncated BL"));
+                };
+                if w2 >> 11 != 0b11111 {
+                    return Err(err("BL prefix without suffix"));
+                }
+                let hi = i32::from(w & 0x7ff);
+                let lo = i32::from(w2 & 0x7ff);
+                let off = ((hi << 11 | lo) << 10) >> 10;
+                return Ok((T16Instr::Bl(off), 2));
+            }
+            _ => return Err(err("BL suffix without prefix")),
+        };
+        Ok((instr, 1))
+    }
 }
 
 #[cfg(test)]
@@ -728,7 +1085,14 @@ mod tests {
         let p = prog(vec![Instr::mem(MemOp::Ldr, Reg::R0, Reg::SP, 16)]);
         let t = translate(&p);
         assert_eq!(t.expansion, vec![1]);
-        assert!(matches!(t.instrs[0], T16Instr::MemSp { load: true, imm8: 4, .. }));
+        assert!(matches!(
+            t.instrs[0],
+            T16Instr::MemSp {
+                load: true,
+                imm8: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -740,7 +1104,12 @@ mod tests {
             offset: 300,
         }];
         for _ in 0..302 {
-            text.push(Instr::dp(DpOp::Add, Reg::R0, Reg::R0, Operand2::imm(1).unwrap()));
+            text.push(Instr::dp(
+                DpOp::Add,
+                Reg::R0,
+                Reg::R0,
+                Operand2::imm(1).unwrap(),
+            ));
         }
         let t = translate(&prog(text));
         assert_eq!(t.expansion[0], 2);

@@ -1,186 +1,441 @@
 //! Property tests: every constructible AR32 instruction must survive an
-//! encode → decode round trip, and rotated immediates must be value-exact.
+//! encode → decode round trip, rotated immediates must be value-exact, T16
+//! instructions must survive their halfword round trip, and reserved /
+//! invalid bit patterns must be rejected rather than mis-decoded. These
+//! properties feed the `fits-verify` encoding-soundness checker, which
+//! assumes both fixed ISAs have exact, total codecs over their valid forms.
+//!
+//! Randomness comes from the workspace's deterministic `fits-rng` stream,
+//! so failures reproduce exactly; each test walks a fixed seed range.
 
+#![allow(clippy::unwrap_used)]
+
+use fits_isa::thumb::{AddSubRhs, HiOp, Imm8Op, T16Alu, T16Instr};
 use fits_isa::{
     AddrOffset, Cond, DpOp, Index, Instr, MemOp, Operand2, Reg, RotImm, Shift, ShiftKind,
 };
-use proptest::prelude::*;
+use fits_rng::StdRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(Reg::new)
+const ITERS: usize = 20_000;
+
+fn arb_reg(r: &mut StdRng) -> Reg {
+    Reg::new(r.gen_range(0..16u8))
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    (0u8..16).prop_map(Cond::from_bits)
+fn arb_low_reg(r: &mut StdRng) -> Reg {
+    Reg::new(r.gen_range(0..8u8))
 }
 
-fn arb_shift_kind() -> impl Strategy<Value = ShiftKind> {
-    (0u8..4).prop_map(ShiftKind::from_bits)
+fn arb_cond(r: &mut StdRng) -> Cond {
+    Cond::from_bits(r.gen_range(0..16u8))
 }
 
-fn arb_shift() -> impl Strategy<Value = Shift> {
-    prop_oneof![
-        Just(Shift::NONE),
-        (1u8..32).prop_map(|n| Shift::Imm(ShiftKind::Lsl, n.min(31))),
-        (1u8..=32).prop_map(|n| Shift::Imm(ShiftKind::Lsr, n)),
-        (1u8..=32).prop_map(|n| Shift::Imm(ShiftKind::Asr, n)),
-        (1u8..32).prop_map(|n| Shift::Imm(ShiftKind::Ror, n)),
-        (arb_shift_kind(), arb_reg()).prop_map(|(k, r)| Shift::Reg(k, r)),
-    ]
+fn arb_shift_kind(r: &mut StdRng) -> ShiftKind {
+    ShiftKind::from_bits(r.gen_range(0..4u8))
 }
 
-fn arb_op2() -> impl Strategy<Value = Operand2> {
-    prop_oneof![
-        (any::<u8>(), 0u8..16).prop_map(|(imm8, rot)| Operand2::Imm(RotImm::from_fields(imm8, rot))),
-        (arb_reg(), arb_shift()).prop_map(|(r, s)| Operand2::Reg(r, s)),
-    ]
+fn arb_shift(r: &mut StdRng) -> Shift {
+    match r.gen_range(0..6u8) {
+        0 => Shift::NONE,
+        1 => Shift::Imm(ShiftKind::Lsl, r.gen_range(1..32u8).min(31)),
+        2 => Shift::Imm(ShiftKind::Lsr, r.gen_range(1..=32u8)),
+        3 => Shift::Imm(ShiftKind::Asr, r.gen_range(1..=32u8)),
+        4 => Shift::Imm(ShiftKind::Ror, r.gen_range(1..32u8)),
+        _ => Shift::Reg(arb_shift_kind(r), arb_reg(r)),
+    }
 }
 
-fn arb_dp() -> impl Strategy<Value = Instr> {
-    (
-        arb_cond(),
-        (0u8..16).prop_map(DpOp::from_bits),
-        any::<bool>(),
-        arb_reg(),
-        arb_reg(),
-        arb_op2(),
-    )
-        .prop_map(|(cond, op, s, rd, rn, op2)| Instr::Dp {
-            cond,
-            op,
-            set_flags: s || op.is_compare(),
-            rd,
-            rn,
-            op2,
-        })
+fn arb_op2(r: &mut StdRng) -> Operand2 {
+    if r.gen() {
+        Operand2::Imm(RotImm::from_fields(r.gen(), r.gen_range(0..16u8)))
+    } else {
+        Operand2::Reg(arb_reg(r), arb_shift(r))
+    }
 }
 
-fn arb_mem_op() -> impl Strategy<Value = MemOp> {
-    prop_oneof![
-        Just(MemOp::Ldr),
-        Just(MemOp::Str),
-        Just(MemOp::Ldrb),
-        Just(MemOp::Strb),
-        Just(MemOp::Ldrh),
-        Just(MemOp::Strh),
-        Just(MemOp::Ldrsb),
-        Just(MemOp::Ldrsh),
-    ]
+fn arb_dp(r: &mut StdRng) -> Instr {
+    let op = DpOp::from_bits(r.gen_range(0..16u8));
+    Instr::Dp {
+        cond: arb_cond(r),
+        op,
+        set_flags: r.gen::<bool>() || op.is_compare(),
+        rd: arb_reg(r),
+        rn: arb_reg(r),
+        op2: arb_op2(r),
+    }
 }
 
-fn arb_index() -> impl Strategy<Value = Index> {
-    prop_oneof![Just(Index::PreNoWb), Just(Index::PreWb), Just(Index::Post)]
+const MEM_OPS: [MemOp; 8] = [
+    MemOp::Ldr,
+    MemOp::Str,
+    MemOp::Ldrb,
+    MemOp::Strb,
+    MemOp::Ldrh,
+    MemOp::Strh,
+    MemOp::Ldrsb,
+    MemOp::Ldrsh,
+];
+
+fn arb_mem(r: &mut StdRng) -> Option<Instr> {
+    let op = MEM_OPS[r.gen_range(0..MEM_OPS.len())];
+    let index = match r.gen_range(0..3u8) {
+        0 => Index::PreNoWb,
+        1 => Index::PreWb,
+        _ => Index::Post,
+    };
+    let offset = match r.gen_range(0..3u8) {
+        0 => AddrOffset::Imm(r.gen_range(-4095..=4095)),
+        1 => AddrOffset::Reg {
+            rm: arb_reg(r),
+            shift: Shift::NONE,
+            subtract: r.gen(),
+        },
+        _ => AddrOffset::Reg {
+            rm: arb_reg(r),
+            shift: Shift::Imm(arb_shift_kind(r), r.gen_range(1..31u8)),
+            subtract: r.gen(),
+        },
+    };
+    // Halfword-form transfers take a narrower displacement and no shift.
+    let offset = match offset {
+        AddrOffset::Imm(d) if op.is_halfword_form() => AddrOffset::Imm(d.clamp(-255, 255)),
+        AddrOffset::Reg { rm, subtract, .. } if op.is_halfword_form() => AddrOffset::Reg {
+            rm,
+            shift: Shift::NONE,
+            subtract,
+        },
+        o => o,
+    };
+    offset.is_valid_for(op).then_some(Instr::Mem {
+        cond: arb_cond(r),
+        op,
+        rd: arb_reg(r),
+        rn: arb_reg(r),
+        offset,
+        index,
+    })
 }
 
-fn arb_mem() -> impl Strategy<Value = Instr> {
-    (
-        arb_cond(),
-        arb_mem_op(),
-        arb_reg(),
-        arb_reg(),
-        arb_index(),
-        prop_oneof![
-            (-4095i32..=4095).prop_map(AddrOffset::Imm),
-            (arb_reg(), any::<bool>()).prop_map(|(rm, subtract)| AddrOffset::Reg {
-                rm,
-                shift: Shift::NONE,
-                subtract,
-            }),
-            (arb_reg(), any::<bool>(), 1u8..31, arb_shift_kind()).prop_map(
-                |(rm, subtract, n, k)| AddrOffset::Reg {
-                    rm,
-                    shift: Shift::Imm(k, n),
-                    subtract,
-                }
-            ),
-        ],
-    )
-        .prop_filter_map("offset must fit the op", |(cond, op, rd, rn, index, offset)| {
-            // Halfword-form transfers take a narrower displacement and no shift.
-            let offset = match offset {
-                AddrOffset::Imm(d) if op.is_halfword_form() => AddrOffset::Imm(d.clamp(-255, 255)),
-                AddrOffset::Reg { rm, subtract, .. } if op.is_halfword_form() => AddrOffset::Reg {
-                    rm,
-                    shift: Shift::NONE,
-                    subtract,
-                },
-                o => o,
-            };
-            // Zero displacement with "subtract" re-encodes as +0; skip the
-            // non-canonical source form.
-            if let AddrOffset::Imm(d) = offset {
-                if d < 0 && d == 0 {
-                    return None;
+fn arb_instr(r: &mut StdRng) -> Instr {
+    loop {
+        match r.gen_range(0..5u8) {
+            0 | 1 => return arb_dp(r),
+            2 => {
+                if let Some(i) = arb_mem(r) {
+                    return i;
                 }
             }
-            offset.is_valid_for(op).then_some(Instr::Mem {
-                cond,
-                op,
-                rd,
-                rn,
-                offset,
-                index,
-            })
-        })
+            3 => {
+                return Instr::Mul {
+                    cond: arb_cond(r),
+                    set_flags: r.gen(),
+                    rd: arb_reg(r),
+                    rm: arb_reg(r),
+                    rs: arb_reg(r),
+                    acc: r.gen::<bool>().then(|| arb_reg(r)),
+                }
+            }
+            _ => {
+                return if r.gen() {
+                    Instr::Branch {
+                        cond: arb_cond(r),
+                        link: r.gen(),
+                        offset: r.gen_range(-(1 << 23)..(1 << 23)),
+                    }
+                } else {
+                    Instr::Swi {
+                        cond: arb_cond(r),
+                        imm: r.gen_range(0..1u32 << 24),
+                    }
+                };
+            }
+        }
+    }
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        arb_dp(),
-        arb_mem(),
-        (arb_cond(), arb_reg(), arb_reg(), arb_reg(), any::<bool>(), proptest::option::of(arb_reg()))
-            .prop_map(|(cond, rd, rm, rs, s, acc)| Instr::Mul {
-                cond,
-                set_flags: s,
-                rd,
-                rm,
-                rs,
-                acc,
-            }),
-        (arb_cond(), any::<bool>(), -(1i32 << 23)..(1i32 << 23))
-            .prop_map(|(cond, link, offset)| Instr::Branch { cond, link, offset }),
-        (arb_cond(), 0u32..(1 << 24)).prop_map(|(cond, imm)| Instr::Swi { cond, imm }),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn encode_decode_round_trip(instr in arb_instr()) {
+#[test]
+fn encode_decode_round_trip() {
+    let mut r = StdRng::seed_from_u64(0x1234);
+    for _ in 0..ITERS {
+        let instr = arb_instr(&mut r);
         let word = instr.encode();
         let back = Instr::decode(word).expect("generated instruction must decode");
-        // Immediate displacement of -0 decodes as +0; both denote the same
-        // address, so compare modulo that normalization.
-        let normalize = |i: Instr| match i {
-            Instr::Mem { cond, op, rd, rn, offset: AddrOffset::Imm(0), index } =>
-                Instr::Mem { cond, op, rd, rn, offset: AddrOffset::Imm(0), index },
-            other => other,
-        };
-        prop_assert_eq!(normalize(back), normalize(instr));
+        assert_eq!(back, instr, "round trip through {word:#010x}");
     }
+}
 
-    #[test]
-    fn rot_imm_round_trip(imm8 in any::<u8>(), rot in 0u8..16) {
-        let imm = RotImm::from_fields(imm8, rot);
+#[test]
+fn rot_imm_round_trip() {
+    let mut r = StdRng::seed_from_u64(0x5678);
+    for _ in 0..ITERS {
+        let imm = RotImm::from_fields(r.gen(), r.gen_range(0..16u8));
         let canonical = RotImm::encode(imm.value()).expect("value came from an encoding");
-        prop_assert_eq!(canonical.value(), imm.value());
+        assert_eq!(canonical.value(), imm.value());
     }
+}
 
-    #[test]
-    fn rot_imm_encode_is_exact(v in any::<u32>()) {
+#[test]
+fn rot_imm_encode_is_exact() {
+    let mut r = StdRng::seed_from_u64(0x9abc);
+    for _ in 0..ITERS {
+        let v: u32 = r.gen();
         if let Some(imm) = RotImm::encode(v) {
-            prop_assert_eq!(imm.value(), v);
+            assert_eq!(imm.value(), v);
         }
     }
+}
 
-    #[test]
-    fn display_never_panics(instr in arb_instr()) {
-        let _ = instr.to_string();
+#[test]
+fn display_never_panics() {
+    let mut r = StdRng::seed_from_u64(0xdef0);
+    for _ in 0..ITERS {
+        let _ = arb_instr(&mut r).to_string();
     }
+}
 
-    #[test]
-    fn reads_writes_are_registers(instr in arb_instr()) {
-        for r in instr.reads().into_iter().chain(instr.writes()) {
-            prop_assert!(r.index() < 16);
+#[test]
+fn reads_writes_are_registers() {
+    let mut r = StdRng::seed_from_u64(0x1111);
+    for _ in 0..ITERS {
+        let instr = arb_instr(&mut r);
+        for reg in instr.reads().into_iter().chain(instr.writes()) {
+            assert!(reg.index() < 16);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// AR32 rejection: decoding must be a partial function that *fails* on
+// reserved patterns, never mis-decodes them, and is idempotent through a
+// re-encode on everything it accepts.
+
+#[test]
+fn ar32_decode_rejects_reserved_patterns() {
+    // One representative per unsupported class; the fuzz test below covers
+    // the space broadly.
+    let reserved: &[(u32, &str)] = &[
+        (0xe8bd_8000, "block data transfer (LDM/STM)"),
+        (0xee00_0000, "coprocessor op"),
+        (0xe10f_0000, "PSR transfer (compare without S)"),
+        (0xe1a0_0062, "RRX shifter form"),
+        (0xe080_0291, "long multiply (UMULL)"),
+        (0xe000_02b1, "signed store form (STRSB slot)"),
+        (0xe000_1291, "MUL with nonzero Rn field"),
+    ];
+    for &(word, what) in reserved {
+        assert!(
+            Instr::decode(word).is_err(),
+            "{what} ({word:#010x}) must be rejected"
+        );
+    }
+}
+
+#[test]
+fn ar32_decode_is_stable_under_reencode() {
+    // For arbitrary 32-bit words: decoding either fails, or produces an
+    // instruction whose re-encoding decodes to the same instruction
+    // (decode ∘ encode ∘ decode = decode). Non-canonical source words (e.g.
+    // a subtracting zero displacement) may re-encode differently, but the
+    // *meaning* must be preserved.
+    let mut r = StdRng::seed_from_u64(0x2222);
+    let mut accepted = 0usize;
+    for _ in 0..ITERS * 5 {
+        let word: u32 = r.gen();
+        if let Ok(instr) = Instr::decode(word) {
+            accepted += 1;
+            let again = Instr::decode(instr.encode()).expect("re-encoded word must decode");
+            assert_eq!(again, instr, "unstable decode of {word:#010x}");
+        }
+    }
+    assert!(accepted > 0, "fuzz should hit some valid encodings");
+}
+
+// ---------------------------------------------------------------------------
+// T16: halfword round trips and rejection of unsupported format space.
+
+const T16_ALU_OPS: [T16Alu; 16] = [
+    T16Alu::And,
+    T16Alu::Eor,
+    T16Alu::Lsl,
+    T16Alu::Lsr,
+    T16Alu::Asr,
+    T16Alu::Adc,
+    T16Alu::Sbc,
+    T16Alu::Ror,
+    T16Alu::Tst,
+    T16Alu::Neg,
+    T16Alu::Cmp,
+    T16Alu::Cmn,
+    T16Alu::Orr,
+    T16Alu::Mul,
+    T16Alu::Bic,
+    T16Alu::Mvn,
+];
+
+fn arb_t16(r: &mut StdRng) -> T16Instr {
+    match r.gen_range(0..12u8) {
+        0 => {
+            let kind = match r.gen_range(0..3u8) {
+                0 => ShiftKind::Lsl,
+                1 => ShiftKind::Lsr,
+                _ => ShiftKind::Asr,
+            };
+            let n = match kind {
+                ShiftKind::Lsl => r.gen_range(0..32u8),
+                _ => r.gen_range(1..=32u8),
+            };
+            T16Instr::ShiftImm(kind, arb_low_reg(r), arb_low_reg(r), n)
+        }
+        1 => T16Instr::AddSub3 {
+            sub: r.gen(),
+            rd: arb_low_reg(r),
+            rn: arb_low_reg(r),
+            rhs: if r.gen() {
+                AddSubRhs::Reg(arb_low_reg(r))
+            } else {
+                AddSubRhs::Imm3(r.gen_range(0..8u8))
+            },
+        },
+        2 => {
+            let op = match r.gen_range(0..4u8) {
+                0 => Imm8Op::Mov,
+                1 => Imm8Op::Cmp,
+                2 => Imm8Op::Add,
+                _ => Imm8Op::Sub,
+            };
+            T16Instr::Imm8(op, arb_low_reg(r), r.gen())
+        }
+        3 => T16Instr::Alu(
+            T16_ALU_OPS[r.gen_range(0..16usize)],
+            arb_low_reg(r),
+            arb_low_reg(r),
+        ),
+        4 => {
+            let op = match r.gen_range(0..3u8) {
+                0 => HiOp::Add,
+                1 => HiOp::Cmp,
+                _ => HiOp::Mov,
+            };
+            T16Instr::HiOp(op, arb_reg(r), arb_reg(r))
+        }
+        5 => T16Instr::Bx(arb_reg(r)),
+        6 => T16Instr::MemReg(
+            MEM_OPS[r.gen_range(0..MEM_OPS.len())],
+            arb_low_reg(r),
+            arb_low_reg(r),
+            arb_low_reg(r),
+        ),
+        7 => {
+            let op = match r.gen_range(0..6u8) {
+                0 => MemOp::Ldr,
+                1 => MemOp::Str,
+                2 => MemOp::Ldrb,
+                3 => MemOp::Strb,
+                4 => MemOp::Ldrh,
+                _ => MemOp::Strh,
+            };
+            T16Instr::MemImm(op, arb_low_reg(r), arb_low_reg(r), r.gen_range(0..32u8))
+        }
+        8 => T16Instr::MemSp {
+            load: r.gen(),
+            rd: arb_low_reg(r),
+            imm8: r.gen(),
+        },
+        9 => {
+            // Valid condition codes only: not AL (1110) and not the SWI
+            // slot (1111).
+            let cond = Cond::from_bits(r.gen_range(0..14u8));
+            T16Instr::BCond(cond, r.gen_range(-128..=127))
+        }
+        10 => {
+            if r.gen() {
+                T16Instr::B(r.gen_range(-1024..=1023))
+            } else {
+                T16Instr::Bl(r.gen_range(-(1 << 21)..1 << 21))
+            }
+        }
+        _ => T16Instr::Swi(r.gen()),
+    }
+}
+
+#[test]
+fn t16_encode_decode_round_trip() {
+    let mut r = StdRng::seed_from_u64(0x3333);
+    for _ in 0..ITERS {
+        let instr = arb_t16(&mut r);
+        let mut words = Vec::new();
+        instr
+            .encode(&mut words)
+            .unwrap_or_else(|e| panic!("generated T16 instruction must encode: {instr}: {e}"));
+        assert_eq!(words.len() * 2, instr.size(), "size() matches encoding");
+        let (back, used) = T16Instr::decode(&words).expect("encoded T16 must decode");
+        assert_eq!(used, words.len());
+        assert_eq!(back, instr);
+    }
+}
+
+#[test]
+fn t16_encode_rejects_unencodable_forms() {
+    let mut bad = Vec::new();
+    // ROR by immediate does not exist in format 1.
+    assert!(T16Instr::ShiftImm(ShiftKind::Ror, Reg::R0, Reg::R1, 3)
+        .encode(&mut bad)
+        .is_err());
+    // Signed loads have no immediate-displacement form.
+    assert!(T16Instr::MemImm(MemOp::Ldrsh, Reg::R0, Reg::R1, 0)
+        .encode(&mut bad)
+        .is_err());
+    // High register in a low-register field.
+    assert!(T16Instr::Alu(T16Alu::And, Reg::R9, Reg::R1)
+        .encode(&mut bad)
+        .is_err());
+    // AL condition belongs to the unconditional branch, not format 16.
+    assert!(T16Instr::BCond(Cond::Al, 4).encode(&mut bad).is_err());
+    // Branch offsets out of field range.
+    assert!(T16Instr::B(2048).encode(&mut bad).is_err());
+    assert!(T16Instr::BCond(Cond::Eq, 200).encode(&mut bad).is_err());
+    assert!(bad.is_empty(), "failed encodes must not emit halfwords");
+}
+
+#[test]
+fn t16_decode_rejects_reserved_patterns() {
+    let reserved: &[(u16, &str)] = &[
+        (0b0100_1000_0000_0000, "PC-relative load"),
+        (0b1010_0000_0000_0000, "ADD to PC"),
+        (0b1011_0000_0000_0000, "misc format space"),
+        (0b1100_0000_0000_0000, "block transfer"),
+        (0b1101_1110_0000_0000, "undefined conditional-branch slot"),
+        (0b1110_1000_0000_0000, "Thumb-2 prefix space"),
+        (0b1111_1000_0000_0000, "BL suffix without prefix"),
+        (0b0100_0111_1000_0000, "malformed BX (H1 set)"),
+    ];
+    for &(word, what) in reserved {
+        assert!(
+            T16Instr::decode(&[word]).is_err(),
+            "{what} ({word:#06x}) must be rejected"
+        );
+    }
+    // A BL prefix must be followed by its suffix halfword.
+    assert!(T16Instr::decode(&[0b1111_0000_0000_0001]).is_err());
+    assert!(T16Instr::decode(&[0b1111_0000_0000_0001, 0]).is_err());
+}
+
+#[test]
+fn t16_decode_is_stable_under_reencode() {
+    let mut r = StdRng::seed_from_u64(0x4444);
+    let mut accepted = 0usize;
+    for _ in 0..ITERS * 5 {
+        let word: u16 = r.gen();
+        let stream = [word, 0b1111_1000_0000_0000 | (r.gen::<u16>() & 0x7ff)];
+        if let Ok((instr, used)) = T16Instr::decode(&stream) {
+            accepted += 1;
+            let mut words = Vec::new();
+            instr
+                .encode(&mut words)
+                .expect("decoded T16 instruction must re-encode");
+            assert_eq!(words.len(), used, "{word:#06x}");
+            assert_eq!(&words[..], &stream[..used], "{word:#06x}");
+        }
+    }
+    assert!(accepted > 0, "fuzz should hit some valid encodings");
 }

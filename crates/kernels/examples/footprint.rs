@@ -1,7 +1,17 @@
+//! Prints each kernel's static code/data footprint.
+
+#![allow(clippy::unwrap_used)]
+
 use fits_kernels::kernels::{Kernel, Scale};
 fn main() {
     for k in Kernel::ALL {
         let p = k.compile(Scale::experiment()).unwrap();
-        println!("{:18} {:6} instrs  {:6} bytes text  {:7} bytes data", k.name(), p.text.len(), p.code_bytes(), p.data.len());
+        println!(
+            "{:18} {:6} instrs  {:6} bytes text  {:7} bytes data",
+            k.name(),
+            p.text.len(),
+            p.code_bytes(),
+            p.data.len()
+        );
     }
 }

@@ -263,7 +263,11 @@ impl FnBuilder {
         self.stack.push(Vec::new());
         els(self);
         let e = self.stack.pop().expect("else block");
-        self.push(Stmt::If { cond, then: t, els: e });
+        self.push(Stmt::If {
+            cond,
+            then: t,
+            els: e,
+        });
     }
 
     /// Structured top-tested loop.

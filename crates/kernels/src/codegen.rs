@@ -12,8 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use fits_isa::{
-    AddrOffset, Cond as ACond, DpOp, Instr, MemOp, Operand2, Program, Reg, Shift,
-    ShiftKind,
+    AddrOffset, Cond as ACond, DpOp, Instr, MemOp, Operand2, Program, Reg, Shift, ShiftKind,
 };
 
 use crate::ir::{BinOp, CmpOp, Cond, Module, Operand, UnOp, Width};
@@ -231,7 +230,11 @@ impl<'a> FnEmitter<'a> {
         } else {
             // base + disp doesn't fit the offset field: split via SCR2 (or
             // SCR1 if the data register is SCR2).
-            let tmp = if data == SCR2 || base == SCR2 { SCR1 } else { SCR2 };
+            let tmp = if data == SCR2 || base == SCR2 {
+                SCR1
+            } else {
+                SCR2
+            };
             self.emit_const(tmp, disp as u32);
             self.push(Instr::dp(DpOp::Add, tmp, base, Operand2::reg(tmp)));
             self.push(Instr::mem(op, data, tmp, 0));
@@ -304,14 +307,23 @@ impl<'a> FnEmitter<'a> {
                 let ra = self.read(a, SCR1);
                 // Fold negated immediates: `add #-n` -> `sub #n`.
                 let (dp, op2) = match b {
-                    Operand::Imm(v) if Operand2::imm(*v).is_none()
-                        && Operand2::imm(v.wrapping_neg()).is_some() =>
+                    Operand::Imm(v)
+                        if Operand2::imm(*v).is_none()
+                            && Operand2::imm(v.wrapping_neg()).is_some() =>
                     {
-                        let flipped = if op == BinOp::Add { DpOp::Sub } else { DpOp::Add };
+                        let flipped = if op == BinOp::Add {
+                            DpOp::Sub
+                        } else {
+                            DpOp::Add
+                        };
                         (flipped, Operand2::imm(v.wrapping_neg()).expect("checked"))
                     }
                     _ => {
-                        let dp = if op == BinOp::Add { DpOp::Add } else { DpOp::Sub };
+                        let dp = if op == BinOp::Add {
+                            DpOp::Add
+                        } else {
+                            DpOp::Sub
+                        };
                         (dp, self.operand2(b, SCR2))
                     }
                 };
@@ -560,12 +572,14 @@ pub fn compile_with_regs(module: &Module, allocatable: &[Reg]) -> Result<Program
             Fixup::Local(l) => *all_labels
                 .get(&(owner.clone(), *l))
                 .expect("label defined in its function"),
-            Fixup::Func(name) => *func_start.get(name).ok_or_else(|| {
-                CompileError::UnknownFunction {
-                    callee: name.clone(),
-                    caller: owner.clone(),
-                }
-            })?,
+            Fixup::Func(name) => {
+                *func_start
+                    .get(name)
+                    .ok_or_else(|| CompileError::UnknownFunction {
+                        callee: name.clone(),
+                        caller: owner.clone(),
+                    })?
+            }
         };
         let offset = target as i64 - (at as i64 + 2);
         if !(-(1 << 23)..(1 << 23)).contains(&offset) {

@@ -210,11 +210,7 @@ pub struct Cond {
 impl Cond {
     /// Builds a condition.
     pub fn new(op: CmpOp, a: Val, b: impl Into<Operand>) -> Cond {
-        Cond {
-            op,
-            a,
-            b: b.into(),
-        }
+        Cond { op, a, b: b.into() }
     }
 }
 

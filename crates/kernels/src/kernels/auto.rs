@@ -124,7 +124,13 @@ pub(super) fn build_bitcount(scale: Scale) -> Module {
     let mut f = FnBuilder::new("main", 0);
     let base = f.imm(data);
     let total = f.imm(0u32);
-    let methods = ["bc_kernighan", "bc_swar", "bc_nibble", "bc_byte", "bc_shift"];
+    let methods = [
+        "bc_kernighan",
+        "bc_swar",
+        "bc_nibble",
+        "bc_byte",
+        "bc_shift",
+    ];
     for name in methods {
         let sum = f.imm(0u32);
         f.repeat(len as u32, |f, i| {

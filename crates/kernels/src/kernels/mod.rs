@@ -197,10 +197,7 @@ pub(crate) mod tests_support {
     use super::*;
     use fits_sim::{Ar32Set, Machine};
 
-    pub(crate) fn differential(
-        build: fn(Scale) -> Module,
-        reference: fn(Scale) -> RefOutput,
-    ) {
+    pub(crate) fn differential(build: fn(Scale) -> Module, reference: fn(Scale) -> RefOutput) {
         let scale = Scale::test();
         let program = compile(&build(scale)).expect("kernel compiles");
         let mut m = Machine::new(Ar32Set::load(&program));

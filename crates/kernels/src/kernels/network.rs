@@ -5,7 +5,6 @@ use super::util::{rng, DataBuilder, RefSink};
 use super::{RefOutput, Scale};
 use crate::builder::{FnBuilder, ModuleBuilder};
 use crate::ir::{BinOp, CmpOp, Module, Val};
-use rand::Rng;
 
 fn fold(acc: u32, v: u32) -> u32 {
     acc.rotate_left(1) ^ v
@@ -226,7 +225,9 @@ pub(super) fn build_patricia(scale: Scale) -> Module {
     let cur = f.imm(1u32);
     let next_free = f.load_w(pool, 0);
     // First call: bump pointer starts at 0 -> fix to 2.
-    f.if_(f.cmp(CmpOp::LtU, next_free, 2u32), |f| f.set_imm(next_free, 2));
+    f.if_(f.cmp(CmpOp::LtU, next_free, 2u32), |f| {
+        f.set_imm(next_free, 2)
+    });
     f.repeat(PREFIX_BITS, |f, b| {
         let amt = f.imm(31u32);
         let sh = f.sub(amt, b);

@@ -5,7 +5,6 @@ use super::util::{rng, DataBuilder, RefSink};
 use super::{RefOutput, Scale};
 use crate::builder::{FnBuilder, ModuleBuilder};
 use crate::ir::{BinOp, CmpOp, Module, Val};
-use rand::Rng;
 
 fn fold(acc: u32, v: u32) -> u32 {
     acc.rotate_left(1) ^ v
@@ -226,8 +225,9 @@ fn dictionary(scale: Scale) -> (Vec<u8>, Vec<u32>, Vec<u32>) {
 }
 
 fn djb2(word: &[u8]) -> u32 {
-    word.iter()
-        .fold(5381u32, |h, &c| h.wrapping_mul(33).wrapping_add(u32::from(c)))
+    word.iter().fold(5381u32, |h, &c| {
+        h.wrapping_mul(33).wrapping_add(u32::from(c))
+    })
 }
 
 pub(super) fn build_ispell(scale: Scale) -> Module {

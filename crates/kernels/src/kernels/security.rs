@@ -14,7 +14,6 @@ use super::util::{random_bytes, rng, DataBuilder, RefSink};
 use super::{RefOutput, Scale};
 use crate::builder::{FnBuilder, ModuleBuilder};
 use crate::ir::{BinOp, Module, Val};
-use rand::Rng;
 
 fn fold(acc: u32, v: u32) -> u32 {
     acc.rotate_left(1) ^ v
@@ -150,7 +149,11 @@ fn build_blowfish(scale: Scale, decrypt: bool) -> Module {
     let out_a = d.zeroed(n * 8, 4);
 
     let mut mb = ModuleBuilder::new();
-    let fname = if decrypt { "bf_decrypt_block" } else { "bf_encrypt_block" };
+    let fname = if decrypt {
+        "bf_decrypt_block"
+    } else {
+        "bf_encrypt_block"
+    };
 
     // block cipher primitive: (l, r) -> packed via memory. Takes l, r,
     // returns l'; writes r' to a fixed scratch slot.
@@ -167,12 +170,7 @@ fn build_blowfish(scale: Scale, decrypt: bool) -> Module {
         f.copy(r, p1);
     }
     let pv = f.imm(p_a);
-    let sboxes = [
-        f.imm(s_a[0]),
-        f.imm(s_a[1]),
-        f.imm(s_a[2]),
-        f.imm(s_a[3]),
-    ];
+    let sboxes = [f.imm(s_a[0]), f.imm(s_a[1]), f.imm(s_a[2]), f.imm(s_a[3])];
     if !decrypt {
         for i in 0..BF_ROUNDS {
             let pk = f.load_w(pv, (i * 4) as i32);
@@ -188,7 +186,7 @@ fn build_blowfish(scale: Scale, decrypt: bool) -> Module {
         }
     } else {
         for i in (2..18).rev() {
-            let pk = f.load_w(pv, (i * 4) as i32);
+            let pk = f.load_w(pv, i * 4);
             let nl = f.xor(l, pk);
             f.copy(l, nl);
             let fx = ir_bf_f(&mut f, &sboxes, l);
@@ -371,9 +369,7 @@ fn aes_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
 /// a word; other columns come from rotations.
 fn aes_te(sbox: &[u8; 256]) -> Vec<u32> {
     sbox.iter()
-        .map(|&s| {
-            u32::from_be_bytes([gmul(s, 2), s, s, gmul(s, 3)])
-        })
+        .map(|&s| u32::from_be_bytes([gmul(s, 2), s, s, gmul(s, 3)]))
         .collect()
 }
 
@@ -399,7 +395,12 @@ fn aes_expand_key(key: &[u8; 16], sbox: &[u8; 256]) -> [u32; 44] {
         if i % 4 == 0 {
             t = t.rotate_left(8);
             let b = t.to_be_bytes();
-            t = u32::from_be_bytes([sbox[b[0] as usize], sbox[b[1] as usize], sbox[b[2] as usize], sbox[b[3] as usize]]);
+            t = u32::from_be_bytes([
+                sbox[b[0] as usize],
+                sbox[b[1] as usize],
+                sbox[b[2] as usize],
+                sbox[b[3] as usize],
+            ]);
             t ^= u32::from(rcon) << 24;
             rcon = xtime(rcon);
         }
@@ -524,8 +525,7 @@ fn aes_decrypt_block(ctx: &AesCtx, block: [u32; 4]) -> [u32; 4] {
 }
 
 const AES_KEY: [u8; 16] = [
-    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-    0x3c,
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
 ];
 
 fn aes_blocks(scale: Scale) -> usize {
@@ -619,7 +619,11 @@ fn ir_aes_final_column(
         };
         let p = f.add(sbox, b);
         let sb = f.load_b(p, 0);
-        let positioned = if k == 3 { sb } else { f.shl(sb, (24 - 8 * k) as u32) };
+        let positioned = if k == 3 {
+            sb
+        } else {
+            f.shl(sb, (24 - 8 * k) as u32)
+        };
         acc = Some(match acc {
             None => positioned,
             Some(a) => f.or(a, positioned),
@@ -765,11 +769,19 @@ fn sha_pad(msg: &[u8]) -> Vec<u8> {
 
 fn sha1(msg: &[u8]) -> [u32; 5] {
     let padded = sha_pad(msg);
-    let mut h = [0x6745_2301u32, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    let mut h = [
+        0x6745_2301u32,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
     for chunk in padded.chunks_exact(64) {
         let mut w = [0u32; 80];
         for i in 0..16 {
-            w[i] = u32::from_be_bytes(chunk[4 * i..4 * i + 4].try_into().unwrap());
+            let mut word = [0u8; 4];
+            word.copy_from_slice(&chunk[4 * i..4 * i + 4]);
+            w[i] = u32::from_be_bytes(word);
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
@@ -811,7 +823,13 @@ pub(super) fn build_sha(scale: Scale) -> Module {
     let mut d = DataBuilder::new();
     let msg_a = d.bytes(&padded);
     let w_a = d.zeroed(80 * 4, 4);
-    let h_init = [0x6745_2301u32, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    let h_init = [
+        0x6745_2301u32,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
     let h_a = d.words(&h_init);
 
     let mut mb = ModuleBuilder::new();
@@ -858,7 +876,13 @@ pub(super) fn build_sha(scale: Scale) -> Module {
     let c = f.load_w(hv, 8);
     let dd = f.load_w(hv, 12);
     let e = f.load_w(hv, 16);
-    let (av, bv, cv, dv, ev) = (f.imm(0u32), f.imm(0u32), f.imm(0u32), f.imm(0u32), f.imm(0u32));
+    let (av, bv, cv, dv, ev) = (
+        f.imm(0u32),
+        f.imm(0u32),
+        f.imm(0u32),
+        f.imm(0u32),
+        f.imm(0u32),
+    );
     f.copy(av, a);
     f.copy(bv, b);
     f.copy(cv, c);
@@ -1014,7 +1038,13 @@ mod tests {
         let h = sha1(b"abc");
         assert_eq!(
             h,
-            [0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]
+            [
+                0xa999_3e36,
+                0x4706_816a,
+                0xba3e_2571,
+                0x7850_c26c,
+                0x9cd0_d89d
+            ]
         );
     }
 }

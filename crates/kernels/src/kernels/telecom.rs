@@ -28,7 +28,11 @@ fn crc_table() -> Vec<u32> {
     (0..256u32)
         .map(|mut c| {
             for _ in 0..8 {
-                c = if c & 1 != 0 { (c >> 1) ^ CRC_POLY } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    (c >> 1) ^ CRC_POLY
+                } else {
+                    c >> 1
+                };
             }
             c
         })
@@ -120,7 +124,11 @@ pub(super) fn ref_crc32(scale: Scale) -> RefOutput {
     for &b in &buf[..len.min(256)] {
         crc2 ^= u32::from(b);
         for _ in 0..8 {
-            crc2 = if crc2 & 1 != 0 { (crc2 >> 1) ^ CRC_POLY } else { crc2 >> 1 };
+            crc2 = if crc2 & 1 != 0 {
+                (crc2 >> 1) ^ CRC_POLY
+            } else {
+                crc2 >> 1
+            };
         }
     }
     let bit_crc = !crc2;
@@ -138,11 +146,10 @@ pub(super) fn ref_crc32(scale: Scale) -> RefOutput {
 
 const STEP_TAB: [u32; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 const INDEX_TAB: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
@@ -644,12 +651,14 @@ pub(super) fn ref_fft(scale: Scale) -> RefOutput {
                 let w_im = i32::from(wi[widx]) as u32;
                 let a = i + j;
                 let b = a + half;
-                let t_re =
-                    ((w_re.wrapping_mul(re[b]).wrapping_sub(w_im.wrapping_mul(im[b]))) as i32
-                        >> 15) as u32;
-                let t_im =
-                    ((w_re.wrapping_mul(im[b]).wrapping_add(w_im.wrapping_mul(re[b]))) as i32
-                        >> 15) as u32;
+                let t_re = ((w_re
+                    .wrapping_mul(re[b])
+                    .wrapping_sub(w_im.wrapping_mul(im[b]))) as i32
+                    >> 15) as u32;
+                let t_im = ((w_re
+                    .wrapping_mul(im[b])
+                    .wrapping_add(w_im.wrapping_mul(re[b]))) as i32
+                    >> 15) as u32;
                 let (ra, ia) = (re[a], im[a]);
                 re[b] = ra.wrapping_sub(t_re);
                 im[b] = ia.wrapping_sub(t_im);
@@ -690,7 +699,6 @@ fn gsm_frames(scale: Scale) -> usize {
 
 fn gsm_coeffs(frames: usize) -> Vec<i16> {
     let mut r = super::util::rng(0x65a1);
-    use rand::Rng;
     (0..frames * GSM_STAGES)
         .map(|_| r.gen_range(-28000i32..28000) as i16)
         .collect()

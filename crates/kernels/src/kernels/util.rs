@@ -2,8 +2,7 @@
 //! deterministic input generation.
 
 use fits_isa::DATA_BASE;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fits_rng::StdRng;
 
 /// Builds the initialized data image for a kernel, handing out absolute
 /// addresses (the IR bakes them in as constants, exactly like a linker
@@ -21,7 +20,7 @@ impl DataBuilder {
     }
 
     fn align(&mut self, align: usize) {
-        while self.bytes.len() % align != 0 {
+        while !self.bytes.len().is_multiple_of(align) {
             self.bytes.push(0);
         }
     }
@@ -100,7 +99,8 @@ pub fn audio_samples(seed: u64, len: usize) -> Vec<i16> {
     (0..len)
         .map(|i| {
             let t = i as f64;
-            let v = 9000.0 * (t * f1).sin() + 4000.0 * (t * f2).sin()
+            let v = 9000.0 * (t * f1).sin()
+                + 4000.0 * (t * f2).sin()
                 + f64::from(r.gen_range(-500i32..500));
             v as i16
         })

@@ -1,8 +1,8 @@
 //! Lowering from structured IR to linear LIR (labels + conditional
 //! branches), the form the register allocator and code generator work on.
 
-use crate::ir::{Cond, Function, Operand, Rvalue, Stmt, UnOp, Val, Width};
 use crate::ir::BinOp;
+use crate::ir::{Cond, Function, Operand, Rvalue, Stmt, UnOp, Val, Width};
 
 /// A label within one function's LIR stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -295,9 +295,9 @@ pub mod interp {
                     } => {
                         let addr = (regs[base.0 as usize] as i64 + i64::from(*disp)) as usize;
                         let raw = match width {
-                            Width::W => u32::from_le_bytes(
-                                self.mem[addr..addr + 4].try_into().unwrap(),
-                            ),
+                            Width::W => {
+                                u32::from_le_bytes(self.mem[addr..addr + 4].try_into().unwrap())
+                            }
                             Width::H => u32::from(u16::from_le_bytes(
                                 self.mem[addr..addr + 2].try_into().unwrap(),
                             )),
@@ -321,8 +321,9 @@ pub mod interp {
                             Width::W => {
                                 self.mem[addr..addr + 4].copy_from_slice(&v.to_le_bytes());
                             }
-                            Width::H => self.mem[addr..addr + 2]
-                                .copy_from_slice(&(v as u16).to_le_bytes()),
+                            Width::H => {
+                                self.mem[addr..addr + 2].copy_from_slice(&(v as u16).to_le_bytes())
+                            }
                             Width::B => self.mem[addr] = v as u8,
                         }
                     }

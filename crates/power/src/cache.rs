@@ -192,7 +192,12 @@ mod tests {
         // bits per instruction, IPC ~1.3.
         let tech = TechParams::sa1100();
         let n: u64 = 1_000_000;
-        let p = cache_power(&icache16(), &stats(n, 12 * n, 800), (n as f64 / 1.3) as u64, &tech);
+        let p = cache_power(
+            &icache16(),
+            &stats(n, 12 * n, 800),
+            (n as f64 / 1.3) as u64,
+            &tech,
+        );
         let (sw, int, lk) = p.breakdown();
         assert!(int > 0.5, "internal must dominate: {int:.3}");
         assert!(sw > 0.2 && sw < 0.45, "switching share {sw:.3}");
@@ -209,9 +214,21 @@ mod tests {
         let base = cache_power(&icache16(), &stats(n, 12 * n, 800), cycles, &tech);
         let fits = cache_power(&icache16(), &stats(n / 2, 6 * n, 800), cycles, &tech);
         let s = fits.saving_vs(&base);
-        assert!((s.switching - 0.5).abs() < 0.01, "switching {:.3}", s.switching);
-        assert!(s.internal > 0.05 && s.internal < 0.35, "internal {:.3}", s.internal);
-        assert!(s.leakage.abs() < 0.01, "same size, same time: {:.3}", s.leakage);
+        assert!(
+            (s.switching - 0.5).abs() < 0.01,
+            "switching {:.3}",
+            s.switching
+        );
+        assert!(
+            s.internal > 0.05 && s.internal < 0.35,
+            "internal {:.3}",
+            s.internal
+        );
+        assert!(
+            s.leakage.abs() < 0.01,
+            "same size, same time: {:.3}",
+            s.leakage
+        );
         assert!(s.total > 0.15 && s.total < 0.40, "total {:.3}", s.total);
     }
 
@@ -221,7 +238,12 @@ mod tests {
         // cycles from extra misses.
         let tech = TechParams::sa1100();
         let n: u64 = 1_000_000;
-        let base = cache_power(&icache16(), &stats(n, 12 * n, 800), (n as f64 / 1.3) as u64, &tech);
+        let base = cache_power(
+            &icache16(),
+            &stats(n, 12 * n, 800),
+            (n as f64 / 1.3) as u64,
+            &tech,
+        );
         let half = icache16().resized(8 * 1024);
         let arm8 = cache_power(
             &half,
@@ -230,7 +252,11 @@ mod tests {
             &tech,
         );
         let s = arm8.saving_vs(&base);
-        assert!(s.switching.abs() < 0.02, "switching unchanged: {:.3}", s.switching);
+        assert!(
+            s.switching.abs() < 0.02,
+            "switching unchanged: {:.3}",
+            s.switching
+        );
         assert!(s.internal > 0.25, "internal {:.3}", s.internal);
         assert!(
             s.leakage > 0.3 && s.leakage < 0.5,

@@ -101,7 +101,10 @@ impl ChipPower {
     /// One component's energy.
     #[must_use]
     pub fn component_j(&self, c: ChipComponent) -> f64 {
-        self.energy_j[ChipComponent::ALL.iter().position(|x| *x == c).expect("known")]
+        self.energy_j[ChipComponent::ALL
+            .iter()
+            .position(|x| *x == c)
+            .expect("known")]
     }
 
     /// One component's share of the total.
@@ -308,11 +311,19 @@ mod tests {
         let prog_small = chip_power(&sim, DecodeKind::Programmable { config_bits: 4000 }, &tech);
         let prog_big = chip_power(
             &sim,
-            DecodeKind::Programmable { config_bits: 4_000_000 },
+            DecodeKind::Programmable {
+                config_bits: 4_000_000,
+            },
             &tech,
         );
-        assert!(prog_small.component_j(ChipComponent::Decode) < fixed.component_j(ChipComponent::Decode));
-        assert!(prog_big.component_j(ChipComponent::Decode) > prog_small.component_j(ChipComponent::Decode));
+        assert!(
+            prog_small.component_j(ChipComponent::Decode)
+                < fixed.component_j(ChipComponent::Decode)
+        );
+        assert!(
+            prog_big.component_j(ChipComponent::Decode)
+                > prog_small.component_j(ChipComponent::Decode)
+        );
     }
 
     #[test]

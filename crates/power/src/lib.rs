@@ -29,12 +29,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod cache;
 mod chip;
 mod tech;
 
-pub use cache::{cache_power, CachePower};
 pub use cache::ComponentSavings;
+pub use cache::{cache_power, CachePower};
 pub use chip::{chip_power, chip_power_with, ChipComponent, ChipPower, DecodeKind};
 pub use tech::TechParams;

@@ -116,7 +116,10 @@ mod tests {
         assert!(t.vdd > 0.0 && t.freq_hz > 0.0);
         assert!(t.e_output_driven_bit > t.e_bitline_per_row_bit);
         assert!(t.e_output_toggle_bit > t.e_bitline_per_row_bit);
-        assert!(t.p_leak_per_bit < t.p_clock_per_bit, "0.35um: leakage small");
+        assert!(
+            t.p_leak_per_bit < t.p_clock_per_bit,
+            "0.35um: leakage small"
+        );
         assert!((t.cycle_seconds() - 5e-9).abs() < 1e-12);
     }
 }

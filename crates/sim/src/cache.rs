@@ -357,7 +357,7 @@ pub fn validate_config(cfg: &CacheConfig) -> Result<(), SimError> {
     if cfg.ways == 0 {
         return bad("associativity must be nonzero");
     }
-    if cfg.size_bytes == 0 || cfg.size_bytes % (cfg.ways * cfg.line_bytes) != 0 {
+    if cfg.size_bytes == 0 || !cfg.size_bytes.is_multiple_of(cfg.ways * cfg.line_bytes) {
         return bad("size must be a multiple of ways * line");
     }
     if !cfg.sets().is_power_of_two() {
@@ -406,7 +406,7 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut c = Cache::new(tiny()); // 4 sets, 2 ways, 32B lines
-        // Three lines mapping to set 0: line addresses 0, 4, 8.
+                                        // Three lines mapping to set 0: line addresses 0, 4, 8.
         let a = 0x0000; // set 0
         let b = 4 * 32; // set 0
         let d = 8 * 32; // set 0

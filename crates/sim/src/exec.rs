@@ -1,9 +1,7 @@
 //! The [`InstrSet`] abstraction and the native AR32 executor.
 
 use fits_isa::alu::{dp_eval, mul_flags, shifter_operand};
-use fits_isa::{
-    AddrOffset, Index, Instr, InstrClass, MemOp, Program, Reg, Shift, TEXT_BASE,
-};
+use fits_isa::{AddrOffset, Index, Instr, InstrClass, MemOp, Program, Reg, Shift, TEXT_BASE};
 
 use crate::cpu::BranchOutcome;
 use crate::{ExecCtx, MemAccess, SimError, StepOutcome};
@@ -89,7 +87,7 @@ impl Ar32Set {
     }
 
     fn index_of(&self, pc: u32) -> Result<usize, SimError> {
-        if pc < TEXT_BASE || pc % 4 != 0 {
+        if pc < TEXT_BASE || !pc.is_multiple_of(4) {
             return Err(SimError::BadPc { pc });
         }
         let index = ((pc - TEXT_BASE) / 4) as usize;
@@ -175,14 +173,18 @@ pub fn execute_instr(
             ..
         } => {
             let (b, shifter_carry) = shifter_operand(op2, ctx.cpu.flags.c, |r| ctx.read_reg(r));
-            let a = if op.ignores_rn() { 0 } else { ctx.read_reg(*rn) };
+            let a = if op.ignores_rn() {
+                0
+            } else {
+                ctx.read_reg(*rn)
+            };
             let r = dp_eval(*op, a, b, shifter_carry, ctx.cpu.flags);
             if *set_flags {
                 ctx.cpu.flags = r.flags;
             }
             if !op.is_compare() {
                 if rd.is_pc() {
-                    if r.value % op_size != 0 {
+                    if !r.value.is_multiple_of(op_size) {
                         return Err(SimError::BadPc { pc: r.value });
                     }
                     out.next_pc = r.value;
@@ -327,9 +329,7 @@ impl InstrSet for Ar32Set {
     }
 
     fn fetch_word(&self, word_addr: u32) -> u32 {
-        self.index_of(word_addr)
-            .map(|i| self.words[i])
-            .unwrap_or(0)
+        self.index_of(word_addr).map(|i| self.words[i]).unwrap_or(0)
     }
 
     fn describe(&self, op: &Instr) -> OpMeta {

@@ -1,7 +1,9 @@
 //! The machine loop: drives an [`InstrSet`] over memory, optionally feeding
 //! a timing model or a step observer.
 
-use crate::{CpuState, ExecCtx, InstrSet, Memory, Sa1100Config, SimError, SimResult, StepInfo, TimingModel};
+use crate::{
+    CpuState, ExecCtx, InstrSet, Memory, Sa1100Config, SimError, SimResult, StepInfo, TimingModel,
+};
 
 /// Default step budget: generous enough for the full-scale benchmark suite,
 /// small enough to catch runaway programs.

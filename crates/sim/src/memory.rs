@@ -38,7 +38,7 @@ impl Memory {
         if a + size as usize > self.bytes.len() {
             return Err(SimError::BadAddress { addr, size });
         }
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(SimError::Misaligned { addr, size });
         }
         Ok(a)
@@ -51,7 +51,9 @@ impl Memory {
     /// Fails on out-of-range or misaligned addresses.
     pub fn load_w(&self, addr: u32) -> Result<u32, SimError> {
         let a = self.check(addr, 4)?;
-        Ok(u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap()))
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&self.bytes[a..a + 4]);
+        Ok(u32::from_le_bytes(word))
     }
 
     /// Loads a 16-bit halfword (zero-extended).
@@ -61,9 +63,9 @@ impl Memory {
     /// Fails on out-of-range or misaligned addresses.
     pub fn load_h(&self, addr: u32) -> Result<u32, SimError> {
         let a = self.check(addr, 2)?;
-        Ok(u32::from(u16::from_le_bytes(
-            self.bytes[a..a + 2].try_into().unwrap(),
-        )))
+        let mut half = [0u8; 2];
+        half.copy_from_slice(&self.bytes[a..a + 2]);
+        Ok(u32::from(u16::from_le_bytes(half)))
     }
 
     /// Loads a byte (zero-extended).

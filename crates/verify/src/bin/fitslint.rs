@@ -1,0 +1,159 @@
+//! `fitslint` — static verification of synthesized FITS instruction sets.
+//!
+//! Runs the `fits-verify` analysis families (`ENC`, `CFI`, `DF`, `TV`) over
+//! kernels from the benchmark suite and reports rustc-style diagnostics or
+//! machine-readable JSON.
+//!
+//! ```text
+//! fitslint --all [--format text|json] [--scale N]
+//! fitslint KERNEL [KERNEL...] [--format text|json] [--scale N]
+//! ```
+//!
+//! Exits 0 when every linted kernel is clean, 1 when any analysis reports an
+//! error (or a kernel fails to compile), and 2 on usage errors.
+
+#![allow(clippy::unwrap_used)]
+
+use std::process::ExitCode;
+
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_verify::{json_string, lint_kernel};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    kernels: Vec<Kernel>,
+    format: Format,
+    scale: Scale,
+}
+
+fn usage() -> String {
+    let mut names: Vec<&str> = Kernel::ALL.iter().map(|k| k.name()).collect();
+    names.sort_unstable();
+    format!(
+        "usage: fitslint (--all | KERNEL...) [--format text|json] [--scale N]\n\
+         \n\
+         Statically verifies the synthesized instruction set and translated\n\
+         binary of each kernel: encoding soundness (ENC), control-flow\n\
+         integrity (CFI), dataflow (DF) and translation validation (TV).\n\
+         \n\
+         kernels: {}",
+        names.join(" ")
+    )
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut kernels = Vec::new();
+    let mut all = false;
+    let mut format = Format::Text;
+    let mut scale = Scale::test();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some(other) => {
+                        return Err(format!("--format expects 'text' or 'json', got '{other}'"))
+                    }
+                    None => return Err("--format expects 'text' or 'json'".to_string()),
+                };
+            }
+            "--scale" => {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--scale expects a positive integer".to_string())?;
+                scale = Scale { n };
+            }
+            "--help" | "-h" => return Err(String::new()),
+            name if !name.starts_with('-') => {
+                let kernel = Kernel::ALL
+                    .iter()
+                    .copied()
+                    .find(|k| k.name() == name)
+                    .ok_or_else(|| format!("unknown kernel '{name}'"))?;
+                kernels.push(kernel);
+            }
+            flag => return Err(format!("unknown flag '{flag}'")),
+        }
+    }
+    if all {
+        kernels = Kernel::ALL.to_vec();
+    }
+    if kernels.is_empty() {
+        return Err("no kernels selected (pass --all or kernel names)".to_string());
+    }
+    Ok(Args {
+        kernels,
+        format,
+        scale,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("fitslint: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut all_clean = true;
+    let mut json_entries = Vec::new();
+    for kernel in &args.kernels {
+        match lint_kernel(*kernel, args.scale) {
+            Ok(report) => {
+                if !report.is_clean() {
+                    all_clean = false;
+                }
+                match args.format {
+                    Format::Text => {
+                        if report.diagnostics.is_empty() {
+                            println!("{}: clean", report.name);
+                        } else {
+                            print!("{}", report.render_text());
+                        }
+                    }
+                    Format::Json => json_entries.push(report.render_json()),
+                }
+            }
+            Err(err) => {
+                all_clean = false;
+                match args.format {
+                    Format::Text => eprintln!("fitslint: {err}"),
+                    Format::Json => json_entries.push(format!(
+                        "{{\"name\":{},\"clean\":false,\"error\":{}}}",
+                        json_string(kernel.name()),
+                        json_string(&err)
+                    )),
+                }
+            }
+        }
+    }
+
+    if args.format == Format::Json {
+        println!(
+            "{{\"kernels\":[{}],\"clean\":{all_clean}}}",
+            json_entries.join(",")
+        );
+    }
+    if all_clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

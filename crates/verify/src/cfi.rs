@@ -1,0 +1,114 @@
+//! `CFI` — control-flow integrity of the translated binary.
+//!
+//! Rebuilds the control-flow structure of the FITS program and checks it
+//! against the translation's ARM→FITS position map. Rules:
+//! * `CFI001` — a PC-relative branch targets an instruction outside the
+//!   text section.
+//! * `CFI002` — a branch target is inside the text but not on a translation
+//!   boundary (it lands mid-expansion of a different native instruction —
+//!   a relaxation or offset-encoding bug).
+//! * `CFI003` — a target-dictionary entry (the far-branch/far-call glue) is
+//!   misaligned, outside the text, or not on a translation boundary.
+//! * `CFI004` — the FITS entry point does not map the native entry point.
+//! * `CFI005` *(warning)* — the last instruction can fall through past the
+//!   end of the text section.
+//! * `CFI006` — the mapping statistics do not account for the binary
+//!   (emitted by [`crate::analyze`]; suppresses the boundary checks).
+
+use std::collections::HashSet;
+
+use fits_core::FitsOp;
+use fits_isa::{Cond, Instr, Reg, TEXT_BASE};
+
+use crate::{Ctx, Diagnostic};
+
+pub(crate) fn analyze_cfi(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let n = ctx.translation.fits.instrs.len();
+    let Some(pos) = &ctx.pos else {
+        return; // CFI006 already reported; boundaries are meaningless
+    };
+    let boundaries: HashSet<u32> = pos.iter().copied().collect();
+
+    // CFI004: the entry point maps the native entry point.
+    let arm_entry = ctx.program.entry;
+    let expect_entry = pos.get(arm_entry).copied();
+    if expect_entry != Some(ctx.translation.fits.entry as u32) {
+        diags.push(Diagnostic::error(
+            "CFI004",
+            format!(
+                "entry point {} does not map native entry arm[{arm_entry}] (expected {})",
+                ctx.translation.fits.entry,
+                expect_entry.map_or_else(|| "<none>".to_string(), |p| p.to_string()),
+            ),
+        ));
+    }
+
+    // CFI001/CFI002: every PC-relative branch lands on a boundary in text.
+    for (j, op) in ctx.ops.iter().enumerate() {
+        let Some(FitsOp::Plain(Instr::Branch { offset, .. })) = op else {
+            continue;
+        };
+        // Branch displacements are relative to pc + 4, i.e. two
+        // instructions past the branch.
+        let target = j as i64 + 2 + i64::from(*offset);
+        if target < 0 || target >= n as i64 {
+            diags.push(
+                Diagnostic::error(
+                    "CFI001",
+                    format!("branch target {target} is outside the text section (0..{n})"),
+                )
+                .at_fits(j),
+            );
+        } else if !boundaries.contains(&(target as u32)) {
+            diags.push(
+                Diagnostic::error(
+                    "CFI002",
+                    format!(
+                        "branch target {target} is not on a translation boundary \
+                         (lands mid-expansion)"
+                    ),
+                )
+                .at_fits(j),
+            );
+        }
+    }
+
+    // CFI003: target-dictionary entries are valid FITS code addresses on
+    // translation boundaries (only the translator appends them).
+    for (k, &addr) in ctx.translation.fits.config.dicts.target.iter().enumerate() {
+        let bad = if addr % 2 != 0 || addr < TEXT_BASE {
+            true
+        } else {
+            let idx = (addr - TEXT_BASE) / 2;
+            idx as usize >= n || !boundaries.contains(&idx)
+        };
+        if bad {
+            diags.push(Diagnostic::error(
+                "CFI003",
+                format!(
+                    "target dictionary entry {k} ({addr:#010x}) is not a valid FITS \
+                     code address on a translation boundary"
+                ),
+            ));
+        }
+    }
+
+    // CFI005: the program must end in something that diverts control.
+    if let Some(Some(last)) = ctx.ops.last() {
+        let terminates = match last {
+            FitsOp::Plain(Instr::Branch { cond, link, .. }) => *cond == Cond::Al && !*link,
+            FitsOp::Plain(Instr::Swi { .. }) | FitsOp::Jalr(_) => true,
+            FitsOp::Plain(i) => i.writes().into_iter().any(|r| r == Reg::PC),
+            _ => false,
+        };
+        if !terminates {
+            diags.push(
+                Diagnostic::warning(
+                    "CFI005",
+                    "control can fall through past the end of the text section",
+                )
+                .at_fits(n - 1),
+            );
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! `DF` — dataflow checks over the native program and its translation.
+//!
+//! Rules:
+//! * `DF001` — a FITS instruction reads a register that is never defined
+//!   anywhere in the FITS program, and the native program does not have the
+//!   same read-never-written property for that register. A correct
+//!   translator only introduces reads of registers it also wrote (its `ip`
+//!   scratch) or registers the native instruction read, so a new
+//!   never-defined read is a corrupted operand field.
+//! * `DF002` — flags are live across a native instruction, but its
+//!   expansion writes the flags a different number of times than the
+//!   native instruction does (a 1-to-n expansion inserted a flag-clobbering
+//!   helper, or dropped the flag write it was supposed to carry).
+//!
+//! Flag liveness is a standard backward may-analysis over the native CFG:
+//! conditional flag writes do not kill (the write may not happen), reads
+//! come from predication and from C-consuming ops (`ADC`/`SBC`/`RSC`).
+
+use fits_core::op_meta;
+use fits_isa::{Cond, Instr, Reg};
+use fits_sim::instr_meta;
+
+use crate::{Ctx, Diagnostic};
+
+/// Register bitmask keyed by physical index.
+fn bit(r: Reg) -> u32 {
+    1u32 << r.index()
+}
+
+pub(crate) fn analyze_df(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    df001_never_defined_reads(ctx, diags);
+    df002_flag_chains(ctx, diags);
+}
+
+fn df001_never_defined_reads(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let mut arm_reads = 0u32;
+    let mut arm_writes = 0u32;
+    for instr in &ctx.program.text {
+        let m = instr_meta(instr);
+        for r in m.sources.into_iter().flatten() {
+            arm_reads |= bit(r);
+        }
+        for r in m.dests.into_iter().flatten() {
+            arm_writes |= bit(r);
+        }
+    }
+    let arm_never = arm_reads & !arm_writes;
+
+    let mut fits_writes = 0u32;
+    for op in ctx.ops.iter().flatten() {
+        let m = op_meta(op);
+        for r in m.dests.into_iter().flatten() {
+            fits_writes |= bit(r);
+        }
+    }
+
+    let mut reported = 0u32;
+    for (j, op) in ctx.ops.iter().enumerate() {
+        let Some(op) = op else { continue };
+        let m = op_meta(op);
+        for r in m.sources.into_iter().flatten() {
+            let b = bit(r);
+            if r == Reg::PC || b & fits_writes != 0 || b & arm_never != 0 || b & reported != 0 {
+                continue;
+            }
+            reported |= b;
+            diags.push(
+                Diagnostic::error(
+                    "DF001",
+                    format!(
+                        "reads r{}, which is never defined in the translated program \
+                         (and has a definition in the native program)",
+                        r.index()
+                    ),
+                )
+                .at_fits(j),
+            );
+        }
+    }
+}
+
+fn df002_flag_chains(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let Some(pos) = &ctx.pos else {
+        return; // CFI006: expansion slices are meaningless
+    };
+    let text = &ctx.program.text;
+    let n = text.len();
+    if n == 0 {
+        return;
+    }
+
+    // Native CFG successors (conservative: indirect jumps have none, calls
+    // fall through to their return point).
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, instr) in text.iter().enumerate() {
+        match instr {
+            Instr::Branch {
+                cond, link, offset, ..
+            } => {
+                let target = i as i64 + 2 + i64::from(*offset);
+                if (0..n as i64).contains(&target) {
+                    succs[i].push(target as usize);
+                }
+                if (*cond != Cond::Al || *link) && i + 1 < n {
+                    succs[i].push(i + 1);
+                }
+            }
+            _ => {
+                let writes_pc = instr_meta(instr)
+                    .dests
+                    .into_iter()
+                    .flatten()
+                    .any(|r| r == Reg::PC);
+                if !writes_pc && i + 1 < n {
+                    succs[i].push(i + 1);
+                }
+            }
+        }
+    }
+
+    // Backward may-liveness of the flags as one unit.
+    let reads: Vec<bool> = text.iter().map(|i| instr_meta(i).reads_flags).collect();
+    let kills: Vec<bool> = text
+        .iter()
+        .map(|i| i.sets_flags() && i.cond() == Cond::Al)
+        .collect();
+    let mut live_in = vec![false; n];
+    let mut live_out = vec![false; n];
+    loop {
+        let mut changed = false;
+        for i in (0..n).rev() {
+            let out = succs[i].iter().any(|&s| live_in[s]);
+            let inn = reads[i] || (out && !kills[i]);
+            if out != live_out[i] || inn != live_in[i] {
+                live_out[i] = out;
+                live_in[i] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // The expansion of instruction `i` must write the flags exactly as
+    // often as the native instruction does whenever flags are live across
+    // it (live-out), else a def/use chain through `i` is broken.
+    for (i, instr) in text.iter().enumerate() {
+        if !live_out[i] {
+            continue;
+        }
+        let expected = usize::from(instr.sets_flags());
+        let slice = pos[i] as usize..pos[i + 1] as usize;
+        let mut setters: Vec<usize> = Vec::new();
+        for j in slice {
+            if let Some(Some(op)) = ctx.ops.get(j) {
+                if op_meta(op).sets_flags {
+                    setters.push(j);
+                }
+            }
+        }
+        if setters.len() != expected {
+            let anchor = setters.last().copied().unwrap_or(pos[i] as usize);
+            diags.push(
+                Diagnostic::error(
+                    "DF002",
+                    format!(
+                        "flags are live across arm[{i}] but its expansion writes them \
+                         {} time(s) instead of {expected} — the flag def/use chain is \
+                         broken by the 1-to-n expansion",
+                        setters.len()
+                    ),
+                )
+                .at_fits(anchor)
+                .at_arm(i),
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! `ENC` — encoding soundness of the synthesized opcode space.
+//!
+//! Rules:
+//! * `ENC001` — two opcode entries collide (one prefix is a prefix of the
+//!   other), so some instruction words decode ambiguously.
+//! * `ENC002` — the opcode table oversubscribes the 16-bit opcode space
+//!   (Kraft budget of 65536 units) or an entry has an illegal prefix
+//!   length.
+//! * `ENC003` — an operand layout does not fit the bits left after the
+//!   opcode prefix, or the register window is malformed (window size must
+//!   equal `2^field_bits` so every register field value resolves).
+//! * `ENC004` — an instruction word fails to decode under the binary's own
+//!   configuration (no matching prefix, dictionary index out of range);
+//!   emitted by the shared pre-decode pass in [`crate::analyze`].
+//! * `ENC005` — an instruction word does not round-trip bit-exactly through
+//!   the decoder's field unpack/pack (non-canonical or corrupt encoding).
+//! * `ENC006` — an opcode entry pairs a micro-operation with a layout the
+//!   programmable decoder cannot realize.
+
+use fits_core::translate::{pack, unpack};
+use fits_core::{Layout, MicroOp, Synthesis};
+
+use crate::{Ctx, Diagnostic};
+
+/// Opcode-space units (out of 65536) an entry of prefix length `len`
+/// occupies.
+fn space_units(len: u8) -> u64 {
+    1u64 << (16 - u32::from(len).min(16))
+}
+
+/// The micro-op/layout pairs the programmable decoder implements (the
+/// match arms of `fits_core::exec`'s decoder).
+fn pair_realizable(micro: MicroOp, layout: Layout) -> bool {
+    matches!(
+        (micro, layout),
+        (
+            MicroOp::Dp3 { .. },
+            Layout::R3 | Layout::RRImm { .. } | Layout::RRDict { .. }
+        ) | (MicroOp::Dp2Reg { .. }, Layout::R2)
+            | (
+                MicroOp::Dp2Imm { .. },
+                Layout::R2Imm { .. } | Layout::R2Dict { .. }
+            )
+            | (
+                MicroOp::ShiftImm { .. },
+                Layout::RRImm { .. } | Layout::RRDict { .. }
+            )
+            | (MicroOp::ShiftReg { .. }, Layout::R2)
+            | (MicroOp::CmpReg { .. }, Layout::R2)
+            | (
+                MicroOp::CmpImm { .. },
+                Layout::R2Imm { .. } | Layout::R2Dict { .. }
+            )
+            | (MicroOp::Mul3, Layout::R3)
+            | (
+                MicroOp::Mem { .. },
+                Layout::MemImm { .. } | Layout::MemDict { .. }
+            )
+            | (MicroOp::Branch { .. }, Layout::Br { .. })
+            | (MicroOp::BranchReg { .. }, Layout::R1)
+            | (MicroOp::PredMovImm { .. }, Layout::R2Imm { .. })
+            | (MicroOp::PredMovReg { .. }, Layout::R2)
+            | (MicroOp::LoadTarget, Layout::R2Dict { .. })
+            | (MicroOp::Swi, Layout::Trap { .. })
+    )
+}
+
+pub(crate) fn analyze_enc(ctx: &Ctx<'_>, synthesis: &Synthesis, diags: &mut Vec<Diagnostic>) {
+    let config = &ctx.translation.fits.config;
+    let r = config.regs.field_bits;
+
+    // ENC002: legal prefix lengths and the opcode-space budget.
+    let mut space = 0u64;
+    for (k, e) in config.ops.iter().enumerate() {
+        if e.len == 0 || e.len > 16 {
+            diags.push(Diagnostic::error(
+                "ENC002",
+                format!("opcode entry {k} has illegal prefix length {}", e.len),
+            ));
+        } else {
+            space += space_units(e.len);
+        }
+    }
+    if space > 65536 {
+        diags.push(Diagnostic::error(
+            "ENC002",
+            format!("opcode table oversubscribes the 16-bit space: {space} of 65536 units"),
+        ));
+    }
+    // The synthesis report must agree with the table it shipped.
+    if synthesis.config.ops.len() > config.ops.len() {
+        diags.push(Diagnostic::error(
+            "ENC002",
+            format!(
+                "translated configuration dropped opcodes: {} synthesized, {} shipped",
+                synthesis.config.ops.len(),
+                config.ops.len()
+            ),
+        ));
+    }
+
+    // ENC001: pairwise prefix collisions.
+    for (a_idx, a) in config.ops.iter().enumerate() {
+        for (b_off, b) in config.ops.iter().enumerate().skip(a_idx + 1) {
+            let l = a.len.min(b.len).min(16);
+            if l == 0 {
+                continue; // already ENC002
+            }
+            if (a.code >> (16 - u16::from(l))) == (b.code >> (16 - u16::from(l))) {
+                diags.push(Diagnostic::error(
+                    "ENC001",
+                    format!(
+                        "opcode entries {a_idx} ({:?}/{:?}) and {b_off} ({:?}/{:?}) collide: \
+                         prefix {:0w$b} is not free",
+                        a.micro,
+                        a.layout,
+                        b.micro,
+                        b.layout,
+                        a.code >> (16 - u16::from(l)),
+                        w = l as usize
+                    ),
+                ));
+            }
+        }
+    }
+
+    // ENC003: layouts must fit the word; the register window must be
+    // exactly 2^field_bits entries of valid physical registers.
+    for (k, e) in config.ops.iter().enumerate() {
+        let need = u32::from(e.len) + u32::from(e.layout.operand_bits(r));
+        if need > 16 {
+            diags.push(Diagnostic::error(
+                "ENC003",
+                format!(
+                    "opcode entry {k} ({:?}/{:?}) needs {need} bits: {}-bit prefix plus \
+                     {}-bit operands exceed the 16-bit word",
+                    e.micro,
+                    e.layout,
+                    e.len,
+                    e.layout.operand_bits(r)
+                ),
+            ));
+        }
+        // ENC006: the decoder must be able to realize the pairing.
+        if !pair_realizable(e.micro, e.layout) {
+            diags.push(Diagnostic::error(
+                "ENC006",
+                format!(
+                    "opcode entry {k} pairs {:?} with layout {:?}, which the programmable \
+                     decoder cannot realize",
+                    e.micro, e.layout
+                ),
+            ));
+        }
+    }
+    if !(3..=4).contains(&r) || config.regs.map.len() != 1usize << r {
+        diags.push(Diagnostic::error(
+            "ENC003",
+            format!(
+                "register window is malformed: {}-bit fields over {} mapped registers",
+                r,
+                config.regs.map.len()
+            ),
+        ));
+    }
+    for (i, &p) in config.regs.map.iter().enumerate() {
+        if p >= 16 {
+            diags.push(Diagnostic::error(
+                "ENC003",
+                format!("register window entry {i} names nonexistent physical register r{p}"),
+            ));
+        }
+    }
+
+    // ENC005: every word must round-trip through the decode tables
+    // bit-exactly (fields repack to the same word). ENC004 (decode
+    // failures) was emitted by the shared pre-decode pass.
+    for (j, &word) in ctx.translation.fits.instrs.iter().enumerate() {
+        if ctx.ops.get(j).is_none_or(Option::is_none) {
+            continue; // undecodable: ENC004 already reported
+        }
+        let Some(entry) = config.match_word(word) else {
+            continue;
+        };
+        let fields = unpack(entry, word, r);
+        let repacked = pack(entry, fields, r);
+        if repacked != word {
+            diags.push(
+                Diagnostic::error(
+                    "ENC005",
+                    format!(
+                        "word {word:#06x} does not round-trip through the decoder tables \
+                         (repacks to {repacked:#06x})"
+                    ),
+                )
+                .at_fits(j),
+            );
+        }
+    }
+}

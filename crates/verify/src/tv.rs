@@ -1,0 +1,404 @@
+//! `TV` — per-rule translation validation.
+//!
+//! Replays each native instruction and its FITS expansion side by side on a
+//! small abstract machine (sixteen registers, the four flags, and a sparse
+//! byte memory backed by a deterministic oracle), over several pseudo-random
+//! valuations. The expansion must reproduce the native instruction's
+//! register, flag and store-sequence effects exactly — modulo the
+//! translator's `ip` scratch register, which expansions are allowed to
+//! clobber. Control-flow instructions are excluded (the `CFI` family owns
+//! them); `swi` expansions are checked structurally.
+//!
+//! Rules:
+//! * `TV001` — an expansion computes a different register state.
+//! * `TV002` — an expansion computes different flags.
+//! * `TV003` — an expansion performs different memory stores.
+//! * `TV004` — an expansion has the wrong shape (escapes its slice, loops,
+//!   or maps a trap onto something else).
+
+use std::collections::HashMap;
+
+use fits_core::FitsOp;
+use fits_isa::alu::{dp_eval, mul_flags, shifter_operand, Flags};
+use fits_isa::{AddrOffset, Index, Instr, MemOp, Operand2, Reg};
+use fits_sim::instr_meta;
+
+use crate::{Ctx, Diagnostic};
+
+const TRIALS: u32 = 4;
+
+/// SplitMix64 finalizer — a pure mixing function (no runtime randomness, so
+/// findings reproduce exactly).
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The memory oracle: the byte "already in memory" at an address before the
+/// instruction runs. Both sides of the comparison see the same memory.
+fn oracle_byte(addr: u32) -> u8 {
+    (mix64(u64::from(addr) ^ 0x00c0_ffee_0000_0000) >> 24) as u8
+}
+
+#[derive(Clone)]
+struct AbsState {
+    regs: [u32; 16],
+    flags: Flags,
+    overlay: HashMap<u32, u8>,
+    stores: Vec<(u32, u32, u32)>,
+}
+
+impl AbsState {
+    fn new(trial: u32) -> AbsState {
+        let mut regs = [0u32; 16];
+        for (j, r) in regs.iter_mut().enumerate() {
+            *r = mix64((u64::from(trial) << 8) | j as u64) as u32;
+        }
+        let f = mix64(u64::from(trial) ^ 0xf1a9);
+        AbsState {
+            regs,
+            flags: Flags {
+                n: f & 1 != 0,
+                z: f & 2 != 0,
+                c: f & 4 != 0,
+                v: f & 8 != 0,
+            },
+            overlay: HashMap::new(),
+            stores: Vec::new(),
+        }
+    }
+
+    fn read(&self, r: Reg) -> u32 {
+        self.regs[usize::from(r.index())]
+    }
+
+    fn write(&mut self, r: Reg, v: u32) {
+        self.regs[usize::from(r.index())] = v;
+    }
+
+    fn load(&self, addr: u32, size: u32, signed: bool) -> u32 {
+        let mut v = 0u32;
+        for b in 0..size {
+            let a = addr.wrapping_add(b);
+            let byte = self
+                .overlay
+                .get(&a)
+                .copied()
+                .unwrap_or_else(|| oracle_byte(a));
+            v |= u32::from(byte) << (8 * b);
+        }
+        if signed && size < 4 {
+            let shift = 32 - 8 * size;
+            ((v << shift) as i32 >> shift) as u32
+        } else {
+            v
+        }
+    }
+
+    fn store(&mut self, addr: u32, size: u32, v: u32) {
+        for b in 0..size {
+            self.overlay
+                .insert(addr.wrapping_add(b), (v >> (8 * b)) as u8);
+        }
+        let mask = if size >= 4 {
+            u32::MAX
+        } else {
+            (1 << (8 * size)) - 1
+        };
+        self.stores.push((addr, size, v & mask));
+    }
+}
+
+/// Executes one non-control-flow instruction; `Err` means the shape is
+/// outside the interpreter (the caller then skips validation, never
+/// reporting a false positive).
+fn step_instr(st: &mut AbsState, instr: &Instr) -> Result<(), &'static str> {
+    if !instr.cond().holds(st.flags) {
+        return Ok(());
+    }
+    match instr {
+        Instr::Dp {
+            op,
+            set_flags,
+            rd,
+            rn,
+            op2,
+            ..
+        } => {
+            let (b, carry) = shifter_operand(op2, st.flags.c, |r| st.read(r));
+            let a = st.read(*rn);
+            let r = dp_eval(*op, a, b, carry, st.flags);
+            if *set_flags {
+                st.flags = r.flags;
+            }
+            if !op.is_compare() {
+                st.write(*rd, r.value);
+            }
+            Ok(())
+        }
+        Instr::Mul {
+            set_flags,
+            rd,
+            rm,
+            rs,
+            acc,
+            ..
+        } => {
+            let mut v = st.read(*rm).wrapping_mul(st.read(*rs));
+            if let Some(ra) = acc {
+                v = v.wrapping_add(st.read(*ra));
+            }
+            if *set_flags {
+                st.flags = mul_flags(v, st.flags);
+            }
+            st.write(*rd, v);
+            Ok(())
+        }
+        Instr::Mem {
+            op,
+            rd,
+            rn,
+            offset,
+            index,
+            ..
+        } => {
+            if *index != Index::PreNoWb {
+                return Err("writeback addressing");
+            }
+            let addr = match offset {
+                AddrOffset::Imm(d) => st.read(*rn).wrapping_add(*d as u32),
+                AddrOffset::Reg {
+                    rm,
+                    shift,
+                    subtract,
+                } => {
+                    let (v, _) =
+                        shifter_operand(&Operand2::Reg(*rm, *shift), st.flags.c, |r| st.read(r));
+                    if *subtract {
+                        st.read(*rn).wrapping_sub(v)
+                    } else {
+                        st.read(*rn).wrapping_add(v)
+                    }
+                }
+            };
+            let size = op.size();
+            let signed = matches!(op, MemOp::Ldrsb | MemOp::Ldrsh);
+            if op.is_load() {
+                let v = st.load(addr, size, signed);
+                st.write(*rd, v);
+            } else {
+                let v = st.read(*rd);
+                st.store(addr, size, v);
+            }
+            Ok(())
+        }
+        Instr::Branch { .. } | Instr::Swi { .. } => Err("control flow"),
+    }
+}
+
+fn step_fits(st: &mut AbsState, op: &FitsOp) -> Result<(), &'static str> {
+    match op {
+        FitsOp::Plain(i) => step_instr(st, i),
+        FitsOp::WideImm {
+            op,
+            set_flags,
+            rd,
+            rn,
+            imm,
+        } => {
+            // Mirrors the executor: wide immediates behave like unrotated
+            // ARM immediates (shifter carry-out = carry-in).
+            let a = if op.ignores_rn() { 0 } else { st.read(*rn) };
+            let r = dp_eval(*op, a, *imm, st.flags.c, st.flags);
+            if *set_flags {
+                st.flags = r.flags;
+            }
+            if !op.is_compare() {
+                st.write(*rd, r.value);
+            }
+            Ok(())
+        }
+        FitsOp::WideMem { op, rd, rb, disp } => {
+            let addr = st.read(*rb).wrapping_add(*disp as u32);
+            let size = op.size();
+            let signed = matches!(op, MemOp::Ldrsb | MemOp::Ldrsh);
+            if op.is_load() {
+                let v = st.load(addr, size, signed);
+                st.write(*rd, v);
+            } else {
+                let v = st.read(*rd);
+                st.store(addr, size, v);
+            }
+            Ok(())
+        }
+        FitsOp::Jalr(_) => Err("indirect call in a non-branch expansion"),
+    }
+}
+
+/// Runs an expansion slice, interpreting intra-slice branches (predication
+/// hops). A branch to exactly one-past-the-end exits the slice.
+fn run_slice(st: &mut AbsState, ops: &[FitsOp]) -> Result<(), &'static str> {
+    let mut k: i64 = 0;
+    let mut fuel = 16 + 4 * ops.len();
+    while (k as usize) < ops.len() {
+        if fuel == 0 {
+            return Err("expansion does not terminate");
+        }
+        fuel -= 1;
+        match &ops[k as usize] {
+            FitsOp::Plain(Instr::Branch {
+                cond, link, offset, ..
+            }) => {
+                if *link {
+                    return Err("linking branch in a non-branch expansion");
+                }
+                if cond.holds(st.flags) {
+                    k += 2 + i64::from(*offset);
+                    if k < 0 || k as usize > ops.len() {
+                        return Err("expansion branch escapes its slice");
+                    }
+                } else {
+                    k += 1;
+                }
+            }
+            op => {
+                step_fits(st, op)?;
+                k += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn analyze_tv(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let Some(pos) = &ctx.pos else {
+        return; // CFI006: slices are meaningless
+    };
+
+    'instrs: for (i, instr) in ctx.program.text.iter().enumerate() {
+        let slice_range = pos[i] as usize..pos[i + 1] as usize;
+        let anchor = pos[i] as usize;
+
+        // Collect the decoded slice; skip if anything failed to decode
+        // (ENC004 already reported).
+        let mut slice: Vec<FitsOp> = Vec::with_capacity(slice_range.len());
+        for j in slice_range {
+            match ctx.ops.get(j).and_then(Option::as_ref) {
+                Some(op) => slice.push(*op),
+                None => continue 'instrs,
+            }
+        }
+
+        // Traps: checked structurally — exactly one trap with the same
+        // number, plus (for predicated traps) branch-around glue.
+        if let Instr::Swi { imm, .. } = instr {
+            let traps: Vec<&FitsOp> = slice
+                .iter()
+                .filter(|op| matches!(op, FitsOp::Plain(Instr::Swi { .. })))
+                .collect();
+            let ok = traps.len() == 1
+                && matches!(traps[0], FitsOp::Plain(Instr::Swi { imm: fi, .. }) if fi == imm)
+                && slice.iter().all(|op| {
+                    matches!(op, FitsOp::Plain(Instr::Swi { .. } | Instr::Branch { .. }))
+                });
+            if !ok {
+                diags.push(
+                    Diagnostic::error(
+                        "TV004",
+                        format!("trap {imm:#x} does not map onto a single trap expansion"),
+                    )
+                    .at_fits(anchor)
+                    .at_arm(i),
+                );
+            }
+            continue;
+        }
+
+        // Control flow is CFI's domain; PC-involved instructions (indirect
+        // jumps, PC-relative arithmetic) are not simulated.
+        if matches!(instr, Instr::Branch { .. }) {
+            continue;
+        }
+        let meta = instr_meta(instr);
+        let touches_pc = meta
+            .sources
+            .into_iter()
+            .chain(meta.dests)
+            .flatten()
+            .any(|r| r == Reg::PC);
+        if touches_pc {
+            continue;
+        }
+
+        for trial in 0..TRIALS {
+            let mut native = AbsState::new(trial);
+            let mut fits = native.clone();
+            if step_instr(&mut native, instr).is_err() {
+                continue 'instrs; // shape outside the interpreter
+            }
+            if let Err(what) = run_slice(&mut fits, &slice) {
+                diags.push(
+                    Diagnostic::error("TV004", format!("malformed expansion: {what}"))
+                        .at_fits(anchor)
+                        .at_arm(i),
+                );
+                continue 'instrs;
+            }
+
+            for r in 0..16u8 {
+                let reg = Reg::new(r);
+                if reg == Reg::IP || reg == Reg::PC {
+                    continue; // translator scratch / control
+                }
+                if native.read(reg) != fits.read(reg) {
+                    diags.push(
+                        Diagnostic::error(
+                            "TV001",
+                            format!(
+                                "expansion does not preserve r{r}: native {:#010x}, \
+                                 translated {:#010x} (valuation {trial})",
+                                native.read(reg),
+                                fits.read(reg)
+                            ),
+                        )
+                        .at_fits(anchor)
+                        .at_arm(i),
+                    );
+                    continue 'instrs;
+                }
+            }
+            if native.flags != fits.flags {
+                diags.push(
+                    Diagnostic::error(
+                        "TV002",
+                        format!(
+                            "expansion does not preserve flags: native {:?}, translated \
+                             {:?} (valuation {trial})",
+                            native.flags, fits.flags
+                        ),
+                    )
+                    .at_fits(anchor)
+                    .at_arm(i),
+                );
+                continue 'instrs;
+            }
+            if native.stores != fits.stores {
+                diags.push(
+                    Diagnostic::error(
+                        "TV003",
+                        format!(
+                            "expansion does not preserve memory effects: native stores \
+                             {:?}, translated {:?} (valuation {trial})",
+                            native.stores, fits.stores
+                        ),
+                    )
+                    .at_fits(anchor)
+                    .at_arm(i),
+                );
+                continue 'instrs;
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Seeded-fault tests: corrupt one aspect of an accepted
+//! `(Program, Synthesis, Translation)` triple and check that the right
+//! analysis family reports the right rule code.
+
+#![allow(clippy::unwrap_used)]
+
+use fits_core::{decode_word, op_meta, FitsFlow, FitsOp, Synthesis, Translation};
+use fits_isa::{Instr, Program, Reg};
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_sim::instr_meta;
+use fits_verify::analyze;
+
+/// Runs the flow's static stages on one kernel and returns the triple.
+fn triple(kernel: Kernel) -> (Program, Synthesis, Translation) {
+    let program = kernel.compile(Scale::test()).unwrap();
+    let flow = FitsFlow {
+        verify: false,
+        ..FitsFlow::default()
+    };
+    let out = flow.run(&program).unwrap();
+    let translation = Translation {
+        fits: out.fits,
+        stats: out.mapping,
+    };
+    (program, out.synthesis, translation)
+}
+
+/// All decoded ops of a translation (panics on undecodable words: the
+/// uncorrupted triples must be sound).
+fn decode_all(translation: &Translation) -> Vec<FitsOp> {
+    translation
+        .fits
+        .instrs
+        .iter()
+        .enumerate()
+        .map(|(j, &w)| decode_word(&translation.fits.config, w, j).unwrap())
+        .collect()
+}
+
+/// Every 16-bit word sharing `word`'s opcode prefix.
+fn same_prefix_words(translation: &Translation, word: u16) -> Vec<u16> {
+    let entry = translation.fits.config.match_word(word).unwrap();
+    let suffix_bits = 16 - u32::from(entry.len);
+    let prefix = word & !(((1u32 << suffix_bits) - 1) as u16);
+    (0..1u32 << suffix_bits)
+        .map(|bits| prefix | bits as u16)
+        .collect()
+}
+
+/// Corrupting a dictionary (so instruction words carry out-of-range
+/// indices) is reported by the encoding family as `ENC004`.
+#[test]
+fn corrupt_dictionary_index_is_enc004() {
+    let mut hit = false;
+    for &kernel in Kernel::ALL {
+        let (program, synthesis, mut translation) = triple(kernel);
+        // Only meaningful when some word actually indexes a dictionary:
+        // emptying the dictionaries must then break its decode.
+        let dicts = &mut translation.fits.config.dicts;
+        let had_entries =
+            !(dicts.operate.is_empty() && dicts.mem_disp.is_empty() && dicts.shift.is_empty());
+        dicts.operate.clear();
+        dicts.mem_disp.clear();
+        dicts.shift.clear();
+        let report = analyze(&program, &synthesis, &translation);
+        if had_entries && report.has_code("ENC004") {
+            assert!(!report.is_clean());
+            hit = true;
+            break;
+        }
+    }
+    assert!(hit, "no kernel exercised a dictionary-indexed encoding");
+}
+
+/// Corrupting a branch's offset field (repacking the word with a different
+/// displacement) is reported by the control-flow family as `CFI001` (target
+/// outside the text) or `CFI002` (target off a translation boundary).
+#[test]
+fn corrupt_branch_offset_is_cfi() {
+    let mut hit = false;
+    'kernels: for &kernel in Kernel::ALL {
+        let (program, synthesis, mut translation) = triple(kernel);
+        let ops = decode_all(&translation);
+        let n = translation.fits.instrs.len() as i64;
+        let positions = translation.stats.positions();
+
+        for (j, op) in ops.iter().enumerate() {
+            let FitsOp::Plain(Instr::Branch { cond, link, offset }) = op else {
+                continue;
+            };
+            let word = translation.fits.instrs[j];
+            for cand in same_prefix_words(&translation, word) {
+                let Ok(FitsOp::Plain(Instr::Branch {
+                    cond: c2,
+                    link: l2,
+                    offset: o2,
+                })) = decode_word(&translation.fits.config, cand, j)
+                else {
+                    continue;
+                };
+                if c2 != *cond || l2 != *link || o2 == *offset {
+                    continue;
+                }
+                let target = j as i64 + 2 + i64::from(o2);
+                let out_of_text = target < 0 || target >= n;
+                let off_boundary = !out_of_text && !positions.contains(&(target as u32));
+                if !(out_of_text || off_boundary) {
+                    continue;
+                }
+                translation.fits.instrs[j] = cand;
+                let report = analyze(&program, &synthesis, &translation);
+                assert!(!report.is_clean());
+                if out_of_text {
+                    assert!(report.has_code("CFI001"), "{}", report.render_text());
+                } else {
+                    assert!(report.has_code("CFI002"), "{}", report.render_text());
+                }
+                hit = true;
+                break 'kernels;
+            }
+        }
+    }
+    assert!(hit, "no kernel offered a corruptible branch offset");
+}
+
+/// Inserting a flag-clobbering instruction into an expansion whose flags
+/// are live is reported by the dataflow family as `DF002`.
+#[test]
+fn flag_clobbering_expansion_is_df002() {
+    let mut hit = false;
+    'kernels: for &kernel in Kernel::ALL {
+        let (program, synthesis, mut translation) = triple(kernel);
+        let ops = decode_all(&translation);
+        let positions = translation.stats.positions();
+
+        // A flag-setting native instruction immediately consumed by a
+        // conditional successor: flags are live across it.
+        for i in 0..program.text.len().saturating_sub(1) {
+            if !program.text[i].sets_flags()
+                || matches!(program.text[i], Instr::Branch { .. })
+                || !instr_meta(&program.text[i + 1]).reads_flags
+            {
+                continue;
+            }
+            let slice = positions[i] as usize..positions[i + 1] as usize;
+            let Some(setter) = slice.clone().find(|&j| op_meta(&ops[j]).sets_flags) else {
+                continue;
+            };
+            // Duplicate the flag-setting word inside the expansion: the
+            // mapping stays consistent, but the expansion now writes the
+            // flags twice.
+            let word = translation.fits.instrs[setter];
+            translation.fits.instrs.insert(slice.end, word);
+            translation.stats.expansion[i] += 1;
+            let report = analyze(&program, &synthesis, &translation);
+            assert!(!report.is_clean());
+            assert!(report.has_code("DF002"), "{}", report.render_text());
+            hit = true;
+            break 'kernels;
+        }
+    }
+    assert!(hit, "no kernel offered a live flag def/use chain");
+}
+
+/// Repacking an instruction word with a different destination register is
+/// reported by the translation-validation family as `TV001` (the expansion
+/// no longer preserves the native instruction's register effects).
+#[test]
+fn corrupt_destination_register_is_tv001() {
+    let mut hit = false;
+    'kernels: for &kernel in Kernel::ALL {
+        let (program, synthesis, mut translation) = triple(kernel);
+        let positions = translation.stats.positions();
+
+        for (i, instr) in program.text.iter().enumerate() {
+            // One-to-one mapped plain data processing, no PC involvement.
+            if positions[i + 1] - positions[i] != 1 {
+                continue;
+            }
+            let Instr::Dp {
+                op,
+                set_flags,
+                rd,
+                op2,
+                cond,
+                ..
+            } = instr
+            else {
+                continue;
+            };
+            if op.is_compare() {
+                continue;
+            }
+            let meta = instr_meta(instr);
+            if meta
+                .sources
+                .into_iter()
+                .chain(meta.dests)
+                .flatten()
+                .any(|r| r == Reg::PC)
+            {
+                continue;
+            }
+            let j = positions[i] as usize;
+            let word = translation.fits.instrs[j];
+            for cand in same_prefix_words(&translation, word) {
+                let Ok(FitsOp::Plain(Instr::Dp {
+                    op: o2,
+                    set_flags: s2,
+                    rd: rd2,
+                    rn: rn2,
+                    op2: p2,
+                    cond: c2,
+                })) = decode_word(&translation.fits.config, cand, j)
+                else {
+                    continue;
+                };
+                // Same operation, different destination (two-address forms
+                // retarget rn together with rd).
+                let retargeted = o2 == *op
+                    && s2 == *set_flags
+                    && c2 == *cond
+                    && p2 == *op2
+                    && rd2 != *rd
+                    && rd2 != Reg::IP
+                    && rd2 != Reg::PC
+                    && rn2 != Reg::PC;
+                if !retargeted {
+                    continue;
+                }
+                translation.fits.instrs[j] = cand;
+                let report = analyze(&program, &synthesis, &translation);
+                assert!(!report.is_clean());
+                assert!(report.has_code("TV001"), "{}", report.render_text());
+                hit = true;
+                break 'kernels;
+            }
+        }
+    }
+    assert!(hit, "no kernel offered a corruptible destination register");
+}

@@ -43,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", outcome.config());
 
     let run = outcome.fits_run.expect("flow verifies by default");
-    println!("verified: FITS exit code {:#010x} matches native execution", run.exit_code);
+    println!(
+        "verified: FITS exit code {:#010x} matches native execution",
+        run.exit_code
+    );
     Ok(())
 }

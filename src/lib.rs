@@ -16,6 +16,9 @@
 //!   leakage / peak, cache and chip level).
 //! * [`core`] — the FITS contribution: profiling, 16-bit instruction-set
 //!   synthesis, programmable decoders and ARM→FITS translation.
+//! * [`verify`] — static analyses over synthesized instruction sets and
+//!   translated binaries (`fitslint`): encoding soundness, control-flow
+//!   integrity, dataflow checks and per-rule translation validation.
 //! * [`bench`] — experiment runners that regenerate every figure of the
 //!   paper.
 //!
@@ -41,3 +44,4 @@ pub use fits_isa as isa;
 pub use fits_kernels as kernels;
 pub use fits_power as power;
 pub use fits_sim as sim;
+pub use fits_verify as verify;

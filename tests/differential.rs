@@ -3,6 +3,8 @@
 //! simulation and the synthesized-FITS simulation must produce identical
 //! exit codes and emit streams.
 
+#![allow(clippy::unwrap_used)]
+
 use powerfits::core::FitsFlow;
 use powerfits::kernels::kernels::{Kernel, Scale};
 use powerfits::sim::{fold_emitted, Ar32Set, Machine};
@@ -16,8 +18,7 @@ fn check_kernel(kernel: Kernel) {
     let mut machine = Machine::new(Ar32Set::load(&program));
     let native = machine.run().expect("native run");
     assert_eq!(
-        native.exit_code,
-        reference.exit_code,
+        native.exit_code, reference.exit_code,
         "{kernel}: native exit code diverges from the reference"
     );
     assert_eq!(

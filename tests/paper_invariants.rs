@@ -2,6 +2,8 @@
 //! suite run: who wins, by roughly what factor, and where the crossovers
 //! fall. These are the claims EXPERIMENTS.md records quantitatively.
 
+#![allow(clippy::unwrap_used)]
+
 use powerfits::bench::{figures, run_suite, Config};
 use powerfits::kernels::kernels::{Kernel, Scale};
 
@@ -28,8 +30,16 @@ fn mapping_rates_match_the_paper_band() {
     let suite = small_suite();
     let fig3 = figures::fig3_static_mapping(&suite);
     let fig4 = figures::fig4_dynamic_mapping(&suite);
-    assert!(fig3.column_mean(0) > 0.94, "static {:.3}", fig3.column_mean(0));
-    assert!(fig4.column_mean(0) > 0.96, "dynamic {:.3}", fig4.column_mean(0));
+    assert!(
+        fig3.column_mean(0) > 0.94,
+        "static {:.3}",
+        fig3.column_mean(0)
+    );
+    assert!(
+        fig4.column_mean(0) > 0.96,
+        "dynamic {:.3}",
+        fig4.column_mean(0)
+    );
 }
 
 #[test]
@@ -39,7 +49,10 @@ fn code_size_ordering_and_factors() {
     let fig5 = figures::fig5_code_size(&suite);
     let thumb = fig5.column_mean(1);
     let fits = fig5.column_mean(2);
-    assert!(fits < thumb && thumb < 1.0, "ordering: fits {fits:.3} thumb {thumb:.3}");
+    assert!(
+        fits < thumb && thumb < 1.0,
+        "ordering: fits {fits:.3} thumb {thumb:.3}"
+    );
     assert!((0.48..=0.60).contains(&fits), "FITS ratio {fits:.3}");
     assert!((0.60..=0.85).contains(&thumb), "THUMB ratio {thumb:.3}");
 }
@@ -54,7 +67,10 @@ fn switching_saving_favors_fits_only() {
         fig7.column_mean(1),
         fig7.column_mean(2),
     );
-    assert!((0.30..=0.60).contains(&fits16), "FITS16 switching {fits16:.3}");
+    assert!(
+        (0.30..=0.60).contains(&fits16),
+        "FITS16 switching {fits16:.3}"
+    );
     assert!((fits8 - fits16).abs() < 0.10, "FITS16 ~ FITS8");
     assert!(arm8.abs() < 0.08, "ARM8 saves virtually none: {arm8:.3}");
 }
@@ -112,8 +128,14 @@ fn ipc_comparable_for_fits8_and_worst_for_arm8() {
         fig14.column_mean(2),
         fig14.column_mean(3),
     );
-    assert!(fits8 >= arm16 * 0.93, "FITS8 IPC {fits8:.3} vs ARM16 {arm16:.3}");
-    assert!(arm8 <= arm16 + 1e-9, "ARM8 IPC {arm8:.3} cannot beat ARM16 {arm16:.3}");
+    assert!(
+        fits8 >= arm16 * 0.93,
+        "FITS8 IPC {fits8:.3} vs ARM16 {arm16:.3}"
+    );
+    assert!(
+        arm8 <= arm16 + 1e-9,
+        "ARM8 IPC {arm8:.3} cannot beat ARM16 {arm16:.3}"
+    );
 }
 
 #[test]

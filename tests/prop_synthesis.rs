@@ -1,14 +1,19 @@
 //! Property tests over the synthesis/translation pipeline: random
 //! straight-line IR programs must survive the full FITS flow with exact
 //! behavioural equivalence, and the synthesized configurations must be
-//! structurally sound.
+//! structurally sound — including under the `fits-verify` static analyses.
+//!
+//! Randomness comes from the workspace's deterministic `fits-rng` stream,
+//! so failures reproduce exactly.
 
+#![allow(clippy::unwrap_used)]
+
+use fits_rng::StdRng;
 use powerfits::core::{synthesize, FitsFlow, SynthOptions};
 use powerfits::isa::DATA_BASE;
 use powerfits::kernels::builder::{FnBuilder, ModuleBuilder};
 use powerfits::kernels::codegen::compile;
 use powerfits::kernels::ir::{BinOp, CmpOp, Val};
-use proptest::prelude::*;
 
 /// A recipe for one random statement.
 #[derive(Clone, Debug)]
@@ -21,15 +26,24 @@ enum Step {
     CondInc(u8, usize, u32),
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        any::<u32>().prop_map(Step::Imm),
-        (0u8..11, 0usize..8, 0usize..8).prop_map(|(o, a, b)| Step::Bin(o, a, b)),
-        (0u8..11, 0usize..8, any::<u32>()).prop_map(|(o, a, v)| Step::BinImm(o, a, v)),
-        (0usize..8).prop_map(Step::Not),
-        (0usize..8, 0u8..6).prop_map(|(a, s)| Step::StoreLoad(a, s)),
-        (0u8..10, 0usize..8, any::<u32>()).prop_map(|(c, a, v)| Step::CondInc(c, a, v)),
-    ]
+fn arb_step(r: &mut StdRng) -> Step {
+    match r.gen_range(0..6u8) {
+        0 => Step::Imm(r.gen()),
+        1 => Step::Bin(
+            r.gen_range(0..11u8),
+            r.gen_range(0..8usize),
+            r.gen_range(0..8usize),
+        ),
+        2 => Step::BinImm(r.gen_range(0..11u8), r.gen_range(0..8usize), r.gen()),
+        3 => Step::Not(r.gen_range(0..8usize)),
+        4 => Step::StoreLoad(r.gen_range(0..8usize), r.gen_range(0..6u8)),
+        _ => Step::CondInc(r.gen_range(0..10u8), r.gen_range(0..8usize), r.gen()),
+    }
+}
+
+fn arb_steps(r: &mut StdRng, max: usize) -> Vec<Step> {
+    let n = r.gen_range(1..max);
+    (0..n).map(|_| arb_step(r)).collect()
 }
 
 fn bin_of(code: u8) -> BinOp {
@@ -69,7 +83,9 @@ fn build(steps: &[Step]) -> powerfits::isa::Program {
     let mut mb = ModuleBuilder::new();
     let mut f = FnBuilder::new("main", 0);
     let base = f.imm(DATA_BASE);
-    let mut pool: Vec<Val> = (0..8).map(|i| f.imm(0x1234_5678u32.wrapping_mul(i + 1))).collect();
+    let mut pool: Vec<Val> = (0..8)
+        .map(|i| f.imm(0x1234_5678u32.wrapping_mul(i + 1)))
+        .collect();
     for step in steps {
         match step {
             Step::Imm(v) => {
@@ -113,41 +129,56 @@ fn build(steps: &[Step]) -> powerfits::isa::Program {
     compile(&mb.finish(vec![0u8; 64])).expect("random program compiles")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The flagship property: the FITS flow is semantics-preserving on
-    /// arbitrary programs, not just the curated suite (`FitsFlow` verifies
-    /// the translated binary against the native run internally).
-    #[test]
-    fn flow_preserves_semantics_on_random_programs(steps in proptest::collection::vec(arb_step(), 1..60)) {
+/// The flagship property: the FITS flow is semantics-preserving on
+/// arbitrary programs, not just the curated suite (`FitsFlow` verifies the
+/// translated binary against the native run internally, and the static
+/// validator checks the triple before anything executes).
+#[test]
+fn flow_preserves_semantics_on_random_programs() {
+    let mut r = StdRng::seed_from_u64(0xf175);
+    for case in 0..48 {
+        let steps = arb_steps(&mut r, 60);
         let program = build(&steps);
         let flow = FitsFlow {
             min_static_rate: 0.0, // synthetic soups may map poorly; only
-                                  // correctness is asserted here
-            ..FitsFlow::default()
+            // correctness is asserted here
+            ..powerfits::verify::verified_flow()
         };
-        let outcome = flow.run(&program).expect("flow succeeds");
-        prop_assert!(outcome.fits_run.is_some(), "verification ran");
+        let outcome = flow
+            .run(&program)
+            .unwrap_or_else(|e| panic!("case {case}: flow fails: {e}"));
+        assert!(outcome.fits_run.is_some(), "verification ran");
     }
+}
 
-    /// Synthesized configurations are prefix-free and within the opcode
-    /// space budget for arbitrary programs.
-    #[test]
-    fn synthesis_is_structurally_sound(steps in proptest::collection::vec(arb_step(), 1..40)) {
+/// Synthesized configurations are prefix-free and within the opcode space
+/// budget for arbitrary programs, and the translated binary is clean under
+/// every `fitslint` analysis family.
+#[test]
+fn synthesis_is_structurally_sound() {
+    let mut r = StdRng::seed_from_u64(0x50d4);
+    for case in 0..48 {
+        let steps = arb_steps(&mut r, 40);
         let program = build(&steps);
         let profile = powerfits::core::profile(&program).expect("profiles");
         let synthesis = synthesize(&profile, &SynthOptions::default());
-        prop_assert!(synthesis.config.is_prefix_free());
-        prop_assert!(synthesis.report.space_used <= 65536);
+        assert!(synthesis.config.is_prefix_free(), "case {case}");
+        assert!(synthesis.report.space_used <= 65536, "case {case}");
         // Every 16-bit word in a translated binary must decode uniquely.
-        let translation = powerfits::core::translate(&program, &synthesis.config)
-            .expect("translates");
+        let translation =
+            powerfits::core::translate(&program, &synthesis.config).expect("translates");
         for word in &translation.fits.instrs {
-            prop_assert!(
+            assert!(
                 translation.fits.config.match_word(*word).is_some(),
-                "word {word:#06x} must decode"
+                "case {case}: word {word:#06x} must decode"
             );
         }
+        // And the whole triple must pass static verification.
+        let report = powerfits::verify::analyze(&program, &synthesis, &translation);
+        assert!(
+            report.is_clean(),
+            "case {case}: static analysis found defects:\n{}",
+            report.render_text()
+        );
     }
 }
