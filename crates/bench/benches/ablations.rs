@@ -7,7 +7,8 @@
 //!
 //! Run with `cargo bench -p fits-bench --bench ablations`.
 
-use fits_core::{profile, synthesize, translate, FitsSet, SynthOptions, TranslateError};
+use fits_bench::Artifacts;
+use fits_core::{synthesize, translate, FitsSet, SynthOptions, TranslateError};
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_sim::{Machine, Sa1100Config};
 
@@ -21,23 +22,26 @@ const KERNELS: &[Kernel] = &[
 
 fn main() {
     let scale = Scale { n: 192 };
-    ablation_dict_bits(scale);
-    ablation_toggle_aware(scale);
-    ablation_register_window(scale);
-    ablation_space_budget(scale);
+    // One artifact cache for the whole process: each kernel is compiled and
+    // profiled exactly once, no matter how many ablation points consume it.
+    let artifacts = Artifacts::new();
+    ablation_dict_bits(&artifacts, scale);
+    ablation_toggle_aware(&artifacts, scale);
+    ablation_register_window(&artifacts, scale);
+    ablation_space_budget(&artifacts, scale);
 }
 
 /// A1: dictionary capacity vs mapping rate — the §3.3 immediate-synthesis
 /// knob. Tiny dictionaries force 1-to-n constant construction.
-fn ablation_dict_bits(scale: Scale) {
+fn ablation_dict_bits(artifacts: &Artifacts, scale: Scale) {
     println!("[A1] immediate-dictionary index width vs mapping rate");
     println!(
         "  {:<14} {:>6} {:>10} {:>10} {:>10}",
         "kernel", "bits", "static%", "dynamic%", "code"
     );
     for &kernel in KERNELS {
-        let program = kernel.compile(scale).expect("compiles");
-        let prof = profile(&program).expect("profiles");
+        let program = artifacts.program(kernel, scale).expect("compiles");
+        let prof = artifacts.profile(kernel, scale).expect("profiles");
         for bits in [0u8, 2, 4, 6, 8] {
             let opts = SynthOptions {
                 max_dict_bits: bits,
@@ -60,15 +64,15 @@ fn ablation_dict_bits(scale: Scale) {
 
 /// A2: toggle-aware opcode-value assignment — measured I-cache output
 /// toggles per fetch with the optimization on and off.
-fn ablation_toggle_aware(scale: Scale) {
+fn ablation_toggle_aware(artifacts: &Artifacts, scale: Scale) {
     println!("[A2] toggle-aware opcode assignment (fetch toggles per access)");
     println!(
         "  {:<14} {:>12} {:>12} {:>8}",
         "kernel", "gray-on", "gray-off", "delta%"
     );
     for &kernel in KERNELS {
-        let program = kernel.compile(scale).expect("compiles");
-        let prof = profile(&program).expect("profiles");
+        let program = artifacts.program(kernel, scale).expect("compiles");
+        let prof = artifacts.profile(kernel, scale).expect("profiles");
         let mut per_access = [0.0f64; 2];
         for (i, toggle_aware) in [true, false].into_iter().enumerate() {
             let opts = SynthOptions {
@@ -97,15 +101,15 @@ fn ablation_toggle_aware(scale: Scale) {
 /// register set, so post-hoc translation into a 3-bit window fails on the
 /// registers outside it — quantifying why the paper synthesizes the
 /// register organization *with* the compiler rather than after it.
-fn ablation_register_window(scale: Scale) {
+fn ablation_register_window(artifacts: &Artifacts, scale: Scale) {
     println!("[A3] register-window width (4-bit vs 3-bit fields)");
     println!(
         "  {:<14} {:>10} {:>34}",
         "kernel", "regs used", "3-bit window outcome"
     );
     for &kernel in KERNELS {
-        let program = kernel.compile(scale).expect("compiles");
-        let prof = profile(&program).expect("profiles");
+        let program = artifacts.program(kernel, scale).expect("compiles");
+        let prof = artifacts.profile(kernel, scale).expect("profiles");
         let opts = SynthOptions {
             reg_bits: 3,
             ..SynthOptions::default()
@@ -133,15 +137,15 @@ fn ablation_register_window(scale: Scale) {
 
 /// A4: shrinking the opcode-space budget (e.g. sharing the decode table
 /// between resident applications) versus expansion.
-fn ablation_space_budget(scale: Scale) {
+fn ablation_space_budget(artifacts: &Artifacts, scale: Scale) {
     println!("[A4] opcode-space budget vs dynamic mapping rate");
     println!(
         "  {:<14} {:>8} {:>10} {:>10}",
         "kernel", "budget", "dynamic%", "opcodes"
     );
     for &kernel in KERNELS {
-        let program = kernel.compile(scale).expect("compiles");
-        let prof = profile(&program).expect("profiles");
+        let program = artifacts.program(kernel, scale).expect("compiles");
+        let prof = artifacts.profile(kernel, scale).expect("profiles");
         for budget in [0.25f64, 0.5, 0.75, 1.0] {
             let opts = SynthOptions {
                 space_budget: budget,

@@ -57,6 +57,14 @@ fn bench_simulator() {
         let mut m = Machine::new(Ar32Set::load(&program));
         black_box(m.run_timed(&Sa1100Config::icache_16k()).unwrap());
     });
+    // Execute-once/replay-many: one functional execution feeding four timing
+    // models — compare against 4x the timed_ar32 line to see the win.
+    let multi_cfgs = [16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024]
+        .map(|bytes| Sa1100Config::icache_16k().with_icache_bytes(bytes));
+    bench("simulator", "timed_multi_ar32_x4", Some(steps), || {
+        let mut m = Machine::new(Ar32Set::load(&program));
+        black_box(m.run_timed_multi(&multi_cfgs).unwrap());
+    });
     let flow = fits_core::FitsFlow::new().run(&program).unwrap();
     bench("simulator", "timed_fits", Some(steps), || {
         let mut m = Machine::new(FitsSet::load(&flow.fits).unwrap());

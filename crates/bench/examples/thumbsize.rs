@@ -2,21 +2,15 @@
 
 #![allow(clippy::unwrap_used)]
 
-use fits_isa::thumb;
+use fits_bench::Artifacts;
 use fits_kernels::kernels::{Kernel, Scale};
+
 fn main() {
+    let artifacts = Artifacts::new();
     let mut sum = 0.0;
-    for k in Kernel::ALL {
-        let p = k.compile(Scale::test()).unwrap();
-        let low = [
-            fits_isa::Reg::R4,
-            fits_isa::Reg::R5,
-            fits_isa::Reg::R6,
-            fits_isa::Reg::R7,
-        ];
-        let tp =
-            fits_kernels::codegen::compile_with_regs(&k.build_module(Scale::test()), &low).unwrap();
-        let t = thumb::translate(&tp);
+    for &k in Kernel::ALL.iter() {
+        let p = artifacts.program(k, Scale::test()).unwrap();
+        let t = artifacts.thumb(k, Scale::test()).unwrap();
         let r = t.code_bytes() as f64 / p.code_bytes() as f64;
         sum += r;
         println!(

@@ -1,0 +1,150 @@
+//! Shared, thread-safe cache of per-`(kernel, scale)` experiment artifacts.
+//!
+//! Every sweep in the harness (the §5 repro, the ablations, the THUMB size
+//! study) starts from the same expensive inputs: the compiled native
+//! [`Program`], its stage-1 [`Profile`], the accepted [`FlowOutcome`] and
+//! the T16 recompilation. Before this cache each sweep point recompiled and
+//! re-profiled from scratch — ablation A1 alone re-derived 5 kernels × 5
+//! dictionary widths from identical profiles. An [`Artifacts`] instance
+//! computes each artifact once and hands out `Arc`s; create one per process
+//! (or per suite run, when measurement passes must stay independent) and
+//! share it freely across worker threads.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use fits_core::{profile, FlowOutcome, Profile};
+use fits_isa::thumb::{self, T16Program};
+use fits_isa::{Program, Reg};
+use fits_kernels::kernels::{Kernel, Scale};
+
+use crate::experiment::ExperimentError;
+
+/// The low-register window the THUMB baseline recompiles for (r0–r3 stay
+/// scratch; r4–r7 are allocatable), reproducing the §6.2 register-pressure
+/// effect.
+const THUMB_REGS: [Reg; 4] = [Reg::R4, Reg::R5, Reg::R6, Reg::R7];
+
+type Key = (Kernel, u32);
+
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // The maps are only ever mutated under short, panic-free insertions;
+    // recover the guard rather than propagating a poison error.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn get_or_compute<V>(
+    map: &Mutex<HashMap<Key, Arc<V>>>,
+    key: Key,
+    compute: impl FnOnce() -> Result<V, ExperimentError>,
+) -> Result<Arc<V>, ExperimentError> {
+    if let Some(v) = locked(map).get(&key) {
+        return Ok(Arc::clone(v));
+    }
+    // Computed outside the lock so distinct keys build in parallel; a racing
+    // duplicate of the same key is deterministic and the first insert wins.
+    let value = Arc::new(compute()?);
+    Ok(Arc::clone(locked(map).entry(key).or_insert(value)))
+}
+
+/// A cache of compiled programs, profiles, flow outcomes and THUMB
+/// translations, keyed by `(kernel, scale)`.
+#[derive(Debug, Default)]
+pub struct Artifacts {
+    programs: Mutex<HashMap<Key, Arc<Program>>>,
+    profiles: Mutex<HashMap<Key, Arc<Profile>>>,
+    flows: Mutex<HashMap<Key, Arc<FlowOutcome>>>,
+    thumbs: Mutex<HashMap<Key, Arc<T16Program>>>,
+}
+
+impl Artifacts {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Artifacts {
+        Artifacts::default()
+    }
+
+    /// The compiled native program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel compilation failures (unexpected for shipped
+    /// kernels).
+    pub fn program(&self, kernel: Kernel, scale: Scale) -> Result<Arc<Program>, ExperimentError> {
+        get_or_compute(&self.programs, (kernel, scale.n), || {
+            kernel.compile(scale).map_err(ExperimentError::Compile)
+        })
+    }
+
+    /// The stage-1 profile of the native program (includes the reference
+    /// functional run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and simulation failures.
+    pub fn profile(&self, kernel: Kernel, scale: Scale) -> Result<Arc<Profile>, ExperimentError> {
+        let program = self.program(kernel, scale)?;
+        get_or_compute(&self.profiles, (kernel, scale.n), || {
+            profile(&program).map_err(ExperimentError::Sim)
+        })
+    }
+
+    /// The accepted (and statically verified) flow outcome, built from the
+    /// cached profile so the profiling execution happens once per
+    /// `(kernel, scale)` no matter how many sweeps consume it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation, profiling and flow failures.
+    pub fn flow(&self, kernel: Kernel, scale: Scale) -> Result<Arc<FlowOutcome>, ExperimentError> {
+        let program = self.program(kernel, scale)?;
+        let prof = self.profile(kernel, scale)?;
+        get_or_compute(&self.flows, (kernel, scale.n), || {
+            fits_verify::verified_flow()
+                .run_profiled(&program, (*prof).clone())
+                .map_err(ExperimentError::Flow)
+        })
+    }
+
+    /// The T16 (Thumb-like) translation of the 8-register recompilation —
+    /// the Figure-5 code-size baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    pub fn thumb(&self, kernel: Kernel, scale: Scale) -> Result<Arc<T16Program>, ExperimentError> {
+        get_or_compute(&self.thumbs, (kernel, scale.n), || {
+            let thumb_program =
+                fits_kernels::codegen::compile_with_regs(&kernel.build_module(scale), &THUMB_REGS)
+                    .map_err(ExperimentError::Compile)?;
+            Ok(thumb::translate(&thumb_program))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_are_cached_and_shared() {
+        let arts = Artifacts::new();
+        let a = arts.program(Kernel::Crc32, Scale::test()).unwrap();
+        let b = arts.program(Kernel::Crc32, Scale::test()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let f1 = arts.flow(Kernel::Crc32, Scale::test()).unwrap();
+        let f2 = arts.flow(Kernel::Crc32, Scale::test()).unwrap();
+        assert!(Arc::ptr_eq(&f1, &f2));
+        // The flow consumed the cached profile, not a fresh one.
+        let p = arts.profile(Kernel::Crc32, Scale::test()).unwrap();
+        assert_eq!(f1.profile.dyn_total, p.dyn_total);
+    }
+
+    #[test]
+    fn distinct_scales_are_distinct_entries() {
+        let arts = Artifacts::new();
+        let a = arts.program(Kernel::Crc32, Scale { n: 64 }).unwrap();
+        let b = arts.program(Kernel::Crc32, Scale { n: 96 }).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,206 @@
+//! `simperf` — simulator throughput and suite wall-clock harness.
+//!
+//! Measures what the experiment harness actually pays for: functional
+//! simulation speed (MIPS), trace-driven timing speed (single model and the
+//! execute-once/replay-many path), and the wall-clock of a full 21-kernel ×
+//! 4-configuration suite run at test scale. Results are written to
+//! `BENCH.json` (hand-rolled JSON; the workspace has no serde) so CI can
+//! archive a throughput record per commit without gating on the numbers.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fits-bench --bin simperf              # full run
+//! cargo run --release -p fits-bench --bin simperf -- --smoke   # quick CI run
+//! cargo run --release -p fits-bench --bin simperf -- \
+//!     --baseline-seconds 1.135                                 # print speedup
+//! cargo run --release -p fits-bench --bin simperf -- --out bench/BENCH.json
+//! ```
+//!
+//! Every suite pass constructs a fresh [`Artifacts`] cache (inside
+//! [`run_suite`]), so repeated passes measure the same cold-cache work and
+//! stay comparable across commits.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fits_bench::run_suite;
+use fits_core::{FitsFlow, FitsSet};
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_sim::{Ar32Set, Machine, Sa1100Config};
+
+/// The kernel the MIPS probes execute. SHA has the largest dynamic
+/// instruction count per unit of compile time in the suite.
+const PROBE_KERNEL: Kernel = Kernel::Sha;
+
+struct Options {
+    smoke: bool,
+    out: String,
+    baseline_seconds: Option<f64>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        out: "BENCH.json".to_owned(),
+        baseline_seconds: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => opts.out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--baseline-seconds" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--baseline-seconds needs a value"));
+                opts.baseline_seconds =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        usage(&format!("invalid --baseline-seconds value: {v}"))
+                    }));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("simperf: {err}");
+    }
+    eprintln!("usage: simperf [--smoke] [--out PATH] [--baseline-seconds SECS]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Runs `f` repeatedly until `budget_secs` of wall time elapse (at least
+/// once) and returns (total seconds, calls).
+fn measure(budget_secs: f64, mut f: impl FnMut()) -> (f64, u32) {
+    let start = Instant::now();
+    let mut calls = 0u32;
+    loop {
+        f();
+        calls += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= budget_secs {
+            return (elapsed, calls);
+        }
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = Scale::test();
+    let budget = if opts.smoke { 0.05 } else { 0.4 };
+    let suite_passes = if opts.smoke { 1 } else { 3 };
+
+    eprintln!(
+        "simperf: probe kernel {} at n={} ({} mode)",
+        PROBE_KERNEL.name(),
+        scale.n,
+        if opts.smoke { "smoke" } else { "full" }
+    );
+
+    // --- Simulator throughput probes ----------------------------------
+    let program = PROBE_KERNEL.compile(scale).expect("probe kernel compiles");
+    let steps = Machine::new(Ar32Set::load(&program))
+        .run()
+        .expect("probe kernel runs")
+        .steps;
+    let multi_cfgs: Vec<Sa1100Config> = [16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024]
+        .into_iter()
+        .map(|bytes| Sa1100Config::icache_16k().with_icache_bytes(bytes))
+        .collect();
+
+    let (secs, calls) = measure(budget, || {
+        let mut m = Machine::new(Ar32Set::load(&program));
+        black_box(m.run().expect("functional run"));
+    });
+    let functional_mips = steps as f64 * f64::from(calls) / secs / 1e6;
+
+    let (secs, calls) = measure(budget, || {
+        let mut m = Machine::new(Ar32Set::load(&program));
+        black_box(m.run_timed(&Sa1100Config::icache_16k()).expect("timed run"));
+    });
+    let timed_mips = steps as f64 * f64::from(calls) / secs / 1e6;
+
+    let (secs, calls) = measure(budget, || {
+        let mut m = Machine::new(Ar32Set::load(&program));
+        black_box(m.run_timed_multi(&multi_cfgs).expect("replay run"));
+    });
+    // Retired instructions observed by all four models per wall second.
+    let replay4_mips = steps as f64 * 4.0 * f64::from(calls) / secs / 1e6;
+
+    let flow = FitsFlow::new().run(&program).expect("flow accepts probe");
+    let (secs, calls) = measure(budget, || {
+        let set = FitsSet::load(&flow.fits).expect("fits loads");
+        let mut m = Machine::new(set);
+        black_box(m.run_timed(&Sa1100Config::icache_16k()).expect("fits run"));
+    });
+    let fits_steps = flow.fits_run.expect("flow verified").steps;
+    let fits_timed_mips = fits_steps as f64 * f64::from(calls) / secs / 1e6;
+
+    eprintln!(
+        "simperf: functional {functional_mips:.1} MIPS, timed {timed_mips:.1} MIPS, \
+         replay-x4 {replay4_mips:.1} MIPS, fits timed {fits_timed_mips:.1} MIPS"
+    );
+
+    // --- Full-suite wall-clock ----------------------------------------
+    let mut suite_seconds = Vec::with_capacity(suite_passes);
+    for pass in 0..suite_passes {
+        let t = Instant::now();
+        let suite = run_suite(Kernel::ALL, scale).expect("suite runs");
+        let elapsed = t.elapsed().as_secs_f64();
+        black_box(&suite);
+        eprintln!("simperf: suite pass {}: {elapsed:.3}s", pass + 1);
+        suite_seconds.push(elapsed);
+    }
+    let suite_best = suite_seconds.iter().copied().fold(f64::INFINITY, f64::min);
+    let speedup = opts.baseline_seconds.map(|b| b / suite_best);
+    if let (Some(baseline), Some(ratio)) = (opts.baseline_seconds, speedup) {
+        eprintln!("simperf: suite best {suite_best:.3}s vs baseline {baseline:.3}s = {ratio:.2}x");
+    } else {
+        eprintln!("simperf: suite best {suite_best:.3}s");
+    }
+
+    // --- BENCH.json ----------------------------------------------------
+    let all: Vec<String> = suite_seconds.iter().map(|s| json_f64(*s)).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"powerfits-bench-v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"probe_kernel\": \"{probe}\",\n  \"scale_n\": {n},\n  \"simulator\": {{\n    \
+         \"steps_per_run\": {steps},\n    \"functional_mips\": {fm},\n    \
+         \"timed_mips\": {tm},\n    \"replay4_mips\": {rm},\n    \
+         \"fits_timed_mips\": {ftm}\n  }},\n  \"suite\": {{\n    \
+         \"kernels\": {kernels},\n    \"configs\": 4,\n    \"passes\": {passes},\n    \
+         \"seconds_best\": {best},\n    \"seconds_all\": [{all}]\n  }},\n  \
+         \"baseline_seconds\": {base},\n  \"speedup_vs_baseline\": {ratio}\n}}\n",
+        mode = if opts.smoke { "smoke" } else { "full" },
+        probe = PROBE_KERNEL.name(),
+        n = scale.n,
+        steps = steps,
+        fm = json_f64(functional_mips),
+        tm = json_f64(timed_mips),
+        rm = json_f64(replay4_mips),
+        ftm = json_f64(fits_timed_mips),
+        kernels = Kernel::ALL.len(),
+        passes = suite_passes,
+        best = json_f64(suite_best),
+        all = all.join(", "),
+        base = opts.baseline_seconds.map_or("null".to_owned(), json_f64),
+        ratio = speedup.map_or("null".to_owned(), json_f64),
+    );
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("simperf: failed to write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    eprintln!("simperf: wrote {}", opts.out);
+}

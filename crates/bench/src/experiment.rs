@@ -1,14 +1,23 @@
 //! The §5 experimental setup: four processor configurations (ARM16, ARM8,
 //! FITS16, FITS8 — ISA × I-cache size, everything else fixed at the
 //! SA-1100 model) swept over the benchmark suite.
+//!
+//! The four timed configurations are measured with the
+//! execute-once/replay-many engine ([`Machine::run_timed_multi`]): each
+//! kernel's native binary executes **once** feeding both ARM cache
+//! geometries, and its FITS binary executes **once** feeding both FITS
+//! geometries — the per-configuration [`SimResult`]s are bit-identical to
+//! separate per-configuration runs.
 
+use std::cell::Cell;
 use std::fmt;
 
 use fits_core::FlowError;
-use fits_isa::thumb;
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_power::{cache_power, chip_power_with, CachePower, ChipPower, DecodeKind, TechParams};
 use fits_sim::{Ar32Set, Machine, Sa1100Config, SimResult};
+
+use crate::artifacts::Artifacts;
 
 /// One of the paper's four simulated configurations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -135,48 +144,78 @@ impl fmt::Display for ExperimentError {
 
 impl std::error::Error for ExperimentError {}
 
-/// Runs all four configurations for one kernel.
+thread_local! {
+    static TIMED_EXECUTIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of timed program executions this thread has performed through
+/// [`run_kernel`]/[`run_kernel_with`] — instrumentation for the tests that
+/// assert the execute-once/replay-many collapse (one ARM execution plus one
+/// FITS execution per kernel, regardless of how many cache configurations
+/// are measured).
+#[must_use]
+pub fn timed_executions_on_this_thread() -> u64 {
+    TIMED_EXECUTIONS.with(Cell::get)
+}
+
+/// Runs all four configurations for one kernel, using a private artifact
+/// cache. Sweeps that revisit kernels should prefer [`run_kernel_with`] and
+/// share an [`Artifacts`].
 ///
 /// # Errors
 ///
 /// Propagates compilation, synthesis, translation and simulation failures
 /// (none are expected for the shipped kernels).
 pub fn run_kernel(kernel: Kernel, scale: Scale) -> Result<KernelResults, ExperimentError> {
+    run_kernel_with(&Artifacts::new(), kernel, scale)
+}
+
+/// Runs all four configurations for one kernel against a shared artifact
+/// cache: one native execution feeds both ARM cache geometries and one FITS
+/// execution feeds both FITS geometries.
+///
+/// # Errors
+///
+/// Propagates compilation, synthesis, translation and simulation failures
+/// (none are expected for the shipped kernels).
+pub fn run_kernel_with(
+    artifacts: &Artifacts,
+    kernel: Kernel,
+    scale: Scale,
+) -> Result<KernelResults, ExperimentError> {
     let tech = TechParams::sa1100();
-    let program = kernel.compile(scale).map_err(ExperimentError::Compile)?;
+    let program = artifacts.program(kernel, scale)?;
     // The verified flow statically validates the accepted triple (encoding
     // soundness, CFI, dataflow, translation validation) before execution.
-    let flow = fits_verify::verified_flow()
-        .run(&program)
-        .map_err(ExperimentError::Flow)?;
+    let flow = artifacts.flow(kernel, scale)?;
     // The THUMB baseline is a recompilation for the 8-register window
     // (r0-r3 scratch + r4-r7 allocatable): higher register pressure, more
     // spill code — the §6.2 effect — then a structural translation into
     // the 16-bit T16 encodings.
-    let low_regs = [
-        fits_isa::Reg::R4,
-        fits_isa::Reg::R5,
-        fits_isa::Reg::R6,
-        fits_isa::Reg::R7,
-    ];
-    let thumb_program =
-        fits_kernels::codegen::compile_with_regs(&kernel.build_module(scale), &low_regs)
-            .map_err(ExperimentError::Compile)?;
-    let t16 = thumb::translate(&thumb_program);
+    let t16 = artifacts.thumb(kernel, scale)?;
+
+    // Execute once per ISA, replaying the retired-instruction stream into
+    // one timing model per cache geometry.
+    let arm_configs = [Config::Arm16, Config::Arm8].map(sa1100_for);
+    let fits_configs = [Config::Fits16, Config::Fits8].map(sa1100_for);
+    let (_, arm_sims) = {
+        let mut m = Machine::new(Ar32Set::load(&program));
+        TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
+        m.run_timed_multi(&arm_configs)
+            .map_err(ExperimentError::Sim)?
+    };
+    let (_, fits_sims) = {
+        let set = fits_core::FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
+        let mut m = Machine::new(set);
+        TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
+        m.run_timed_multi(&fits_configs)
+            .map_err(ExperimentError::Sim)?
+    };
 
     let mut runs = Vec::with_capacity(4);
-    for cfg in Config::ALL {
-        let sa = Sa1100Config::icache_16k().with_icache_bytes(cfg.icache_bytes());
-        let sim = if cfg.is_fits() {
-            let set = fits_core::FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
-            let mut m = Machine::new(set);
-            let (_, sim) = m.run_timed(&sa).map_err(ExperimentError::Sim)?;
-            sim
-        } else {
-            let mut m = Machine::new(Ar32Set::load(&program));
-            let (_, sim) = m.run_timed(&sa).map_err(ExperimentError::Sim)?;
-            sim
-        };
+    let sims = arm_sims.into_iter().chain(fits_sims);
+    for (cfg, sim) in Config::ALL.into_iter().zip(sims) {
+        let sa = sa1100_for(cfg);
         let icache = cache_power(&sa.icache, &sim.icache, sim.cycles, &tech);
         let decode = if cfg.is_fits() {
             DecodeKind::Programmable {
@@ -201,35 +240,71 @@ pub fn run_kernel(kernel: Kernel, scale: Scale) -> Result<KernelResults, Experim
     })
 }
 
-/// Runs the whole suite, one worker thread per CPU.
+/// The SA-1100 core configuration for one experimental point (only the
+/// I-cache capacity varies, per the paper's §5).
+fn sa1100_for(cfg: Config) -> Sa1100Config {
+    Sa1100Config::icache_16k().with_icache_bytes(cfg.icache_bytes())
+}
+
+/// Runs the whole suite, one worker thread per CPU, sharing one artifact
+/// cache across workers.
+///
+/// Results are collected over a channel (no shared lock), so a panicking
+/// worker cannot poison the collection path and take the other workers
+/// down with it: panics are caught per kernel, the remaining kernels keep
+/// running, and the first failure in kernel order — panic or error — is
+/// surfaced afterwards.
 ///
 /// # Errors
 ///
 /// Fails if any kernel fails (kernels are expected to be infallible; an
 /// error indicates a regression).
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (in kernel order) once all workers have
+/// drained, preserving the original payload.
 pub fn run_suite(kernels: &[Kernel], scale: Scale) -> Result<SuiteResults, ExperimentError> {
-    let slots: std::sync::Mutex<Vec<Option<Result<KernelResults, ExperimentError>>>> =
-        std::sync::Mutex::new((0..kernels.len()).map(|_| None).collect());
+    type KernelOutcome =
+        Result<Result<KernelResults, ExperimentError>, Box<dyn std::any::Any + Send>>;
+
+    let artifacts = Artifacts::new();
     let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, KernelOutcome)>();
 
     std::thread::scope(|s| {
         for _ in 0..workers.min(kernels.len()) {
-            s.spawn(|| loop {
+            let tx = tx.clone();
+            let artifacts = &artifacts;
+            let next = &next;
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= kernels.len() {
                     break;
                 }
-                let result = run_kernel(kernels[i], scale);
-                slots.lock().expect("no worker panicked")[i] = Some(result);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_kernel_with(artifacts, kernels[i], scale)
+                }));
+                if tx.send((i, outcome)).is_err() {
+                    break;
+                }
             });
         }
     });
+    drop(tx);
 
-    let slots = slots.into_inner().expect("no worker panicked");
+    let mut slots: Vec<Option<KernelOutcome>> = (0..kernels.len()).map(|_| None).collect();
+    for (i, outcome) in rx {
+        slots[i] = Some(outcome);
+    }
     let mut out = Vec::with_capacity(kernels.len());
     for slot in slots {
-        out.push(slot.expect("every slot filled")?);
+        match slot.expect("every kernel index was sent exactly once") {
+            Ok(Ok(results)) => out.push(results),
+            Ok(Err(error)) => return Err(error),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
     Ok(SuiteResults {
         kernels: out,
@@ -268,5 +343,42 @@ mod tests {
         assert_eq!(suite.kernels.len(), 2);
         assert_eq!(suite.kernels[0].kernel, Kernel::Crc32);
         assert_eq!(suite.kernels[1].kernel, Kernel::Bitcount);
+    }
+
+    /// The execute-once/replay-many contract: `run_kernel` performs exactly
+    /// one ARM execution and one FITS execution for its four timed
+    /// configurations, and each configuration's statistics are bit-identical
+    /// to a dedicated per-configuration `run_timed` call.
+    #[test]
+    fn run_kernel_executes_once_per_isa() {
+        let before = timed_executions_on_this_thread();
+        let r = run_kernel(Kernel::Sha, Scale::test()).unwrap();
+        assert_eq!(
+            timed_executions_on_this_thread() - before,
+            2,
+            "four timed configurations must cost one ARM + one FITS execution"
+        );
+
+        // Old-style independent runs, one execution per configuration.
+        let arts = Artifacts::new();
+        let program = arts.program(Kernel::Sha, Scale::test()).unwrap();
+        let flow = arts.flow(Kernel::Sha, Scale::test()).unwrap();
+        for cfg in Config::ALL {
+            let sa = sa1100_for(cfg);
+            let sim = if cfg.is_fits() {
+                let set = fits_core::FitsSet::load(&flow.fits).unwrap();
+                Machine::new(set).run_timed(&sa).unwrap().1
+            } else {
+                Machine::new(Ar32Set::load(&program))
+                    .run_timed(&sa)
+                    .unwrap()
+                    .1
+            };
+            assert_eq!(
+                r.run(cfg).sim,
+                sim,
+                "{cfg}: replayed statistics must be bit-identical to a per-config run"
+            );
+        }
     }
 }

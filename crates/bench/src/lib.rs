@@ -18,9 +18,13 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod artifacts;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 
-pub use experiment::{run_kernel, run_suite, Config, ConfigRun, KernelResults, SuiteResults};
+pub use artifacts::Artifacts;
+pub use experiment::{
+    run_kernel, run_kernel_with, run_suite, Config, ConfigRun, KernelResults, SuiteResults,
+};
 pub use report::{Row, Table};

@@ -56,6 +56,8 @@ pub enum FitsOp {
 #[derive(Clone, Debug)]
 pub struct FitsSet {
     ops: Vec<FitsOp>,
+    /// Per-op static metadata, parallel to `ops` (built once at load).
+    metas: Vec<fits_sim::OpMeta>,
     /// Packed instruction words (two 16-bit instructions per 32-bit word)
     /// for fetch/toggle accounting.
     words: Vec<u32>,
@@ -361,31 +363,31 @@ pub fn op_meta(op: &FitsOp) -> fits_sim::OpMeta {
             ..
         } => {
             let compare = op.is_compare();
-            fits_sim::OpMeta {
-                class: InstrClass::Operate,
-                sources: [(!op.ignores_rn()).then_some(*rn), None, None],
-                dests: [(!compare).then_some(*rd), None],
-                sets_flags: *set_flags || compare,
-                reads_flags: matches!(op, DpOp::Adc | DpOp::Sbc | DpOp::Rsc),
-                is_mul: false,
-            }
+            fits_sim::OpMeta::new(
+                InstrClass::Operate,
+                [(!op.ignores_rn()).then_some(*rn), None, None],
+                [(!compare).then_some(*rd), None],
+                *set_flags || compare,
+                matches!(op, DpOp::Adc | DpOp::Sbc | DpOp::Rsc),
+                false,
+            )
         }
-        FitsOp::WideMem { op, rd, rb, .. } => fits_sim::OpMeta {
-            class: InstrClass::Memory,
-            sources: [Some(*rb), (!op.is_load()).then_some(*rd), None],
-            dests: [op.is_load().then_some(*rd), None],
-            sets_flags: false,
-            reads_flags: false,
-            is_mul: false,
-        },
-        FitsOp::Jalr(ra) => fits_sim::OpMeta {
-            class: InstrClass::Branch,
-            sources: [Some(*ra), None, None],
-            dests: [Some(Reg::LR), None],
-            sets_flags: false,
-            reads_flags: false,
-            is_mul: false,
-        },
+        FitsOp::WideMem { op, rd, rb, .. } => fits_sim::OpMeta::new(
+            InstrClass::Memory,
+            [Some(*rb), (!op.is_load()).then_some(*rd), None],
+            [op.is_load().then_some(*rd), None],
+            false,
+            false,
+            false,
+        ),
+        FitsOp::Jalr(ra) => fits_sim::OpMeta::new(
+            InstrClass::Branch,
+            [Some(*ra), None, None],
+            [Some(Reg::LR), None],
+            false,
+            false,
+            false,
+        ),
     }
 }
 
@@ -409,6 +411,7 @@ impl FitsSet {
             words.push(lo | (hi << 16));
         }
         Ok(FitsSet {
+            metas: ops.iter().map(op_meta).collect(),
             ops,
             words,
             data: program.data.clone(),
@@ -457,6 +460,11 @@ impl InstrSet for FitsSet {
 
     fn describe(&self, op: &FitsOp) -> fits_sim::OpMeta {
         op_meta(op)
+    }
+
+    fn op_with_meta(&self, pc: u32) -> Result<(&FitsOp, &fits_sim::OpMeta), SimError> {
+        let index = self.index_of(pc)?;
+        Ok((&self.ops[index], &self.metas[index]))
     }
 
     fn execute(&self, op: &FitsOp, ctx: &mut ExecCtx<'_>) -> Result<StepOutcome, SimError> {

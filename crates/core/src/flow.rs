@@ -228,7 +228,22 @@ impl FitsFlow {
     pub fn run(&self, program: &Program) -> Result<FlowOutcome, FlowError> {
         // Stage 1: profile.
         let prof = profile(program)?;
+        self.run_profiled(program, prof)
+    }
 
+    /// Runs stages 2–5 from an existing stage-1 profile, avoiding a
+    /// redundant profiling execution when the caller already holds one
+    /// (sweep harnesses profile each program once and synthesize many
+    /// configurations from it).
+    ///
+    /// `prof` must be the output of [`profile`] on this same `program`: it
+    /// carries the reference [`RunOutput`] the differential verification
+    /// compares against.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn run_profiled(&self, program: &Program, prof: Profile) -> Result<FlowOutcome, FlowError> {
         let mut opts = self.options.clone();
         let mut best: Option<(Synthesis, Translation)> = None;
         let mut iterations = 0;

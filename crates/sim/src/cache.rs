@@ -166,6 +166,13 @@ pub struct Cache {
     window: WindowPeak,
     /// Deterministic xorshift state for pseudo-random victim selection.
     lfsr: u32,
+    /// The line touched by the most recent access: `(line_addr, index into
+    /// `lines`)`. Maintained on every hit and fill, so when the next access
+    /// lands on the same line address the associative search can be skipped
+    /// entirely — the dominant case for sequential instruction fetch. This
+    /// is purely an access-path shortcut: every counter and every line-state
+    /// update is identical to the searched path.
+    mru: Option<(u32, usize)>,
 }
 
 impl Cache {
@@ -182,6 +189,7 @@ impl Cache {
             window_start: 0,
             window: WindowPeak::default(),
             lfsr: 0x2545_f491,
+            mru: None,
         }
     }
 
@@ -226,42 +234,63 @@ impl Cache {
         self.last_output = data;
 
         let line_addr = addr / self.cfg.line_bytes;
+
+        // Most-recently-used shortcut: `mru` is an invariant — when set, the
+        // indexed line holds exactly `line_addr` (every hit and every fill
+        // refreshes it, and nothing else mutates lines) — so a repeat access
+        // is a guaranteed hit with no associative search.
+        if let Some((mru_addr, idx)) = self.mru {
+            if mru_addr == line_addr {
+                let line = &mut self.lines[idx];
+                line.lru = self.tick;
+                if write {
+                    line.dirty = true;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+
         let set = line_addr % self.cfg.sets();
         let tag = line_addr / self.cfg.sets();
         let ways = self.cfg.ways as usize;
         let base = set as usize * ways;
         let set_lines = &mut self.lines[base..base + ways];
 
-        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(way) = set_lines.iter().position(|l| l.valid && l.tag == tag) {
+            let line = &mut set_lines[way];
             line.lru = self.tick;
             if write {
                 line.dirty = true;
             }
             self.stats.hits += 1;
+            self.mru = Some((line_addr, base + way));
             return true;
         }
 
         // Miss: pick a victim per the replacement policy and fill. Invalid
         // ways are always preferred.
         self.stats.misses += 1;
-        let victim = if let Some(invalid) = set_lines.iter_mut().find(|l| !l.valid) {
+        let way = if let Some(invalid) = set_lines.iter().position(|l| !l.valid) {
             invalid
         } else {
             match self.cfg.replacement {
                 Replacement::Lru => set_lines
-                    .iter_mut()
-                    .min_by_key(|l| l.lru)
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
                     .expect("at least one way"),
                 Replacement::PseudoRandom => {
                     // xorshift32
                     self.lfsr ^= self.lfsr << 13;
                     self.lfsr ^= self.lfsr >> 17;
                     self.lfsr ^= self.lfsr << 5;
-                    let way = (self.lfsr as usize) % ways;
-                    &mut set_lines[way]
+                    (self.lfsr as usize) % ways
                 }
             }
         };
+        let victim = &mut set_lines[way];
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
         }
@@ -271,6 +300,7 @@ impl Cache {
             dirty: write,
             lru: self.tick,
         };
+        self.mru = Some((line_addr, base + way));
         let fill = u64::from(self.cfg.line_bytes / 4);
         self.stats.fill_words += fill;
         self.window.fill_words += fill;

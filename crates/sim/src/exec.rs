@@ -7,6 +7,11 @@ use crate::cpu::BranchOutcome;
 use crate::{ExecCtx, MemAccess, SimError, StepOutcome};
 
 /// Static, per-instruction metadata the machine loop and timing model need.
+///
+/// Everything here is a pure function of the decoded instruction, so
+/// instruction sets compute it **once at load time** (one table entry per
+/// static op) rather than on every retired instruction — see
+/// [`InstrSet::op_with_meta`].
 #[derive(Clone, Copy, Debug)]
 pub struct OpMeta {
     /// Broad category.
@@ -21,6 +26,35 @@ pub struct OpMeta {
     pub reads_flags: bool,
     /// Whether a multiplier is used.
     pub is_mul: bool,
+    /// Register-file read ports used (`sources` entries that are `Some`).
+    pub reg_reads: u32,
+    /// Register-file write ports used (`dests` entries that are `Some`).
+    pub reg_writes: u32,
+}
+
+impl OpMeta {
+    /// Builds metadata, deriving the read/write port counts from the
+    /// operand slots so they are computed exactly once per static op.
+    #[must_use]
+    pub fn new(
+        class: InstrClass,
+        sources: [Option<Reg>; 3],
+        dests: [Option<Reg>; 2],
+        sets_flags: bool,
+        reads_flags: bool,
+        is_mul: bool,
+    ) -> OpMeta {
+        OpMeta {
+            class,
+            sources,
+            dests,
+            sets_flags,
+            reads_flags,
+            is_mul,
+            reg_reads: sources.iter().flatten().count() as u32,
+            reg_writes: dests.iter().flatten().count() as u32,
+        }
+    }
 }
 
 /// An executable instruction set: the bridge between a program binary and
@@ -57,6 +91,17 @@ pub trait InstrSet {
     /// Static metadata for an instruction.
     fn describe(&self, op: &Self::Op) -> OpMeta;
 
+    /// The decoded instruction at `pc` together with its **precomputed**
+    /// static metadata. This is the machine loop's per-step entry point:
+    /// implementations must serve the metadata from a table built at load
+    /// time, never by re-deriving it per retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadPc`] when `pc` is outside the text segment or
+    /// misaligned.
+    fn op_with_meta(&self, pc: u32) -> Result<(&Self::Op, &OpMeta), SimError>;
+
     /// Executes one instruction.
     ///
     /// # Errors
@@ -70,16 +115,20 @@ pub trait InstrSet {
 pub struct Ar32Set {
     text: Vec<Instr>,
     words: Vec<u32>,
+    /// Per-op static metadata, parallel to `text` (built once at load).
+    metas: Vec<OpMeta>,
     data: Vec<u8>,
     entry: usize,
 }
 
 impl Ar32Set {
-    /// Loads a program, pre-encoding every instruction for fetch accounting.
+    /// Loads a program, pre-encoding every instruction for fetch accounting
+    /// and pre-computing its static metadata for the step loop.
     #[must_use]
     pub fn load(program: &Program) -> Ar32Set {
         Ar32Set {
             words: program.text.iter().map(Instr::encode).collect(),
+            metas: program.text.iter().map(instr_meta).collect(),
             text: program.text.clone(),
             data: program.data.clone(),
             entry: program.entry,
@@ -118,14 +167,14 @@ pub fn instr_meta(instr: &Instr) -> OpMeta {
                 ..
             }
         );
-    OpMeta {
-        class: instr.class(),
+    OpMeta::new(
+        instr.class(),
         sources,
         dests,
-        sets_flags: instr.sets_flags(),
+        instr.sets_flags(),
         reads_flags,
-        is_mul: matches!(instr, Instr::Mul { .. }),
-    }
+        matches!(instr, Instr::Mul { .. }),
+    )
 }
 
 /// Executes one AR32 instruction against the context. Shared with the FITS
@@ -334,6 +383,11 @@ impl InstrSet for Ar32Set {
 
     fn describe(&self, op: &Instr) -> OpMeta {
         instr_meta(op)
+    }
+
+    fn op_with_meta(&self, pc: u32) -> Result<(&Instr, &OpMeta), SimError> {
+        let index = self.index_of(pc)?;
+        Ok((&self.text[index], &self.metas[index]))
     }
 
     fn execute(&self, op: &Instr, ctx: &mut ExecCtx<'_>) -> Result<StepOutcome, SimError> {

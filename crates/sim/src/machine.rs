@@ -96,24 +96,15 @@ impl<S: InstrSet> Machine<S> {
 
     /// Runs to the exit trap, functional only (no timing).
     ///
+    /// This is the true fast path: no [`StepInfo`] is constructed and no
+    /// per-op metadata is consulted — the loop is fetch → execute → retire.
+    /// Functional results ([`RunOutput`]) are exactly those of
+    /// [`Machine::run_observed`] with a no-op observer.
+    ///
     /// # Errors
     ///
     /// Any [`SimError`] raised by execution, including step-budget overrun.
     pub fn run(&mut self) -> Result<RunOutput, SimError> {
-        self.run_observed(|_, _| {})
-    }
-
-    /// Runs to the exit trap, invoking `observer` with every retired
-    /// instruction and its [`StepInfo`] — the hook the FITS profiler uses to
-    /// gather dynamic statistics.
-    ///
-    /// # Errors
-    ///
-    /// Any [`SimError`] raised by execution, including step-budget overrun.
-    pub fn run_observed(
-        &mut self,
-        mut observer: impl FnMut(&S::Op, &StepInfo),
-    ) -> Result<RunOutput, SimError> {
         let mut steps: u64 = 0;
         let mut emitted = FNV_OFFSET;
         loop {
@@ -122,49 +113,89 @@ impl<S: InstrSet> Machine<S> {
                     limit: self.step_limit,
                 });
             }
-            let info = {
-                let op = self.set.op_at(self.pc)?;
-                let meta = self.set.describe(op);
-                let mut ctx = ExecCtx {
-                    cpu: &mut self.cpu,
-                    mem: &mut self.mem,
-                    pc: self.pc,
-                };
-                let out = self.set.execute(op, &mut ctx)?;
-                let fetch_word_addr = self.pc & !3;
-                let info = StepInfo {
-                    pc: self.pc,
-                    size: self.set.op_size(),
-                    fetch_word_addr,
-                    fetch_word_value: self.set.fetch_word(fetch_word_addr),
-                    class: meta.class,
-                    reg_reads: meta.sources.iter().flatten().count() as u32,
-                    reg_writes: meta.dests.iter().flatten().count() as u32,
-                    executed: out.executed,
-                    mem: out.mem,
-                    branch: out.branch,
-                    is_mul: out.is_mul && out.executed,
-                    dests: meta.dests,
-                    sources: meta.sources,
-                    sets_flags: meta.sets_flags && out.executed,
-                    reads_flags: meta.reads_flags,
-                };
-                observer(op, &info);
-                steps += 1;
-                if let Some(word) = out.emit {
-                    emitted = fnv1a(emitted, u64::from(word));
-                }
-                if let Some(code) = out.exit {
-                    return Ok(RunOutput {
-                        exit_code: code,
-                        emitted,
-                        steps,
-                    });
-                }
-                self.pc = out.next_pc;
-                info
+            let op = self.set.op_at(self.pc)?;
+            let mut ctx = ExecCtx {
+                cpu: &mut self.cpu,
+                mem: &mut self.mem,
+                pc: self.pc,
             };
-            let _ = info;
+            let out = self.set.execute(op, &mut ctx)?;
+            steps += 1;
+            if let Some(word) = out.emit {
+                emitted = fnv1a(emitted, u64::from(word));
+            }
+            if let Some(code) = out.exit {
+                return Ok(RunOutput {
+                    exit_code: code,
+                    emitted,
+                    steps,
+                });
+            }
+            self.pc = out.next_pc;
+        }
+    }
+
+    /// Runs to the exit trap, invoking `observer` with every retired
+    /// instruction and its [`StepInfo`] — the hook the FITS profiler uses to
+    /// gather dynamic statistics. The static part of each [`StepInfo`] comes
+    /// from the instruction set's load-time metadata table
+    /// ([`crate::InstrSet::op_with_meta`]); only the dynamic outcome fields
+    /// are filled per step.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised by execution, including step-budget overrun.
+    pub fn run_observed(
+        &mut self,
+        mut observer: impl FnMut(&S::Op, &StepInfo),
+    ) -> Result<RunOutput, SimError> {
+        let op_size = self.set.op_size();
+        let mut steps: u64 = 0;
+        let mut emitted = FNV_OFFSET;
+        loop {
+            if steps >= self.step_limit {
+                return Err(SimError::MaxSteps {
+                    limit: self.step_limit,
+                });
+            }
+            let (op, meta) = self.set.op_with_meta(self.pc)?;
+            let mut ctx = ExecCtx {
+                cpu: &mut self.cpu,
+                mem: &mut self.mem,
+                pc: self.pc,
+            };
+            let out = self.set.execute(op, &mut ctx)?;
+            let fetch_word_addr = self.pc & !3;
+            let info = StepInfo {
+                pc: self.pc,
+                size: op_size,
+                fetch_word_addr,
+                fetch_word_value: self.set.fetch_word(fetch_word_addr),
+                class: meta.class,
+                reg_reads: meta.reg_reads,
+                reg_writes: meta.reg_writes,
+                executed: out.executed,
+                mem: out.mem,
+                branch: out.branch,
+                is_mul: out.is_mul && out.executed,
+                dests: meta.dests,
+                sources: meta.sources,
+                sets_flags: meta.sets_flags && out.executed,
+                reads_flags: meta.reads_flags,
+            };
+            observer(op, &info);
+            steps += 1;
+            if let Some(word) = out.emit {
+                emitted = fnv1a(emitted, u64::from(word));
+            }
+            if let Some(code) = out.exit {
+                return Ok(RunOutput {
+                    exit_code: code,
+                    emitted,
+                    steps,
+                });
+            }
+            self.pc = out.next_pc;
         }
     }
 
@@ -178,6 +209,37 @@ impl<S: InstrSet> Machine<S> {
         let mut timing = TimingModel::new(cfg.clone())?;
         let output = self.run_observed(|_, info| timing.observe(info))?;
         Ok((output, timing.finish()))
+    }
+
+    /// Executes the program **once** and replays the retired-instruction
+    /// stream into one [`TimingModel`] per configuration — the
+    /// execute-once/replay-many engine. The `SimResult` for each
+    /// configuration is bit-identical to a separate [`Machine::run_timed`]
+    /// call with that configuration (each timing model consumes exactly the
+    /// same [`StepInfo`] stream), at the cost of a single functional
+    /// execution instead of `cfgs.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised by execution or by cache-geometry validation
+    /// of any configuration.
+    pub fn run_timed_multi(
+        &mut self,
+        cfgs: &[Sa1100Config],
+    ) -> Result<(RunOutput, Vec<SimResult>), SimError> {
+        let mut models = cfgs
+            .iter()
+            .map(|cfg| TimingModel::new(cfg.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let output = self.run_observed(|_, info| {
+            for model in &mut models {
+                model.observe(info);
+            }
+        })?;
+        Ok((
+            output,
+            models.into_iter().map(TimingModel::finish).collect(),
+        ))
     }
 }
 

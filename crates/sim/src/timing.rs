@@ -92,7 +92,12 @@ pub struct BranchStats {
 
 /// Microarchitectural statistics from a timed run — the sole input (besides
 /// geometry) to the `fits-power` model.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is exact (every counter is an integer), which is what lets the
+/// differential tests assert that execute-once/replay-many
+/// ([`crate::Machine::run_timed_multi`]) reproduces per-configuration runs
+/// bit for bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimResult {
     /// Total cycles.
     pub cycles: u64,
