@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use fits_core::{profile, FlowOutcome, Profile};
+use fits_core::{profile, FlowObserver, FlowOutcome, FlowStage, Profile};
 use fits_isa::thumb::{self, T16Program};
 use fits_isa::{Program, Reg};
 use fits_kernels::kernels::{Kernel, Scale};
@@ -49,12 +49,31 @@ fn get_or_compute<V>(
 
 /// A cache of compiled programs, profiles, flow outcomes and THUMB
 /// translations, keyed by `(kernel, scale)`.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Artifacts {
     programs: Mutex<HashMap<Key, Arc<Program>>>,
     profiles: Mutex<HashMap<Key, Arc<Profile>>>,
     flows: Mutex<HashMap<Key, Arc<FlowOutcome>>>,
     thumbs: Mutex<HashMap<Key, Arc<T16Program>>>,
+    /// Optional stage-timing observer installed on every flow this cache
+    /// builds (and notified of cached profiling runs). `None` leaves the
+    /// pre-observability code paths untouched.
+    flow_observer: Option<Arc<dyn FlowObserver>>,
+}
+
+impl std::fmt::Debug for Artifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Artifacts")
+            .field("programs", &self.programs)
+            .field("profiles", &self.profiles)
+            .field("flows", &self.flows)
+            .field("thumbs", &self.thumbs)
+            .field(
+                "flow_observer",
+                &self.flow_observer.as_ref().map(|_| "<dyn>"),
+            )
+            .finish()
+    }
 }
 
 impl Artifacts {
@@ -62,6 +81,17 @@ impl Artifacts {
     #[must_use]
     pub fn new() -> Artifacts {
         Artifacts::default()
+    }
+
+    /// An empty cache whose flows report stage timings to `observer`.
+    ///
+    /// Only *computations* are observed: a cache hit returns the stored
+    /// artifact without re-notifying, so span counts reflect work actually
+    /// performed.
+    #[must_use]
+    pub fn with_flow_observer(mut self, observer: Arc<dyn FlowObserver>) -> Artifacts {
+        self.flow_observer = Some(observer);
+        self
     }
 
     /// The compiled native program.
@@ -85,7 +115,14 @@ impl Artifacts {
     pub fn profile(&self, kernel: Kernel, scale: Scale) -> Result<Arc<Profile>, ExperimentError> {
         let program = self.program(kernel, scale)?;
         get_or_compute(&self.profiles, (kernel, scale.n), || {
-            profile(&program).map_err(ExperimentError::Sim)
+            let start = std::time::Instant::now();
+            let prof = profile(&program).map_err(ExperimentError::Sim)?;
+            // The flow below skips stage 1 (it consumes this cached
+            // profile), so the profiling execution is reported here.
+            if let Some(obs) = &self.flow_observer {
+                obs.stage(FlowStage::Profile, start.elapsed());
+            }
+            Ok(prof)
         })
     }
 
@@ -100,8 +137,11 @@ impl Artifacts {
         let program = self.program(kernel, scale)?;
         let prof = self.profile(kernel, scale)?;
         get_or_compute(&self.flows, (kernel, scale.n), || {
-            fits_verify::verified_flow()
-                .run_profiled(&program, (*prof).clone())
+            let mut flow = fits_verify::verified_flow();
+            if let Some(obs) = &self.flow_observer {
+                flow = flow.with_observer(Arc::clone(obs));
+            }
+            flow.run_profiled(&program, (*prof).clone())
                 .map_err(ExperimentError::Flow)
         })
     }

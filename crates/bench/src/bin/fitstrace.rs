@@ -1,0 +1,397 @@
+//! `fitstrace` — end-to-end trace of one kernel through the FITS flow.
+//!
+//! Runs the full pipeline (compile → profile → synthesize → translate →
+//! verify → execute) with `fits-obs` span timing attached, then traces one
+//! ARM run and one FITS run under the SA-1100 timing model and joins the
+//! per-PC histograms against the I-cache power model. The report answers
+//! "where does the power go": a per-phase timing tree, an ARM-vs-FITS
+//! summary, a per-function energy rollup and the top-N hot basic blocks
+//! with attributed switching/internal/leakage energy for both ISAs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fits-bench --bin fitstrace -- crc32
+//! cargo run --release -p fits-bench --bin fitstrace -- sha --scale 256 --top 15
+//! cargo run --release -p fits-bench --bin fitstrace -- crc32 --icache 8k \
+//!     --json trace.jsonl
+//! cargo run --release -p fits-bench --bin fitstrace -- --smoke   # CI check
+//! ```
+//!
+//! `--json` writes a JSONL event stream (`meta`, `span`, `block`,
+//! `summary` lines) and re-validates it with `fits_obs::json` before
+//! reporting success; `--smoke` is the CI mode — a small fixed run whose
+//! export must pass schema validation.
+
+use std::sync::Arc;
+
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_obs::fmt::{fmt_count, fmt_energy};
+use fits_obs::json::{escape, validate_trace_jsonl};
+use fits_obs::{attribute_kernel, trace_timed_run, Attribution, SpanRegistry};
+use fits_power::{cache_power, CachePower, TechParams};
+use fits_sim::{Ar32Set, Machine, Sa1100Config, SimResult};
+
+struct Options {
+    kernel: Kernel,
+    scale: Scale,
+    icache_bytes: u32,
+    top: usize,
+    json: Option<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Options {
+    let mut kernel = None;
+    let mut opts = Options {
+        kernel: Kernel::Crc32,
+        scale: Scale::experiment(),
+        icache_bytes: 16 * 1024,
+        top: 10,
+        json: None,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scale needs a value"));
+                let n = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --scale value: {v}")));
+                opts.scale = Scale { n };
+            }
+            "--icache" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--icache needs 8k or 16k"));
+                opts.icache_bytes = match v.as_str() {
+                    "8k" => 8 * 1024,
+                    "16k" => 16 * 1024,
+                    other => usage(&format!("invalid --icache value: {other} (use 8k or 16k)")),
+                };
+            }
+            "--top" => {
+                let v = args.next().unwrap_or_else(|| usage("--top needs a count"));
+                opts.top = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --top value: {v}")));
+            }
+            "--json" => {
+                opts.json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            "--smoke" => opts.smoke = true,
+            "--help" | "-h" => usage(""),
+            name => {
+                let k = Kernel::ALL
+                    .iter()
+                    .copied()
+                    .find(|k| k.name() == name)
+                    .unwrap_or_else(|| usage(&format!("unknown kernel: {name}")));
+                kernel = Some(k);
+            }
+        }
+    }
+    match kernel {
+        Some(k) => opts.kernel = k,
+        None if opts.smoke => {} // smoke defaults to crc32
+        None => usage("a kernel name is required (or --smoke)"),
+    }
+    if opts.smoke {
+        // Small, fast, deterministic: the CI gate checks the machinery and
+        // the export schema, not the numbers.
+        opts.scale = Scale::test();
+        opts.top = opts.top.min(5);
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("fitstrace: {err}");
+    }
+    eprintln!(
+        "usage: fitstrace KERNEL [--scale N] [--icache 8k|16k] [--top N] [--json PATH] [--smoke]"
+    );
+    eprintln!("kernels: {}", kernel_names().join(" "));
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn kernel_names() -> Vec<&'static str> {
+    Kernel::ALL.iter().map(|k| k.name()).collect()
+}
+
+fn fail(what: &str, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("fitstrace: {what}: {err}");
+    std::process::exit(1);
+}
+
+/// A finite `f64` as a JSON number (full float round-trip precision).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+struct IsaReport {
+    isa: &'static str,
+    sim: SimResult,
+    power: CachePower,
+}
+
+fn main() {
+    let opts = parse_args();
+    let sa = Sa1100Config::icache_16k().with_icache_bytes(opts.icache_bytes);
+    let tech = TechParams::sa1100();
+    let reg = SpanRegistry::new();
+
+    eprintln!(
+        "fitstrace: {} at n={}, {} KB I-cache",
+        opts.kernel.name(),
+        opts.scale.n,
+        opts.icache_bytes / 1024
+    );
+
+    // --- Traced pipeline ----------------------------------------------
+    let outer = reg.enter("fitstrace");
+    let program = reg.time("compile", || opts.kernel.compile(opts.scale));
+    let program = match program {
+        Ok(p) => p,
+        Err(e) => fail("compile", &e),
+    };
+    let flow_outcome = {
+        let _flow = reg.enter("flow");
+        fits_verify::verified_flow()
+            .with_observer(Arc::new(reg.clone()))
+            .run(&program)
+    };
+    let flow_outcome = match flow_outcome {
+        Ok(f) => f,
+        Err(e) => fail("flow", &e),
+    };
+
+    let (arm, fits) = {
+        let _sim = reg.enter("simulate");
+        let arm = reg.time("arm", || {
+            trace_timed_run(&mut Machine::new(Ar32Set::load(&program)), &sa)
+        });
+        let fits = reg.time("fits", || {
+            let set = match fits_core::FitsSet::load(&flow_outcome.fits) {
+                Ok(s) => s,
+                Err(e) => fail("fits decode", &e),
+            };
+            trace_timed_run(&mut Machine::new(set), &sa)
+        });
+        (arm, fits)
+    };
+    let (_, arm_sim, arm_trace) = match arm {
+        Ok(r) => r,
+        Err(e) => fail("arm simulation", &e),
+    };
+    let (_, fits_sim, fits_trace) = match fits {
+        Ok(r) => r,
+        Err(e) => fail("fits simulation", &e),
+    };
+
+    let (attr, arm_rep, fits_rep) = reg.time("power", || {
+        let arm_power = cache_power(&sa.icache, &arm_sim.icache, arm_sim.cycles, &tech);
+        let fits_power = cache_power(&sa.icache, &fits_sim.icache, fits_sim.cycles, &tech);
+        let attr = attribute_kernel(
+            &program,
+            &flow_outcome.mapping.expansion,
+            (&arm_trace, &arm_power),
+            (&fits_trace, &fits_power),
+        );
+        (
+            attr,
+            IsaReport {
+                isa: "arm",
+                sim: arm_sim,
+                power: arm_power,
+            },
+            IsaReport {
+                isa: "fits",
+                sim: fits_sim,
+                power: fits_power,
+            },
+        )
+    });
+    drop(outer);
+
+    // --- Text report ---------------------------------------------------
+    println!(
+        "fitstrace: {} (n={}, {} KB I-cache, ARM vs FITS)",
+        opts.kernel.name(),
+        opts.scale.n,
+        opts.icache_bytes / 1024,
+    );
+    println!("\nphase timings:");
+    print!("{}", indent(&reg.render(), 2));
+
+    println!("\nper-ISA summary (I-cache power):");
+    println!(
+        "  {:<5} {:>14} {:>14} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "isa", "cycles", "retired", "i$ accesses", "i$ misses", "switching", "internal", "leakage"
+    );
+    for rep in [&arm_rep, &fits_rep] {
+        println!(
+            "  {:<5} {:>14} {:>14} {:>12} {:>10} {:>12} {:>12} {:>12}",
+            rep.isa,
+            fmt_count(rep.sim.cycles),
+            fmt_count(rep.sim.retired),
+            fmt_count(rep.sim.icache.accesses),
+            fmt_count(rep.sim.icache.misses),
+            fmt_energy(rep.power.switching_j),
+            fmt_energy(rep.power.internal_j),
+            fmt_energy(rep.power.leakage_j),
+        );
+    }
+
+    println!("\nper-function energy (total attributed I-cache energy):");
+    for (func, a, f) in attr.by_function() {
+        if a.retired == 0 && f.retired == 0 {
+            continue;
+        }
+        println!(
+            "  {:<18} arm {:>12}  fits {:>12}",
+            func,
+            fmt_energy(a.total_j()),
+            fmt_energy(f.total_j()),
+        );
+    }
+
+    let top = attr.top_n(opts.top);
+    println!(
+        "\ntop {} hot blocks (by attributed I-cache energy, both ISAs):",
+        top.len()
+    );
+    println!(
+        "  {:<10} {:<18} {:>12} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "addr",
+        "block",
+        "retired",
+        "sw(arm)",
+        "int(arm)",
+        "lk(arm)",
+        "sw(fits)",
+        "int(fits)",
+        "lk(fits)"
+    );
+    for &i in &top {
+        let (a, f) = (&attr.arm[i], &attr.fits[i]);
+        println!(
+            "  {:<10} {:<18} {:>12} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            format!("{:#x}", attr.blocks[i].addr()),
+            attr.label(i),
+            fmt_count(a.retired),
+            fmt_energy(a.switching_j),
+            fmt_energy(a.internal_j),
+            fmt_energy(a.leakage_j),
+            fmt_energy(f.switching_j),
+            fmt_energy(f.internal_j),
+            fmt_energy(f.leakage_j),
+        );
+    }
+
+    // --- JSONL export --------------------------------------------------
+    let json_path = opts.json.clone().or_else(|| {
+        opts.smoke.then(|| {
+            std::env::temp_dir()
+                .join("fitstrace-smoke.jsonl")
+                .to_string_lossy()
+                .into_owned()
+        })
+    });
+    if let Some(path) = json_path {
+        let text = export_jsonl(&opts, &reg, &attr, &arm_rep, &fits_rep);
+        match validate_trace_jsonl(&text) {
+            Ok(counts) => {
+                if let Err(e) = std::fs::write(&path, &text) {
+                    fail(&format!("write {path}"), &e);
+                }
+                eprintln!(
+                    "fitstrace: wrote {path} ({} spans, {} blocks, {} summaries; schema ok)",
+                    counts.spans, counts.blocks, counts.summaries
+                );
+                if opts.smoke {
+                    println!("fitstrace: smoke ok");
+                }
+            }
+            Err(e) => fail("JSONL schema validation", &e),
+        }
+    }
+}
+
+fn indent(text: &str, by: usize) -> String {
+    text.lines()
+        .map(|l| format!("{:by$}{l}\n", ""))
+        .collect::<String>()
+}
+
+fn cost_json(c: &fits_obs::BlockCost) -> String {
+    format!(
+        "{{\"retired\":{},\"fetches\":{},\"switching_j\":{},\"internal_j\":{},\"leakage_j\":{}}}",
+        c.retired,
+        c.fetches,
+        jnum(c.switching_j),
+        jnum(c.internal_j),
+        jnum(c.leakage_j)
+    )
+}
+
+fn export_jsonl(
+    opts: &Options,
+    reg: &SpanRegistry,
+    attr: &Attribution,
+    arm: &IsaReport,
+    fits: &IsaReport,
+) -> String {
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "{{\"type\":\"meta\",\"kernel\":\"{}\",\"scale\":\"{}\",\"icache\":\"{}\"}}",
+        escape(opts.kernel.name()),
+        opts.scale.n,
+        opts.icache_bytes
+    ));
+    reg.visit(|path, span| {
+        lines.push(format!(
+            "{{\"type\":\"span\",\"path\":\"{}\",\"ms\":{},\"count\":{}}}",
+            escape(path),
+            jnum(span.nanos as f64 / 1.0e6),
+            span.count
+        ));
+    });
+    for i in 0..attr.blocks.len() {
+        let (a, f) = (&attr.arm[i], &attr.fits[i]);
+        if a.retired == 0 && f.retired == 0 {
+            continue;
+        }
+        lines.push(format!(
+            "{{\"type\":\"block\",\"addr\":\"{:#x}\",\"label\":\"{}\",\"func\":\"{}\",\"arm\":{},\"fits\":{}}}",
+            attr.blocks[i].addr(),
+            escape(&attr.label(i)),
+            escape(&attr.blocks[i].func),
+            cost_json(a),
+            cost_json(f)
+        ));
+    }
+    for rep in [arm, fits] {
+        lines.push(format!(
+            "{{\"type\":\"summary\",\"isa\":\"{}\",\"cycles\":{},\"retired\":{},\
+             \"switching_j\":{},\"internal_j\":{},\"leakage_j\":{}}}",
+            rep.isa,
+            rep.sim.cycles,
+            rep.sim.retired,
+            jnum(rep.power.switching_j),
+            jnum(rep.power.internal_j),
+            jnum(rep.power.leakage_j)
+        ));
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}

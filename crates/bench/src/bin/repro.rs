@@ -1,9 +1,31 @@
 //! The full PowerFITS reproduction: every figure at experiment scale.
+//!
+//! `--trace` additionally times every flow stage across the suite with a
+//! `fits-obs` span registry and prints the merged tree afterwards.
 
-use fits_bench::{figures, run_suite};
+use std::sync::Arc;
+
+use fits_bench::{figures, run_suite_with, Artifacts};
 use fits_kernels::kernels::{Kernel, Scale};
+use fits_obs::SpanRegistry;
 
 fn main() {
+    let mut trace = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--trace" => trace = true,
+            "--help" | "-h" => {
+                eprintln!("usage: powerfits-repro [--trace]");
+                return;
+            }
+            other => {
+                eprintln!("powerfits-repro: unknown argument: {other}");
+                eprintln!("usage: powerfits-repro [--trace]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let start = std::time::Instant::now();
     let scale = Scale::experiment();
     eprintln!(
@@ -11,7 +33,12 @@ fn main() {
         Kernel::ALL.len(),
         scale.n
     );
-    let suite = match run_suite(Kernel::ALL, scale) {
+    let reg = trace.then(SpanRegistry::new);
+    let artifacts = match &reg {
+        Some(reg) => Artifacts::new().with_flow_observer(Arc::new(reg.clone())),
+        None => Artifacts::new(),
+    };
+    let suite = match run_suite_with(&artifacts, Kernel::ALL, scale) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("experiment failed: {e}");
@@ -25,6 +52,12 @@ fn main() {
     println!("================================================================");
     for table in figures::all_figures(&suite) {
         println!("{table}");
+    }
+    if let Some(reg) = &reg {
+        eprintln!(
+            "flow stage timings (suite-wide, merged by stage):\n{}",
+            reg.render()
+        );
     }
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
 }

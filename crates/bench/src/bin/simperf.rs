@@ -6,6 +6,8 @@
 //! 4-configuration suite run at test scale. Results are written to
 //! `BENCH.json` (hand-rolled JSON; the workspace has no serde) so CI can
 //! archive a throughput record per commit without gating on the numbers.
+//! Each record carries a `meta` stamp (git commit, Unix timestamp, host,
+//! OS, arch) so archived numbers stay attributable.
 //!
 //! Usage:
 //!
@@ -15,6 +17,7 @@
 //! cargo run --release -p fits-bench --bin simperf -- \
 //!     --baseline-seconds 1.135                                 # print speedup
 //! cargo run --release -p fits-bench --bin simperf -- --out bench/BENCH.json
+//! cargo run --release -p fits-bench --bin simperf -- --trace   # stage timings
 //! ```
 //!
 //! Every suite pass constructs a fresh [`Artifacts`] cache (inside
@@ -22,11 +25,14 @@
 //! stay comparable across commits.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
-use fits_bench::run_suite;
+use fits_bench::{run_suite, run_suite_with, Artifacts};
 use fits_core::{FitsFlow, FitsSet};
 use fits_kernels::kernels::{Kernel, Scale};
+use fits_obs::json::escape;
+use fits_obs::SpanRegistry;
 use fits_sim::{Ar32Set, Machine, Sa1100Config};
 
 /// The kernel the MIPS probes execute. SHA has the largest dynamic
@@ -37,6 +43,7 @@ struct Options {
     smoke: bool,
     out: String,
     baseline_seconds: Option<f64>,
+    trace: bool,
 }
 
 fn parse_args() -> Options {
@@ -44,11 +51,13 @@ fn parse_args() -> Options {
         smoke: false,
         out: "BENCH.json".to_owned(),
         baseline_seconds: None,
+        trace: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => opts.smoke = true,
+            "--trace" => opts.trace = true,
             "--out" => opts.out = args.next().unwrap_or_else(|| usage("--out needs a path")),
             "--baseline-seconds" => {
                 let v = args
@@ -70,7 +79,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("simperf: {err}");
     }
-    eprintln!("usage: simperf [--smoke] [--out PATH] [--baseline-seconds SECS]");
+    eprintln!("usage: simperf [--smoke] [--trace] [--out PATH] [--baseline-seconds SECS]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -95,6 +104,47 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".to_owned()
     }
+}
+
+/// The current git commit hash, or `"unknown"` outside a work tree.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Best-effort host name: `/etc/hostname`, then `$HOSTNAME`, then
+/// `uname -n`.
+fn hostname() -> String {
+    std::fs::read_to_string("/etc/hostname")
+        .ok()
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+        .or_else(|| {
+            std::process::Command::new("uname")
+                .arg("-n")
+                .output()
+                .ok()
+                .filter(|out| out.status.success())
+                .and_then(|out| String::from_utf8(out.stdout).ok())
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
 }
 
 fn main() {
@@ -155,14 +205,33 @@ fn main() {
     );
 
     // --- Full-suite wall-clock ----------------------------------------
+    let trace_reg = opts.trace.then(SpanRegistry::new);
     let mut suite_seconds = Vec::with_capacity(suite_passes);
     for pass in 0..suite_passes {
         let t = Instant::now();
-        let suite = run_suite(Kernel::ALL, scale).expect("suite runs");
+        // Each pass builds a fresh artifact cache so repeated passes stay
+        // cold-cache comparable; with --trace the flows additionally report
+        // stage timings into the shared span registry.
+        let suite = match &trace_reg {
+            Some(reg) => {
+                let guard = reg.enter("suite");
+                let arts = Artifacts::new().with_flow_observer(Arc::new(reg.clone()));
+                let suite = run_suite_with(&arts, Kernel::ALL, scale).expect("suite runs");
+                drop(guard);
+                suite
+            }
+            None => run_suite(Kernel::ALL, scale).expect("suite runs"),
+        };
         let elapsed = t.elapsed().as_secs_f64();
         black_box(&suite);
         eprintln!("simperf: suite pass {}: {elapsed:.3}s", pass + 1);
         suite_seconds.push(elapsed);
+    }
+    if let Some(reg) = &trace_reg {
+        eprintln!(
+            "simperf: flow stage timings (all passes merged):\n{}",
+            reg.render()
+        );
     }
     let suite_best = suite_seconds.iter().copied().fold(f64::INFINITY, f64::min);
     let speedup = opts.baseline_seconds.map(|b| b / suite_best);
@@ -175,7 +244,10 @@ fn main() {
     // --- BENCH.json ----------------------------------------------------
     let all: Vec<String> = suite_seconds.iter().map(|s| json_f64(*s)).collect();
     let json = format!(
-        "{{\n  \"schema\": \"powerfits-bench-v1\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"powerfits-bench-v1\",\n  \"meta\": {{\n    \
+         \"commit\": \"{commit}\",\n    \"timestamp_unix\": {stamp},\n    \
+         \"host\": \"{host}\",\n    \"os\": \"{os}\",\n    \"arch\": \"{arch}\"\n  }},\n  \
+         \"mode\": \"{mode}\",\n  \
          \"probe_kernel\": \"{probe}\",\n  \"scale_n\": {n},\n  \"simulator\": {{\n    \
          \"steps_per_run\": {steps},\n    \"functional_mips\": {fm},\n    \
          \"timed_mips\": {tm},\n    \"replay4_mips\": {rm},\n    \
@@ -183,6 +255,11 @@ fn main() {
          \"kernels\": {kernels},\n    \"configs\": 4,\n    \"passes\": {passes},\n    \
          \"seconds_best\": {best},\n    \"seconds_all\": [{all}]\n  }},\n  \
          \"baseline_seconds\": {base},\n  \"speedup_vs_baseline\": {ratio}\n}}\n",
+        commit = escape(&git_commit()),
+        stamp = unix_timestamp(),
+        host = escape(&hostname()),
+        os = escape(std::env::consts::OS),
+        arch = escape(std::env::consts::ARCH),
         mode = if opts.smoke { "smoke" } else { "full" },
         probe = PROBE_KERNEL.name(),
         n = scale.n,

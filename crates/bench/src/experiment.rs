@@ -265,10 +265,29 @@ fn sa1100_for(cfg: Config) -> Sa1100Config {
 /// Re-raises the first worker panic (in kernel order) once all workers have
 /// drained, preserving the original payload.
 pub fn run_suite(kernels: &[Kernel], scale: Scale) -> Result<SuiteResults, ExperimentError> {
+    run_suite_with(&Artifacts::new(), kernels, scale)
+}
+
+/// [`run_suite`] against a caller-supplied artifact cache — the way to run
+/// the suite with a flow observer installed
+/// ([`Artifacts::with_flow_observer`]) or to share artifacts across several
+/// sweeps.
+///
+/// # Errors
+///
+/// Fails if any kernel fails, like [`run_suite`].
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (in kernel order), like [`run_suite`].
+pub fn run_suite_with(
+    artifacts: &Artifacts,
+    kernels: &[Kernel],
+    scale: Scale,
+) -> Result<SuiteResults, ExperimentError> {
     type KernelOutcome =
         Result<Result<KernelResults, ExperimentError>, Box<dyn std::any::Any + Send>>;
 
-    let artifacts = Artifacts::new();
     let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, KernelOutcome)>();
@@ -276,7 +295,6 @@ pub fn run_suite(kernels: &[Kernel], scale: Scale) -> Result<SuiteResults, Exper
     std::thread::scope(|s| {
         for _ in 0..workers.min(kernels.len()) {
             let tx = tx.clone();
-            let artifacts = &artifacts;
             let next = &next;
             s.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

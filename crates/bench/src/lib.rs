@@ -25,6 +25,7 @@ pub mod report;
 
 pub use artifacts::Artifacts;
 pub use experiment::{
-    run_kernel, run_kernel_with, run_suite, Config, ConfigRun, KernelResults, SuiteResults,
+    run_kernel, run_kernel_with, run_suite, run_suite_with, Config, ConfigRun, KernelResults,
+    SuiteResults,
 };
 pub use report::{Row, Table};

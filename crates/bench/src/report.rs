@@ -53,7 +53,9 @@ impl Table {
 
     fn fmt_value(&self, v: f64) -> String {
         match self.unit {
-            "%" => format!("{:8.1}", v * 100.0),
+            // Percentages go through the workspace-wide rounding rule
+            // (half-away-from-zero at one decimal) in `fits_obs::fmt`.
+            "%" => fits_obs::fmt::fmt_percent(v, 8),
             "ratio" => format!("{v:8.3}"),
             "ppm" => format!("{v:8.0}"),
             "ipc" => format!("{v:8.3}"),
@@ -121,5 +123,19 @@ mod tests {
         assert!(s.contains("k1"));
         assert!(s.contains("average"));
         assert!(s.contains("60.0"), "{s}");
+    }
+
+    #[test]
+    fn percent_cells_use_the_shared_rounding_rule() {
+        let mut t = sample();
+        t.rows = vec![Row {
+            label: "tie".to_string(),
+            // 12.25% is the tie case: `{:.1}` alone renders 12.2
+            // (ties-to-even); the shared rule rounds half away from zero.
+            values: vec![0.1225, 0.1225],
+        }];
+        let s = t.to_string();
+        assert!(s.contains("12.3"), "half-away-from-zero expected in:\n{s}");
+        assert!(!s.contains("12.2"), "{s}");
     }
 }

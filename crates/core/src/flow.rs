@@ -111,6 +111,53 @@ pub trait FlowValidator: Send + Sync {
     ) -> Result<(), String>;
 }
 
+/// The flow stages an observer can be notified about, in pipeline order.
+///
+/// `Synthesize` and `Translate` fire once per iteration of the Figure-1
+/// feedback loop, so an observer may see several events for the same stage
+/// within a single [`FitsFlow::run`]; aggregating observers should merge by
+/// [`FlowStage::name`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowStage {
+    /// Stage 1: the profiling execution of the native program.
+    Profile,
+    /// Stage 2: instruction-set synthesis from the profile.
+    Synthesize,
+    /// Stage 3: translation of the native program to the FITS ISA.
+    Translate,
+    /// Static verification of the accepted triple (when a
+    /// [`FlowValidator`] is installed).
+    Verify,
+    /// Stage 5: the differential execution of the FITS binary.
+    Execute,
+}
+
+impl FlowStage {
+    /// Stable lower-case stage name, used as the span label in traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStage::Profile => "profile",
+            FlowStage::Synthesize => "synthesize",
+            FlowStage::Translate => "translate",
+            FlowStage::Verify => "verify",
+            FlowStage::Execute => "execute",
+        }
+    }
+}
+
+/// A timing hook notified once per completed flow stage with the wall-clock
+/// time that stage took.
+///
+/// Implemented by `fits-obs`'s span registry; defined here so the flow can
+/// carry an observer without `fits-core` depending on the tracing crate —
+/// the same inversion as [`FlowValidator`].
+pub trait FlowObserver: Send + Sync {
+    /// Called after a stage completes (even when it fails), with its
+    /// wall-clock duration.
+    fn stage(&self, stage: FlowStage, wall: std::time::Duration);
+}
+
 /// The FITS design flow driver.
 ///
 /// ```
@@ -140,6 +187,10 @@ pub struct FitsFlow {
     /// Optional static validator run on the accepted triple before any
     /// FITS execution (`fits_verify::verified_flow()` installs one).
     pub validator: Option<std::sync::Arc<dyn FlowValidator>>,
+    /// Optional stage-timing observer (`fits-obs`'s span registry installs
+    /// one). `None` costs one branch per stage; results are unaffected
+    /// either way.
+    pub observer: Option<std::sync::Arc<dyn FlowObserver>>,
 }
 
 impl fmt::Debug for FitsFlow {
@@ -150,6 +201,7 @@ impl fmt::Debug for FitsFlow {
             .field("max_iterations", &self.max_iterations)
             .field("verify", &self.verify)
             .field("validator", &self.validator.as_ref().map(|_| "<dyn>"))
+            .field("observer", &self.observer.as_ref().map(|_| "<dyn>"))
             .finish()
     }
 }
@@ -162,6 +214,7 @@ impl Default for FitsFlow {
             max_iterations: 3,
             verify: true,
             validator: None,
+            observer: None,
         }
     }
 }
@@ -219,6 +272,13 @@ impl FitsFlow {
         self
     }
 
+    /// Builder-style installation of a stage-timing observer.
+    #[must_use]
+    pub fn with_observer(mut self, observer: std::sync::Arc<dyn FlowObserver>) -> FitsFlow {
+        self.observer = Some(observer);
+        self
+    }
+
     /// Runs the full flow on a native program.
     ///
     /// # Errors
@@ -227,8 +287,22 @@ impl FitsFlow {
     /// and is checked on every run when `verify` is on.
     pub fn run(&self, program: &Program) -> Result<FlowOutcome, FlowError> {
         // Stage 1: profile.
-        let prof = profile(program)?;
+        let prof = self.timed(FlowStage::Profile, || profile(program))?;
         self.run_profiled(program, prof)
+    }
+
+    /// Runs `f`, reporting its wall-clock time to the observer (if any)
+    /// under `stage`. With no observer this is a direct call.
+    fn timed<T>(&self, stage: FlowStage, f: impl FnOnce() -> T) -> T {
+        match &self.observer {
+            Some(obs) => {
+                let start = std::time::Instant::now();
+                let out = f();
+                obs.stage(stage, start.elapsed());
+                out
+            }
+            None => f(),
+        }
     }
 
     /// Runs stages 2–5 from an existing stage-1 profile, avoiding a
@@ -250,9 +324,11 @@ impl FitsFlow {
         for round in 0..self.max_iterations.max(1) {
             iterations = round + 1;
             // Stage 2: synthesize.
-            let synthesis = synthesize(&prof, &opts);
+            let synthesis = self.timed(FlowStage::Synthesize, || synthesize(&prof, &opts));
             // Stage 3: compile (translate).
-            let translation = translate(program, &synthesis.config)?;
+            let translation = self.timed(FlowStage::Translate, || {
+                translate(program, &synthesis.config)
+            })?;
             let rate = translation.stats.static_one_to_one_rate();
             let better = best
                 .as_ref()
@@ -277,16 +353,21 @@ impl FitsFlow {
 
         // Static verification of the accepted triple, before anything runs.
         if let Some(validator) = &self.validator {
-            if let Err(report) = validator.validate(program, &synthesis, &translation) {
+            let verdict = self.timed(FlowStage::Verify, || {
+                validator.validate(program, &synthesis, &translation)
+            });
+            if let Err(report) = verdict {
                 return Err(FlowError::Verify { report });
             }
         }
 
         // Stage 4/5: configure the decoder (pre-decode) and execute.
         let fits_run = if self.verify {
-            let set = FitsSet::load(&translation.fits)?;
-            let mut machine = Machine::new(set);
-            let run = machine.run()?;
+            let run = self.timed(FlowStage::Execute, || {
+                let set = FitsSet::load(&translation.fits)?;
+                let mut machine = Machine::new(set);
+                machine.run().map_err(FlowError::from)
+            })?;
             let arm = prof.run.as_ref().expect("profiling run recorded");
             if run.exit_code != arm.exit_code || run.emitted != arm.emitted {
                 return Err(FlowError::Mismatch {
@@ -338,6 +419,42 @@ mod tests {
             Err(FlowError::RequirementsNotMet { .. }) => {}
             other => panic!("expected RequirementsNotMet, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn observer_sees_every_stage_without_changing_results() {
+        use std::sync::{Arc, Mutex};
+        use std::time::Duration;
+
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<&'static str>>);
+        impl FlowObserver for Recorder {
+            fn stage(&self, stage: FlowStage, _wall: Duration) {
+                self.0
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(stage.name());
+            }
+        }
+
+        let program = Kernel::Crc32.compile(Scale::test()).unwrap();
+        let recorder = Arc::new(Recorder::default());
+        let observed = FitsFlow::new()
+            .with_observer(Arc::clone(&recorder) as Arc<dyn FlowObserver>)
+            .run(&program)
+            .unwrap();
+        let plain = FitsFlow::new().run(&program).unwrap();
+
+        let stages = recorder
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        assert_eq!(stages, ["profile", "synthesize", "translate", "execute"]);
+        // Observation is passive: the outcome matches an unobserved flow.
+        assert_eq!(observed.fits.instrs, plain.fits.instrs);
+        assert_eq!(observed.iterations, plain.iterations);
+        assert_eq!(observed.fits_run, plain.fits_run);
     }
 
     #[test]

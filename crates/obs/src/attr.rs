@@ -1,0 +1,434 @@
+//! The power-attribution join: per-PC activity histograms × the
+//! `fits-power` cache model, decomposed per basic block of the **native**
+//! program and per source kernel function.
+//!
+//! Both ISAs are attributed against the same native blocks: the ARM run
+//! maps PCs to text indices directly, and the FITS run maps each 16-bit
+//! instruction back to the ARM instruction it translates through the
+//! translator's expansion table ([`fits_to_arm`]). That shared ground truth
+//! is what makes the ARM-vs-FITS side-by-side comparison meaningful — the
+//! paper's per-figure claim ("switching drops because fetches halve,
+//! leakage tracks runtime") becomes visible per loop body.
+//!
+//! ## Apportionment model
+//!
+//! The cache power model is linear in measured activity, which yields a
+//! natural per-block split of each component:
+//!
+//! * **switching** — output-driver energy, per access (drivers + measured
+//!   toggles): split by each block's share of I-cache *fetch accesses*;
+//! * **internal** — array read energy per access plus fills and the
+//!   size-proportional precharge/clock: split by fetch-access share as
+//!   well (fills follow misses, which follow accesses at block grain);
+//! * **leakage** — proportional to the operating interval: split by each
+//!   block's share of *retired instructions*, the block-level proxy for
+//!   occupancy of the run.
+
+use fits_isa::{Instr, Program, TEXT_BASE};
+use fits_power::CachePower;
+
+use crate::trace::SimTrace;
+
+/// One basic block of the native program, closed under the usual leader
+/// rules (entry, branch targets, fall-throughs of control transfers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First text index of the block.
+    pub start: usize,
+    /// One past the last text index.
+    pub end: usize,
+    /// The enclosing function (nearest preceding symbol; `"?"` when the
+    /// program carries no symbols).
+    pub func: String,
+}
+
+impl BasicBlock {
+    /// The block's first instruction address.
+    #[must_use]
+    pub fn addr(&self) -> u32 {
+        TEXT_BASE + (self.start as u32) * 4
+    }
+
+    /// Instruction count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never produced by [`basic_blocks`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// A compact display label: `func+0x10`.
+    #[must_use]
+    pub fn label(&self, func_start: usize) -> String {
+        let off = (self.start - func_start) * 4;
+        if off == 0 {
+            self.func.clone()
+        } else {
+            format!("{}+{:#x}", self.func, off)
+        }
+    }
+}
+
+/// Whether an instruction ends a basic block: branches, traps, and
+/// anything that writes the PC (indirect jumps, returns).
+fn is_terminator(instr: &Instr) -> bool {
+    matches!(instr, Instr::Branch { .. } | Instr::Swi { .. })
+        || instr.writes().iter().any(|r| r.is_pc())
+}
+
+/// Partitions a program's text into basic blocks, in address order.
+///
+/// Leaders are the entry point, every branch target, and every instruction
+/// following a terminator (branch, trap, PC write). Symbols name the
+/// enclosing function of each block.
+#[must_use]
+pub fn basic_blocks(program: &Program) -> Vec<BasicBlock> {
+    let n = program.text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    if program.entry < n {
+        leader[program.entry] = true;
+    }
+    for (i, instr) in program.text.iter().enumerate() {
+        if let Some(t) = program.branch_target(i) {
+            leader[t] = true;
+        }
+        if is_terminator(instr) && i + 1 < n {
+            leader[i + 1] = true;
+        }
+    }
+    // Symbols are block boundaries too, so a block never spans functions.
+    for (idx, _) in &program.symbols {
+        if *idx < n {
+            leader[*idx] = true;
+        }
+    }
+
+    let mut symbols: Vec<(usize, &str)> = program
+        .symbols
+        .iter()
+        .map(|(i, s)| (*i, s.as_str()))
+        .collect();
+    symbols.sort_by_key(|(i, _)| *i);
+    let func_of = |idx: usize| -> String {
+        symbols
+            .iter()
+            .rev()
+            .find(|(i, _)| *i <= idx)
+            .map_or_else(|| "?".to_string(), |(_, s)| (*s).to_string())
+    };
+
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    for (i, &lead) in leader.iter().enumerate().skip(1) {
+        if lead {
+            blocks.push(BasicBlock {
+                start,
+                end: i,
+                func: func_of(start),
+            });
+            start = i;
+        }
+    }
+    blocks.push(BasicBlock {
+        start,
+        end: n,
+        func: func_of(start),
+    });
+    blocks
+}
+
+/// Expands the translator's per-ARM-instruction expansion table into a FITS
+/// instruction index → ARM text index map.
+///
+/// `expansion[i]` is the number of FITS instructions emitted for ARM
+/// instruction `i` (the `MappingStats` of the accepted translation); the
+/// returned vector has one entry per FITS instruction.
+#[must_use]
+pub fn fits_to_arm(expansion: &[u32]) -> Vec<u32> {
+    let total: usize = expansion.iter().map(|&e| e as usize).sum();
+    let mut map = Vec::with_capacity(total);
+    for (arm_idx, &count) in expansion.iter().enumerate() {
+        for _ in 0..count {
+            map.push(arm_idx as u32);
+        }
+    }
+    map
+}
+
+/// Activity and attributed I-cache energy of one basic block under one
+/// configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BlockCost {
+    /// Retired instructions attributed to the block.
+    pub retired: u64,
+    /// I-cache fetch accesses attributed to the block.
+    pub fetches: u64,
+    /// Attributed switching energy (J).
+    pub switching_j: f64,
+    /// Attributed internal energy (J).
+    pub internal_j: f64,
+    /// Attributed leakage energy (J).
+    pub leakage_j: f64,
+}
+
+impl BlockCost {
+    /// Total attributed I-cache energy (J).
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.switching_j + self.internal_j + self.leakage_j
+    }
+}
+
+/// The ARM-vs-FITS per-block attribution for one kernel and one cache
+/// geometry pair.
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    /// The native program's basic blocks, in address order.
+    pub blocks: Vec<BasicBlock>,
+    /// Per-block costs of the ARM run, parallel to `blocks`.
+    pub arm: Vec<BlockCost>,
+    /// Per-block costs of the FITS run, parallel to `blocks`.
+    pub fits: Vec<BlockCost>,
+}
+
+impl Attribution {
+    /// Block indices sorted hottest-first by combined attributed energy
+    /// (ARM + FITS), truncated to `n`.
+    #[must_use]
+    pub fn top_n(&self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.blocks.len())
+            .filter(|&i| self.arm[i].retired > 0 || self.fits[i].retired > 0)
+            .collect();
+        idx.sort_by(|&a, &b| {
+            let ka = self.arm[a].total_j() + self.fits[a].total_j();
+            let kb = self.arm[b].total_j() + self.fits[b].total_j();
+            kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(n);
+        idx
+    }
+
+    /// The display label of block `i` (function-relative offset).
+    #[must_use]
+    pub fn label(&self, i: usize) -> String {
+        let block = &self.blocks[i];
+        let func_start = self
+            .blocks
+            .iter()
+            .filter(|b| b.func == block.func && b.start <= block.start)
+            .map(|b| b.start)
+            .min()
+            .unwrap_or(block.start);
+        block.label(func_start)
+    }
+
+    /// Aggregates per-block costs up to function grain: `(func, arm, fits)`
+    /// triples in first-appearance order.
+    #[must_use]
+    pub fn by_function(&self) -> Vec<(String, BlockCost, BlockCost)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut acc: std::collections::HashMap<String, (BlockCost, BlockCost)> =
+            std::collections::HashMap::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            let entry = acc.entry(b.func.clone()).or_insert_with(|| {
+                order.push(b.func.clone());
+                (BlockCost::default(), BlockCost::default())
+            });
+            add_cost(&mut entry.0, &self.arm[i]);
+            add_cost(&mut entry.1, &self.fits[i]);
+        }
+        order
+            .into_iter()
+            .map(|f| {
+                let (a, s) = acc[&f];
+                (f, a, s)
+            })
+            .collect()
+    }
+}
+
+fn add_cost(into: &mut BlockCost, from: &BlockCost) {
+    into.retired = into.retired.saturating_add(from.retired);
+    into.fetches = into.fetches.saturating_add(from.fetches);
+    into.switching_j += from.switching_j;
+    into.internal_j += from.internal_j;
+    into.leakage_j += from.leakage_j;
+}
+
+/// Attributes one traced run's I-cache power to the native basic blocks.
+///
+/// `block_of_arm` maps ARM text index → block index; `fits_map` (when the
+/// run is a FITS run) maps FITS instruction index → ARM text index. Fetch
+/// accesses of a packed FITS word are attributed to the block of the word's
+/// first instruction — the same one-event-per-word convention the cache
+/// model itself uses.
+fn attribute_run(
+    block_of_arm: &[usize],
+    n_blocks: usize,
+    fits_map: Option<&[u32]>,
+    trace: &SimTrace,
+    power: &CachePower,
+) -> Vec<BlockCost> {
+    let mut costs = vec![BlockCost::default(); n_blocks];
+    let op_stride = trace.retires.stride();
+
+    let block_of_op = |op_index: usize| -> Option<usize> {
+        let arm_index = match fits_map {
+            Some(map) => *map.get(op_index)? as usize,
+            None => op_index,
+        };
+        block_of_arm.get(arm_index).copied()
+    };
+
+    for (pc, count) in trace.retires.iter() {
+        let op_index = ((pc - TEXT_BASE) / op_stride) as usize;
+        if let Some(b) = block_of_op(op_index) {
+            costs[b].retired = costs[b].retired.saturating_add(count);
+        }
+    }
+    for (word_addr, count) in trace.cache.fetches.iter() {
+        // One fetched 32-bit word holds one AR32 instruction or two 16-bit
+        // FITS instructions; the word's first op owns the event.
+        let op_index = ((word_addr - TEXT_BASE) / op_stride) as usize;
+        if let Some(b) = block_of_op(op_index) {
+            costs[b].fetches = costs[b].fetches.saturating_add(count);
+        }
+    }
+
+    let total_fetches: u64 = costs.iter().map(|c| c.fetches).sum();
+    let total_retired: u64 = costs.iter().map(|c| c.retired).sum();
+    for c in &mut costs {
+        if total_fetches > 0 {
+            let access_share = c.fetches as f64 / total_fetches as f64;
+            c.switching_j = power.switching_j * access_share;
+            c.internal_j = power.internal_j * access_share;
+        }
+        if total_retired > 0 {
+            c.leakage_j = power.leakage_j * (c.retired as f64 / total_retired as f64);
+        }
+    }
+    costs
+}
+
+/// The full ARM-vs-FITS attribution join for one kernel.
+///
+/// * `program` — the native program (defines blocks and functions);
+/// * `expansion` — the accepted translation's per-ARM-instruction FITS
+///   expansion counts (`MappingStats::expansion`);
+/// * `arm`/`fits` — each ISA's traced run plus its I-cache power report
+///   (from `fits_power::cache_power` over the run's `SimResult`).
+#[must_use]
+pub fn attribute_kernel(
+    program: &Program,
+    expansion: &[u32],
+    arm: (&SimTrace, &CachePower),
+    fits: (&SimTrace, &CachePower),
+) -> Attribution {
+    let blocks = basic_blocks(program);
+    let mut block_of_arm = vec![0usize; program.text.len()];
+    for (bi, b) in blocks.iter().enumerate() {
+        for slot in &mut block_of_arm[b.start..b.end] {
+            *slot = bi;
+        }
+    }
+    let fits_map = fits_to_arm(expansion);
+    let arm_costs = attribute_run(&block_of_arm, blocks.len(), None, arm.0, arm.1);
+    let fits_costs = attribute_run(&block_of_arm, blocks.len(), Some(&fits_map), fits.0, fits.1);
+    Attribution {
+        blocks,
+        arm: arm_costs,
+        fits: fits_costs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fits_isa::{Cond, DpOp, Operand2, Reg};
+
+    fn program() -> Program {
+        Program {
+            text: vec![
+                /* 0 main: */ Instr::mov(Reg::R0, Operand2::imm(3).unwrap()),
+                /* 1 */ Instr::mov(Reg::R1, Operand2::imm(0).unwrap()),
+                /* 2 loop: */ Instr::dp(DpOp::Add, Reg::R1, Reg::R1, Operand2::reg(Reg::R0)),
+                /* 3 */
+                Instr::Dp {
+                    cond: Cond::Al,
+                    op: DpOp::Sub,
+                    set_flags: true,
+                    rd: Reg::R0,
+                    rn: Reg::R0,
+                    op2: Operand2::imm(1).unwrap(),
+                },
+                /* 4 */ Instr::b(-4).with_cond(Cond::Ne),
+                /* 5 exit: */ Instr::mov(Reg::R0, Operand2::reg(Reg::R1)),
+                /* 6 */
+                Instr::Swi {
+                    cond: Cond::Al,
+                    imm: 0,
+                },
+            ],
+            symbols: vec![(0, "main".to_string())],
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn blocks_split_at_branches_and_targets() {
+        let blocks = basic_blocks(&program());
+        let spans: Vec<(usize, usize)> = blocks.iter().map(|b| (b.start, b.end)).collect();
+        assert_eq!(spans, vec![(0, 2), (2, 5), (5, 7)]);
+        assert!(blocks.iter().all(|b| b.func == "main"));
+        assert_eq!(blocks[1].addr(), TEXT_BASE + 8);
+        assert_eq!(blocks[1].label(0), "main+0x8");
+    }
+
+    #[test]
+    fn fits_map_expands_counts() {
+        let map = fits_to_arm(&[1, 2, 1]);
+        assert_eq!(map, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn attribution_conserves_energy_and_counts() {
+        use crate::trace::trace_timed_run;
+        use fits_power::{cache_power, TechParams};
+        use fits_sim::{Ar32Set, Machine, Sa1100Config};
+
+        let p = program();
+        let cfg = Sa1100Config::icache_16k();
+        let (_, sim, trace) = trace_timed_run(&mut Machine::new(Ar32Set::load(&p)), &cfg).unwrap();
+        let power = cache_power(&cfg.icache, &sim.icache, sim.cycles, &TechParams::sa1100());
+        // Self-join: use the ARM trace on both sides with a 1-to-1 map.
+        let expansion = vec![1u32; p.text.len()];
+        let attr = attribute_kernel(&p, &expansion, (&trace, &power), (&trace, &power));
+
+        let retired: u64 = attr.arm.iter().map(|c| c.retired).sum();
+        assert_eq!(retired, sim.retired);
+        let total_j: f64 = attr.arm.iter().map(BlockCost::total_j).sum();
+        assert!(
+            (total_j - power.total_j()).abs() < 1e-12 * power.total_j().max(1.0),
+            "attribution must conserve total energy: {total_j} vs {}",
+            power.total_j()
+        );
+        // The loop block dominates retires.
+        let hot = attr.top_n(1)[0];
+        assert_eq!(attr.blocks[hot].start, 2);
+        // FITS side mirrors ARM under the identity map.
+        assert_eq!(attr.arm[hot].retired, attr.fits[hot].retired);
+        // Function rollup covers everything.
+        let by_fn = attr.by_function();
+        assert_eq!(by_fn.len(), 1);
+        assert_eq!(by_fn[0].0, "main");
+        assert_eq!(by_fn[0].1.retired, sim.retired);
+    }
+}

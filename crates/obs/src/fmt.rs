@@ -1,0 +1,111 @@
+//! The one place report numbers are rounded.
+//!
+//! Every percentage the workspace prints goes through [`percent`] /
+//! [`fmt_percent`], so a figure table in `fits-bench` and a span tree in
+//! this crate agree on the rule: **half-away-from-zero at one decimal**
+//! (`f64::round` on the tenths), applied *before* display formatting.
+//! Rust's `{:.1}` alone ties-to-even, which is how `12.25%` prints as
+//! `12.2` in one table and `12.3` in another when the helper is
+//! duplicated — the drift this module exists to end.
+
+/// Rounds to one decimal place, half away from zero.
+#[must_use]
+pub fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// A fraction (`0.0..=1.0`-ish) as a percentage rounded by the shared rule.
+#[must_use]
+pub fn percent(frac: f64) -> f64 {
+    round1(frac * 100.0)
+}
+
+/// Formats a fraction as a percentage with one decimal, right-aligned to
+/// `width` (no `%` sign — tables carry the unit in their header).
+#[must_use]
+pub fn fmt_percent(frac: f64, width: usize) -> String {
+    format!("{:>width$.1}", percent(frac))
+}
+
+/// Formats a nanosecond total as milliseconds with three decimals.
+#[must_use]
+pub fn fmt_ms(nanos: u64, width: usize) -> String {
+    format!("{:>width$.3}", nanos as f64 / 1.0e6)
+}
+
+/// Formats an energy in joules with an auto-selected engineering unit
+/// (`pJ`/`nJ`/`uJ`/`mJ`/`J`), three significant decimals.
+#[must_use]
+pub fn fmt_energy(joules: f64) -> String {
+    let magnitude = joules.abs();
+    let (scale, unit) = if magnitude >= 1.0 || magnitude == 0.0 {
+        (1.0, "J")
+    } else if magnitude >= 1e-3 {
+        (1e3, "mJ")
+    } else if magnitude >= 1e-6 {
+        (1e6, "uJ")
+    } else if magnitude >= 1e-9 {
+        (1e9, "nJ")
+    } else {
+        (1e12, "pJ")
+    };
+    format!("{:.3} {}", joules * scale, unit)
+}
+
+/// Formats a count with thousands separators (`1_234_567`).
+#[must_use]
+pub fn fmt_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_is_half_away_from_zero() {
+        assert_eq!(round1(12.25), 12.3, "not ties-to-even");
+        assert_eq!(round1(-12.25), -12.3);
+        assert_eq!(round1(12.24), 12.2);
+        assert_eq!(percent(0.1225), 12.3);
+        assert_eq!(percent(0.6), 60.0);
+    }
+
+    #[test]
+    fn percent_formatting_is_width_aligned() {
+        assert_eq!(fmt_percent(0.5, 8), "    50.0");
+        assert_eq!(fmt_percent(0.1225, 6), "  12.3");
+    }
+
+    #[test]
+    fn energy_picks_engineering_units() {
+        assert_eq!(fmt_energy(0.0), "0.000 J");
+        assert_eq!(fmt_energy(1.5), "1.500 J");
+        assert_eq!(fmt_energy(2.5e-3), "2.500 mJ");
+        assert_eq!(fmt_energy(7.25e-6), "7.250 uJ");
+        assert_eq!(fmt_energy(3.0e-9), "3.000 nJ");
+        assert_eq!(fmt_energy(4.0e-12), "4.000 pJ");
+    }
+
+    #[test]
+    fn counts_group_by_thousands() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1_000");
+        assert_eq!(fmt_count(1234567), "1_234_567");
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(fmt_ms(2_000_000, 9), "    2.000");
+        assert_eq!(fmt_ms(1_234_000, 0), "1.234");
+    }
+}

@@ -1,0 +1,567 @@
+//! A dependency-free JSON scanner, escaper and JSONL trace-schema
+//! validator.
+//!
+//! The workspace is offline-buildable with zero external crates, so the
+//! `fitstrace --json` export is hand-written — and hand-written emitters
+//! rot silently. This module closes the loop: a small recursive-descent
+//! parser ([`parse`]) plus a schema check ([`validate_trace_jsonl`]) that
+//! the CLI runs over its *own* output before reporting success, and that
+//! CI runs in the `fitstrace --smoke` step.
+//!
+//! ## Trace JSONL schema
+//!
+//! One JSON object per line; every object carries a string `"type"`:
+//!
+//! * `"meta"` — first line; `kernel`, `scale` (string), `icache` (string);
+//! * `"span"` — `path` (string), `ms` (number ≥ 0), `count` (number ≥ 1);
+//! * `"block"` — `addr` (string, hex), `label` (string), `func` (string),
+//!   and `arm` / `fits` objects each with numeric `retired`, `fetches`,
+//!   `switching_j`, `internal_j`, `leakage_j`;
+//! * `"summary"` — `isa` (string), numeric `cycles`, `retired`,
+//!   `switching_j`, `internal_j`, `leakage_j`.
+
+use std::fmt;
+
+/// A parsed JSON value. Objects preserve key order (the emitter's order is
+/// part of what the validator sees).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, key order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` for other variants or missing key).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset plus a short description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return self.err("expected 4 hex digits"),
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return self.err("lone high surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return self.err("lone high surrogate");
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing at
+                    // a char boundary is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| JsonError {
+                        offset: self.pos,
+                        message: "invalid utf-8".to_string(),
+                    })?;
+                    let ch = match s.chars().next() {
+                        Some(c) => c,
+                        None => return self.err("unterminated string"),
+                    };
+                    if (ch as u32) < 0x20 {
+                        return self.err("unescaped control character");
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+            offset: start,
+            message: "invalid utf-8 in number".to_string(),
+        })?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+            _ => Err(JsonError {
+                offset: start,
+                message: format!("invalid number '{text}'"),
+            }),
+        }
+    }
+}
+
+/// Parses one complete JSON value, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// A [`JsonError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after value");
+    }
+    Ok(value)
+}
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Line counts of a validated trace export, by event type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// `"meta"` lines (exactly 1).
+    pub meta: usize,
+    /// `"span"` lines.
+    pub spans: usize,
+    /// `"block"` lines.
+    pub blocks: usize,
+    /// `"summary"` lines (one per ISA).
+    pub summaries: usize,
+}
+
+fn require_str(line: usize, v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Str(_)) => Ok(()),
+        _ => Err(format!("line {line}: missing string field \"{key}\"")),
+    }
+}
+
+fn require_num(line: usize, v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Num(n)) if *n >= 0.0 => Ok(()),
+        _ => Err(format!(
+            "line {line}: missing non-negative number field \"{key}\""
+        )),
+    }
+}
+
+fn require_costs(line: usize, v: &Value, key: &str) -> Result<(), String> {
+    let side = v
+        .get(key)
+        .ok_or_else(|| format!("line {line}: missing object field \"{key}\""))?;
+    if !matches!(side, Value::Obj(_)) {
+        return Err(format!("line {line}: field \"{key}\" is not an object"));
+    }
+    for field in [
+        "retired",
+        "fetches",
+        "switching_j",
+        "internal_j",
+        "leakage_j",
+    ] {
+        require_num(line, side, field)?;
+    }
+    Ok(())
+}
+
+/// Validates a `fitstrace --json` export against the trace JSONL schema.
+///
+/// # Errors
+///
+/// A description of the first offending line: a parse failure, an unknown
+/// event type, a missing/ill-typed field, a `meta` line that is not first
+/// or not unique, or a stream without a `summary`.
+pub fn validate_trace_jsonl(text: &str) -> Result<TraceCounts, String> {
+    let mut counts = TraceCounts::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = parse(raw).map_err(|e| format!("line {line}: {e}"))?;
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {line}: missing string field \"type\""))?;
+        match kind {
+            "meta" => {
+                if counts.meta > 0 || counts.spans + counts.blocks + counts.summaries > 0 {
+                    return Err(format!(
+                        "line {line}: \"meta\" must be the single first line"
+                    ));
+                }
+                counts.meta += 1;
+                for key in ["kernel", "scale", "icache"] {
+                    require_str(line, &v, key)?;
+                }
+            }
+            "span" => {
+                counts.spans += 1;
+                require_str(line, &v, "path")?;
+                require_num(line, &v, "ms")?;
+                require_num(line, &v, "count")?;
+            }
+            "block" => {
+                counts.blocks += 1;
+                for key in ["addr", "label", "func"] {
+                    require_str(line, &v, key)?;
+                }
+                require_costs(line, &v, "arm")?;
+                require_costs(line, &v, "fits")?;
+            }
+            "summary" => {
+                counts.summaries += 1;
+                require_str(line, &v, "isa")?;
+                for key in [
+                    "cycles",
+                    "retired",
+                    "switching_j",
+                    "internal_j",
+                    "leakage_j",
+                ] {
+                    require_num(line, &v, key)?;
+                }
+            }
+            other => return Err(format!("line {line}: unknown event type \"{other}\"")),
+        }
+    }
+    if counts.meta != 1 {
+        return Err("stream must start with exactly one \"meta\" line".to_string());
+    }
+    if counts.summaries == 0 {
+        return Err("stream has no \"summary\" line".to_string());
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-12.5e1").unwrap(), Value::Num(-125.0));
+        assert_eq!(
+            parse("\"a\\nb\\u0041\"").unwrap(),
+            Value::Str("a\nbA".to_string())
+        );
+        let v = parse(r#"{"a": [1, 2, {"b": false}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        match v.get("a") {
+            Some(Value::Arr(items)) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{1F600}".to_string())
+        );
+        assert!(parse("\"\\ud83d\"").is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "tru", "\"\x01\""] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let original = "a\"b\\c\nd\te\u{1}f";
+        let quoted = format!("\"{}\"", escape(original));
+        assert_eq!(parse(&quoted).unwrap(), Value::Str(original.to_string()));
+    }
+
+    fn sample_lines() -> Vec<String> {
+        vec![
+            r#"{"type":"meta","kernel":"crc32","scale":"test","icache":"16k"}"#.to_string(),
+            r#"{"type":"span","path":"flow/translate","ms":1.25,"count":1}"#.to_string(),
+            format!(
+                r#"{{"type":"block","addr":"0x8008","label":"main+0x8","func":"main","arm":{0},"fits":{0}}}"#,
+                r#"{"retired":10,"fetches":4,"switching_j":1e-9,"internal_j":2e-9,"leakage_j":3e-12}"#
+            ),
+            r#"{"type":"summary","isa":"arm","cycles":100,"retired":80,"switching_j":1e-9,"internal_j":2e-9,"leakage_j":3e-12}"#.to_string(),
+        ]
+    }
+
+    #[test]
+    fn validates_a_wellformed_stream() {
+        let text = sample_lines().join("\n");
+        let counts = validate_trace_jsonl(&text).unwrap();
+        assert_eq!(
+            counts,
+            TraceCounts {
+                meta: 1,
+                spans: 1,
+                blocks: 1,
+                summaries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let lines = sample_lines();
+        // meta not first
+        let swapped = format!("{}\n{}", lines[1], lines[0]);
+        assert!(validate_trace_jsonl(&swapped).is_err());
+        // missing summary
+        assert!(validate_trace_jsonl(&lines[0]).is_err());
+        // unknown type
+        let unknown = format!("{}\n{{\"type\":\"bogus\"}}", lines[0]);
+        assert!(validate_trace_jsonl(&unknown).is_err());
+        // block without fits costs
+        let bad_block = format!(
+            "{}\n{}\n{}",
+            lines[0],
+            r#"{"type":"block","addr":"0x8000","label":"main","func":"main","arm":{"retired":1,"fetches":1,"switching_j":0,"internal_j":0,"leakage_j":0}}"#,
+            lines[3]
+        );
+        let err = validate_trace_jsonl(&bad_block).unwrap_err();
+        assert!(err.contains("fits"), "{err}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # fits-obs — tracing, metrics and power attribution
+//!
+//! The observability layer of the PowerFITS reproduction. The paper's whole
+//! argument is an *attribution* claim — I-cache switching/internal/leakage
+//! power shifts when the ISA is re-synthesized — and this crate provides the
+//! lens to see **where** those shifts come from, instead of only end-of-run
+//! totals:
+//!
+//! * [`SpanRegistry`] — a thread-safe registry of hierarchical phase timers
+//!   (compile → profile → synthesize → translate → verify → execute →
+//!   simulate → power). It implements `fits-core`'s `FlowObserver`, so
+//!   installing a clone on a `FitsFlow` times every Figure-1 stage with no
+//!   change to flow results.
+//! * [`trace_timed_run`] — a timed simulation that additionally streams
+//!   per-PC retire counts, per-set I-cache hit/miss/fill events and branch
+//!   outcomes into compact histograms ([`SimTrace`]). It rides the
+//!   `CacheEventObserver` seam in `fits-sim`'s timing model; the
+//!   differential tests in `tests/` prove the traced run's `SimResult` is
+//!   **bit-identical** to the untraced fast path.
+//! * [`attribute_kernel`] — the power-attribution join: per-PC histograms ×
+//!   the `fits-power` cache model, broken down per basic block (and per
+//!   source kernel function) of the *native* program, with the FITS run
+//!   mapped back onto the same blocks through the translator's expansion
+//!   table — ARM vs. FITS, side by side.
+//! * [`json`] — a dependency-free JSON scanner used to validate the JSONL
+//!   trace export of the `fitstrace` CLI (in `fits-bench`).
+//! * [`fmt`] — the one place numbers are rounded for reports (percentages,
+//!   energies, durations), shared by `fits-bench`'s tables and the trace
+//!   renderers.
+//!
+//! Everything here is strictly additive: with no observer installed the
+//! simulator and flow run exactly the pre-observability code paths, and all
+//! collectors use saturating counters so a pathological run degrades the
+//! report, never the process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod attr;
+pub mod fmt;
+pub mod hist;
+pub mod json;
+pub mod span;
+pub mod trace;
+
+pub use attr::{attribute_kernel, basic_blocks, Attribution, BasicBlock, BlockCost};
+pub use hist::{BranchCounts, BranchHistogram, PcHistogram, SetCounters, SetHistogram};
+pub use span::{Span, SpanGuard, SpanRegistry};
+pub use trace::{trace_timed_run, CacheEvents, DCacheTotals, SimTrace};

@@ -1,0 +1,353 @@
+//! Hierarchical phase spans: a thread-safe registry of named timers that
+//! nest (compile → profile → synthesize → …) and render as a tree.
+//!
+//! Counters saturate rather than wrap: a span recorded `u64::MAX` times or
+//! accumulating more than `u64::MAX` nanoseconds clamps instead of
+//! overflowing, so a pathological run degrades the report, never the
+//! process.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fits_core::{FlowObserver, FlowStage};
+
+/// One node of the span tree: a named timer with saturating totals and
+/// children merged by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Span name (stage or phase label).
+    pub name: String,
+    /// Total wall-clock time attributed to this span, in nanoseconds
+    /// (saturating).
+    pub nanos: u64,
+    /// Number of times the span was entered or recorded (saturating).
+    pub count: u64,
+    /// Child spans, in first-entry order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    fn new(name: &str) -> Span {
+        Span {
+            name: name.to_string(),
+            ..Span::default()
+        }
+    }
+
+    /// Adds one observation of `nanos` nanoseconds, saturating both totals.
+    pub fn record(&mut self, nanos: u64) {
+        self.nanos = self.nanos.saturating_add(nanos);
+        self.count = self.count.saturating_add(1);
+    }
+
+    /// The child named `name`, created on first use.
+    fn child(&mut self, name: &str) -> &mut Span {
+        let idx = match self.children.iter().position(|c| c.name == name) {
+            Some(i) => i,
+            None => {
+                self.children.push(Span::new(name));
+                self.children.len() - 1
+            }
+        };
+        &mut self.children[idx]
+    }
+
+    /// Sum of the subtree's own time — for the root, the traced total.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        if self.nanos > 0 {
+            self.nanos
+        } else {
+            self.children
+                .iter()
+                .fold(0u64, |acc, c| acc.saturating_add(c.total_nanos()))
+        }
+    }
+
+    /// Looks a span up by slash-separated path (`"flow/translate"`).
+    #[must_use]
+    pub fn find(&self, path: &str) -> Option<&Span> {
+        let mut node = self;
+        for part in path.split('/') {
+            node = node.children.iter().find(|c| c.name == part)?;
+        }
+        Some(node)
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, parent_nanos: u64) {
+        let ms = self.nanos as f64 / 1.0e6;
+        let share = if parent_nanos > 0 {
+            crate::fmt::percent(self.nanos as f64 / parent_nanos as f64)
+        } else {
+            100.0
+        };
+        out.push_str(&format!(
+            "{:indent$}{:<width$} {:>9.3} ms {:>5.1}%  x{}\n",
+            "",
+            self.name,
+            ms,
+            share,
+            self.count,
+            indent = depth * 2,
+            width = 24usize.saturating_sub(depth * 2),
+        ));
+        let own = self.nanos.max(self.total_nanos());
+        for child in &self.children {
+            child.render_into(out, depth + 1, own);
+        }
+    }
+
+    fn walk(&self, prefix: &str, visit: &mut impl FnMut(&str, &Span)) {
+        let path = if prefix.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{prefix}/{}", self.name)
+        };
+        visit(&path, self);
+        for child in &self.children {
+            child.walk(&path, visit);
+        }
+    }
+}
+
+/// The mutable state behind the registry: the span forest plus the stack of
+/// currently-open spans (as paths into the forest).
+#[derive(Debug, Default)]
+struct Inner {
+    /// Synthetic root; its children are the top-level spans.
+    root: Span,
+    /// Paths (child indices from the root) of the open spans, innermost
+    /// last.
+    open: Vec<Vec<usize>>,
+}
+
+impl Inner {
+    fn node_mut(&mut self, path: &[usize]) -> &mut Span {
+        let mut node = &mut self.root;
+        for &i in path {
+            node = &mut node.children[i];
+        }
+        node
+    }
+
+    fn open_child(&mut self, name: &str) -> Vec<usize> {
+        let parent_path = self.open.last().cloned().unwrap_or_default();
+        let parent = self.node_mut(&parent_path);
+        let idx = match parent.children.iter().position(|c| c.name == name) {
+            Some(i) => i,
+            None => {
+                parent.children.push(Span::new(name));
+                parent.children.len() - 1
+            }
+        };
+        let mut path = parent_path;
+        path.push(idx);
+        self.open.push(path.clone());
+        path
+    }
+
+    fn close(&mut self, path: &[usize], nanos: u64) {
+        self.node_mut(path).record(nanos);
+        if let Some(pos) = self.open.iter().rposition(|p| p == path) {
+            self.open.remove(pos);
+        }
+    }
+
+    fn add(&mut self, name: &str, nanos: u64) {
+        let parent_path = self.open.last().cloned().unwrap_or_default();
+        self.node_mut(&parent_path).child(name).record(nanos);
+    }
+}
+
+/// A shareable registry of hierarchical spans.
+///
+/// Cloning is cheap (`Arc` inside); all clones feed the same tree. Spans
+/// opened while another span is open become its children; leaf timings can
+/// also be attributed directly with [`SpanRegistry::add`] — which is how the
+/// registry doubles as the flow's [`FlowObserver`].
+#[derive(Clone, Debug, Default)]
+pub struct SpanRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SpanRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> SpanRegistry {
+        SpanRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means another thread panicked mid-update;
+        // trace data is best-effort, so keep going with what's there.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Opens a span; it closes (and records its wall time) when the guard
+    /// drops. Spans opened while the guard lives nest under it.
+    #[must_use]
+    pub fn enter(&self, name: &str) -> SpanGuard {
+        let path = self.lock().open_child(name);
+        SpanGuard {
+            registry: self.clone(),
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records a completed duration under `name` as a child of the
+    /// currently-open span (or at top level).
+    pub fn add(&self, name: &str, wall: Duration) {
+        let nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        self.lock().add(name, nanos);
+    }
+
+    /// Times a closure under `name`, nesting anything it opens.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let guard = self.enter(name);
+        let out = f();
+        drop(guard);
+        out
+    }
+
+    /// A deep copy of the current span forest (top-level spans).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.lock().root.children.clone()
+    }
+
+    /// Renders the forest as an indented tree with milliseconds, percent of
+    /// parent, and entry counts.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let snap = self.snapshot();
+        let total: u64 = snap.iter().map(Span::total_nanos).sum();
+        let mut out = String::new();
+        for span in &snap {
+            span.render_into(&mut out, 0, total.max(1));
+        }
+        out
+    }
+
+    /// Visits every span depth-first with its slash-separated path — the
+    /// JSONL exporter's iteration order.
+    pub fn visit(&self, mut visit: impl FnMut(&str, &Span)) {
+        for span in self.snapshot() {
+            span.walk("", &mut visit);
+        }
+    }
+}
+
+impl FlowObserver for SpanRegistry {
+    fn stage(&self, stage: FlowStage, wall: Duration) {
+        self.add(stage.name(), wall);
+    }
+}
+
+/// RAII guard returned by [`SpanRegistry::enter`]; records the span's wall
+/// time when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    registry: SpanRegistry,
+    path: Vec<usize>,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry.lock().close(&self.path, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_under_open_parent() {
+        let reg = SpanRegistry::new();
+        {
+            let _outer = reg.enter("flow");
+            reg.add("profile", Duration::from_millis(5));
+            reg.time("simulate", || {
+                reg.add("arm", Duration::from_millis(2));
+            });
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        let flow = &snap[0];
+        assert_eq!(flow.name, "flow");
+        assert_eq!(flow.count, 1);
+        let names: Vec<_> = flow.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["profile", "simulate"]);
+        let sim = flow.find("simulate").unwrap();
+        assert_eq!(sim.children[0].name, "arm");
+        assert_eq!(sim.children[0].nanos, 2_000_000);
+    }
+
+    #[test]
+    fn repeated_entries_merge_by_name() {
+        let reg = SpanRegistry::new();
+        let _flow = reg.enter("flow");
+        reg.add("synthesize", Duration::from_millis(1));
+        reg.add("synthesize", Duration::from_millis(3));
+        drop(_flow);
+        let snap = reg.snapshot();
+        let synth = snap[0].find("synthesize").unwrap();
+        assert_eq!(synth.count, 2);
+        assert_eq!(synth.nanos, 4_000_000);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut span = Span::new("s");
+        span.record(u64::MAX - 1);
+        span.record(u64::MAX - 1);
+        assert_eq!(span.nanos, u64::MAX);
+        span.count = u64::MAX;
+        span.record(1);
+        assert_eq!(span.count, u64::MAX);
+        assert_eq!(span.nanos, u64::MAX);
+    }
+
+    #[test]
+    fn flow_observer_attributes_under_open_span() {
+        let reg = SpanRegistry::new();
+        {
+            let _flow = reg.enter("flow");
+            FlowObserver::stage(&reg, FlowStage::Translate, Duration::from_millis(7));
+        }
+        let snap = reg.snapshot();
+        let t = snap[0].find("translate").unwrap();
+        assert_eq!(t.nanos, 7_000_000);
+        assert_eq!(t.count, 1);
+    }
+
+    #[test]
+    fn render_contains_every_name() {
+        let reg = SpanRegistry::new();
+        reg.time("compile", || {});
+        reg.time("flow", || reg.add("profile", Duration::from_micros(10)));
+        let text = reg.render();
+        for name in ["compile", "flow", "profile"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn find_by_path() {
+        let reg = SpanRegistry::new();
+        reg.time("a", || {
+            reg.time("b", || {
+                reg.add("c", Duration::from_nanos(42));
+            });
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap[0].find("b/c").unwrap().nanos, 42);
+        assert!(snap[0].find("b/x").is_none());
+    }
+}

@@ -57,4 +57,4 @@ pub use error::SimError;
 pub use exec::{execute_instr, instr_meta, Ar32Set, InstrSet, OpMeta};
 pub use machine::{fold_emitted, Machine, RunOutput, MAX_STEPS_DEFAULT};
 pub use memory::Memory;
-pub use timing::{BranchStats, Sa1100Config, SimResult, TimingModel};
+pub use timing::{BranchStats, CacheEventObserver, Sa1100Config, SimResult, TimingModel};

@@ -94,6 +94,13 @@ impl<S: InstrSet> Machine<S> {
         &self.cpu
     }
 
+    /// Read access to the instruction set this machine executes (for
+    /// tooling that needs the encoded size or metadata tables).
+    #[must_use]
+    pub fn instr_set(&self) -> &S {
+        &self.set
+    }
+
     /// Runs to the exit trap, functional only (no timing).
     ///
     /// This is the true fast path: no [`StepInfo`] is constructed and no

@@ -152,6 +152,34 @@ impl SimResult {
     }
 }
 
+/// Observer of the cache-level events a [`TimingModel`] generates while it
+/// consumes a retired-instruction stream — the seam the `fits-obs` tracing
+/// layer rides.
+///
+/// Events fire only for **actual** cache accesses: a second 16-bit FITS
+/// instruction served from the same fetched word produces no I-cache event,
+/// exactly as it produces no access in [`CacheStats`]. A `hit == false`
+/// event implies a line fill of `line_bytes / 4` words.
+///
+/// All methods default to no-ops, and `()` implements the trait, so the
+/// untraced paths ([`TimingModel::observe`], [`TimingModel::finish`])
+/// monomorphize to exactly the pre-seam code — the differential tests in
+/// `fits-obs` hold the two bit-identical.
+pub trait CacheEventObserver {
+    /// One I-cache access of the aligned word at `word_addr`.
+    fn icache_access(&mut self, word_addr: u32, hit: bool) {
+        let _ = (word_addr, hit);
+    }
+
+    /// One D-cache access at `addr` (`write` for stores).
+    fn dcache_access(&mut self, addr: u32, write: bool, hit: bool) {
+        let _ = (addr, write, hit);
+    }
+}
+
+/// The no-op observer used by the untraced fast path.
+impl CacheEventObserver for () {}
+
 /// Streaming timing model; feed it [`StepInfo`]s, then call
 /// [`TimingModel::finish`].
 #[derive(Debug)]
@@ -190,7 +218,7 @@ impl TimingModel {
         })
     }
 
-    fn fetch(&mut self, info: &StepInfo) {
+    fn fetch<O: CacheEventObserver>(&mut self, info: &StepInfo, obs: &mut O) {
         if self.last_fetch_word == Some(info.fetch_word_addr) {
             return; // second half of the same 32-bit fetch (16-bit ISAs)
         }
@@ -199,6 +227,7 @@ impl TimingModel {
         let hit = self
             .icache
             .access(info.fetch_word_addr, false, info.fetch_word_value, cycle);
+        obs.icache_access(info.fetch_word_addr, hit);
         if !hit {
             self.result.cycles += self.cfg.icache_miss_penalty;
             self.result.icache_stall_cycles += self.cfg.icache_miss_penalty;
@@ -240,7 +269,12 @@ impl TimingModel {
         true
     }
 
-    fn issue_group(&mut self, first: StepInfo, second: Option<StepInfo>) {
+    fn issue_group<O: CacheEventObserver>(
+        &mut self,
+        first: StepInfo,
+        second: Option<StepInfo>,
+        obs: &mut O,
+    ) {
         self.result.cycles += 1;
         self.result.issue_groups += 1;
         if second.is_some() {
@@ -258,12 +292,12 @@ impl TimingModel {
         }
 
         for info in std::iter::once(&first).chain(second.as_ref()) {
-            self.account_instr(info);
+            self.account_instr(info, obs);
         }
         self.last_group_load_dest = self.load_dest_this_group.take();
     }
 
-    fn account_instr(&mut self, info: &StepInfo) {
+    fn account_instr<O: CacheEventObserver>(&mut self, info: &StepInfo, obs: &mut O) {
         let class_idx = match info.class {
             InstrClass::Operate => 0,
             InstrClass::Memory => 1,
@@ -286,6 +320,7 @@ impl TimingModel {
         if let Some(mem) = &info.mem {
             let cycle = self.result.cycles;
             let hit = self.dcache.access(mem.addr, !mem.is_load, mem.data, cycle);
+            obs.dcache_access(mem.addr, !mem.is_load, hit);
             if !hit {
                 self.result.cycles += self.cfg.dcache_miss_penalty;
                 self.result.dcache_stall_cycles += self.cfg.dcache_miss_penalty;
@@ -315,15 +350,22 @@ impl TimingModel {
 
     /// Feeds one retired instruction.
     pub fn observe(&mut self, info: &StepInfo) {
+        self.observe_with(info, &mut ());
+    }
+
+    /// Feeds one retired instruction, reporting every cache access to
+    /// `obs`. [`TimingModel::observe`] is this method with the no-op `()`
+    /// observer — the accumulated [`SimResult`] is identical either way.
+    pub fn observe_with<O: CacheEventObserver>(&mut self, info: &StepInfo, obs: &mut O) {
         self.result.retired += 1;
-        self.fetch(info);
+        self.fetch(info, obs);
         match self.pending.take() {
             None => self.pending = Some(*info),
             Some(prev) => {
                 if Self::can_pair(&prev, info) {
-                    self.issue_group(prev, Some(*info));
+                    self.issue_group(prev, Some(*info), obs);
                 } else {
-                    self.issue_group(prev, None);
+                    self.issue_group(prev, None, obs);
                     self.pending = Some(*info);
                 }
             }
@@ -332,9 +374,16 @@ impl TimingModel {
 
     /// Flushes pending state and returns the accumulated statistics.
     #[must_use]
-    pub fn finish(mut self) -> SimResult {
+    pub fn finish(self) -> SimResult {
+        self.finish_with(&mut ())
+    }
+
+    /// Like [`TimingModel::finish`], reporting any cache accesses from the
+    /// flushed final issue group to `obs`.
+    #[must_use]
+    pub fn finish_with<O: CacheEventObserver>(mut self, obs: &mut O) -> SimResult {
         if let Some(prev) = self.pending.take() {
-            self.issue_group(prev, None);
+            self.issue_group(prev, None, obs);
         }
         self.icache.finish();
         self.dcache.finish();

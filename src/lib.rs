@@ -19,6 +19,8 @@
 //! * [`verify`] — static analyses over synthesized instruction sets and
 //!   translated binaries (`fitslint`): encoding soundness, control-flow
 //!   integrity, dataflow checks and per-rule translation validation.
+//! * [`obs`] — observability: hierarchical phase timing, traced simulation
+//!   histograms and per-basic-block power attribution (`fitstrace`).
 //! * [`bench`] — experiment runners that regenerate every figure of the
 //!   paper.
 //!
@@ -42,6 +44,7 @@ pub use fits_bench as bench;
 pub use fits_core as core;
 pub use fits_isa as isa;
 pub use fits_kernels as kernels;
+pub use fits_obs as obs;
 pub use fits_power as power;
 pub use fits_sim as sim;
 pub use fits_verify as verify;
