@@ -59,8 +59,11 @@ fn bench_simulator() {
     });
     // Execute-once/replay-many: one functional execution feeding four timing
     // models — compare against 4x the timed_ar32 line to see the win.
-    let multi_cfgs = [16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024]
-        .map(|bytes| Sa1100Config::icache_16k().with_icache_bytes(bytes));
+    let multi_cfgs = [16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024].map(|bytes| {
+        Sa1100Config::icache_16k()
+            .with_icache_bytes(bytes)
+            .expect("sweep sizes divide the geometry")
+    });
     bench("simulator", "timed_multi_ar32_x4", Some(steps), || {
         let mut m = Machine::new(Ar32Set::load(&program));
         black_box(m.run_timed_multi(&multi_cfgs).unwrap());

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use fits_core::{profile, FlowObserver, FlowOutcome, FlowStage, Profile};
+use fits_core::{profile, FlowObserver, FlowOutcome, FlowStage, Profile, SynthOptions};
 use fits_isa::thumb::{self, T16Program};
 use fits_isa::{Program, Reg};
 use fits_kernels::kernels::{Kernel, Scale};
@@ -59,6 +59,12 @@ pub struct Artifacts {
     /// builds (and notified of cached profiling runs). `None` leaves the
     /// pre-observability code paths untouched.
     flow_observer: Option<Arc<dyn FlowObserver>>,
+    /// Synthesis options every flow this cache builds runs under. Flows
+    /// are keyed by `(kernel, scale)` only, so one cache serves one synth
+    /// configuration — sweeps that vary synthesis options use one
+    /// `Artifacts` per option set (a `ScenarioMatrix` grid shares its base
+    /// scenario's options, so the suite-level sweeps need just one).
+    synth: Option<SynthOptions>,
 }
 
 impl std::fmt::Debug for Artifacts {
@@ -72,6 +78,7 @@ impl std::fmt::Debug for Artifacts {
                 "flow_observer",
                 &self.flow_observer.as_ref().map(|_| "<dyn>"),
             )
+            .field("synth", &self.synth)
             .finish()
     }
 }
@@ -91,6 +98,16 @@ impl Artifacts {
     #[must_use]
     pub fn with_flow_observer(mut self, observer: Arc<dyn FlowObserver>) -> Artifacts {
         self.flow_observer = Some(observer);
+        self
+    }
+
+    /// An empty cache whose flows synthesize under `options` — how a
+    /// scenario's [`SynthOptions`] (`ScenarioSpec::synth`) reach the FITS
+    /// flow. Call before the first `flow()` lookup: flows are cached by
+    /// `(kernel, scale)` under one option set per cache.
+    #[must_use]
+    pub fn with_synth(mut self, options: SynthOptions) -> Artifacts {
+        self.synth = Some(options);
         self
     }
 
@@ -138,6 +155,9 @@ impl Artifacts {
         let prof = self.profile(kernel, scale)?;
         get_or_compute(&self.flows, (kernel, scale.n), || {
             let mut flow = fits_verify::verified_flow();
+            if let Some(options) = self.synth.clone() {
+                flow = flow.with_options(options);
+            }
             if let Some(obs) = &self.flow_observer {
                 flow = flow.with_observer(Arc::clone(obs));
             }
@@ -178,6 +198,32 @@ mod tests {
         // The flow consumed the cached profile, not a fresh one.
         let p = arts.profile(Kernel::Crc32, Scale::test()).unwrap();
         assert_eq!(f1.profile.dyn_total, p.dyn_total);
+    }
+
+    #[test]
+    fn scenario_synth_options_reach_the_flow() {
+        // A scenario with a narrower dictionary must change the synthesized
+        // ISA (ablation A1's effect), proving the options are not dropped
+        // on the way to the flow.
+        let spec = fits_scenario::ScenarioSpec::sa1100();
+        let default_flow = Artifacts::new()
+            .with_synth(spec.synth.clone())
+            .flow(Kernel::Sha, Scale::test())
+            .unwrap();
+        let narrow = SynthOptions {
+            max_dict_bits: 0,
+            ..spec.synth
+        };
+        let narrow_flow = Artifacts::new()
+            .with_synth(narrow)
+            .flow(Kernel::Sha, Scale::test())
+            .unwrap();
+        assert!(
+            narrow_flow.dynamic_rate() < default_flow.dynamic_rate(),
+            "a zero-width dictionary must hurt the dynamic mapping rate              ({} vs {})",
+            narrow_flow.dynamic_rate(),
+            default_flow.dynamic_rate()
+        );
     }
 
     #[test]

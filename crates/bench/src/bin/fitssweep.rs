@@ -1,0 +1,137 @@
+//! `fitssweep` — the kernel suite over a scenario grid.
+//!
+//! Sweeps FITS-vs-ARM energy across a cache-geometry × tech-node grid on
+//! the execute-once/replay-many engine: each kernel runs **twice**
+//! functionally (one native run, one FITS run) no matter how many grid
+//! points are measured — geometries are timing replays of the retired
+//! stream, tech nodes are free re-pricings of an existing replay.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fits-bench --bin fitssweep          # full grid
+//! cargo run --release -p fits-bench --bin fitssweep -- --scale 256
+//! cargo run --release -p fits-bench --bin fitssweep -- --out sweep.json
+//! cargo run --release -p fits-bench --bin fitssweep -- --smoke   # CI gate
+//! ```
+//!
+//! The default grid is three I-cache sizes (16k / 8k / 4k) × two tech
+//! nodes (`sa1100` 0.35 um, `65nm`) over the full 21-kernel suite at
+//! experiment scale; `--smoke` shrinks it to a 2×2 grid at test scale.
+//! The summary table prints to stdout and the archive is written to
+//! `SWEEP.json` (`powerfits-sweep-v1`), schema-validated before the write.
+
+use fits_bench::{run_sweep_with, sweep_json, sweep_table, Artifacts};
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_obs::json::validate_sweep_json;
+use fits_power::TechParams;
+use fits_scenario::{ScenarioMatrix, ScenarioSpec};
+
+struct Options {
+    scale: Scale,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: Scale::experiment(),
+        out: "SWEEP.json".to_owned(),
+        smoke: false,
+    };
+    let mut scale_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scale needs a value"));
+                let n = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --scale value: {v}")));
+                opts.scale = Scale { n };
+                scale_set = true;
+            }
+            "--out" => {
+                opts.out = args.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--smoke" => opts.smoke = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.smoke && !scale_set {
+        opts.scale = Scale::test();
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("fitssweep: {err}");
+    }
+    eprintln!("usage: fitssweep [--scale N] [--out PATH] [--smoke]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn fail(what: &str, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("fitssweep: {what}: {err}");
+    std::process::exit(1);
+}
+
+fn grid(smoke: bool) -> ScenarioMatrix {
+    let sizes: &[u32] = if smoke {
+        &[16 * 1024, 8 * 1024]
+    } else {
+        &[16 * 1024, 8 * 1024, 4 * 1024]
+    };
+    let tech = [
+        ("sa1100".to_owned(), TechParams::sa1100()),
+        ("65nm".to_owned(), TechParams::modern_65nm()),
+    ];
+    match ScenarioMatrix::grid(&ScenarioSpec::sa1100(), sizes, &tech) {
+        Ok(m) => m,
+        Err(e) => fail("grid construction", &e),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let matrix = grid(opts.smoke);
+    let kernels = Kernel::ALL;
+
+    eprintln!(
+        "fitssweep: {} kernels x {} scenarios at n={} ({} functional executions per kernel)",
+        kernels.len(),
+        matrix.len(),
+        opts.scale.n,
+        2
+    );
+
+    let started = std::time::Instant::now();
+    let results = match run_sweep_with(&Artifacts::new(), kernels, opts.scale, &matrix) {
+        Ok(r) => r,
+        Err(e) => fail("sweep", &e),
+    };
+    eprintln!("fitssweep: sweep done in {:.2?}", started.elapsed());
+
+    println!("{}", sweep_table(&results));
+
+    let json = sweep_json(&results);
+    match validate_sweep_json(&json) {
+        Ok(counts) => {
+            if let Err(e) = std::fs::write(&opts.out, &json) {
+                fail(&format!("write {}", opts.out), &e);
+            }
+            eprintln!(
+                "fitssweep: wrote {} ({} kernels, {} scenarios; schema ok)",
+                opts.out, counts.kernels, counts.scenarios
+            );
+            if opts.smoke {
+                println!("fitssweep: smoke ok");
+            }
+        }
+        Err(e) => fail("SWEEP.json schema validation", &e),
+    }
+}

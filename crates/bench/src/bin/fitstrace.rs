@@ -15,6 +15,7 @@
 //! cargo run --release -p fits-bench --bin fitstrace -- sha --scale 256 --top 15
 //! cargo run --release -p fits-bench --bin fitstrace -- crc32 --icache 8k \
 //!     --json trace.jsonl
+//! cargo run --release -p fits-bench --bin fitstrace -- crc32 --scenario 65nm
 //! cargo run --release -p fits-bench --bin fitstrace -- --smoke   # CI check
 //! ```
 //!
@@ -29,13 +30,14 @@ use fits_kernels::kernels::{Kernel, Scale};
 use fits_obs::fmt::{fmt_count, fmt_energy};
 use fits_obs::json::{escape, validate_trace_jsonl};
 use fits_obs::{attribute_kernel, trace_timed_run, Attribution, SpanRegistry};
-use fits_power::{cache_power, CachePower, TechParams};
-use fits_sim::{Ar32Set, Machine, Sa1100Config, SimResult};
+use fits_power::{cache_power, CachePower};
+use fits_scenario::ScenarioSpec;
+use fits_sim::{Ar32Set, Machine, SimResult};
 
 struct Options {
     kernel: Kernel,
     scale: Scale,
-    icache_bytes: u32,
+    scenario: ScenarioSpec,
     top: usize,
     json: Option<String>,
     smoke: bool,
@@ -43,10 +45,11 @@ struct Options {
 
 fn parse_args() -> Options {
     let mut kernel = None;
+    let mut icache_bytes = None;
     let mut opts = Options {
         kernel: Kernel::Crc32,
         scale: Scale::experiment(),
-        icache_bytes: 16 * 1024,
+        scenario: ScenarioSpec::sa1100(),
         top: 10,
         json: None,
         smoke: false,
@@ -67,10 +70,22 @@ fn parse_args() -> Options {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage("--icache needs 8k or 16k"));
-                opts.icache_bytes = match v.as_str() {
-                    "8k" => 8 * 1024,
-                    "16k" => 16 * 1024,
+                icache_bytes = match v.as_str() {
+                    "8k" => Some(8 * 1024),
+                    "16k" => Some(16 * 1024),
                     other => usage(&format!("invalid --icache value: {other} (use 8k or 16k)")),
+                };
+            }
+            "--scenario" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scenario needs a preset name"));
+                opts.scenario = match ScenarioSpec::preset(&v) {
+                    Some(spec) => spec,
+                    None => usage(&format!(
+                        "unknown scenario preset: {v} (presets: {})",
+                        fits_scenario::PRESET_NAMES.join(" ")
+                    )),
                 };
             }
             "--top" => {
@@ -105,6 +120,12 @@ fn parse_args() -> Options {
         opts.scale = Scale::test();
         opts.top = opts.top.min(5);
     }
+    if let Some(bytes) = icache_bytes {
+        opts.scenario = opts
+            .scenario
+            .with_icache_bytes(bytes)
+            .unwrap_or_else(|e| usage(&format!("--icache {bytes} does not fit the scenario: {e}")));
+    }
     opts
 }
 
@@ -113,9 +134,11 @@ fn usage(err: &str) -> ! {
         eprintln!("fitstrace: {err}");
     }
     eprintln!(
-        "usage: fitstrace KERNEL [--scale N] [--icache 8k|16k] [--top N] [--json PATH] [--smoke]"
+        "usage: fitstrace KERNEL [--scale N] [--icache 8k|16k] [--scenario PRESET] \
+         [--top N] [--json PATH] [--smoke]"
     );
     eprintln!("kernels: {}", kernel_names().join(" "));
+    eprintln!("scenarios: {}", fits_scenario::PRESET_NAMES.join(" "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -145,15 +168,15 @@ struct IsaReport {
 
 fn main() {
     let opts = parse_args();
-    let sa = Sa1100Config::icache_16k().with_icache_bytes(opts.icache_bytes);
-    let tech = TechParams::sa1100();
+    let sa = opts.scenario.machine_config();
+    let tech = opts.scenario.tech.clone();
     let reg = SpanRegistry::new();
 
     eprintln!(
-        "fitstrace: {} at n={}, {} KB I-cache",
+        "fitstrace: {} at n={}, scenario {}",
         opts.kernel.name(),
         opts.scale.n,
-        opts.icache_bytes / 1024
+        opts.scenario.id()
     );
 
     // --- Traced pipeline ----------------------------------------------
@@ -205,7 +228,8 @@ fn main() {
             &flow_outcome.mapping.expansion,
             (&arm_trace, &arm_power),
             (&fits_trace, &fits_power),
-        );
+        )
+        .with_scenario(opts.scenario.id());
         (
             attr,
             IsaReport {
@@ -224,10 +248,10 @@ fn main() {
 
     // --- Text report ---------------------------------------------------
     println!(
-        "fitstrace: {} (n={}, {} KB I-cache, ARM vs FITS)",
+        "fitstrace: {} (n={}, scenario {}, ARM vs FITS)",
         opts.kernel.name(),
         opts.scale.n,
-        opts.icache_bytes / 1024,
+        opts.scenario.id(),
     );
     println!("\nphase timings:");
     print!("{}", indent(&reg.render(), 2));
@@ -352,10 +376,12 @@ fn export_jsonl(
 ) -> String {
     let mut lines = Vec::new();
     lines.push(format!(
-        "{{\"type\":\"meta\",\"kernel\":\"{}\",\"scale\":\"{}\",\"icache\":\"{}\"}}",
+        "{{\"type\":\"meta\",\"kernel\":\"{}\",\"scale\":\"{}\",\
+         \"icache\":\"{}\",\"scenario\":\"{}\"}}",
         escape(opts.kernel.name()),
         opts.scale.n,
-        opts.icache_bytes
+        opts.scenario.icache.size_bytes,
+        escape(opts.scenario.id())
     ));
     reg.visit(|path, span| {
         lines.push(format!(

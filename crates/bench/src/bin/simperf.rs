@@ -28,11 +28,12 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
+use fits_bench::stamp::{json_f64, meta_json};
 use fits_bench::{run_suite, run_suite_with, Artifacts};
 use fits_core::{FitsFlow, FitsSet};
 use fits_kernels::kernels::{Kernel, Scale};
-use fits_obs::json::escape;
 use fits_obs::SpanRegistry;
+use fits_scenario::ScenarioSpec;
 use fits_sim::{Ar32Set, Machine, Sa1100Config};
 
 /// The kernel the MIPS probes execute. SHA has the largest dynamic
@@ -98,58 +99,10 @@ fn measure(budget_secs: f64, mut f: impl FnMut()) -> (f64, u32) {
     }
 }
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".to_owned()
-    }
-}
-
-/// The current git commit hash, or `"unknown"` outside a work tree.
-fn git_commit() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|s| s.trim().to_owned())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_owned())
-}
-
-/// Best-effort host name: `/etc/hostname`, then `$HOSTNAME`, then
-/// `uname -n`.
-fn hostname() -> String {
-    std::fs::read_to_string("/etc/hostname")
-        .ok()
-        .map(|s| s.trim().to_owned())
-        .filter(|s| !s.is_empty())
-        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
-        .or_else(|| {
-            std::process::Command::new("uname")
-                .arg("-n")
-                .output()
-                .ok()
-                .filter(|out| out.status.success())
-                .and_then(|out| String::from_utf8(out.stdout).ok())
-                .map(|s| s.trim().to_owned())
-                .filter(|s| !s.is_empty())
-        })
-        .unwrap_or_else(|| "unknown".to_owned())
-}
-
-/// Seconds since the Unix epoch (0 if the clock is before it).
-fn unix_timestamp() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_secs())
-}
-
 fn main() {
     let opts = parse_args();
     let scale = Scale::test();
+    let scenario = ScenarioSpec::sa1100();
     let budget = if opts.smoke { 0.05 } else { 0.4 };
     let suite_passes = if opts.smoke { 1 } else { 3 };
 
@@ -168,7 +121,12 @@ fn main() {
         .steps;
     let multi_cfgs: Vec<Sa1100Config> = [16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024]
         .into_iter()
-        .map(|bytes| Sa1100Config::icache_16k().with_icache_bytes(bytes))
+        .map(|bytes| {
+            scenario
+                .with_icache_bytes(bytes)
+                .expect("sweep sizes divide the fixed SA-1100 geometry")
+                .machine_config()
+        })
         .collect();
 
     let (secs, calls) = measure(budget, || {
@@ -244,10 +202,8 @@ fn main() {
     // --- BENCH.json ----------------------------------------------------
     let all: Vec<String> = suite_seconds.iter().map(|s| json_f64(*s)).collect();
     let json = format!(
-        "{{\n  \"schema\": \"powerfits-bench-v1\",\n  \"meta\": {{\n    \
-         \"commit\": \"{commit}\",\n    \"timestamp_unix\": {stamp},\n    \
-         \"host\": \"{host}\",\n    \"os\": \"{os}\",\n    \"arch\": \"{arch}\"\n  }},\n  \
-         \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"powerfits-bench-v1\",\n  \"meta\": {meta},\n  \
+         \"mode\": \"{mode}\",\n  \"scenario\": \"{scenario_id}\",\n  \
          \"probe_kernel\": \"{probe}\",\n  \"scale_n\": {n},\n  \"simulator\": {{\n    \
          \"steps_per_run\": {steps},\n    \"functional_mips\": {fm},\n    \
          \"timed_mips\": {tm},\n    \"replay4_mips\": {rm},\n    \
@@ -255,11 +211,8 @@ fn main() {
          \"kernels\": {kernels},\n    \"configs\": 4,\n    \"passes\": {passes},\n    \
          \"seconds_best\": {best},\n    \"seconds_all\": [{all}]\n  }},\n  \
          \"baseline_seconds\": {base},\n  \"speedup_vs_baseline\": {ratio}\n}}\n",
-        commit = escape(&git_commit()),
-        stamp = unix_timestamp(),
-        host = escape(&hostname()),
-        os = escape(std::env::consts::OS),
-        arch = escape(std::env::consts::ARCH),
+        meta = meta_json("  "),
+        scenario_id = scenario.id(),
         mode = if opts.smoke { "smoke" } else { "full" },
         probe = PROBE_KERNEL.name(),
         n = scale.n,

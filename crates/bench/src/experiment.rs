@@ -14,8 +14,9 @@ use std::fmt;
 
 use fits_core::FlowError;
 use fits_kernels::kernels::{Kernel, Scale};
-use fits_power::{cache_power, chip_power_with, CachePower, ChipPower, DecodeKind, TechParams};
-use fits_sim::{Ar32Set, Machine, Sa1100Config, SimResult};
+use fits_power::{cache_power, chip_power_with, CachePower, ChipPower, DecodeKind};
+use fits_scenario::{ScenarioMatrix, ScenarioSpec};
+use fits_sim::{Ar32Set, Machine, SimResult};
 
 use crate::artifacts::Artifacts;
 
@@ -36,13 +37,26 @@ impl Config {
     /// All four configurations in the paper's order.
     pub const ALL: [Config; 4] = [Config::Arm16, Config::Arm8, Config::Fits16, Config::Fits8];
 
-    /// I-cache capacity for the configuration.
+    /// The machine description this configuration simulates on: the
+    /// SA-1100 preset scenario, resized to the configuration's I-cache
+    /// capacity. The enum is now only a *name* for a point on the scenario
+    /// plane — every geometry, latency and tech constant comes from the
+    /// spec.
+    #[must_use]
+    pub fn scenario(self) -> ScenarioSpec {
+        let base = ScenarioSpec::sa1100();
+        match self {
+            Config::Arm16 | Config::Fits16 => base,
+            Config::Arm8 | Config::Fits8 => base
+                .with_icache_bytes(8 * 1024)
+                .expect("8 KB divides the fixed SA-1100 geometry"),
+        }
+    }
+
+    /// I-cache capacity for the configuration (from its scenario).
     #[must_use]
     pub fn icache_bytes(self) -> u32 {
-        match self {
-            Config::Arm16 | Config::Fits16 => 16 * 1024,
-            Config::Arm8 | Config::Fits8 => 8 * 1024,
-        }
+        self.scenario().icache.size_bytes
     }
 
     /// Whether this configuration runs the synthesized ISA.
@@ -174,6 +188,9 @@ pub fn run_kernel(kernel: Kernel, scale: Scale) -> Result<KernelResults, Experim
 /// cache: one native execution feeds both ARM cache geometries and one FITS
 /// execution feeds both FITS geometries.
 ///
+/// This is [`run_kernel_scenarios`] over [`paper_matrix`] — the §5 quad is
+/// just the two SA-1100 scenario points, each measured under both ISAs.
+///
 /// # Errors
 ///
 /// Propagates compilation, synthesis, translation and simulation failures
@@ -183,10 +200,7 @@ pub fn run_kernel_with(
     kernel: Kernel,
     scale: Scale,
 ) -> Result<KernelResults, ExperimentError> {
-    let tech = TechParams::sa1100();
     let program = artifacts.program(kernel, scale)?;
-    // The verified flow statically validates the accepted triple (encoding
-    // soundness, CFI, dataflow, translation validation) before execution.
     let flow = artifacts.flow(kernel, scale)?;
     // The THUMB baseline is a recompilation for the 8-register window
     // (r0-r3 scratch + r4-r7 allocatable): higher register pressure, more
@@ -194,39 +208,11 @@ pub fn run_kernel_with(
     // the 16-bit T16 encodings.
     let t16 = artifacts.thumb(kernel, scale)?;
 
-    // Execute once per ISA, replaying the retired-instruction stream into
-    // one timing model per cache geometry.
-    let arm_configs = [Config::Arm16, Config::Arm8].map(sa1100_for);
-    let fits_configs = [Config::Fits16, Config::Fits8].map(sa1100_for);
-    let (_, arm_sims) = {
-        let mut m = Machine::new(Ar32Set::load(&program));
-        TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
-        m.run_timed_multi(&arm_configs)
-            .map_err(ExperimentError::Sim)?
-    };
-    let (_, fits_sims) = {
-        let set = fits_core::FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
-        let mut m = Machine::new(set);
-        TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
-        m.run_timed_multi(&fits_configs)
-            .map_err(ExperimentError::Sim)?
-    };
-
-    let mut runs = Vec::with_capacity(4);
-    let sims = arm_sims.into_iter().chain(fits_sims);
-    for (cfg, sim) in Config::ALL.into_iter().zip(sims) {
-        let sa = sa1100_for(cfg);
-        let icache = cache_power(&sa.icache, &sim.icache, sim.cycles, &tech);
-        let decode = if cfg.is_fits() {
-            DecodeKind::Programmable {
-                config_bits: flow.fits.config.config_bits(),
-            }
-        } else {
-            DecodeKind::Fixed32
-        };
-        let chip = chip_power_with(&sim, &sa.icache, &sa.dcache, decode, &tech);
-        runs.push(ConfigRun { sim, icache, chip });
-    }
+    let mut points = run_kernel_scenarios(artifacts, kernel, scale, &paper_matrix())?;
+    let eight = points.pop().expect("paper matrix has two scenarios");
+    let sixteen = points.pop().expect("paper matrix has two scenarios");
+    // [`Config::ALL`] order: ARM16, ARM8, FITS16, FITS8.
+    let runs = vec![sixteen.arm, eight.arm, sixteen.fits, eight.fits];
 
     Ok(KernelResults {
         kernel,
@@ -240,10 +226,82 @@ pub fn run_kernel_with(
     })
 }
 
-/// The SA-1100 core configuration for one experimental point (only the
-/// I-cache capacity varies, per the paper's §5).
-fn sa1100_for(cfg: Config) -> Sa1100Config {
-    Sa1100Config::icache_16k().with_icache_bytes(cfg.icache_bytes())
+/// The paper's two machine points (SA-1100 with 16 KB and with 8 KB
+/// I-cache) as a scenario matrix.
+#[must_use]
+pub fn paper_matrix() -> ScenarioMatrix {
+    ScenarioMatrix {
+        scenarios: vec![Config::Arm16.scenario(), Config::Arm8.scenario()],
+    }
+}
+
+/// Both ISAs measured at one scenario point of a sweep.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// The machine description this point simulated on.
+    pub scenario: ScenarioSpec,
+    /// The native-ISA run under the scenario.
+    pub arm: ConfigRun,
+    /// The FITS-ISA run under the scenario.
+    pub fits: ConfigRun,
+}
+
+/// Prices one replayed simulation under a scenario's tech node.
+fn priced(spec: &ScenarioSpec, sim: SimResult, decode: DecodeKind) -> ConfigRun {
+    let icache = cache_power(&spec.icache, &sim.icache, sim.cycles, &spec.tech);
+    let chip = chip_power_with(&sim, &spec.icache, &spec.dcache, decode, &spec.tech);
+    ConfigRun { sim, icache, chip }
+}
+
+/// Measures every scenario of a matrix for one kernel, under both ISAs,
+/// with the execute-once/replay-many engine: the native binary executes
+/// **once** and the FITS binary executes **once**, each feeding one timing
+/// model per *distinct machine* in the matrix ([`ScenarioMatrix::machines`]
+/// — tech nodes that only re-price an existing geometry share its replay).
+/// Every timing replay is then priced under each scenario's own tech
+/// parameters, which is pure post-processing on the [`SimResult`].
+///
+/// # Errors
+///
+/// Propagates compilation, synthesis, translation and simulation failures.
+pub fn run_kernel_scenarios(
+    artifacts: &Artifacts,
+    kernel: Kernel,
+    scale: Scale,
+    matrix: &ScenarioMatrix,
+) -> Result<Vec<ScenarioRun>, ExperimentError> {
+    let program = artifacts.program(kernel, scale)?;
+    // The verified flow statically validates the accepted triple (encoding
+    // soundness, CFI, dataflow, translation validation) before execution.
+    let flow = artifacts.flow(kernel, scale)?;
+    let (machines, machine_of) = matrix.machines();
+
+    // Execute once per ISA, replaying the retired-instruction stream into
+    // one timing model per distinct machine.
+    let (_, arm_sims) = {
+        let mut m = Machine::new(Ar32Set::load(&program));
+        TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
+        m.run_timed_multi(&machines).map_err(ExperimentError::Sim)?
+    };
+    let (_, fits_sims) = {
+        let set = fits_core::FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
+        let mut m = Machine::new(set);
+        TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
+        m.run_timed_multi(&machines).map_err(ExperimentError::Sim)?
+    };
+
+    let mut runs = Vec::with_capacity(matrix.len());
+    for (spec, &m) in matrix.scenarios.iter().zip(&machine_of) {
+        let decode = DecodeKind::Programmable {
+            config_bits: flow.fits.config.config_bits(),
+        };
+        runs.push(ScenarioRun {
+            scenario: spec.clone(),
+            arm: priced(spec, arm_sims[m].clone(), DecodeKind::Fixed32),
+            fits: priced(spec, fits_sims[m].clone(), decode),
+        });
+    }
+    Ok(runs)
 }
 
 /// Runs the whole suite, one worker thread per CPU, sharing one artifact
@@ -285,25 +343,42 @@ pub fn run_suite_with(
     kernels: &[Kernel],
     scale: Scale,
 ) -> Result<SuiteResults, ExperimentError> {
-    type KernelOutcome =
-        Result<Result<KernelResults, ExperimentError>, Box<dyn std::any::Any + Send>>;
+    let out = kernels_in_parallel(kernels, |kernel| run_kernel_with(artifacts, kernel, scale))?;
+    Ok(SuiteResults {
+        kernels: out,
+        scale,
+    })
+}
+
+/// Runs `run` for every kernel on a worker pool (one thread per CPU),
+/// collecting results over a channel in kernel order — the shared engine
+/// behind [`run_suite_with`] and the scenario sweeps.
+///
+/// Panics are caught per kernel so one poisoned worker cannot take the
+/// others down; the first failure in kernel order — panic or error — is
+/// surfaced after every worker drains.
+pub(crate) fn kernels_in_parallel<T: Send>(
+    kernels: &[Kernel],
+    run: impl Fn(Kernel) -> Result<T, ExperimentError> + Sync,
+) -> Result<Vec<T>, ExperimentError> {
+    type Outcome<T> = Result<Result<T, ExperimentError>, Box<dyn std::any::Any + Send>>;
 
     let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, KernelOutcome)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Outcome<T>)>();
 
     std::thread::scope(|s| {
         for _ in 0..workers.min(kernels.len()) {
             let tx = tx.clone();
             let next = &next;
+            let run = &run;
             s.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= kernels.len() {
                     break;
                 }
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_kernel_with(artifacts, kernels[i], scale)
-                }));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(kernels[i])));
                 if tx.send((i, outcome)).is_err() {
                     break;
                 }
@@ -312,7 +387,7 @@ pub fn run_suite_with(
     });
     drop(tx);
 
-    let mut slots: Vec<Option<KernelOutcome>> = (0..kernels.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Outcome<T>>> = (0..kernels.len()).map(|_| None).collect();
     for (i, outcome) in rx {
         slots[i] = Some(outcome);
     }
@@ -324,10 +399,7 @@ pub fn run_suite_with(
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
-    Ok(SuiteResults {
-        kernels: out,
-        scale,
-    })
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -363,6 +435,44 @@ mod tests {
         assert_eq!(suite.kernels[1].kernel, Kernel::Bitcount);
     }
 
+    /// A scenario grid costs the same two functional executions as the
+    /// paper quad, no matter how many geometry × tech points it has, and
+    /// tech nodes re-price without changing the microarchitectural counts.
+    #[test]
+    fn scenario_grid_reuses_one_execution_per_isa() {
+        let matrix = ScenarioMatrix::grid(
+            &ScenarioSpec::sa1100(),
+            &[16 * 1024, 8 * 1024, 4 * 1024],
+            &[
+                ("sa1100".to_string(), fits_power::TechParams::sa1100()),
+                ("65nm".to_string(), fits_power::TechParams::modern_65nm()),
+            ],
+        )
+        .unwrap();
+        let arts = Artifacts::new();
+        let before = timed_executions_on_this_thread();
+        let runs = run_kernel_scenarios(&arts, Kernel::Crc32, Scale::test(), &matrix).unwrap();
+        assert_eq!(
+            timed_executions_on_this_thread() - before,
+            2,
+            "six scenarios must cost one ARM + one FITS execution"
+        );
+        assert_eq!(runs.len(), 6);
+        // Same geometry under another tech node: identical counts (the
+        // node is power post-processing), different pricing.
+        let (old, new) = (&runs[0], &runs[3]);
+        assert_eq!(old.scenario.id(), "sa1100-i16k");
+        assert_eq!(new.scenario.id(), "65nm-i16k");
+        assert_eq!(old.arm.sim.cycles, new.arm.sim.cycles);
+        assert_eq!(old.arm.sim.icache, new.arm.sim.icache);
+        let lk_old = old.arm.icache.leakage_j / old.arm.icache.total_j();
+        let lk_new = new.arm.icache.leakage_j / new.arm.icache.total_j();
+        assert!(
+            lk_new > 2.0 * lk_old,
+            "65 nm leakage share {lk_new:.3} must dwarf 0.35 um {lk_old:.3}"
+        );
+    }
+
     /// The execute-once/replay-many contract: `run_kernel` performs exactly
     /// one ARM execution and one FITS execution for its four timed
     /// configurations, and each configuration's statistics are bit-identical
@@ -382,7 +492,7 @@ mod tests {
         let program = arts.program(Kernel::Sha, Scale::test()).unwrap();
         let flow = arts.flow(Kernel::Sha, Scale::test()).unwrap();
         for cfg in Config::ALL {
-            let sa = sa1100_for(cfg);
+            let sa = cfg.scenario().machine_config();
             let sim = if cfg.is_fits() {
                 let set = fits_core::FitsSet::load(&flow.fits).unwrap();
                 Machine::new(set).run_timed(&sa).unwrap().1

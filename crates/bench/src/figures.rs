@@ -1,9 +1,17 @@
 //! One table builder per paper figure (the DESIGN.md experiment index).
 
 use fits_power::ChipComponent;
+use fits_scenario::ScenarioSpec;
 
 use crate::experiment::{Config, SuiteResults};
 use crate::report::{Row, Table};
+
+/// The scenario stamp every paper figure carries: the figures all run on
+/// the SA-1100 machine family (both of its I-cache sizes), so the stamp
+/// names the family rather than one grid point.
+fn paper_scenario() -> Option<String> {
+    Some(ScenarioSpec::sa1100().tech_name.clone())
+}
 
 fn saving_columns() -> Vec<String> {
     vec![
@@ -24,6 +32,7 @@ pub fn fig3_static_mapping(suite: &SuiteResults) -> Table {
         id: "fig3",
         title: "ARM-to-FITS Static Mapping (1-to-1 rate)".to_string(),
         unit: "%",
+        scenario: paper_scenario(),
         columns: vec!["static".to_string()],
         rows: suite
             .kernels
@@ -43,6 +52,7 @@ pub fn fig4_dynamic_mapping(suite: &SuiteResults) -> Table {
         id: "fig4",
         title: "ARM-to-FITS Dynamic Mapping (1-to-1 rate)".to_string(),
         unit: "%",
+        scenario: paper_scenario(),
         columns: vec!["dynamic".to_string()],
         rows: suite
             .kernels
@@ -62,6 +72,7 @@ pub fn fig5_code_size(suite: &SuiteResults) -> Table {
         id: "fig5",
         title: "Code Size Footprint (normalized to ARM)".to_string(),
         unit: "ratio",
+        scenario: paper_scenario(),
         columns: vec!["ARM".to_string(), "THUMB".to_string(), "FITS".to_string()],
         rows: suite
             .kernels
@@ -106,6 +117,7 @@ pub fn fig6_power_breakdown(suite: &SuiteResults) -> Table {
         id: "fig6",
         title: "I-Cache Power Breakdown (suite average)".to_string(),
         unit: "%",
+        scenario: paper_scenario(),
         columns: vec![
             "switching".to_string(),
             "internal".to_string(),
@@ -125,6 +137,7 @@ fn savings_table(
         id,
         title: title.to_string(),
         unit: "%",
+        scenario: paper_scenario(),
         columns: saving_columns(),
         rows: suite
             .kernels
@@ -207,6 +220,7 @@ pub fn fig13_miss_rate(suite: &SuiteResults) -> Table {
         id: "fig13",
         title: "Instruction Cache Miss Rate (misses per million accesses)".to_string(),
         unit: "ppm",
+        scenario: paper_scenario(),
         columns: config_columns(),
         rows: suite
             .kernels
@@ -229,6 +243,7 @@ pub fn fig14_ipc(suite: &SuiteResults) -> Table {
         id: "fig14",
         title: "Instructions Per Cycle".to_string(),
         unit: "ipc",
+        scenario: paper_scenario(),
         columns: config_columns(),
         rows: suite
             .kernels
@@ -264,6 +279,7 @@ pub fn chip_breakdown(suite: &SuiteResults) -> Table {
         id: "chip",
         title: "Chip Power Breakdown by Component (suite average)".to_string(),
         unit: "%",
+        scenario: paper_scenario(),
         columns: ChipComponent::ALL.iter().map(ToString::to_string).collect(),
         rows,
     }

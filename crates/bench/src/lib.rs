@@ -22,10 +22,13 @@ pub mod artifacts;
 pub mod experiment;
 pub mod figures;
 pub mod report;
+pub mod stamp;
+pub mod sweep;
 
 pub use artifacts::Artifacts;
 pub use experiment::{
-    run_kernel, run_kernel_with, run_suite, run_suite_with, Config, ConfigRun, KernelResults,
-    SuiteResults,
+    paper_matrix, run_kernel, run_kernel_scenarios, run_kernel_with, run_suite, run_suite_with,
+    Config, ConfigRun, KernelResults, ScenarioRun, SuiteResults,
 };
 pub use report::{Row, Table};
+pub use sweep::{run_sweep_with, sweep_json, sweep_table, IsaAggregate, SweepPoint, SweepResults};

@@ -20,6 +20,10 @@ pub struct Table {
     pub title: String,
     /// Unit/format hint: `"%"`, `"ratio"`, `"ppm"`, `"ipc"`, `"mW"`.
     pub unit: &'static str,
+    /// The scenario (machine description) the numbers were measured on,
+    /// shown in the header when set — `None` for tables that span several
+    /// scenarios (each row then carries its scenario in its label).
+    pub scenario: Option<String>,
     /// Column headers (after the label column).
     pub columns: Vec<String>,
     /// Rows.
@@ -67,7 +71,10 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "[{}] {} ({})", self.id, self.title, self.unit)?;
+        match &self.scenario {
+            Some(s) => writeln!(f, "[{}] {} ({}) @ {s}", self.id, self.title, self.unit)?,
+            None => writeln!(f, "[{}] {} ({})", self.id, self.title, self.unit)?,
+        }
         write!(f, "  {:<18}", "")?;
         for c in &self.columns {
             write!(f, "{c:>9}")?;
@@ -93,6 +100,7 @@ mod tests {
             id: "figX",
             title: "Sample".to_string(),
             unit: "%",
+            scenario: None,
             columns: vec!["A".to_string(), "B".to_string()],
             rows: vec![
                 Row {
@@ -123,6 +131,18 @@ mod tests {
         assert!(s.contains("k1"));
         assert!(s.contains("average"));
         assert!(s.contains("60.0"), "{s}");
+        assert!(!s.contains('@'), "no scenario stamp unless set: {s}");
+    }
+
+    #[test]
+    fn scenario_stamp_appears_in_the_header() {
+        let mut t = sample();
+        t.scenario = Some("sa1100-i16k".to_string());
+        let header = t.to_string().lines().next().unwrap_or_default().to_string();
+        assert!(
+            header.contains("@ sa1100-i16k"),
+            "scenario must be in the header: {header}"
+        );
     }
 
     #[test]

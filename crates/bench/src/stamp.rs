@@ -1,0 +1,95 @@
+//! Provenance stamps for archived JSON records (`BENCH.json`,
+//! `SWEEP.json`): git commit, timestamp, host — so numbers stay
+//! attributable after they leave the working tree.
+
+use fits_obs::json::escape;
+
+/// The current git commit hash, or `"unknown"` outside a work tree.
+#[must_use]
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Best-effort host name: `/etc/hostname`, then `$HOSTNAME`, then
+/// `uname -n`.
+#[must_use]
+pub fn hostname() -> String {
+    std::fs::read_to_string("/etc/hostname")
+        .ok()
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+        .or_else(|| {
+            std::process::Command::new("uname")
+                .arg("-n")
+                .output()
+                .ok()
+                .filter(|out| out.status.success())
+                .and_then(|out| String::from_utf8(out.stdout).ok())
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+#[must_use]
+pub fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// A finite `f64` rendered as a JSON number with fixed precision, `null`
+/// otherwise.
+#[must_use]
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// The shared `"meta"` object of the archived records.
+#[must_use]
+pub fn meta_json(indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"commit\": \"{commit}\",\n{indent}  \"timestamp_unix\": {stamp},\n\
+         {indent}  \"host\": \"{host}\",\n{indent}  \"os\": \"{os}\",\n\
+         {indent}  \"arch\": \"{arch}\"\n{indent}}}",
+        commit = escape(&git_commit()),
+        stamp = unix_timestamp(),
+        host = escape(&hostname()),
+        os = escape(std::env::consts::OS),
+        arch = escape(std::env::consts::ARCH),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_is_valid_json_with_required_fields() {
+        let v = fits_obs::json::parse(&meta_json("  ")).unwrap();
+        for key in ["commit", "host", "os", "arch"] {
+            assert!(v.get(key).and_then(fits_obs::json::Value::as_str).is_some());
+        }
+        assert!(v.get("timestamp_unix").and_then(|t| t.as_f64()).is_some());
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.500000");
+    }
+}

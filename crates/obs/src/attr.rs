@@ -191,6 +191,10 @@ impl BlockCost {
 /// geometry pair.
 #[derive(Clone, Debug)]
 pub struct Attribution {
+    /// The scenario (machine-description id) the traced runs simulated on,
+    /// when the caller keys its traces by scenario — `None` for ad-hoc
+    /// attributions outside a sweep.
+    pub scenario: Option<String>,
     /// The native program's basic blocks, in address order.
     pub blocks: Vec<BasicBlock>,
     /// Per-block costs of the ARM run, parallel to `blocks`.
@@ -200,6 +204,13 @@ pub struct Attribution {
 }
 
 impl Attribution {
+    /// Builder-style scenario stamp (see the `scenario` field).
+    #[must_use]
+    pub fn with_scenario(mut self, id: &str) -> Attribution {
+        self.scenario = Some(id.to_string());
+        self
+    }
+
     /// Block indices sorted hottest-first by combined attributed energy
     /// (ARM + FITS), truncated to `n`.
     #[must_use]
@@ -343,6 +354,7 @@ pub fn attribute_kernel(
     let arm_costs = attribute_run(&block_of_arm, blocks.len(), None, arm.0, arm.1);
     let fits_costs = attribute_run(&block_of_arm, blocks.len(), Some(&fits_map), fits.0, fits.1);
     Attribution {
+        scenario: None,
         blocks,
         arm: arm_costs,
         fits: fits_costs,

@@ -52,6 +52,19 @@ pub fn fmt_energy(joules: f64) -> String {
     format!("{:.3} {}", joules * scale, unit)
 }
 
+/// Formats a byte capacity the way scenario ids spell it: `"16k"` for
+/// whole kibibytes, raw `"512b"` otherwise — so a table header, a trace
+/// meta line and a `ScenarioSpec` id all agree on the label for one
+/// geometry.
+#[must_use]
+pub fn fmt_size(bytes: u64) -> String {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
+        format!("{}k", bytes / 1024)
+    } else {
+        format!("{bytes}b")
+    }
+}
+
 /// Formats a count with thousands separators (`1_234_567`).
 #[must_use]
 pub fn fmt_count(n: u64) -> String {
@@ -93,6 +106,14 @@ mod tests {
         assert_eq!(fmt_energy(7.25e-6), "7.250 uJ");
         assert_eq!(fmt_energy(3.0e-9), "3.000 nJ");
         assert_eq!(fmt_energy(4.0e-12), "4.000 pJ");
+    }
+
+    #[test]
+    fn sizes_match_scenario_id_labels() {
+        assert_eq!(fmt_size(16 * 1024), "16k");
+        assert_eq!(fmt_size(4 * 1024), "4k");
+        assert_eq!(fmt_size(512), "512b");
+        assert_eq!(fmt_size(1536), "1536b");
     }
 
     #[test]

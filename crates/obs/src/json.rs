@@ -12,7 +12,8 @@
 //!
 //! One JSON object per line; every object carries a string `"type"`:
 //!
-//! * `"meta"` — first line; `kernel`, `scale` (string), `icache` (string);
+//! * `"meta"` — first line; `kernel`, `scale` (string), `icache` (string),
+//!   `scenario` (string — the machine-description id the run simulated on);
 //! * `"span"` — `path` (string), `ms` (number ≥ 0), `count` (number ≥ 1);
 //! * `"block"` — `addr` (string, hex), `label` (string), `func` (string),
 //!   and `arm` / `fits` objects each with numeric `retired`, `fetches`,
@@ -367,20 +368,28 @@ pub struct TraceCounts {
     pub summaries: usize,
 }
 
-fn require_str(line: usize, v: &Value, key: &str) -> Result<(), String> {
+fn str_field(ctx: &str, v: &Value, key: &str) -> Result<(), String> {
     match v.get(key) {
         Some(Value::Str(_)) => Ok(()),
-        _ => Err(format!("line {line}: missing string field \"{key}\"")),
+        _ => Err(format!("{ctx}: missing string field \"{key}\"")),
     }
 }
 
-fn require_num(line: usize, v: &Value, key: &str) -> Result<(), String> {
+fn num_field(ctx: &str, v: &Value, key: &str) -> Result<(), String> {
     match v.get(key) {
         Some(Value::Num(n)) if *n >= 0.0 => Ok(()),
         _ => Err(format!(
-            "line {line}: missing non-negative number field \"{key}\""
+            "{ctx}: missing non-negative number field \"{key}\""
         )),
     }
+}
+
+fn require_str(line: usize, v: &Value, key: &str) -> Result<(), String> {
+    str_field(&format!("line {line}"), v, key)
+}
+
+fn require_num(line: usize, v: &Value, key: &str) -> Result<(), String> {
+    num_field(&format!("line {line}"), v, key)
 }
 
 fn require_costs(line: usize, v: &Value, key: &str) -> Result<(), String> {
@@ -429,7 +438,7 @@ pub fn validate_trace_jsonl(text: &str) -> Result<TraceCounts, String> {
                     ));
                 }
                 counts.meta += 1;
-                for key in ["kernel", "scale", "icache"] {
+                for key in ["kernel", "scale", "icache", "scenario"] {
                     require_str(line, &v, key)?;
                 }
             }
@@ -470,6 +479,135 @@ pub fn validate_trace_jsonl(text: &str) -> Result<TraceCounts, String> {
         return Err("stream has no \"summary\" line".to_string());
     }
     Ok(counts)
+}
+
+/// Shape summary of a validated `SWEEP.json` document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepCounts {
+    /// Kernels listed in the archive.
+    pub kernels: usize,
+    /// I-cache sizes on the grid axis.
+    pub icache_sizes: usize,
+    /// Tech nodes on the grid axis.
+    pub tech_nodes: usize,
+    /// Scenario records (must equal the grid product).
+    pub scenarios: usize,
+}
+
+fn require_nonempty_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    match v.get(key) {
+        Some(Value::Arr(items)) if !items.is_empty() => Ok(items),
+        _ => Err(format!("missing non-empty array field \"{key}\"")),
+    }
+}
+
+fn sweep_isa_ok(scenario: usize, v: &Value, key: &str) -> Result<(), String> {
+    let side = v
+        .get(key)
+        .ok_or_else(|| format!("scenario {scenario}: missing object field \"{key}\""))?;
+    if !matches!(side, Value::Obj(_)) {
+        return Err(format!(
+            "scenario {scenario}: field \"{key}\" is not an object"
+        ));
+    }
+    for field in [
+        "cycles",
+        "icache_j",
+        "icache_switching_j",
+        "icache_internal_j",
+        "icache_leakage_j",
+        "chip_j",
+        "peak_w",
+    ] {
+        num_field(&format!("scenario {scenario} \"{key}\""), side, field)?;
+    }
+    Ok(())
+}
+
+/// Validates a `fitssweep` archive against the `powerfits-sweep-v1`
+/// schema: provenance meta, non-empty kernel list and grid axes, and one
+/// well-formed scenario record per grid point (unique ids, per-ISA
+/// aggregates, savings) — the grid product must match the scenario count.
+///
+/// # Errors
+///
+/// A description of the first violation (parse failure, missing or
+/// ill-typed field, duplicate or miscounted scenarios).
+pub fn validate_sweep_json(text: &str) -> Result<SweepCounts, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("powerfits-sweep-v1") => {}
+        other => {
+            return Err(format!(
+                "schema must be \"powerfits-sweep-v1\", got {other:?}"
+            ))
+        }
+    }
+    let meta = doc
+        .get("meta")
+        .ok_or_else(|| "missing object field \"meta\"".to_string())?;
+    for key in ["commit", "host", "os", "arch"] {
+        str_field("meta", meta, key)?;
+    }
+    num_field("meta", meta, "timestamp_unix")?;
+    num_field("document", &doc, "scale_n")?;
+    num_field("document", &doc, "executions_per_kernel")?;
+
+    let kernels = require_nonempty_arr(&doc, "kernels")?;
+    if kernels.iter().any(|k| k.as_str().is_none()) {
+        return Err("\"kernels\" must contain only strings".to_string());
+    }
+    let grid = doc
+        .get("grid")
+        .ok_or_else(|| "missing object field \"grid\"".to_string())?;
+    let sizes = require_nonempty_arr(grid, "icache_bytes").map_err(|e| format!("grid: {e}"))?;
+    if sizes.iter().any(|s| s.as_f64().is_none_or(|n| n <= 0.0)) {
+        return Err("grid \"icache_bytes\" must contain positive numbers".to_string());
+    }
+    let tech = require_nonempty_arr(grid, "tech").map_err(|e| format!("grid: {e}"))?;
+    if tech.iter().any(|t| t.as_str().is_none()) {
+        return Err("grid \"tech\" must contain only strings".to_string());
+    }
+
+    let scenarios = require_nonempty_arr(&doc, "scenarios")?;
+    if scenarios.len() != sizes.len() * tech.len() {
+        return Err(format!(
+            "scenario count {} must equal the grid product {} x {}",
+            scenarios.len(),
+            sizes.len(),
+            tech.len()
+        ));
+    }
+    let mut ids = Vec::with_capacity(scenarios.len());
+    for (i, s) in scenarios.iter().enumerate() {
+        let n = i + 1;
+        let id = s
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("scenario {n}: missing string field \"id\""))?;
+        if ids.contains(&id) {
+            return Err(format!("scenario {n}: duplicate id \"{id}\""));
+        }
+        ids.push(id);
+        num_field(&format!("scenario {n}"), s, "icache_bytes")?;
+        str_field(&format!("scenario {n}"), s, "tech")?;
+        sweep_isa_ok(n, s, "arm")?;
+        sweep_isa_ok(n, s, "fits")?;
+        for key in ["icache_saving", "chip_saving"] {
+            // Savings may legitimately be negative (a configuration can
+            // lose); only presence and type are schema concerns.
+            match s.get(key) {
+                Some(Value::Num(_)) => {}
+                _ => return Err(format!("scenario {n}: missing number field \"{key}\"")),
+            }
+        }
+    }
+    Ok(SweepCounts {
+        kernels: kernels.len(),
+        icache_sizes: sizes.len(),
+        tech_nodes: tech.len(),
+        scenarios: scenarios.len(),
+    })
 }
 
 #[cfg(test)]
@@ -518,7 +656,7 @@ mod tests {
 
     fn sample_lines() -> Vec<String> {
         vec![
-            r#"{"type":"meta","kernel":"crc32","scale":"test","icache":"16k"}"#.to_string(),
+            r#"{"type":"meta","kernel":"crc32","scale":"test","icache":"16k","scenario":"sa1100-i16k"}"#.to_string(),
             r#"{"type":"span","path":"flow/translate","ms":1.25,"count":1}"#.to_string(),
             format!(
                 r#"{{"type":"block","addr":"0x8008","label":"main+0x8","func":"main","arm":{0},"fits":{0}}}"#,

@@ -95,6 +95,14 @@ pub struct ComponentSavings {
     pub total: f64,
 }
 
+/// Tag width on a 32-bit address bus: `32 - log2(sets * line_bytes)`,
+/// saturated at zero — a geometry whose index + offset covers the whole
+/// address (≥ 4 GB of sets × lines) simply has no tag bits left, rather
+/// than a negative width poisoning the energy terms.
+fn tag_bits(cfg: &CacheConfig) -> f64 {
+    (32.0 - (f64::from(cfg.sets()) * f64::from(cfg.line_bytes)).log2()).max(0.0)
+}
+
 /// Per-access internal (array) energy for a geometry: bitline discharge
 /// proportional to the row count, CAM-style tag compare across the ways,
 /// and the row decoder.
@@ -102,19 +110,26 @@ fn e_array_access(cfg: &CacheConfig, tech: &TechParams) -> f64 {
     let sets = f64::from(cfg.sets());
     let ways = f64::from(cfg.ways);
     let addr_bits = f64::from(32 - cfg.line_bytes.leading_zeros());
-    let tag_bits = 32.0 - (f64::from(cfg.sets() * cfg.line_bytes)).log2();
     let read_bits = 32.0; // one word per access on this 32-bit fetch path
     tech.e_bitline_per_row_bit * sets * read_bits
-        + tech.e_tag_bit * ways * tag_bits
+        + tech.e_tag_bit * ways * tag_bits(cfg)
         + tech.e_decode_bit * (sets.log2().max(1.0) + addr_bits)
+}
+
+/// Per-access I-cache read energy (array + decoder + tag compare) for a
+/// geometry — the size-dependent term the scenario sweeps study. Exposed so
+/// property tests can check monotonicity in cache size without rebuilding
+/// the model.
+#[must_use]
+pub fn read_energy_per_access(cfg: &CacheConfig, tech: &TechParams) -> f64 {
+    e_array_access(cfg, tech)
 }
 
 /// Storage bits (data + tags + valid/dirty/LRU state).
 fn storage_bits(cfg: &CacheConfig) -> f64 {
     let lines = f64::from(cfg.sets() * cfg.ways);
-    let tag_bits = 32.0 - (f64::from(cfg.sets() * cfg.line_bytes)).log2();
     let state_bits = 2.0 + 5.0; // valid+dirty plus LRU bookkeeping
-    f64::from(cfg.size_bytes) * 8.0 + lines * (tag_bits + state_bits)
+    f64::from(cfg.size_bytes) * 8.0 + lines * (tag_bits(cfg) + state_bits)
 }
 
 /// Computes the cache power report from measured activity.
@@ -244,7 +259,7 @@ mod tests {
             (n as f64 / 1.3) as u64,
             &tech,
         );
-        let half = icache16().resized(8 * 1024);
+        let half = icache16().resized(8 * 1024).unwrap();
         let arm8 = cache_power(
             &half,
             &stats(n, 12 * n, 8_000),
@@ -285,7 +300,7 @@ mod tests {
         let pb = cache_power(&cfg, &b, 1000, &tech);
         assert!(pb.peak_w < pa.peak_w);
         // A half-size cache has a lower peak even at the same window rate.
-        let pc = cache_power(&cfg.resized(8 * 1024), &a, 1000, &tech);
+        let pc = cache_power(&cfg.resized(8 * 1024).unwrap(), &a, 1000, &tech);
         assert!(pc.peak_w < pa.peak_w);
     }
 

@@ -93,6 +93,41 @@ impl TechParams {
         }
     }
 
+    /// A 65 nm-class calibration: 1.1 V, 600 MHz, per-event dynamic
+    /// energies shrunk by the `C·V²` scaling from 0.35 µm/1.5 V, and —
+    /// the point of the node — per-bit leakage grown to the magnitude
+    /// where static power rivals dynamic power. The scenario sweeps use
+    /// this point to ask whether the paper's 0.35 µm conclusions (leakage
+    /// a ~10% afterthought) survive on a leakage-dominated process.
+    #[must_use]
+    pub fn modern_65nm() -> TechParams {
+        // Dynamic event scale: capacitance shrink × (1.1/1.5)² ≈ 0.25.
+        const DYN: f64 = 0.25;
+        let base = TechParams::sa1100();
+        TechParams {
+            vdd: 1.1,
+            freq_hz: 600.0e6,
+            e_bitline_per_row_bit: base.e_bitline_per_row_bit * DYN,
+            e_tag_bit: base.e_tag_bit * DYN,
+            e_decode_bit: base.e_decode_bit * DYN,
+            e_output_driven_bit: base.e_output_driven_bit * DYN,
+            e_output_toggle_bit: base.e_output_toggle_bit * DYN,
+            e_fill_bit: base.e_fill_bit * DYN,
+            p_clock_per_bit: 1.0e-7,
+            // ~8x the 0.35 µm per-bit leakage: subthreshold + gate leakage
+            // make the static floor a first-class term at this node.
+            p_leak_per_bit: 6.4e-7,
+            e_decode32: base.e_decode32 * DYN,
+            e_decode16: base.e_decode16 * DYN,
+            e_regfile_port: base.e_regfile_port * DYN,
+            e_alu_op: base.e_alu_op * DYN,
+            e_mul_op: base.e_mul_op * DYN,
+            p_clock_tree: 8.0e-3,
+            e_other_per_cycle: base.e_other_per_cycle * DYN,
+            p_leak_other: 12.0e-3,
+        }
+    }
+
     /// Seconds per cycle at this frequency.
     #[must_use]
     pub fn cycle_seconds(&self) -> f64 {
@@ -121,5 +156,22 @@ mod tests {
             "0.35um: leakage small"
         );
         assert!((t.cycle_seconds() - 5e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modern_node_is_leakage_heavy() {
+        let old = TechParams::sa1100();
+        let new = TechParams::modern_65nm();
+        assert!(new.e_bitline_per_row_bit < old.e_bitline_per_row_bit);
+        assert!(new.e_output_driven_bit < old.e_output_driven_bit);
+        assert!(
+            new.p_leak_per_bit > old.p_leak_per_bit * 4.0,
+            "65 nm leakage must dwarf 0.35 um leakage"
+        );
+        assert!(
+            new.p_leak_per_bit > new.p_clock_per_bit,
+            "65 nm: static floor rivals the clocked precharge power"
+        );
+        assert!(new.freq_hz > old.freq_hz);
     }
 }

@@ -1,0 +1,52 @@
+//! Seeded property test: per-access I-cache read energy is monotone
+//! non-decreasing in capacity at fixed associativity and line size — a
+//! bigger array never reads cheaper. This is the sanity floor under every
+//! sweep table: if it breaks, "smaller cache saves energy" conclusions
+//! are artifacts of the model, not the architecture.
+//!
+//! Associativity is capped at 64 ways: the analytical model's
+//! comparator/mux term grows with ways x tag bits, and tag bits *shrink*
+//! as capacity grows, so at extreme associativity (~80+ ways) the
+//! per-access cost is legitimately non-monotone in size. Real sweep
+//! geometries stay far below that.
+
+use fits_power::{read_energy_per_access, TechParams};
+use fits_rng::StdRng;
+use fits_sim::{CacheConfig, Replacement};
+
+#[test]
+fn read_energy_monotone_in_capacity_at_fixed_shape() {
+    let mut rng = StdRng::seed_from_u64(0xe4e26);
+    for round in 0..200 {
+        let ways = 1u32 << rng.gen_range(0u32..7); // 1..=64
+        let line_bytes = 1u32 << rng.gen_range(2u32..7); // 4..=64
+        let tech = if rng.gen_range(0u32..2) == 0 {
+            TechParams::sa1100()
+        } else {
+            TechParams::modern_65nm()
+        };
+        let mut prev = 0.0_f64;
+        for k in 0..8 {
+            let sets = 1u32 << k;
+            let cfg = CacheConfig {
+                name: "icache".to_string(),
+                size_bytes: sets * ways * line_bytes,
+                ways,
+                line_bytes,
+                replacement: Replacement::PseudoRandom,
+            };
+            let e = read_energy_per_access(&cfg, &tech);
+            assert!(
+                e.is_finite() && e > 0.0,
+                "round {round}: energy must be positive and finite: {cfg:?}"
+            );
+            assert!(
+                e >= prev,
+                "round {round}: per-access read energy regressed growing \
+                 {ways} ways x {line_bytes} B lines to {} sets: {e} < {prev}",
+                sets
+            );
+            prev = e;
+        }
+    }
+}

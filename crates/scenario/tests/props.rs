@@ -1,0 +1,117 @@
+//! Seeded property tests over the scenario plane's geometry handling:
+//! validated constructors accept exactly the geometries whose dimensions
+//! multiply out, reject the rest with typed errors (never a panic), and
+//! the cache model conserves accesses on arbitrary address streams.
+
+use fits_rng::StdRng;
+use fits_scenario::{ScenarioSpec, TimingSpec};
+use fits_sim::{validate_geometry, Cache, CacheConfig, Replacement};
+
+/// Draws a geometry whose dimensions multiply out by construction:
+/// power-of-two sets × ways × line bytes.
+fn random_valid_geometry(rng: &mut StdRng, name: &str) -> CacheConfig {
+    let ways = 1u32 << rng.gen_range(0u32..7); // 1..=64
+    let line_bytes = 1u32 << rng.gen_range(2u32..7); // 4..=64
+    let sets = 1u32 << rng.gen_range(0u32..8); // 1..=128
+    CacheConfig {
+        name: name.to_string(),
+        size_bytes: sets * ways * line_bytes,
+        ways,
+        line_bytes,
+        replacement: if rng.gen_range(0u32..2) == 0 {
+            Replacement::Lru
+        } else {
+            Replacement::PseudoRandom
+        },
+    }
+}
+
+#[test]
+fn valid_geometries_multiply_out_and_build_scenarios() {
+    let mut rng = StdRng::seed_from_u64(0x5ce1a210);
+    for _ in 0..200 {
+        let icache = random_valid_geometry(&mut rng, "icache");
+        let dcache = random_valid_geometry(&mut rng, "dcache");
+
+        validate_geometry(&icache).expect("generated geometry is valid");
+        assert_eq!(
+            icache.sets() * icache.ways * icache.line_bytes,
+            icache.size_bytes,
+            "sets x ways x line must reconstruct the capacity: {icache:?}"
+        );
+
+        let spec = ScenarioSpec::new(
+            "prop-test",
+            icache,
+            dcache,
+            TimingSpec::default(),
+            fits_power::TechParams::sa1100(),
+            "prop",
+            fits_core::SynthOptions::default(),
+        )
+        .expect("valid geometries must construct a scenario");
+        assert_eq!(spec.id(), "prop-test");
+    }
+}
+
+#[test]
+fn invalid_geometries_error_instead_of_panicking() {
+    let mut rng = StdRng::seed_from_u64(0xbad6e0);
+    for _ in 0..200 {
+        let good = random_valid_geometry(&mut rng, "icache");
+
+        // Capacity off by one byte: no longer divisible by ways x line.
+        let mut off_by_one = good.clone();
+        off_by_one.size_bytes = good.size_bytes + 1;
+        assert!(
+            validate_geometry(&off_by_one).is_err(),
+            "{off_by_one:?} must be rejected"
+        );
+
+        // Tripled capacity: divisible, but 3 x 2^k sets is never a power
+        // of two.
+        let mut tripled = good.clone();
+        tripled.size_bytes = good.size_bytes * 3;
+        assert!(
+            validate_geometry(&tripled).is_err(),
+            "{tripled:?} must be rejected"
+        );
+
+        // The same rejections must surface as typed ScenarioErrors.
+        assert!(ScenarioSpec::new(
+            "prop-bad",
+            off_by_one,
+            good.clone(),
+            TimingSpec::default(),
+            fits_power::TechParams::sa1100(),
+            "prop",
+            fits_core::SynthOptions::default(),
+        )
+        .is_err());
+        assert!(good.resized(good.size_bytes * 3).is_err());
+    }
+}
+
+#[test]
+fn cache_conserves_accesses_on_random_streams() {
+    let mut rng = StdRng::seed_from_u64(0xacce55);
+    for round in 0..50 {
+        let cfg = random_valid_geometry(&mut rng, "dcache");
+        let mut cache = Cache::new(cfg);
+        let accesses = rng.gen_range(100u64..1000);
+        for cycle in 0..accesses {
+            let addr = rng.gen_range(0u32..(1 << 16)) & !3;
+            let write = rng.gen_range(0u32..4) == 0;
+            cache.access(addr, write, rng.gen::<u32>(), cycle);
+        }
+        cache.finish();
+        let s = cache.stats();
+        assert_eq!(s.accesses, accesses, "round {round}");
+        assert_eq!(
+            s.hits + s.misses,
+            s.accesses,
+            "round {round}: every access is exactly a hit or a miss: {s:?}"
+        );
+        assert!(s.writes <= s.accesses, "round {round}: {s:?}");
+    }
+}

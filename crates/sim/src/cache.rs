@@ -6,6 +6,8 @@
 //! "switching" activity of the paper's power breakdown) and feeds a sliding
 //! cycle window that captures the busiest interval (the "peak power" input).
 
+use std::fmt;
+
 use crate::SimError;
 
 /// Width of the sliding window used for peak-activity tracking, in cycles.
@@ -15,6 +17,60 @@ use crate::SimError;
 /// practice of a short multi-cycle window that still captures `di/dt`-scale
 /// bursts.
 pub const PEAK_WINDOW_CYCLES: u64 = 64;
+
+/// Why a cache geometry is invalid.
+///
+/// Scenario sweeps feed user-supplied geometries into the simulator, so
+/// invalid shapes must surface as values, not panics — every constructor
+/// that derives a geometry returns this instead of asserting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The line size is below one word or not a power of two.
+    BadLineSize {
+        /// The offending line size in bytes.
+        line_bytes: u32,
+    },
+    /// Zero ways requested.
+    ZeroWays,
+    /// The capacity does not divide into an integral number of sets.
+    NotDivisible {
+        /// Requested capacity in bytes.
+        size_bytes: u32,
+        /// Associativity.
+        ways: u32,
+        /// Line size in bytes.
+        line_bytes: u32,
+    },
+    /// The set count is not a power of two (the index function is a mask).
+    SetsNotPowerOfTwo {
+        /// The resulting set count.
+        sets: u32,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::BadLineSize { line_bytes } => {
+                write!(f, "line size {line_bytes} must be a power of two >= 4")
+            }
+            GeometryError::ZeroWays => write!(f, "associativity must be nonzero"),
+            GeometryError::NotDivisible {
+                size_bytes,
+                ways,
+                line_bytes,
+            } => write!(
+                f,
+                "{size_bytes} bytes not divisible into {ways} ways of {line_bytes}-byte lines"
+            ),
+            GeometryError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "set count {sets} must be a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
 
 /// Replacement policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,21 +128,16 @@ impl CacheConfig {
     /// kept; the set count shrinks/grows), the paper's single controlled
     /// variable.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the size is not a multiple of `ways * line_bytes`.
-    #[must_use]
-    pub fn resized(&self, size_bytes: u32) -> CacheConfig {
+    /// Returns a [`GeometryError`] when the requested capacity does not
+    /// produce a valid geometry (non-integral or non-power-of-two set
+    /// count). Sweep grids are user input, so this never panics.
+    pub fn resized(&self, size_bytes: u32) -> Result<CacheConfig, GeometryError> {
         let mut cfg = self.clone();
         cfg.size_bytes = size_bytes;
-        assert_eq!(
-            size_bytes % (cfg.ways * cfg.line_bytes),
-            0,
-            "{size_bytes} bytes not divisible into {} ways of {}-byte lines",
-            cfg.ways,
-            cfg.line_bytes
-        );
-        cfg
+        validate_geometry(&cfg)?;
+        Ok(cfg)
     }
 
     /// Number of sets.
@@ -369,6 +420,34 @@ impl RefCacheModel {
     }
 }
 
+/// Validates a cache geometry, returning the typed reason on failure.
+///
+/// # Errors
+///
+/// The first [`GeometryError`] found (line size, then ways, then
+/// divisibility, then set count).
+pub fn validate_geometry(cfg: &CacheConfig) -> Result<(), GeometryError> {
+    if cfg.line_bytes < 4 || !cfg.line_bytes.is_power_of_two() {
+        return Err(GeometryError::BadLineSize {
+            line_bytes: cfg.line_bytes,
+        });
+    }
+    if cfg.ways == 0 {
+        return Err(GeometryError::ZeroWays);
+    }
+    if cfg.size_bytes == 0 || !cfg.size_bytes.is_multiple_of(cfg.ways * cfg.line_bytes) {
+        return Err(GeometryError::NotDivisible {
+            size_bytes: cfg.size_bytes,
+            ways: cfg.ways,
+            line_bytes: cfg.line_bytes,
+        });
+    }
+    if !cfg.sets().is_power_of_two() {
+        return Err(GeometryError::SetsNotPowerOfTwo { sets: cfg.sets() });
+    }
+    Ok(())
+}
+
 /// Validates a cache configuration for use by a simulation run.
 ///
 /// # Errors
@@ -376,24 +455,9 @@ impl RefCacheModel {
 /// Returns [`SimError::BadInstruction`] describing the problem when the
 /// geometry is degenerate (zero sets, non-power-of-two line size, …).
 pub fn validate_config(cfg: &CacheConfig) -> Result<(), SimError> {
-    let bad = |what: &str| {
-        Err(SimError::BadInstruction {
-            what: format!("cache {}: {what}", cfg.name),
-        })
-    };
-    if cfg.line_bytes < 4 || !cfg.line_bytes.is_power_of_two() {
-        return bad("line size must be a power of two >= 4");
-    }
-    if cfg.ways == 0 {
-        return bad("associativity must be nonzero");
-    }
-    if cfg.size_bytes == 0 || !cfg.size_bytes.is_multiple_of(cfg.ways * cfg.line_bytes) {
-        return bad("size must be a multiple of ways * line");
-    }
-    if !cfg.sets().is_power_of_two() {
-        return bad("set count must be a power of two");
-    }
-    Ok(())
+    validate_geometry(cfg).map_err(|e| SimError::BadInstruction {
+        what: format!("cache {}: {e}", cfg.name),
+    })
 }
 
 #[cfg(test)]
@@ -414,7 +478,7 @@ mod tests {
     fn geometry() {
         let c = CacheConfig::sa1100_icache();
         assert_eq!(c.sets(), 16);
-        assert_eq!(c.resized(8 * 1024).sets(), 8);
+        assert_eq!(c.resized(8 * 1024).unwrap().sets(), 8);
         assert_eq!(tiny().sets(), 4);
         validate_config(&c).unwrap();
     }

@@ -51,7 +51,10 @@ mod machine;
 mod memory;
 mod timing;
 
-pub use cache::{Cache, CacheConfig, CacheStats, WindowPeak, PEAK_WINDOW_CYCLES};
+pub use cache::{
+    validate_geometry, Cache, CacheConfig, CacheStats, GeometryError, Replacement, WindowPeak,
+    PEAK_WINDOW_CYCLES,
+};
 pub use cpu::{BranchOutcome, CpuState, ExecCtx, MemAccess, StepInfo, StepOutcome};
 pub use error::SimError;
 pub use exec::{execute_instr, instr_meta, Ar32Set, InstrSet, OpMeta};

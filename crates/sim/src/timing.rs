@@ -16,7 +16,7 @@
 //!   with a redirect bubble on correct taken branches and a deeper flush on
 //!   mispredicts, and blocking cache-miss stalls.
 
-use crate::cache::validate_config;
+use crate::cache::{validate_config, GeometryError};
 use crate::{Cache, CacheConfig, CacheStats, SimError, StepInfo};
 use fits_isa::InstrClass;
 
@@ -61,21 +61,23 @@ impl Sa1100Config {
     #[must_use]
     pub fn icache_8k() -> Sa1100Config {
         let mut cfg = Sa1100Config::icache_16k();
-        cfg.icache = cfg.icache.resized(8 * 1024);
+        cfg.icache = cfg
+            .icache
+            .resized(8 * 1024)
+            .expect("8 KB divides the fixed SA-1100 geometry");
         cfg
     }
 
     /// A copy with the I-cache resized to `bytes`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bytes` is not compatible with the geometry (see
-    /// [`CacheConfig::resized`]).
-    #[must_use]
-    pub fn with_icache_bytes(&self, bytes: u32) -> Sa1100Config {
+    /// Returns a [`GeometryError`] when `bytes` is not compatible with the
+    /// geometry (see [`CacheConfig::resized`]).
+    pub fn with_icache_bytes(&self, bytes: u32) -> Result<Sa1100Config, GeometryError> {
         let mut cfg = self.clone();
-        cfg.icache = cfg.icache.resized(bytes);
-        cfg
+        cfg.icache = cfg.icache.resized(bytes)?;
+        Ok(cfg)
     }
 }
 

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = kernel.compile(scale)?;
         let flow = FitsFlow::new().run(&program)?;
         for size in sizes {
-            let sa = Sa1100Config::icache_16k().with_icache_bytes(size);
+            let sa = Sa1100Config::icache_16k().with_icache_bytes(size)?;
 
             let mut arm = Machine::new(Ar32Set::load(&program));
             let (_, arm_sim) = arm.run_timed(&sa)?;

@@ -19,7 +19,11 @@ use powerfits::sim::{
 fn sweep_configs() -> Vec<Sa1100Config> {
     [16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024]
         .into_iter()
-        .map(|bytes| Sa1100Config::icache_16k().with_icache_bytes(bytes))
+        .map(|bytes| {
+            Sa1100Config::icache_16k()
+                .with_icache_bytes(bytes)
+                .expect("sweep sizes divide the geometry")
+        })
         .collect()
 }
 
