@@ -182,6 +182,66 @@ impl Artifacts {
     }
 }
 
+/// A canonical, order-stable text key for a synthesis option set — the
+/// piece of an [`ArtifactsPool`] (and of a `fitsd` request hash) that
+/// captures "same flow configuration". Two option sets with equal keys
+/// produce identical flows.
+#[must_use]
+pub fn synth_key(options: &SynthOptions) -> String {
+    format!(
+        "toggle:{},reg:{},space:{:.6},dict:{}",
+        u8::from(options.toggle_aware),
+        options.reg_bits,
+        options.space_budget,
+        options.max_dict_bits,
+    )
+}
+
+/// A pool of [`Artifacts`] caches, one per synthesis configuration.
+///
+/// One `Artifacts` is keyed by `(kernel, scale)` under a *single* synth
+/// option set; a long-lived server seeing requests with varying options
+/// needs one cache per distinct set. The pool interns caches by
+/// [`synth_key`], so concurrent requests with equal options share every
+/// compiled program, profile, flow and THUMB translation.
+#[derive(Debug, Default)]
+pub struct ArtifactsPool {
+    slots: Mutex<HashMap<String, Arc<Artifacts>>>,
+}
+
+impl ArtifactsPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> ArtifactsPool {
+        ArtifactsPool::default()
+    }
+
+    /// The shared cache for `options`, created (configured with
+    /// [`Artifacts::with_synth`]) on first use.
+    #[must_use]
+    pub fn for_synth(&self, options: &SynthOptions) -> Arc<Artifacts> {
+        let key = synth_key(options);
+        let mut slots = locked(&self.slots);
+        Arc::clone(
+            slots
+                .entry(key)
+                .or_insert_with(|| Arc::new(Artifacts::new().with_synth(options.clone()))),
+        )
+    }
+
+    /// Number of distinct synthesis configurations seen so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        locked(&self.slots).len()
+    }
+
+    /// Whether no configuration has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +283,26 @@ mod tests {
             "a zero-width dictionary must hurt the dynamic mapping rate              ({} vs {})",
             narrow_flow.dynamic_rate(),
             default_flow.dynamic_rate()
+        );
+    }
+
+    #[test]
+    fn pool_interns_caches_by_synth_options() {
+        let pool = ArtifactsPool::new();
+        let a = pool.for_synth(&SynthOptions::default());
+        let b = pool.for_synth(&SynthOptions::default());
+        assert!(Arc::ptr_eq(&a, &b), "equal options share one cache");
+        let narrow = SynthOptions {
+            max_dict_bits: 2,
+            ..SynthOptions::default()
+        };
+        let c = pool.for_synth(&narrow);
+        assert!(!Arc::ptr_eq(&a, &c), "distinct options get distinct caches");
+        assert_eq!(pool.len(), 2);
+        assert_ne!(
+            synth_key(&SynthOptions::default()),
+            synth_key(&narrow),
+            "keys must separate the configurations"
         );
     }
 

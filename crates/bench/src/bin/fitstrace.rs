@@ -100,10 +100,7 @@ fn parse_args() -> Options {
             "--smoke" => opts.smoke = true,
             "--help" | "-h" => usage(""),
             name => {
-                let k = Kernel::ALL
-                    .iter()
-                    .copied()
-                    .find(|k| k.name() == name)
+                let k = Kernel::from_name(name)
                     .unwrap_or_else(|| usage(&format!("unknown kernel: {name}")));
                 kernel = Some(k);
             }

@@ -5,7 +5,9 @@
 //! execute-once/replay-many path), and the wall-clock of a full 21-kernel ×
 //! 4-configuration suite run at test scale. Results are written to
 //! `BENCH.json` (hand-rolled JSON; the workspace has no serde) so CI can
-//! archive a throughput record per commit without gating on the numbers.
+//! archive a throughput record per commit without gating on the numbers,
+//! and one compact line per run is appended to `BENCH_history.jsonl` —
+//! the cumulative, commit-stamped record regressions are hunted in.
 //! Each record carries a `meta` stamp (git commit, Unix timestamp, host,
 //! OS, arch) so archived numbers stay attributable.
 //!
@@ -18,31 +20,59 @@
 //!     --baseline-seconds 1.135                                 # print speedup
 //! cargo run --release -p fits-bench --bin simperf -- --out bench/BENCH.json
 //! cargo run --release -p fits-bench --bin simperf -- --trace   # stage timings
+//! cargo run --release -p fits-bench --bin simperf -- --no-history
 //! ```
 //!
 //! Every suite pass constructs a fresh [`Artifacts`] cache (inside
 //! [`run_suite`]), so repeated passes measure the same cold-cache work and
 //! stay comparable across commits.
 
+use std::fmt;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-use fits_bench::stamp::{json_f64, meta_json};
-use fits_bench::{run_suite, run_suite_with, Artifacts};
+use fits_bench::stamp::{git_commit, hostname, json_f64, meta_json, unix_timestamp};
+use fits_bench::{run_suite, run_suite_with, Artifacts, ExperimentError};
 use fits_core::{FitsFlow, FitsSet};
 use fits_kernels::kernels::{Kernel, Scale};
+use fits_obs::json::escape;
 use fits_obs::SpanRegistry;
-use fits_scenario::ScenarioSpec;
+use fits_scenario::{ScenarioError, ScenarioSpec};
 use fits_sim::{Ar32Set, Machine, Sa1100Config};
 
 /// The kernel the MIPS probes execute. SHA has the largest dynamic
 /// instruction count per unit of compile time in the suite.
 const PROBE_KERNEL: Kernel = Kernel::Sha;
 
+/// Everything that can stop a `simperf` run. Failures exit with code 1
+/// and a one-line diagnosis; they never panic.
+#[derive(Debug)]
+enum SimperfError {
+    /// A pipeline stage failed (compile, flow, simulation, decode).
+    Pipeline(ExperimentError),
+    /// A scenario could not be derived (bad sweep geometry).
+    Scenario(ScenarioError),
+    /// An archive file could not be written.
+    Io { path: String, err: std::io::Error },
+}
+
+impl fmt::Display for SimperfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimperfError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            SimperfError::Scenario(e) => write!(f, "scenario: {e}"),
+            SimperfError::Io { path, err } => write!(f, "write {path}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SimperfError {}
+
 struct Options {
     smoke: bool,
     out: String,
+    history: Option<String>,
     baseline_seconds: Option<f64>,
     trace: bool,
 }
@@ -51,6 +81,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
         out: "BENCH.json".to_owned(),
+        history: Some("BENCH_history.jsonl".to_owned()),
         baseline_seconds: None,
         trace: false,
     };
@@ -60,6 +91,13 @@ fn parse_args() -> Options {
             "--smoke" => opts.smoke = true,
             "--trace" => opts.trace = true,
             "--out" => opts.out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--history" => {
+                opts.history = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--history needs a path")),
+                );
+            }
+            "--no-history" => opts.history = None,
             "--baseline-seconds" => {
                 let v = args
                     .next()
@@ -80,27 +118,42 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("simperf: {err}");
     }
-    eprintln!("usage: simperf [--smoke] [--trace] [--out PATH] [--baseline-seconds SECS]");
+    eprintln!(
+        "usage: simperf [--smoke] [--trace] [--out PATH] [--history PATH] [--no-history] \
+         [--baseline-seconds SECS]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
 /// Runs `f` repeatedly until `budget_secs` of wall time elapse (at least
-/// once) and returns (total seconds, calls).
-fn measure(budget_secs: f64, mut f: impl FnMut()) -> (f64, u32) {
+/// once) and returns (total seconds, calls); a failing call aborts the
+/// measurement.
+fn measure(
+    budget_secs: f64,
+    mut f: impl FnMut() -> Result<(), SimperfError>,
+) -> Result<(f64, u32), SimperfError> {
     let start = Instant::now();
     let mut calls = 0u32;
     loop {
-        f();
+        f()?;
         calls += 1;
         let elapsed = start.elapsed().as_secs_f64();
         if elapsed >= budget_secs {
-            return (elapsed, calls);
+            return Ok((elapsed, calls));
         }
     }
 }
 
 fn main() {
     let opts = parse_args();
+    if let Err(e) = run(&opts) {
+        eprintln!("simperf: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(opts: &Options) -> Result<(), SimperfError> {
     let scale = Scale::test();
     let scenario = ScenarioSpec::sa1100();
     let budget = if opts.smoke { 0.05 } else { 0.4 };
@@ -114,47 +167,68 @@ fn main() {
     );
 
     // --- Simulator throughput probes ----------------------------------
-    let program = PROBE_KERNEL.compile(scale).expect("probe kernel compiles");
+    let program = PROBE_KERNEL
+        .compile(scale)
+        .map_err(|e| SimperfError::Pipeline(ExperimentError::Compile(e)))?;
     let steps = Machine::new(Ar32Set::load(&program))
         .run()
-        .expect("probe kernel runs")
+        .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?
         .steps;
     let multi_cfgs: Vec<Sa1100Config> = [16 * 1024, 8 * 1024, 4 * 1024, 2 * 1024]
         .into_iter()
         .map(|bytes| {
             scenario
                 .with_icache_bytes(bytes)
-                .expect("sweep sizes divide the fixed SA-1100 geometry")
-                .machine_config()
+                .map(|s| s.machine_config())
+                .map_err(|e| SimperfError::Scenario(e.into()))
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     let (secs, calls) = measure(budget, || {
         let mut m = Machine::new(Ar32Set::load(&program));
-        black_box(m.run().expect("functional run"));
-    });
+        black_box(
+            m.run()
+                .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?,
+        );
+        Ok(())
+    })?;
     let functional_mips = steps as f64 * f64::from(calls) / secs / 1e6;
 
     let (secs, calls) = measure(budget, || {
         let mut m = Machine::new(Ar32Set::load(&program));
-        black_box(m.run_timed(&Sa1100Config::icache_16k()).expect("timed run"));
-    });
+        black_box(
+            m.run_timed(&Sa1100Config::icache_16k())
+                .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?,
+        );
+        Ok(())
+    })?;
     let timed_mips = steps as f64 * f64::from(calls) / secs / 1e6;
 
     let (secs, calls) = measure(budget, || {
         let mut m = Machine::new(Ar32Set::load(&program));
-        black_box(m.run_timed_multi(&multi_cfgs).expect("replay run"));
-    });
+        black_box(
+            m.run_timed_multi(&multi_cfgs)
+                .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?,
+        );
+        Ok(())
+    })?;
     // Retired instructions observed by all four models per wall second.
     let replay4_mips = steps as f64 * 4.0 * f64::from(calls) / secs / 1e6;
 
-    let flow = FitsFlow::new().run(&program).expect("flow accepts probe");
+    let flow = FitsFlow::new()
+        .run(&program)
+        .map_err(|e| SimperfError::Pipeline(ExperimentError::Flow(e)))?;
     let (secs, calls) = measure(budget, || {
-        let set = FitsSet::load(&flow.fits).expect("fits loads");
+        let set = FitsSet::load(&flow.fits)
+            .map_err(|e| SimperfError::Pipeline(ExperimentError::Decode(e)))?;
         let mut m = Machine::new(set);
-        black_box(m.run_timed(&Sa1100Config::icache_16k()).expect("fits run"));
-    });
-    let fits_steps = flow.fits_run.expect("flow verified").steps;
+        black_box(
+            m.run_timed(&Sa1100Config::icache_16k())
+                .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?,
+        );
+        Ok(())
+    })?;
+    let fits_steps = flow.fits_run.as_ref().map_or(steps, |r| r.steps);
     let fits_timed_mips = fits_steps as f64 * f64::from(calls) / secs / 1e6;
 
     eprintln!(
@@ -174,11 +248,12 @@ fn main() {
             Some(reg) => {
                 let guard = reg.enter("suite");
                 let arts = Artifacts::new().with_flow_observer(Arc::new(reg.clone()));
-                let suite = run_suite_with(&arts, Kernel::ALL, scale).expect("suite runs");
+                let suite =
+                    run_suite_with(&arts, Kernel::ALL, scale).map_err(SimperfError::Pipeline)?;
                 drop(guard);
                 suite
             }
-            None => run_suite(Kernel::ALL, scale).expect("suite runs"),
+            None => run_suite(Kernel::ALL, scale).map_err(SimperfError::Pipeline)?,
         };
         let elapsed = t.elapsed().as_secs_f64();
         black_box(&suite);
@@ -228,9 +303,47 @@ fn main() {
         base = opts.baseline_seconds.map_or("null".to_owned(), json_f64),
         ratio = speedup.map_or("null".to_owned(), json_f64),
     );
-    if let Err(e) = std::fs::write(&opts.out, &json) {
-        eprintln!("simperf: failed to write {}: {e}", opts.out);
-        std::process::exit(1);
-    }
+    std::fs::write(&opts.out, &json).map_err(|err| SimperfError::Io {
+        path: opts.out.clone(),
+        err,
+    })?;
     eprintln!("simperf: wrote {}", opts.out);
+
+    // --- BENCH_history.jsonl -------------------------------------------
+    // One compact line per run, append-only: the cumulative record that
+    // lets `grep`/`jq` chart throughput across commits.
+    if let Some(history) = &opts.history {
+        let line = format!(
+            "{{\"schema\": \"powerfits-bench-history-v1\", \"commit\": \"{commit}\", \
+             \"timestamp_unix\": {stamp}, \"host\": \"{host}\", \"mode\": \"{mode}\", \
+             \"scenario\": \"{scenario_id}\", \"scale_n\": {n}, \
+             \"functional_mips\": {fm}, \"timed_mips\": {tm}, \"replay4_mips\": {rm}, \
+             \"fits_timed_mips\": {ftm}, \"suite_passes\": {passes}, \
+             \"suite_seconds_best\": {best}}}\n",
+            commit = escape(&git_commit()),
+            stamp = unix_timestamp(),
+            host = escape(&hostname()),
+            mode = if opts.smoke { "smoke" } else { "full" },
+            scenario_id = scenario.id(),
+            n = scale.n,
+            fm = json_f64(functional_mips),
+            tm = json_f64(timed_mips),
+            rm = json_f64(replay4_mips),
+            ftm = json_f64(fits_timed_mips),
+            passes = suite_passes,
+            best = json_f64(suite_best),
+        );
+        use std::io::Write;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .map_err(|err| SimperfError::Io {
+                path: history.clone(),
+                err,
+            })?;
+        eprintln!("simperf: appended to {history}");
+    }
+    Ok(())
 }

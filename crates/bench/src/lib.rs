@@ -25,10 +25,12 @@ pub mod report;
 pub mod stamp;
 pub mod sweep;
 
-pub use artifacts::Artifacts;
+pub use artifacts::{synth_key, Artifacts, ArtifactsPool};
 pub use experiment::{
     paper_matrix, run_kernel, run_kernel_scenarios, run_kernel_with, run_suite, run_suite_with,
-    Config, ConfigRun, KernelResults, ScenarioRun, SuiteResults,
+    Config, ConfigRun, ExperimentError, KernelResults, ScenarioRun, SuiteResults,
 };
 pub use report::{Row, Table};
-pub use sweep::{run_sweep_with, sweep_json, sweep_table, IsaAggregate, SweepPoint, SweepResults};
+pub use sweep::{
+    isa_json, run_sweep_with, sweep_json, sweep_table, IsaAggregate, SweepPoint, SweepResults,
+};

@@ -46,6 +46,16 @@ impl IsaAggregate {
         self.icache_switching_j + self.icache_internal_j + self.icache_leakage_j
     }
 
+    /// The aggregate of a single run — how one kernel's [`ConfigRun`] is
+    /// reported in the same shape as a suite total (the `fitsd`
+    /// `/simulate` response reuses the sweep's per-ISA schema).
+    #[must_use]
+    pub fn from_run(run: &ConfigRun) -> IsaAggregate {
+        let mut agg = IsaAggregate::default();
+        agg.absorb(run);
+        agg
+    }
+
     fn absorb(&mut self, run: &ConfigRun) {
         self.cycles += run.sim.cycles;
         self.icache_switching_j += run.icache.switching_j;
@@ -222,7 +232,11 @@ pub fn sweep_table(results: &SweepResults) -> Table {
     }
 }
 
-fn isa_json(agg: &IsaAggregate) -> String {
+/// Serializes one per-ISA aggregate as the sweep schema's `"arm"`/`"fits"`
+/// object — shared with the `fitsd` response bodies so every service that
+/// reports per-ISA numbers speaks one schema.
+#[must_use]
+pub fn isa_json(agg: &IsaAggregate) -> String {
     format!(
         "{{\"cycles\": {}, \"icache_j\": {}, \"icache_switching_j\": {}, \
          \"icache_internal_j\": {}, \"icache_leakage_j\": {}, \"chip_j\": {}, \

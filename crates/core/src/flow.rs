@@ -391,6 +391,23 @@ impl FitsFlow {
     }
 }
 
+/// Compile-time contract: flow handles cross threads.
+///
+/// Long-lived multi-threaded consumers (the bench suite runner, the `fitsd`
+/// daemon) share one configured [`FitsFlow`] and hand [`FlowOutcome`]s
+/// between worker threads — which only stays true as long as every trait
+/// object the flow can carry ([`FlowValidator`], [`FlowObserver`]) keeps
+/// its `Send + Sync` supertrait bounds. These assertions turn an
+/// accidental regression of that contract into a compile error here,
+/// instead of a trait-bound error three crates downstream.
+#[allow(dead_code)]
+const _FLOW_HANDLES_ARE_SEND_SYNC: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FitsFlow>();
+    assert_send_sync::<FlowOutcome>();
+    assert_send_sync::<FlowError>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

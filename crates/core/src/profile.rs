@@ -6,7 +6,7 @@
 //! usage, register pressure and 2-vs-3-operand feasibility — everything the
 //! synthesis stage's optimizer consumes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use fits_isa::{
     AddrOffset, Cond, DpOp, Instr, MemOp, Operand2, Program, Shift, ShiftKind, TEXT_BASE,
@@ -181,22 +181,24 @@ pub struct Profile {
     pub dyn_total: u64,
     /// Retired count per text index.
     pub exec_counts: Vec<u64>,
-    /// Per-family usage.
-    pub families: HashMap<OpKey, Stat>,
+    /// Per-family usage. Ordered: synthesis iterates these maps and
+    /// breaks ties by encounter order, so the order must not vary between
+    /// runs (served results are cached/compared byte-for-byte).
+    pub families: BTreeMap<OpKey, Stat>,
     /// Sites that fall outside every family (translated by expansion).
     pub unclassified: Stat,
     /// Operate-category immediates, per family.
-    pub operate_imms: HashMap<OpKey, ValueHist>,
+    pub operate_imms: BTreeMap<OpKey, ValueHist>,
     /// Memory displacements (two's-complement i32), per memory op.
-    pub mem_disps: HashMap<MemOp, ValueHist>,
+    pub mem_disps: BTreeMap<MemOp, ValueHist>,
     /// Shift amounts per kind.
-    pub shift_amounts: HashMap<ShiftKind, ValueHist>,
+    pub shift_amounts: BTreeMap<ShiftKind, ValueHist>,
     /// Branch displacements in instruction units (two's-complement), per
     /// (cond, link) family.
-    pub branch_disps: HashMap<(Cond, bool), ValueHist>,
+    pub branch_disps: BTreeMap<(Cond, bool), ValueHist>,
     /// For each register-register DP family: dynamic executions where
     /// `rd == rn` (2-address compatible) and the family total.
-    pub rd_eq_rn: HashMap<OpKey, (u64, u64)>,
+    pub rd_eq_rn: BTreeMap<OpKey, (u64, u64)>,
     /// Physical registers referenced anywhere.
     pub regs_used: u16,
     /// Condition codes appearing on predicated (non-branch) instructions —

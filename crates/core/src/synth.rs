@@ -134,7 +134,7 @@ fn rank_map(values: &[(u32, crate::profile::Stat)]) -> HashMap<u32, usize> {
         .collect()
 }
 
-fn build_family_data(profile: &Profile, opts: &SynthOptions) -> HashMap<OpKey, FamilyData> {
+fn build_family_data(profile: &Profile, opts: &SynthOptions) -> BTreeMap<OpKey, FamilyData> {
     // Global category dictionaries, by dynamic weight.
     let mut operate_all = crate::profile::ValueHist::default();
     for hist in profile.operate_imms.values() {
@@ -161,7 +161,7 @@ fn build_family_data(profile: &Profile, opts: &SynthOptions) -> HashMap<OpKey, F
     }
     let shift_rank = rank_map(&shift_all.by_dynamic_weight());
 
-    let mut out = HashMap::new();
+    let mut out = BTreeMap::new();
     for (key, stat) in &profile.families {
         let mut fd = FamilyData {
             dyn_: stat.dyn_,
@@ -417,7 +417,7 @@ fn family_cost(key: OpKey, fd: &FamilyData, sel: &BTreeMap<SelKey, Selected>) ->
     }
 }
 
-fn total_cost(families: &HashMap<OpKey, FamilyData>, sel: &BTreeMap<SelKey, Selected>) -> f64 {
+fn total_cost(families: &BTreeMap<OpKey, FamilyData>, sel: &BTreeMap<SelKey, Selected>) -> f64 {
     families
         .iter()
         .map(|(k, fd)| fd.dyn_ as f64 * family_cost(*k, fd, sel))

@@ -182,6 +182,14 @@ impl Kernel {
     pub fn test_scale() -> Scale {
         Scale::test()
     }
+
+    /// Looks a kernel up by its MiBench-style name (the inverse of
+    /// [`Kernel::name`]) — how CLIs and the `fitsd` request parser turn
+    /// user-supplied strings into suite members.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::ALL.iter().copied().find(|k| k.name() == name)
+    }
 }
 
 impl std::fmt::Display for Kernel {
@@ -223,6 +231,14 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 21, "kernel names are unique");
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::from_name(k.name()), Some(*k));
+        }
+        assert_eq!(Kernel::from_name("no-such-kernel"), None);
     }
 
     #[test]

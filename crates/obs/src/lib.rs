@@ -23,7 +23,10 @@
 //!   mapped back onto the same blocks through the translator's expansion
 //!   table — ARM vs. FITS, side by side.
 //! * [`json`] — a dependency-free JSON scanner used to validate the JSONL
-//!   trace export of the `fitstrace` CLI (in `fits-bench`).
+//!   trace export of the `fitstrace` CLI (in `fits-bench`) and the request
+//!   bodies of the `fitsd` daemon (in `fits-serve`).
+//! * [`metrics`] — lock-free service counters and a log-bucketed latency
+//!   histogram (p50/p99), the `/metrics` substrate of `fitsd`.
 //! * [`fmt`] — the one place numbers are rounded for reports (percentages,
 //!   energies, durations), shared by `fits-bench`'s tables and the trace
 //!   renderers.
@@ -41,10 +44,12 @@ pub mod attr;
 pub mod fmt;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod span;
 pub mod trace;
 
 pub use attr::{attribute_kernel, basic_blocks, Attribution, BasicBlock, BlockCost};
 pub use hist::{BranchCounts, BranchHistogram, PcHistogram, SetCounters, SetHistogram};
+pub use metrics::{Counter, LatencyHistogram};
 pub use span::{Span, SpanGuard, SpanRegistry};
 pub use trace::{trace_timed_run, CacheEvents, DCacheTotals, SimTrace};

@@ -1,0 +1,215 @@
+//! Lock-free service metrics: monotonic counters and a log-bucketed
+//! latency histogram with quantile estimation.
+//!
+//! The span registry ([`crate::SpanRegistry`]) answers "where did the time
+//! go inside one pipeline run"; this module answers the *service* questions
+//! a long-lived daemon gets asked — how many requests, how many cache hits,
+//! what is the p99 — with plain atomics so the hot path never takes a lock.
+//! Counters saturate instead of wrapping, matching the crate's "degrade the
+//! report, never the process" rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A saturating monotonic counter, safe to bump from any thread.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(n);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two microsecond buckets: covers 1 µs to ~584000
+/// years, so no observable duration falls off the top.
+const BUCKETS: usize = 64;
+
+/// A fixed-size log₂-bucketed latency histogram.
+///
+/// Bucket `i` counts observations in `[2^i, 2^(i+1))` microseconds
+/// (bucket 0 additionally absorbs sub-microsecond observations), so
+/// recording is a single atomic increment and quantiles are read by
+/// scanning 64 cells. Quantile estimates are upper bucket bounds —
+/// pessimistic by at most 2x, which is the right bias for a latency SLO.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: Counter,
+    sum_us: Counter,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: Counter::new(),
+            sum_us: Counter::new(),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        us.max(1).ilog2() as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&self, wall: Duration) {
+        let us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.inc();
+        self.sum_us.add(us);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count.get();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.get() as f64 / n as f64
+        }
+    }
+
+    /// Largest observed latency in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// The latency (µs) below which a fraction `q` of observations fall —
+    /// reported as the upper bound of the containing bucket, clamped to the
+    /// observed maximum. Returns 0 for an empty histogram; `q` is clamped
+    /// to `[0, 1]`.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * total) observations must be covered, at least one.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let need = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= need {
+                let upper = if i + 1 >= BUCKETS {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(u64::MAX - 1);
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bound_the_observations() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        // 90 fast observations (~100 us), 10 slow (~50 ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(50));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.5);
+        let p99 = h.quantile_us(0.99);
+        assert!((100..=255).contains(&p50), "p50 {p50} brackets 100 us");
+        assert!(p99 >= 50_000, "p99 {p99} must reach the slow tail");
+        assert_eq!(h.max_us(), 50_000);
+        assert!(p99 <= h.max_us(), "quantiles clamp to the observed max");
+        assert!(h.mean_us() > 100.0 && h.mean_us() < 50_000.0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(Duration::from_micros(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+    }
+}

@@ -58,6 +58,16 @@ pub enum ScenarioError {
         /// Which axis (`"icache sizes"` / `"tech nodes"`).
         axis: &'static str,
     },
+    /// A preset name was not one of [`PRESET_NAMES`].
+    UnknownPreset {
+        /// The offending name.
+        name: String,
+    },
+    /// A tech-node name was not one of [`TECH_NAMES`].
+    UnknownTech {
+        /// The offending name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -68,6 +78,16 @@ impl fmt::Display for ScenarioError {
                 write!(f, "bad scenario id {id:?} (need non-empty [a-z0-9.-])")
             }
             ScenarioError::EmptyAxis { axis } => write!(f, "sweep axis {axis} is empty"),
+            ScenarioError::UnknownPreset { name } => write!(
+                f,
+                "unknown scenario preset {name:?} (presets: {})",
+                PRESET_NAMES.join(" ")
+            ),
+            ScenarioError::UnknownTech { name } => write!(
+                f,
+                "unknown tech node {name:?} (nodes: {})",
+                TECH_NAMES.join(" ")
+            ),
         }
     }
 }
@@ -325,6 +345,54 @@ impl ScenarioSpec {
     pub fn same_machine(&self, other: &ScenarioSpec) -> bool {
         self.icache == other.icache && self.dcache == other.dcache && self.timing == other.timing
     }
+
+    /// Resolves a *request* — a preset name plus optional I-cache resize
+    /// and tech-node override — into a validated scenario. This is how a
+    /// serialized request (a `fitsd` body, a CLI flag pair) names a point
+    /// on the plane without carrying raw geometry: every reachable spec
+    /// went through the same validation as the presets.
+    ///
+    /// Overrides apply tech-first, then the resize, matching
+    /// [`ScenarioMatrix::grid`] ordering.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownPreset`] / [`ScenarioError::UnknownTech`]
+    /// for names off the plane, or the underlying geometry error for an
+    /// impossible resize.
+    pub fn resolve(
+        preset: &str,
+        tech: Option<&str>,
+        icache_bytes: Option<u32>,
+    ) -> Result<ScenarioSpec, ScenarioError> {
+        let mut spec =
+            ScenarioSpec::preset(preset).ok_or_else(|| ScenarioError::UnknownPreset {
+                name: preset.to_string(),
+            })?;
+        if let Some(name) = tech {
+            let params = tech_preset(name).ok_or_else(|| ScenarioError::UnknownTech {
+                name: name.to_string(),
+            })?;
+            spec = spec.with_tech(name, params)?;
+        }
+        if let Some(bytes) = icache_bytes {
+            spec = spec.with_icache_bytes(bytes)?;
+        }
+        Ok(spec)
+    }
+}
+
+/// All tech-node names accepted by [`tech_preset`].
+pub const TECH_NAMES: [&str; 2] = ["sa1100", "65nm"];
+
+/// Looks a named technology node up (see [`TECH_NAMES`]).
+#[must_use]
+pub fn tech_preset(name: &str) -> Option<TechParams> {
+    match name {
+        "sa1100" => Some(TechParams::sa1100()),
+        "65nm" => Some(TechParams::modern_65nm()),
+        _ => None,
+    }
 }
 
 /// All preset names accepted by [`ScenarioSpec::preset`].
@@ -525,6 +593,35 @@ mod tests {
             ScenarioMatrix::grid(&base, &[16 * 1024], &[]),
             Err(ScenarioError::EmptyAxis { .. })
         ));
+    }
+
+    #[test]
+    fn resolve_composes_preset_tech_and_resize() {
+        let plain = ScenarioSpec::resolve("sa1100", None, None).unwrap();
+        assert_eq!(plain.id(), "sa1100-i16k");
+        let repriced = ScenarioSpec::resolve("sa1100", Some("65nm"), Some(8 * 1024)).unwrap();
+        assert_eq!(repriced.id(), "65nm-i8k");
+        assert_eq!(repriced.icache.size_bytes, 8 * 1024);
+        assert!((repriced.timing.freq_hz - TechParams::modern_65nm().freq_hz).abs() < 1.0);
+        // small-embedded keeps its distinct D-cache through a resize.
+        let small = ScenarioSpec::resolve("small-embedded", None, Some(8 * 1024)).unwrap();
+        assert_eq!(small.dcache.line_bytes, 16);
+
+        assert!(matches!(
+            ScenarioSpec::resolve("sa1101", None, None),
+            Err(ScenarioError::UnknownPreset { .. })
+        ));
+        assert!(matches!(
+            ScenarioSpec::resolve("sa1100", Some("7nm"), None),
+            Err(ScenarioError::UnknownTech { .. })
+        ));
+        assert!(matches!(
+            ScenarioSpec::resolve("sa1100", None, Some(1000)),
+            Err(ScenarioError::Geometry { .. })
+        ));
+        for name in TECH_NAMES {
+            assert!(tech_preset(name).is_some());
+        }
     }
 
     #[test]

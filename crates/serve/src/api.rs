@@ -1,0 +1,1027 @@
+//! The JSON API: request schemas, canonical keys, response bodies.
+//!
+//! Every request body is schema-validated with the `fits_obs::json`
+//! machinery *before* any work is scheduled; violations come back as
+//! structured 400s carrying an error code and a JSON-pointer to the
+//! offending field — a malformed request can never panic a worker.
+//!
+//! Every POST endpoint is a **pure function** of its canonical request
+//! string ([`SynthesizeRequest::canonical`] and friends): no timestamps,
+//! no host stamps, fixed key order. That purity is what makes the
+//! content-addressed cache and the coalescer sound — equal canonical
+//! strings may share one execution and one response body, byte for byte.
+
+use std::sync::Arc;
+
+use fits_bench::{isa_json, run_kernel_scenarios, synth_key, Artifacts, ExperimentError};
+use fits_core::SynthOptions;
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_obs::json::{escape, parse, Value};
+use fits_scenario::{tech_preset, ScenarioMatrix, ScenarioSpec, PRESET_NAMES, TECH_NAMES};
+
+/// The response schema identifier every body carries.
+pub const SCHEMA: &str = "powerfits-serve-v1";
+/// Largest accepted workload scale (`Scale::experiment()` is 4096).
+pub const MAX_SCALE: u32 = 4096;
+/// Most I-cache sizes one sweep request may ask for.
+pub const MAX_SWEEP_SIZES: usize = 8;
+
+/// A structured request rejection: machine-readable code, JSON pointer to
+/// the offending field, human-readable message. Renders as the 400 body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// Stable error code (`"parse"`, `"missing_field"`, `"bad_type"`,
+    /// `"bad_value"`, `"unknown_field"`).
+    pub code: &'static str,
+    /// JSON pointer to the offending field (`"/synth/reg_bits"`; empty
+    /// for document-level failures).
+    pub pointer: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(code: &'static str, pointer: &str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            code,
+            pointer: pointer.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// The 400 response body for this rejection.
+    #[must_use]
+    pub fn body(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"error\",\n  \"error\": {{\
+             \"code\": \"{}\", \"pointer\": \"{}\", \"message\": \"{}\"}}\n}}\n",
+            escape(self.code),
+            escape(&self.pointer),
+            escape(&self.message),
+        )
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {:?}: {}", self.code, self.pointer, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+// ---------------------------------------------------------------- helpers
+
+fn parse_body(body: &str) -> Result<Value, ApiError> {
+    if body.trim().is_empty() {
+        // An absent body means "all defaults" — canonicalized as {}.
+        return Ok(Value::Obj(Vec::new()));
+    }
+    parse(body).map_err(|e| ApiError::new("parse", "", e.to_string()))
+}
+
+fn members<'a>(v: &'a Value, pointer: &str) -> Result<&'a [(String, Value)], ApiError> {
+    match v {
+        Value::Obj(m) => Ok(m),
+        _ => Err(ApiError::new("bad_type", pointer, "expected an object")),
+    }
+}
+
+fn reject_unknown(v: &Value, pointer: &str, allowed: &[&str]) -> Result<(), ApiError> {
+    for (key, _) in members(v, pointer)? {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ApiError::new(
+                "unknown_field",
+                &format!("{pointer}/{key}"),
+                format!("unknown field (allowed: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn opt_str<'a>(v: &'a Value, pointer: &str, key: &str) -> Result<Option<&'a str>, ApiError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(_) => Err(ApiError::new(
+            "bad_type",
+            &format!("{pointer}/{key}"),
+            "expected a string",
+        )),
+    }
+}
+
+fn opt_bool(v: &Value, pointer: &str, key: &str) -> Result<Option<bool>, ApiError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(ApiError::new(
+            "bad_type",
+            &format!("{pointer}/{key}"),
+            "expected a boolean",
+        )),
+    }
+}
+
+fn opt_f64(v: &Value, pointer: &str, key: &str) -> Result<Option<f64>, ApiError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(ApiError::new(
+            "bad_type",
+            &format!("{pointer}/{key}"),
+            "expected a number",
+        )),
+    }
+}
+
+fn opt_uint(
+    v: &Value,
+    pointer: &str,
+    key: &str,
+    min: u64,
+    max: u64,
+) -> Result<Option<u64>, ApiError> {
+    let Some(n) = opt_f64(v, pointer, key)? else {
+        return Ok(None);
+    };
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let int = n as u64;
+    if n.fract() != 0.0 || n < 0.0 || !(min..=max).contains(&int) {
+        return Err(ApiError::new(
+            "bad_value",
+            &format!("{pointer}/{key}"),
+            format!("expected an integer in [{min}, {max}], got {n}"),
+        ));
+    }
+    Ok(Some(int))
+}
+
+fn kernel_field(v: &Value, pointer: &str) -> Result<Kernel, ApiError> {
+    let name = opt_str(v, pointer, "kernel")?.ok_or_else(|| {
+        ApiError::new(
+            "missing_field",
+            &format!("{pointer}/kernel"),
+            "a kernel name is required",
+        )
+    })?;
+    Kernel::from_name(name).ok_or_else(|| {
+        ApiError::new(
+            "bad_value",
+            &format!("{pointer}/kernel"),
+            format!("unknown kernel {name:?}"),
+        )
+    })
+}
+
+fn scale_field(v: &Value, pointer: &str) -> Result<Scale, ApiError> {
+    let n = opt_uint(v, pointer, "scale", 1, u64::from(MAX_SCALE))?.map_or_else(
+        || Scale::test().n,
+        |n| u32::try_from(n).unwrap_or(MAX_SCALE),
+    );
+    Ok(Scale { n })
+}
+
+/// Parses the optional `"synth"` override object on top of a scenario's
+/// default options.
+fn synth_field(v: &Value, pointer: &str, base: SynthOptions) -> Result<SynthOptions, ApiError> {
+    let Some(synth) = v.get("synth") else {
+        return Ok(base);
+    };
+    let sp = format!("{pointer}/synth");
+    reject_unknown(
+        synth,
+        &sp,
+        &["toggle_aware", "reg_bits", "space_budget", "max_dict_bits"],
+    )?;
+    let mut options = base;
+    if let Some(b) = opt_bool(synth, &sp, "toggle_aware")? {
+        options.toggle_aware = b;
+    }
+    if let Some(bits) = opt_uint(synth, &sp, "reg_bits", 3, 4)? {
+        options.reg_bits = u8::try_from(bits).unwrap_or(4);
+    }
+    if let Some(budget) = opt_f64(synth, &sp, "space_budget")? {
+        if !(budget > 0.0 && budget <= 1.0) {
+            return Err(ApiError::new(
+                "bad_value",
+                &format!("{sp}/space_budget"),
+                format!("expected a fraction in (0, 1], got {budget}"),
+            ));
+        }
+        options.space_budget = budget;
+    }
+    if let Some(bits) = opt_uint(synth, &sp, "max_dict_bits", 0, 12)? {
+        options.max_dict_bits = u8::try_from(bits).unwrap_or(6);
+    }
+    Ok(options)
+}
+
+fn scenario_fields(v: &Value, pointer: &str) -> Result<(String, ScenarioSpec), ApiError> {
+    let preset = opt_str(v, pointer, "scenario")?
+        .unwrap_or("sa1100")
+        .to_string();
+    let tech = opt_str(v, pointer, "tech")?;
+    let icache = opt_uint(v, pointer, "icache_bytes", 256, 1 << 24)?
+        .map(|n| u32::try_from(n).unwrap_or(u32::MAX));
+    let spec = ScenarioSpec::resolve(&preset, tech, icache).map_err(|e| {
+        let field = match &e {
+            fits_scenario::ScenarioError::UnknownPreset { .. } => "scenario",
+            fits_scenario::ScenarioError::UnknownTech { .. } => "tech",
+            _ => "icache_bytes",
+        };
+        ApiError::new("bad_value", &format!("{pointer}/{field}"), e.to_string())
+    })?;
+    let canonical = format!(
+        "preset={preset}|tech={}|icache={}",
+        tech.unwrap_or("-"),
+        icache.map_or_else(|| "-".to_string(), |b| b.to_string()),
+    );
+    Ok((canonical, spec))
+}
+
+// ---------------------------------------------------------------- requests
+
+/// A validated `POST /synthesize` request.
+#[derive(Clone, Debug)]
+pub struct SynthesizeRequest {
+    /// The kernel to synthesize for.
+    pub kernel: Kernel,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Synthesis options (defaults overlaid with the `"synth"` object).
+    pub synth: SynthOptions,
+}
+
+impl SynthesizeRequest {
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`ApiError`] naming the offending field.
+    pub fn from_body(body: &str) -> Result<SynthesizeRequest, ApiError> {
+        let v = parse_body(body)?;
+        reject_unknown(&v, "", &["kernel", "scale", "synth"])?;
+        Ok(SynthesizeRequest {
+            kernel: kernel_field(&v, "")?,
+            scale: scale_field(&v, "")?,
+            synth: synth_field(&v, "", SynthOptions::default())?,
+        })
+    }
+
+    /// The canonical request string (the cache/coalescing key).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "synthesize|kernel={}|n={}|synth={}",
+            self.kernel.name(),
+            self.scale.n,
+            synth_key(&self.synth),
+        )
+    }
+}
+
+/// A validated `POST /simulate` request.
+#[derive(Clone, Debug)]
+pub struct SimulateRequest {
+    /// The kernel to run.
+    pub kernel: Kernel,
+    /// Workload scale.
+    pub scale: Scale,
+    /// The resolved machine point.
+    pub scenario: ScenarioSpec,
+    /// Synthesis options for the FITS side.
+    pub synth: SynthOptions,
+    scenario_canonical: String,
+}
+
+impl SimulateRequest {
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`ApiError`] naming the offending field.
+    pub fn from_body(body: &str) -> Result<SimulateRequest, ApiError> {
+        let v = parse_body(body)?;
+        reject_unknown(
+            &v,
+            "",
+            &[
+                "kernel",
+                "scale",
+                "scenario",
+                "tech",
+                "icache_bytes",
+                "synth",
+            ],
+        )?;
+        let kernel = kernel_field(&v, "")?;
+        let scale = scale_field(&v, "")?;
+        let (scenario_canonical, scenario) = scenario_fields(&v, "")?;
+        let synth = synth_field(&v, "", scenario.synth.clone())?;
+        Ok(SimulateRequest {
+            kernel,
+            scale,
+            scenario,
+            synth,
+            scenario_canonical,
+        })
+    }
+
+    /// The canonical request string (the cache/coalescing key). Built from
+    /// the *request* fields, not the derived scenario id — two presets can
+    /// resize to the same id while describing different machines.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "simulate|kernel={}|n={}|{}|synth={}",
+            self.kernel.name(),
+            self.scale.n,
+            self.scenario_canonical,
+            synth_key(&self.synth),
+        )
+    }
+}
+
+/// A validated `POST /sweep` request.
+#[derive(Clone, Debug)]
+pub struct SweepRequest {
+    /// Kernels to sweep (defaults to the full suite).
+    pub kernels: Vec<Kernel>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// The grid to measure.
+    pub matrix: ScenarioMatrix,
+    /// Synthesis options shared by every point.
+    pub synth: SynthOptions,
+    canonical: String,
+}
+
+impl SweepRequest {
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`ApiError`] naming the offending field.
+    pub fn from_body(body: &str) -> Result<SweepRequest, ApiError> {
+        let v = parse_body(body)?;
+        reject_unknown(
+            &v,
+            "",
+            &[
+                "kernels",
+                "scale",
+                "scenario",
+                "icache_bytes",
+                "tech",
+                "synth",
+            ],
+        )?;
+        let scale = scale_field(&v, "")?;
+
+        let kernels = match v.get("kernels") {
+            None => Kernel::ALL.to_vec(),
+            Some(Value::Arr(items)) => {
+                let mut kernels = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let name = item.as_str().ok_or_else(|| {
+                        ApiError::new("bad_type", &format!("/kernels/{i}"), "expected a string")
+                    })?;
+                    let k = Kernel::from_name(name).ok_or_else(|| {
+                        ApiError::new(
+                            "bad_value",
+                            &format!("/kernels/{i}"),
+                            format!("unknown kernel {name:?}"),
+                        )
+                    })?;
+                    if kernels.contains(&k) {
+                        return Err(ApiError::new(
+                            "bad_value",
+                            &format!("/kernels/{i}"),
+                            format!("duplicate kernel {name:?}"),
+                        ));
+                    }
+                    kernels.push(k);
+                }
+                if kernels.is_empty() {
+                    return Err(ApiError::new(
+                        "bad_value",
+                        "/kernels",
+                        "kernel list must not be empty",
+                    ));
+                }
+                kernels
+            }
+            Some(_) => return Err(ApiError::new("bad_type", "/kernels", "expected an array")),
+        };
+
+        let preset = opt_str(&v, "", "scenario")?.unwrap_or("sa1100").to_string();
+        let base = ScenarioSpec::preset(&preset).ok_or_else(|| {
+            ApiError::new(
+                "bad_value",
+                "/scenario",
+                format!(
+                    "unknown scenario preset {preset:?} (presets: {})",
+                    PRESET_NAMES.join(" ")
+                ),
+            )
+        })?;
+
+        let sizes: Vec<u32> = match v.get("icache_bytes") {
+            None => vec![16 * 1024, 8 * 1024],
+            Some(Value::Arr(items)) => {
+                if items.is_empty() || items.len() > MAX_SWEEP_SIZES {
+                    return Err(ApiError::new(
+                        "bad_value",
+                        "/icache_bytes",
+                        format!("expected 1..={MAX_SWEEP_SIZES} sizes"),
+                    ));
+                }
+                let mut sizes = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let n = item.as_f64().ok_or_else(|| {
+                        ApiError::new(
+                            "bad_type",
+                            &format!("/icache_bytes/{i}"),
+                            "expected a number",
+                        )
+                    })?;
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let bytes = n as u32;
+                    if n.fract() != 0.0 || !(256.0..=16_777_216.0).contains(&n) {
+                        return Err(ApiError::new(
+                            "bad_value",
+                            &format!("/icache_bytes/{i}"),
+                            format!("expected an integer byte count in [256, 2^24], got {n}"),
+                        ));
+                    }
+                    sizes.push(bytes);
+                }
+                sizes
+            }
+            Some(_) => {
+                return Err(ApiError::new(
+                    "bad_type",
+                    "/icache_bytes",
+                    "expected an array",
+                ))
+            }
+        };
+
+        let tech_names: Vec<String> = match v.get("tech") {
+            None => vec![base.tech_name.clone()],
+            Some(Value::Arr(items)) => {
+                if items.is_empty() {
+                    return Err(ApiError::new(
+                        "bad_value",
+                        "/tech",
+                        "tech list must not be empty",
+                    ));
+                }
+                let mut names = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let name = item.as_str().ok_or_else(|| {
+                        ApiError::new("bad_type", &format!("/tech/{i}"), "expected a string")
+                    })?;
+                    if tech_preset(name).is_none() {
+                        return Err(ApiError::new(
+                            "bad_value",
+                            &format!("/tech/{i}"),
+                            format!(
+                                "unknown tech node {name:?} (nodes: {})",
+                                TECH_NAMES.join(" ")
+                            ),
+                        ));
+                    }
+                    names.push(name.to_string());
+                }
+                names
+            }
+            Some(_) => return Err(ApiError::new("bad_type", "/tech", "expected an array")),
+        };
+
+        let synth = synth_field(&v, "", base.synth.clone())?;
+        let nodes: Vec<(String, fits_power::TechParams)> = tech_names
+            .iter()
+            .map(|name| {
+                let params = tech_preset(name).unwrap_or_else(|| base.tech.clone());
+                (name.clone(), params)
+            })
+            .collect();
+        let matrix = ScenarioMatrix::grid(&base, &sizes, &nodes)
+            .map_err(|e| ApiError::new("bad_value", "/icache_bytes", e.to_string()))?;
+
+        let canonical = format!(
+            "sweep|kernels={}|n={}|preset={}|sizes={}|tech={}|synth={}",
+            kernels
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join("+"),
+            scale.n,
+            preset,
+            sizes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            tech_names.join(","),
+            synth_key(&synth),
+        );
+        Ok(SweepRequest {
+            kernels,
+            scale,
+            matrix,
+            synth,
+            canonical,
+        })
+    }
+
+    /// The canonical request string (the cache/coalescing key).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        self.canonical.clone()
+    }
+}
+
+// ---------------------------------------------------------------- responses
+
+fn saving(ours: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        1.0 - ours / base
+    }
+}
+
+fn synth_json(options: &SynthOptions) -> String {
+    format!(
+        "{{\"toggle_aware\": {}, \"reg_bits\": {}, \"space_budget\": {:.6}, \"max_dict_bits\": {}}}",
+        options.toggle_aware, options.reg_bits, options.space_budget, options.max_dict_bits,
+    )
+}
+
+/// Computes the `/synthesize` response body — a pure function of the
+/// request given a deterministic pipeline, shared by the daemon and the
+/// differential tests.
+///
+/// # Errors
+///
+/// Propagates pipeline failures ([`ExperimentError`]), reported as 500s.
+pub fn synthesize_body(
+    artifacts: &Artifacts,
+    req: &SynthesizeRequest,
+) -> Result<String, ExperimentError> {
+    let program = artifacts.program(req.kernel, req.scale)?;
+    let flow = artifacts.flow(req.kernel, req.scale)?;
+    let thumb = artifacts.thumb(req.kernel, req.scale)?;
+    Ok(format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"synthesize\",\n  \
+         \"kernel\": \"{kernel}\",\n  \"scale_n\": {n},\n  \"synth\": {synth},\n  \
+         \"arm_code_bytes\": {arm},\n  \"thumb_code_bytes\": {thumb},\n  \
+         \"fits_code_bytes\": {fits},\n  \"code_ratio\": {ratio:.6},\n  \
+         \"mapping_static\": {ms:.6},\n  \"mapping_dynamic\": {md:.6},\n  \
+         \"config_bits\": {bits},\n  \"iterations\": {iters}\n}}\n",
+        kernel = escape(req.kernel.name()),
+        n = req.scale.n,
+        synth = synth_json(&req.synth),
+        arm = program.code_bytes(),
+        thumb = thumb.code_bytes(),
+        fits = flow.fits.code_bytes(),
+        ratio = flow.code_ratio(program.code_bytes()),
+        ms = flow.mapping.static_one_to_one_rate(),
+        md = flow.dynamic_rate(),
+        bits = flow.fits.config.config_bits(),
+        iters = flow.iterations,
+    ))
+}
+
+/// Computes the `/simulate` response body (both ISAs at one machine
+/// point, per-ISA numbers in the sweep schema's shape).
+///
+/// # Errors
+///
+/// Propagates pipeline failures ([`ExperimentError`]), reported as 500s.
+pub fn simulate_body(
+    artifacts: &Artifacts,
+    req: &SimulateRequest,
+) -> Result<String, ExperimentError> {
+    let matrix = ScenarioMatrix {
+        scenarios: vec![req.scenario.clone()],
+    };
+    let mut runs = run_kernel_scenarios(artifacts, req.kernel, req.scale, &matrix)?;
+    let run = runs.remove(0);
+    let arm = fits_bench::IsaAggregate::from_run(&run.arm);
+    let fits = fits_bench::IsaAggregate::from_run(&run.fits);
+    Ok(format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"simulate\",\n  \
+         \"kernel\": \"{kernel}\",\n  \"scale_n\": {n},\n  \"scenario\": \"{id}\",\n  \
+         \"icache_bytes\": {bytes},\n  \"tech\": \"{tech}\",\n  \"arm\": {arm},\n  \
+         \"fits\": {fits},\n  \"icache_saving\": {isave:.6},\n  \"chip_saving\": {csave:.6}\n}}\n",
+        kernel = escape(req.kernel.name()),
+        n = req.scale.n,
+        id = escape(run.scenario.id()),
+        bytes = run.scenario.icache.size_bytes,
+        tech = escape(&run.scenario.tech_name),
+        arm = isa_json(&arm),
+        fits = isa_json(&fits),
+        isave = saving(fits.icache_j(), arm.icache_j()),
+        csave = saving(fits.chip_j, arm.chip_j),
+    ))
+}
+
+/// Computes the `/sweep` response body. Unlike the `fitssweep` archive
+/// this carries no provenance stamp — responses must stay pure functions
+/// of the request for the cache to be sound.
+///
+/// # Errors
+///
+/// Propagates pipeline failures ([`ExperimentError`]), reported as 500s.
+pub fn sweep_body(artifacts: &Artifacts, req: &SweepRequest) -> Result<String, ExperimentError> {
+    let results = fits_bench::run_sweep_with(artifacts, &req.kernels, req.scale, &req.matrix)?;
+    let kernels: Vec<String> = results
+        .kernels
+        .iter()
+        .map(|k| format!("\"{}\"", escape(k.name())))
+        .collect();
+    let sizes: Vec<String> = results
+        .icache_sizes
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let tech: Vec<String> = results
+        .tech_names
+        .iter()
+        .map(|t| format!("\"{}\"", escape(t)))
+        .collect();
+    let scenarios: Vec<String> = results
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"id\": \"{id}\", \"icache_bytes\": {bytes}, \"tech\": \"{tech}\", \
+                 \"arm\": {arm}, \"fits\": {fits}, \"icache_saving\": {isave:.6}, \
+                 \"chip_saving\": {csave:.6}}}",
+                id = escape(&p.id),
+                bytes = p.icache_bytes,
+                tech = escape(&p.tech_name),
+                arm = isa_json(&p.arm),
+                fits = isa_json(&p.fits),
+                isave = p.icache_saving(),
+                csave = p.chip_saving(),
+            )
+        })
+        .collect();
+    Ok(format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"sweep\",\n  \"scale_n\": {n},\n  \
+         \"executions_per_kernel\": {execs},\n  \"kernels\": [{kernels}],\n  \
+         \"grid\": {{\"icache_bytes\": [{sizes}], \"tech\": [{tech}]}},\n  \
+         \"scenarios\": [\n{scenarios}\n  ]\n}}\n",
+        n = results.scale.n,
+        execs = results.executions_per_kernel,
+        kernels = kernels.join(", "),
+        sizes = sizes.join(", "),
+        tech = tech.join(", "),
+        scenarios = scenarios.join(",\n"),
+    ))
+}
+
+/// The `GET /healthz` body.
+#[must_use]
+pub fn healthz_body() -> String {
+    let presets: Vec<String> = PRESET_NAMES
+        .iter()
+        .map(|p| format!("\"{}\"", escape(p)))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"healthz\",\n  \
+         \"status\": \"ok\",\n  \"kernels\": {},\n  \"presets\": [{}]\n}}\n",
+        Kernel::ALL.len(),
+        presets.join(", "),
+    )
+}
+
+/// The 500 body for a pipeline failure.
+#[must_use]
+pub fn internal_error_body(err: &ExperimentError) -> String {
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"error\",\n  \"error\": {{\
+         \"code\": \"internal\", \"pointer\": \"\", \"message\": \"{}\"}}\n}}\n",
+        escape(&err.to_string()),
+    )
+}
+
+// ---------------------------------------------------------------- validation
+
+fn need_str(ctx: &str, v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Str(_)) => Ok(()),
+        _ => Err(format!("{ctx}: missing string field \"{key}\"")),
+    }
+}
+
+fn need_num(ctx: &str, v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Num(_)) => Ok(()),
+        _ => Err(format!("{ctx}: missing number field \"{key}\"")),
+    }
+}
+
+fn need_isa(ctx: &str, v: &Value, key: &str) -> Result<(), String> {
+    let side = v
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing object field \"{key}\""))?;
+    for field in [
+        "cycles",
+        "icache_j",
+        "icache_switching_j",
+        "icache_internal_j",
+        "icache_leakage_j",
+        "chip_j",
+        "peak_w",
+    ] {
+        need_num(&format!("{ctx} \"{key}\""), side, field)?;
+    }
+    Ok(())
+}
+
+/// Validates any `fitsd` response body against the `powerfits-serve-v1`
+/// schema and returns the endpoint it claims to be. `fitsctl` runs this
+/// over every response it receives; the loopback tests and the CI smoke
+/// job reuse it.
+///
+/// # Errors
+///
+/// A description of the first violation.
+pub fn validate_serve_json(text: &str) -> Result<String, String> {
+    let v = parse(text).map_err(|e| e.to_string())?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("schema must be \"{SCHEMA}\", got {other:?}")),
+    }
+    let endpoint = v
+        .get("endpoint")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field \"endpoint\"".to_string())?
+        .to_string();
+    match endpoint.as_str() {
+        "healthz" => {
+            need_str("healthz", &v, "status")?;
+            if v.get("status").and_then(Value::as_str) != Some("ok") {
+                return Err("healthz status is not \"ok\"".to_string());
+            }
+            need_num("healthz", &v, "kernels")?;
+        }
+        "metrics" => {
+            for key in [
+                "requests",
+                "ok",
+                "client_errors",
+                "server_errors",
+                "rejected",
+                "cache_hits",
+                "coalesced_joins",
+                "executions",
+                "cache_entries",
+                "queue_depth",
+                "queue_capacity",
+                "workers",
+            ] {
+                need_num("metrics", &v, key)?;
+            }
+            let lat = v
+                .get("latency_us")
+                .ok_or_else(|| "metrics: missing object field \"latency_us\"".to_string())?;
+            for key in ["count", "mean", "p50", "p99", "max"] {
+                need_num("metrics latency_us", lat, key)?;
+            }
+            match v.get("spans") {
+                Some(Value::Arr(spans)) => {
+                    for (i, span) in spans.iter().enumerate() {
+                        let ctx = format!("metrics span {i}");
+                        need_str(&ctx, span, "path")?;
+                        need_num(&ctx, span, "ms")?;
+                        need_num(&ctx, span, "count")?;
+                    }
+                }
+                _ => return Err("metrics: missing array field \"spans\"".to_string()),
+            }
+        }
+        "synthesize" => {
+            need_str("synthesize", &v, "kernel")?;
+            for key in [
+                "scale_n",
+                "arm_code_bytes",
+                "thumb_code_bytes",
+                "fits_code_bytes",
+                "code_ratio",
+                "mapping_static",
+                "mapping_dynamic",
+                "config_bits",
+                "iterations",
+            ] {
+                need_num("synthesize", &v, key)?;
+            }
+        }
+        "simulate" => {
+            need_str("simulate", &v, "kernel")?;
+            need_str("simulate", &v, "scenario")?;
+            need_str("simulate", &v, "tech")?;
+            for key in ["scale_n", "icache_bytes", "icache_saving", "chip_saving"] {
+                need_num("simulate", &v, key)?;
+            }
+            need_isa("simulate", &v, "arm")?;
+            need_isa("simulate", &v, "fits")?;
+        }
+        "sweep" => {
+            need_num("sweep", &v, "scale_n")?;
+            need_num("sweep", &v, "executions_per_kernel")?;
+            let scenarios = match v.get("scenarios") {
+                Some(Value::Arr(items)) if !items.is_empty() => items,
+                _ => return Err("sweep: missing non-empty array \"scenarios\"".to_string()),
+            };
+            for (i, s) in scenarios.iter().enumerate() {
+                let ctx = format!("sweep scenario {i}");
+                need_str(&ctx, s, "id")?;
+                need_isa(&ctx, s, "arm")?;
+                need_isa(&ctx, s, "fits")?;
+            }
+        }
+        "error" => {
+            let err = v
+                .get("error")
+                .ok_or_else(|| "error: missing object field \"error\"".to_string())?;
+            need_str("error", err, "code")?;
+            need_str("error", err, "pointer")?;
+            need_str("error", err, "message")?;
+        }
+        other => return Err(format!("unknown endpoint \"{other}\"")),
+    }
+    Ok(endpoint)
+}
+
+/// Dispatches a parsed POST request: canonical key plus the computation to
+/// run on miss. The server's cache/coalesce layer wraps this.
+pub enum PostRequest {
+    /// `POST /synthesize`.
+    Synthesize(SynthesizeRequest),
+    /// `POST /simulate`.
+    Simulate(Box<SimulateRequest>),
+    /// `POST /sweep`.
+    Sweep(SweepRequest),
+}
+
+impl PostRequest {
+    /// Parses the body for `target` (`"/synthesize"` etc.).
+    ///
+    /// # Errors
+    ///
+    /// A structured [`ApiError`]; `None` canonical target returns
+    /// `Err(None)`-free: unknown targets are handled by the router before
+    /// this is called.
+    pub fn from_target(target: &str, body: &str) -> Result<Option<PostRequest>, ApiError> {
+        match target {
+            "/synthesize" => Ok(Some(PostRequest::Synthesize(SynthesizeRequest::from_body(
+                body,
+            )?))),
+            "/simulate" => Ok(Some(PostRequest::Simulate(Box::new(
+                SimulateRequest::from_body(body)?,
+            )))),
+            "/sweep" => Ok(Some(PostRequest::Sweep(SweepRequest::from_body(body)?))),
+            _ => Ok(None),
+        }
+    }
+
+    /// The canonical request string.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            PostRequest::Synthesize(r) => r.canonical(),
+            PostRequest::Simulate(r) => r.canonical(),
+            PostRequest::Sweep(r) => r.canonical(),
+        }
+    }
+
+    /// The synthesis options of the request (selects the [`Artifacts`]
+    /// cache in the pool).
+    #[must_use]
+    pub fn synth(&self) -> &SynthOptions {
+        match self {
+            PostRequest::Synthesize(r) => &r.synth,
+            PostRequest::Simulate(r) => &r.synth,
+            PostRequest::Sweep(r) => &r.synth,
+        }
+    }
+
+    /// Runs the computation against an artifact cache configured for
+    /// [`PostRequest::synth`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures ([`ExperimentError`]).
+    pub fn compute(&self, artifacts: &Artifacts) -> Result<String, ExperimentError> {
+        match self {
+            PostRequest::Synthesize(r) => synthesize_body(artifacts, r),
+            PostRequest::Simulate(r) => simulate_body(artifacts, r),
+            PostRequest::Sweep(r) => sweep_body(artifacts, r),
+        }
+    }
+}
+
+/// Shared artifact-pool handle the server threads use.
+pub type SharedArtifacts = Arc<fits_bench::ArtifactsPool>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_parse_from_an_empty_body() {
+        let req = SynthesizeRequest::from_body("{\"kernel\": \"crc32\"}").unwrap();
+        assert_eq!(req.kernel, Kernel::Crc32);
+        assert_eq!(req.scale.n, Scale::test().n);
+        assert_eq!(
+            req.canonical(),
+            "synthesize|kernel=crc32|n=64|synth=toggle:1,reg:4,space:1.000000,dict:6"
+        );
+        let sim = SimulateRequest::from_body("{\"kernel\": \"sha\"}").unwrap();
+        assert_eq!(sim.scenario.id(), "sa1100-i16k");
+        let sweep = SweepRequest::from_body("").unwrap();
+        assert_eq!(sweep.kernels.len(), Kernel::ALL.len());
+        assert_eq!(sweep.matrix.len(), 2, "default grid: two sizes, one node");
+    }
+
+    #[test]
+    fn structured_errors_point_at_the_offending_field() {
+        let err = SynthesizeRequest::from_body("{\"kernel\": \"nope\"}").unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/kernel"));
+        let err = SynthesizeRequest::from_body("{}").unwrap_err();
+        assert_eq!(
+            (err.code, err.pointer.as_str()),
+            ("missing_field", "/kernel")
+        );
+        let err = SynthesizeRequest::from_body("not json").unwrap_err();
+        assert_eq!(err.code, "parse");
+        let err = SynthesizeRequest::from_body("{\"kernel\": \"crc32\", \"scal\": 2}").unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("unknown_field", "/scal"));
+        let err = SynthesizeRequest::from_body("{\"kernel\": \"crc32\", \"scale\": 9999999}")
+            .unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/scale"));
+        let err =
+            SynthesizeRequest::from_body("{\"kernel\": \"crc32\", \"synth\": {\"reg_bits\": 7}}")
+                .unwrap_err();
+        assert_eq!(
+            (err.code, err.pointer.as_str()),
+            ("bad_value", "/synth/reg_bits")
+        );
+        let err =
+            SimulateRequest::from_body("{\"kernel\": \"crc32\", \"tech\": \"3nm\"}").unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/tech"));
+        let err = SimulateRequest::from_body("{\"kernel\": \"crc32\", \"icache_bytes\": 1000}")
+            .unwrap_err();
+        assert_eq!(err.pointer, "/icache_bytes");
+        // Every rejection renders as a schema-valid error body.
+        assert_eq!(validate_serve_json(&err.body()).unwrap(), "error");
+    }
+
+    #[test]
+    fn canonical_keys_separate_distinct_requests() {
+        let a = SimulateRequest::from_body("{\"kernel\": \"crc32\"}").unwrap();
+        let b = SimulateRequest::from_body(
+            "{\"kernel\": \"crc32\", \"scenario\": \"small-embedded\", \"icache_bytes\": 8192}",
+        )
+        .unwrap();
+        let c =
+            SimulateRequest::from_body("{\"kernel\": \"crc32\", \"icache_bytes\": 8192}").unwrap();
+        assert_ne!(a.canonical(), b.canonical());
+        // Same derived id family would collide; the canonical key must not.
+        assert_ne!(b.canonical(), c.canonical());
+        // Identical requests written with different whitespace/field order
+        // share a key.
+        let d = SimulateRequest::from_body("{  \"icache_bytes\": 8192, \"kernel\": \"crc32\" }")
+            .unwrap();
+        assert_eq!(c.canonical(), d.canonical());
+    }
+
+    #[test]
+    fn sweep_request_builds_the_grid() {
+        let req = SweepRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"sha\"], \"scale\": 64, \
+             \"icache_bytes\": [16384, 8192], \"tech\": [\"sa1100\", \"65nm\"]}",
+        )
+        .unwrap();
+        assert_eq!(req.kernels, vec![Kernel::Crc32, Kernel::Sha]);
+        assert_eq!(req.matrix.len(), 4);
+        assert!(req.canonical().contains("kernels=crc32+sha"));
+        let err = SweepRequest::from_body("{\"kernels\": [\"crc32\", \"crc32\"]}").unwrap_err();
+        assert_eq!(err.pointer, "/kernels/1");
+    }
+
+    #[test]
+    fn healthz_and_errors_validate() {
+        assert_eq!(validate_serve_json(&healthz_body()).unwrap(), "healthz");
+        assert!(validate_serve_json("{\"schema\": \"other\"}").is_err());
+        assert!(validate_serve_json("{}").is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! `fitsctl` — client and load generator for `fitsd`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fitsctl [--addr HOST:PORT] COMMAND [ARGS]
+//!
+//!   health                    GET /healthz
+//!   metrics                   GET /metrics
+//!   wait [--timeout SECS]     poll /healthz until the daemon answers
+//!   synthesize [JSON]         POST /synthesize (default {"kernel":"crc32"})
+//!   simulate   [JSON]         POST /simulate   (default {"kernel":"crc32"})
+//!   sweep      [JSON]         POST /sweep      (default {} = full grid)
+//!   smoke                     drive every endpoint once, validate schemas
+//!   bench [--clients N] [--passes N] [--expect-hit-rate F]
+//!                             load-generate the full kernel suite
+//! ```
+//!
+//! Every response body is validated against the `powerfits-serve-v1`
+//! schema before it is accepted; any violation is a failure. `bench`
+//! fans the full 21-kernel suite out over `--clients` threads for
+//! `--passes` passes and demands zero failed requests and byte-identical
+//! bodies across clients; with `--expect-hit-rate` it also enforces a
+//! minimum cache-hit rate on the final pass (the acceptance gate is 0.9).
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fits_kernels::kernels::Kernel;
+use fits_serve::client::{get, post, request_raw};
+use fits_serve::validate_serve_json;
+
+struct Options {
+    addr: String,
+    command: String,
+    rest: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut addr = "127.0.0.1:4717".to_string();
+    let mut command = String::new();
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" if command.is_empty() => {
+                addr = args.next().unwrap_or_else(|| usage("--addr needs a value"));
+            }
+            "--help" | "-h" if command.is_empty() => usage(""),
+            _ if command.is_empty() => command = arg,
+            _ => rest.push(arg),
+        }
+    }
+    if command.is_empty() {
+        usage("a command is required");
+    }
+    Options {
+        addr,
+        command,
+        rest,
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("fitsctl: {err}");
+    }
+    eprintln!(
+        "usage: fitsctl [--addr HOST:PORT] COMMAND\n\
+         commands: health | metrics | wait [--timeout SECS] | \
+         synthesize [JSON] | simulate [JSON] | sweep [JSON] | smoke | \
+         bench [--clients N] [--passes N] [--expect-hit-rate F]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn fail(what: &str, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("fitsctl: {what}: {err}");
+    std::process::exit(1);
+}
+
+fn resolve(addr: &str) -> SocketAddr {
+    match addr.to_socket_addrs() {
+        Ok(mut addrs) => match addrs.next() {
+            Some(a) => a,
+            None => fail("resolve", &format!("{addr} resolved to nothing")),
+        },
+        Err(e) => fail(&format!("resolve {addr}"), &e),
+    }
+}
+
+/// Fetches, validates, and prints one response; exits nonzero on a non-2xx
+/// status or a schema violation.
+fn checked(addr: SocketAddr, method: &str, target: &str, body: &str) -> String {
+    let result = if method == "GET" {
+        get(addr, target)
+    } else {
+        post(addr, target, body)
+    };
+    let (status, text) = match result {
+        Ok(r) => r,
+        Err(e) => fail(&format!("{method} {target}"), &e),
+    };
+    if let Err(e) = validate_serve_json(&text) {
+        fail(&format!("{method} {target} schema"), &e);
+    }
+    if !(200..300).contains(&status) {
+        eprintln!("fitsctl: {method} {target}: HTTP {status}");
+        eprintln!("{text}");
+        std::process::exit(1);
+    }
+    text
+}
+
+fn cmd_wait(addr: SocketAddr, rest: &[String]) {
+    let mut timeout = Duration::from_secs(120);
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--timeout" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--timeout needs a value"));
+                let secs: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --timeout value: {v}")));
+                timeout = Duration::from_secs(secs);
+            }
+            other => usage(&format!("unknown wait argument: {other}")),
+        }
+    }
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok((200, body)) = get(addr, "/healthz") {
+            if validate_serve_json(&body).is_ok() {
+                println!("fitsctl: {addr} is up");
+                return;
+            }
+        }
+        if Instant::now() >= deadline {
+            fail("wait", &format!("{addr} not healthy after {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn cmd_smoke(addr: SocketAddr) {
+    checked(addr, "GET", "/healthz", "");
+    let body = checked(addr, "POST", "/synthesize", "{\"kernel\": \"crc32\"}");
+    // Re-issuing the identical request must serve the identical bytes.
+    let again = checked(addr, "POST", "/synthesize", "{\"kernel\": \"crc32\"}");
+    if body != again {
+        fail("smoke", &"repeated /synthesize responses differ");
+    }
+    checked(addr, "POST", "/simulate", "{\"kernel\": \"crc32\"}");
+    checked(
+        addr,
+        "POST",
+        "/sweep",
+        "{\"kernels\": [\"crc32\", \"sha\"], \"icache_bytes\": [16384, 8192]}",
+    );
+    // A bad body must come back as a schema-valid structured 400.
+    match post(addr, "/synthesize", "{\"kernel\": \"no-such-kernel\"}") {
+        Ok((400, text)) => match validate_serve_json(&text) {
+            Ok(endpoint) if endpoint == "error" => {}
+            Ok(endpoint) => fail("smoke", &format!("400 body has endpoint {endpoint:?}")),
+            Err(e) => fail("smoke 400 schema", &e),
+        },
+        Ok((status, _)) => fail(
+            "smoke",
+            &format!("bad body answered HTTP {status}, want 400"),
+        ),
+        Err(e) => fail("smoke bad-body request", &e),
+    }
+    checked(addr, "GET", "/metrics", "");
+    println!("fitsctl: smoke ok");
+}
+
+struct BenchOptions {
+    clients: usize,
+    passes: usize,
+    expect_hit_rate: Option<f64>,
+}
+
+fn parse_bench(rest: &[String]) -> BenchOptions {
+    let mut opts = BenchOptions {
+        clients: 8,
+        passes: 2,
+        expect_hit_rate: None,
+    };
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        let mut num = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--clients" => {
+                let v = num("--clients");
+                opts.clients = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --clients value: {v}")));
+            }
+            "--passes" => {
+                let v = num("--passes");
+                opts.passes = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --passes value: {v}")));
+            }
+            "--expect-hit-rate" => {
+                let v = num("--expect-hit-rate");
+                let rate: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --expect-hit-rate value: {v}")));
+                opts.expect_hit_rate = Some(rate);
+            }
+            other => usage(&format!("unknown bench argument: {other}")),
+        }
+    }
+    if opts.clients == 0 || opts.passes == 0 {
+        usage("--clients and --passes must be at least 1");
+    }
+    opts
+}
+
+#[derive(Default)]
+struct ClientReport {
+    bodies: Vec<Option<String>>,
+    failures: u64,
+    retries: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+/// One request with retry-on-503: the load generator honors the daemon's
+/// backpressure instead of counting sheds as failures.
+fn bench_request(
+    addr: SocketAddr,
+    target: &str,
+    body: &str,
+    report: &mut ClientReport,
+) -> Option<String> {
+    for _attempt in 0..100 {
+        match request_raw(addr, "POST", target, body) {
+            Ok(response) if response.status == 503 => {
+                report.retries += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(response) => {
+                if response.status != 200 || validate_serve_json(&response.body).is_err() {
+                    report.failures += 1;
+                    return None;
+                }
+                match response.header("x-cache") {
+                    Some("hit") => report.hits += 1,
+                    Some("coalesced") => report.coalesced += 1,
+                    _ => report.misses += 1,
+                }
+                return Some(response.body);
+            }
+            Err(_) => {
+                report.failures += 1;
+                return None;
+            }
+        }
+    }
+    report.failures += 1;
+    None
+}
+
+fn cmd_bench(addr: SocketAddr, rest: &[String]) {
+    let opts = parse_bench(rest);
+    let jobs: Arc<Vec<(String, String)>> = Arc::new(
+        Kernel::ALL
+            .iter()
+            .flat_map(|k| {
+                [
+                    (
+                        "/synthesize".to_string(),
+                        format!("{{\"kernel\": \"{}\"}}", k.name()),
+                    ),
+                    (
+                        "/simulate".to_string(),
+                        format!("{{\"kernel\": \"{}\"}}", k.name()),
+                    ),
+                ]
+            })
+            .collect(),
+    );
+    println!(
+        "fitsctl: bench {} jobs x {} clients x {} passes against {addr}",
+        jobs.len(),
+        opts.clients,
+        opts.passes
+    );
+
+    let mut exit_code = 0;
+    for pass in 1..=opts.passes {
+        let started = Instant::now();
+        let reports: Vec<ClientReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..opts.clients)
+                .map(|client| {
+                    let jobs = Arc::clone(&jobs);
+                    s.spawn(move || {
+                        let mut report = ClientReport {
+                            bodies: vec![None; jobs.len()],
+                            ..ClientReport::default()
+                        };
+                        // Each client starts at a different rotation so
+                        // identical jobs overlap in flight (coalescing food).
+                        let offset = client * jobs.len() / opts.clients.max(1);
+                        for i in 0..jobs.len() {
+                            let idx = (offset + i) % jobs.len();
+                            let (target, body) = &jobs[idx];
+                            report.bodies[idx] = bench_request(addr, target, body, &mut report);
+                        }
+                        report
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(report) => report,
+                    Err(_) => ClientReport {
+                        failures: 1,
+                        ..ClientReport::default()
+                    },
+                })
+                .collect()
+        });
+
+        let failures: u64 = reports.iter().map(|r| r.failures).sum();
+        let retries: u64 = reports.iter().map(|r| r.retries).sum();
+        let hits: u64 = reports.iter().map(|r| r.hits).sum();
+        let misses: u64 = reports.iter().map(|r| r.misses).sum();
+        let coalesced: u64 = reports.iter().map(|r| r.coalesced).sum();
+        let total = hits + misses + coalesced;
+        let hit_rate = if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        };
+
+        // Byte-identical across clients, job by job.
+        let mut mismatches = 0u64;
+        for job in 0..jobs.len() {
+            let mut reference: Option<&String> = None;
+            for report in &reports {
+                if let Some(body) = &report.bodies[job] {
+                    match reference {
+                        None => reference = Some(body),
+                        Some(r) if r == body => {}
+                        Some(_) => mismatches += 1,
+                    }
+                }
+            }
+        }
+
+        println!(
+            "fitsctl: pass {pass}: {total} ok, {failures} failed, {retries} retries, \
+             {hits} hit / {coalesced} coalesced / {misses} miss (hit rate {:.1}%), \
+             {mismatches} body mismatches, {:.2?}",
+            hit_rate * 100.0,
+            started.elapsed()
+        );
+        if failures > 0 || mismatches > 0 {
+            exit_code = 1;
+        }
+        if pass == opts.passes {
+            if let Some(expect) = opts.expect_hit_rate {
+                if hit_rate < expect {
+                    eprintln!(
+                        "fitsctl: final-pass hit rate {:.3} below required {expect:.3}",
+                        hit_rate
+                    );
+                    exit_code = 1;
+                }
+            }
+        }
+    }
+
+    // Close with the server's own view of the run.
+    let (status, metrics) = match get(addr, "/metrics") {
+        Ok(r) => r,
+        Err(e) => fail("GET /metrics", &e),
+    };
+    if status == 200 && validate_serve_json(&metrics).is_ok() {
+        println!("{metrics}");
+    }
+    if exit_code != 0 {
+        eprintln!("fitsctl: bench FAILED");
+    }
+    std::process::exit(exit_code);
+}
+
+fn main() {
+    let opts = parse_args();
+    let addr = resolve(&opts.addr);
+    match opts.command.as_str() {
+        "health" => println!("{}", checked(addr, "GET", "/healthz", "")),
+        "metrics" => println!("{}", checked(addr, "GET", "/metrics", "")),
+        "wait" => cmd_wait(addr, &opts.rest),
+        "smoke" => cmd_smoke(addr),
+        "synthesize" | "simulate" | "sweep" => {
+            let default = if opts.command == "sweep" {
+                "{}"
+            } else {
+                "{\"kernel\": \"crc32\"}"
+            };
+            let body = opts.rest.first().map_or(default, String::as_str);
+            let target = format!("/{}", opts.command);
+            println!("{}", checked(addr, "POST", &target, body));
+        }
+        "bench" => cmd_bench(addr, &opts.rest),
+        other => usage(&format!("unknown command: {other}")),
+    }
+}

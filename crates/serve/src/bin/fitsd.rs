@@ -1,0 +1,93 @@
+//! `fitsd` — the PowerFITS measurement daemon.
+//!
+//! Serves the synthesis/simulation pipeline over HTTP/1.1 + JSON on
+//! `std::net` alone:
+//!
+//! ```text
+//! POST /synthesize   synthesize a kernel's FITS ISA, report code sizes
+//! POST /simulate     both ISAs at one machine point, energy + savings
+//! POST /sweep        a scenario grid over a kernel list
+//! GET  /metrics      service counters, latency, per-endpoint spans
+//! GET  /healthz      liveness
+//! ```
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fits-serve --bin fitsd -- --addr 127.0.0.1:4717
+//! fitsd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ```
+//!
+//! Concurrent identical requests share one execution (coalescing) and
+//! finished responses are cached by canonical request, so a thundering
+//! herd of identical clients costs one pipeline run.
+
+use std::io::Write;
+
+use fits_serve::server::{spawn, ServerConfig};
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4717".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = args.next().unwrap_or_else(|| usage("--addr needs a value"));
+            }
+            "--workers" => {
+                config.workers = parse_num(&mut args, "--workers").max(1);
+            }
+            "--queue" => {
+                config.queue_capacity = parse_num(&mut args, "--queue");
+            }
+            "--cache" => {
+                config.cache_capacity = parse_num(&mut args, "--cache");
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    config
+}
+
+fn parse_num(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    let v = args
+        .next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("invalid {flag} value: {v}")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("fitsd: {err}");
+    }
+    eprintln!("usage: fitsd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let config = parse_args();
+    let handle = match spawn(&config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("fitsd: bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fitsd: listening on http://{} ({} workers, queue {}, cache {})",
+        handle.addr, config.workers, config.queue_capacity, config.cache_capacity
+    );
+    // CI pipes stdout; flush so the listening line is visible immediately.
+    let _ = std::io::stdout().flush();
+
+    // The accept loop and workers carry the service; the main thread only
+    // keeps the process alive (stopping fitsd is SIGTERM's job).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,175 @@
+//! The content-addressed result cache.
+//!
+//! Responses are pure functions of a *canonical request string* (endpoint
+//! plus every parameter in a fixed order, see [`crate::api`]), so the
+//! canonical string is the content address: equal strings → byte-identical
+//! responses. The cache maps canonical strings to finished response bodies
+//! with least-recently-used eviction; the FNV-1a hash of the string
+//! ([`fnv64`]) is the compact address surfaced to clients in the
+//! `X-Fits-Key` header and the metrics.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// 64-bit FNV-1a over a byte string — the compact form of a content
+/// address. Stable across runs and platforms (no `RandomState`), so cache
+/// keys in logs and headers are comparable between daemon instances.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// `fnv64` rendered as the 16-digit hex address clients see.
+#[must_use]
+pub fn content_address(canonical: &str) -> String {
+    format!("{:016x}", fnv64(canonical.as_bytes()))
+}
+
+#[derive(Debug)]
+struct Entry {
+    body: Arc<String>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// An LRU map from canonical request strings to response bodies.
+///
+/// Sized in entries, not bytes: response bodies are small (a few KB) and
+/// bounded by the API shape, so entry count is the honest unit. A capacity
+/// of 0 disables caching entirely (every lookup misses, nothing is
+/// stored).
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` responses.
+    #[must_use]
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The cached body for `canonical`, refreshing its recency.
+    #[must_use]
+    pub fn get(&self, canonical: &str) -> Option<Arc<String>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(canonical)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.body))
+    }
+
+    /// Stores a finished response, evicting least-recently-used entries to
+    /// stay within capacity.
+    pub fn put(&self, canonical: &str, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(canonical) {
+            // A coalesced duplicate finished while we computed; keep the
+            // stored body (they are identical by construction).
+            entry.last_used = tick;
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            inner.map.remove(&oldest);
+        }
+        inner.map.insert(
+            canonical.to_string(),
+            Entry {
+                body,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached responses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_separates_inputs() {
+        // Reference FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64(b"synthesize|crc32"), fnv64(b"synthesize|sha"));
+        assert_eq!(content_address("x").len(), 16);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ResultCache::new(2);
+        cache.put("a", Arc::new("A".to_string()));
+        cache.put("b", Arc::new("B".to_string()));
+        assert_eq!(cache.get("a").as_deref().map(String::as_str), Some("A"));
+        // "b" is now the coldest; inserting "c" must evict it.
+        cache.put("c", Arc::new("C".to_string()));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResultCache::new(0);
+        cache.put("a", Arc::new("A".to_string()));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn put_keeps_the_first_body_for_a_key() {
+        let cache = ResultCache::new(4);
+        let first = Arc::new("one".to_string());
+        cache.put("k", Arc::clone(&first));
+        cache.put("k", Arc::new("two".to_string()));
+        assert!(Arc::ptr_eq(&cache.get("k").unwrap(), &first));
+    }
+}

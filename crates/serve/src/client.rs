@@ -1,0 +1,105 @@
+//! A minimal HTTP/1.1 client for `fitsctl`, the loopback tests, and the
+//! CI smoke job. One request per connection, mirroring the server's
+//! `Connection: close` contract.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Per-request socket timeout. Generous because a cold `/sweep` over the
+/// full suite synthesizes every kernel once.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One parsed response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// The value of `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn io_err(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Socket failures or an unparseable response.
+pub fn request_raw(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: fitsd\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let raw = String::from_utf8(raw).map_err(|_| io_err("non-utf8 response"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io_err("response missing header terminator"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io_err("bad status line"))?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// `GET target` → `(status, body)`.
+///
+/// # Errors
+///
+/// See [`request_raw`].
+pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    let r = request_raw(addr, "GET", target, "")?;
+    Ok((r.status, r.body))
+}
+
+/// `POST target` with a JSON body → `(status, body)`.
+///
+/// # Errors
+///
+/// See [`request_raw`].
+pub fn post(addr: SocketAddr, target: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let r = request_raw(addr, "POST", target, body)?;
+    Ok((r.status, r.body))
+}

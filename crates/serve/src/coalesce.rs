@@ -1,0 +1,169 @@
+//! Request coalescing: concurrent identical requests share one execution.
+//!
+//! The expensive endpoints are pure functions of their canonical request
+//! string, so when N identical requests are in flight at once only the
+//! first (the *leader*) should run the pipeline; the other N-1
+//! (*followers*) block on the leader's slot and wake with the shared
+//! result. This is what turns a thundering herd of `fitsctl bench`
+//! clients into one `Artifacts` computation.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The outcome a leader publishes: the response status and body shared
+/// with every follower (and, for successes, the result cache).
+pub type Shared = Arc<(u16, Arc<String>)>;
+
+#[derive(Debug, Default)]
+struct Slot {
+    done: Mutex<Option<Shared>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn wait(&self) -> Shared {
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = done.as_ref() {
+                return Arc::clone(result);
+            }
+            done = self
+                .cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn fill(&self, result: Shared) {
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *done = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// What [`Coalescer::claim`] decided for this request.
+pub enum Claim {
+    /// This request runs the computation; it MUST call
+    /// [`Coalescer::complete`] with the same canonical key, even on
+    /// failure, or followers block until their socket timeout.
+    Leader,
+    /// An identical request is already running; the contained result is
+    /// its (awaited) outcome.
+    Follower(Shared),
+}
+
+/// The in-flight request table.
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    inflight: Mutex<HashMap<String, Arc<Slot>>>,
+}
+
+impl Coalescer {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Coalescer {
+        Coalescer::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Slot>>> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Claims `canonical`: the first claimant becomes the leader, later
+    /// claimants block until the leader completes and receive its result.
+    #[must_use]
+    pub fn claim(&self, canonical: &str) -> Claim {
+        let slot = {
+            let mut inflight = self.lock();
+            match inflight.get(canonical) {
+                Some(slot) => Some(Arc::clone(slot)),
+                None => {
+                    inflight.insert(canonical.to_string(), Arc::new(Slot::default()));
+                    None
+                }
+            }
+        };
+        match slot {
+            // Waiting happens outside the table lock, so unrelated
+            // requests keep claiming while followers sleep.
+            Some(slot) => Claim::Follower(slot.wait()),
+            None => Claim::Leader,
+        }
+    }
+
+    /// Publishes the leader's result and retires the in-flight entry. New
+    /// claims for the same canonical string after this point start a fresh
+    /// computation (or, for successes, hit the result cache first).
+    pub fn complete(&self, canonical: &str, result: Shared) {
+        let slot = self.lock().remove(canonical);
+        if let Some(slot) = slot {
+            slot.fill(result);
+        }
+    }
+
+    /// Number of requests currently in flight.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn one_leader_many_followers_share_one_result() {
+        let co = Arc::new(Coalescer::new());
+        let executions = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let co = Arc::clone(&co);
+            let executions = Arc::clone(&executions);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                match co.claim("k") {
+                    Claim::Leader => {
+                        // Give followers a moment to pile onto the slot.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        let result: Shared = Arc::new((200, Arc::new("body".to_string())));
+                        co.complete("k", Arc::clone(&result));
+                        result
+                    }
+                    Claim::Follower(shared) => shared,
+                }
+            }));
+        }
+        let results: Vec<Shared> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "exactly one leader");
+        for r in &results {
+            assert_eq!(r.0, 200);
+            assert_eq!(*r.1, "body");
+        }
+        assert_eq!(co.inflight(), 0, "slot retired after completion");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let co = Coalescer::new();
+        assert!(matches!(co.claim("a"), Claim::Leader));
+        assert!(matches!(co.claim("b"), Claim::Leader));
+        co.complete("a", Arc::new((200, Arc::new(String::new()))));
+        co.complete("b", Arc::new((200, Arc::new(String::new()))));
+        // After completion a new claim leads again.
+        assert!(matches!(co.claim("a"), Claim::Leader));
+        co.complete("a", Arc::new((200, Arc::new(String::new()))));
+    }
+}

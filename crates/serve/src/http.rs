@@ -1,0 +1,300 @@
+//! A minimal HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! `fitsd` speaks exactly the subset its clients need — one
+//! `Content-Length`-framed request per connection, JSON bodies, a handful
+//! of response headers — so the whole wire layer stays dependency-free and
+//! small enough to audit. Limits are enforced while *reading* (header and
+//! body caps), so a misbehaving client costs a bounded amount of memory
+//! before it is rejected.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Per-connection socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why a request could not be read off the wire.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket failure (includes timeouts).
+    Io(std::io::Error),
+    /// The bytes were not a parseable HTTP/1.1 request.
+    Malformed(&'static str),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The declared body exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request: method, target path, and the (possibly empty) body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// The request target, e.g. `/synthesize` (query strings are kept
+    /// verbatim; the API has none).
+    pub target: String,
+    /// Decoded body (UTF-8; non-UTF-8 bodies are rejected).
+    pub body: String,
+}
+
+fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut head = Vec::with_capacity(1024);
+    let mut buf = [0u8; 1024];
+    loop {
+        if let Some(pos) = find_crlfcrlf(&head) {
+            let rest = head.split_off(pos + 4);
+            head.truncate(pos);
+            return Ok((head, rest));
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed before head"));
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one request from the stream, enforcing the head/body caps and the
+/// socket timeout.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure, malformed framing, or an oversized
+/// head/body.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let (head, mut body) = read_head(stream)?;
+    let head = String::from_utf8(head).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("missing HTTP version")),
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    if body.len() > content_length {
+        return Err(HttpError::Malformed("body longer than content-length"));
+    }
+    let mut remaining = content_length - body.len();
+    let mut buf = [0u8; 4096];
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        let n = stream.read(&mut buf[..take])?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&buf[..n]);
+        remaining -= n;
+    }
+    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("non-utf8 body"))?;
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
+}
+
+/// One response to write back: status, body, and optional extra headers.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// Extra headers (name, value); `Content-Type`, `Content-Length` and
+    /// `Connection: close` are always emitted.
+    pub headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response with no extra headers.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds a header, builder-style.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a response (always `Connection: close`).
+///
+/// # Errors
+///
+/// Socket write failures.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> Result<(), std::io::Error> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(
+            b"POST /synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/synthesize");
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        assert!(matches!(
+            round_trip(b"NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip(b"POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        let oversized = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            round_trip(oversized.as_bytes()),
+            Err(HttpError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let resp = Response::json(503, "{}".to_string()).with_header("Retry-After", "1".into());
+        write_response(&mut stream, &resp).unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `fits-serve` — the PowerFITS measurement service.
+//!
+//! Turns the library pipeline into a long-lived daemon (`fitsd`) that
+//! answers JSON requests over HTTP/1.1 on `std::net` alone — the
+//! workspace stays dependency-free all the way to the wire:
+//!
+//! - [`http`] — a minimal, bounded HTTP/1.1 reader/writer;
+//! - [`api`] — request schemas, structured 400s, canonical keys, and
+//!   deterministic response bodies;
+//! - [`queue`] — the bounded job queue whose `Full` error becomes
+//!   `503 + Retry-After` backpressure;
+//! - [`coalesce`] — leader/follower sharing of in-flight identical
+//!   requests;
+//! - [`cache`] — the content-addressed LRU over finished responses;
+//! - [`metrics`] — service counters, latency histogram and `fits-obs`
+//!   spans behind `GET /metrics`;
+//! - [`server`] — the accept loop and worker pool tying it together;
+//! - [`client`] — the small HTTP client `fitsctl` and the tests drive
+//!   the daemon with.
+//!
+//! The load-bearing invariant: every POST response is a pure function of
+//! its canonical request string. Caching, coalescing, and the
+//! byte-identical differential tests all lean on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod coalesce;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use api::{validate_serve_json, ApiError, PostRequest, SCHEMA};
+pub use cache::{content_address, fnv64, ResultCache};
+pub use coalesce::{Claim, Coalescer};
+pub use metrics::ServeMetrics;
+pub use queue::{JobQueue, PushError};
+pub use server::{spawn, ServerConfig, ServerHandle, ServerState};

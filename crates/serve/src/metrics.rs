@@ -1,0 +1,144 @@
+//! The daemon's `/metrics` surface: service counters, request latency and
+//! per-endpoint `fits-obs` spans in one JSON snapshot.
+
+use std::time::Duration;
+
+use fits_obs::json::escape;
+use fits_obs::{Counter, LatencyHistogram, SpanRegistry};
+
+/// Everything `fitsd` counts. All fields are lock-free
+/// ([`fits_obs::metrics`]); the span registry takes a short lock per
+/// request, off the cache-hit fast path.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests that reached routing (everything but 503 sheds).
+    pub requests: Counter,
+    /// Responses with status 200.
+    pub ok: Counter,
+    /// Responses with status 4xx.
+    pub client_errors: Counter,
+    /// Responses with status 5xx (excluding sheds).
+    pub server_errors: Counter,
+    /// Connections shed with 503 at the queue door.
+    pub rejected: Counter,
+    /// POST responses served from the result cache.
+    pub cache_hits: Counter,
+    /// POST requests that joined an in-flight identical computation.
+    pub coalesced_joins: Counter,
+    /// Pipeline computations actually executed (cache/coalesce misses).
+    pub executions: Counter,
+    /// End-to-end request latency (read → response written).
+    pub latency: LatencyHistogram,
+    /// Per-endpoint timing spans (`request/<endpoint>`).
+    pub spans: SpanRegistry,
+}
+
+impl ServeMetrics {
+    /// A zeroed metrics set.
+    #[must_use]
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Records one finished request: status class, latency, and the
+    /// endpoint span.
+    pub fn finish(&self, endpoint: &str, status: u16, wall: Duration) {
+        self.requests.inc();
+        match status {
+            200..=299 => self.ok.inc(),
+            400..=499 => self.client_errors.inc(),
+            _ => self.server_errors.inc(),
+        }
+        self.latency.record(wall);
+        self.spans.add(&format!("request/{endpoint}"), wall);
+    }
+
+    /// The `/metrics` JSON body. `queue_depth`/`queue_capacity`/`workers`
+    /// and the cache gauge come from the server, which owns those
+    /// structures.
+    #[must_use]
+    pub fn render_json(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+        cache_entries: usize,
+    ) -> String {
+        let mut spans = Vec::new();
+        self.spans.visit(|path, span| {
+            spans.push(format!(
+                "{{\"path\": \"{}\", \"ms\": {:.3}, \"count\": {}}}",
+                escape(path),
+                span.nanos as f64 / 1.0e6,
+                span.count,
+            ));
+        });
+        format!(
+            "{{\n  \"schema\": \"powerfits-serve-v1\",\n  \"endpoint\": \"metrics\",\n  \
+             \"requests\": {requests},\n  \"ok\": {ok},\n  \"client_errors\": {ce},\n  \
+             \"server_errors\": {se},\n  \"rejected\": {rejected},\n  \
+             \"cache_hits\": {hits},\n  \"coalesced_joins\": {joins},\n  \
+             \"executions\": {execs},\n  \"cache_entries\": {cache_entries},\n  \
+             \"queue_depth\": {queue_depth},\n  \"queue_capacity\": {queue_capacity},\n  \
+             \"workers\": {workers},\n  \"latency_us\": {{\"count\": {lc}, \"mean\": {mean:.1}, \
+             \"p50\": {p50}, \"p99\": {p99}, \"max\": {max}}},\n  \"spans\": [{spans}]\n}}\n",
+            requests = self.requests.get(),
+            ok = self.ok.get(),
+            ce = self.client_errors.get(),
+            se = self.server_errors.get(),
+            rejected = self.rejected.get(),
+            hits = self.cache_hits.get(),
+            joins = self.coalesced_joins.get(),
+            execs = self.executions.get(),
+            lc = self.latency.count(),
+            mean = self.latency.mean_us(),
+            p50 = self.latency.quantile_us(0.50),
+            p99 = self.latency.quantile_us(0.99),
+            max = self.latency.max_us(),
+            spans = spans.join(", "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fits_obs::json::{parse, Value};
+
+    #[test]
+    fn snapshot_is_valid_json_with_all_counters() {
+        let m = ServeMetrics::new();
+        m.finish("synthesize", 200, Duration::from_millis(3));
+        m.finish("synthesize", 400, Duration::from_millis(1));
+        m.finish("sweep", 500, Duration::from_millis(9));
+        m.cache_hits.inc();
+        m.coalesced_joins.add(2);
+        m.rejected.inc();
+        let json = m.render_json(3, 64, 8, 5);
+        let v = parse(&json).expect("metrics snapshot parses");
+        let num = |key: &str| v.get(key).and_then(Value::as_f64).expect(key);
+        assert_eq!(num("requests"), 3.0);
+        assert_eq!(num("ok"), 1.0);
+        assert_eq!(num("client_errors"), 1.0);
+        assert_eq!(num("server_errors"), 1.0);
+        assert_eq!(num("rejected"), 1.0);
+        assert_eq!(num("cache_hits"), 1.0);
+        assert_eq!(num("coalesced_joins"), 2.0);
+        assert_eq!(num("queue_depth"), 3.0);
+        assert_eq!(num("queue_capacity"), 64.0);
+        assert_eq!(num("workers"), 8.0);
+        assert_eq!(num("cache_entries"), 5.0);
+        let lat = v.get("latency_us").expect("latency object");
+        assert_eq!(lat.get("count").and_then(Value::as_f64), Some(3.0));
+        assert!(lat.get("p99").and_then(Value::as_f64).unwrap() >= 1000.0);
+        match v.get("spans") {
+            Some(Value::Arr(items)) => {
+                assert_eq!(items.len(), 2, "same-endpoint spans merge by name");
+                assert!(items
+                    .iter()
+                    .any(|s| s.get("path").and_then(Value::as_str) == Some("request/synthesize")));
+            }
+            other => panic!("spans not an array: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! A bounded MPMC job queue — the daemon's backpressure point.
+//!
+//! The accept loop pushes connections; worker threads pop them. When the
+//! queue is full the push fails immediately and the accept loop answers
+//! `503 Service Unavailable` with `Retry-After`, so overload sheds
+//! cheaply at the door instead of stacking latency invisibly.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue usable from any number of producer and consumer
+/// threads.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — the caller should shed the job.
+    Full,
+    /// The queue was closed — the daemon is shutting down.
+    Closed,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue holding at most `capacity` items.
+    #[must_use]
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity (the backpressure signal),
+    /// [`PushError::Closed`] after [`JobQueue::close`]. The item rides
+    /// back in the error so the caller can reject it gracefully.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means "no more work ever" (worker shutdown).
+    #[must_use]
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .cv
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked consumers wake with `None` once empty.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current depth (the `/metrics` gauge).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_sheds_and_rides_the_item_back() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, err) = q.try_push(3).unwrap_err();
+        assert_eq!((item, err), (3, PushError::Full));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.try_push(1).unwrap_err().1, PushError::Full);
+    }
+
+    #[test]
+    fn close_drains_then_wakes_consumers_with_none() {
+        let q = Arc::new(JobQueue::new(8));
+        q.try_push(1).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(item) = q.pop() {
+                    seen.push(item);
+                }
+                seen
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(q.try_push(2).unwrap_err().1, PushError::Closed);
+        assert_eq!(consumer.join().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        let q = Arc::new(JobQueue::new(1024));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        q.try_push(p * 100 + i).unwrap();
+                    }
+                });
+            }
+        });
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,386 @@
+//! The `fitsd` server: accept loop, bounded worker pool, and the
+//! cache → coalesce → compute request pipeline.
+//!
+//! ```text
+//! accept ──try_push──▶ JobQueue ──pop──▶ worker ──▶ route
+//!    │ Full                                           │ POST
+//!    ▼                                                ▼
+//!  503 + Retry-After              cache hit? ── yes ─▶ respond (X-Cache: hit)
+//!                                      │ no
+//!                                 claim canonical
+//!                                 ├─ Follower ───────▶ respond (X-Cache: coalesced)
+//!                                 └─ Leader ─ compute ▶ cache.put + complete
+//! ```
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fits_bench::ArtifactsPool;
+
+use crate::api::{self, ApiError, PostRequest};
+use crate::cache::{content_address, ResultCache};
+use crate::coalesce::{Claim, Coalescer};
+use crate::http::{read_request, write_response, Response};
+use crate::metrics::ServeMetrics;
+use crate::queue::{JobQueue, PushError};
+
+/// Tunables for one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Job-queue capacity; pushes beyond it are shed with 503.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in responses (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_capacity: 128,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Everything the worker and accept threads share.
+pub struct ServerState {
+    /// Artifact caches, one per synthesis-option set.
+    pub pool: ArtifactsPool,
+    /// Finished-response cache.
+    pub cache: ResultCache,
+    /// In-flight request table.
+    pub coalescer: Coalescer,
+    /// The backpressure queue of accepted connections.
+    pub queue: JobQueue<TcpStream>,
+    /// Service counters and latency.
+    pub metrics: ServeMetrics,
+    /// Worker-thread count (reported in `/metrics`).
+    pub workers: usize,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(config: &ServerConfig) -> ServerState {
+        ServerState {
+            pool: ArtifactsPool::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            coalescer: Coalescer::new(),
+            queue: JobQueue::new(config.queue_capacity),
+            metrics: ServeMetrics::new(),
+            workers: config.workers,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A running daemon: its bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    /// The bound socket address (resolved port included).
+    pub addr: std::net::SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared state (tests inspect counters through this).
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops the daemon: closes the queue (pending requests still drain),
+    /// unblocks the accept loop, and joins every thread.
+    pub fn stop(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        // The accept loop is parked in accept(2); a throwaway connection
+        // wakes it so it can observe the shutdown flag.
+        drop(TcpStream::connect(self.addr));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds and starts a daemon.
+///
+/// # Errors
+///
+/// Socket bind failures.
+pub fn spawn(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState::new(config));
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("fitsd-worker-{i}"))
+                .spawn(move || {
+                    while let Some(mut stream) = state.queue.pop() {
+                        handle_connection(&state, &mut stream);
+                    }
+                })
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    let accept = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("fitsd-accept".to_string())
+            .spawn(move || accept_loop(&listener, &state))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServerState) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Err((mut stream, err)) = state.queue.try_push(stream) {
+            match err {
+                PushError::Full => shed(state, &mut stream),
+                PushError::Closed => return,
+            }
+        }
+    }
+}
+
+/// Answers 503 with `Retry-After` directly from the accept thread — the
+/// whole point of bounding the queue is that overload costs one small
+/// write, not a worker slot.
+fn shed(state: &ServerState, stream: &mut TcpStream) {
+    state.metrics.rejected.inc();
+    let body = format!(
+        "{{\n  \"schema\": \"{}\",\n  \"endpoint\": \"error\",\n  \"error\": {{\
+         \"code\": \"overloaded\", \"pointer\": \"\", \
+         \"message\": \"job queue is full; retry shortly\"}}\n}}\n",
+        api::SCHEMA,
+    );
+    let response = Response::json(503, body).with_header("Retry-After", "1".to_string());
+    let _ = stream.set_write_timeout(Some(crate::http::IO_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    let _ = write_response(stream, &response);
+    // Drain the unread request before closing, or the kernel answers the
+    // client's pending bytes with RST and it never sees the 503.
+    use std::io::Read;
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
+    let start = Instant::now();
+    let request = match read_request(stream) {
+        Ok(request) => request,
+        Err(err) => {
+            // Includes oversized heads/bodies; the error body still follows
+            // the response schema so clients can always parse what they get.
+            let api_err = ApiError {
+                code: "bad_request",
+                pointer: String::new(),
+                message: err.to_string(),
+            };
+            let status = match err {
+                crate::http::HttpError::BodyTooLarge => 413,
+                _ => 400,
+            };
+            respond(
+                state,
+                stream,
+                "http",
+                start,
+                Response::json(status, api_err.body()),
+            );
+            return;
+        }
+    };
+
+    let endpoint = request.target.trim_start_matches('/').to_string();
+    let response = match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => Response::json(200, api::healthz_body()),
+        ("GET", "/metrics") => Response::json(
+            200,
+            state.metrics.render_json(
+                state.queue.depth(),
+                state.queue.capacity(),
+                state.workers,
+                state.cache.len(),
+            ),
+        ),
+        ("POST", "/synthesize" | "/simulate" | "/sweep") => {
+            handle_post(state, &request.target, &request.body)
+        }
+        ("GET" | "POST", "/healthz" | "/metrics" | "/synthesize" | "/simulate" | "/sweep") => {
+            let err = ApiError {
+                code: "method_not_allowed",
+                pointer: String::new(),
+                message: format!("{} not supported on {}", request.method, request.target),
+            };
+            Response::json(405, err.body())
+        }
+        _ => {
+            let err = ApiError {
+                code: "not_found",
+                pointer: String::new(),
+                message: format!("no such endpoint {:?}", request.target),
+            };
+            Response::json(404, err.body())
+        }
+    };
+    respond(state, stream, &endpoint, start, response);
+}
+
+fn respond(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    endpoint: &str,
+    start: Instant,
+    response: Response,
+) {
+    let status = response.status;
+    let _ = write_response(stream, &response);
+    state.metrics.finish(endpoint, status, start.elapsed());
+}
+
+fn handle_post(state: &ServerState, target: &str, body: &str) -> Response {
+    let request = match PostRequest::from_target(target, body) {
+        Ok(Some(request)) => request,
+        Ok(None) => unreachable!("router only passes known POST targets"),
+        Err(err) => return Response::json(400, err.body()),
+    };
+    let canonical = request.canonical();
+    let address = content_address(&canonical);
+
+    if let Some(cached) = state.cache.get(&canonical) {
+        state.metrics.cache_hits.inc();
+        return Response::json(200, (*cached).clone())
+            .with_header("X-Fits-Key", address)
+            .with_header("X-Cache", "hit".to_string());
+    }
+
+    match state.coalescer.claim(&canonical) {
+        Claim::Follower(shared) => {
+            state.metrics.coalesced_joins.inc();
+            Response::json(shared.0, (*shared.1).clone())
+                .with_header("X-Fits-Key", address)
+                .with_header("X-Cache", "coalesced".to_string())
+        }
+        Claim::Leader => {
+            state.metrics.executions.inc();
+            let artifacts = state.pool.for_synth(request.synth());
+            let (status, body) = match request.compute(&artifacts) {
+                Ok(body) => (200, body),
+                Err(err) => (500, api::internal_error_body(&err)),
+            };
+            let shared_body = Arc::new(body);
+            if status == 200 {
+                state.cache.put(&canonical, Arc::clone(&shared_body));
+            }
+            // Publish even on failure, or followers hang to their timeout.
+            state
+                .coalescer
+                .complete(&canonical, Arc::new((status, Arc::clone(&shared_body))));
+            Response::json(status, (*shared_body).clone())
+                .with_header("X-Fits-Key", address)
+                .with_header("X-Cache", "miss".to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    #[test]
+    fn boots_serves_health_and_stops() {
+        let handle = spawn(&ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr;
+        let (status, body) = client::get(addr, "/healthz").expect("healthz");
+        assert_eq!(status, 200);
+        assert_eq!(api::validate_serve_json(&body).unwrap(), "healthz");
+        let (status, body) = client::get(addr, "/metrics").expect("metrics");
+        assert_eq!(status, 200);
+        assert_eq!(api::validate_serve_json(&body).unwrap(), "metrics");
+        let (status, _) = client::get(addr, "/nope").expect("404");
+        assert_eq!(status, 404);
+        let (status, _) = client::post(addr, "/healthz", "").expect("405");
+        assert_eq!(status, 405);
+        handle.stop();
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_with_retry_after() {
+        let handle = spawn(&ServerConfig {
+            workers: 1,
+            queue_capacity: 0,
+            cache_capacity: 8,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr;
+        let response = client::request_raw(addr, "GET", "/healthz", "").expect("shed");
+        assert_eq!(response.status, 503);
+        assert!(
+            response
+                .headers
+                .iter()
+                .any(|(n, v)| n == "retry-after" && v == "1"),
+            "503 must carry Retry-After: {:?}",
+            response.headers
+        );
+        assert_eq!(api::validate_serve_json(&response.body).unwrap(), "error");
+        assert_eq!(handle.state().metrics.rejected.get(), 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn structured_400_for_a_bad_body() {
+        let handle = spawn(&ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr;
+        let (status, body) =
+            client::post(addr, "/synthesize", "{\"kernel\": \"zzz\"}").expect("post");
+        assert_eq!(status, 400);
+        assert_eq!(api::validate_serve_json(&body).unwrap(), "error");
+        assert!(body.contains("\"pointer\": \"/kernel\""));
+        handle.stop();
+    }
+}

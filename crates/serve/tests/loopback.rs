@@ -1,0 +1,173 @@
+//! Loopback integration: a real `fitsd` instance under a 32-client
+//! thundering herd.
+//!
+//! Every client must succeed, every response must be byte-identical to a
+//! direct library call with a fresh artifact cache (the purity contract
+//! the cache and coalescer rest on), and the herd must actually exercise
+//! both sharing layers (coalesced joins and cache hits observed).
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::Arc;
+
+use fits_bench::ArtifactsPool;
+use fits_kernels::kernels::Kernel;
+use fits_serve::client;
+use fits_serve::server::{spawn, ServerConfig};
+use fits_serve::{validate_serve_json, PostRequest};
+
+const CLIENTS: usize = 32;
+
+fn jobs() -> Vec<(&'static str, String)> {
+    let k0 = Kernel::ALL[0].name();
+    let k1 = Kernel::ALL[1].name();
+    vec![
+        ("/synthesize", format!("{{\"kernel\": \"{k0}\"}}")),
+        ("/synthesize", format!("{{\"kernel\": \"{k1}\"}}")),
+        ("/simulate", format!("{{\"kernel\": \"{k0}\"}}")),
+        (
+            "/simulate",
+            format!("{{\"kernel\": \"{k1}\", \"scenario\": \"small-embedded\"}}"),
+        ),
+    ]
+}
+
+/// What a direct (serverless) evaluation of each job returns.
+fn direct_bodies(jobs: &[(&'static str, String)]) -> Vec<String> {
+    let pool = ArtifactsPool::new();
+    jobs.iter()
+        .map(|(target, body)| {
+            let request = PostRequest::from_target(target, body)
+                .expect("job parses")
+                .expect("job target is known");
+            let artifacts = pool.for_synth(request.synth());
+            request.compute(&artifacts).expect("direct compute")
+        })
+        .collect()
+}
+
+#[test]
+fn thundering_herd_is_coalesced_cached_and_bit_identical() {
+    let handle = spawn(&ServerConfig {
+        workers: 8,
+        queue_capacity: 256,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr;
+    let jobs = Arc::new(jobs());
+
+    // 32 clients, each walking all jobs from a rotated start so identical
+    // requests overlap in flight.
+    let results: Vec<Vec<(usize, u16, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let jobs = Arc::clone(&jobs);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in 0..jobs.len() {
+                        let idx = (c + i) % jobs.len();
+                        let (target, body) = &jobs[idx];
+                        let (status, text) =
+                            client::post(addr, target, body).expect("request succeeds");
+                        out.push((idx, status, text));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Zero errors, schema-valid, and byte-identical to the direct library
+    // evaluation of the same request.
+    let direct = direct_bodies(&jobs);
+    let mut checked = 0usize;
+    for per_client in &results {
+        for (idx, status, text) in per_client {
+            assert_eq!(*status, 200, "job {idx} failed: {text}");
+            let endpoint = validate_serve_json(text).expect("response schema");
+            assert_eq!(format!("/{endpoint}"), jobs[*idx].0);
+            assert_eq!(
+                text, &direct[*idx],
+                "served body for job {idx} differs from the direct library call"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, CLIENTS * jobs.len());
+
+    // Both sharing layers were exercised: at most one execution per
+    // distinct job, the rest split between coalescing and the cache.
+    let metrics = &handle.state().metrics;
+    let executions = metrics.executions.get();
+    let hits = metrics.cache_hits.get();
+    let joins = metrics.coalesced_joins.get();
+    assert_eq!(
+        executions,
+        jobs.len() as u64,
+        "one execution per distinct job"
+    );
+    assert!(hits > 0, "expected cache hits, got {hits}");
+    assert!(joins > 0, "expected coalesced joins, got {joins}");
+    assert_eq!(
+        executions + hits + joins,
+        (CLIENTS * jobs.len()) as u64,
+        "every request is exactly one of execute/coalesce/hit"
+    );
+
+    // The wire metrics agree with the in-process counters.
+    let (status, body) = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    assert_eq!(validate_serve_json(&body).unwrap(), "metrics");
+    assert!(body.contains(&format!("\"executions\": {executions}")));
+
+    handle.stop();
+}
+
+#[test]
+fn validation_failures_are_structured_400s_end_to_end() {
+    let handle = spawn(&ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr;
+    for (target, body, pointer) in [
+        ("/synthesize", "{}", "/kernel"),
+        (
+            "/synthesize",
+            "{\"kernel\": \"crc32\", \"scale\": -3}",
+            "/scale",
+        ),
+        (
+            "/simulate",
+            "{\"kernel\": \"crc32\", \"scenario\": \"huge\"}",
+            "/scenario",
+        ),
+        (
+            "/sweep",
+            "{\"kernels\": [\"crc32\"], \"tech\": [\"1nm\"]}",
+            "/tech/0",
+        ),
+        (
+            "/synthesize",
+            "{\"kernel\": \"crc32\", \"synth\": {\"space_budget\": 7}}",
+            "/synth/space_budget",
+        ),
+    ] {
+        let (status, text) = client::post(addr, target, body).expect("request");
+        assert_eq!(status, 400, "{target} {body}: {text}");
+        assert_eq!(validate_serve_json(&text).unwrap(), "error");
+        assert!(
+            text.contains(&format!("\"pointer\": \"{pointer}\"")),
+            "{target} {body}: wrong pointer in {text}"
+        );
+    }
+    // Validation failures never reach the pipeline.
+    assert_eq!(handle.state().metrics.executions.get(), 0);
+    handle.stop();
+}
