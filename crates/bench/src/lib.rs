@@ -19,6 +19,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod artifacts;
+pub mod cachebounds;
 pub mod experiment;
 pub mod figures;
 pub mod report;
@@ -26,6 +27,10 @@ pub mod stamp;
 pub mod sweep;
 
 pub use artifacts::{synth_key, Artifacts, ArtifactsPool};
+pub use cachebounds::{
+    cache_bounds_report, cache_bounds_report_with, kernel_cache_bounds, CacheBoundsReport,
+    KernelCacheBounds, StreamBounds,
+};
 pub use experiment::{
     paper_matrix, run_kernel, run_kernel_scenarios, run_kernel_with, run_suite, run_suite_with,
     Config, ConfigRun, ExperimentError, KernelResults, ScenarioRun, SuiteResults,

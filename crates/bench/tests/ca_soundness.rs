@@ -1,0 +1,92 @@
+//! Suite-wide soundness differential for the static I-cache analysis:
+//! for **every** kernel of the benchmark suite, under **every** scenario
+//! preset, for **both** instruction streams, a traced simulation's per-set
+//! hit/miss counters must land inside the static `[miss_min, miss_max]`
+//! intervals and the `CA` audit must come back clean.
+//!
+//! This is the empirical half of the soundness argument: the seeded-fault
+//! tests in `fits-verify` prove the audit *can* catch a cooked analysis,
+//! and this test proves the honest analysis never contradicts a real run
+//! anywhere in the suite. CI gates on it.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::Arc;
+
+use fits_bench::{kernel_cache_bounds, ArtifactsPool};
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_scenario::ScenarioSpec;
+
+const PRESETS: [&str; 3] = ["sa1100", "small-embedded", "modern-node"];
+
+#[test]
+fn static_bounds_hold_for_every_kernel_and_preset() {
+    // One artifact cache per synthesis configuration: presets that share
+    // synth options share compiled programs and flows.
+    let pool = ArtifactsPool::new();
+    let mut failures = Vec::new();
+    for preset in PRESETS {
+        let spec = ScenarioSpec::preset(preset).unwrap();
+        let arts = pool.for_synth(&spec.synth);
+        // Kernels are independent given the shared artifact cache: fan the
+        // per-kernel traced runs out across threads.
+        let results: Vec<std::thread::JoinHandle<_>> = Kernel::ALL
+            .iter()
+            .map(|&kernel| {
+                let arts = Arc::clone(&arts);
+                let spec = spec.clone();
+                std::thread::spawn(move || {
+                    let bounds = kernel_cache_bounds(&arts, kernel, &spec, Scale::test(), true)?;
+                    let mut problems = Vec::new();
+                    for (tag, stream) in [("arm", &bounds.arm), ("fits", &bounds.fits)] {
+                        for d in &stream.audit {
+                            problems.push(format!(
+                                "{}/{}/{tag}: audit {}: {}",
+                                spec.id(),
+                                kernel.name(),
+                                d.code,
+                                d.message
+                            ));
+                        }
+                        for v in &stream.check.as_ref().unwrap().violations {
+                            problems.push(format!("{}/{}/{tag}: {v}", spec.id(), kernel.name()));
+                        }
+                    }
+                    Ok::<Vec<String>, fits_bench::ExperimentError>(problems)
+                })
+            })
+            .collect();
+        for handle in results {
+            match handle.join().expect("analysis thread panicked") {
+                Ok(problems) => failures.extend(problems),
+                Err(e) => failures.push(format!("{preset}: pipeline error: {e}")),
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "static cache bounds violated:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The static analysis alone (no trace) still audits clean everywhere —
+/// the cheap half the CLI's `--static-only` mode relies on.
+#[test]
+fn static_only_analyses_audit_clean_suite_wide() {
+    let pool = ArtifactsPool::new();
+    for preset in PRESETS {
+        let spec = ScenarioSpec::preset(preset).unwrap();
+        let arts = pool.for_synth(&spec.synth);
+        for &kernel in Kernel::ALL {
+            let bounds = kernel_cache_bounds(&arts, kernel, &spec, Scale::test(), false).unwrap();
+            assert!(
+                bounds.is_sound(),
+                "{}/{}: audit findings",
+                spec.id(),
+                kernel.name()
+            );
+            assert!(bounds.arm.check.is_none() && bounds.fits.check.is_none());
+        }
+    }
+}

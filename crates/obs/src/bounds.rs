@@ -1,0 +1,329 @@
+//! The dynamic-vs-static join: checks a traced run's per-set I-cache
+//! activity against the bounds implied by the `CA` static analysis in
+//! `fits-verify`.
+//!
+//! The static analysis promises, per fetch word and per set, which
+//! accesses must hit, must miss, or miss at most once. A traced run
+//! ([`crate::trace_timed_run`]) counts what actually happened: real
+//! accesses per fetch word ([`crate::PcHistogram`]) and hits/misses per
+//! set ([`crate::SetHistogram`]). [`check_bounds`] folds the per-word
+//! dynamic counts through the static word classes into a per-set miss
+//! interval `[miss_min, miss_max]` and verifies the observed counters land
+//! inside it:
+//!
+//! * every access of an always-miss word misses, and every touched line
+//!   starts cold, so it misses at least once → `miss_min`;
+//! * an always-hit word never misses, a line of a persistent set misses
+//!   at most once, and anything else can at worst miss on every access →
+//!   `miss_max`;
+//! * the per-word access counts and the per-set access counters describe
+//!   the same event stream, so their per-set sums must agree exactly.
+//!
+//! A violation means the static analysis (or the mapping between the two
+//! views) is unsound for this run — the suite-wide differential test in
+//! `fits-bench` runs this check for every kernel, preset and instruction
+//! stream.
+
+use fits_power::AccessEnergyBounds;
+use fits_verify::{CacheAnalysis, FetchClass};
+
+use crate::hist::{PcHistogram, SetHistogram};
+
+/// Static miss interval and observed counters for one cache set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SetBounds {
+    /// Real accesses predicted from the per-word counts (must equal
+    /// `hits + misses`).
+    pub accesses: u64,
+    /// Observed hits.
+    pub hits: u64,
+    /// Observed misses.
+    pub misses: u64,
+    /// Static lower bound on misses.
+    pub miss_min: u64,
+    /// Static upper bound on misses.
+    pub miss_max: u64,
+}
+
+impl SetBounds {
+    /// The fetch-energy envelope of this set's accesses: hit/miss counts
+    /// swing between the static extremes, each access charged the matching
+    /// per-access energy bound (a miss always costs at least a hit).
+    #[must_use]
+    pub fn energy_envelope(&self, bounds: &AccessEnergyBounds) -> (f64, f64) {
+        let miss_lo = self.miss_min.min(self.accesses);
+        let miss_hi = self.miss_max.min(self.accesses);
+        #[allow(clippy::cast_precision_loss)]
+        let (a, lo_m, hi_m) = (self.accesses as f64, miss_lo as f64, miss_hi as f64);
+        (
+            (a - lo_m) * bounds.hit_min_j + lo_m * bounds.miss_min_j,
+            (a - hi_m) * bounds.hit_max_j + hi_m * bounds.miss_max_j,
+        )
+    }
+}
+
+/// The result of joining a traced run against a static cache analysis.
+#[derive(Clone, Debug)]
+pub struct BoundsCheck {
+    /// Per-set bounds and observations, indexed by set.
+    pub sets: Vec<SetBounds>,
+    /// Human-readable soundness violations (empty for a sound analysis).
+    pub violations: Vec<String>,
+}
+
+impl BoundsCheck {
+    /// Whether every observation landed inside its static interval.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total observed accesses across all sets.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.sets
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.accesses))
+    }
+
+    /// Total observed misses across all sets.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.sets
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.misses))
+    }
+
+    /// Total static miss interval across all sets.
+    #[must_use]
+    pub fn miss_interval(&self) -> (u64, u64) {
+        self.sets.iter().fold((0u64, 0u64), |(lo, hi), s| {
+            (
+                lo.saturating_add(s.miss_min),
+                hi.saturating_add(s.miss_max.min(s.accesses)),
+            )
+        })
+    }
+
+    /// The whole run's fetch-energy envelope: the sum of the per-set
+    /// envelopes.
+    #[must_use]
+    pub fn energy_envelope(&self, bounds: &AccessEnergyBounds) -> (f64, f64) {
+        self.sets.iter().fold((0.0, 0.0), |(lo, hi), s| {
+            let (slo, shi) = s.energy_envelope(bounds);
+            (lo + slo, hi + shi)
+        })
+    }
+}
+
+/// Joins a traced run's I-cache activity against a static analysis.
+///
+/// `fetches` must be the per-fetch-word access histogram of the traced run
+/// (stride 4 from the text base, as [`crate::CacheEvents`] collects it) and
+/// `set_hist` the matching per-set counters; `analysis` must have run
+/// against the same geometry the simulation used (the `CA002` audit in
+/// `fits-verify` checks that side).
+#[must_use]
+pub fn check_bounds(
+    analysis: &CacheAnalysis,
+    fetches: &PcHistogram,
+    set_hist: &SetHistogram,
+) -> BoundsCheck {
+    let n_sets = analysis.params.sets as usize;
+    let mut violations = Vec::new();
+    if set_hist.sets().len() != n_sets {
+        violations.push(format!(
+            "set histogram has {} sets but the analysis geometry has {n_sets}",
+            set_hist.sets().len()
+        ));
+        return BoundsCheck {
+            sets: Vec::new(),
+            violations,
+        };
+    }
+    if fetches.stray() > 0 {
+        violations.push(format!(
+            "{} fetch events landed outside the text's word grid",
+            fetches.stray()
+        ));
+    }
+
+    let mut sets = vec![SetBounds::default(); n_sets];
+    // Per-line fold: whether the line was touched at all, and whether any
+    // of its touched words is always-miss (whose counted misses subsume
+    // the line's cold miss).
+    let mut line_state: Option<(u32, u32, bool, bool, bool)> = None;
+    let flush = |sets: &mut Vec<SetBounds>, state: Option<(u32, u32, bool, bool, bool)>| {
+        let Some((_, set, touched, touched_am, persistent)) = state else {
+            return;
+        };
+        if !touched {
+            return;
+        }
+        let s = &mut sets[set as usize];
+        if !touched_am {
+            // The line starts cold: its first access misses.
+            s.miss_min = s.miss_min.saturating_add(1);
+        }
+        if persistent {
+            // A line of a persistent set misses at most once, ever.
+            s.miss_max = s.miss_max.saturating_add(1);
+        }
+    };
+
+    let mut predicted_total = 0u64;
+    for w in &analysis.words {
+        let n_w = fetches.get(w.addr);
+        predicted_total = predicted_total.saturating_add(n_w);
+        let s = &mut sets[w.set as usize];
+        s.accesses = s.accesses.saturating_add(n_w);
+        if n_w > 0 {
+            if w.class == FetchClass::Unreachable {
+                violations.push(format!(
+                    "word {:#x} is statically unreachable but was fetched {n_w} time(s)",
+                    w.addr
+                ));
+            }
+            if w.class == FetchClass::AlwaysMiss {
+                s.miss_min = s.miss_min.saturating_add(n_w);
+            }
+            if !w.persistent_line && w.class != FetchClass::AlwaysHit {
+                s.miss_max = s.miss_max.saturating_add(n_w);
+            }
+        }
+        match &mut line_state {
+            Some((line, _, touched, touched_am, _)) if *line == w.line => {
+                *touched |= n_w > 0;
+                *touched_am |= n_w > 0 && w.class == FetchClass::AlwaysMiss;
+            }
+            other => {
+                flush(&mut sets, other.take());
+                line_state = Some((
+                    w.line,
+                    w.set,
+                    n_w > 0,
+                    n_w > 0 && w.class == FetchClass::AlwaysMiss,
+                    w.persistent_line,
+                ));
+            }
+        }
+    }
+    flush(&mut sets, line_state.take());
+
+    if fetches.total() != predicted_total {
+        violations.push(format!(
+            "trace counted {} fetches but only {predicted_total} fall on analyzed words",
+            fetches.total()
+        ));
+    }
+
+    for (i, (bound, observed)) in sets.iter_mut().zip(set_hist.sets()).enumerate() {
+        bound.hits = observed.hits;
+        bound.misses = observed.misses;
+        let total = observed.hits.saturating_add(observed.misses);
+        if total != bound.accesses {
+            violations.push(format!(
+                "set {i}: word counts predict {} accesses but the set saw {total}",
+                bound.accesses
+            ));
+        }
+        if bound.misses < bound.miss_min {
+            violations.push(format!(
+                "set {i}: observed {} misses below the static lower bound {}",
+                bound.misses, bound.miss_min
+            ));
+        }
+        let miss_cap = bound.miss_max.min(bound.accesses);
+        if bound.misses > miss_cap {
+            violations.push(format!(
+                "set {i}: observed {} misses above the static upper bound {miss_cap}",
+                bound.misses
+            ));
+        }
+    }
+
+    BoundsCheck { sets, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_timed_run;
+    use fits_kernels::kernels::{Kernel, Scale};
+    use fits_power::{access_energy_bounds, TechParams};
+    use fits_scenario::AbstractCacheParams;
+    use fits_sim::{Ar32Set, Machine, Sa1100Config};
+    use fits_verify::analyze_native_cache;
+
+    fn traced(kernel: Kernel) -> (fits_isa::Program, Sa1100Config, crate::SimTrace) {
+        let program = kernel.compile(Scale::test()).unwrap();
+        let cfg = Sa1100Config::icache_16k();
+        let mut m = Machine::new(Ar32Set::load(&program));
+        let (_, _, trace) = trace_timed_run(&mut m, &cfg).unwrap();
+        (program, cfg, trace)
+    }
+
+    #[test]
+    fn sound_run_lands_inside_the_bounds() {
+        let (program, cfg, trace) = traced(Kernel::Crc32);
+        let params = AbstractCacheParams::from_config(&cfg.icache).unwrap();
+        let analysis = analyze_native_cache(&program, params);
+        let check = check_bounds(&analysis, &trace.cache.fetches, &trace.cache.icache_sets);
+        assert!(check.is_sound(), "violations: {:?}", check.violations);
+        let (lo, hi) = check.miss_interval();
+        assert!(lo <= check.misses() && check.misses() <= hi);
+
+        let bounds = access_energy_bounds(&cfg.icache, &TechParams::default());
+        let (e_lo, e_hi) = check.energy_envelope(&bounds);
+        assert!(e_lo > 0.0 && e_lo <= e_hi, "envelope [{e_lo}, {e_hi}]");
+    }
+
+    #[test]
+    fn all_hit_observation_breaks_the_lower_bound() {
+        let (program, cfg, trace) = traced(Kernel::Bitcount);
+        let params = AbstractCacheParams::from_config(&cfg.icache).unwrap();
+        let analysis = analyze_native_cache(&program, params);
+        // Forge a run where nothing ever missed: the cold-start lower
+        // bound (every touched line misses at least once) must fire.
+        let mut forged = SetHistogram::new(cfg.icache.sets(), cfg.icache.line_bytes);
+        for (addr, count) in trace.cache.fetches.iter() {
+            for _ in 0..count {
+                forged.record(addr, true);
+            }
+        }
+        let check = check_bounds(&analysis, &trace.cache.fetches, &forged);
+        assert!(!check.is_sound());
+        assert!(
+            check.violations.iter().any(|v| v.contains("lower bound")),
+            "violations: {:?}",
+            check.violations
+        );
+    }
+
+    #[test]
+    fn tampered_counters_break_the_access_equality() {
+        let (program, cfg, trace) = traced(Kernel::Crc32);
+        let params = AbstractCacheParams::from_config(&cfg.icache).unwrap();
+        let analysis = analyze_native_cache(&program, params);
+        let mut tampered = trace.cache.icache_sets.clone();
+        tampered.record(fits_isa::TEXT_BASE, false); // one phantom access
+        let check = check_bounds(&analysis, &trace.cache.fetches, &tampered);
+        assert!(!check.is_sound());
+        assert!(
+            check.violations.iter().any(|v| v.contains("accesses")),
+            "violations: {:?}",
+            check.violations
+        );
+    }
+
+    #[test]
+    fn geometry_mismatch_is_reported_not_panicked() {
+        let (program, cfg, trace) = traced(Kernel::Crc32);
+        let params = AbstractCacheParams::from_config(&cfg.icache).unwrap();
+        let analysis = analyze_native_cache(&program, params);
+        let wrong = SetHistogram::new(cfg.icache.sets() * 2, cfg.icache.line_bytes);
+        let check = check_bounds(&analysis, &trace.cache.fetches, &wrong);
+        assert!(!check.is_sound());
+        assert!(check.sets.is_empty());
+    }
+}

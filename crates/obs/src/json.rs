@@ -610,6 +610,116 @@ pub fn validate_sweep_json(text: &str) -> Result<SweepCounts, String> {
     })
 }
 
+/// Shape summary of a validated `powerfits-cache-bounds-v1` document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheBoundsCounts {
+    /// Kernel records in the report.
+    pub kernels: usize,
+    /// Stream records carrying a dynamic `bounds` join (≤ 2 per kernel).
+    pub traced_streams: usize,
+    /// Soundness violations across all streams.
+    pub violations: usize,
+}
+
+fn cache_bounds_stream(kernel: &str, side: &str, v: &Value) -> Result<(usize, usize), String> {
+    let ctx = format!("kernel \"{kernel}\" {side}");
+    let stream = v
+        .get(side)
+        .ok_or_else(|| format!("{ctx}: missing object field \"{side}\""))?;
+    if !matches!(stream, Value::Obj(_)) {
+        return Err(format!("{ctx}: field \"{side}\" is not an object"));
+    }
+    let words = stream
+        .get("words")
+        .ok_or_else(|| format!("{ctx}: missing object field \"words\""))?;
+    for key in [
+        "always_hit",
+        "always_miss",
+        "persistent",
+        "unknown",
+        "unreachable",
+    ] {
+        num_field(&format!("{ctx} words"), words, key)?;
+    }
+    num_field(&ctx, stream, "audit_findings")?;
+    num_field(&ctx, stream, "blocks")?;
+    let Some(bounds) = stream.get("bounds") else {
+        return Ok((0, 0)); // static-only stream
+    };
+    if !matches!(bounds, Value::Obj(_)) {
+        return Err(format!("{ctx}: field \"bounds\" is not an object"));
+    }
+    for key in ["accesses", "misses", "miss_min", "miss_max"] {
+        num_field(&format!("{ctx} bounds"), bounds, key)?;
+    }
+    for key in ["energy_lo_j", "energy_hi_j"] {
+        num_field(&format!("{ctx} bounds"), bounds, key)?;
+    }
+    let violations = match bounds.get("violations") {
+        Some(Value::Arr(items)) if items.iter().all(|i| i.as_str().is_some()) => items.len(),
+        _ => {
+            return Err(format!(
+                "{ctx}: bounds needs a \"violations\" array of strings"
+            ))
+        }
+    };
+    Ok((1, violations))
+}
+
+/// Validates a `fitslint --cache` report against the
+/// `powerfits-cache-bounds-v1` schema: provenance fields, one record per
+/// kernel with `arm`/`fits` stream summaries (word-class counts, audit
+/// finding count, block count, and — when the run was traced — the
+/// dynamic `bounds` join with its violation list), plus a `sound` verdict
+/// that must agree with the violation count.
+///
+/// # Errors
+///
+/// A description of the first violation (parse failure, missing or
+/// ill-typed field, or a `sound` flag contradicting the violations).
+pub fn validate_cache_bounds_json(text: &str) -> Result<CacheBoundsCounts, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("powerfits-cache-bounds-v1") => {}
+        other => {
+            return Err(format!(
+                "schema must be \"powerfits-cache-bounds-v1\", got {other:?}"
+            ))
+        }
+    }
+    for key in ["preset", "scale"] {
+        str_field("document", &doc, key)?;
+    }
+    let kernels = require_nonempty_arr(&doc, "kernels")?;
+    let mut counts = CacheBoundsCounts {
+        kernels: kernels.len(),
+        ..CacheBoundsCounts::default()
+    };
+    for k in kernels {
+        let name = k
+            .get("kernel")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "kernel record: missing string field \"kernel\"".to_string())?;
+        for side in ["arm", "fits"] {
+            let (traced, violations) = cache_bounds_stream(name, side, k)?;
+            counts.traced_streams += traced;
+            counts.violations += violations;
+        }
+    }
+    match doc.get("sound") {
+        Some(Value::Bool(sound)) => {
+            if *sound != (counts.violations == 0) {
+                return Err(format!(
+                    "\"sound\": {sound} contradicts {} recorded violation(s)",
+                    counts.violations
+                ));
+            }
+        }
+        _ => return Err("missing boolean field \"sound\"".to_string()),
+    }
+    Ok(counts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,5 +811,46 @@ mod tests {
         );
         let err = validate_trace_jsonl(&bad_block).unwrap_err();
         assert!(err.contains("fits"), "{err}");
+    }
+
+    fn cache_bounds_doc(sound: bool, violations: &str) -> String {
+        let words =
+            r#"{"always_hit":10,"always_miss":2,"persistent":1,"unknown":0,"unreachable":3}"#;
+        let bounds = format!(
+            r#"{{"accesses":100,"misses":4,"miss_min":2,"miss_max":8,"energy_lo_j":1e-9,"energy_hi_j":2e-9,"violations":{violations}}}"#
+        );
+        format!(
+            r#"{{"schema":"powerfits-cache-bounds-v1","preset":"sa1100","scale":"test","kernels":[{{"kernel":"crc32","arm":{{"words":{words},"audit_findings":0,"blocks":7,"bounds":{bounds}}},"fits":{{"words":{words},"audit_findings":0,"blocks":9}}}}],"sound":{sound}}}"#
+        )
+    }
+
+    #[test]
+    fn validates_a_cache_bounds_report() {
+        let counts = validate_cache_bounds_json(&cache_bounds_doc(true, "[]")).unwrap();
+        assert_eq!(
+            counts,
+            CacheBoundsCounts {
+                kernels: 1,
+                traced_streams: 1,
+                violations: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_cache_bounds_violations() {
+        // A report claiming soundness while recording a violation lies.
+        let lying = cache_bounds_doc(true, r#"["set 0: out of bounds"]"#);
+        let err = validate_cache_bounds_json(&lying).unwrap_err();
+        assert!(err.contains("contradicts"), "{err}");
+        // The honest version of the same document validates.
+        let honest = cache_bounds_doc(false, r#"["set 0: out of bounds"]"#);
+        assert_eq!(validate_cache_bounds_json(&honest).unwrap().violations, 1);
+        // Wrong schema string.
+        let bad = cache_bounds_doc(true, "[]").replace("cache-bounds-v1", "cache-bounds-v0");
+        assert!(validate_cache_bounds_json(&bad).is_err());
+        // Missing word-class field.
+        let chopped = cache_bounds_doc(true, "[]").replace(r#""unknown":0,"#, "");
+        assert!(validate_cache_bounds_json(&chopped).is_err());
     }
 }

@@ -17,6 +17,11 @@
 //!   `CacheEventObserver` seam in `fits-sim`'s timing model; the
 //!   differential tests in `tests/` prove the traced run's `SimResult` is
 //!   **bit-identical** to the untraced fast path.
+//! * [`check_bounds`] — the dynamic-vs-static join: a traced run's per-set
+//!   I-cache counters checked against the miss intervals and energy
+//!   envelopes implied by the `CA` static cache analysis in `fits-verify`.
+//!   A sound analysis brackets every run; the suite-wide differential test
+//!   in `fits-bench` enforces exactly that.
 //! * [`attribute_kernel`] — the power-attribution join: per-PC histograms ×
 //!   the `fits-power` cache model, broken down per basic block (and per
 //!   source kernel function) of the *native* program, with the FITS run
@@ -41,6 +46,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod attr;
+pub mod bounds;
 pub mod fmt;
 pub mod hist;
 pub mod json;
@@ -49,6 +55,7 @@ pub mod span;
 pub mod trace;
 
 pub use attr::{attribute_kernel, basic_blocks, Attribution, BasicBlock, BlockCost};
+pub use bounds::{check_bounds, BoundsCheck, SetBounds};
 pub use hist::{BranchCounts, BranchHistogram, PcHistogram, SetCounters, SetHistogram};
 pub use metrics::{Counter, LatencyHistogram};
 pub use span::{Span, SpanGuard, SpanRegistry};

@@ -125,6 +125,50 @@ pub fn read_energy_per_access(cfg: &CacheConfig, tech: &TechParams) -> f64 {
     e_array_access(cfg, tech)
 }
 
+/// Per-access energy bounds for one cache geometry — the arithmetic a
+/// static analysis needs to turn hit/miss classifications into energy
+/// envelopes without replaying a trace.
+///
+/// The bounds cover the **per-access** dynamic terms of [`cache_power`]:
+/// the array read, the driven output bus, data-dependent output toggling
+/// (zero toggles at the lower bound, every bit toggling at the upper), and
+/// the line fill charged to a miss. Time-proportional terms (clock,
+/// leakage) are excluded: they depend on run length, which a per-access
+/// bound cannot know.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessEnergyBounds {
+    /// Least energy a hit can cost (J): array read + driven bus, no
+    /// toggling.
+    pub hit_min_j: f64,
+    /// Most energy a hit can cost (J): all 32 output bits toggle.
+    pub hit_max_j: f64,
+    /// Least energy a miss can cost (J): a minimal hit plus the full line
+    /// fill.
+    pub miss_min_j: f64,
+    /// Most energy a miss can cost (J): a maximal hit plus the full line
+    /// fill.
+    pub miss_max_j: f64,
+}
+
+/// Per-access energy bounds for a geometry under a tech node.
+///
+/// Consistent with [`cache_power`] by construction: for any measured
+/// activity, `hits·hit + misses·miss` brackets the per-access portion of
+/// `switching_j + internal_j` (every miss fills exactly one line on this
+/// fetch path).
+#[must_use]
+pub fn access_energy_bounds(cfg: &CacheConfig, tech: &TechParams) -> AccessEnergyBounds {
+    let hit_min_j = e_array_access(cfg, tech) + 16.0 * tech.e_output_driven_bit;
+    let hit_max_j = hit_min_j + 32.0 * tech.e_output_toggle_bit;
+    let fill_j = f64::from(cfg.line_bytes / 4) * 32.0 * tech.e_fill_bit;
+    AccessEnergyBounds {
+        hit_min_j,
+        hit_max_j,
+        miss_min_j: hit_min_j + fill_j,
+        miss_max_j: hit_max_j + fill_j,
+    }
+}
+
 /// Storage bits (data + tags + valid/dirty/LRU state).
 fn storage_bits(cfg: &CacheConfig) -> f64 {
     let lines = f64::from(cfg.sets() * cfg.ways);
@@ -302,6 +346,39 @@ mod tests {
         // A half-size cache has a lower peak even at the same window rate.
         let pc = cache_power(&cfg.resized(8 * 1024).unwrap(), &a, 1000, &tech);
         assert!(pc.peak_w < pa.peak_w);
+    }
+
+    #[test]
+    fn access_bounds_bracket_cache_power() {
+        // hits·hit + misses·miss must bracket the per-access portion of the
+        // full model for any toggle count between 0 and 32 bits/access.
+        let tech = TechParams::sa1100();
+        let cfg = icache16();
+        let b = access_energy_bounds(&cfg, &tech);
+        assert!(b.hit_min_j < b.hit_max_j);
+        assert!(b.hit_max_j < b.miss_max_j);
+        assert!(b.miss_min_j < b.miss_max_j);
+        for &(accesses, toggles, misses) in &[
+            (1000u64, 0u64, 0u64),
+            (1000, 12_000, 25),
+            (1000, 32_000, 1000),
+        ] {
+            let fills = misses * u64::from(cfg.line_bytes / 4);
+            let mut s = stats(accesses, toggles, fills);
+            s.hits = accesses - misses;
+            s.misses = misses;
+            let p = cache_power(&cfg, &s, 0, &tech);
+            // cycles = 0 zeroes the clock/leakage terms, leaving exactly
+            // the per-access energy the bounds model.
+            let per_access_j = p.switching_j + p.internal_j;
+            let hits = (accesses - misses) as f64;
+            let lo = hits * b.hit_min_j + misses as f64 * b.miss_min_j;
+            let hi = hits * b.hit_max_j + misses as f64 * b.miss_max_j;
+            assert!(
+                lo <= per_access_j * (1.0 + 1e-12) && per_access_j <= hi * (1.0 + 1e-12),
+                "lo {lo} actual {per_access_j} hi {hi}"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod chip;
 mod tech;
 
 pub use cache::ComponentSavings;
+pub use cache::{access_energy_bounds, AccessEnergyBounds};
 pub use cache::{cache_power, read_energy_per_access, CachePower};
 pub use chip::{chip_power, chip_power_with, ChipComponent, ChipPower, DecodeKind};
 pub use tech::TechParams;

@@ -346,6 +346,19 @@ impl ScenarioSpec {
         self.icache == other.icache && self.dcache == other.dcache && self.timing == other.timing
     }
 
+    /// The I-cache geometry as abstract-interpretation parameters. A
+    /// scenario's geometry is validated at construction, so this cannot
+    /// fail.
+    #[must_use]
+    pub fn icache_abstract(&self) -> AbstractCacheParams {
+        AbstractCacheParams {
+            sets: self.icache.sets(),
+            ways: self.icache.ways,
+            line_bytes: self.icache.line_bytes,
+            policy: self.icache.replacement,
+        }
+    }
+
     /// Resolves a *request* — a preset name plus optional I-cache resize
     /// and tech-node override — into a validated scenario. This is how a
     /// serialized request (a `fitsd` body, a CLI flag pair) names a point
@@ -379,6 +392,72 @@ impl ScenarioSpec {
             spec = spec.with_icache_bytes(bytes)?;
         }
         Ok(spec)
+    }
+}
+
+/// Cache geometry in the shape a static cache analysis consumes: set
+/// count, associativity, line size and the replacement policy that picks
+/// the abstract transfer function. Extracted from a validated
+/// [`CacheConfig`] so the analysis never re-derives (or mis-derives)
+/// geometry arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbstractCacheParams {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity (lines per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two, word-multiple).
+    pub line_bytes: u32,
+    /// Replacement policy — decides which must-domain transfer is sound.
+    pub policy: Replacement,
+}
+
+impl AbstractCacheParams {
+    /// Extracts analysis parameters from a cache configuration, validating
+    /// the geometry first.
+    ///
+    /// # Errors
+    ///
+    /// The [`GeometryError`] of an invalid configuration.
+    pub fn from_config(cfg: &CacheConfig) -> Result<AbstractCacheParams, GeometryError> {
+        validate_geometry(cfg)?;
+        Ok(AbstractCacheParams {
+            sets: cfg.sets(),
+            ways: cfg.ways,
+            line_bytes: cfg.line_bytes,
+            policy: cfg.replacement,
+        })
+    }
+
+    /// Whether these parameters describe the same machine as `cfg` — the
+    /// guard a sound analysis must pass before its classifications can be
+    /// compared against that machine's traces.
+    #[must_use]
+    pub fn matches(&self, cfg: &CacheConfig) -> bool {
+        self.sets == cfg.sets()
+            && self.ways == cfg.ways
+            && self.line_bytes == cfg.line_bytes
+            && self.policy == cfg.replacement
+    }
+
+    /// The set index of a byte address under this geometry (the same
+    /// mapping the simulator and the observability histograms use).
+    #[must_use]
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.line_bytes) % self.sets
+    }
+
+    /// The line (block) address of a byte address: the address with the
+    /// line offset stripped.
+    #[must_use]
+    pub fn line_of(&self, addr: u32) -> u32 {
+        addr / self.line_bytes
+    }
+
+    /// Total lines in the cache.
+    #[must_use]
+    pub fn lines(&self) -> u32 {
+        self.sets * self.ways
     }
 }
 
@@ -487,6 +566,35 @@ mod tests {
         }
         assert!(ScenarioSpec::preset("sa1101").is_none());
         assert_eq!(ScenarioSpec::sa1100().id(), "sa1100-i16k");
+    }
+
+    #[test]
+    fn abstract_params_mirror_the_geometry() {
+        for name in PRESET_NAMES {
+            let spec = ScenarioSpec::preset(name).unwrap();
+            let params = spec.icache_abstract();
+            assert!(params.matches(&spec.icache), "{name}");
+            assert_eq!(
+                params,
+                AbstractCacheParams::from_config(&spec.icache).unwrap()
+            );
+            assert_eq!(params.lines(), params.sets * params.ways);
+            // Set mapping agrees with the simulator's (addr / line) % sets.
+            let addr = 0x8000_0040;
+            assert_eq!(
+                params.set_of(addr),
+                (addr / spec.icache.line_bytes) % spec.icache.sets()
+            );
+            assert_eq!(params.line_of(addr), addr / spec.icache.line_bytes);
+        }
+        let mut bad = CacheConfig::sa1100_icache();
+        bad.ways = 0;
+        assert!(matches!(
+            AbstractCacheParams::from_config(&bad),
+            Err(GeometryError::ZeroWays)
+        ));
+        let params = ScenarioSpec::sa1100().icache_abstract();
+        assert!(!params.matches(&ScenarioSpec::small_embedded().icache));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 
 use std::sync::Arc;
 
-use fits_bench::{isa_json, run_kernel_scenarios, synth_key, Artifacts, ExperimentError};
+use fits_bench::{
+    cache_bounds_report_with, isa_json, run_kernel_scenarios, synth_key, Artifacts, ExperimentError,
+};
 use fits_core::SynthOptions;
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_obs::json::{escape, parse, Value};
@@ -344,6 +346,75 @@ impl SimulateRequest {
     }
 }
 
+/// A validated `POST /analyze` request — static I-cache analysis for one
+/// kernel, with an optional traced differential.
+#[derive(Clone, Debug)]
+pub struct AnalyzeRequest {
+    /// The kernel to analyze.
+    pub kernel: Kernel,
+    /// Workload scale.
+    pub scale: Scale,
+    /// The resolved machine point.
+    pub scenario: ScenarioSpec,
+    /// Synthesis options for the FITS side.
+    pub synth: SynthOptions,
+    /// Skip the traced run and report the static bounds alone.
+    pub static_only: bool,
+    scenario_canonical: String,
+}
+
+impl AnalyzeRequest {
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`ApiError`] naming the offending field.
+    pub fn from_body(body: &str) -> Result<AnalyzeRequest, ApiError> {
+        let v = parse_body(body)?;
+        reject_unknown(
+            &v,
+            "",
+            &[
+                "kernel",
+                "scale",
+                "scenario",
+                "tech",
+                "icache_bytes",
+                "synth",
+                "static_only",
+            ],
+        )?;
+        let kernel = kernel_field(&v, "")?;
+        let scale = scale_field(&v, "")?;
+        let (scenario_canonical, scenario) = scenario_fields(&v, "")?;
+        let synth = synth_field(&v, "", scenario.synth.clone())?;
+        let static_only = opt_bool(&v, "", "static_only")?.unwrap_or(false);
+        Ok(AnalyzeRequest {
+            kernel,
+            scale,
+            scenario,
+            synth,
+            static_only,
+            scenario_canonical,
+        })
+    }
+
+    /// The canonical request string (the cache/coalescing key). The traced
+    /// differential is deterministic, so the body stays a pure function of
+    /// this key even with `static_only = false`.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "analyze|kernel={}|n={}|{}|static={}|synth={}",
+            self.kernel.name(),
+            self.scale.n,
+            self.scenario_canonical,
+            self.static_only,
+            synth_key(&self.synth),
+        )
+    }
+}
+
 /// A validated `POST /sweep` request.
 #[derive(Clone, Debug)]
 pub struct SweepRequest {
@@ -631,6 +702,39 @@ pub fn simulate_body(
     ))
 }
 
+/// Computes the `/analyze` response body: the `CA` abstract-interpretation
+/// cache analysis for one kernel, embedding the full
+/// `powerfits-cache-bounds-v1` report. The traced differential run is
+/// deterministic, so the body is a pure function of the request and safe
+/// to cache.
+///
+/// # Errors
+///
+/// Propagates pipeline failures ([`ExperimentError`]), reported as 500s.
+pub fn analyze_body(
+    artifacts: &Artifacts,
+    req: &AnalyzeRequest,
+) -> Result<String, ExperimentError> {
+    let report = cache_bounds_report_with(
+        artifacts,
+        &[req.kernel],
+        &req.scenario,
+        req.scale,
+        !req.static_only,
+    )?;
+    Ok(format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"analyze\",\n  \
+         \"kernel\": \"{kernel}\",\n  \"scale_n\": {n},\n  \"scenario\": \"{id}\",\n  \
+         \"traced\": {traced},\n  \"sound\": {sound},\n  \"report\": {report}\n}}\n",
+        kernel = escape(req.kernel.name()),
+        n = req.scale.n,
+        id = escape(req.scenario.id()),
+        traced = !req.static_only,
+        sound = report.is_sound(),
+        report = report.render_json(),
+    ))
+}
+
 /// Computes the `/sweep` response body. Unlike the `fitssweep` archive
 /// this carries no provenance stamp — responses must stay pure functions
 /// of the request for the cache to be sound.
@@ -848,6 +952,48 @@ pub fn validate_serve_json(text: &str) -> Result<String, String> {
                 need_isa(&ctx, s, "fits")?;
             }
         }
+        "analyze" => {
+            need_str("analyze", &v, "kernel")?;
+            need_str("analyze", &v, "scenario")?;
+            need_num("analyze", &v, "scale_n")?;
+            let sound = match v.get("sound") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("analyze: missing boolean field \"sound\"".to_string()),
+            };
+            if !matches!(v.get("traced"), Some(Value::Bool(_))) {
+                return Err("analyze: missing boolean field \"traced\"".to_string());
+            }
+            let report = v
+                .get("report")
+                .ok_or_else(|| "analyze: missing object field \"report\"".to_string())?;
+            if report.get("schema").and_then(Value::as_str) != Some("powerfits-cache-bounds-v1") {
+                return Err(
+                    "analyze: embedded report schema is not \"powerfits-cache-bounds-v1\""
+                        .to_string(),
+                );
+            }
+            match report.get("kernels") {
+                Some(Value::Arr(items)) if !items.is_empty() => {
+                    for (i, k) in items.iter().enumerate() {
+                        let ctx = format!("analyze report kernel {i}");
+                        need_str(&ctx, k, "kernel")?;
+                        for side in ["arm", "fits"] {
+                            let stream = k
+                                .get(side)
+                                .ok_or_else(|| format!("{ctx}: missing object field \"{side}\""))?;
+                            need_num(&format!("{ctx} \"{side}\""), stream, "audit_findings")?;
+                        }
+                    }
+                }
+                _ => return Err("analyze: embedded report has no kernels".to_string()),
+            }
+            match report.get("sound") {
+                Some(Value::Bool(b)) if *b == sound => {}
+                _ => {
+                    return Err("analyze: \"sound\" disagrees with the embedded report".to_string())
+                }
+            }
+        }
         "error" => {
             let err = v
                 .get("error")
@@ -868,6 +1014,8 @@ pub enum PostRequest {
     Synthesize(SynthesizeRequest),
     /// `POST /simulate`.
     Simulate(Box<SimulateRequest>),
+    /// `POST /analyze`.
+    Analyze(Box<AnalyzeRequest>),
     /// `POST /sweep`.
     Sweep(SweepRequest),
 }
@@ -888,6 +1036,9 @@ impl PostRequest {
             "/simulate" => Ok(Some(PostRequest::Simulate(Box::new(
                 SimulateRequest::from_body(body)?,
             )))),
+            "/analyze" => Ok(Some(PostRequest::Analyze(Box::new(
+                AnalyzeRequest::from_body(body)?,
+            )))),
             "/sweep" => Ok(Some(PostRequest::Sweep(SweepRequest::from_body(body)?))),
             _ => Ok(None),
         }
@@ -899,6 +1050,7 @@ impl PostRequest {
         match self {
             PostRequest::Synthesize(r) => r.canonical(),
             PostRequest::Simulate(r) => r.canonical(),
+            PostRequest::Analyze(r) => r.canonical(),
             PostRequest::Sweep(r) => r.canonical(),
         }
     }
@@ -910,6 +1062,7 @@ impl PostRequest {
         match self {
             PostRequest::Synthesize(r) => &r.synth,
             PostRequest::Simulate(r) => &r.synth,
+            PostRequest::Analyze(r) => &r.synth,
             PostRequest::Sweep(r) => &r.synth,
         }
     }
@@ -924,6 +1077,7 @@ impl PostRequest {
         match self {
             PostRequest::Synthesize(r) => synthesize_body(artifacts, r),
             PostRequest::Simulate(r) => simulate_body(artifacts, r),
+            PostRequest::Analyze(r) => analyze_body(artifacts, r),
             PostRequest::Sweep(r) => sweep_body(artifacts, r),
         }
     }
@@ -1023,5 +1177,40 @@ mod tests {
         assert_eq!(validate_serve_json(&healthz_body()).unwrap(), "healthz");
         assert!(validate_serve_json("{\"schema\": \"other\"}").is_err());
         assert!(validate_serve_json("{}").is_err());
+    }
+
+    #[test]
+    fn analyze_request_parses_and_keys_on_the_trace_mode() {
+        let traced = AnalyzeRequest::from_body("{\"kernel\": \"crc32\"}").unwrap();
+        assert!(!traced.static_only);
+        assert_eq!(traced.scenario.id(), "sa1100-i16k");
+        let fast =
+            AnalyzeRequest::from_body("{\"kernel\": \"crc32\", \"static_only\": true}").unwrap();
+        // Same machine point, different computation — distinct cache keys.
+        assert_ne!(traced.canonical(), fast.canonical());
+        let err =
+            AnalyzeRequest::from_body("{\"kernel\": \"crc32\", \"static_only\": 1}").unwrap_err();
+        assert_eq!(
+            (err.code, err.pointer.as_str()),
+            ("bad_type", "/static_only")
+        );
+        let err =
+            AnalyzeRequest::from_body("{\"kernel\": \"crc32\", \"traced\": true}").unwrap_err();
+        assert_eq!(err.code, "unknown_field");
+    }
+
+    #[test]
+    fn analyze_body_validates_and_embeds_a_sound_report() {
+        let req =
+            AnalyzeRequest::from_body("{\"kernel\": \"crc32\", \"static_only\": true}").unwrap();
+        let artifacts = Artifacts::new().with_synth(req.synth.clone());
+        let body = analyze_body(&artifacts, &req).unwrap();
+        assert_eq!(validate_serve_json(&body).unwrap(), "analyze");
+        assert!(body.contains("\"sound\": true"));
+        // A lying top-level soundness flag is caught by the validator.
+        let lying = body.replace("\"sound\": true,", "\"sound\": false,");
+        assert!(validate_serve_json(&lying)
+            .unwrap_err()
+            .contains("disagrees"));
     }
 }

@@ -10,6 +10,7 @@
 //!   wait [--timeout SECS]     poll /healthz until the daemon answers
 //!   synthesize [JSON]         POST /synthesize (default {"kernel":"crc32"})
 //!   simulate   [JSON]         POST /simulate   (default {"kernel":"crc32"})
+//!   analyze    [JSON]         POST /analyze    (default {"kernel":"crc32"})
 //!   sweep      [JSON]         POST /sweep      (default {} = full grid)
 //!   smoke                     drive every endpoint once, validate schemas
 //!   bench [--clients N] [--passes N] [--expect-hit-rate F]
@@ -69,8 +70,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: fitsctl [--addr HOST:PORT] COMMAND\n\
          commands: health | metrics | wait [--timeout SECS] | \
-         synthesize [JSON] | simulate [JSON] | sweep [JSON] | smoke | \
-         bench [--clients N] [--passes N] [--expect-hit-rate F]"
+         synthesize [JSON] | simulate [JSON] | analyze [JSON] | sweep [JSON] | \
+         smoke | bench [--clients N] [--passes N] [--expect-hit-rate F]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -154,6 +155,17 @@ fn cmd_smoke(addr: SocketAddr) {
         fail("smoke", &"repeated /synthesize responses differ");
     }
     checked(addr, "POST", "/simulate", "{\"kernel\": \"crc32\"}");
+    // The cache analysis must come back sound for a healthy daemon; the
+    // static-only variant exercises the bounds report without a trace.
+    let analyzed = checked(
+        addr,
+        "POST",
+        "/analyze",
+        "{\"kernel\": \"crc32\", \"static_only\": true}",
+    );
+    if !analyzed.contains("\"sound\": true") {
+        fail("smoke", &"/analyze reported unsound cache bounds");
+    }
     checked(
         addr,
         "POST",
@@ -405,7 +417,7 @@ fn main() {
         "metrics" => println!("{}", checked(addr, "GET", "/metrics", "")),
         "wait" => cmd_wait(addr, &opts.rest),
         "smoke" => cmd_smoke(addr),
-        "synthesize" | "simulate" | "sweep" => {
+        "synthesize" | "simulate" | "analyze" | "sweep" => {
             let default = if opts.command == "sweep" {
                 "{}"
             } else {

@@ -233,10 +233,13 @@ fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
                 state.cache.len(),
             ),
         ),
-        ("POST", "/synthesize" | "/simulate" | "/sweep") => {
+        ("POST", "/synthesize" | "/simulate" | "/analyze" | "/sweep") => {
             handle_post(state, &request.target, &request.body)
         }
-        ("GET" | "POST", "/healthz" | "/metrics" | "/synthesize" | "/simulate" | "/sweep") => {
+        (
+            "GET" | "POST",
+            "/healthz" | "/metrics" | "/synthesize" | "/simulate" | "/analyze" | "/sweep",
+        ) => {
             let err = ApiError {
                 code: "method_not_allowed",
                 pointer: String::new(),

@@ -29,6 +29,10 @@ fn jobs() -> Vec<(&'static str, String)> {
             "/simulate",
             format!("{{\"kernel\": \"{k1}\", \"scenario\": \"small-embedded\"}}"),
         ),
+        (
+            "/analyze",
+            format!("{{\"kernel\": \"{k0}\", \"static_only\": true}}"),
+        ),
     ]
 }
 
@@ -157,6 +161,11 @@ fn validation_failures_are_structured_400s_end_to_end() {
             "/synthesize",
             "{\"kernel\": \"crc32\", \"synth\": {\"space_budget\": 7}}",
             "/synth/space_budget",
+        ),
+        (
+            "/analyze",
+            "{\"kernel\": \"crc32\", \"static_only\": \"yes\"}",
+            "/static_only",
         ),
     ] {
         let (status, text) = client::post(addr, target, body).expect("request");

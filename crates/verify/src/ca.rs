@@ -1,0 +1,842 @@
+//! `CA` — static I-cache analysis by abstract interpretation.
+//!
+//! Classifies every instruction fetch of a program as **always-hit**,
+//! **always-miss**, **persistent** (at most one miss over the whole run)
+//! or **unknown**, from the program text alone, for a given cache geometry
+//! ([`AbstractCacheParams`]). Three classic abstract domains run on the
+//! shared [fixpoint](crate::fixpoint) solver over the conservative
+//! [CFG](crate::cfg):
+//!
+//! * **must** (Ferdinand-style age vectors): an upper bound on each
+//!   text line's LRU age; a line with a bounded age at a fetch is
+//!   guaranteed cached → always-hit. Under pseudo-random replacement ages
+//!   carry no meaning, so the transfer degrades soundly: any possible
+//!   miss clears the whole set's guarantees.
+//! * **may** (ever-possibly-loaded): a monotone over-approximation of the
+//!   lines any path may have loaded. A line outside the may set at a
+//!   fetch cannot be cached (the cache starts cold) → always-miss. No
+//!   eviction is modeled, which keeps the domain sound for *any*
+//!   replacement policy.
+//! * **persistence** (per set): when the distinct text lines that can map
+//!   to a set fit its associativity, no line of that set is ever evicted
+//!   (the simulated caches always prefer an invalid way as victim), so
+//!   each line misses at most once — first-miss/persistent.
+//!
+//! The word-level view matters because the simulator fetches 32-bit words
+//! and skips the fetch while execution stays inside the word it last
+//! fetched (`last_fetch_word`). Only *fetch points* — the entry, the first
+//! instruction of each word, and jump targets — can start a real access,
+//! so a word's class is the join over its fetch points, and per-block
+//! energy envelopes charge each word of a block once per execution except
+//! possibly the first.
+//!
+//! Treating every node as an access in the transfers stays sound under the
+//! fetch filter: inside an unbroken same-word run no other I-cache access
+//! occurs, so the just-fetched line genuinely is the most recent access
+//! (must), and extra insertions only grow the may set.
+//!
+//! The `CA` diagnostics audit an analysis *result* against independently
+//! rebuilt ground truth — the seams that let the seeded-fault tests prove
+//! the audit catches a cooked analysis:
+//! * `CA001` — a fetch claimed always-hit whose line the may/must states
+//!   do not support (an unsound hit claim).
+//! * `CA002` — the analysis geometry disagrees with the machine's actual
+//!   cache configuration.
+//! * `CA003` — the analyzed CFG is missing an edge of the rebuilt CFG
+//!   (a dropped path makes every domain unsound).
+
+use fits_core::FitsOp;
+use fits_isa::{Program, TEXT_BASE};
+use fits_power::AccessEnergyBounds;
+use fits_scenario::AbstractCacheParams;
+use fits_sim::{CacheConfig, Replacement};
+
+use crate::cfg::{fits_cfg, native_cfg, Cfg, CfgBuild};
+use crate::fixpoint::{solve, Domain};
+use crate::Diagnostic;
+
+/// Age marker for "not guaranteed cached" in the must domain.
+const AGE_NONE: u8 = u8::MAX;
+
+/// Revisit budget before the solver escalates joins to widening.
+const WIDEN_AFTER: usize = 64;
+
+/// Static classification of a fetch (a node or a fetch word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchClass {
+    /// Every execution of this fetch hits the cache.
+    AlwaysHit,
+    /// Every execution of this fetch misses the cache.
+    AlwaysMiss,
+    /// The line misses at most once over the whole run.
+    Persistent,
+    /// Nothing is guaranteed.
+    Unknown,
+    /// No path from the entry reaches this fetch.
+    Unreachable,
+}
+
+impl FetchClass {
+    /// Stable lowercase name (JSON field values).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FetchClass::AlwaysHit => "always-hit",
+            FetchClass::AlwaysMiss => "always-miss",
+            FetchClass::Persistent => "persistent",
+            FetchClass::Unknown => "unknown",
+            FetchClass::Unreachable => "unreachable",
+        }
+    }
+}
+
+/// Per-fetch-word classification — the unit the simulator's fetch path
+/// (and the per-PC trace histogram) actually counts.
+#[derive(Clone, Debug)]
+pub struct WordSummary {
+    /// Word index from [`TEXT_BASE`] (stride 4 bytes).
+    pub index: usize,
+    /// Word-aligned byte address.
+    pub addr: u32,
+    /// Cache set this word maps to.
+    pub set: u32,
+    /// Absolute line number (`addr / line_bytes`).
+    pub line: u32,
+    /// Join of the classes of the word's reachable fetch points.
+    pub class: FetchClass,
+    /// Whether the word's line lives in a persistent set.
+    pub persistent_line: bool,
+}
+
+/// A basic block with its per-execution fetch-energy envelope.
+#[derive(Clone, Debug)]
+pub struct BlockSummary {
+    /// First node (instruction index) of the block.
+    pub first: usize,
+    /// Last node of the block (inclusive).
+    pub last: usize,
+    /// Byte address of the first node.
+    pub addr: u32,
+    /// Whether any node of the block is reachable.
+    pub reachable: bool,
+}
+
+/// The complete static cache analysis of one instruction stream.
+#[derive(Clone, Debug)]
+pub struct CacheAnalysis {
+    /// Geometry the analysis ran against.
+    pub params: AbstractCacheParams,
+    /// Bytes per instruction: 4 (native AR32) or 2 (FITS).
+    pub instr_bytes: u32,
+    /// Entry node.
+    pub entry: usize,
+    /// The CFG the solver ran on.
+    pub cfg: Cfg,
+    /// Nodes that receive control by a non-fall-through edge.
+    pub jump_target: Vec<bool>,
+    /// Nodes that can start a real (unfiltered) instruction fetch.
+    pub fetch_point: Vec<bool>,
+    /// Per-node classification.
+    pub node_class: Vec<FetchClass>,
+    /// Per-set persistence (length = `params.sets`).
+    pub persistent_set: Vec<bool>,
+    /// Per-fetch-word classification.
+    pub words: Vec<WordSummary>,
+    /// Basic blocks in address order.
+    pub blocks: Vec<BlockSummary>,
+    /// Solver visits spent on (must, may).
+    pub passes: (usize, usize),
+    /// Per node: accessed line is in the node's must state (guaranteed
+    /// cached). Supports the `CA001` audit.
+    node_line_in_must: Vec<bool>,
+    /// Per node: accessed line is in the node's may state (possibly
+    /// cached). Supports the `CA001` audit.
+    node_line_in_may: Vec<bool>,
+}
+
+/// Dense line table of a text section: maps nodes to line indices and
+/// lines to sets.
+struct LineMap {
+    /// Dense line index per node.
+    node_line: Vec<usize>,
+    /// Cache set per dense line.
+    line_set: Vec<u32>,
+}
+
+impl LineMap {
+    fn new(n: usize, instr_bytes: u32, params: &AbstractCacheParams) -> LineMap {
+        let first_line = params.line_of(TEXT_BASE);
+        let node_line: Vec<usize> = (0..n)
+            .map(|i| (params.line_of(TEXT_BASE + instr_bytes * i as u32) - first_line) as usize)
+            .collect();
+        let lines = node_line.last().map_or(0, |&l| l + 1);
+        // A line's set is its absolute line number modulo the set count.
+        let line_set: Vec<u32> = (0..lines)
+            .map(|l| (first_line + l as u32) % params.sets)
+            .collect();
+        LineMap {
+            node_line,
+            line_set,
+        }
+    }
+}
+
+/// The must domain: per-line upper bounds on LRU age (`AGE_NONE` = no
+/// guarantee). Under [`Replacement::PseudoRandom`] only presence is
+/// tracked and any possible miss wipes the set.
+struct MustDomain<'a> {
+    map: &'a LineMap,
+    ways: u8,
+    policy: Replacement,
+}
+
+impl Domain for MustDomain<'_> {
+    type State = Vec<u8>;
+
+    fn entry_state(&self) -> Vec<u8> {
+        // Cold cache: nothing is guaranteed present.
+        vec![AGE_NONE; self.map.line_set.len()]
+    }
+
+    fn join(&self, into: &mut Vec<u8>, other: &Vec<u8>) -> bool {
+        let mut changed = false;
+        for (a, &b) in into.iter_mut().zip(other) {
+            if b > *a {
+                *a = b;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, node: usize, input: &Vec<u8>) -> Vec<u8> {
+        let mut st = input.clone();
+        let l = self.map.node_line[node];
+        let set = self.map.line_set[l];
+        match self.policy {
+            Replacement::Lru => {
+                // Ferdinand must-update: same-set lines younger than the
+                // accessed line age by one (falling out at `ways`); the
+                // accessed line becomes most-recent.
+                let a = st[l];
+                for (m, &s) in self.map.line_set.iter().enumerate() {
+                    if s != set || m == l || st[m] == AGE_NONE || st[m] >= a {
+                        continue;
+                    }
+                    st[m] += 1;
+                    if st[m] >= self.ways {
+                        st[m] = AGE_NONE;
+                    }
+                }
+            }
+            Replacement::PseudoRandom => {
+                // A possible miss may evict any line of the set; a
+                // guaranteed hit evicts nothing.
+                if st[l] == AGE_NONE {
+                    for (m, &s) in self.map.line_set.iter().enumerate() {
+                        if s == set {
+                            st[m] = AGE_NONE;
+                        }
+                    }
+                }
+            }
+        }
+        st[l] = 0;
+        st
+    }
+
+    fn widen(&self, into: &mut Vec<u8>, other: &Vec<u8>) -> bool {
+        // Jump straight to "no guarantee" on any still-rising age.
+        let mut changed = false;
+        for (a, &b) in into.iter_mut().zip(other) {
+            if b > *a {
+                *a = AGE_NONE;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// The may domain: the monotone set of lines any path may have loaded so
+/// far. No eviction — sound for every replacement policy.
+struct MayDomain<'a> {
+    map: &'a LineMap,
+}
+
+impl Domain for MayDomain<'_> {
+    type State = Vec<bool>;
+
+    fn entry_state(&self) -> Vec<bool> {
+        vec![false; self.map.line_set.len()]
+    }
+
+    fn join(&self, into: &mut Vec<bool>, other: &Vec<bool>) -> bool {
+        let mut changed = false;
+        for (a, &b) in into.iter_mut().zip(other) {
+            if b && !*a {
+                *a = true;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, node: usize, input: &Vec<bool>) -> Vec<bool> {
+        let mut st = input.clone();
+        st[self.map.node_line[node]] = true;
+        st
+    }
+}
+
+/// Analyzes a native AR32 program (4-byte instructions).
+#[must_use]
+pub fn analyze_native_cache(program: &Program, params: AbstractCacheParams) -> CacheAnalysis {
+    analyze_native_cache_with(program, params, native_cfg(program))
+}
+
+/// Native analysis over a caller-supplied CFG build.
+///
+/// Exists so the seeded-fault tests can hand in a doctored graph and prove
+/// [`audit`] reports `CA003`; normal callers use [`analyze_native_cache`].
+#[doc(hidden)]
+#[must_use]
+pub fn analyze_native_cache_with(
+    _program: &Program,
+    params: AbstractCacheParams,
+    build: CfgBuild,
+) -> CacheAnalysis {
+    analyze_stream(params, 4, build)
+}
+
+/// Analyzes a translated FITS program (2-byte instructions): `ops` are the
+/// decoded words (`None` for undecodable ones), `targets` the binary's
+/// target dictionary.
+#[must_use]
+pub fn analyze_fits_cache(
+    ops: &[Option<FitsOp>],
+    entry: usize,
+    targets: &[u32],
+    params: AbstractCacheParams,
+) -> CacheAnalysis {
+    analyze_fits_cache_with(params, fits_cfg(ops, entry, targets))
+}
+
+/// FITS analysis over a caller-supplied CFG build (`CA003` test seam).
+#[doc(hidden)]
+#[must_use]
+pub fn analyze_fits_cache_with(params: AbstractCacheParams, build: CfgBuild) -> CacheAnalysis {
+    analyze_stream(params, 2, build)
+}
+
+fn analyze_stream(params: AbstractCacheParams, instr_bytes: u32, build: CfgBuild) -> CacheAnalysis {
+    let CfgBuild {
+        cfg,
+        jump_target,
+        entry,
+    } = build;
+    let n = cfg.len();
+    let map = LineMap::new(n, instr_bytes, &params);
+
+    let must = MustDomain {
+        map: &map,
+        // Ages are u8: an associativity beyond the marker value cannot be
+        // tracked and degrades (soundly) to earlier eviction.
+        ways: u8::try_from(params.ways.min(u32::from(AGE_NONE) - 1)).unwrap_or(AGE_NONE - 1),
+        policy: params.policy,
+    };
+    let may = MayDomain { map: &map };
+    let must_sol = solve(&cfg, &must, &[entry], WIDEN_AFTER);
+    let may_sol = solve(&cfg, &may, &[entry], WIDEN_AFTER);
+
+    // Per-set persistence: distinct reachable lines per set vs ways.
+    let mut line_reachable = vec![false; map.line_set.len()];
+    for (node, input) in must_sol.input.iter().enumerate() {
+        if input.is_some() {
+            line_reachable[map.node_line[node]] = true;
+        }
+    }
+    let mut set_lines = vec![0u32; params.sets as usize];
+    for (l, &reach) in line_reachable.iter().enumerate() {
+        if reach {
+            set_lines[map.line_set[l] as usize] += 1;
+        }
+    }
+    let persistent_set: Vec<bool> = set_lines.iter().map(|&c| c <= params.ways).collect();
+
+    // Node classification.
+    let mut node_class = vec![FetchClass::Unreachable; n];
+    let mut node_line_in_must = vec![false; n];
+    let mut node_line_in_may = vec![false; n];
+    for node in 0..n {
+        let l = map.node_line[node];
+        let (Some(must_in), Some(may_in)) = (&must_sol.input[node], &may_sol.input[node]) else {
+            continue;
+        };
+        node_line_in_must[node] = must_in[l] != AGE_NONE;
+        node_line_in_may[node] = may_in[l];
+        node_class[node] = if node_line_in_must[node] {
+            FetchClass::AlwaysHit
+        } else if !node_line_in_may[node] {
+            FetchClass::AlwaysMiss
+        } else if persistent_set[map.line_set[l] as usize] {
+            FetchClass::Persistent
+        } else {
+            FetchClass::Unknown
+        };
+    }
+
+    // Fetch points: the entry, word-aligned nodes, and jump targets.
+    let fetch_point: Vec<bool> = (0..n)
+        .map(|node| {
+            node == entry || (node as u32 * instr_bytes).is_multiple_of(4) || jump_target[node]
+        })
+        .collect();
+
+    let nodes_per_word = (4 / instr_bytes) as usize;
+    let n_words = n.div_ceil(nodes_per_word);
+    let words: Vec<WordSummary> = (0..n_words)
+        .map(|w| {
+            let nodes = (w * nodes_per_word)..((w + 1) * nodes_per_word).min(n);
+            let addr = TEXT_BASE + 4 * w as u32;
+            let line = params.line_of(addr);
+            WordSummary {
+                index: w,
+                addr,
+                set: params.set_of(addr),
+                line,
+                class: join_word_class(
+                    nodes.filter(|&i| fetch_point[i]).map(|i| node_class[i]),
+                    persistent_set[params.set_of(addr) as usize],
+                ),
+                persistent_line: persistent_set[params.set_of(addr) as usize],
+            }
+        })
+        .collect();
+
+    // Basic blocks: leaders are node 0, jump targets, and successors of
+    // nodes that do not fall through.
+    let mut leader = vec![false; n];
+    if n > 0 {
+        leader[0] = true;
+        leader[entry] = true;
+    }
+    for node in 0..n {
+        if jump_target[node] {
+            leader[node] = true;
+        }
+        if node + 1 < n && !cfg.has_edge(node, node + 1) {
+            leader[node + 1] = true;
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    for (node, &is_leader) in leader.iter().enumerate().skip(1) {
+        if is_leader {
+            blocks.push(BlockSummary {
+                first: start,
+                last: node - 1,
+                addr: TEXT_BASE + instr_bytes * start as u32,
+                reachable: (start..node).any(|i| node_class[i] != FetchClass::Unreachable),
+            });
+            start = node;
+        }
+    }
+    if n > 0 {
+        blocks.push(BlockSummary {
+            first: start,
+            last: n - 1,
+            addr: TEXT_BASE + instr_bytes * start as u32,
+            reachable: (start..n).any(|i| node_class[i] != FetchClass::Unreachable),
+        });
+    }
+
+    CacheAnalysis {
+        params,
+        instr_bytes,
+        entry,
+        cfg,
+        jump_target,
+        fetch_point,
+        node_class,
+        persistent_set,
+        words,
+        blocks,
+        passes: (must_sol.passes, may_sol.passes),
+        node_line_in_must,
+        node_line_in_may,
+    }
+}
+
+/// Joins the classes of a word's reachable fetch points.
+fn join_word_class(classes: impl Iterator<Item = FetchClass>, persistent_line: bool) -> FetchClass {
+    let mut all_hit = true;
+    let mut all_miss = true;
+    let mut any = false;
+    for c in classes {
+        if c == FetchClass::Unreachable {
+            continue;
+        }
+        any = true;
+        all_hit &= c == FetchClass::AlwaysHit;
+        all_miss &= c == FetchClass::AlwaysMiss;
+    }
+    if !any {
+        FetchClass::Unreachable
+    } else if all_hit {
+        FetchClass::AlwaysHit
+    } else if all_miss {
+        FetchClass::AlwaysMiss
+    } else if persistent_line {
+        FetchClass::Persistent
+    } else {
+        FetchClass::Unknown
+    }
+}
+
+impl CacheAnalysis {
+    /// The fetch word containing a node.
+    #[must_use]
+    pub fn word_of(&self, node: usize) -> usize {
+        node * self.instr_bytes as usize / 4
+    }
+
+    /// Counts of words per class: (always-hit, always-miss, persistent,
+    /// unknown, unreachable).
+    #[must_use]
+    pub fn word_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for w in &self.words {
+            match w.class {
+                FetchClass::AlwaysHit => c.0 += 1,
+                FetchClass::AlwaysMiss => c.1 += 1,
+                FetchClass::Persistent => c.2 += 1,
+                FetchClass::Unknown => c.3 += 1,
+                FetchClass::Unreachable => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    /// The fetch-energy envelope of one word's real accesses, per access:
+    /// an always-hit word costs hit energy, an always-miss word miss
+    /// energy, anything else brackets both.
+    #[must_use]
+    pub fn word_energy(&self, word: usize, bounds: &AccessEnergyBounds) -> (f64, f64) {
+        let class = self.words[word].class;
+        let lo = if class == FetchClass::AlwaysMiss {
+            bounds.miss_min_j
+        } else {
+            bounds.hit_min_j
+        };
+        let hi = if class == FetchClass::AlwaysHit {
+            bounds.hit_max_j
+        } else {
+            bounds.miss_max_j
+        };
+        (lo, hi)
+    }
+
+    /// Per-execution fetch-energy envelopes of every block, parallel to
+    /// [`CacheAnalysis::blocks`].
+    ///
+    /// Executing a block touches each of its fetch words once — except the
+    /// first word, which may already be resident in the fetch buffer when
+    /// the block is entered mid-word, so only the upper bound charges it.
+    /// Unreachable blocks never execute and get `(0, 0)`.
+    #[must_use]
+    pub fn block_envelopes(&self, bounds: &AccessEnergyBounds) -> Vec<(f64, f64)> {
+        self.blocks
+            .iter()
+            .map(|b| {
+                if !b.reachable {
+                    return (0.0, 0.0);
+                }
+                let first_word = self.word_of(b.first);
+                let last_word = self.word_of(b.last);
+                let mut lo = 0.0;
+                let mut hi = 0.0;
+                for w in first_word..=last_word {
+                    let (e_lo, e_hi) = self.word_energy(w, bounds);
+                    if w != first_word {
+                        lo += e_lo;
+                    }
+                    hi += e_hi;
+                }
+                (lo, hi)
+            })
+            .collect()
+    }
+
+    /// Overrides one node's classification and rebuilds the containing
+    /// word's class. `CA001` test seam: the audit must notice a fetch
+    /// upgraded to always-hit against the domain evidence.
+    #[doc(hidden)]
+    pub fn force_class(&mut self, node: usize, class: FetchClass) {
+        self.node_class[node] = class;
+        let w = self.word_of(node);
+        let nodes_per_word = (4 / self.instr_bytes) as usize;
+        let nodes = (w * nodes_per_word)..((w + 1) * nodes_per_word).min(self.node_class.len());
+        self.words[w].class = join_word_class(
+            nodes
+                .filter(|&i| self.fetch_point[i])
+                .map(|i| self.node_class[i]),
+            self.words[w].persistent_line,
+        );
+    }
+
+    /// Overrides the recorded geometry. `CA002` test seam: the audit must
+    /// notice an analysis run against the wrong associativity.
+    #[doc(hidden)]
+    pub fn force_params(&mut self, params: AbstractCacheParams) {
+        self.params = params;
+    }
+}
+
+/// Audits an analysis against independently rebuilt ground truth: the
+/// machine's actual I-cache configuration and a freshly built CFG.
+/// Returns `CA001`–`CA003` findings (empty for a sound analysis).
+#[must_use]
+pub fn audit(
+    analysis: &CacheAnalysis,
+    rebuilt: &CfgBuild,
+    icache: &CacheConfig,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Anchor findings to the right instruction space.
+    let anchor = |d: Diagnostic, node: usize| {
+        if analysis.instr_bytes == 4 {
+            d.at_arm(node)
+        } else {
+            d.at_fits(node)
+        }
+    };
+
+    // CA002: the analysis must have run against this machine's geometry.
+    if !analysis.params.matches(icache) {
+        diags.push(Diagnostic::error(
+            "CA002",
+            format!(
+                "analysis geometry ({} sets x {} ways x {} B lines, {:?}) does not match \
+                 the machine's I-cache ({} sets x {} ways x {} B lines, {:?})",
+                analysis.params.sets,
+                analysis.params.ways,
+                analysis.params.line_bytes,
+                analysis.params.policy,
+                icache.sets(),
+                icache.ways,
+                icache.line_bytes,
+                icache.replacement,
+            ),
+        ));
+    }
+
+    // CA003: every edge of the rebuilt CFG must be in the analyzed CFG.
+    if rebuilt.cfg.len() != analysis.cfg.len() {
+        diags.push(Diagnostic::error(
+            "CA003",
+            format!(
+                "analyzed CFG has {} nodes but the program has {}",
+                analysis.cfg.len(),
+                rebuilt.cfg.len()
+            ),
+        ));
+    } else {
+        for (from, succs) in rebuilt.cfg.succs.iter().enumerate() {
+            for &to in succs {
+                if !analysis.cfg.has_edge(from, to) {
+                    diags.push(anchor(
+                        Diagnostic::error(
+                            "CA003",
+                            format!(
+                                "CFG edge {from} -> {to} of the program is missing from \
+                                 the analyzed graph: the fixpoint ignored a path"
+                            ),
+                        ),
+                        from,
+                    ));
+                }
+            }
+        }
+    }
+
+    // CA001: an always-hit claim needs the domains' backing — the line in
+    // the node's must state (and a fortiori its may state).
+    for (node, &class) in analysis.node_class.iter().enumerate() {
+        if class == FetchClass::AlwaysHit
+            && !(analysis.node_line_in_must[node] && analysis.node_line_in_may[node])
+        {
+            diags.push(anchor(
+                Diagnostic::error(
+                    "CA001",
+                    format!(
+                        "fetch at node {node} is classified always-hit but the abstract \
+                         states do not guarantee its line is cached (unsound hit claim)"
+                    ),
+                ),
+                node,
+            ));
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fits_isa::{Cond, Instr, Operand2, Reg};
+
+    fn params(sets: u32, ways: u32, line_bytes: u32, policy: Replacement) -> AbstractCacheParams {
+        AbstractCacheParams {
+            sets,
+            ways,
+            line_bytes,
+            policy,
+        }
+    }
+
+    fn straight(n: usize) -> Program {
+        let mut text: Vec<Instr> = (0..n.saturating_sub(1))
+            .map(|_| Instr::mov(Reg::R0, Operand2::imm(1).unwrap()))
+            .collect();
+        text.push(Instr::Swi {
+            cond: Cond::Al,
+            imm: 0,
+        });
+        Program {
+            text,
+            ..Program::default()
+        }
+    }
+
+    /// A straight-line program that fits the cache: the first access of
+    /// each line misses (cold), every other access hits.
+    #[test]
+    fn straight_line_small_program_is_cold_miss_then_hits() {
+        // 16 instructions = 64 bytes = 2 lines of 32 B; 4 sets, 2 ways LRU.
+        let p = straight(16);
+        let a = analyze_native_cache(&p, params(4, 2, 32, Replacement::Lru));
+        for (i, &class) in a.node_class.iter().enumerate() {
+            let first_of_line = (TEXT_BASE + 4 * i as u32).is_multiple_of(32);
+            if first_of_line {
+                assert_eq!(class, FetchClass::AlwaysMiss, "node {i}");
+            } else {
+                assert_eq!(class, FetchClass::AlwaysHit, "node {i}");
+            }
+        }
+        // Every set holds at most its ways of text lines here: persistent.
+        assert!(a.persistent_set.iter().all(|&p| p));
+    }
+
+    /// A loop whose body fits the cache: first iteration may miss, later
+    /// iterations hit — lines are persistent, loop-head fetches are not
+    /// always-miss (they re-execute) and not always-hit (cold start).
+    #[test]
+    fn looping_program_is_persistent_when_it_fits() {
+        // 0..6: body; 6: conditional branch back to 0; 7: swi 0.
+        let mut text: Vec<Instr> = (0..6)
+            .map(|_| Instr::mov(Reg::R0, Operand2::imm(1).unwrap()))
+            .collect();
+        text.push(Instr::Branch {
+            cond: Cond::Ne,
+            link: false,
+            offset: -8, // 6 + 2 - 8 = 0
+        });
+        text.push(Instr::Swi {
+            cond: Cond::Al,
+            imm: 0,
+        });
+        let p = Program {
+            text,
+            ..Program::default()
+        };
+        let a = analyze_native_cache(&p, params(4, 2, 32, Replacement::Lru));
+        // 8 instructions = 1 line. The loop head's line is loaded on the
+        // back edge path, so it is not always-miss; cold entry means not
+        // always-hit; one line in the set means persistent.
+        assert_eq!(a.node_class[0], FetchClass::Persistent);
+        // Mid-line nodes always hit: the line was fetched at node 0 on
+        // every path and nothing evicts it.
+        assert_eq!(a.node_class[3], FetchClass::AlwaysHit);
+    }
+
+    /// A program larger than the cache cannot promise persistence for the
+    /// conflicting sets.
+    #[test]
+    fn conflicting_lines_demote_to_unknown() {
+        // 64 instructions = 256 B over a tiny 2-set 1-way 32 B cache: 8
+        // lines onto 2 sets.
+        let mut text: Vec<Instr> = (0..62)
+            .map(|_| Instr::mov(Reg::R0, Operand2::imm(1).unwrap()))
+            .collect();
+        text.push(Instr::Branch {
+            cond: Cond::Ne,
+            link: false,
+            offset: -64, // 62 + 2 - 64 = 0: loop the whole text
+        });
+        text.push(Instr::Swi {
+            cond: Cond::Al,
+            imm: 0,
+        });
+        let p = Program {
+            text,
+            ..Program::default()
+        };
+        let a = analyze_native_cache(&p, params(2, 1, 32, Replacement::Lru));
+        assert!(a.persistent_set.iter().all(|&p| !p));
+        assert_eq!(a.node_class[0], FetchClass::Unknown);
+        // Within a line, the immediately preceding fetch loaded it and
+        // direct-mapped LRU cannot evict it in between: still always-hit.
+        assert_eq!(a.node_class[1], FetchClass::AlwaysHit);
+    }
+
+    /// Pseudo-random replacement keeps within-line hits but drops LRU
+    /// cross-line reasoning on possible misses.
+    #[test]
+    fn pseudo_random_clears_set_on_possible_miss() {
+        let p = straight(16);
+        let a = analyze_native_cache(&p, params(1, 2, 32, Replacement::PseudoRandom));
+        // Two lines, one set, 2 ways: under LRU both fit (all later
+        // accesses hit). Under random-must, the second line's cold miss
+        // clears the first line's guarantee, but within-line hits hold.
+        assert_eq!(a.node_class[0], FetchClass::AlwaysMiss);
+        assert_eq!(a.node_class[1], FetchClass::AlwaysHit);
+        assert_eq!(a.node_class[8], FetchClass::AlwaysMiss, "second line cold");
+        assert_eq!(a.node_class[9], FetchClass::AlwaysHit);
+    }
+
+    #[test]
+    fn audit_is_clean_on_sound_analysis() {
+        let p = straight(16);
+        let prm = params(4, 2, 32, Replacement::Lru);
+        let a = analyze_native_cache(&p, prm);
+        let cfg = CacheConfig {
+            name: "t".to_string(),
+            size_bytes: 4 * 2 * 32,
+            ways: 2,
+            line_bytes: 32,
+            replacement: Replacement::Lru,
+        };
+        assert!(audit(&a, &native_cfg(&p), &cfg).is_empty());
+    }
+
+    #[test]
+    fn block_envelopes_follow_word_classes() {
+        let p = straight(16);
+        let a = analyze_native_cache(&p, params(4, 2, 32, Replacement::Lru));
+        let bounds = AccessEnergyBounds {
+            hit_min_j: 1.0,
+            hit_max_j: 2.0,
+            miss_min_j: 10.0,
+            miss_max_j: 20.0,
+        };
+        let envs = a.block_envelopes(&bounds);
+        assert_eq!(envs.len(), a.blocks.len());
+        // One straight-line block of 16 words: 2 always-miss (cold line
+        // fronts), 14 always-hit. Lower bound skips the first word.
+        let (lo, hi) = envs[0];
+        assert!((lo - (10.0 + 14.0 * 1.0)).abs() < 1e-12, "lo {lo}");
+        assert!((hi - (2.0 * 20.0 + 14.0 * 2.0)).abs() < 1e-12, "hi {hi}");
+    }
+}

@@ -1,0 +1,456 @@
+//! Control-flow graphs over native AR32 and translated FITS programs.
+//!
+//! Two builder families with different contracts:
+//!
+//! * [`native_cfg`] / [`fits_cfg`] build **conservative** graphs for the
+//!   cache analysis: every possible transfer of control has an edge. Where
+//!   a target cannot be resolved statically (an indirect PC write from a
+//!   computed value) the node gets edges to *every* node — extra edges
+//!   only weaken the analysis, never make it unsound.
+//! * The `df` family keeps its own, deliberately narrower successor rules
+//!   (indirect jumps get *no* successors there, which is the right
+//!   treatment for backward liveness); those rules live in `df.rs` and are
+//!   merely wrapped into a [`Cfg`] to run on the shared solver.
+//!
+//! Return-point resolution: a `mov pc, lr` is an indirect jump, but when
+//! the link register is only ever written by linking branches (`bl`,
+//! `jalr`) its value is always a return address, so the edge set shrinks
+//! to the instructions following the link sites. One write of `lr` from
+//! anywhere else (a load, a move) poisons that reasoning and the builders
+//! fall back to all-node edges.
+
+use fits_core::FitsOp;
+use fits_isa::{Cond, DpOp, Instr, Operand2, Program, Reg, Shift, TEXT_BASE};
+use fits_sim::instr_meta;
+
+/// A directed graph over instruction indices, with both edge directions
+/// materialized so forward and backward analyses pay the same cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cfg {
+    /// Successors of each node, deduplicated, ascending.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessors of each node, deduplicated, ascending.
+    pub preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds a graph from successor lists, deriving predecessors.
+    #[must_use]
+    pub fn from_succs(mut succs: Vec<Vec<usize>>) -> Cfg {
+        let n = succs.len();
+        for list in &mut succs {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (node, list) in succs.iter().enumerate() {
+            for &s in list {
+                preds[s].push(node);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The edge-reversed graph — backward analyses run the forward solver
+    /// over this.
+    #[must_use]
+    pub fn reversed(&self) -> Cfg {
+        Cfg {
+            succs: self.preds.clone(),
+            preds: self.succs.clone(),
+        }
+    }
+
+    /// Whether `from → to` is an edge.
+    #[must_use]
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.succs
+            .get(from)
+            .is_some_and(|list| list.binary_search(&to).is_ok())
+    }
+}
+
+/// A built graph plus the side information the cache analysis needs.
+#[derive(Clone, Debug)]
+pub struct CfgBuild {
+    /// The conservative graph.
+    pub cfg: Cfg,
+    /// Nodes that receive control by a jump, branch or call — any edge
+    /// that is not the fall-through from the previous instruction. These
+    /// always (re)start an instruction fetch.
+    pub jump_target: Vec<bool>,
+    /// The program entry node.
+    pub entry: usize,
+}
+
+/// Accumulates successor edges plus the jump-target marks.
+struct Edges {
+    succs: Vec<Vec<usize>>,
+    jump_target: Vec<bool>,
+}
+
+impl Edges {
+    fn new(n: usize) -> Edges {
+        Edges {
+            succs: vec![Vec::new(); n],
+            jump_target: vec![false; n],
+        }
+    }
+
+    fn fall_through(&mut self, from: usize) {
+        if from + 1 < self.succs.len() {
+            self.succs[from].push(from + 1);
+        }
+    }
+
+    fn jump(&mut self, from: usize, to: usize) {
+        if to < self.succs.len() {
+            self.succs[from].push(to);
+            self.jump_target[to] = true;
+        }
+    }
+
+    fn jump_all(&mut self, from: usize) {
+        let n = self.succs.len();
+        self.succs[from] = (0..n).collect();
+        for t in &mut self.jump_target {
+            *t = true;
+        }
+    }
+}
+
+/// Whether an instruction is the `mov pc, lr` return idiom (a plain
+/// unshifted move of the link register into the PC).
+fn is_return(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Dp {
+            op: DpOp::Mov,
+            rd: Reg::PC,
+            op2: Operand2::Reg(Reg::LR, Shift::NONE),
+            ..
+        }
+    )
+}
+
+fn writes_pc(instr: &Instr) -> bool {
+    instr_meta(instr)
+        .dests
+        .into_iter()
+        .flatten()
+        .any(|r| r == Reg::PC)
+}
+
+/// Adds the successor edges shared by the native and FITS encodings of an
+/// AR32 instruction at node `i`. `lr_returns` is the resolved edge set for
+/// `mov pc, lr`, or `None` when `lr` is poisoned.
+fn instr_edges(edges: &mut Edges, i: usize, instr: &Instr, lr_returns: Option<&[usize]>) {
+    match instr {
+        Instr::Branch { cond, link, offset } => {
+            let target = i as i64 + 2 + i64::from(*offset);
+            if target >= 0 {
+                edges.jump(i, target as usize);
+            }
+            // Conditional branches may fall through; calls return there.
+            if *cond != Cond::Al || *link {
+                edges.fall_through(i);
+            }
+        }
+        Instr::Swi { cond, imm } => {
+            // imm 0 exits, imm 1 emits and continues, anything else halts
+            // the simulator; untaken conditions always fall through.
+            if *imm == 1 || *cond != Cond::Al {
+                edges.fall_through(i);
+            }
+        }
+        _ if is_return(instr) => {
+            match lr_returns {
+                Some(returns) => {
+                    for &r in returns {
+                        edges.jump(i, r);
+                    }
+                }
+                None => edges.jump_all(i),
+            }
+            if instr.cond() != Cond::Al {
+                edges.fall_through(i);
+            }
+        }
+        _ if writes_pc(instr) => edges.jump_all(i),
+        _ => edges.fall_through(i),
+    }
+}
+
+/// Builds the conservative CFG of a native AR32 program (one node per
+/// 32-bit instruction).
+#[must_use]
+pub fn native_cfg(program: &Program) -> CfgBuild {
+    let text = &program.text;
+    let n = text.len();
+    let mut edges = Edges::new(n);
+
+    // lr provenance: clean when only linking branches define it.
+    let lr_clean = !text.iter().any(|instr| {
+        !matches!(instr, Instr::Branch { link: true, .. })
+            && instr_meta(instr)
+                .dests
+                .into_iter()
+                .flatten()
+                .any(|r| r == Reg::LR)
+    });
+    let returns: Vec<usize> = text
+        .iter()
+        .enumerate()
+        .filter(|(_, instr)| matches!(instr, Instr::Branch { link: true, .. }))
+        .map(|(i, _)| i + 1)
+        .filter(|&r| r < n)
+        .collect();
+    let lr_returns = lr_clean.then_some(returns.as_slice());
+
+    for (i, instr) in text.iter().enumerate() {
+        instr_edges(&mut edges, i, instr, lr_returns);
+    }
+    let entry = program.entry.min(n.saturating_sub(1));
+    let mut jump_target = edges.jump_target;
+    if n > 0 {
+        jump_target[entry] = true;
+    }
+    CfgBuild {
+        cfg: Cfg::from_succs(edges.succs),
+        jump_target,
+        entry,
+    }
+}
+
+/// Builds the conservative CFG of a translated FITS program (one node per
+/// 16-bit instruction). `ops` holds the decoded words (`None` for
+/// undecodable words, which get all-node edges); `targets` is the binary's
+/// target dictionary of absolute code addresses.
+#[must_use]
+pub fn fits_cfg(ops: &[Option<FitsOp>], entry: usize, targets: &[u32]) -> CfgBuild {
+    let n = ops.len();
+    let mut edges = Edges::new(n);
+
+    // Indices named by the target dictionary (invalid entries are CFI003
+    // findings; here they simply contribute no edge).
+    let dict_indices: Vec<usize> = targets
+        .iter()
+        .filter(|&&addr| addr % 2 == 0 && addr >= TEXT_BASE)
+        .map(|&addr| ((addr - TEXT_BASE) / 2) as usize)
+        .filter(|&idx| idx < n)
+        .collect();
+
+    let lr_clean = !ops.iter().any(|op| match op {
+        Some(FitsOp::Plain(Instr::Branch { link: true, .. })) | Some(FitsOp::Jalr(_)) => false,
+        Some(op) => fits_core::op_meta(op)
+            .dests
+            .into_iter()
+            .flatten()
+            .any(|r| r == Reg::LR),
+        None => true, // undecodable: assume the worst
+    });
+    let returns: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| {
+            matches!(
+                op,
+                Some(FitsOp::Plain(Instr::Branch { link: true, .. })) | Some(FitsOp::Jalr(_))
+            )
+        })
+        .map(|(j, _)| j + 1)
+        .filter(|&r| r < n)
+        .collect();
+    let lr_returns = lr_clean.then_some(returns.as_slice());
+
+    for (j, op) in ops.iter().enumerate() {
+        match op {
+            Some(FitsOp::Plain(instr)) => instr_edges(&mut edges, j, instr, lr_returns),
+            Some(FitsOp::Jalr(_)) => {
+                // The operand is either a dictionary-materialized code
+                // address or a clean return address.
+                for &idx in &dict_indices {
+                    edges.jump(j, idx);
+                }
+                match lr_returns {
+                    Some(rs) => {
+                        for &r in rs {
+                            edges.jump(j, r);
+                        }
+                    }
+                    None => edges.jump_all(j),
+                }
+            }
+            Some(op) => {
+                let pc_write = fits_core::op_meta(op)
+                    .dests
+                    .into_iter()
+                    .flatten()
+                    .any(|r| r == Reg::PC);
+                if pc_write {
+                    edges.jump_all(j);
+                } else {
+                    edges.fall_through(j);
+                }
+            }
+            None => edges.jump_all(j),
+        }
+    }
+    let entry = entry.min(n.saturating_sub(1));
+    let mut jump_target = edges.jump_target;
+    if n > 0 {
+        jump_target[entry] = true;
+    }
+    CfgBuild {
+        cfg: Cfg::from_succs(edges.succs),
+        jump_target,
+        entry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fits_isa::Operand2 as Op2;
+
+    fn prog(text: Vec<Instr>) -> Program {
+        Program {
+            text,
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn straight_line_and_branch_edges() {
+        // 0: mov r0, #1 ; 1: b -3 (self) ; 2: swi 0
+        let p = prog(vec![
+            Instr::mov(Reg::R0, Op2::imm(1).unwrap()),
+            Instr::Branch {
+                cond: Cond::Al,
+                link: false,
+                offset: -3,
+            },
+            Instr::Swi {
+                cond: Cond::Al,
+                imm: 0,
+            },
+        ]);
+        let b = native_cfg(&p);
+        assert_eq!(b.cfg.succs[0], vec![1]);
+        assert_eq!(b.cfg.succs[1], vec![0], "b .-3 targets 1+2-3 = 0");
+        assert!(b.cfg.succs[2].is_empty(), "swi 0 exits");
+        assert!(b.jump_target[0], "entry and branch target");
+        assert!(!b.jump_target[1]);
+        assert_eq!(b.cfg.preds[0], vec![1]);
+        assert!(b.cfg.reversed().succs[0].contains(&1));
+    }
+
+    #[test]
+    fn call_and_return_edges_resolve_to_return_points() {
+        // 0: bl +0 (target 2) ; 1: swi 0 ; 2: mov pc, lr
+        let p = prog(vec![
+            Instr::Branch {
+                cond: Cond::Al,
+                link: true,
+                offset: 0,
+            },
+            Instr::Swi {
+                cond: Cond::Al,
+                imm: 0,
+            },
+            Instr::mov(Reg::PC, Op2::reg(Reg::LR)),
+        ]);
+        let b = native_cfg(&p);
+        assert_eq!(b.cfg.succs[0], vec![1, 2], "call edge plus return point");
+        assert_eq!(b.cfg.succs[2], vec![1], "return resolves to after the bl");
+        assert!(b.jump_target[1] && b.jump_target[2]);
+    }
+
+    #[test]
+    fn poisoned_lr_falls_back_to_all_nodes() {
+        // 0: mov lr, r0 ; 1: mov pc, lr ; 2: swi 0
+        let p = prog(vec![
+            Instr::mov(Reg::LR, Op2::reg(Reg::R0)),
+            Instr::mov(Reg::PC, Op2::reg(Reg::LR)),
+            Instr::Swi {
+                cond: Cond::Al,
+                imm: 0,
+            },
+        ]);
+        let b = native_cfg(&p);
+        assert_eq!(b.cfg.succs[1], vec![0, 1, 2], "indirect: every node");
+    }
+
+    #[test]
+    fn fits_branch_and_jalr_edges() {
+        // FITS: 0: b +0 (target 2) ; 1: swi 0 ; 2: jalr r0 ; 3: swi 0
+        let ops = vec![
+            Some(FitsOp::Plain(Instr::Branch {
+                cond: Cond::Al,
+                link: false,
+                offset: 0,
+            })),
+            Some(FitsOp::Plain(Instr::Swi {
+                cond: Cond::Al,
+                imm: 0,
+            })),
+            Some(FitsOp::Jalr(Reg::R0)),
+            Some(FitsOp::Plain(Instr::Swi {
+                cond: Cond::Al,
+                imm: 0,
+            })),
+        ];
+        // Dictionary names index 1 (TEXT_BASE + 2).
+        let b = fits_cfg(&ops, 0, &[TEXT_BASE + 2]);
+        assert_eq!(b.cfg.succs[0], vec![2]);
+        assert_eq!(
+            b.cfg.succs[2],
+            vec![1, 3],
+            "jalr: dictionary target plus its own return point"
+        );
+        assert!(b.jump_target[1] && b.jump_target[2] && b.jump_target[3]);
+    }
+
+    #[test]
+    fn conditional_branch_keeps_fall_through() {
+        let p = prog(vec![
+            Instr::Branch {
+                cond: Cond::Ne,
+                link: false,
+                offset: -1,
+            },
+            Instr::Swi {
+                cond: Cond::Al,
+                imm: 0,
+            },
+        ]);
+        let b = native_cfg(&p);
+        assert_eq!(b.cfg.succs[0], vec![1], "target 0+2-1=1 plus fall-through");
+        // Target and fall-through coincide here; check a distinct pair.
+        let p2 = prog(vec![
+            Instr::Branch {
+                cond: Cond::Ne,
+                link: false,
+                offset: -2,
+            },
+            Instr::Swi {
+                cond: Cond::Al,
+                imm: 0,
+            },
+        ]);
+        let b2 = native_cfg(&p2);
+        assert_eq!(b2.cfg.succs[0], vec![0, 1]);
+    }
+}

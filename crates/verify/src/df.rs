@@ -14,17 +14,56 @@
 //!
 //! Flag liveness is a standard backward may-analysis over the native CFG:
 //! conditional flag writes do not kill (the write may not happen), reads
-//! come from predication and from C-consuming ops (`ADC`/`SBC`/`RSC`).
+//! come from predication and from C-consuming ops (`ADC`/`SBC`/`RSC`). It
+//! runs as a [`Domain`] on the shared [fixpoint](crate::fixpoint) solver
+//! over the reversed CFG. The successor rules here stay deliberately
+//! narrower than the cache analysis's conservative graph: an indirect jump
+//! contributes *no* liveness edge (its unknowable successors would only
+//! add spurious liveness), which preserves this family's historical
+//! verdicts exactly.
 
 use fits_core::op_meta;
 use fits_isa::{Cond, Instr, Reg};
 use fits_sim::instr_meta;
 
+use crate::cfg::Cfg;
+use crate::fixpoint::{solve, Domain};
 use crate::{Ctx, Diagnostic};
 
 /// Register bitmask keyed by physical index.
 fn bit(r: Reg) -> u32 {
     1u32 << r.index()
+}
+
+/// Backward may-liveness of the flags as a single abstract bit.
+struct FlagLiveness<'a> {
+    /// Per-node: reads the flags (predication, C-consuming ops).
+    reads: &'a [bool],
+    /// Per-node: unconditionally overwrites the flags.
+    kills: &'a [bool],
+}
+
+impl Domain for FlagLiveness<'_> {
+    type State = bool;
+
+    fn entry_state(&self) -> bool {
+        false // flags are dead past an exit
+    }
+
+    fn join(&self, into: &mut bool, other: &bool) -> bool {
+        if *other && !*into {
+            *into = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn transfer(&self, node: usize, input: &bool) -> bool {
+        // Runs on the reversed graph: `input` is live-out, the result is
+        // live-in.
+        self.reads[node] || (*input && !self.kills[node])
+    }
 }
 
 pub(crate) fn analyze_df(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
@@ -118,29 +157,29 @@ fn df002_flag_chains(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
         }
     }
 
-    // Backward may-liveness of the flags as one unit.
+    // Backward may-liveness of the flags as one unit, on the shared
+    // solver: the reversed graph turns live-out joins into ordinary
+    // forward joins, and seeding *every* node keeps instructions on
+    // infinite loops (no path to an exit) in the analysis, as the old
+    // round-robin iteration did.
     let reads: Vec<bool> = text.iter().map(|i| instr_meta(i).reads_flags).collect();
     let kills: Vec<bool> = text
         .iter()
         .map(|i| i.sets_flags() && i.cond() == Cond::Al)
         .collect();
-    let mut live_in = vec![false; n];
-    let mut live_out = vec![false; n];
-    loop {
-        let mut changed = false;
-        for i in (0..n).rev() {
-            let out = succs[i].iter().any(|&s| live_in[s]);
-            let inn = reads[i] || (out && !kills[i]);
-            if out != live_out[i] || inn != live_in[i] {
-                live_out[i] = out;
-                live_in[i] = inn;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    let liveness = FlagLiveness {
+        reads: &reads,
+        kills: &kills,
+    };
+    let entries: Vec<usize> = (0..n).collect();
+    let sol = solve(
+        &Cfg::from_succs(succs).reversed(),
+        &liveness,
+        &entries,
+        usize::MAX,
+    );
+    // On the reversed graph the solver's per-node input is live-out.
+    let live_out: Vec<bool> = (0..n).map(|i| sol.input[i] == Some(true)).collect();
 
     // The expansion of instruction `i` must write the flags exactly as
     // often as the native instruction does whenever flags are live across

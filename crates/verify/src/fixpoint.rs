@@ -1,0 +1,234 @@
+//! Generic worklist fixpoint solver over a control-flow graph.
+//!
+//! The analyses in this crate (flag liveness in `df`, the abstract cache
+//! domains in `ca`) are all instances of the same scheme: propagate
+//! abstract states along CFG edges, joining at merge points, until nothing
+//! changes. This module factors that scheme out once — a [`Domain`]
+//! supplies the lattice (state type, join, transfer, entry state) and
+//! [`solve`] runs a worklist to the least fixpoint, switching from join to
+//! [`Domain::widen`] on nodes that keep changing so that tall lattices
+//! still terminate promptly.
+//!
+//! States are per-node `Option<S>`: `None` is bottom — "no path reaches
+//! this node" — so unreachable code stays distinguishable from code
+//! reached with an empty abstract state. Backward analyses run the same
+//! solver over [`Cfg::reversed`](crate::cfg::Cfg::reversed); the solution's
+//! `input` then holds what the forward view calls the output state.
+
+use crate::cfg::Cfg;
+
+/// A join-semilattice dataflow domain over CFG nodes.
+pub trait Domain {
+    /// The abstract state attached to each program point.
+    type State: Clone;
+
+    /// The state flowing into the analysis entry nodes (for a cache
+    /// analysis: the cold, empty cache).
+    fn entry_state(&self) -> Self::State;
+
+    /// Joins `other` into `into`, returning whether `into` changed.
+    /// Must be monotone: the result over-approximates both operands.
+    fn join(&self, into: &mut Self::State, other: &Self::State) -> bool;
+
+    /// The effect of executing `node` on a state flowing through it.
+    fn transfer(&self, node: usize, input: &Self::State) -> Self::State;
+
+    /// Accelerated join used once a node has been revisited more than the
+    /// solver's `widen_after` threshold: may jump further up the lattice
+    /// than the plain join to force convergence. The default is the plain
+    /// join, which is already a correct widening for finite-height
+    /// domains.
+    fn widen(&self, into: &mut Self::State, other: &Self::State) -> bool {
+        self.join(into, other)
+    }
+}
+
+/// The fixpoint: per-node input and output states (`None` = unreachable),
+/// plus the number of node visits the worklist performed.
+#[derive(Clone, Debug)]
+pub struct Solution<S> {
+    /// State just before each node executes (the join over its in-edges).
+    pub input: Vec<Option<S>>,
+    /// State just after each node executes (`transfer` of `input`).
+    pub output: Vec<Option<S>>,
+    /// Total worklist visits — a convergence diagnostic.
+    pub passes: usize,
+}
+
+/// Runs the worklist to the least fixpoint of `dom` over `cfg`.
+///
+/// `entries` are the nodes that receive [`Domain::entry_state`]; nodes not
+/// reachable from them keep `None` states. `widen_after` is the per-node
+/// revisit budget before joins escalate to [`Domain::widen`].
+pub fn solve<D: Domain>(
+    cfg: &Cfg,
+    dom: &D,
+    entries: &[usize],
+    widen_after: usize,
+) -> Solution<D::State> {
+    let n = cfg.len();
+    let mut input: Vec<Option<D::State>> = vec![None; n];
+    let mut output: Vec<Option<D::State>> = vec![None; n];
+    let mut visits = vec![0usize; n];
+    let mut on_list = vec![false; n];
+    let mut list: Vec<usize> = Vec::new();
+    let mut passes = 0usize;
+
+    for &e in entries {
+        if e < n && input[e].is_none() {
+            input[e] = Some(dom.entry_state());
+            if !on_list[e] {
+                on_list[e] = true;
+                list.push(e);
+            }
+        }
+    }
+
+    while let Some(node) = list.pop() {
+        on_list[node] = false;
+        passes += 1;
+        visits[node] += 1;
+        let Some(state) = &input[node] else { continue };
+        let out = dom.transfer(node, state);
+        for &succ in &cfg.succs[node] {
+            let changed = match &mut input[succ] {
+                Some(existing) => {
+                    if visits[succ] > widen_after {
+                        dom.widen(existing, &out)
+                    } else {
+                        dom.join(existing, &out)
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+            };
+            if changed && !on_list[succ] {
+                on_list[succ] = true;
+                list.push(succ);
+            }
+        }
+        output[node] = Some(out);
+    }
+
+    Solution {
+        input,
+        output,
+        passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Constant propagation of a single counter bounded at a ceiling —
+    /// enough lattice to exercise joins, loops and widening.
+    struct Bounded {
+        /// Per-node increment.
+        inc: Vec<u32>,
+        cap: u32,
+    }
+
+    impl Domain for Bounded {
+        type State = u32;
+
+        fn entry_state(&self) -> u32 {
+            0
+        }
+
+        fn join(&self, into: &mut u32, other: &u32) -> bool {
+            if *other > *into {
+                *into = *other;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn transfer(&self, node: usize, input: &u32) -> u32 {
+            (*input + self.inc[node]).min(self.cap)
+        }
+
+        fn widen(&self, into: &mut u32, other: &u32) -> bool {
+            if *other > *into {
+                *into = self.cap;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_propagates() {
+        // 0 -> 1 -> 2
+        let cfg = Cfg::from_succs(vec![vec![1], vec![2], vec![]]);
+        let dom = Bounded {
+            inc: vec![1, 1, 1],
+            cap: 100,
+        };
+        let sol = solve(&cfg, &dom, &[0], 1000);
+        assert_eq!(sol.input, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(sol.output, vec![Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_bottom() {
+        let cfg = Cfg::from_succs(vec![vec![1], vec![], vec![1]]);
+        let sol = solve(
+            &cfg,
+            &Bounded {
+                inc: vec![0, 0, 0],
+                cap: 10,
+            },
+            &[0],
+            1000,
+        );
+        assert!(sol.input[2].is_none());
+        assert!(sol.output[2].is_none());
+        assert!(sol.input[1].is_some());
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint_at_cap() {
+        // 0 -> 1 -> 1 (self loop) — the counter climbs to the cap.
+        let cfg = Cfg::from_succs(vec![vec![1], vec![1]]);
+        let dom = Bounded {
+            inc: vec![0, 1],
+            cap: 7,
+        };
+        let sol = solve(&cfg, &dom, &[0], 1000);
+        assert_eq!(sol.input[1], Some(7));
+        assert_eq!(sol.output[1], Some(7));
+    }
+
+    #[test]
+    fn widening_converges_faster_than_join() {
+        let cfg = Cfg::from_succs(vec![vec![1], vec![1]]);
+        let dom = Bounded {
+            inc: vec![0, 1],
+            cap: 1_000_000,
+        };
+        let widened = solve(&cfg, &dom, &[0], 3);
+        assert_eq!(widened.input[1], Some(1_000_000), "widened to the cap");
+        assert!(
+            widened.passes < 100,
+            "widening must converge promptly, took {}",
+            widened.passes
+        );
+    }
+
+    #[test]
+    fn join_at_merge_takes_maximum() {
+        // Diamond: 0 -> {1, 2} -> 3, different increments on the arms.
+        let cfg = Cfg::from_succs(vec![vec![1, 2], vec![3], vec![3], vec![]]);
+        let dom = Bounded {
+            inc: vec![0, 5, 2, 0],
+            cap: 100,
+        };
+        let sol = solve(&cfg, &dom, &[0], 1000);
+        assert_eq!(sol.input[3], Some(5));
+    }
+}

@@ -24,9 +24,20 @@
 //!   store-sequence effects must agree (modulo the translator's `ip`
 //!   scratch).
 //!
+//! A fifth family lives in its own modules because it is an *analysis*
+//! rather than a pass/fail check:
+//!
+//! * **`CA` — cache analysis** ([`ca`]): abstract-interpretation
+//!   classification of every instruction fetch (always-hit / always-miss /
+//!   persistent / unknown) against a cache geometry, built on a reusable
+//!   worklist [`fixpoint`] solver and conservative [`cfg`] builders shared
+//!   with the `DF` liveness analysis. Its `CA001`–`CA003` diagnostics
+//!   audit an analysis result against rebuilt ground truth.
+//!
 //! [`analyze`] runs everything and returns a [`Report`];
 //! [`verified_flow`] returns a [`FitsFlow`] that runs the same analyses as a
-//! gate inside [`FitsFlow::run`], and the `fitslint` binary drives them over
+//! gate inside [`FitsFlow::run`], and the `fitslint` binary (in
+//! `fits-bench`, which owns the kernel/scenario plumbing) drives them over
 //! the kernel suite with rustc-style diagnostics or machine-readable JSON.
 
 #![forbid(unsafe_code)]
@@ -41,10 +52,16 @@ use fits_core::{Synthesis, Translation};
 use fits_isa::{Program, TEXT_BASE};
 use fits_kernels::kernels::{Kernel, Scale};
 
+pub mod ca;
+pub mod cfg;
 mod cfi;
 mod df;
 mod enc;
+pub mod fixpoint;
 mod tv;
+
+pub use ca::{analyze_fits_cache, analyze_native_cache, audit, CacheAnalysis, FetchClass};
+pub use cfg::{fits_cfg, native_cfg, Cfg, CfgBuild};
 
 /// How serious a finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]

@@ -1,0 +1,175 @@
+//! Seeded-fault tests for the `CA` cache-analysis family: cook one aspect
+//! of an otherwise sound analysis through the `#[doc(hidden)]` test seams
+//! and check that [`fits_verify::audit`] reports the right rule code
+//! instead of silently passing.
+
+#![allow(clippy::unwrap_used)]
+
+use fits_core::{decode_word, FitsFlow, FitsOp, Translation};
+use fits_isa::Program;
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_scenario::ScenarioSpec;
+use fits_verify::ca::{analyze_fits_cache_with, analyze_native_cache_with, audit, FetchClass};
+use fits_verify::{analyze_fits_cache, analyze_native_cache, fits_cfg, native_cfg, Cfg};
+
+/// Runs the flow's static stages on one kernel.
+fn compile(kernel: Kernel) -> (Program, Translation) {
+    let program = kernel.compile(Scale::test()).unwrap();
+    let flow = FitsFlow {
+        verify: false,
+        ..FitsFlow::default()
+    };
+    let out = flow.run(&program).unwrap();
+    (
+        program,
+        Translation {
+            fits: out.fits,
+            stats: out.mapping,
+        },
+    )
+}
+
+fn decoded_ops(translation: &Translation) -> Vec<Option<FitsOp>> {
+    translation
+        .fits
+        .instrs
+        .iter()
+        .enumerate()
+        .map(|(j, &w)| decode_word(&translation.fits.config, w, j).ok())
+        .collect()
+}
+
+/// A sound analysis audits clean on every kernel, for both streams and
+/// every preset geometry — the baseline the fault injections perturb.
+#[test]
+fn sound_analyses_audit_clean() {
+    for preset in ["sa1100", "small-embedded"] {
+        let spec = ScenarioSpec::preset(preset).unwrap();
+        let params = spec.icache_abstract();
+        for &kernel in &Kernel::ALL[..4] {
+            let (program, translation) = compile(kernel);
+            let native = analyze_native_cache(&program, params);
+            assert!(
+                audit(&native, &native_cfg(&program), &spec.icache).is_empty(),
+                "{preset}/{}: native audit not clean",
+                kernel.name()
+            );
+            let ops = decoded_ops(&translation);
+            let targets = &translation.fits.config.dicts.target;
+            let fits = analyze_fits_cache(&ops, translation.fits.entry, targets, params);
+            assert!(
+                audit(
+                    &fits,
+                    &fits_cfg(&ops, translation.fits.entry, targets),
+                    &spec.icache
+                )
+                .is_empty(),
+                "{preset}/{}: fits audit not clean",
+                kernel.name()
+            );
+        }
+    }
+}
+
+/// Upgrading an always-miss fetch to always-hit — the classic unsound
+/// must-analysis bug — is reported as `CA001`.
+#[test]
+fn unsound_hit_claim_is_ca001() {
+    let spec = ScenarioSpec::sa1100();
+    let params = spec.icache_abstract();
+    let mut hit = false;
+    for &kernel in Kernel::ALL {
+        let (program, _) = compile(kernel);
+        let mut analysis = analyze_native_cache(&program, params);
+        let Some(victim) = analysis
+            .node_class
+            .iter()
+            .position(|&c| c == FetchClass::AlwaysMiss)
+        else {
+            continue;
+        };
+        analysis.force_class(victim, FetchClass::AlwaysHit);
+        let diags = audit(&analysis, &native_cfg(&program), &spec.icache);
+        assert!(
+            diags.iter().any(|d| d.code == "CA001"),
+            "{}: cooked hit claim not caught",
+            kernel.name()
+        );
+        hit = true;
+        break;
+    }
+    assert!(hit, "no kernel offered an always-miss fetch to corrupt");
+}
+
+/// An analysis run against the wrong associativity is reported as `CA002`.
+#[test]
+fn wrong_associativity_is_ca002() {
+    let spec = ScenarioSpec::sa1100();
+    let (program, _) = compile(Kernel::ALL[0]);
+    let mut wrong = spec.icache_abstract();
+    wrong.ways *= 2; // claims twice the machine's associativity
+    let mut analysis = analyze_native_cache(&program, spec.icache_abstract());
+    analysis.force_params(wrong);
+    let diags = audit(&analysis, &native_cfg(&program), &spec.icache);
+    assert!(
+        diags.iter().any(|d| d.code == "CA002"),
+        "wrong geometry not caught"
+    );
+}
+
+/// Dropping a CFG edge before solving — losing a path every domain must
+/// account for — is reported as `CA003`. Exercised on the FITS stream.
+#[test]
+fn dropped_cfg_edge_is_ca003() {
+    let spec = ScenarioSpec::sa1100();
+    let params = spec.icache_abstract();
+    let mut hit = false;
+    for &kernel in Kernel::ALL {
+        let (_, translation) = compile(kernel);
+        let ops = decoded_ops(&translation);
+        let targets = &translation.fits.config.dicts.target;
+        let mut build = fits_cfg(&ops, translation.fits.entry, targets);
+        // Drop the first branch-style edge (a non-fall-through edge, so
+        // the graph stays plausible).
+        let Some((from, to)) = build
+            .cfg
+            .succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, list)| list.iter().map(move |&s| (i, s)))
+            .find(|&(i, s)| s != i + 1)
+        else {
+            continue;
+        };
+        let mut succs = build.cfg.succs.clone();
+        succs[from].retain(|&s| s != to);
+        build.cfg = Cfg::from_succs(succs);
+        let analysis = analyze_fits_cache_with(params, build);
+        let diags = audit(
+            &analysis,
+            &fits_cfg(&ops, translation.fits.entry, targets),
+            &spec.icache,
+        );
+        assert!(
+            diags.iter().any(|d| d.code == "CA003"),
+            "{}: dropped edge {from}->{to} not caught",
+            kernel.name()
+        );
+        hit = true;
+        break;
+    }
+    assert!(hit, "no kernel offered a droppable CFG edge");
+}
+
+/// The native analysis-with-CFG seam agrees with the plain entry point
+/// when handed the honest graph.
+#[test]
+fn seamed_and_plain_analyses_agree() {
+    let spec = ScenarioSpec::small_embedded();
+    let params = spec.icache_abstract();
+    let (program, _) = compile(Kernel::ALL[1]);
+    let plain = analyze_native_cache(&program, params);
+    let seamed = analyze_native_cache_with(&program, params, native_cfg(&program));
+    assert_eq!(plain.node_class, seamed.node_class);
+    assert_eq!(plain.persistent_set, seamed.persistent_set);
+}
