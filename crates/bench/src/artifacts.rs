@@ -13,10 +13,11 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use fits_core::{profile, FlowObserver, FlowOutcome, FlowStage, Profile, SynthOptions};
+use fits_core::{profile, FitsSet, FlowObserver, FlowOutcome, FlowStage, Profile, SynthOptions};
 use fits_isa::thumb::{self, T16Program};
 use fits_isa::{Program, Reg};
 use fits_kernels::kernels::{Kernel, Scale};
+use fits_sim::{Ar32Set, CompiledProgram};
 
 use crate::experiment::ExperimentError;
 
@@ -55,6 +56,12 @@ pub struct Artifacts {
     profiles: Mutex<HashMap<Key, Arc<Profile>>>,
     flows: Mutex<HashMap<Key, Arc<FlowOutcome>>>,
     thumbs: Mutex<HashMap<Key, Arc<T16Program>>>,
+    /// Block-compiled replay descriptors for the native binary. Only the
+    /// *static* compilation is cached — recorded traces scale with dynamic
+    /// instruction count and are deliberately never retained here.
+    compiled_arm: Mutex<HashMap<Key, Arc<CompiledProgram>>>,
+    /// Block-compiled replay descriptors for the synthesized FITS binary.
+    compiled_fits: Mutex<HashMap<Key, Arc<CompiledProgram>>>,
     /// Optional stage-timing observer installed on every flow this cache
     /// builds (and notified of cached profiling runs). `None` leaves the
     /// pre-observability code paths untouched.
@@ -74,6 +81,8 @@ impl std::fmt::Debug for Artifacts {
             .field("profiles", &self.profiles)
             .field("flows", &self.flows)
             .field("thumbs", &self.thumbs)
+            .field("compiled_arm", &self.compiled_arm)
+            .field("compiled_fits", &self.compiled_fits)
             .field(
                 "flow_observer",
                 &self.flow_observer.as_ref().map(|_| "<dyn>"),
@@ -163,6 +172,42 @@ impl Artifacts {
             }
             flow.run_profiled(&program, (*prof).clone())
                 .map_err(ExperimentError::Flow)
+        })
+    }
+
+    /// The block-compiled replay descriptor for the native program — basic
+    /// blocks, per-op step templates and pre-resolved successors, shared by
+    /// every sweep that records or replays the kernel's AR32 binary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and block-lifting failures.
+    pub fn compiled_arm(
+        &self,
+        kernel: Kernel,
+        scale: Scale,
+    ) -> Result<Arc<CompiledProgram>, ExperimentError> {
+        let program = self.program(kernel, scale)?;
+        get_or_compute(&self.compiled_arm, (kernel, scale.n), || {
+            CompiledProgram::compile(&Ar32Set::load(&program)).map_err(ExperimentError::Sim)
+        })
+    }
+
+    /// The block-compiled replay descriptor for the synthesized FITS
+    /// binary (built from the cached flow outcome).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow, decode and block-lifting failures.
+    pub fn compiled_fits(
+        &self,
+        kernel: Kernel,
+        scale: Scale,
+    ) -> Result<Arc<CompiledProgram>, ExperimentError> {
+        let flow = self.flow(kernel, scale)?;
+        get_or_compute(&self.compiled_fits, (kernel, scale.n), || {
+            let set = FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
+            CompiledProgram::compile(&set).map_err(ExperimentError::Sim)
         })
     }
 

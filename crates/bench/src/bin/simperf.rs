@@ -21,7 +21,14 @@
 //! cargo run --release -p fits-bench --bin simperf -- --out bench/BENCH.json
 //! cargo run --release -p fits-bench --bin simperf -- --trace   # stage timings
 //! cargo run --release -p fits-bench --bin simperf -- --no-history
+//! cargo run --release -p fits-bench --bin simperf -- \
+//!     --compare --max-regress 0.15      # gate on the previous history entry
 //! ```
+//!
+//! `--compare` reads the last same-mode line of `BENCH_history.jsonl`
+//! *before* appending this run, prints the per-metric MIPS deltas, and
+//! exits nonzero when any metric fell by more than `--max-regress`
+//! (default 0.1 = 10%). With no previous entry the gate passes trivially.
 //!
 //! Every suite pass constructs a fresh [`Artifacts`] cache (inside
 //! [`run_suite`]), so repeated passes measure the same cold-cache work and
@@ -39,7 +46,7 @@ use fits_kernels::kernels::{Kernel, Scale};
 use fits_obs::json::escape;
 use fits_obs::SpanRegistry;
 use fits_scenario::{ScenarioError, ScenarioSpec};
-use fits_sim::{Ar32Set, Machine, Sa1100Config};
+use fits_sim::{Ar32Set, CompiledProgram, Machine, Sa1100Config};
 
 /// The kernel the MIPS probes execute. SHA has the largest dynamic
 /// instruction count per unit of compile time in the suite.
@@ -55,6 +62,8 @@ enum SimperfError {
     Scenario(ScenarioError),
     /// An archive file could not be written.
     Io { path: String, err: std::io::Error },
+    /// `--compare` found a throughput regression beyond `--max-regress`.
+    Regression(Vec<String>),
 }
 
 impl fmt::Display for SimperfError {
@@ -63,6 +72,9 @@ impl fmt::Display for SimperfError {
             SimperfError::Pipeline(e) => write!(f, "pipeline: {e}"),
             SimperfError::Scenario(e) => write!(f, "scenario: {e}"),
             SimperfError::Io { path, err } => write!(f, "write {path}: {err}"),
+            SimperfError::Regression(lines) => {
+                write!(f, "throughput regression:\n  {}", lines.join("\n  "))
+            }
         }
     }
 }
@@ -75,6 +87,8 @@ struct Options {
     history: Option<String>,
     baseline_seconds: Option<f64>,
     trace: bool,
+    compare: bool,
+    max_regress: f64,
 }
 
 fn parse_args() -> Options {
@@ -84,6 +98,8 @@ fn parse_args() -> Options {
         history: Some("BENCH_history.jsonl".to_owned()),
         baseline_seconds: None,
         trace: false,
+        compare: false,
+        max_regress: 0.1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,6 +114,17 @@ fn parse_args() -> Options {
                 );
             }
             "--no-history" => opts.history = None,
+            "--compare" => opts.compare = true,
+            "--max-regress" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--max-regress needs a fraction"));
+                opts.max_regress = v
+                    .parse()
+                    .ok()
+                    .filter(|f: &f64| f.is_finite() && *f >= 0.0)
+                    .unwrap_or_else(|| usage(&format!("invalid --max-regress value: {v}")));
+            }
             "--baseline-seconds" => {
                 let v = args
                     .next()
@@ -120,7 +147,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: simperf [--smoke] [--trace] [--out PATH] [--history PATH] [--no-history] \
-         [--baseline-seconds SECS]"
+         [--baseline-seconds SECS] [--compare] [--max-regress FRAC]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -204,15 +231,35 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
     })?;
     let timed_mips = steps as f64 * f64::from(calls) / secs / 1e6;
 
+    // Block-compile once; the recorder probe re-executes per call, the
+    // replay probe prices a pre-recorded trace without re-executing.
+    let probe_set = Ar32Set::load(&program);
+    let compiled = CompiledProgram::compile(&probe_set)
+        .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?;
     let (secs, calls) = measure(budget, || {
         let mut m = Machine::new(Ar32Set::load(&program));
         black_box(
-            m.run_timed_multi(&multi_cfgs)
+            m.run_recorded(&compiled)
                 .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?,
         );
         Ok(())
     })?;
-    // Retired instructions observed by all four models per wall second.
+    let record_mips = steps as f64 * f64::from(calls) / secs / 1e6;
+
+    let probe_trace = Machine::new(probe_set)
+        .run_recorded(&compiled)
+        .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?;
+    let (secs, calls) = measure(budget, || {
+        black_box(
+            probe_trace
+                .price_all(&compiled, &multi_cfgs)
+                .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?,
+        );
+        Ok(())
+    })?;
+    // Retired instructions observed by all four models per wall second,
+    // replaying the recorded trace (the sweep hot path: record once,
+    // price every configuration from the trace).
     let replay4_mips = steps as f64 * 4.0 * f64::from(calls) / secs / 1e6;
 
     let flow = FitsFlow::new()
@@ -231,9 +278,41 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
     let fits_steps = flow.fits_run.as_ref().map_or(steps, |r| r.steps);
     let fits_timed_mips = fits_steps as f64 * f64::from(calls) / secs / 1e6;
 
+    // --- Whole-suite replay probe --------------------------------------
+    // One recorded AR32 trace per kernel, then each call replays *all* of
+    // them over the four sweep configurations — the shape of work a grid
+    // sweep actually feeds the engine.
+    let mut suite_traces = Vec::with_capacity(Kernel::ALL.len());
+    let mut suite_steps: u64 = 0;
+    for &kernel in Kernel::ALL {
+        let p = kernel
+            .compile(scale)
+            .map_err(|e| SimperfError::Pipeline(ExperimentError::Compile(e)))?;
+        let set = Ar32Set::load(&p);
+        let c = CompiledProgram::compile(&set)
+            .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?;
+        let t = Machine::new(set)
+            .run_recorded(&c)
+            .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?;
+        suite_steps += t.output.steps;
+        suite_traces.push((c, t));
+    }
+    let (secs, calls) = measure(budget, || {
+        for (c, t) in &suite_traces {
+            black_box(
+                t.price_all(c, &multi_cfgs)
+                    .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?,
+            );
+        }
+        Ok(())
+    })?;
+    let suite_replay_mips = suite_steps as f64 * 4.0 * f64::from(calls) / secs / 1e6;
+    drop(suite_traces);
+
     eprintln!(
         "simperf: functional {functional_mips:.1} MIPS, timed {timed_mips:.1} MIPS, \
-         replay-x4 {replay4_mips:.1} MIPS, fits timed {fits_timed_mips:.1} MIPS"
+         record {record_mips:.1} MIPS, replay-x4 {replay4_mips:.1} MIPS, \
+         suite-replay {suite_replay_mips:.1} MIPS, fits timed {fits_timed_mips:.1} MIPS"
     );
 
     // --- Full-suite wall-clock ----------------------------------------
@@ -281,7 +360,8 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
          \"mode\": \"{mode}\",\n  \"scenario\": \"{scenario_id}\",\n  \
          \"probe_kernel\": \"{probe}\",\n  \"scale_n\": {n},\n  \"simulator\": {{\n    \
          \"steps_per_run\": {steps},\n    \"functional_mips\": {fm},\n    \
-         \"timed_mips\": {tm},\n    \"replay4_mips\": {rm},\n    \
+         \"timed_mips\": {tm},\n    \"record_mips\": {recm},\n    \
+         \"replay4_mips\": {rm},\n    \"suite_replay_mips\": {srm},\n    \
          \"fits_timed_mips\": {ftm}\n  }},\n  \"suite\": {{\n    \
          \"kernels\": {kernels},\n    \"configs\": 4,\n    \"passes\": {passes},\n    \
          \"seconds_best\": {best},\n    \"seconds_all\": [{all}]\n  }},\n  \
@@ -294,7 +374,9 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
         steps = steps,
         fm = json_f64(functional_mips),
         tm = json_f64(timed_mips),
+        recm = json_f64(record_mips),
         rm = json_f64(replay4_mips),
+        srm = json_f64(suite_replay_mips),
         ftm = json_f64(fits_timed_mips),
         kernels = Kernel::ALL.len(),
         passes = suite_passes,
@@ -309,6 +391,40 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
     })?;
     eprintln!("simperf: wrote {}", opts.out);
 
+    // --- --compare: diff against the previous same-mode history entry --
+    // Read BEFORE appending this run, so a run always compares against its
+    // predecessor, never against itself.
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    let regressions = if opts.compare {
+        let prev = opts
+            .history
+            .as_deref()
+            .and_then(|path| last_history_entry(path, mode));
+        match prev {
+            None => {
+                eprintln!(
+                    "simperf: --compare: no previous \"{mode}\" entry in {}; nothing to gate",
+                    opts.history.as_deref().unwrap_or("<no history>")
+                );
+                Vec::new()
+            }
+            Some(prev) => compare_metrics(
+                &prev,
+                &[
+                    ("functional_mips", functional_mips),
+                    ("timed_mips", timed_mips),
+                    ("record_mips", record_mips),
+                    ("replay4_mips", replay4_mips),
+                    ("suite_replay_mips", suite_replay_mips),
+                    ("fits_timed_mips", fits_timed_mips),
+                ],
+                opts.max_regress,
+            ),
+        }
+    } else {
+        Vec::new()
+    };
+
     // --- BENCH_history.jsonl -------------------------------------------
     // One compact line per run, append-only: the cumulative record that
     // lets `grep`/`jq` chart throughput across commits.
@@ -317,18 +433,20 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
             "{{\"schema\": \"powerfits-bench-history-v1\", \"commit\": \"{commit}\", \
              \"timestamp_unix\": {stamp}, \"host\": \"{host}\", \"mode\": \"{mode}\", \
              \"scenario\": \"{scenario_id}\", \"scale_n\": {n}, \
-             \"functional_mips\": {fm}, \"timed_mips\": {tm}, \"replay4_mips\": {rm}, \
+             \"functional_mips\": {fm}, \"timed_mips\": {tm}, \"record_mips\": {recm}, \
+             \"replay4_mips\": {rm}, \"suite_replay_mips\": {srm}, \
              \"fits_timed_mips\": {ftm}, \"suite_passes\": {passes}, \
              \"suite_seconds_best\": {best}}}\n",
             commit = escape(&git_commit()),
             stamp = unix_timestamp(),
             host = escape(&hostname()),
-            mode = if opts.smoke { "smoke" } else { "full" },
             scenario_id = scenario.id(),
             n = scale.n,
             fm = json_f64(functional_mips),
             tm = json_f64(timed_mips),
+            recm = json_f64(record_mips),
             rm = json_f64(replay4_mips),
+            srm = json_f64(suite_replay_mips),
             ftm = json_f64(fits_timed_mips),
             passes = suite_passes,
             best = json_f64(suite_best),
@@ -345,5 +463,58 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
             })?;
         eprintln!("simperf: appended to {history}");
     }
-    Ok(())
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(SimperfError::Regression(regressions))
+    }
+}
+
+/// The last history line whose `mode` matches, parsed. Unreadable files or
+/// malformed lines are skipped silently — history is advisory, and a fresh
+/// checkout with no file simply has nothing to compare against.
+fn last_history_entry(path: &str, mode: &str) -> Option<fits_obs::json::Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines().rev().find_map(|line| {
+        let v = fits_obs::json::parse(line).ok()?;
+        (v.get("mode")?.as_str()? == mode).then_some(v)
+    })
+}
+
+/// Prints the delta of every metric present in the previous entry and
+/// returns one line per metric that regressed by more than `max_regress`
+/// (fractional; 0.1 = tolerate a 10% drop).
+fn compare_metrics(
+    prev: &fits_obs::json::Value,
+    now: &[(&str, f64)],
+    max_regress: f64,
+) -> Vec<String> {
+    let commit = prev.get("commit").and_then(|v| v.as_str()).unwrap_or("?");
+    eprintln!(
+        "simperf: --compare vs commit {commit} (max regress {:.1}%)",
+        max_regress * 100.0
+    );
+    let mut failures = Vec::new();
+    for &(key, current) in now {
+        let Some(before) = prev.get(key).and_then(fits_obs::json::Value::as_f64) else {
+            eprintln!("simperf:   {key}: no previous value (new metric)");
+            continue;
+        };
+        if before <= 0.0 {
+            continue;
+        }
+        let delta = current / before - 1.0;
+        eprintln!(
+            "simperf:   {key}: {before:.2} -> {current:.2} MIPS ({:+.1}%)",
+            delta * 100.0
+        );
+        if delta < -max_regress {
+            failures.push(format!(
+                "{key} fell {:.1}% ({before:.2} -> {current:.2} MIPS), beyond --max-regress {:.1}%",
+                -delta * 100.0,
+                max_regress * 100.0
+            ));
+        }
+    }
+    failures
 }

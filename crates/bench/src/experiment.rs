@@ -276,18 +276,27 @@ pub fn run_kernel_scenarios(
     let flow = artifacts.flow(kernel, scale)?;
     let (machines, machine_of) = matrix.machines();
 
-    // Execute once per ISA, replaying the retired-instruction stream into
-    // one timing model per distinct machine.
-    let (_, arm_sims) = {
+    // Execute once per ISA through the block-compiled recorder (the static
+    // compilation is cached in `artifacts`; the recorded trace is local to
+    // this call), then price all distinct machines in one replay pass.
+    let arm_sims = {
+        let compiled = artifacts.compiled_arm(kernel, scale)?;
         let mut m = Machine::new(Ar32Set::load(&program));
         TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
-        m.run_timed_multi(&machines).map_err(ExperimentError::Sim)?
+        let trace = m.run_recorded(&compiled).map_err(ExperimentError::Sim)?;
+        trace
+            .price_all(&compiled, &machines)
+            .map_err(ExperimentError::Sim)?
     };
-    let (_, fits_sims) = {
+    let fits_sims = {
+        let compiled = artifacts.compiled_fits(kernel, scale)?;
         let set = fits_core::FitsSet::load(&flow.fits).map_err(ExperimentError::Decode)?;
         let mut m = Machine::new(set);
         TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
-        m.run_timed_multi(&machines).map_err(ExperimentError::Sim)?
+        let trace = m.run_recorded(&compiled).map_err(ExperimentError::Sim)?;
+        trace
+            .price_all(&compiled, &machines)
+            .map_err(ExperimentError::Sim)?
     };
 
     let mut runs = Vec::with_capacity(matrix.len());

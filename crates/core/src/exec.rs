@@ -462,6 +462,20 @@ impl InstrSet for FitsSet {
         op_meta(op)
     }
 
+    fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn control_flow(&self, pc: u32, op: &FitsOp) -> fits_sim::OpControl {
+        match op {
+            // Plain micro-ops share the AR32 classifier at the 16-bit op
+            // size (covers direct branches, `mov pc, r` and traps).
+            FitsOp::Plain(i) => fits_sim::instr_control_flow(i, pc, 2),
+            FitsOp::Jalr(_) => fits_sim::OpControl::Indirect,
+            FitsOp::WideImm { .. } | FitsOp::WideMem { .. } => fits_sim::OpControl::Sequential,
+        }
+    }
+
     fn op_with_meta(&self, pc: u32) -> Result<(&FitsOp, &fits_sim::OpMeta), SimError> {
         let index = self.index_of(pc)?;
         Ok((&self.ops[index], &self.metas[index]))

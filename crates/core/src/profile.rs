@@ -8,9 +8,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use fits_isa::{
-    AddrOffset, Cond, DpOp, Instr, MemOp, Operand2, Program, Shift, ShiftKind, TEXT_BASE,
-};
+use fits_isa::{AddrOffset, Cond, DpOp, Instr, MemOp, Operand2, Program, Shift, ShiftKind};
 use fits_sim::{Ar32Set, Machine, RunOutput, SimError};
 
 /// A static/dynamic counter pair.
@@ -319,16 +317,22 @@ fn record_instr(profile: &mut Profile, instr: &Instr, index: usize, executions: 
 /// functional execution for dynamic counts (the paper's profile-guided
 /// flow; §3.1 "we currently use profile information").
 ///
+/// The dynamic counts ride the basic-block compiled replay engine: the
+/// profiling run records a compact block trace
+/// ([`Machine::run_recorded`]) and the per-instruction execution counts
+/// fall out of a difference array over its entries — no per-step observer
+/// closure or `StepInfo` construction.
+///
 /// # Errors
 ///
 /// Propagates simulation errors from the profiling run.
 pub fn profile(program: &Program) -> Result<Profile, SimError> {
-    let mut machine = Machine::new(Ar32Set::load(program));
-    let mut exec_counts = vec![0u64; program.text.len()];
-    let run = machine.run_observed(|_, info| {
-        let idx = ((info.pc - TEXT_BASE) / 4) as usize;
-        exec_counts[idx] += 1;
-    })?;
+    let set = Ar32Set::load(program);
+    let compiled = fits_sim::CompiledProgram::compile(&set)?;
+    let mut machine = Machine::new(set);
+    let trace = machine.run_recorded(&compiled)?;
+    let exec_counts = trace.exec_counts(compiled.op_count());
+    let run = trace.output;
 
     let mut p = Profile {
         static_instrs: program.text.len(),

@@ -107,7 +107,7 @@ pub fn trace_timed_run<S: InstrSet>(
     cfg: &Sa1100Config,
 ) -> Result<(RunOutput, SimResult, SimTrace), SimError> {
     let op_size = machine.instr_set().op_size();
-    let mut timing = TimingModel::new(cfg.clone())?;
+    let mut timing = TimingModel::new(cfg)?;
     let mut retires = PcHistogram::new(TEXT_BASE, op_size);
     let mut branches = BranchHistogram::new(TEXT_BASE, op_size);
     let mut cache = CacheEvents::new(cfg);

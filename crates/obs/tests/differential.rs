@@ -67,6 +67,47 @@ fn tracing_is_invisible_to_fits_runs() {
     }
 }
 
+/// The compiled-replay path must be just as invisible as the interpreted
+/// one: replaying a recorded trace with a [`CacheEvents`] observer attached
+/// (`RecordedTrace::price_with`) must produce the same `SimResult` **and**
+/// the same event stream as [`trace_timed_run`]'s interpreted collection.
+#[test]
+fn compiled_replay_events_match_interpreted_trace() {
+    for kernel in [Kernel::Crc32, Kernel::Bitcount] {
+        let program = kernel.compile(Scale::test()).unwrap();
+        for cfg in configs() {
+            let (ref_out, ref_sim, ref_trace) =
+                trace_timed_run(&mut Machine::new(Ar32Set::load(&program)), &cfg).unwrap();
+
+            let set = Ar32Set::load(&program);
+            let compiled = fits_sim::CompiledProgram::compile(&set).unwrap();
+            let trace = Machine::new(Ar32Set::load(&program))
+                .run_recorded(&compiled)
+                .unwrap();
+            let mut events = CacheEvents::new(&cfg);
+            let sim = trace.price_with(&compiled, &cfg, &mut events).unwrap();
+
+            assert_eq!(trace.output, ref_out, "{kernel:?}: RunOutput diverged");
+            assert_eq!(sim, ref_sim, "{kernel:?}: SimResult diverged");
+            assert_eq!(
+                events.fetches.iter().collect::<Vec<_>>(),
+                ref_trace.cache.fetches.iter().collect::<Vec<_>>(),
+                "{kernel:?}: per-word fetch events diverged"
+            );
+            assert_eq!(events.fetches.stray(), ref_trace.cache.fetches.stray());
+            assert_eq!(
+                events.icache_sets.sets(),
+                ref_trace.cache.icache_sets.sets(),
+                "{kernel:?}: per-set I-cache events diverged"
+            );
+            assert_eq!(
+                events.dcache, ref_trace.cache.dcache,
+                "{kernel:?}: D-cache totals diverged"
+            );
+        }
+    }
+}
+
 /// A random but plausible retired-instruction record. Values need not form
 /// a runnable program — the timing model only folds them into counters —
 /// which lets the property cover states real kernels rarely reach
@@ -133,8 +174,8 @@ fn run_property_stream(seed: u64, steps: usize) -> (SimResult, SimResult, CacheE
         })
         .collect();
 
-    let mut plain = TimingModel::new(cfg.clone()).unwrap();
-    let mut traced = TimingModel::new(cfg.clone()).unwrap();
+    let mut plain = TimingModel::new(&cfg).unwrap();
+    let mut traced = TimingModel::new(&cfg).unwrap();
     let mut collector = CacheEvents::new(&cfg);
     for info in &stream {
         plain.observe(info);

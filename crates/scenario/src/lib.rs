@@ -58,6 +58,18 @@ pub enum ScenarioError {
         /// Which axis (`"icache sizes"` / `"tech nodes"`).
         axis: &'static str,
     },
+    /// One point of a [`ScenarioMatrix::grid`] has an invalid I-cache
+    /// geometry — carries the grid coordinates so a bad sweep axis fails
+    /// fast at matrix construction, naming the offending point instead of
+    /// surfacing a bare geometry error deep inside a sweep.
+    GridPoint {
+        /// The tech-node name of the failing point.
+        tech: String,
+        /// The requested I-cache capacity in bytes.
+        icache_bytes: u32,
+        /// The typed geometry failure.
+        error: GeometryError,
+    },
     /// A preset name was not one of [`PRESET_NAMES`].
     UnknownPreset {
         /// The offending name.
@@ -78,6 +90,14 @@ impl fmt::Display for ScenarioError {
                 write!(f, "bad scenario id {id:?} (need non-empty [a-z0-9.-])")
             }
             ScenarioError::EmptyAxis { axis } => write!(f, "sweep axis {axis} is empty"),
+            ScenarioError::GridPoint {
+                tech,
+                icache_bytes,
+                error,
+            } => write!(
+                f,
+                "grid point (tech {tech}, icache {icache_bytes} B): {error}"
+            ),
             ScenarioError::UnknownPreset { name } => write!(
                 f,
                 "unknown scenario preset {name:?} (presets: {})",
@@ -493,8 +513,9 @@ impl ScenarioMatrix {
     ///
     /// # Errors
     ///
-    /// [`ScenarioError::EmptyAxis`] for an empty axis, or the first
-    /// geometry/id failure.
+    /// [`ScenarioError::EmptyAxis`] for an empty axis,
+    /// [`ScenarioError::GridPoint`] naming the grid coordinates of the
+    /// first invalid I-cache resize, or any id/tech failure of the base.
     pub fn grid(
         base: &ScenarioSpec,
         icache_sizes: &[u32],
@@ -512,7 +533,14 @@ impl ScenarioMatrix {
         for (name, tech) in tech_nodes {
             let node_base = base.with_tech(name, tech.clone())?;
             for &bytes in icache_sizes {
-                scenarios.push(node_base.with_icache_bytes(bytes)?);
+                let spec = node_base.with_icache_bytes(bytes).map_err(|error| {
+                    ScenarioError::GridPoint {
+                        tech: name.clone(),
+                        icache_bytes: bytes,
+                        error,
+                    }
+                })?;
+                scenarios.push(spec);
             }
         }
         Ok(ScenarioMatrix { scenarios })
@@ -646,6 +674,32 @@ mod tests {
             base.with_tech("Bad Name", TechParams::sa1100()),
             Err(ScenarioError::BadId { .. })
         ));
+    }
+
+    #[test]
+    fn grid_names_the_failing_point() {
+        let base = ScenarioSpec::sa1100();
+        let nodes = vec![
+            ("sa1100".to_string(), TechParams::sa1100()),
+            ("65nm".to_string(), TechParams::modern_65nm()),
+        ];
+        // The bad size sits on the *second* tech node so the error must
+        // carry the right coordinates, not just the first axis entry.
+        let err = ScenarioMatrix::grid(&base, &[16 * 1024, 3 * 1024], &nodes)
+            .expect_err("3 KB gives 3 sets");
+        assert_eq!(
+            err,
+            ScenarioError::GridPoint {
+                tech: "sa1100".to_string(),
+                icache_bytes: 3 * 1024,
+                error: GeometryError::SetsNotPowerOfTwo { sets: 3 },
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("sa1100") && msg.contains("3072"),
+            "coordinates must be printable: {msg}"
+        );
     }
 
     #[test]

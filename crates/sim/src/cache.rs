@@ -197,50 +197,118 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    tag: u32,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-}
+/// "No entry" sentinel for the line→way shortcut table: the low 32 bits
+/// (the line-address field) are all-ones, which no validated geometry can
+/// produce (line addresses are at most 30 bits wide).
+const SHORTCUT_EMPTY: u64 = u64::MAX;
+
+/// Entry count of the direct-mapped line→way shortcut table (2 KB per
+/// cache): large enough to cover a hot loop's code and data lines, small
+/// enough to stay L1-resident even with several replay lanes live.
+const SHORTCUT_ENTRIES: usize = 256;
 
 /// An LRU set-associative cache.
+///
+/// Line state is stored structure-of-arrays: the associative search only
+/// streams the contiguous `u32` tag array (128 B for a 32-way set) instead
+/// of striding over fat per-line records, which is what keeps the replay
+/// engine's per-lane loop fast.
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<Line>,
-    tick: u64,
+    /// Per-line tag, indexed `set * ways + way`. Only the first
+    /// `filled[set]` ways of a set are meaningful.
+    tags: Vec<u32>,
+    /// Number of valid ways per set. Lines are never invalidated and fills
+    /// always prefer the first free way, so validity is exactly "way index
+    /// below this count" — the associative search scans only that prefix.
+    filled: Vec<u32>,
+    /// Per-line dirty bit.
+    dirty: Vec<bool>,
+    /// Per-line last-use tick for LRU victim selection (the tick is the
+    /// running access count).
+    lru: Vec<u64>,
+    /// Running totals. `hits` is derived (`accesses - misses`) by
+    /// [`Cache::finish`], not maintained per access.
     stats: CacheStats,
     last_output: u32,
     window_start: u64,
-    window: WindowPeak,
+    /// Snapshot of the running totals at the start of the in-flight peak
+    /// window; the window's own counters are the difference between the
+    /// totals and this snapshot.
+    win_start: WindowPeak,
     /// Deterministic xorshift state for pseudo-random victim selection.
     lfsr: u32,
-    /// The line touched by the most recent access: `(line_addr, index into
-    /// `lines`)`. Maintained on every hit and fill, so when the next access
-    /// lands on the same line address the associative search can be skipped
-    /// entirely — the dominant case for sequential instruction fetch. This
-    /// is purely an access-path shortcut: every counter and every line-state
-    /// update is identical to the searched path.
-    mru: Option<(u32, usize)>,
+    /// Lossy direct-mapped shortcut from line address to resident way
+    /// index — the single fast path of [`Cache::access`]. Each entry packs
+    /// `line_addr | (global way index << 32)` so the lookup is one load;
+    /// entries are validated on use against `tags` (a refilled way no
+    /// longer matches, falling back to the associative search), so stale
+    /// entries are harmless and no invalidation bookkeeping is needed.
+    shortcut: Vec<u64>,
+
+    /// `log2(line_bytes)` when the line size is a power of two (the
+    /// validated case), so the per-access address math is a shift instead
+    /// of a hardware divide. `None` falls back to division — same values,
+    /// only slower — for unvalidated geometries constructed in tests.
+    line_shift: Option<u32>,
+    /// `sets - 1` when the set count is a power of two (mask indexing) and
+    /// `log2(sets)` for the tag shift, same fallback rule.
+    set_mask_shift: Option<(u32, u32)>,
 }
 
 impl Cache {
     /// Builds an empty cache with the given geometry.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Cache {
-        let lines = vec![Line::default(); (cfg.sets() * cfg.ways) as usize];
+        let n = (cfg.sets() * cfg.ways) as usize;
+        let line_shift = (cfg.line_bytes.is_power_of_two() && cfg.line_bytes >= 4)
+            .then(|| cfg.line_bytes.trailing_zeros());
+        let sets = cfg.sets();
+        let set_mask_shift =
+            (sets > 0 && sets.is_power_of_two()).then(|| (sets - 1, sets.trailing_zeros()));
         Cache {
             cfg,
-            lines,
-            tick: 0,
+            tags: vec![u32::MAX; n],
+            filled: vec![0; sets as usize],
+            dirty: vec![false; n],
+            lru: vec![0; n],
             stats: CacheStats::default(),
             last_output: 0,
             window_start: 0,
-            window: WindowPeak::default(),
+            win_start: WindowPeak::default(),
             lfsr: 0x2545_f491,
-            mru: None,
+            shortcut: vec![SHORTCUT_EMPTY; SHORTCUT_ENTRIES],
+            line_shift,
+            set_mask_shift,
+        }
+    }
+
+    /// `addr / line_bytes` via shift when the geometry allows.
+    #[inline]
+    fn line_addr_of(&self, addr: u32) -> u32 {
+        match self.line_shift {
+            Some(shift) => addr >> shift,
+            None => addr / self.cfg.line_bytes,
+        }
+    }
+
+    /// `(line_addr % sets, line_addr / sets)` via mask/shift when possible.
+    #[inline]
+    fn set_and_tag(&self, line_addr: u32) -> (u32, u32) {
+        match self.set_mask_shift {
+            Some((mask, shift)) => (line_addr & mask, line_addr >> shift),
+            None => (line_addr % self.cfg.sets(), line_addr / self.cfg.sets()),
+        }
+    }
+
+    /// Inverse of [`Cache::set_and_tag`]: the line address resident in a
+    /// set under a given tag.
+    #[inline]
+    fn line_addr_from(&self, set: u32, tag: u32) -> u32 {
+        match self.set_mask_shift {
+            Some((_, shift)) => tag << shift | set,
+            None => tag * self.cfg.sets() + set,
         }
     }
 
@@ -260,78 +328,126 @@ impl Cache {
     fn roll_window(&mut self, cycle: u64) {
         let bucket = cycle / PEAK_WINDOW_CYCLES;
         if bucket != self.window_start {
-            if self.window.accesses > self.stats.peak.accesses {
-                self.stats.peak = self.window;
-            }
-            self.window = WindowPeak::default();
+            self.fold_window();
             self.window_start = bucket;
         }
+    }
+
+    /// Closes the in-flight window: derives its counters from the running
+    /// totals (the hot access path maintains no separate window counters),
+    /// folds it into the peak, and starts the next window at the current
+    /// totals.
+    #[cold]
+    fn fold_window(&mut self) {
+        let accesses = self.stats.accesses - self.win_start.accesses;
+        if accesses > self.stats.peak.accesses {
+            self.stats.peak = WindowPeak {
+                accesses,
+                toggles: self.stats.output_toggles - self.win_start.toggles,
+                fill_words: self.stats.fill_words - self.win_start.fill_words,
+            };
+        }
+        self.win_start = WindowPeak {
+            accesses: self.stats.accesses,
+            toggles: self.stats.output_toggles,
+            fill_words: self.stats.fill_words,
+        };
     }
 
     /// Performs one access at simulation time `cycle`. Returns `true` on a
     /// hit. `data` is the word on the cache's data port (instruction word or
     /// load/store data), used for toggle accounting.
+    ///
+    /// The body is split so the dominant case — a shortcut-table hit —
+    /// stays small enough to inline into the replay engine's per-lane
+    /// loop; the associative search and the miss path live in
+    /// [`Cache::access_search`].
+    ///
+    /// Soundness of the shortcut hit: the table holds only currently
+    /// resident lines — entries are written on search hits and fills,
+    /// and the entry of an evicted line is cleared when its way is
+    /// refilled — so a matching entry *is* the hit, with no tag
+    /// re-validation on the fast path.
+    #[inline]
     pub fn access(&mut self, addr: u32, write: bool, data: u32, cycle: u64) -> bool {
-        self.roll_window(cycle);
-        self.tick += 1;
-        self.stats.accesses += 1;
-        self.window.accesses += 1;
-        if write {
-            self.stats.writes += 1;
-        }
         let toggles = u64::from((self.last_output ^ data).count_ones());
-        self.stats.output_toggles += toggles;
-        self.window.toggles += toggles;
         self.last_output = data;
+        self.access_toggles(addr, write, toggles, cycle)
+    }
 
-        let line_addr = addr / self.cfg.line_bytes;
+    /// [`Cache::access`] with the output-port toggle count already
+    /// computed. The toggle sequence is a pure function of the access
+    /// stream, so the replay engine computes each delta once in the
+    /// shared pipeline pass and every lane calls this entry point —
+    /// `last_output` is left untouched (nothing reads it on this path).
+    #[inline]
+    pub(crate) fn access_toggles(
+        &mut self,
+        addr: u32,
+        write: bool,
+        toggles: u64,
+        cycle: u64,
+    ) -> bool {
+        self.roll_window(cycle);
+        self.stats.accesses += 1;
+        self.stats.writes += u64::from(write);
+        self.stats.output_toggles += toggles;
 
-        // Most-recently-used shortcut: `mru` is an invariant — when set, the
-        // indexed line holds exactly `line_addr` (every hit and every fill
-        // refreshes it, and nothing else mutates lines) — so a repeat access
-        // is a guaranteed hit with no associative search.
-        if let Some((mru_addr, idx)) = self.mru {
-            if mru_addr == line_addr {
-                let line = &mut self.lines[idx];
-                line.lru = self.tick;
-                if write {
-                    line.dirty = true;
-                }
-                self.stats.hits += 1;
-                return true;
-            }
-        }
-
-        let set = line_addr % self.cfg.sets();
-        let tag = line_addr / self.cfg.sets();
-        let ways = self.cfg.ways as usize;
-        let base = set as usize * ways;
-        let set_lines = &mut self.lines[base..base + ways];
-
-        if let Some(way) = set_lines.iter().position(|l| l.valid && l.tag == tag) {
-            let line = &mut set_lines[way];
-            line.lru = self.tick;
+        let line_addr = self.line_addr_of(addr);
+        let h = line_addr as usize & (SHORTCUT_ENTRIES - 1);
+        let entry = self.shortcut[h];
+        if entry as u32 == line_addr {
+            let idx = (entry >> 32) as usize;
+            self.lru[idx] = self.stats.accesses;
             if write {
-                line.dirty = true;
+                self.dirty[idx] = true;
             }
-            self.stats.hits += 1;
-            self.mru = Some((line_addr, base + way));
             return true;
         }
 
-        // Miss: pick a victim per the replacement policy and fill. Invalid
-        // ways are always preferred.
+        self.access_search(line_addr, write)
+    }
+
+    /// The associative-search and miss half of [`Cache::access`]; counter
+    /// updates are identical to the pre-split single function. Kept out of
+    /// line so the inlined fast path stays register-allocatable.
+    #[inline(never)]
+    fn access_search(&mut self, line_addr: u32, write: bool) -> bool {
+        let (set, tag) = self.set_and_tag(line_addr);
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        let filled = self.filled[set as usize] as usize;
+        let set_tags = &self.tags[base..base + filled];
+
+        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+            let idx = base + way;
+            self.lru[idx] = self.stats.accesses;
+            if write {
+                self.dirty[idx] = true;
+            }
+            let h = line_addr as usize & (SHORTCUT_ENTRIES - 1);
+            self.shortcut[h] = u64::from(line_addr) | (idx as u64) << 32;
+            return true;
+        }
+
+        // Miss: pick a victim per the replacement policy and fill. Free
+        // ways are always preferred (in way order, hence the prefix
+        // invariant on `filled`).
         self.stats.misses += 1;
-        let way = if let Some(invalid) = set_lines.iter().position(|l| !l.valid) {
-            invalid
+        let way = if filled < ways {
+            self.filled[set as usize] += 1;
+            filled
         } else {
             match self.cfg.replacement {
-                Replacement::Lru => set_lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("at least one way"),
+                Replacement::Lru => {
+                    let set_lru = &self.lru[base..base + ways];
+                    set_lru
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| **l)
+                        .map(|(i, _)| i)
+                        .expect("at least one way")
+                }
                 Replacement::PseudoRandom => {
                     // xorshift32
                     self.lfsr ^= self.lfsr << 13;
@@ -341,29 +457,36 @@ impl Cache {
                 }
             }
         };
-        let victim = &mut set_lines[way];
-        if victim.valid && victim.dirty {
-            self.stats.writebacks += 1;
+        let idx = base + way;
+        if way < filled {
+            if self.dirty[idx] {
+                self.stats.writebacks += 1;
+            }
+            // Evicting a resident line: clear its shortcut entry (if it
+            // still points at this way) to keep the table's "resident
+            // lines only" invariant that lets `access` skip tag
+            // validation.
+            let evicted = self.line_addr_from(set, self.tags[idx]);
+            let eh = evicted as usize & (SHORTCUT_ENTRIES - 1);
+            if self.shortcut[eh] == u64::from(evicted) | (idx as u64) << 32 {
+                self.shortcut[eh] = SHORTCUT_EMPTY;
+            }
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: write,
-            lru: self.tick,
-        };
-        self.mru = Some((line_addr, base + way));
+        self.tags[idx] = tag;
+        self.dirty[idx] = write;
+        self.lru[idx] = self.stats.accesses;
+        let h = line_addr as usize & (SHORTCUT_ENTRIES - 1);
+        self.shortcut[h] = u64::from(line_addr) | (idx as u64) << 32;
         let fill = u64::from(self.cfg.line_bytes / 4);
         self.stats.fill_words += fill;
-        self.window.fill_words += fill;
         false
     }
 
-    /// Folds the in-flight peak window into the statistics. Idempotent.
+    /// Folds the in-flight peak window into the statistics and
+    /// materializes the derived counters (`hits`). Idempotent.
     pub fn finish(&mut self) {
-        if self.window.accesses > self.stats.peak.accesses {
-            self.stats.peak = self.window;
-        }
-        self.window = WindowPeak::default();
+        self.fold_window();
+        self.stats.hits = self.stats.accesses - self.stats.misses;
     }
 
     /// Checks whether an address would hit, without updating any state
@@ -375,9 +498,8 @@ impl Cache {
         let tag = line_addr / self.cfg.sets();
         let ways = self.cfg.ways as usize;
         let base = set as usize * ways;
-        self.lines[base..base + ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        let filled = self.filled[set as usize] as usize;
+        self.tags[base..base + filled].contains(&tag)
     }
 }
 
@@ -490,6 +612,7 @@ mod tests {
         assert!(c.access(0x1000, false, 1, 1));
         assert!(c.access(0x101c, false, 1, 2), "same line");
         assert!(!c.access(0x1020, false, 1, 3), "next line");
+        c.finish();
         let s = c.stats();
         assert_eq!(s.accesses, 4);
         assert_eq!(s.hits, 2);

@@ -57,6 +57,29 @@ impl OpMeta {
     }
 }
 
+/// Static control-flow shape of one decoded op — what the basic-block
+/// lifter ([`crate::CompiledProgram`]) needs to place block leaders and
+/// pre-resolve successor links.
+///
+/// The classification is purely static: a conditional branch is
+/// [`OpControl::Branch`] whether or not any dynamic instance takes it, and
+/// an op is [`OpControl::Indirect`] whenever its target is only known at
+/// run time (`mov pc, r`, `ldr pc, …`, FITS `jalr`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpControl {
+    /// Falls through to the next op.
+    Sequential,
+    /// Direct (possibly conditional) branch to a statically-known PC.
+    Branch {
+        /// Architectural target PC when the branch is taken.
+        target: u32,
+    },
+    /// PC redirect whose target is only known at run time.
+    Indirect,
+    /// Trap (exit/emit); ends a block because `exit` stops the run.
+    Trap,
+}
+
 /// An executable instruction set: the bridge between a program binary and
 /// the ISA-agnostic [`crate::Machine`].
 ///
@@ -90,6 +113,22 @@ pub trait InstrSet {
 
     /// Static metadata for an instruction.
     fn describe(&self, op: &Self::Op) -> OpMeta;
+
+    /// Base address of the text segment (the PC of op index 0). Both
+    /// shipped instruction sets place their text at the workspace-wide
+    /// [`TEXT_BASE`].
+    fn text_base(&self) -> u32 {
+        TEXT_BASE
+    }
+
+    /// Number of decoded ops in the text segment. Op `i` lives at
+    /// `text_base() + i * op_size()`.
+    fn op_count(&self) -> usize;
+
+    /// Static control-flow classification of the op at `pc`, used by the
+    /// basic-block lifter to place leaders and pre-resolve direct branch
+    /// targets. Must agree with what `execute` can actually do to the PC.
+    fn control_flow(&self, pc: u32, op: &Self::Op) -> OpControl;
 
     /// The decoded instruction at `pc` together with its **precomputed**
     /// static metadata. This is the machine loop's per-step entry point:
@@ -175,6 +214,25 @@ pub fn instr_meta(instr: &Instr) -> OpMeta {
         reads_flags,
         matches!(instr, Instr::Mul { .. }),
     )
+}
+
+/// Static control flow of an [`Instr`], shared with the FITS executor
+/// (whose `Plain` micro-ops are this same type at `op_size == 2`). The
+/// branch-target arithmetic mirrors [`execute_instr`] exactly: words
+/// relative to PC + 2·`op_size`, scaled by `op_size`.
+#[must_use]
+pub fn instr_control_flow(instr: &Instr, pc: u32, op_size: u32) -> OpControl {
+    match instr {
+        Instr::Branch { offset, .. } => OpControl::Branch {
+            target: pc
+                .wrapping_add(2 * op_size)
+                .wrapping_add((offset.wrapping_mul(op_size as i32)) as u32),
+        },
+        Instr::Dp { op, rd, .. } if rd.is_pc() && !op.is_compare() => OpControl::Indirect,
+        Instr::Mem { op, rd, .. } if op.is_load() && rd.is_pc() => OpControl::Indirect,
+        Instr::Swi { .. } => OpControl::Trap,
+        _ => OpControl::Sequential,
+    }
 }
 
 /// Executes one AR32 instruction against the context. Shared with the FITS
@@ -383,6 +441,14 @@ impl InstrSet for Ar32Set {
 
     fn describe(&self, op: &Instr) -> OpMeta {
         instr_meta(op)
+    }
+
+    fn op_count(&self) -> usize {
+        self.text.len()
+    }
+
+    fn control_flow(&self, pc: u32, op: &Instr) -> OpControl {
+        instr_control_flow(op, pc, 4)
     }
 
     fn op_with_meta(&self, pc: u32) -> Result<(&Instr, &OpMeta), SimError> {

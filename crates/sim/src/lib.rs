@@ -49,6 +49,7 @@ mod error;
 mod exec;
 mod machine;
 mod memory;
+mod replay;
 mod timing;
 
 pub use cache::{
@@ -57,7 +58,10 @@ pub use cache::{
 };
 pub use cpu::{BranchOutcome, CpuState, ExecCtx, MemAccess, StepInfo, StepOutcome};
 pub use error::SimError;
-pub use exec::{execute_instr, instr_meta, Ar32Set, InstrSet, OpMeta};
+pub use exec::{
+    execute_instr, instr_control_flow, instr_meta, Ar32Set, InstrSet, OpControl, OpMeta,
+};
 pub use machine::{fold_emitted, Machine, RunOutput, MAX_STEPS_DEFAULT};
 pub use memory::Memory;
+pub use replay::{BasicBlock, CompiledProgram, RecordedTrace, StepTemplate, TraceEntry};
 pub use timing::{BranchStats, CacheEventObserver, Sa1100Config, SimResult, TimingModel};

@@ -1,6 +1,8 @@
 //! The machine loop: drives an [`InstrSet`] over memory, optionally feeding
 //! a timing model or a step observer.
 
+use crate::cache::validate_config;
+use crate::replay::{CompiledProgram, RecordedTrace, TraceEntry};
 use crate::{
     CpuState, ExecCtx, InstrSet, Memory, Sa1100Config, SimError, SimResult, StepInfo, TimingModel,
 };
@@ -29,7 +31,7 @@ impl RunOutput {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Folds an emit stream into the hash the machine computes, so reference
@@ -41,7 +43,7 @@ pub fn fold_emitted(words: &[u32]) -> u64 {
         .fold(FNV_OFFSET, |h, &w| fnv1a(h, u64::from(w)))
 }
 
-fn fnv1a(hash: u64, value: u64) -> u64 {
+pub(crate) fn fnv1a(hash: u64, value: u64) -> u64 {
     let mut h = hash;
     for byte in value.to_le_bytes() {
         h ^= u64::from(byte);
@@ -213,18 +215,128 @@ impl<S: InstrSet> Machine<S> {
     ///
     /// Any [`SimError`] raised by execution, including step-budget overrun.
     pub fn run_timed(&mut self, cfg: &Sa1100Config) -> Result<(RunOutput, SimResult), SimError> {
-        let mut timing = TimingModel::new(cfg.clone())?;
+        let mut timing = TimingModel::new(cfg)?;
         let output = self.run_observed(|_, info| timing.observe(info))?;
         Ok((output, timing.finish()))
     }
 
-    /// Executes the program **once** and replays the retired-instruction
-    /// stream into one [`TimingModel`] per configuration — the
-    /// execute-once/replay-many engine. The `SimResult` for each
+    /// Lifts this machine's program into basic-block descriptors and step
+    /// templates (see [`CompiledProgram::compile`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode-table lookup failures.
+    pub fn compile(&self) -> Result<CompiledProgram, SimError> {
+        CompiledProgram::compile(&self.set)
+    }
+
+    /// Runs to the exit trap **recording** a compact block-ID +
+    /// dynamic-outcome trace against a lifted program, without building
+    /// `StepInfo`s or driving any timing model. The returned trace replays
+    /// over any number of configurations via
+    /// [`RecordedTrace::price_all`]; its
+    /// [`RunOutput`](RecordedTrace::output) is exactly that of
+    /// [`Machine::run`].
+    ///
+    /// The hot loop walks whole basic blocks between control transfers:
+    /// sequential successors advance without a PC→index lookup, and taken
+    /// direct branches follow the block's pre-resolved successor link.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised by execution, a step-budget overrun, or a
+    /// `compiled` program that was not lifted from this machine's
+    /// instruction set.
+    pub fn run_recorded(&mut self, compiled: &CompiledProgram) -> Result<RecordedTrace, SimError> {
+        compiled.check_matches(&self.set)?;
+        let op_size = self.set.op_size();
+        let mut trace = RecordedTrace {
+            output: RunOutput {
+                exit_code: 0,
+                emitted: FNV_OFFSET,
+                steps: 0,
+            },
+            entries: Vec::new(),
+            flags: Vec::new(),
+            mem: Vec::new(),
+            token: compiled.token(),
+            statics: Default::default(),
+        };
+        let mut steps: u64 = 0;
+        let mut emitted = FNV_OFFSET;
+        let mut index = compiled.index_of_pc(self.pc)?;
+        loop {
+            let start = index;
+            let boundary = compiled.boundary_of(index);
+            let mut len = 0u32;
+            // One trace entry: retire ops until the block ends, the PC
+            // redirects, or the program exits.
+            let next = loop {
+                if steps >= self.step_limit {
+                    return Err(SimError::MaxSteps {
+                        limit: self.step_limit,
+                    });
+                }
+                let op = self.set.op_at(self.pc)?;
+                let mut ctx = ExecCtx {
+                    cpu: &mut self.cpu,
+                    mem: &mut self.mem,
+                    pc: self.pc,
+                };
+                let out = self.set.execute(op, &mut ctx)?;
+                steps += 1;
+                len += 1;
+                trace.record_step(&out);
+                if let Some(word) = out.emit {
+                    emitted = fnv1a(emitted, u64::from(word));
+                }
+                if let Some(code) = out.exit {
+                    trace.entries.push(TraceEntry { start, len });
+                    trace.output = RunOutput {
+                        exit_code: code,
+                        emitted,
+                        steps,
+                    };
+                    trace.compute_statics(compiled.templates());
+                    return Ok(trace);
+                }
+                let seq_pc = self.pc.wrapping_add(op_size);
+                if out.next_pc != seq_pc {
+                    self.pc = out.next_pc;
+                    // Taken direct branches follow the pre-resolved link;
+                    // indirect targets fall back to a checked lookup.
+                    break match compiled.branch_link(index) {
+                        Some((target_pc, target_index, _)) if target_pc == out.next_pc => {
+                            target_index
+                        }
+                        _ => compiled.index_of_pc(out.next_pc)?,
+                    };
+                }
+                self.pc = seq_pc;
+                index += 1;
+                if index == boundary {
+                    break index;
+                }
+            };
+            trace.entries.push(TraceEntry { start, len });
+            index = next;
+            if index as usize >= compiled.op_count() {
+                // Fell off the end of the text segment: report it exactly
+                // as the interpreted loop would on its next fetch.
+                return Err(SimError::BadPc { pc: self.pc });
+            }
+        }
+    }
+
+    /// Executes the program **once** and prices every configuration from
+    /// the recorded trace — the execute-once/replay-many engine, now
+    /// running on the basic-block compiled replay path: the program is
+    /// lifted ([`Machine::compile`]), one functional execution records a
+    /// compact trace ([`Machine::run_recorded`]), and a single
+    /// structure-of-arrays replay pass prices all configurations
+    /// ([`RecordedTrace::price_all`]). The `SimResult` for each
     /// configuration is bit-identical to a separate [`Machine::run_timed`]
-    /// call with that configuration (each timing model consumes exactly the
-    /// same [`StepInfo`] stream), at the cost of a single functional
-    /// execution instead of `cfgs.len()`.
+    /// call with that configuration.
     ///
     /// # Errors
     ///
@@ -234,19 +346,16 @@ impl<S: InstrSet> Machine<S> {
         &mut self,
         cfgs: &[Sa1100Config],
     ) -> Result<(RunOutput, Vec<SimResult>), SimError> {
-        let mut models = cfgs
-            .iter()
-            .map(|cfg| TimingModel::new(cfg.clone()))
-            .collect::<Result<Vec<_>, _>>()?;
-        let output = self.run_observed(|_, info| {
-            for model in &mut models {
-                model.observe(info);
-            }
-        })?;
-        Ok((
-            output,
-            models.into_iter().map(TimingModel::finish).collect(),
-        ))
+        // Validate every geometry up front so a bad configuration fails
+        // before the functional execution, as the per-model path did.
+        for cfg in cfgs {
+            validate_config(&cfg.icache)?;
+            validate_config(&cfg.dcache)?;
+        }
+        let compiled = self.compile()?;
+        let trace = self.run_recorded(&compiled)?;
+        let sims = trace.price_all(&compiled, cfgs)?;
+        Ok((trace.output, sims))
     }
 }
 

@@ -186,7 +186,14 @@ impl CacheEventObserver for () {}
 /// [`TimingModel::finish`].
 #[derive(Debug)]
 pub struct TimingModel {
-    cfg: Sa1100Config,
+    /// Penalty values copied out of the borrowed [`Sa1100Config`] — the
+    /// model keeps no clone of the configuration, so hot sweep paths can
+    /// build one model per configuration from shared references.
+    icache_miss_penalty: u64,
+    dcache_miss_penalty: u64,
+    mul_extra_cycles: u64,
+    taken_branch_penalty: u64,
+    mispredict_penalty: u64,
     icache: Cache,
     dcache: Cache,
     result: SimResult,
@@ -200,18 +207,24 @@ pub struct TimingModel {
 }
 
 impl TimingModel {
-    /// Builds a model, validating cache geometry.
+    /// Builds a model, validating cache geometry. Takes the configuration
+    /// by reference: only the two cache geometries are copied (into the
+    /// caches themselves) plus the five penalty scalars.
     ///
     /// # Errors
     ///
     /// Returns an error when either cache geometry is degenerate.
-    pub fn new(cfg: Sa1100Config) -> Result<TimingModel, SimError> {
+    pub fn new(cfg: &Sa1100Config) -> Result<TimingModel, SimError> {
         validate_config(&cfg.icache)?;
         validate_config(&cfg.dcache)?;
         Ok(TimingModel {
             icache: Cache::new(cfg.icache.clone()),
             dcache: Cache::new(cfg.dcache.clone()),
-            cfg,
+            icache_miss_penalty: cfg.icache_miss_penalty,
+            dcache_miss_penalty: cfg.dcache_miss_penalty,
+            mul_extra_cycles: cfg.mul_extra_cycles,
+            taken_branch_penalty: cfg.taken_branch_penalty,
+            mispredict_penalty: cfg.mispredict_penalty,
             result: SimResult::default(),
             pending: None,
             last_fetch_word: None,
@@ -231,8 +244,8 @@ impl TimingModel {
             .access(info.fetch_word_addr, false, info.fetch_word_value, cycle);
         obs.icache_access(info.fetch_word_addr, hit);
         if !hit {
-            self.result.cycles += self.cfg.icache_miss_penalty;
-            self.result.icache_stall_cycles += self.cfg.icache_miss_penalty;
+            self.result.cycles += self.icache_miss_penalty;
+            self.result.icache_stall_cycles += self.icache_miss_penalty;
         }
     }
 
@@ -317,15 +330,15 @@ impl TimingModel {
         }
         if info.is_mul {
             self.result.mul_ops += 1;
-            self.result.cycles += self.cfg.mul_extra_cycles;
+            self.result.cycles += self.mul_extra_cycles;
         }
         if let Some(mem) = &info.mem {
             let cycle = self.result.cycles;
             let hit = self.dcache.access(mem.addr, !mem.is_load, mem.data, cycle);
             obs.dcache_access(mem.addr, !mem.is_load, hit);
             if !hit {
-                self.result.cycles += self.cfg.dcache_miss_penalty;
-                self.result.dcache_stall_cycles += self.cfg.dcache_miss_penalty;
+                self.result.cycles += self.dcache_miss_penalty;
+                self.result.dcache_stall_cycles += self.dcache_miss_penalty;
             }
             if mem.is_load {
                 self.load_dest_this_group = info.dests[0];
@@ -339,9 +352,9 @@ impl TimingModel {
             }
             if branch.taken != predicted_taken {
                 self.result.branch.mispredicted += 1;
-                self.result.cycles += self.cfg.mispredict_penalty;
+                self.result.cycles += self.mispredict_penalty;
             } else if branch.taken {
-                self.result.cycles += self.cfg.taken_branch_penalty;
+                self.result.cycles += self.taken_branch_penalty;
             }
             if branch.taken {
                 // The next fetch starts at the target word.
@@ -423,7 +436,7 @@ mod tests {
     }
 
     fn model() -> TimingModel {
-        TimingModel::new(Sa1100Config::icache_16k()).unwrap()
+        TimingModel::new(&Sa1100Config::icache_16k()).unwrap()
     }
 
     #[test]

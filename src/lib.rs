@@ -21,6 +21,8 @@
 //!   integrity, dataflow checks and per-rule translation validation.
 //! * [`obs`] — observability: hierarchical phase timing, traced simulation
 //!   histograms and per-basic-block power attribution (`fitstrace`).
+//! * [`scenario`] — the data-driven scenario plane: named machine presets,
+//!   tech nodes and validated sweep matrices.
 //! * [`bench`] — experiment runners that regenerate every figure of the
 //!   paper.
 //!
@@ -46,5 +48,6 @@ pub use fits_isa as isa;
 pub use fits_kernels as kernels;
 pub use fits_obs as obs;
 pub use fits_power as power;
+pub use fits_scenario as scenario;
 pub use fits_sim as sim;
 pub use fits_verify as verify;

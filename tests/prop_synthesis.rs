@@ -8,126 +8,11 @@
 
 #![allow(clippy::unwrap_used)]
 
+mod common;
+
+use common::{arb_steps, build};
 use fits_rng::StdRng;
 use powerfits::core::{synthesize, FitsFlow, SynthOptions};
-use powerfits::isa::DATA_BASE;
-use powerfits::kernels::builder::{FnBuilder, ModuleBuilder};
-use powerfits::kernels::codegen::compile;
-use powerfits::kernels::ir::{BinOp, CmpOp, Val};
-
-/// A recipe for one random statement.
-#[derive(Clone, Debug)]
-enum Step {
-    Imm(u32),
-    Bin(u8, usize, usize),
-    BinImm(u8, usize, u32),
-    Not(usize),
-    StoreLoad(usize, u8),
-    CondInc(u8, usize, u32),
-}
-
-fn arb_step(r: &mut StdRng) -> Step {
-    match r.gen_range(0..6u8) {
-        0 => Step::Imm(r.gen()),
-        1 => Step::Bin(
-            r.gen_range(0..11u8),
-            r.gen_range(0..8usize),
-            r.gen_range(0..8usize),
-        ),
-        2 => Step::BinImm(r.gen_range(0..11u8), r.gen_range(0..8usize), r.gen()),
-        3 => Step::Not(r.gen_range(0..8usize)),
-        4 => Step::StoreLoad(r.gen_range(0..8usize), r.gen_range(0..6u8)),
-        _ => Step::CondInc(r.gen_range(0..10u8), r.gen_range(0..8usize), r.gen()),
-    }
-}
-
-fn arb_steps(r: &mut StdRng, max: usize) -> Vec<Step> {
-    let n = r.gen_range(1..max);
-    (0..n).map(|_| arb_step(r)).collect()
-}
-
-fn bin_of(code: u8) -> BinOp {
-    match code {
-        0 => BinOp::Add,
-        1 => BinOp::Sub,
-        2 => BinOp::And,
-        3 => BinOp::Or,
-        4 => BinOp::Xor,
-        5 => BinOp::Bic,
-        6 => BinOp::Shl,
-        7 => BinOp::Shr,
-        8 => BinOp::Sar,
-        9 => BinOp::Ror,
-        _ => BinOp::Mul,
-    }
-}
-
-fn cmp_of(code: u8) -> CmpOp {
-    match code {
-        0 => CmpOp::Eq,
-        1 => CmpOp::Ne,
-        2 => CmpOp::LtS,
-        3 => CmpOp::LeS,
-        4 => CmpOp::GtS,
-        5 => CmpOp::GeS,
-        6 => CmpOp::LtU,
-        7 => CmpOp::LeU,
-        8 => CmpOp::GtU,
-        _ => CmpOp::GeU,
-    }
-}
-
-/// Builds a program from the recipe: a pool of eight live values mutated by
-/// each step, folded into a final checksum.
-fn build(steps: &[Step]) -> powerfits::isa::Program {
-    let mut mb = ModuleBuilder::new();
-    let mut f = FnBuilder::new("main", 0);
-    let base = f.imm(DATA_BASE);
-    let mut pool: Vec<Val> = (0..8)
-        .map(|i| f.imm(0x1234_5678u32.wrapping_mul(i + 1)))
-        .collect();
-    for step in steps {
-        match step {
-            Step::Imm(v) => {
-                let nv = f.imm(*v);
-                pool.rotate_left(1);
-                pool[0] = nv;
-            }
-            Step::Bin(op, a, b) => {
-                let nv = f.bin(bin_of(*op), pool[*a], pool[*b]);
-                pool[*a] = nv;
-            }
-            Step::BinImm(op, a, v) => {
-                let nv = f.bin(bin_of(*op), pool[*a], *v);
-                pool[*a] = nv;
-            }
-            Step::Not(a) => {
-                let nv = f.not(pool[*a]);
-                pool[*a] = nv;
-            }
-            Step::StoreLoad(a, slot) => {
-                f.store_w(base, i32::from(*slot) * 4, pool[*a]);
-                let nv = f.load_w(base, i32::from(*slot) * 4);
-                pool[*a] = nv;
-            }
-            Step::CondInc(c, a, v) => {
-                f.if_(f.cmp(cmp_of(*c), pool[*a], *v), |f| {
-                    let nv = f.add(pool[*a], 1u32);
-                    f.copy(pool[*a], nv);
-                });
-            }
-        }
-    }
-    let mut acc = f.imm(0u32);
-    for v in &pool {
-        let r = f.bin(BinOp::Ror, acc, 31u32);
-        acc = f.xor(r, *v);
-    }
-    f.emit(acc);
-    f.ret(Some(acc));
-    mb.push(f.finish());
-    compile(&mb.finish(vec![0u8; 64])).expect("random program compiles")
-}
 
 /// The flagship property: the FITS flow is semantics-preserving on
 /// arbitrary programs, not just the curated suite (`FitsFlow` verifies the

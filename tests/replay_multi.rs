@@ -12,7 +12,8 @@ use std::rc::Rc;
 use powerfits::core::{FitsFlow, FitsSet};
 use powerfits::kernels::kernels::{Kernel, Scale};
 use powerfits::sim::{
-    Ar32Set, ExecCtx, InstrSet, Machine, OpMeta, Sa1100Config, SimError, StepOutcome,
+    Ar32Set, CompiledProgram, ExecCtx, InstrSet, Machine, OpControl, OpMeta, Sa1100Config,
+    SimError, StepOutcome,
 };
 
 /// The four cache configurations the experiment harness sweeps.
@@ -101,6 +102,12 @@ impl<S: InstrSet> InstrSet for CountingSet<S> {
     fn op_size(&self) -> u32 {
         self.inner.op_size()
     }
+    fn op_count(&self) -> usize {
+        self.inner.op_count()
+    }
+    fn control_flow(&self, pc: u32, op: &Self::Op) -> OpControl {
+        self.inner.control_flow(pc, op)
+    }
     fn initial_data(&self) -> &[u8] {
         self.inner.initial_data()
     }
@@ -139,4 +146,38 @@ fn replay_many_executes_each_instruction_once() {
         out.steps,
         "four timing models must share one execution, not re-execute"
     );
+}
+
+/// The explicit compiled API — `CompiledProgram::compile`, then
+/// `Machine::run_recorded`, then `RecordedTrace::price_all` — must agree
+/// bit-for-bit with per-config interpreted `run_timed`, and a recorded trace
+/// must be re-priceable any number of times with identical results.
+#[test]
+fn compiled_api_is_bit_identical_and_repriceable() {
+    let scale = Scale::test();
+    let cfgs = sweep_configs();
+    for &kernel in [Kernel::Crc32, Kernel::JpegDct, Kernel::Dijkstra].iter() {
+        let program = kernel.compile(scale).expect("kernel compiles");
+        let set = Ar32Set::load(&program);
+        let compiled = CompiledProgram::compile(&set).expect("compiles to blocks");
+        let trace = Machine::new(Ar32Set::load(&program))
+            .run_recorded(&compiled)
+            .expect("recorded run");
+
+        let first = trace.price_all(&compiled, &cfgs).expect("price all");
+        let again = trace.price_all(&compiled, &cfgs).expect("re-price");
+        assert_eq!(first, again, "{kernel}: re-pricing the same trace diverged");
+
+        for (cfg, sim) in cfgs.iter().zip(&first) {
+            let (out, reference) = Machine::new(Ar32Set::load(&program))
+                .run_timed(cfg)
+                .expect("single run");
+            assert_eq!(out, trace.output, "{kernel}: RunOutput diverged");
+            assert_eq!(
+                *sim, reference,
+                "{kernel}: compiled replay diverged at {} B icache",
+                cfg.icache.size_bytes
+            );
+        }
+    }
 }
