@@ -249,9 +249,25 @@ pub fn synth_key(options: &SynthOptions) -> String {
 /// needs one cache per distinct set. The pool interns caches by
 /// [`synth_key`], so concurrent requests with equal options share every
 /// compiled program, profile, flow and THUMB translation.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ArtifactsPool {
     slots: Mutex<HashMap<String, Arc<Artifacts>>>,
+    /// Observer installed on every cache this pool creates — how a host
+    /// (the `fitsd` daemon) sees engine-stage timings for pool-served
+    /// work regardless of which synth configuration a request lands on.
+    flow_observer: Option<Arc<dyn FlowObserver>>,
+}
+
+impl std::fmt::Debug for ArtifactsPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactsPool")
+            .field("slots", &self.slots)
+            .field(
+                "flow_observer",
+                &self.flow_observer.as_ref().map(|_| "<dyn>"),
+            )
+            .finish()
+    }
 }
 
 impl ArtifactsPool {
@@ -261,17 +277,29 @@ impl ArtifactsPool {
         ArtifactsPool::default()
     }
 
+    /// An empty pool whose caches report stage timings to `observer`
+    /// (see [`Artifacts::with_flow_observer`]). Install before the first
+    /// [`ArtifactsPool::for_synth`] lookup — already-interned caches keep
+    /// the observer they were created with.
+    #[must_use]
+    pub fn with_flow_observer(mut self, observer: Arc<dyn FlowObserver>) -> ArtifactsPool {
+        self.flow_observer = Some(observer);
+        self
+    }
+
     /// The shared cache for `options`, created (configured with
     /// [`Artifacts::with_synth`]) on first use.
     #[must_use]
     pub fn for_synth(&self, options: &SynthOptions) -> Arc<Artifacts> {
         let key = synth_key(options);
         let mut slots = locked(&self.slots);
-        Arc::clone(
-            slots
-                .entry(key)
-                .or_insert_with(|| Arc::new(Artifacts::new().with_synth(options.clone()))),
-        )
+        Arc::clone(slots.entry(key).or_insert_with(|| {
+            let mut arts = Artifacts::new().with_synth(options.clone());
+            if let Some(obs) = &self.flow_observer {
+                arts = arts.with_flow_observer(Arc::clone(obs));
+            }
+            Arc::new(arts)
+        }))
     }
 
     /// Number of distinct synthesis configurations seen so far.
@@ -349,6 +377,29 @@ mod tests {
             synth_key(&narrow),
             "keys must separate the configurations"
         );
+    }
+
+    #[test]
+    fn pool_observer_reaches_created_caches() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Default)]
+        struct Count(AtomicUsize);
+        impl FlowObserver for Count {
+            fn stage(&self, _stage: FlowStage, _wall: std::time::Duration) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let counter = Arc::new(Count::default());
+        let pool =
+            ArtifactsPool::new().with_flow_observer(Arc::clone(&counter) as Arc<dyn FlowObserver>);
+        let arts = pool.for_synth(&SynthOptions::default());
+        arts.profile(Kernel::Crc32, Scale::test()).unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1, "profile observed");
+        // A cache hit must not re-notify.
+        arts.profile(Kernel::Crc32, Scale::test()).unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -297,16 +297,31 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
         suite_steps += t.output.steps;
         suite_traces.push((c, t));
     }
+    // Per-kernel pricing latencies land in a sliding-window histogram (the
+    // same type `fitsd`'s windowed metrics use); the probe runs well inside
+    // one window, so the snapshot is the whole distribution — per-call
+    // p50/p99 that a MIPS aggregate can't show.
+    let pricing = fits_obs::WindowedHistogram::new();
     let (secs, calls) = measure(budget, || {
         for (c, t) in &suite_traces {
+            let call = Instant::now();
             black_box(
                 t.price_all(c, &multi_cfgs)
                     .map_err(|e| SimperfError::Pipeline(ExperimentError::Sim(e)))?,
             );
+            pricing.record(call.elapsed());
         }
         Ok(())
     })?;
     let suite_replay_mips = suite_steps as f64 * 4.0 * f64::from(calls) / secs / 1e6;
+    let pricing = pricing.snapshot();
+    eprintln!(
+        "simperf: per-kernel pricing p50 {} us, p99 {} us, max {} us over {} calls",
+        pricing.quantile_us(0.5),
+        pricing.quantile_us(0.99),
+        pricing.max_us,
+        pricing.count,
+    );
     drop(suite_traces);
 
     eprintln!(
@@ -362,7 +377,8 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
          \"steps_per_run\": {steps},\n    \"functional_mips\": {fm},\n    \
          \"timed_mips\": {tm},\n    \"record_mips\": {recm},\n    \
          \"replay4_mips\": {rm},\n    \"suite_replay_mips\": {srm},\n    \
-         \"fits_timed_mips\": {ftm}\n  }},\n  \"suite\": {{\n    \
+         \"fits_timed_mips\": {ftm},\n    \"pricing_p50_us\": {pp50},\n    \
+         \"pricing_p99_us\": {pp99},\n    \"pricing_max_us\": {pmax}\n  }},\n  \"suite\": {{\n    \
          \"kernels\": {kernels},\n    \"configs\": 4,\n    \"passes\": {passes},\n    \
          \"seconds_best\": {best},\n    \"seconds_all\": [{all}]\n  }},\n  \
          \"baseline_seconds\": {base},\n  \"speedup_vs_baseline\": {ratio}\n}}\n",
@@ -378,6 +394,9 @@ fn run(opts: &Options) -> Result<(), SimperfError> {
         rm = json_f64(replay4_mips),
         srm = json_f64(suite_replay_mips),
         ftm = json_f64(fits_timed_mips),
+        pp50 = pricing.quantile_us(0.5),
+        pp99 = pricing.quantile_us(0.99),
+        pmax = pricing.max_us,
         kernels = Kernel::ALL.len(),
         passes = suite_passes,
         best = json_f64(suite_best),

@@ -158,6 +158,50 @@ pub trait FlowObserver: Send + Sync {
     fn stage(&self, stage: FlowStage, wall: std::time::Duration);
 }
 
+/// A [`FlowObserver`] that fans each stage event out to several observers
+/// in order.
+///
+/// Long-lived hosts need one engine-side observer slot to feed more than
+/// one consumer — the `fitsd` daemon tees every stage into both its
+/// lifetime span registry and whatever per-request collector is active.
+/// Teeing is associative and observation is passive, so the fan-out order
+/// only affects event order, never results.
+#[derive(Clone, Default)]
+pub struct TeeObserver {
+    sinks: Vec<std::sync::Arc<dyn FlowObserver>>,
+}
+
+impl fmt::Debug for TeeObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TeeObserver")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TeeObserver {
+    /// An empty tee (a valid observer that drops every event).
+    #[must_use]
+    pub fn new() -> TeeObserver {
+        TeeObserver::default()
+    }
+
+    /// Builder-style addition of a sink.
+    #[must_use]
+    pub fn with(mut self, sink: std::sync::Arc<dyn FlowObserver>) -> TeeObserver {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl FlowObserver for TeeObserver {
+    fn stage(&self, stage: FlowStage, wall: std::time::Duration) {
+        for sink in &self.sinks {
+            sink.stage(stage, wall);
+        }
+    }
+}
+
 /// The FITS design flow driver.
 ///
 /// ```

@@ -54,7 +54,9 @@ pub mod translate;
 
 pub use decoder::{DecoderConfig, Dictionaries, Layout, MicroOp, OpcodeEntry, RegMap, Tier};
 pub use exec::{decode_word, disassemble, op_meta, FitsOp, FitsSet};
-pub use flow::{FitsFlow, FlowError, FlowObserver, FlowOutcome, FlowStage, FlowValidator};
+pub use flow::{
+    FitsFlow, FlowError, FlowObserver, FlowOutcome, FlowStage, FlowValidator, TeeObserver,
+};
 pub use profile::{profile, OpKey, Profile};
 pub use synth::{synthesize, SynthOptions, Synthesis};
 pub use translate::{translate, FitsProgram, MappingStats, TranslateError, Translation};

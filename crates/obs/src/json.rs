@@ -355,6 +355,221 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+// ---------------------------------------------------------------- writer
+
+/// What the writer is currently inside of, and whether a separator is due.
+#[derive(Clone, Copy, Debug)]
+enum Frame {
+    Obj { first: bool },
+    Arr { first: bool },
+}
+
+/// A streaming JSON builder that makes escaping and nesting bugs
+/// impossible by construction.
+///
+/// Every string value and key goes through [`escape`]; commas and braces
+/// are managed by a frame stack, so an emitter built on this writer can
+/// produce malformed output only by asking for an ill-formed *shape*
+/// (e.g. a key at array level) — and those misuses are repaired rather
+/// than panicking: a stray key is dropped, unclosed frames are closed by
+/// [`Writer::finish`]. Hand-`format!`ed JSON throughout the workspace is
+/// being replaced with this builder; the `fitsd` metrics snapshot and the
+/// access-log event lines are built with it.
+///
+/// ```
+/// use fits_obs::json::{parse, Writer};
+/// let mut w = Writer::new();
+/// w.begin_obj();
+/// w.field_str("name", "needs \"escaping\"\n");
+/// w.key("items");
+/// w.begin_arr();
+/// w.u64(1);
+/// w.u64(2);
+/// w.end_arr();
+/// w.end_obj();
+/// let text = w.finish();
+/// assert!(parse(&text).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: String,
+    stack: Vec<Frame>,
+    /// A `key()` was written and awaits its value.
+    pending_key: bool,
+}
+
+impl Writer {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Emits the separator due before a new value in the current frame.
+    fn separate(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return; // `key()` already wrote `"key":` — the value follows.
+        }
+        match self.stack.last_mut() {
+            Some(Frame::Obj { first } | Frame::Arr { first }) => {
+                if *first {
+                    *first = false;
+                } else {
+                    self.buf.push(',');
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Writes an object key. Must be followed by exactly one value call;
+    /// outside an object the key is dropped (the value still lands).
+    pub fn key(&mut self, name: &str) {
+        if !matches!(self.stack.last(), Some(Frame::Obj { .. })) || self.pending_key {
+            return; // shape misuse: drop the key, keep the document valid
+        }
+        self.separate();
+        self.buf.push('"');
+        self.buf.push_str(&escape(name));
+        self.buf.push_str("\": ");
+        self.pending_key = true;
+    }
+
+    /// Opens an object (as the current value).
+    pub fn begin_obj(&mut self) {
+        self.separate();
+        self.buf.push('{');
+        self.stack.push(Frame::Obj { first: true });
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) {
+        if matches!(self.stack.last(), Some(Frame::Obj { .. })) {
+            self.stack.pop();
+            self.buf.push('}');
+        }
+    }
+
+    /// Opens an array (as the current value).
+    pub fn begin_arr(&mut self) {
+        self.separate();
+        self.buf.push('[');
+        self.stack.push(Frame::Arr { first: true });
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) {
+        if matches!(self.stack.last(), Some(Frame::Arr { .. })) {
+            self.stack.pop();
+            self.buf.push(']');
+        }
+    }
+
+    /// Writes a string value (escaped).
+    pub fn str(&mut self, v: &str) {
+        self.separate();
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.separate();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Writes a float value. Non-finite inputs (which JSON cannot
+    /// represent) degrade to `0` — the report degrades, never the
+    /// document.
+    pub fn f64(&mut self, v: f64) {
+        self.separate();
+        if v.is_finite() {
+            self.buf.push_str(&v.to_string());
+        } else {
+            self.buf.push('0');
+        }
+    }
+
+    /// Writes a float value with fixed decimal precision.
+    pub fn f64_prec(&mut self, v: f64, decimals: usize) {
+        self.separate();
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v:.decimals$}"));
+        } else {
+            self.buf.push('0');
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.separate();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Embeds a pre-rendered JSON fragment verbatim (for composing with
+    /// emitters that already validate their own output).
+    pub fn raw(&mut self, json: &str) {
+        self.separate();
+        self.buf.push_str(json);
+    }
+
+    /// `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str(v);
+    }
+
+    /// `key` + unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// `key` + float value (shortest representation).
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
+    }
+
+    /// `key` + float value with fixed precision.
+    pub fn field_f64_prec(&mut self, k: &str, v: f64, decimals: usize) {
+        self.key(k);
+        self.f64_prec(v, decimals);
+    }
+
+    /// `key` + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+
+    /// `key` + raw pre-rendered fragment.
+    pub fn field_raw(&mut self, k: &str, json: &str) {
+        self.key(k);
+        self.raw(json);
+    }
+
+    /// Finishes the document, closing any frames left open, and returns
+    /// the JSON text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        if self.pending_key {
+            // A key with no value would be malformed; null it out.
+            self.buf.push_str("null");
+            self.pending_key = false;
+        }
+        while let Some(frame) = self.stack.pop() {
+            self.buf.push(match frame {
+                Frame::Obj { .. } => '}',
+                Frame::Arr { .. } => ']',
+            });
+        }
+        self.buf
+    }
+}
+
 /// Line counts of a validated trace export, by event type.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TraceCounts {

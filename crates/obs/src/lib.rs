@@ -32,6 +32,16 @@
 //!   bodies of the `fitsd` daemon (in `fits-serve`).
 //! * [`metrics`] — lock-free service counters and a log-bucketed latency
 //!   histogram (p50/p99), the `/metrics` substrate of `fitsd`.
+//! * [`event`] — the structured JSONL access/event log: a bounded channel
+//!   in front of a dedicated writer thread (the request path never blocks
+//!   on I/O; overflow is counted, not waited on), schema-validated by
+//!   [`event::validate_access_jsonl`] (`powerfits-access-v1`).
+//! * [`window`] — sliding ~60 s latency histograms and sampled gauges made
+//!   of stamped one-second slots, so "what happened in the last minute"
+//!   is answerable next to the lifetime aggregates.
+//! * [`ring`] — the flight recorder: a ring of recent request summaries
+//!   plus the slowest-N exemplars with full span trees, dumpable from
+//!   `/debug/flight`, shutdown, and the panic hook.
 //! * [`fmt`] — the one place numbers are rounded for reports (percentages,
 //!   energies, durations), shared by `fits-bench`'s tables and the trace
 //!   renderers.
@@ -47,16 +57,22 @@
 
 pub mod attr;
 pub mod bounds;
+pub mod event;
 pub mod fmt;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod ring;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use attr::{attribute_kernel, basic_blocks, Attribution, BasicBlock, BlockCost};
 pub use bounds::{check_bounds, BoundsCheck, SetBounds};
+pub use event::{validate_access_jsonl, AccessRecord, AccessStats, EventLog, Level};
 pub use hist::{BranchCounts, BranchHistogram, PcHistogram, SetCounters, SetHistogram};
 pub use metrics::{Counter, LatencyHistogram};
-pub use span::{Span, SpanGuard, SpanRegistry};
+pub use ring::{FlightRecorder, RequestSummary};
+pub use span::{ScopedObserver, ScopedSpans, Span, SpanGuard, SpanRegistry};
 pub use trace::{trace_timed_run, CacheEvents, DCacheTotals, SimTrace};
+pub use window::{GaugeSeries, GaugeSnapshot, WindowSnapshot, WindowedHistogram};

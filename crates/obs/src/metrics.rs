@@ -51,7 +51,7 @@ impl Counter {
 
 /// Number of power-of-two microsecond buckets: covers 1 µs to ~584000
 /// years, so no observable duration falls off the top.
-const BUCKETS: usize = 64;
+pub const BUCKETS: usize = 64;
 
 /// A fixed-size log₂-bucketed latency histogram.
 ///
@@ -120,6 +120,36 @@ impl LatencyHistogram {
     #[must_use]
     pub fn max_us(&self) -> u64 {
         self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed latencies in microseconds (saturating).
+    #[must_use]
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.get()
+    }
+
+    /// Inclusive upper bound of bucket `index` in microseconds
+    /// (`u64::MAX` for the final catch-all bucket). This is the `le`
+    /// bound a Prometheus-style exposition reports for the bucket.
+    #[must_use]
+    pub const fn bucket_upper_us(index: usize) -> u64 {
+        if index + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << (index + 1)) - 1
+        }
+    }
+
+    /// A point-in-time copy of the per-bucket counts, index-aligned with
+    /// [`LatencyHistogram::bucket_upper_us`]. Cumulating these in order
+    /// yields Prometheus `le` bucket values.
+    #[must_use]
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// The latency (µs) below which a fraction `q` of observations fall —
@@ -195,6 +225,21 @@ mod tests {
         assert_eq!(h.max_us(), 50_000);
         assert!(p99 <= h.max_us(), "quantiles clamp to the observed max");
         assert!(h.mean_us() > 100.0 && h.mean_us() < 50_000.0);
+    }
+
+    #[test]
+    fn bucket_snapshot_aligns_with_upper_bounds() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3)); // bucket 1: [2, 4)
+        h.record(Duration::from_micros(1000)); // bucket 9: [512, 1024)
+        let counts = h.bucket_counts();
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[9], 1);
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(LatencyHistogram::bucket_upper_us(1), 3);
+        assert_eq!(LatencyHistogram::bucket_upper_us(9), 1023);
+        assert_eq!(LatencyHistogram::bucket_upper_us(BUCKETS - 1), u64::MAX);
+        assert_eq!(h.sum_us(), 1003);
     }
 
     #[test]

@@ -247,6 +247,69 @@ impl FlowObserver for SpanRegistry {
     }
 }
 
+std::thread_local! {
+    /// The registry currently installed for this thread's in-flight
+    /// request, if any. `fitsd` handles each request on exactly one
+    /// worker thread, which is what makes a thread-local the right scope.
+    static SCOPED: std::cell::RefCell<Option<SpanRegistry>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A [`FlowObserver`] that forwards stage timings to whichever
+/// [`SpanRegistry`] is installed on the *current thread* via
+/// [`ScopedSpans::install`] — and silently drops them when none is.
+///
+/// This is the bridge that lets one long-lived engine-side structure (the
+/// shared artifacts pool) report into a *per-request* span tree: the pool
+/// carries a single `ScopedObserver`, and each request installs its own
+/// registry for the duration of its compute call. Because installation is
+/// thread-local, concurrent requests on different workers never see each
+/// other's registries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScopedObserver;
+
+impl ScopedObserver {
+    /// Records `wall` under `name` in the thread's installed registry, if
+    /// any. Used for phases that are not `FlowStage`s.
+    pub fn add(name: &str, wall: Duration) {
+        SCOPED.with(|slot| {
+            if let Some(reg) = slot.borrow().as_ref() {
+                reg.add(name, wall);
+            }
+        });
+    }
+}
+
+impl FlowObserver for ScopedObserver {
+    fn stage(&self, stage: FlowStage, wall: Duration) {
+        ScopedObserver::add(stage.name(), wall);
+    }
+}
+
+/// RAII installation of a [`SpanRegistry`] as the current thread's scoped
+/// span sink (see [`ScopedObserver`]). Restores the previously installed
+/// registry — if any — on drop, so installations nest correctly.
+#[derive(Debug)]
+pub struct ScopedSpans {
+    prev: Option<SpanRegistry>,
+}
+
+impl ScopedSpans {
+    /// Installs `registry` on the current thread until the guard drops.
+    #[must_use]
+    pub fn install(registry: &SpanRegistry) -> ScopedSpans {
+        let prev = SCOPED.with(|slot| slot.borrow_mut().replace(registry.clone()));
+        ScopedSpans { prev }
+    }
+}
+
+impl Drop for ScopedSpans {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        SCOPED.with(|slot| *slot.borrow_mut() = prev);
+    }
+}
+
 /// RAII guard returned by [`SpanRegistry::enter`]; records the span's wall
 /// time when dropped.
 #[derive(Debug)]
@@ -336,6 +399,54 @@ mod tests {
         for name in ["compile", "flow", "profile"] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn scoped_observer_routes_to_the_installed_registry_only() {
+        let reg = SpanRegistry::new();
+        // No registry installed: the observation is dropped, not panicked.
+        FlowObserver::stage(
+            &ScopedObserver,
+            FlowStage::Profile,
+            Duration::from_millis(1),
+        );
+        assert!(reg.snapshot().is_empty());
+        {
+            let _scope = reg.enter("execute");
+            let _install = ScopedSpans::install(&reg);
+            FlowObserver::stage(
+                &ScopedObserver,
+                FlowStage::Profile,
+                Duration::from_millis(2),
+            );
+            ScopedObserver::add("replay", Duration::from_millis(3));
+        }
+        // After the guard drops the thread is clean again.
+        FlowObserver::stage(
+            &ScopedObserver,
+            FlowStage::Profile,
+            Duration::from_millis(4),
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1, "only the installed window recorded");
+        let exec = &snap[0];
+        assert_eq!(exec.name, "execute");
+        assert_eq!(exec.find("profile").unwrap().nanos, 2_000_000);
+        assert_eq!(exec.find("replay").unwrap().nanos, 3_000_000);
+    }
+
+    #[test]
+    fn scoped_installs_nest_and_restore() {
+        let outer = SpanRegistry::new();
+        let inner = SpanRegistry::new();
+        let _a = ScopedSpans::install(&outer);
+        {
+            let _b = ScopedSpans::install(&inner);
+            ScopedObserver::add("x", Duration::from_nanos(10));
+        }
+        ScopedObserver::add("y", Duration::from_nanos(20));
+        assert!(inner.snapshot()[0].name == "x");
+        assert!(outer.snapshot()[0].name == "y");
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Sliding-window metrics: log-bucketed latency histograms and sampled
+//! gauges that answer "what happened in the last minute" next to the
+//! lifetime aggregates of [`crate::metrics`].
+//!
+//! A lifetime histogram converges: after an hour of traffic, a p99
+//! regression in the last thirty seconds is invisible in it. The windowed
+//! variants here keep sixty one-second slots in a ring; each slot is
+//! stamped with the absolute second it covers and is lazily reset the
+//! first time a new second lands on it, so slots that aged out of the
+//! window never contaminate a snapshot and there is no background reaper.
+//!
+//! All entry points take time from a private monotonic epoch, with
+//! `*_at(sec, ..)` variants exposed for deterministic tests (the
+//! acceptance test that proves windowed p50/p99 diverge from lifetime
+//! after an induced latency change drives these directly).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Width of the sliding window, in seconds (and ring slots).
+pub const WINDOW_SECS: u64 = 60;
+
+/// Number of log₂ microsecond buckets per slot: covers 1 µs to ~18 min,
+/// far beyond any request the daemon's I/O timeout lets live.
+const WBUCKETS: usize = 40;
+
+const SLOTS: usize = WINDOW_SECS as usize;
+
+/// One second of histogram state. `stamp` is the covered second plus one
+/// (zero means never written), so a fresh ring at second 0 is empty.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    stamp: u64,
+    buckets: [u32; WBUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    stamp: 0,
+    buckets: [0; WBUCKETS],
+    count: 0,
+    sum_us: 0,
+    max_us: 0,
+};
+
+fn bucket_of(us: u64) -> usize {
+    (us.max(1).ilog2() as usize).min(WBUCKETS - 1)
+}
+
+/// Inclusive upper bound (µs) of window bucket `index`, `u64::MAX` for
+/// the catch-all top bucket.
+const fn upper_us(index: usize) -> u64 {
+    if index + 1 >= WBUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << (index + 1)) - 1
+    }
+}
+
+/// A sliding ~60 s latency histogram made of stamped one-second slots.
+///
+/// Recording takes the ring lock for a few adds — the slots are tiny and
+/// the lock is per-histogram (per endpoint × status class in `fitsd`), so
+/// contention is bounded by a single key's request rate.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    epoch: Instant,
+    slots: Mutex<[Slot; SLOTS]>,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        WindowedHistogram::new()
+    }
+}
+
+impl WindowedHistogram {
+    /// An empty window starting now.
+    #[must_use]
+    pub fn new() -> WindowedHistogram {
+        WindowedHistogram {
+            epoch: Instant::now(),
+            slots: Mutex::new([EMPTY_SLOT; SLOTS]),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, [Slot; SLOTS]> {
+        match self.slots.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn now_sec(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Records one observation at the current time.
+    pub fn record(&self, wall: Duration) {
+        self.record_at(self.now_sec(), wall);
+    }
+
+    /// Records one observation as if it happened during absolute second
+    /// `sec` of this histogram's life. Test hook; production callers use
+    /// [`WindowedHistogram::record`].
+    pub fn record_at(&self, sec: u64, wall: Duration) {
+        let us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        let mut slots = self.lock();
+        let slot = &mut slots[(sec % WINDOW_SECS) as usize];
+        if slot.stamp != sec + 1 {
+            *slot = EMPTY_SLOT;
+            slot.stamp = sec + 1;
+        }
+        slot.buckets[bucket_of(us)] = slot.buckets[bucket_of(us)].saturating_add(1);
+        slot.count = slot.count.saturating_add(1);
+        slot.sum_us = slot.sum_us.saturating_add(us);
+        slot.max_us = slot.max_us.max(us);
+    }
+
+    /// Merges the slots still inside the window ending now.
+    #[must_use]
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(self.now_sec())
+    }
+
+    /// Merges the slots whose covered second lies in
+    /// `(now_sec - WINDOW_SECS, now_sec]`. Test hook companion to
+    /// [`WindowedHistogram::record_at`].
+    #[must_use]
+    pub fn snapshot_at(&self, now_sec: u64) -> WindowSnapshot {
+        let mut snap = WindowSnapshot::default();
+        let oldest = now_sec.saturating_sub(WINDOW_SECS - 1);
+        let slots = self.lock();
+        for slot in slots.iter() {
+            if slot.stamp == 0 {
+                continue;
+            }
+            let sec = slot.stamp - 1;
+            if sec < oldest || sec > now_sec {
+                continue;
+            }
+            for (merged, &b) in snap.buckets.iter_mut().zip(slot.buckets.iter()) {
+                *merged = merged.saturating_add(u64::from(b));
+            }
+            snap.count = snap.count.saturating_add(slot.count);
+            snap.sum_us = snap.sum_us.saturating_add(slot.sum_us);
+            snap.max_us = snap.max_us.max(slot.max_us);
+        }
+        snap
+    }
+}
+
+/// A merged view over the slots inside one window.
+#[derive(Clone, Debug)]
+pub struct WindowSnapshot {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Sum of latencies inside the window, µs.
+    pub sum_us: u64,
+    /// Largest latency inside the window, µs.
+    pub max_us: u64,
+    buckets: [u64; WBUCKETS],
+}
+
+impl Default for WindowSnapshot {
+    fn default() -> Self {
+        WindowSnapshot {
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            buckets: [0; WBUCKETS],
+        }
+    }
+}
+
+impl WindowSnapshot {
+    /// True when nothing landed inside the window.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean request rate over the window, per second.
+    #[must_use]
+    pub fn rate_per_sec(&self) -> f64 {
+        self.count as f64 / WINDOW_SECS as f64
+    }
+
+    /// Mean latency inside the window, µs (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Same pessimistic log-bucket quantile as the lifetime histogram:
+    /// the upper bound of the covering bucket, clamped to the window max.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let need = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= need {
+                return upper_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// A gauge sampled on a ticker (queue depth, cache entries, …): the last
+/// value always readable lock-free, plus a 60-slot window of per-second
+/// min/max/mean, using the same stamped-slot invalidation as
+/// [`WindowedHistogram`].
+#[derive(Debug)]
+pub struct GaugeSeries {
+    epoch: Instant,
+    last: AtomicU64,
+    slots: Mutex<[GaugeSlot; SLOTS]>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct GaugeSlot {
+    stamp: u64,
+    min: u64,
+    max: u64,
+    sum: u64,
+    n: u64,
+}
+
+const EMPTY_GAUGE: GaugeSlot = GaugeSlot {
+    stamp: 0,
+    min: u64::MAX,
+    max: 0,
+    sum: 0,
+    n: 0,
+};
+
+impl Default for GaugeSeries {
+    fn default() -> Self {
+        GaugeSeries::new()
+    }
+}
+
+impl GaugeSeries {
+    /// An empty series starting now.
+    #[must_use]
+    pub fn new() -> GaugeSeries {
+        GaugeSeries {
+            epoch: Instant::now(),
+            last: AtomicU64::new(0),
+            slots: Mutex::new([EMPTY_GAUGE; SLOTS]),
+        }
+    }
+
+    /// Records one sample at the current time.
+    pub fn sample(&self, value: u64) {
+        let sec = self.epoch.elapsed().as_secs();
+        self.sample_at(sec, value);
+    }
+
+    /// Records one sample during absolute second `sec`. Test hook.
+    pub fn sample_at(&self, sec: u64, value: u64) {
+        self.last.store(value, Ordering::Relaxed);
+        let mut slots = match self.slots.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let slot = &mut slots[(sec % WINDOW_SECS) as usize];
+        if slot.stamp != sec + 1 {
+            *slot = EMPTY_GAUGE;
+            slot.stamp = sec + 1;
+        }
+        slot.min = slot.min.min(value);
+        slot.max = slot.max.max(value);
+        slot.sum = slot.sum.saturating_add(value);
+        slot.n = slot.n.saturating_add(1);
+    }
+
+    /// The most recent sample, regardless of window.
+    #[must_use]
+    pub fn last(&self) -> u64 {
+        self.last.load(Ordering::Relaxed)
+    }
+
+    /// Min/max/mean over the window ending now.
+    #[must_use]
+    pub fn snapshot(&self) -> GaugeSnapshot {
+        self.snapshot_at(self.epoch.elapsed().as_secs())
+    }
+
+    /// Min/max/mean over the window ending at `now_sec`. Test hook.
+    #[must_use]
+    pub fn snapshot_at(&self, now_sec: u64) -> GaugeSnapshot {
+        let mut out = GaugeSnapshot {
+            last: self.last(),
+            min: u64::MAX,
+            max: 0,
+            mean: 0.0,
+            samples: 0,
+        };
+        let oldest = now_sec.saturating_sub(WINDOW_SECS - 1);
+        let slots = match self.slots.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut sum = 0u64;
+        for slot in slots.iter() {
+            if slot.stamp == 0 {
+                continue;
+            }
+            let sec = slot.stamp - 1;
+            if sec < oldest || sec > now_sec {
+                continue;
+            }
+            out.min = out.min.min(slot.min);
+            out.max = out.max.max(slot.max);
+            sum = sum.saturating_add(slot.sum);
+            out.samples = out.samples.saturating_add(slot.n);
+        }
+        if out.samples == 0 {
+            out.min = 0;
+        } else {
+            out.mean = sum as f64 / out.samples as f64;
+        }
+        out
+    }
+}
+
+/// Windowed view of a [`GaugeSeries`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GaugeSnapshot {
+    /// Most recent sample (lifetime, not windowed).
+    pub last: u64,
+    /// Smallest sample inside the window (0 when empty).
+    pub min: u64,
+    /// Largest sample inside the window.
+    pub max: u64,
+    /// Mean of samples inside the window.
+    pub mean: f64,
+    /// Number of samples inside the window.
+    pub samples: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_sees_only_the_last_sixty_seconds() {
+        let h = WindowedHistogram::new();
+        h.record_at(0, Duration::from_micros(100));
+        h.record_at(30, Duration::from_micros(200));
+        h.record_at(65, Duration::from_micros(400));
+        // At second 65 the slot for second 0 has NOT been overwritten
+        // (65 % 60 = 5), but its stamp places it outside the window.
+        let snap = h.snapshot_at(65);
+        assert_eq!(snap.count, 2, "second-0 sample aged out");
+        assert_eq!(snap.sum_us, 600);
+        // The full history is still visible from a vantage inside it.
+        assert_eq!(h.snapshot_at(59).count, 2);
+    }
+
+    #[test]
+    fn slot_reuse_resets_stale_state() {
+        let h = WindowedHistogram::new();
+        h.record_at(3, Duration::from_micros(50));
+        // Second 63 maps to the same slot (63 % 60 = 3) and must not
+        // inherit second 3's counts.
+        h.record_at(63, Duration::from_micros(800));
+        let snap = h.snapshot_at(63);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum_us, 800);
+        assert_eq!(snap.max_us, 800);
+    }
+
+    #[test]
+    fn windowed_quantiles_diverge_from_lifetime_after_a_latency_change() {
+        use crate::metrics::LatencyHistogram;
+        let lifetime = LatencyHistogram::new();
+        let window = WindowedHistogram::new();
+        // A long fast history…
+        for sec in 0..200u64 {
+            for _ in 0..10 {
+                let d = Duration::from_micros(100);
+                lifetime.record(d);
+                window.record_at(sec, d);
+            }
+        }
+        // …then 40 seconds of slow requests — now most of the window.
+        for sec in 200..240u64 {
+            for _ in 0..10 {
+                let d = Duration::from_millis(20);
+                lifetime.record(d);
+                window.record_at(sec, d);
+            }
+        }
+        let win = window.snapshot_at(239);
+        // Lifetime p50 still reflects the fast era; the window's does not.
+        assert!(lifetime.quantile_us(0.5) < 1_000);
+        assert!(win.quantile_us(0.5) >= 20_000);
+        assert!(win.quantile_us(0.99) >= 20_000);
+        assert!(win.rate_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn empty_window_is_empty() {
+        let h = WindowedHistogram::new();
+        let snap = h.snapshot_at(1000);
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile_us(0.99), 0);
+        assert_eq!(snap.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn gauge_window_tracks_min_max_mean_and_ages_out() {
+        let g = GaugeSeries::new();
+        g.sample_at(0, 100);
+        g.sample_at(10, 4);
+        g.sample_at(10, 8);
+        assert_eq!(g.last(), 8);
+        let snap = g.snapshot_at(10);
+        assert_eq!(snap.min, 4);
+        assert_eq!(snap.max, 100);
+        assert_eq!(snap.samples, 3);
+        // Second 0 ages out of the window ending at 65.
+        let later = g.snapshot_at(65);
+        assert_eq!(later.max, 8);
+        assert_eq!(later.samples, 2);
+        assert_eq!(later.last, 8);
+        // An untouched series reads zero, not MAX.
+        assert_eq!(GaugeSeries::new().snapshot_at(5).min, 0);
+    }
+
+    #[test]
+    fn huge_latencies_land_in_the_top_bucket() {
+        let h = WindowedHistogram::new();
+        h.record_at(0, Duration::from_secs(100_000));
+        let snap = h.snapshot_at(0);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.quantile_us(1.0), snap.max_us);
+    }
+}

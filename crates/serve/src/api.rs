@@ -791,16 +791,25 @@ pub fn sweep_body(artifacts: &Artifacts, req: &SweepRequest) -> Result<String, E
     ))
 }
 
-/// The `GET /healthz` body.
+/// Version of the `powerfits-serve-v1` response contract reported by
+/// `/healthz` (bumped when response shapes change within the same schema
+/// string; `fitsctl wait` asserts it).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The `GET /healthz` body. `uptime_s` is seconds since the daemon
+/// started; `commit` is the build's git revision (or `"unknown"`).
 #[must_use]
-pub fn healthz_body() -> String {
+pub fn healthz_body(uptime_s: u64, commit: &str) -> String {
     let presets: Vec<String> = PRESET_NAMES
         .iter()
         .map(|p| format!("\"{}\"", escape(p)))
         .collect();
     format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"healthz\",\n  \
-         \"status\": \"ok\",\n  \"kernels\": {},\n  \"presets\": [{}]\n}}\n",
+         \"status\": \"ok\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \
+         \"uptime_s\": {uptime_s},\n  \"commit\": \"{}\",\n  \
+         \"kernels\": {},\n  \"presets\": [{}]\n}}\n",
+        escape(commit),
         Kernel::ALL.len(),
         presets.join(", "),
     )
@@ -876,6 +885,9 @@ pub fn validate_serve_json(text: &str) -> Result<String, String> {
                 return Err("healthz status is not \"ok\"".to_string());
             }
             need_num("healthz", &v, "kernels")?;
+            need_num("healthz", &v, "schema_version")?;
+            need_num("healthz", &v, "uptime_s")?;
+            need_str("healthz", &v, "commit")?;
         }
         "metrics" => {
             for key in [
@@ -894,11 +906,41 @@ pub fn validate_serve_json(text: &str) -> Result<String, String> {
             ] {
                 need_num("metrics", &v, key)?;
             }
+            need_num("metrics", &v, "uptime_s")?;
             let lat = v
                 .get("latency_us")
                 .ok_or_else(|| "metrics: missing object field \"latency_us\"".to_string())?;
             for key in ["count", "mean", "p50", "p99", "max"] {
                 need_num("metrics latency_us", lat, key)?;
+            }
+            let log = v
+                .get("log")
+                .ok_or_else(|| "metrics: missing object field \"log\"".to_string())?;
+            need_num("metrics log", log, "emitted")?;
+            need_num("metrics log", log, "dropped")?;
+            match v.get("window") {
+                Some(Value::Arr(cells)) => {
+                    for (i, cell) in cells.iter().enumerate() {
+                        let ctx = format!("metrics window {i}");
+                        need_str(&ctx, cell, "endpoint")?;
+                        need_str(&ctx, cell, "class")?;
+                        for key in ["count", "rate_per_sec", "mean", "p50", "p99", "max"] {
+                            need_num(&ctx, cell, key)?;
+                        }
+                    }
+                }
+                _ => return Err("metrics: missing array field \"window\"".to_string()),
+            }
+            let gauges = v
+                .get("gauges")
+                .ok_or_else(|| "metrics: missing object field \"gauges\"".to_string())?;
+            for name in ["queue_depth", "cache_entries"] {
+                let g = gauges
+                    .get(name)
+                    .ok_or_else(|| format!("metrics gauges: missing object \"{name}\""))?;
+                for key in ["last", "min", "max", "mean", "samples"] {
+                    need_num(&format!("metrics gauge {name}"), g, key)?;
+                }
             }
             match v.get("spans") {
                 Some(Value::Arr(spans)) => {
@@ -1005,6 +1047,74 @@ pub fn validate_serve_json(text: &str) -> Result<String, String> {
         other => return Err(format!("unknown endpoint \"{other}\"")),
     }
     Ok(endpoint)
+}
+
+/// Validates a `GET /debug/flight` dump against `powerfits-flight-v1` and
+/// returns the number of slowest-request exemplars it carries. Span trees
+/// are checked recursively (`name`/`us`/`count`/`children` at every node).
+///
+/// # Errors
+///
+/// A description of the first violation.
+pub fn validate_flight_json(text: &str) -> Result<usize, String> {
+    fn check_span(ctx: &str, span: &Value) -> Result<(), String> {
+        need_str(ctx, span, "name")?;
+        need_num(ctx, span, "us")?;
+        need_num(ctx, span, "count")?;
+        match span.get("children") {
+            Some(Value::Arr(children)) => {
+                for child in children {
+                    check_span(ctx, child)?;
+                }
+                Ok(())
+            }
+            _ => Err(format!("{ctx}: missing array field \"children\"")),
+        }
+    }
+    fn check_summary(ctx: &str, s: &Value) -> Result<(), String> {
+        for key in ["seq", "status", "us"] {
+            need_num(ctx, s, key)?;
+        }
+        for key in ["trace", "method", "endpoint", "cache"] {
+            need_str(ctx, s, key)?;
+        }
+        Ok(())
+    }
+    let v = parse(text).map_err(|e| e.to_string())?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some("powerfits-flight-v1") => {}
+        other => {
+            return Err(format!(
+                "flight schema must be \"powerfits-flight-v1\", got {other:?}"
+            ))
+        }
+    }
+    need_num("flight", &v, "total")?;
+    match v.get("recent") {
+        Some(Value::Arr(items)) => {
+            for (i, s) in items.iter().enumerate() {
+                check_summary(&format!("flight recent {i}"), s)?;
+            }
+        }
+        _ => return Err("flight: missing array field \"recent\"".to_string()),
+    }
+    let slowest = match v.get("slowest") {
+        Some(Value::Arr(items)) => items,
+        _ => return Err("flight: missing array field \"slowest\"".to_string()),
+    };
+    for (i, s) in slowest.iter().enumerate() {
+        let ctx = format!("flight slowest {i}");
+        check_summary(&ctx, s)?;
+        match s.get("spans") {
+            Some(Value::Arr(spans)) => {
+                for span in spans {
+                    check_span(&ctx, span)?;
+                }
+            }
+            _ => return Err(format!("{ctx}: missing array field \"spans\"")),
+        }
+    }
+    Ok(slowest.len())
 }
 
 /// Dispatches a parsed POST request: canonical key plus the computation to
@@ -1174,9 +1284,38 @@ mod tests {
 
     #[test]
     fn healthz_and_errors_validate() {
-        assert_eq!(validate_serve_json(&healthz_body()).unwrap(), "healthz");
+        let body = healthz_body(42, "deadbeef");
+        assert_eq!(validate_serve_json(&body).unwrap(), "healthz");
+        assert!(body.contains("\"uptime_s\": 42"));
+        assert!(body.contains("\"commit\": \"deadbeef\""));
+        assert!(body.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(validate_serve_json("{\"schema\": \"other\"}").is_err());
         assert!(validate_serve_json("{}").is_err());
+    }
+
+    #[test]
+    fn flight_dumps_validate() {
+        let fr = fits_obs::FlightRecorder::new(4, 2);
+        fr.record(
+            fits_obs::RequestSummary {
+                trace: "t1".to_string(),
+                method: "POST".to_string(),
+                endpoint: "synthesize".to_string(),
+                status: 200,
+                cache: "miss".to_string(),
+                us: 1500,
+                ..fits_obs::RequestSummary::default()
+            },
+            vec![fits_obs::Span {
+                name: "execute".to_string(),
+                nanos: 1_400_000,
+                count: 1,
+                children: Vec::new(),
+            }],
+        );
+        assert_eq!(validate_flight_json(&fr.render_json()).unwrap(), 1);
+        assert!(validate_flight_json("{}").is_err());
+        assert!(validate_flight_json("{\"schema\": \"powerfits-flight-v1\"}").is_err());
     }
 
     #[test]

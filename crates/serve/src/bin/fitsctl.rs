@@ -6,7 +6,11 @@
 //! fitsctl [--addr HOST:PORT] COMMAND [ARGS]
 //!
 //!   health                    GET /healthz
-//!   metrics                   GET /metrics
+//!   metrics [--text]          GET /metrics (--text: Prometheus exposition)
+//!   flight                    GET /debug/flight (recent + slowest traces)
+//!   top [--interval SECS] [--count N]
+//!                             live per-endpoint request rates and latency
+//!   checklog PATH             schema-validate a JSONL access log
 //!   wait [--timeout SECS]     poll /healthz until the daemon answers
 //!   synthesize [JSON]         POST /synthesize (default {"kernel":"crc32"})
 //!   simulate   [JSON]         POST /simulate   (default {"kernel":"crc32"})
@@ -18,19 +22,26 @@
 //! ```
 //!
 //! Every response body is validated against the `powerfits-serve-v1`
-//! schema before it is accepted; any violation is a failure. `bench`
+//! schema before it is accepted; any violation is a failure. `wait`
+//! additionally asserts the daemon speaks the expected `schema_version`,
+//! so a version skew fails fast instead of mid-run. `bench`
 //! fans the full 21-kernel suite out over `--clients` threads for
 //! `--passes` passes and demands zero failed requests and byte-identical
 //! bodies across clients; with `--expect-hit-rate` it also enforces a
 //! minimum cache-hit rate on the final pass (the acceptance gate is 0.9).
+//! `top` polls `/metrics` and renders the sliding last-minute window
+//! (req/s, p50/p99) per endpoint x status class next to the lifetime
+//! hit/coalesce/shed rates.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fits_kernels::kernels::Kernel;
+use fits_obs::json::{parse, Value};
+use fits_obs::validate_access_jsonl;
 use fits_serve::client::{get, post, request_raw};
-use fits_serve::validate_serve_json;
+use fits_serve::{validate_flight_json, validate_prometheus, validate_serve_json, SCHEMA_VERSION};
 
 struct Options {
     addr: String,
@@ -69,7 +80,9 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: fitsctl [--addr HOST:PORT] COMMAND\n\
-         commands: health | metrics | wait [--timeout SECS] | \
+         commands: health | metrics [--text] | flight | \
+         top [--interval SECS] [--count N] | checklog PATH | \
+         wait [--timeout SECS] | \
          synthesize [JSON] | simulate [JSON] | analyze [JSON] | sweep [JSON] | \
          smoke | bench [--clients N] [--passes N] [--expect-hit-rate F]"
     );
@@ -135,14 +148,209 @@ fn cmd_wait(addr: SocketAddr, rest: &[String]) {
     loop {
         if let Ok((200, body)) = get(addr, "/healthz") {
             if validate_serve_json(&body).is_ok() {
-                println!("fitsctl: {addr} is up");
-                return;
+                // A healthy daemon speaking the wrong schema version is a
+                // deployment bug; fail fast rather than mid-run.
+                let version = parse(&body)
+                    .ok()
+                    .and_then(|doc| doc.get("schema_version").and_then(Value::as_f64));
+                match version {
+                    Some(v) if v == SCHEMA_VERSION as f64 => {
+                        println!("fitsctl: {addr} is up (schema v{SCHEMA_VERSION})");
+                        return;
+                    }
+                    Some(v) => fail(
+                        "wait",
+                        &format!("{addr} answers schema_version {v}, want {SCHEMA_VERSION}"),
+                    ),
+                    None => fail("wait", &format!("{addr} /healthz lacks schema_version")),
+                }
             }
         }
         if Instant::now() >= deadline {
             fail("wait", &format!("{addr} not healthy after {timeout:?}"));
         }
         std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// `GET /debug/flight`, validated against `powerfits-flight-v1`.
+fn cmd_flight(addr: SocketAddr) {
+    let (status, body) = match get(addr, "/debug/flight") {
+        Ok(r) => r,
+        Err(e) => fail("GET /debug/flight", &e),
+    };
+    if status != 200 {
+        fail("GET /debug/flight", &format!("HTTP {status}"));
+    }
+    if let Err(e) = validate_flight_json(&body) {
+        fail("flight schema", &e);
+    }
+    println!("{body}");
+}
+
+/// `GET /metrics?format=text`, validated as Prometheus exposition.
+fn cmd_metrics_text(addr: SocketAddr) {
+    let (status, body) = match get(addr, "/metrics?format=text") {
+        Ok(r) => r,
+        Err(e) => fail("GET /metrics?format=text", &e),
+    };
+    if status != 200 {
+        fail("GET /metrics?format=text", &format!("HTTP {status}"));
+    }
+    if let Err(e) = validate_prometheus(&body) {
+        fail("prometheus exposition", &e);
+    }
+    print!("{body}");
+}
+
+/// Schema-validates a JSONL access log written by `fitsd --access-log`
+/// and prints its summary counts.
+fn cmd_checklog(rest: &[String]) {
+    let path = rest
+        .first()
+        .unwrap_or_else(|| usage("checklog needs a PATH"));
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => fail(&format!("read {path}"), &e),
+    };
+    match validate_access_jsonl(&text) {
+        Ok(stats) => println!(
+            "fitsctl: {path} ok: {} requests, {} events, {} distinct traces (commit {})",
+            stats.requests,
+            stats.events,
+            stats.traces.len(),
+            stats.commit
+        ),
+        Err(e) => fail(&format!("checklog {path}"), &e),
+    }
+}
+
+fn field(doc: &Value, key: &str) -> f64 {
+    doc.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// One rendered frame of `fitsctl top`: the lifetime header plus the
+/// sliding last-minute window per endpoint x status class.
+fn render_top(addr: SocketAddr, doc: &Value) -> String {
+    let mut out = String::new();
+    let requests = field(doc, "requests");
+    let hits = field(doc, "cache_hits");
+    let coalesced = field(doc, "coalesced_joins");
+    let posts = field(doc, "executions") + hits + coalesced;
+    let pct = |part: f64| {
+        if posts > 0.0 {
+            100.0 * part / posts
+        } else {
+            0.0
+        }
+    };
+    out.push_str(&format!(
+        "fitsd {addr}  up {}s  queue {}/{}  cache {}  log {}/{} emitted/dropped\n",
+        field(doc, "uptime_s"),
+        field(doc, "queue_depth"),
+        field(doc, "queue_capacity"),
+        field(doc, "cache_entries"),
+        doc.get("log").map_or(0.0, |l| field(l, "emitted")),
+        doc.get("log").map_or(0.0, |l| field(l, "dropped")),
+    ));
+    out.push_str(&format!(
+        "lifetime: {requests} requests ({} ok, {} 4xx, {} 5xx, {} shed)  \
+         hit {:.1}%  coalesced {:.1}%\n",
+        field(doc, "ok"),
+        field(doc, "client_errors"),
+        field(doc, "server_errors"),
+        field(doc, "rejected"),
+        pct(hits),
+        pct(coalesced),
+    ));
+    out.push_str(&format!(
+        "{:<14} {:<5} {:>8} {:>6} {:>9} {:>9} {:>9}\n",
+        "last 60s", "class", "req/s", "count", "p50(us)", "p99(us)", "max(us)"
+    ));
+    let mut rows = 0;
+    if let Some(Value::Arr(cells)) = doc.get("window") {
+        for cell in cells {
+            let endpoint = cell.get("endpoint").and_then(Value::as_str).unwrap_or("?");
+            let class = cell.get("class").and_then(Value::as_str).unwrap_or("?");
+            out.push_str(&format!(
+                "{endpoint:<14} {class:<5} {:>8.3} {:>6} {:>9} {:>9} {:>9}\n",
+                field(cell, "rate_per_sec"),
+                field(cell, "count"),
+                field(cell, "p50"),
+                field(cell, "p99"),
+                field(cell, "max"),
+            ));
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        out.push_str("(no requests in the last 60s)\n");
+    }
+    out
+}
+
+fn cmd_top(addr: SocketAddr, rest: &[String]) {
+    let mut interval = Duration::from_secs(2);
+    let mut count: Option<u64> = None;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        let mut num = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--interval" => {
+                let v = num("--interval");
+                let secs: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --interval value: {v}")));
+                if secs <= 0.0 || !secs.is_finite() {
+                    usage("--interval must be positive");
+                }
+                interval = Duration::from_secs_f64(secs);
+            }
+            "--count" => {
+                let v = num("--count");
+                let n: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --count value: {v}")));
+                count = Some(n.max(1));
+            }
+            other => usage(&format!("unknown top argument: {other}")),
+        }
+    }
+    // Only repaint in place when stdout is a real terminal; piped output
+    // gets plain appended frames.
+    use std::io::IsTerminal;
+    let ansi = std::io::stdout().is_terminal();
+    let mut frame = 0u64;
+    loop {
+        let (status, body) = match get(addr, "/metrics") {
+            Ok(r) => r,
+            Err(e) => fail("GET /metrics", &e),
+        };
+        if status != 200 {
+            fail("GET /metrics", &format!("HTTP {status}"));
+        }
+        let doc = match parse(&body) {
+            Ok(doc) => doc,
+            Err(e) => fail("parse /metrics", &e),
+        };
+        let rendered = render_top(addr, &doc);
+        if ansi {
+            // Clear screen + home, then the frame.
+            print!("\x1b[2J\x1b[H{rendered}");
+        } else {
+            print!("{rendered}");
+        }
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        frame += 1;
+        if count.is_some_and(|n| frame >= n) {
+            return;
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -414,7 +622,11 @@ fn main() {
     let addr = resolve(&opts.addr);
     match opts.command.as_str() {
         "health" => println!("{}", checked(addr, "GET", "/healthz", "")),
+        "metrics" if opts.rest.first().is_some_and(|a| a == "--text") => cmd_metrics_text(addr),
         "metrics" => println!("{}", checked(addr, "GET", "/metrics", "")),
+        "flight" => cmd_flight(addr),
+        "top" => cmd_top(addr, &opts.rest),
+        "checklog" => cmd_checklog(&opts.rest),
         "wait" => cmd_wait(addr, &opts.rest),
         "smoke" => cmd_smoke(addr),
         "synthesize" | "simulate" | "analyze" | "sweep" => {

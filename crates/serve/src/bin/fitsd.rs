@@ -4,11 +4,13 @@
 //! `std::net` alone:
 //!
 //! ```text
-//! POST /synthesize   synthesize a kernel's FITS ISA, report code sizes
-//! POST /simulate     both ISAs at one machine point, energy + savings
-//! POST /sweep        a scenario grid over a kernel list
-//! GET  /metrics      service counters, latency, per-endpoint spans
-//! GET  /healthz      liveness
+//! POST /synthesize    synthesize a kernel's FITS ISA, report code sizes
+//! POST /simulate      both ISAs at one machine point, energy + savings
+//! POST /sweep         a scenario grid over a kernel list
+//! GET  /metrics       counters, latency, windowed views (?format=text
+//!                     for Prometheus exposition)
+//! GET  /debug/flight  recent requests + slowest span trees
+//! GET  /healthz       liveness, uptime, build commit, schema version
 //! ```
 //!
 //! Usage:
@@ -16,13 +18,18 @@
 //! ```text
 //! cargo run --release -p fits-serve --bin fitsd -- --addr 127.0.0.1:4717
 //! fitsd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!       [--access-log PATH] [--log-capacity N] [--no-tracing]
 //! ```
 //!
 //! Concurrent identical requests share one execution (coalescing) and
 //! finished responses are cached by canonical request, so a thundering
-//! herd of identical clients costs one pipeline run.
+//! herd of identical clients costs one pipeline run. With `--access-log`
+//! every request is appended as one schema-versioned JSONL record
+//! (trace id, phases, outcome); the writer sits behind a bounded channel
+//! and drops (counted in `/metrics`) rather than ever blocking a worker.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use fits_serve::server::{spawn, ServerConfig};
 
@@ -46,6 +53,18 @@ fn parse_args() -> ServerConfig {
             "--cache" => {
                 config.cache_capacity = parse_num(&mut args, "--cache");
             }
+            "--access-log" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| usage("--access-log needs a value"));
+                config.access_log = Some(path.into());
+            }
+            "--log-capacity" => {
+                config.log_capacity = parse_num(&mut args, "--log-capacity").max(1);
+            }
+            "--no-tracing" => {
+                config.tracing = false;
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument: {other}")),
         }
@@ -65,7 +84,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("fitsd: {err}");
     }
-    eprintln!("usage: fitsd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
+    eprintln!(
+        "usage: fitsd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         \x20            [--access-log PATH] [--log-capacity N] [--no-tracing]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -79,11 +101,26 @@ fn main() {
         }
     };
     println!(
-        "fitsd: listening on http://{} ({} workers, queue {}, cache {})",
-        handle.addr, config.workers, config.queue_capacity, config.cache_capacity
+        "fitsd: listening on http://{} ({} workers, queue {}, cache {}, tracing {})",
+        handle.addr,
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity,
+        if config.tracing { "on" } else { "off" }
     );
     // CI pipes stdout; flush so the listening line is visible immediately.
     let _ = std::io::stdout().flush();
+
+    // A panic anywhere in the process dumps the flight recorder to stderr
+    // before the default handler reports the panic itself — the last
+    // moments of request history survive the crash.
+    let state = Arc::clone(handle.state());
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        eprintln!("fitsd: panic; flight recorder dump follows");
+        eprintln!("{}", state.flight.render_json());
+        default_hook(info);
+    }));
 
     // The accept loop and workers carry the service; the main thread only
     // keeps the process alive (stopping fitsd is SIGTERM's job).

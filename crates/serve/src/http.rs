@@ -56,11 +56,45 @@ impl From<std::io::Error> for HttpError {
 pub struct Request {
     /// `GET`, `POST`, … (uppercased as received).
     pub method: String,
-    /// The request target, e.g. `/synthesize` (query strings are kept
-    /// verbatim; the API has none).
+    /// The request target as received, query string included, e.g.
+    /// `/metrics?format=text`. Routing uses [`Request::path`].
     pub target: String,
     /// Decoded body (UTF-8; non-UTF-8 bodies are rejected).
     pub body: String,
+}
+
+impl Request {
+    /// The target without its query string (`/metrics?format=text` →
+    /// `/metrics`).
+    #[must_use]
+    pub fn path(&self) -> &str {
+        split_target(&self.target).0
+    }
+
+    /// The raw query string, without the `?` (empty when absent).
+    #[must_use]
+    pub fn query(&self) -> &str {
+        split_target(&self.target).1
+    }
+
+    /// The value of query parameter `key`, if present
+    /// (`format=text&x=1` → `query_param("format") == Some("text")`).
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query().split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Splits a request target into `(path, query)` at the first `?`.
+#[must_use]
+pub fn split_target(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    }
 }
 
 fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
@@ -157,8 +191,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra headers (name, value); `Content-Type`, `Content-Length` and
     /// `Connection: close` are always emitted.
     pub headers: Vec<(&'static str, String)>,
@@ -171,6 +207,18 @@ impl Response {
         Response {
             status,
             body,
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition).
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            content_type: "text/plain; version=0.0.4",
             headers: Vec::new(),
         }
     }
@@ -183,7 +231,9 @@ impl Response {
     }
 }
 
-fn reason(status: u16) -> &'static str {
+/// The standard reason phrase for the statuses `fitsd` emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
@@ -203,9 +253,10 @@ fn reason(status: u16) -> &'static str {
 /// Socket write failures.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> Result<(), std::io::Error> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len(),
     );
     for (name, value) in &response.headers {
@@ -275,6 +326,21 @@ mod tests {
             round_trip(oversized.as_bytes()),
             Err(HttpError::BodyTooLarge)
         ));
+    }
+
+    #[test]
+    fn target_splits_into_path_and_query() {
+        let req = round_trip(b"GET /metrics?format=text&x=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.target, "/metrics?format=text&x=1");
+        assert_eq!(req.path(), "/metrics");
+        assert_eq!(req.query(), "format=text&x=1");
+        assert_eq!(req.query_param("format"), Some("text"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("nope"), None);
+        let bare = round_trip(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.path(), "/metrics");
+        assert_eq!(bare.query(), "");
+        assert_eq!(bare.query_param("format"), None);
     }
 
     #[test]

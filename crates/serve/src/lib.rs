@@ -12,9 +12,13 @@
 //! - [`coalesce`] — leader/follower sharing of in-flight identical
 //!   requests;
 //! - [`cache`] — the content-addressed LRU over finished responses;
-//! - [`metrics`] — service counters, latency histogram and `fits-obs`
-//!   spans behind `GET /metrics`;
-//! - [`server`] — the accept loop and worker pool tying it together;
+//! - [`metrics`] — service counters, lifetime + sliding-window latency
+//!   histograms, gauges, and `fits-obs` spans behind `GET /metrics`
+//!   (JSON or Prometheus text via `?format=text`);
+//! - [`server`] — the accept loop and worker pool tying it together,
+//!   plus the telemetry plane: per-request trace ids (`X-Fits-Trace`),
+//!   phase span trees, the JSONL access log, and the flight recorder
+//!   behind `GET /debug/flight`;
 //! - [`client`] — the small HTTP client `fitsctl` and the tests drive
 //!   the daemon with.
 //!
@@ -35,9 +39,11 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 
-pub use api::{validate_serve_json, ApiError, PostRequest, SCHEMA};
+pub use api::{
+    validate_flight_json, validate_serve_json, ApiError, PostRequest, SCHEMA, SCHEMA_VERSION,
+};
 pub use cache::{content_address, fnv64, ResultCache};
 pub use coalesce::{Claim, Coalescer};
-pub use metrics::ServeMetrics;
+pub use metrics::{status_class, validate_prometheus, MetricsContext, ServeMetrics};
 pub use queue::{JobQueue, PushError};
 pub use server::{spawn, ServerConfig, ServerHandle, ServerState};

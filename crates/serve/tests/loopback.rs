@@ -5,9 +5,15 @@
 //! direct library call with a fresh artifact cache (the purity contract
 //! the cache and coalescer rest on), and the herd must actually exercise
 //! both sharing layers (coalesced joins and cache hits observed).
+//!
+//! The same run audits the telemetry plane: the service counters must
+//! reconcile exactly (`requests == ok + 4xx + 5xx`, and every POST is
+//! exactly one of execute/coalesce/hit), and every `X-Fits-Trace` the
+//! clients saw must appear exactly once in the JSONL access log.
 
 #![allow(clippy::unwrap_used)]
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use fits_bench::ArtifactsPool;
@@ -52,10 +58,14 @@ fn direct_bodies(jobs: &[(&'static str, String)]) -> Vec<String> {
 
 #[test]
 fn thundering_herd_is_coalesced_cached_and_bit_identical() {
+    let log_path =
+        std::env::temp_dir().join(format!("fits-loopback-access-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
     let handle = spawn(&ServerConfig {
         workers: 8,
         queue_capacity: 256,
         cache_capacity: 64,
+        access_log: Some(log_path.clone()),
         ..ServerConfig::default()
     })
     .expect("bind");
@@ -63,8 +73,8 @@ fn thundering_herd_is_coalesced_cached_and_bit_identical() {
     let jobs = Arc::new(jobs());
 
     // 32 clients, each walking all jobs from a rotated start so identical
-    // requests overlap in flight.
-    let results: Vec<Vec<(usize, u16, String)>> = std::thread::scope(|s| {
+    // requests overlap in flight. Each response's trace id rides along.
+    let results: Vec<Vec<(usize, u16, String, String)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|c| {
                 let jobs = Arc::clone(&jobs);
@@ -73,9 +83,13 @@ fn thundering_herd_is_coalesced_cached_and_bit_identical() {
                     for i in 0..jobs.len() {
                         let idx = (c + i) % jobs.len();
                         let (target, body) = &jobs[idx];
-                        let (status, text) =
-                            client::post(addr, target, body).expect("request succeeds");
-                        out.push((idx, status, text));
+                        let response = client::request_raw(addr, "POST", target, body)
+                            .expect("request succeeds");
+                        let trace = response
+                            .header("x-fits-trace")
+                            .expect("every response carries a trace id")
+                            .to_string();
+                        out.push((idx, response.status, response.body, trace));
                     }
                     out
                 })
@@ -88,8 +102,9 @@ fn thundering_herd_is_coalesced_cached_and_bit_identical() {
     // evaluation of the same request.
     let direct = direct_bodies(&jobs);
     let mut checked = 0usize;
+    let mut traces: Vec<&str> = Vec::new();
     for per_client in &results {
-        for (idx, status, text) in per_client {
+        for (idx, status, text, trace) in per_client {
             assert_eq!(*status, 200, "job {idx} failed: {text}");
             let endpoint = validate_serve_json(text).expect("response schema");
             assert_eq!(format!("/{endpoint}"), jobs[*idx].0);
@@ -97,6 +112,7 @@ fn thundering_herd_is_coalesced_cached_and_bit_identical() {
                 text, &direct[*idx],
                 "served body for job {idx} differs from the direct library call"
             );
+            traces.push(trace);
             checked += 1;
         }
     }
@@ -121,13 +137,43 @@ fn thundering_herd_is_coalesced_cached_and_bit_identical() {
         "every request is exactly one of execute/coalesce/hit"
     );
 
+    // The counters reconcile exactly: every routed request is exactly one
+    // of 2xx/4xx/5xx, and every POST exactly one of execute/coalesce/hit.
+    assert_eq!(
+        metrics.requests.get(),
+        metrics.ok.get() + metrics.client_errors.get() + metrics.server_errors.get(),
+        "requests must equal ok + 4xx + 5xx"
+    );
+    assert_eq!(metrics.client_errors.get(), 0);
+    assert_eq!(metrics.server_errors.get(), 0);
+
     // The wire metrics agree with the in-process counters.
     let (status, body) = client::get(addr, "/metrics").expect("metrics");
     assert_eq!(status, 200);
     assert_eq!(validate_serve_json(&body).unwrap(), "metrics");
     assert!(body.contains(&format!("\"executions\": {executions}")));
 
+    // Stopping flushes the access log; every trace id the clients saw must
+    // appear in it exactly once, and the log must schema-validate.
+    let handle_commit = handle.state().commit.clone();
     handle.stop();
+    let log_text = std::fs::read_to_string(&log_path).expect("access log exists");
+    let stats = fits_obs::validate_access_jsonl(&log_text).expect("access log schema");
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for trace in &stats.traces {
+        *seen.entry(trace.as_str()).or_default() += 1;
+    }
+    for trace in &traces {
+        assert_eq!(
+            seen.get(trace).copied(),
+            Some(1),
+            "trace {trace} must appear exactly once in the access log"
+        );
+    }
+    // The POSTs plus the one /metrics GET above are the only requests.
+    assert_eq!(stats.requests, (CLIENTS * jobs.len() + 1) as u64);
+    assert_eq!(stats.commit, handle_commit);
+    let _ = std::fs::remove_file(&log_path);
 }
 
 #[test]

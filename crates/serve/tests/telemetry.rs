@@ -1,0 +1,151 @@
+//! Telemetry-plane integration: tracing must observe without perturbing.
+//!
+//! The differential contract: a daemon with tracing on and a daemon with
+//! tracing off serve byte-identical POST bodies — the span plane only
+//! ever adds headers and side channels. On top of that, the flight
+//! recorder's slowest exemplars must carry engine-side phases nested
+//! under `execute`, the Prometheus rendering must parse, and the access
+//! log's emit/drop counters must be visible in `/metrics`.
+
+#![allow(clippy::unwrap_used)]
+
+use fits_obs::json::{parse, Value};
+use fits_serve::client;
+use fits_serve::server::{spawn, ServerConfig, ServerHandle};
+use fits_serve::{validate_flight_json, validate_prometheus, validate_serve_json};
+
+fn boot(tracing: bool, access_log: Option<std::path::PathBuf>) -> ServerHandle {
+    spawn(&ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        cache_capacity: 16,
+        tracing,
+        access_log,
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+}
+
+#[test]
+fn tracing_on_and_off_serve_byte_identical_bodies() {
+    let traced = boot(true, None);
+    let untraced = boot(false, None);
+    for (target, body) in [
+        ("/synthesize", "{\"kernel\": \"crc32\"}"),
+        ("/simulate", "{\"kernel\": \"fft\"}"),
+        ("/analyze", "{\"kernel\": \"crc32\", \"static_only\": true}"),
+        ("/synthesize", "{\"kernel\": \"no-such-kernel\"}"),
+    ] {
+        let (status_a, body_a) = client::post(traced.addr, target, body).expect("traced");
+        let (status_b, body_b) = client::post(untraced.addr, target, body).expect("untraced");
+        assert_eq!(status_a, status_b, "{target} {body}");
+        assert_eq!(
+            body_a, body_b,
+            "{target} {body}: tracing must not alter response bodies"
+        );
+    }
+    // Both daemons echo trace ids regardless of the tracing switch...
+    let with = client::request_raw(untraced.addr, "GET", "/healthz", "").unwrap();
+    assert!(with.header("x-fits-trace").is_some());
+    // ...but only the traced one accumulates span trees.
+    let (_, flight_off) = client::get(untraced.addr, "/debug/flight").unwrap();
+    let doc = parse(&flight_off).unwrap();
+    if let Some(Value::Arr(slowest)) = doc.get("slowest") {
+        for summary in slowest {
+            if let Some(Value::Arr(spans)) = summary.get("spans") {
+                assert!(spans.is_empty(), "tracing off must not record spans");
+            }
+        }
+    }
+    traced.stop();
+    untraced.stop();
+}
+
+#[test]
+fn flight_recorder_nests_engine_phases_under_execute() {
+    let handle = boot(true, None);
+    let addr = handle.addr;
+    // A cold /synthesize forces a real pipeline run (profile, synthesis,
+    // verification) under this request's `execute` span.
+    let (status, _) = client::post(addr, "/synthesize", "{\"kernel\": \"sha\"}").unwrap();
+    assert_eq!(status, 200);
+    let (status, flight) = client::get(addr, "/debug/flight").unwrap();
+    assert_eq!(status, 200);
+    assert!(validate_flight_json(&flight).unwrap() > 0, "has exemplars");
+    let doc = parse(&flight).unwrap();
+    let Some(Value::Arr(slowest)) = doc.get("slowest") else {
+        panic!("flight dump lacks slowest[]");
+    };
+    let synth = slowest
+        .iter()
+        .find(|s| s.get("endpoint").and_then(Value::as_str) == Some("synthesize"))
+        .expect("synthesize exemplar recorded");
+    let Some(Value::Arr(spans)) = synth.get("spans") else {
+        panic!("exemplar lacks spans");
+    };
+    let execute = spans
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some("execute"))
+        .expect("execute span present");
+    let Some(Value::Arr(children)) = execute.get("children") else {
+        panic!("execute span lacks children");
+    };
+    let child_names: Vec<&str> = children
+        .iter()
+        .filter_map(|c| c.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(
+        child_names.contains(&"profile") && child_names.contains(&"synthesize"),
+        "engine phases must nest under execute, got {child_names:?}"
+    );
+    // Request-plane phases sit beside execute at the top level.
+    let top_names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    for phase in ["queue-wait", "parse", "cache-lookup", "serialize"] {
+        assert!(
+            top_names.contains(&phase),
+            "missing {phase} in {top_names:?}"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn prometheus_rendering_parses_and_metrics_expose_log_counters() {
+    let log_path = std::env::temp_dir().join(format!(
+        "fits-telemetry-access-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&log_path);
+    let handle = boot(true, Some(log_path.clone()));
+    let addr = handle.addr;
+    let (status, _) = client::post(addr, "/synthesize", "{\"kernel\": \"crc32\"}").unwrap();
+    assert_eq!(status, 200);
+
+    let (status, text) = client::get(addr, "/metrics?format=text").unwrap();
+    assert_eq!(status, 200);
+    let samples = validate_prometheus(&text).expect("valid exposition");
+    assert!(samples > 20, "expected a full exposition, got {samples}");
+    assert!(text.contains("fitsd_request_latency_microseconds_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("fitsd_access_log_dropped_total 0"));
+
+    let (status, json) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(validate_serve_json(&json).unwrap(), "metrics");
+    let doc = parse(&json).unwrap();
+    let log = doc.get("log").expect("log object");
+    let emitted = log.get("emitted").and_then(Value::as_f64).unwrap();
+    assert!(
+        emitted >= 1.0,
+        "emitted lines visible in /metrics: {emitted}"
+    );
+    assert_eq!(log.get("dropped").and_then(Value::as_f64), Some(0.0));
+
+    handle.stop();
+    let log_text = std::fs::read_to_string(&log_path).expect("access log written");
+    let stats = fits_obs::validate_access_jsonl(&log_text).expect("log schema");
+    assert!(stats.requests >= 3);
+    let _ = std::fs::remove_file(&log_path);
+}
