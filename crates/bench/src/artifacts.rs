@@ -13,7 +13,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use fits_core::{profile, FitsSet, FlowObserver, FlowOutcome, FlowStage, Profile, SynthOptions};
+use fits_core::{
+    profile_with, FitsSet, FlowError, FlowObserver, FlowOutcome, FlowStage, Profile, SynthOptions,
+};
+use fits_isa::spec::{Ar32Tables, SpecCatalog};
 use fits_isa::thumb::{self, T16Program};
 use fits_isa::{Program, Reg};
 use fits_kernels::kernels::{Kernel, Scale};
@@ -72,6 +75,11 @@ pub struct Artifacts {
     /// `Artifacts` per option set (a `ScenarioMatrix` grid shares its base
     /// scenario's options, so the suite-level sweeps need just one).
     synth: Option<SynthOptions>,
+    /// ISA spec catalog every artifact this cache builds resolves against.
+    /// `None` (and the shipped catalog) use the static built-in tables; a
+    /// user-supplied catalog compiles its own AR32 tables once, lazily.
+    isa: Option<Arc<SpecCatalog>>,
+    ar32_tables: std::sync::OnceLock<Result<Arc<Ar32Tables>, fits_isa::spec::SpecError>>,
 }
 
 impl std::fmt::Debug for Artifacts {
@@ -88,6 +96,7 @@ impl std::fmt::Debug for Artifacts {
                 &self.flow_observer.as_ref().map(|_| "<dyn>"),
             )
             .field("synth", &self.synth)
+            .field("isa", &self.isa.as_ref().map(|c| c.hash_hex()))
             .finish()
     }
 }
@@ -120,6 +129,34 @@ impl Artifacts {
         self
     }
 
+    /// An empty cache whose artifacts resolve against `isa` instead of the
+    /// shipped spec catalog: profiles and replay descriptors encode the
+    /// native binary through the catalog's AR32 tables, and flow outcomes
+    /// carry its hash. Like [`Artifacts::with_synth`], one cache serves
+    /// one catalog — callers with varying catalogs use an
+    /// [`ArtifactsPool`].
+    #[must_use]
+    pub fn with_isa(mut self, isa: Arc<SpecCatalog>) -> Artifacts {
+        self.isa = Some(isa);
+        self
+    }
+
+    /// The AR32 tables this cache's artifacts are built with: the static
+    /// built-ins unless a non-builtin catalog was installed, in which case
+    /// the catalog's tables are compiled once and shared.
+    fn tables(&self) -> Result<&Ar32Tables, ExperimentError> {
+        let Some(catalog) = &self.isa else {
+            return Ok(Ar32Tables::builtin());
+        };
+        if catalog.is_builtin() {
+            return Ok(Ar32Tables::builtin());
+        }
+        self.ar32_tables
+            .get_or_init(|| Ar32Tables::from_spec(&catalog.ar32).map(Arc::new))
+            .as_deref()
+            .map_err(|e| ExperimentError::Flow(FlowError::Spec(e.clone())))
+    }
+
     /// The compiled native program.
     ///
     /// # Errors
@@ -140,9 +177,10 @@ impl Artifacts {
     /// Propagates compilation and simulation failures.
     pub fn profile(&self, kernel: Kernel, scale: Scale) -> Result<Arc<Profile>, ExperimentError> {
         let program = self.program(kernel, scale)?;
+        let tables = self.tables()?;
         get_or_compute(&self.profiles, (kernel, scale.n), || {
             let start = std::time::Instant::now();
-            let prof = profile(&program).map_err(ExperimentError::Sim)?;
+            let prof = profile_with(&program, tables).map_err(ExperimentError::Sim)?;
             // The flow below skips stage 1 (it consumes this cached
             // profile), so the profiling execution is reported here.
             if let Some(obs) = &self.flow_observer {
@@ -167,6 +205,9 @@ impl Artifacts {
             if let Some(options) = self.synth.clone() {
                 flow = flow.with_options(options);
             }
+            if let Some(isa) = &self.isa {
+                flow.isa = Arc::clone(isa);
+            }
             if let Some(obs) = &self.flow_observer {
                 flow = flow.with_observer(Arc::clone(obs));
             }
@@ -188,8 +229,10 @@ impl Artifacts {
         scale: Scale,
     ) -> Result<Arc<CompiledProgram>, ExperimentError> {
         let program = self.program(kernel, scale)?;
+        let tables = self.tables()?;
         get_or_compute(&self.compiled_arm, (kernel, scale.n), || {
-            CompiledProgram::compile(&Ar32Set::load(&program)).map_err(ExperimentError::Sim)
+            CompiledProgram::compile(&Ar32Set::load_with(&program, tables))
+                .map_err(ExperimentError::Sim)
         })
     }
 
@@ -291,10 +334,35 @@ impl ArtifactsPool {
     /// [`Artifacts::with_synth`]) on first use.
     #[must_use]
     pub fn for_synth(&self, options: &SynthOptions) -> Arc<Artifacts> {
-        let key = synth_key(options);
+        self.for_config(options, None)
+    }
+
+    /// The shared cache for `(options, isa)`. The slot key combines
+    /// [`synth_key`] with the catalog's content hash, so requests that
+    /// resolve against different machine descriptions never share
+    /// artifacts even when their synthesis options agree. `None` (and the
+    /// shipped catalog, which hashes identically) lands on the built-in
+    /// slot.
+    #[must_use]
+    pub fn for_config(
+        &self,
+        options: &SynthOptions,
+        isa: Option<&Arc<SpecCatalog>>,
+    ) -> Arc<Artifacts> {
+        let mut key = synth_key(options);
+        if let Some(catalog) = isa {
+            key.push_str("|isa=");
+            key.push_str(&catalog.hash_hex());
+        } else {
+            key.push_str("|isa=");
+            key.push_str(&SpecCatalog::default().hash_hex());
+        }
         let mut slots = locked(&self.slots);
         Arc::clone(slots.entry(key).or_insert_with(|| {
             let mut arts = Artifacts::new().with_synth(options.clone());
+            if let Some(catalog) = isa {
+                arts = arts.with_isa(Arc::clone(catalog));
+            }
             if let Some(obs) = &self.flow_observer {
                 arts = arts.with_flow_observer(Arc::clone(obs));
             }
@@ -400,6 +468,40 @@ mod tests {
         // A cache hit must not re-notify.
         arts.profile(Kernel::Crc32, Scale::test()).unwrap();
         assert_eq!(counter.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_separates_catalogs_by_content_hash() {
+        use fits_isa::spec::{IsaSpec, AR32_SPEC_TEXT};
+
+        let pool = ArtifactsPool::new();
+        let builtin_slot = pool.for_synth(&SynthOptions::default());
+        // The shipped catalog hashes identically to the default slot.
+        let shipped = Arc::new(SpecCatalog::default());
+        let same = pool.for_config(&SynthOptions::default(), Some(&shipped));
+        assert!(Arc::ptr_eq(&builtin_slot, &same));
+        // A content-different (but semantically equivalent) spec gets its
+        // own slot.
+        let respelled = IsaSpec::load(&AR32_SPEC_TEXT.replace(
+            "# --- branches and traps ---",
+            "# --- branches and traps (respelled) ---",
+        ))
+        .unwrap();
+        let custom = Arc::new(SpecCatalog {
+            ar32: Arc::new(respelled),
+            ..SpecCatalog::default()
+        });
+        let other = pool.for_config(&SynthOptions::default(), Some(&custom));
+        assert!(!Arc::ptr_eq(&builtin_slot, &other));
+        assert_eq!(pool.len(), 2);
+        // The custom cache's flows carry the catalog's hash.
+        let flow = other.flow(Kernel::Crc32, Scale::test()).unwrap();
+        assert_eq!(flow.isa_hash, custom.hash_hex());
+        let builtin_flow = builtin_slot.flow(Kernel::Crc32, Scale::test()).unwrap();
+        assert_ne!(flow.isa_hash, builtin_flow.isa_hash);
+        // Same machine description, different spelling: identical results.
+        assert_eq!(flow.profile.dyn_total, builtin_flow.profile.dyn_total);
+        assert_eq!(flow.fits.instrs, builtin_flow.fits.instrs);
     }
 
     #[test]

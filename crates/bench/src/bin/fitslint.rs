@@ -1,7 +1,7 @@
 //! `fitslint` — static verification of synthesized FITS instruction sets
 //! and static I-cache bounds.
 //!
-//! Two modes share one CLI:
+//! Three modes share one CLI:
 //!
 //! * **lint** (default): runs the `fits-verify` analysis families (`ENC`,
 //!   `CFI`, `DF`, `TV`) over kernels from the benchmark suite and reports
@@ -11,11 +11,16 @@
 //!   rebuilt ground truth, joins it with a traced simulation (skip the
 //!   trace with `--static-only`) and reports per-kernel hit/miss and
 //!   fetch-energy bounds — text or `powerfits-cache-bounds-v1` JSON.
+//! * **`--isa`**: lints `powerfits-isa-v1` spec documents (the `ISA`
+//!   family) — ambiguous form overlap, non-round-tripping forms, dead
+//!   entries, specs that do not compile into a decode engine. Accepts
+//!   file paths or the shipped spec names `ar32`, `t16`, `fits`.
 //!
 //! ```text
 //! fitslint --all [--format text|json] [--scale N]
 //! fitslint KERNEL [KERNEL...] [--format text|json] [--scale N]
 //! fitslint --cache --all [--preset NAME] [--static-only] [--out PATH]
+//! fitslint --isa SPEC [--isa SPEC...] [--format text|json] [--out PATH]
 //! ```
 //!
 //! JSON output is validated against its own schema before the process
@@ -29,9 +34,10 @@ use std::fmt;
 use std::process::ExitCode;
 
 use fits_bench::{cache_bounds_report, ExperimentError};
+use fits_isa::spec::{AR32_SPEC_TEXT, FITS_SPEC_TEXT, T16_SPEC_TEXT};
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_scenario::ScenarioSpec;
-use fits_verify::{json_string, lint_kernel};
+use fits_verify::{json_string, lint_kernel, lint_spec_text};
 
 /// Everything that can stop a `fitslint` run (exit code 1). Usage errors
 /// are handled separately (exit code 2); findings are not errors.
@@ -41,7 +47,7 @@ enum LintError {
     Pipeline(ExperimentError),
     /// The tool's own JSON output failed its schema validation.
     InvalidJson(String),
-    /// The report could not be written to `--out`.
+    /// A report or spec file could not be written or read.
     Io { path: String, err: std::io::Error },
 }
 
@@ -50,7 +56,7 @@ impl fmt::Display for LintError {
         match self {
             LintError::Pipeline(e) => write!(f, "pipeline: {e}"),
             LintError::InvalidJson(e) => write!(f, "self-validation of JSON output failed: {e}"),
-            LintError::Io { path, err } => write!(f, "write {path}: {err}"),
+            LintError::Io { path, err } => write!(f, "{path}: {err}"),
         }
     }
 }
@@ -71,6 +77,7 @@ struct Args {
     preset: String,
     static_only: bool,
     out: Option<String>,
+    isa: Vec<String>,
 }
 
 fn usage() -> String {
@@ -79,6 +86,7 @@ fn usage() -> String {
     format!(
         "usage: fitslint (--all | KERNEL...) [--format text|json] [--scale N]\n\
          \x20      [--cache [--preset NAME] [--static-only]] [--out PATH]\n\
+         \x20      [--isa SPEC...]\n\
          \n\
          Statically verifies the synthesized instruction set and translated\n\
          binary of each kernel: encoding soundness (ENC), control-flow\n\
@@ -88,6 +96,11 @@ fn usage() -> String {
          analysis (CA) on both instruction streams, audits it, checks a\n\
          traced run against the static bounds (unless --static-only) and\n\
          reports per-kernel hit/miss and fetch-energy envelopes.\n\
+         \n\
+         With --isa, instead lints powerfits-isa-v1 spec documents (the\n\
+         ISA family: ambiguous overlap, round-trip, dead entries, engine\n\
+         compilation). SPEC is a file path or a shipped name (ar32 t16\n\
+         fits).\n\
          \n\
          presets: sa1100 small-embedded modern-node\n\
          kernels: {}",
@@ -104,6 +117,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         preset: "sa1100".to_string(),
         static_only: false,
         out: None,
+        isa: Vec::new(),
     };
     let mut all = false;
     let mut preset_given = false;
@@ -150,6 +164,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .clone(),
                 );
             }
+            "--isa" => {
+                args.isa.push(
+                    it.next()
+                        .ok_or_else(|| "--isa expects a spec path or shipped name".to_string())?
+                        .clone(),
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             name if !name.starts_with('-') => {
                 let kernel = Kernel::ALL
@@ -164,6 +185,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if !args.cache && (args.static_only || preset_given) {
         return Err("--preset and --static-only require --cache".to_string());
+    }
+    if !args.isa.is_empty() {
+        if args.cache || all || !args.kernels.is_empty() {
+            return Err("--isa lints spec documents and takes no kernels or --cache".to_string());
+        }
+        return Ok(args);
     }
     if all {
         args.kernels = Kernel::ALL.to_vec();
@@ -239,6 +266,73 @@ fn run_lint(args: &Args) -> Result<bool, LintError> {
     Ok(all_clean)
 }
 
+/// Resolves one `--isa` operand: a shipped spec name or a file path.
+fn isa_source(operand: &str) -> Result<String, LintError> {
+    match operand {
+        "ar32" => Ok(AR32_SPEC_TEXT.to_string()),
+        "t16" => Ok(T16_SPEC_TEXT.to_string()),
+        "fits" => Ok(FITS_SPEC_TEXT.to_string()),
+        path => std::fs::read_to_string(path).map_err(|err| LintError::Io {
+            path: path.to_string(),
+            err,
+        }),
+    }
+}
+
+/// The `--isa` mode: the `ISA` family per spec document. Load failures
+/// (parse or structural) count as findings, not usage errors. Returns
+/// whether every spec came back clean.
+fn run_isa(args: &Args) -> Result<bool, LintError> {
+    let mut all_clean = true;
+    let mut text = String::new();
+    let mut json_entries = Vec::new();
+    for operand in &args.isa {
+        let source = isa_source(operand)?;
+        match lint_spec_text(&source) {
+            Ok(report) => {
+                if !report.is_clean() {
+                    all_clean = false;
+                }
+                match args.format {
+                    Format::Text => {
+                        if report.diagnostics.is_empty() {
+                            text.push_str(&format!("{}: clean\n", report.name));
+                        } else {
+                            text.push_str(&report.render_text());
+                        }
+                    }
+                    Format::Json => json_entries.push(report.render_json()),
+                }
+            }
+            Err(err) => {
+                all_clean = false;
+                match args.format {
+                    Format::Text => text.push_str(&format!("{operand}: {err}\n")),
+                    Format::Json => json_entries.push(format!(
+                        "{{\"name\":{},\"clean\":false,\"error\":{}}}",
+                        json_string(operand),
+                        json_string(&err.to_string())
+                    )),
+                }
+            }
+        }
+    }
+    let rendered = match args.format {
+        Format::Text => text,
+        Format::Json => {
+            let doc = format!(
+                "{{\"specs\":[{}],\"clean\":{all_clean}}}\n",
+                json_entries.join(",")
+            );
+            fits_obs::json::parse(&doc).map_err(|e| LintError::InvalidJson(e.to_string()))?;
+            doc
+        }
+    };
+    print!("{rendered}");
+    write_out(args.out.as_deref(), &rendered)?;
+    Ok(all_clean)
+}
+
 /// The `--cache` mode: `CA` bounds per kernel under one preset scenario.
 /// Returns whether every analysis was sound.
 fn run_cache(args: &Args) -> Result<bool, LintError> {
@@ -278,7 +372,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let clean = if args.cache {
+    let clean = if !args.isa.is_empty() {
+        run_isa(&args)
+    } else if args.cache {
         run_cache(&args)
     } else {
         run_lint(&args)

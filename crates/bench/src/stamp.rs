@@ -59,18 +59,22 @@ pub fn json_f64(v: f64) -> String {
     }
 }
 
-/// The shared `"meta"` object of the archived records.
+/// The shared `"meta"` object of the archived records. `isa` is the
+/// content hash of the ISA spec catalog the numbers were produced under
+/// (the shipped catalog unless a record says otherwise), so results stay
+/// comparable across machine-description changes.
 #[must_use]
 pub fn meta_json(indent: &str) -> String {
     format!(
         "{{\n{indent}  \"commit\": \"{commit}\",\n{indent}  \"timestamp_unix\": {stamp},\n\
          {indent}  \"host\": \"{host}\",\n{indent}  \"os\": \"{os}\",\n\
-         {indent}  \"arch\": \"{arch}\"\n{indent}}}",
+         {indent}  \"arch\": \"{arch}\",\n{indent}  \"isa\": \"{isa}\"\n{indent}}}",
         commit = escape(&git_commit()),
         stamp = unix_timestamp(),
         host = escape(&hostname()),
         os = escape(std::env::consts::OS),
         arch = escape(std::env::consts::ARCH),
+        isa = fits_isa::spec::SpecCatalog::default().hash_hex(),
     )
 }
 
@@ -81,10 +85,15 @@ mod tests {
     #[test]
     fn meta_is_valid_json_with_required_fields() {
         let v = fits_obs::json::parse(&meta_json("  ")).unwrap();
-        for key in ["commit", "host", "os", "arch"] {
+        for key in ["commit", "host", "os", "arch", "isa"] {
             assert!(v.get(key).and_then(fits_obs::json::Value::as_str).is_some());
         }
         assert!(v.get("timestamp_unix").and_then(|t| t.as_f64()).is_some());
+        let isa = v
+            .get("isa")
+            .and_then(fits_obs::json::Value::as_str)
+            .unwrap();
+        assert_eq!(isa.len(), 48, "three 16-hex spec hashes joined");
     }
 
     #[test]

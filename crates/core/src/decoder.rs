@@ -159,6 +159,25 @@ pub enum Layout {
 }
 
 impl Layout {
+    /// The layout-kind name in the `powerfits-isa-v1` spec vocabulary
+    /// (the `layouts { ... }` list of the FITS spec).
+    #[must_use]
+    pub fn kind_name(self) -> &'static str {
+        match self {
+            Layout::R3 => "r3",
+            Layout::R2 => "r2",
+            Layout::R2Imm { .. } => "r2-imm",
+            Layout::R2Dict { .. } => "r2-dict",
+            Layout::RRImm { .. } => "rr-imm",
+            Layout::RRDict { .. } => "rr-dict",
+            Layout::MemImm { .. } => "mem-imm",
+            Layout::MemDict { .. } => "mem-dict",
+            Layout::Br { .. } => "br",
+            Layout::R1 => "r1",
+            Layout::Trap { .. } => "trap",
+        }
+    }
+
     /// Total operand bits this layout occupies, given the register-field
     /// width `r` (3 or 4).
     #[must_use]
@@ -201,6 +220,19 @@ pub enum Tier {
     Sis,
     /// Application-specific Instruction Set — chosen by the optimizer.
     Ais,
+}
+
+impl Tier {
+    /// The tier name in the `powerfits-isa-v1` spec vocabulary (the
+    /// `tiers { ... }` list of the FITS spec).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Bis => "bis",
+            Tier::Sis => "sis",
+            Tier::Ais => "ais",
+        }
+    }
 }
 
 impl fmt::Display for Tier {

@@ -4,12 +4,13 @@
 
 use std::fmt;
 
+use fits_isa::spec::{Ar32Tables, SpecCatalog, SpecError};
 use fits_isa::Program;
 use fits_sim::{Machine, RunOutput, SimError};
 
 use crate::decoder::DecoderConfig;
 use crate::exec::{FitsDecodeError, FitsSet};
-use crate::profile::{profile, Profile};
+use crate::profile::{profile_with, Profile};
 use crate::synth::{synthesize, SynthOptions, Synthesis};
 use crate::translate::{translate, FitsProgram, MappingStats, TranslateError, Translation};
 
@@ -43,6 +44,9 @@ pub enum FlowError {
         /// The validator's rendered findings.
         report: String,
     },
+    /// The flow's ISA spec catalog does not compile into usable engine
+    /// tables (only possible with user-supplied specs).
+    Spec(SpecError),
 }
 
 impl fmt::Display for FlowError {
@@ -66,6 +70,7 @@ impl fmt::Display for FlowError {
             FlowError::Verify { report } => {
                 write!(f, "static verification rejected the translation:\n{report}")
             }
+            FlowError::Spec(e) => write!(f, "ISA spec rejected: {e}"),
         }
     }
 }
@@ -235,6 +240,10 @@ pub struct FitsFlow {
     /// one). `None` costs one branch per stage; results are unaffected
     /// either way.
     pub observer: Option<std::sync::Arc<dyn FlowObserver>>,
+    /// The ISA spec catalog the flow resolves against. Default is the
+    /// shipped catalog; serving swaps in user-supplied specs per request.
+    /// The catalog's content hash is stamped into [`FlowOutcome::isa_hash`].
+    pub isa: std::sync::Arc<SpecCatalog>,
 }
 
 impl fmt::Debug for FitsFlow {
@@ -246,6 +255,7 @@ impl fmt::Debug for FitsFlow {
             .field("verify", &self.verify)
             .field("validator", &self.validator.as_ref().map(|_| "<dyn>"))
             .field("observer", &self.observer.as_ref().map(|_| "<dyn>"))
+            .field("isa", &self.isa.hash_hex())
             .finish()
     }
 }
@@ -259,6 +269,7 @@ impl Default for FitsFlow {
             verify: true,
             validator: None,
             observer: None,
+            isa: std::sync::Arc::new(SpecCatalog::default()),
         }
     }
 }
@@ -278,6 +289,9 @@ pub struct FlowOutcome {
     pub fits_run: Option<RunOutput>,
     /// Iterations used.
     pub iterations: usize,
+    /// Content hash of the ISA spec catalog the flow resolved against
+    /// (three concatenated 16-hex-digit FNV-1a hashes: AR32, T16, FITS).
+    pub isa_hash: String,
 }
 
 impl FlowOutcome {
@@ -330,8 +344,18 @@ impl FitsFlow {
     /// See [`FlowError`]; `Mismatch` indicates a synthesis soundness bug
     /// and is checked on every run when `verify` is on.
     pub fn run(&self, program: &Program) -> Result<FlowOutcome, FlowError> {
+        // Resolve the AR32 spec into encode tables. With the shipped
+        // catalog this is the statically-compiled table; a user-supplied
+        // spec compiles here (and a bad one fails before anything runs).
+        let owned;
+        let tables: &Ar32Tables = if self.isa.is_builtin() {
+            Ar32Tables::builtin()
+        } else {
+            owned = Ar32Tables::from_spec(&self.isa.ar32).map_err(FlowError::Spec)?;
+            &owned
+        };
         // Stage 1: profile.
-        let prof = self.timed(FlowStage::Profile, || profile(program))?;
+        let prof = self.timed(FlowStage::Profile, || profile_with(program, tables))?;
         self.run_profiled(program, prof)
     }
 
@@ -431,6 +455,7 @@ impl FitsFlow {
             mapping: translation.stats,
             fits_run,
             iterations,
+            isa_hash: self.isa.hash_hex(),
         })
     }
 }

@@ -57,6 +57,6 @@ pub use exec::{decode_word, disassemble, op_meta, FitsOp, FitsSet};
 pub use flow::{
     FitsFlow, FlowError, FlowObserver, FlowOutcome, FlowStage, FlowValidator, TeeObserver,
 };
-pub use profile::{profile, OpKey, Profile};
+pub use profile::{profile, profile_with, OpKey, Profile};
 pub use synth::{synthesize, SynthOptions, Synthesis};
 pub use translate::{translate, FitsProgram, MappingStats, TranslateError, Translation};

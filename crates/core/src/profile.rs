@@ -327,7 +327,21 @@ fn record_instr(profile: &mut Profile, instr: &Instr, index: usize, executions: 
 ///
 /// Propagates simulation errors from the profiling run.
 pub fn profile(program: &Program) -> Result<Profile, SimError> {
-    let set = Ar32Set::load(program);
+    profile_with(program, fits_isa::spec::Ar32Tables::builtin())
+}
+
+/// [`profile`] with explicit spec-compiled AR32 encode tables: the
+/// profiling execution's fetch/toggle accounting runs against the words
+/// those tables produce. `profile` is this with the shipped tables.
+///
+/// # Errors
+///
+/// Propagates simulation errors from the profiling run.
+pub fn profile_with(
+    program: &Program,
+    tables: &fits_isa::spec::Ar32Tables,
+) -> Result<Profile, SimError> {
+    let set = Ar32Set::load_with(program, tables);
     let compiled = fits_sim::CompiledProgram::compile(&set)?;
     let mut machine = Machine::new(set);
     let trace = machine.run_recorded(&compiled)?;

@@ -4,16 +4,66 @@ use std::fmt;
 
 use crate::{AddrOffset, Cond, DpOp, Index, Instr, MemOp, Operand2, Reg, RotImm, Shift, ShiftKind};
 
+/// Why a 32-bit word was rejected: every reserved-pattern path names the
+/// violated field or instruction class, so spec-level diagnostics (and the
+/// data-driven decode tables in [`crate::spec`]) can report *which* rule a
+/// word tripped instead of a catch-all string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeErrorKind {
+    /// Long multiply (`UMULL`/`SMULL`/…) — bits 24..22 nonzero in the
+    /// multiply pattern space.
+    LongMultiply,
+    /// `MUL` (A=0) with a nonzero Rn field (bits 15..12 must read 0).
+    MulNonzeroRn,
+    /// A store in the signed halfword/byte transfer space (`S=1, L=0`).
+    SignedStore,
+    /// Halfword register-offset form with nonzero bits 11..8.
+    HalfwordHiBits,
+    /// The `RRX` shifter form (`ROR #0`), which AR32 does not support.
+    Rrx,
+    /// Register-shift operand with bit 7 set (multiply/halfword space).
+    RegisterShiftBit7,
+    /// Single data transfer with a register-shift (bit 4 set) offset.
+    RegisterShiftMemOffset,
+    /// Post-indexed addressing with the writeback bit set (T-form).
+    PostIndexWriteback,
+    /// A compare opcode without the S bit — the PSR transfer space.
+    PsrTransfer,
+    /// An instruction class AR32 does not define (coprocessor, block
+    /// transfer, …).
+    Unsupported,
+}
+
+impl DecodeErrorKind {
+    /// Human-readable description of the violated rule.
+    #[must_use]
+    pub fn message(self) -> &'static str {
+        match self {
+            DecodeErrorKind::LongMultiply => "long multiply not supported",
+            DecodeErrorKind::MulNonzeroRn => "MUL with nonzero Rn field",
+            DecodeErrorKind::SignedStore => "signed store form",
+            DecodeErrorKind::HalfwordHiBits => "halfword reg offset hi bits",
+            DecodeErrorKind::Rrx => "RRX is not supported",
+            DecodeErrorKind::RegisterShiftBit7 => "bit 7 set in register-shift form",
+            DecodeErrorKind::RegisterShiftMemOffset => "register-shift memory offset",
+            DecodeErrorKind::PostIndexWriteback => "post-indexed with W set (T-form)",
+            DecodeErrorKind::PsrTransfer => "PSR transfer (compare without S)",
+            DecodeErrorKind::Unsupported => "unsupported instruction class",
+        }
+    }
+}
+
 /// Error returned when a 32-bit word is not a valid AR32 instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DecodeError {
     word: u32,
-    reason: &'static str,
+    kind: DecodeErrorKind,
 }
 
 impl DecodeError {
-    fn new(word: u32, reason: &'static str) -> DecodeError {
-        DecodeError { word, reason }
+    pub(crate) fn new(word: u32, kind: DecodeErrorKind) -> DecodeError {
+        DecodeError { word, kind }
     }
 
     /// The offending machine word.
@@ -21,11 +71,22 @@ impl DecodeError {
     pub fn word(&self) -> u32 {
         self.word
     }
+
+    /// The violated rule.
+    #[must_use]
+    pub fn kind(&self) -> DecodeErrorKind {
+        self.kind
+    }
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+        write!(
+            f,
+            "cannot decode {:#010x}: {}",
+            self.word,
+            self.kind.message()
+        )
     }
 }
 
@@ -42,7 +103,7 @@ fn decode_shift_imm(word: u32) -> Result<Shift, DecodeError> {
         (ShiftKind::Lsl, n) => Shift::Imm(ShiftKind::Lsl, n),
         (ShiftKind::Lsr, 0) => Shift::Imm(ShiftKind::Lsr, 32),
         (ShiftKind::Asr, 0) => Shift::Imm(ShiftKind::Asr, 32),
-        (ShiftKind::Ror, 0) => return Err(DecodeError::new(word, "RRX is not supported")),
+        (ShiftKind::Ror, 0) => return Err(DecodeError::new(word, DecodeErrorKind::Rrx)),
         (k, n) => Shift::Imm(k, n),
     };
     Ok(shift)
@@ -57,7 +118,7 @@ fn decode_op2(word: u32) -> Result<Operand2, DecodeError> {
         let rm = reg(word, 0);
         if word & (1 << 4) != 0 {
             if word & (1 << 7) != 0 {
-                return Err(DecodeError::new(word, "bit 7 set in register-shift form"));
+                return Err(DecodeError::new(word, DecodeErrorKind::RegisterShiftBit7));
             }
             let rs = reg(word, 8);
             let kind = ShiftKind::from_bits(((word >> 5) & 3) as u8);
@@ -75,7 +136,7 @@ fn decode_index(word: u32) -> Result<Index, DecodeError> {
         (true, false) => Ok(Index::PreNoWb),
         (true, true) => Ok(Index::PreWb),
         (false, false) => Ok(Index::Post),
-        (false, true) => Err(DecodeError::new(word, "post-indexed with W set (T-form)")),
+        (false, true) => Err(DecodeError::new(word, DecodeErrorKind::PostIndexWriteback)),
     }
 }
 
@@ -99,13 +160,13 @@ impl Instr {
                     if sh == 0 {
                         // Bits 7..4 == 1001: multiply family.
                         if (word >> 22) & 0b11_1111 != 0 {
-                            return Err(DecodeError::new(word, "long multiply not supported"));
+                            return Err(DecodeError::new(word, DecodeErrorKind::LongMultiply));
                         }
                         let acc = if word & (1 << 21) != 0 {
                             Some(reg(word, 12))
                         } else {
                             if (word >> 12) & 0xf != 0 {
-                                return Err(DecodeError::new(word, "MUL with nonzero Rn field"));
+                                return Err(DecodeError::new(word, DecodeErrorKind::MulNonzeroRn));
                             }
                             None
                         };
@@ -124,7 +185,7 @@ impl Instr {
                             (false, 0b01) => MemOp::Strh,
                             (true, 0b10) => MemOp::Ldrsb,
                             (true, 0b11) => MemOp::Ldrsh,
-                            _ => return Err(DecodeError::new(word, "signed store form")),
+                            _ => return Err(DecodeError::new(word, DecodeErrorKind::SignedStore)),
                         };
                         let up = word & (1 << 23) != 0;
                         let offset = if word & (1 << 22) != 0 {
@@ -132,7 +193,10 @@ impl Instr {
                             AddrOffset::Imm(if up { mag } else { -mag })
                         } else {
                             if (word >> 8) & 0xf != 0 {
-                                return Err(DecodeError::new(word, "halfword reg offset hi bits"));
+                                return Err(DecodeError::new(
+                                    word,
+                                    DecodeErrorKind::HalfwordHiBits,
+                                ));
                             }
                             AddrOffset::Reg {
                                 rm: reg(word, 0),
@@ -166,7 +230,10 @@ impl Instr {
                 let up = word & (1 << 23) != 0;
                 let offset = if word & (1 << 25) != 0 {
                     if word & (1 << 4) != 0 {
-                        return Err(DecodeError::new(word, "register-shift memory offset"));
+                        return Err(DecodeError::new(
+                            word,
+                            DecodeErrorKind::RegisterShiftMemOffset,
+                        ));
                     }
                     AddrOffset::Reg {
                         rm: reg(word, 0),
@@ -200,7 +267,7 @@ impl Instr {
                 cond,
                 imm: word & 0x00ff_ffff,
             }),
-            _ => Err(DecodeError::new(word, "unsupported instruction class")),
+            _ => Err(DecodeError::new(word, DecodeErrorKind::Unsupported)),
         }
     }
 
@@ -208,7 +275,7 @@ impl Instr {
         let op = DpOp::from_bits(((word >> 21) & 0xf) as u8);
         let set_flags = word & (1 << 20) != 0;
         if op.is_compare() && !set_flags {
-            return Err(DecodeError::new(word, "PSR transfer (compare without S)"));
+            return Err(DecodeError::new(word, DecodeErrorKind::PsrTransfer));
         }
         Ok(Instr::Dp {
             cond,

@@ -43,10 +43,11 @@ mod instr;
 mod operand;
 pub mod program;
 mod reg;
+pub mod spec;
 pub mod thumb;
 
 pub use cond::Cond;
-pub use decode::DecodeError;
+pub use decode::{DecodeError, DecodeErrorKind};
 pub use instr::{Instr, InstrClass};
 pub use operand::{AddrOffset, DpOp, Index, MemOp, Operand2, RotImm, Shift, ShiftKind};
 pub use program::{Program, DATA_BASE, STACK_TOP, TEXT_BASE};

@@ -645,6 +645,18 @@ pub struct T16EncodeError {
     reason: &'static str,
 }
 
+impl T16EncodeError {
+    pub(crate) fn new(reason: &'static str) -> Self {
+        T16EncodeError { reason }
+    }
+
+    /// Why the instruction has no 16-bit encoding.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
 impl fmt::Display for T16EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "not encodable in T16: {}", self.reason)
@@ -662,10 +674,20 @@ pub struct T16DecodeError {
 }
 
 impl T16DecodeError {
+    pub(crate) fn new(word: u16, reason: &'static str) -> Self {
+        T16DecodeError { word, reason }
+    }
+
     /// The offending halfword.
     #[must_use]
     pub fn word(&self) -> u16 {
         self.word
+    }
+
+    /// Why the halfword does not decode.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        self.reason
     }
 }
 

@@ -17,6 +17,7 @@ use fits_bench::{
     cache_bounds_report_with, isa_json, run_kernel_scenarios, synth_key, Artifacts, ExperimentError,
 };
 use fits_core::SynthOptions;
+use fits_isa::spec::{builtin_ar32, IsaSpec, SpecCatalog};
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_obs::json::{escape, parse, Value};
 use fits_scenario::{tech_preset, ScenarioMatrix, ScenarioSpec, PRESET_NAMES, TECH_NAMES};
@@ -220,6 +221,59 @@ fn synth_field(v: &Value, pointer: &str, base: SynthOptions) -> Result<SynthOpti
     Ok(options)
 }
 
+/// Parses the optional `"isa"` field: `"builtin"` (or absence, or text
+/// hash-identical to the shipped spec) selects the built-in catalog; any
+/// other value must be a complete `powerfits-isa-v1` document describing a
+/// 32-bit replacement for the AR32 execution ISA. The document is linted
+/// with the `ISA` verification family before any work is scheduled, so a
+/// spec with ambiguous or non-round-tripping forms is rejected as a 400,
+/// never handed to the pipeline.
+fn isa_field(v: &Value, pointer: &str) -> Result<Option<Arc<SpecCatalog>>, ApiError> {
+    let Some(text) = opt_str(v, pointer, "isa")? else {
+        return Ok(None);
+    };
+    if text == "builtin" {
+        return Ok(None);
+    }
+    let ip = format!("{pointer}/isa");
+    let spec = IsaSpec::load(text)
+        .map_err(|e| ApiError::new("bad_value", &ip, format!("ISA spec rejected: {e}")))?;
+    if spec.word_width != 32 {
+        return Err(ApiError::new(
+            "bad_value",
+            &ip,
+            format!(
+                "only a 32-bit (AR32-shaped) spec can replace the execution ISA, \
+                 got word-width {}",
+                spec.word_width
+            ),
+        ));
+    }
+    let report = fits_verify::lint_spec(&spec);
+    if let Some(d) = report.diagnostics.first() {
+        return Err(ApiError::new(
+            "bad_value",
+            &ip,
+            format!("ISA spec fails validation ({}): {}", d.code, d.message),
+        ));
+    }
+    if spec.hash() == builtin_ar32().hash() {
+        // Respellings of the shipped spec share the builtin cache slots.
+        return Ok(None);
+    }
+    Ok(Some(Arc::new(SpecCatalog {
+        ar32: Arc::new(spec),
+        ..SpecCatalog::default()
+    })))
+}
+
+/// The canonical-key suffix for a request's ISA catalog: empty for the
+/// built-in catalog (keeping pre-existing keys stable), the catalog's
+/// content hash otherwise.
+fn isa_suffix(isa: Option<&Arc<SpecCatalog>>) -> String {
+    isa.map_or_else(String::new, |c| format!("|isa={}", c.hash_hex()))
+}
+
 fn scenario_fields(v: &Value, pointer: &str) -> Result<(String, ScenarioSpec), ApiError> {
     let preset = opt_str(v, pointer, "scenario")?
         .unwrap_or("sa1100")
@@ -254,6 +308,8 @@ pub struct SynthesizeRequest {
     pub scale: Scale,
     /// Synthesis options (defaults overlaid with the `"synth"` object).
     pub synth: SynthOptions,
+    /// A replacement ISA catalog, or `None` for the shipped one.
+    pub isa: Option<Arc<SpecCatalog>>,
 }
 
 impl SynthesizeRequest {
@@ -264,11 +320,12 @@ impl SynthesizeRequest {
     /// A structured [`ApiError`] naming the offending field.
     pub fn from_body(body: &str) -> Result<SynthesizeRequest, ApiError> {
         let v = parse_body(body)?;
-        reject_unknown(&v, "", &["kernel", "scale", "synth"])?;
+        reject_unknown(&v, "", &["kernel", "scale", "synth", "isa"])?;
         Ok(SynthesizeRequest {
             kernel: kernel_field(&v, "")?,
             scale: scale_field(&v, "")?,
             synth: synth_field(&v, "", SynthOptions::default())?,
+            isa: isa_field(&v, "")?,
         })
     }
 
@@ -276,10 +333,11 @@ impl SynthesizeRequest {
     #[must_use]
     pub fn canonical(&self) -> String {
         format!(
-            "synthesize|kernel={}|n={}|synth={}",
+            "synthesize|kernel={}|n={}|synth={}{}",
             self.kernel.name(),
             self.scale.n,
             synth_key(&self.synth),
+            isa_suffix(self.isa.as_ref()),
         )
     }
 }
@@ -295,6 +353,8 @@ pub struct SimulateRequest {
     pub scenario: ScenarioSpec,
     /// Synthesis options for the FITS side.
     pub synth: SynthOptions,
+    /// A replacement ISA catalog, or `None` for the shipped one.
+    pub isa: Option<Arc<SpecCatalog>>,
     scenario_canonical: String,
 }
 
@@ -316,6 +376,7 @@ impl SimulateRequest {
                 "tech",
                 "icache_bytes",
                 "synth",
+                "isa",
             ],
         )?;
         let kernel = kernel_field(&v, "")?;
@@ -327,6 +388,7 @@ impl SimulateRequest {
             scale,
             scenario,
             synth,
+            isa: isa_field(&v, "")?,
             scenario_canonical,
         })
     }
@@ -337,11 +399,12 @@ impl SimulateRequest {
     #[must_use]
     pub fn canonical(&self) -> String {
         format!(
-            "simulate|kernel={}|n={}|{}|synth={}",
+            "simulate|kernel={}|n={}|{}|synth={}{}",
             self.kernel.name(),
             self.scale.n,
             self.scenario_canonical,
             synth_key(&self.synth),
+            isa_suffix(self.isa.as_ref()),
         )
     }
 }
@@ -360,6 +423,8 @@ pub struct AnalyzeRequest {
     pub synth: SynthOptions,
     /// Skip the traced run and report the static bounds alone.
     pub static_only: bool,
+    /// A replacement ISA catalog, or `None` for the shipped one.
+    pub isa: Option<Arc<SpecCatalog>>,
     scenario_canonical: String,
 }
 
@@ -382,6 +447,7 @@ impl AnalyzeRequest {
                 "icache_bytes",
                 "synth",
                 "static_only",
+                "isa",
             ],
         )?;
         let kernel = kernel_field(&v, "")?;
@@ -395,6 +461,7 @@ impl AnalyzeRequest {
             scenario,
             synth,
             static_only,
+            isa: isa_field(&v, "")?,
             scenario_canonical,
         })
     }
@@ -405,12 +472,13 @@ impl AnalyzeRequest {
     #[must_use]
     pub fn canonical(&self) -> String {
         format!(
-            "analyze|kernel={}|n={}|{}|static={}|synth={}",
+            "analyze|kernel={}|n={}|{}|static={}|synth={}{}",
             self.kernel.name(),
             self.scale.n,
             self.scenario_canonical,
             self.static_only,
             synth_key(&self.synth),
+            isa_suffix(self.isa.as_ref()),
         )
     }
 }
@@ -426,6 +494,8 @@ pub struct SweepRequest {
     pub matrix: ScenarioMatrix,
     /// Synthesis options shared by every point.
     pub synth: SynthOptions,
+    /// A replacement ISA catalog, or `None` for the shipped one.
+    pub isa: Option<Arc<SpecCatalog>>,
     canonical: String,
 }
 
@@ -447,6 +517,7 @@ impl SweepRequest {
                 "icache_bytes",
                 "tech",
                 "synth",
+                "isa",
             ],
         )?;
         let scale = scale_field(&v, "")?;
@@ -573,6 +644,7 @@ impl SweepRequest {
         };
 
         let synth = synth_field(&v, "", base.synth.clone())?;
+        let isa = isa_field(&v, "")?;
         let nodes: Vec<(String, fits_power::TechParams)> = tech_names
             .iter()
             .map(|name| {
@@ -584,7 +656,7 @@ impl SweepRequest {
             .map_err(|e| ApiError::new("bad_value", "/icache_bytes", e.to_string()))?;
 
         let canonical = format!(
-            "sweep|kernels={}|n={}|preset={}|sizes={}|tech={}|synth={}",
+            "sweep|kernels={}|n={}|preset={}|sizes={}|tech={}|synth={}{}",
             kernels
                 .iter()
                 .map(|k| k.name())
@@ -599,12 +671,14 @@ impl SweepRequest {
                 .join(","),
             tech_names.join(","),
             synth_key(&synth),
+            isa_suffix(isa.as_ref()),
         );
         Ok(SweepRequest {
             kernels,
             scale,
             matrix,
             synth,
+            isa,
             canonical,
         })
     }
@@ -1177,6 +1251,19 @@ impl PostRequest {
         }
     }
 
+    /// The replacement ISA catalog of the request, if any (selects the
+    /// [`Artifacts`] cache in the pool together with
+    /// [`PostRequest::synth`]).
+    #[must_use]
+    pub fn isa(&self) -> Option<&Arc<SpecCatalog>> {
+        match self {
+            PostRequest::Synthesize(r) => r.isa.as_ref(),
+            PostRequest::Simulate(r) => r.isa.as_ref(),
+            PostRequest::Analyze(r) => r.isa.as_ref(),
+            PostRequest::Sweep(r) => r.isa.as_ref(),
+        }
+    }
+
     /// Runs the computation against an artifact cache configured for
     /// [`PostRequest::synth`].
     ///
@@ -1266,6 +1353,82 @@ mod tests {
         let d = SimulateRequest::from_body("{  \"icache_bytes\": 8192, \"kernel\": \"crc32\" }")
             .unwrap();
         assert_eq!(c.canonical(), d.canonical());
+    }
+
+    #[test]
+    fn isa_field_selects_and_keys_the_catalog() {
+        use fits_isa::spec::AR32_SPEC_TEXT;
+        // "builtin", an omitted field, and text hash-identical to the
+        // shipped spec all share the default canonical key.
+        let default = SynthesizeRequest::from_body("{\"kernel\": \"crc32\"}").unwrap();
+        let named =
+            SynthesizeRequest::from_body("{\"kernel\": \"crc32\", \"isa\": \"builtin\"}").unwrap();
+        assert!(named.isa.is_none());
+        assert_eq!(default.canonical(), named.canonical());
+        let verbatim = SynthesizeRequest::from_body(&format!(
+            "{{\"kernel\": \"crc32\", \"isa\": \"{}\"}}",
+            escape(AR32_SPEC_TEXT)
+        ))
+        .unwrap();
+        assert!(verbatim.isa.is_none());
+        assert_eq!(verbatim.canonical(), default.canonical());
+        // A respelled document is a different machine description: it gets
+        // its own catalog and a content-hashed canonical key.
+        let respelled = AR32_SPEC_TEXT.replace(
+            "# --- branches and traps ---",
+            "# --- branches and traps (respelled) ---",
+        );
+        assert_ne!(respelled, AR32_SPEC_TEXT, "mutation needle went stale");
+        let custom = SynthesizeRequest::from_body(&format!(
+            "{{\"kernel\": \"crc32\", \"isa\": \"{}\"}}",
+            escape(&respelled)
+        ))
+        .unwrap();
+        let catalog = custom.isa.clone().expect("a custom catalog");
+        assert!(custom
+            .canonical()
+            .contains(&format!("|isa={}", catalog.hash_hex())));
+        assert_ne!(custom.canonical(), default.canonical());
+        // The other three endpoints key on it the same way.
+        let sim = SimulateRequest::from_body(&format!(
+            "{{\"kernel\": \"crc32\", \"isa\": \"{}\"}}",
+            escape(&respelled)
+        ))
+        .unwrap();
+        assert!(sim.canonical().contains("|isa="));
+        let sweep = SweepRequest::from_body(&format!(
+            "{{\"kernels\": [\"crc32\"], \"isa\": \"{}\"}}",
+            escape(&respelled)
+        ))
+        .unwrap();
+        assert!(sweep.canonical().contains("|isa="));
+    }
+
+    #[test]
+    fn bad_isa_specs_are_rejected_before_any_work() {
+        use fits_isa::spec::{AR32_SPEC_TEXT, T16_SPEC_TEXT};
+        // Unparseable text is a structured 400 at /isa.
+        let err =
+            SynthesizeRequest::from_body("{\"kernel\": \"crc32\", \"isa\": \"isa broken {\"}")
+                .unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/isa"));
+        // A 16-bit spec cannot replace the 32-bit execution ISA.
+        let err = SynthesizeRequest::from_body(&format!(
+            "{{\"kernel\": \"crc32\", \"isa\": \"{}\"}}",
+            escape(T16_SPEC_TEXT)
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("word-width"), "{}", err.message);
+        // A spec the ISA lint family rejects never reaches the pipeline.
+        let unbound = AR32_SPEC_TEXT.replace("form swi", "form swj");
+        let err = SynthesizeRequest::from_body(&format!(
+            "{{\"kernel\": \"crc32\", \"isa\": \"{}\"}}",
+            escape(&unbound)
+        ))
+        .unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/isa"));
+        assert!(err.message.contains("ISA004"), "{}", err.message);
+        assert_eq!(validate_serve_json(&err.body()).unwrap(), "error");
     }
 
     #[test]

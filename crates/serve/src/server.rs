@@ -534,7 +534,7 @@ fn handle_post(
         }
         Claim::Leader => {
             state.metrics.executions.inc();
-            let artifacts = state.pool.for_synth(request.synth());
+            let artifacts = state.pool.for_config(request.synth(), request.isa());
             // Install the per-request registry as this thread's scoped
             // span sink for the duration of the compute call: engine
             // stages (profile, synthesis, replay pricing) nest under the

@@ -27,6 +27,13 @@ const CLIENTS: usize = 32;
 fn jobs() -> Vec<(&'static str, String)> {
     let k0 = Kernel::ALL[0].name();
     let k1 = Kernel::ALL[1].name();
+    // A user-supplied machine description (the shipped AR32 text with a
+    // respelled comment): same semantics, distinct content hash, so it
+    // must get its own cache slot while producing identical numbers.
+    let respelled = fits_isa::spec::AR32_SPEC_TEXT.replace(
+        "# --- branches and traps ---",
+        "# --- branches and traps (respelled) ---",
+    );
     vec![
         ("/synthesize", format!("{{\"kernel\": \"{k0}\"}}")),
         ("/synthesize", format!("{{\"kernel\": \"{k1}\"}}")),
@@ -39,6 +46,13 @@ fn jobs() -> Vec<(&'static str, String)> {
             "/analyze",
             format!("{{\"kernel\": \"{k0}\", \"static_only\": true}}"),
         ),
+        (
+            "/synthesize",
+            format!(
+                "{{\"kernel\": \"{k0}\", \"isa\": \"{}\"}}",
+                fits_obs::json::escape(&respelled)
+            ),
+        ),
     ]
 }
 
@@ -50,7 +64,7 @@ fn direct_bodies(jobs: &[(&'static str, String)]) -> Vec<String> {
             let request = PostRequest::from_target(target, body)
                 .expect("job parses")
                 .expect("job target is known");
-            let artifacts = pool.for_synth(request.synth());
+            let artifacts = pool.for_config(request.synth(), request.isa());
             request.compute(&artifacts).expect("direct compute")
         })
         .collect()

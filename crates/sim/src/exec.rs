@@ -165,8 +165,17 @@ impl Ar32Set {
     /// and pre-computing its static metadata for the step loop.
     #[must_use]
     pub fn load(program: &Program) -> Ar32Set {
+        Ar32Set::load_with(program, fits_isa::spec::Ar32Tables::builtin())
+    }
+
+    /// Loads a program using spec-compiled encode tables for the fetch
+    /// words, so toggle/cache accounting runs against the bit patterns the
+    /// loaded ISA spec defines. `load` is this with the shipped tables
+    /// (which are bit-identical to [`Instr::encode`]).
+    #[must_use]
+    pub fn load_with(program: &Program, tables: &fits_isa::spec::Ar32Tables) -> Ar32Set {
         Ar32Set {
-            words: program.text.iter().map(Instr::encode).collect(),
+            words: program.text.iter().map(|i| tables.encode(i)).collect(),
             metas: program.text.iter().map(instr_meta).collect(),
             text: program.text.clone(),
             data: program.data.clone(),

@@ -24,7 +24,17 @@
 //!   store-sequence effects must agree (modulo the translator's `ip`
 //!   scratch).
 //!
-//! A fifth family lives in its own modules because it is an *analysis*
+//! A fifth family checks the *machine description* rather than a triple:
+//!
+//! * **`ISA` — spec validation** ([`lint_spec`]): `powerfits-isa-v1`
+//!   documents are vetted before decode tables are built from them —
+//!   ambiguous form overlap (`ISA001`), forms that do not round-trip
+//!   through decode/encode (`ISA002`), dead entries (`ISA003`), specs
+//!   that do not compile into an engine (`ISA004`) — and synthesized
+//!   decoder configurations are checked against the FITS vocabulary
+//!   spec (`ISA005`, [`validate_decoder_config`]).
+//!
+//! A sixth family lives in its own modules because it is an *analysis*
 //! rather than a pass/fail check:
 //!
 //! * **`CA` — cache analysis** ([`ca`]): abstract-interpretation
@@ -58,10 +68,12 @@ mod cfi;
 mod df;
 mod enc;
 pub mod fixpoint;
+mod isa;
 mod tv;
 
 pub use ca::{analyze_fits_cache, analyze_native_cache, audit, CacheAnalysis, FetchClass};
 pub use cfg::{fits_cfg, native_cfg, Cfg, CfgBuild};
+pub use isa::{lint_spec, lint_spec_text, validate_decoder_config};
 
 /// How serious a finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]

@@ -1,0 +1,98 @@
+//! Seeded-fault tests for the `ISA` family: mutate one aspect of a
+//! shipped `powerfits-isa-v1` spec and check that [`lint_spec_text`]
+//! reports the right rule code. The unmutated shipped specs must be
+//! clean.
+
+#![allow(clippy::unwrap_used)]
+
+use fits_isa::spec::{AR32_SPEC_TEXT, FITS_SPEC_TEXT, T16_SPEC_TEXT};
+use fits_verify::lint_spec_text;
+
+/// Applies one exact-match text mutation (panicking if the needle is
+/// stale) and lints the result.
+fn lint_mutated(text: &str, from: &str, to: &str) -> fits_verify::Report {
+    assert!(text.contains(from), "mutation needle `{from}` went stale");
+    lint_spec_text(&text.replace(from, to)).unwrap()
+}
+
+#[test]
+fn shipped_specs_lint_clean() {
+    for (name, text) in [
+        ("ar32", AR32_SPEC_TEXT),
+        ("t16", T16_SPEC_TEXT),
+        ("fits", FITS_SPEC_TEXT),
+    ] {
+        let report = lint_spec_text(text).unwrap();
+        assert!(
+            report.diagnostics.is_empty(),
+            "{name}: {}",
+            report.render_text()
+        );
+    }
+}
+
+/// Widening LSR's top bits so it laps into LSL's space — with a literal
+/// of its own that LSL does not constrain — leaves two forms overlapping
+/// with neither refining the other: `ISA001`.
+#[test]
+fn ambiguous_form_overlap_is_isa001() {
+    let report = lint_mutated(
+        T16_SPEC_TEXT,
+        "form lsr-imm { pattern \"00001 iiiii mmm ddd\" }",
+        "form lsr-imm { pattern \"0000x iiiii mmm 0dd\" }",
+    );
+    assert!(report.has_code("ISA001"), "{}", report.render_text());
+    assert!(!report.has_code("ISA004"), "{}", report.render_text());
+}
+
+/// Turning BX's format-5 sub-opcode bits into don't-cares breaks the
+/// round-trip: the encoder canonicalizes don't-care bits to zero, and the
+/// zeroed word belongs to the earlier `hi-add` form, so a decoded BX
+/// re-encodes into a word that decodes as an ADD: `ISA002`.
+#[test]
+fn non_round_trip_form_is_isa002() {
+    let report = lint_mutated(
+        T16_SPEC_TEXT,
+        "form bx     { pattern \"01000111 0g mmm 000\" }",
+        "form bx     { pattern \"010001xx 0g mmm 000\" }",
+    );
+    assert!(report.has_code("ISA002"), "{}", report.render_text());
+}
+
+/// Widening ADD3's low prefix bit to a don't-care makes it claim the
+/// whole SUB3 space; the later `sub3-reg` entry can never fire: `ISA003`.
+#[test]
+fn dead_entry_is_isa003() {
+    let report = lint_mutated(
+        T16_SPEC_TEXT,
+        "form add3-reg  { pattern \"0001100 mmm nnn ddd\" }",
+        "form add3-reg  { pattern \"000110x mmm nnn ddd\" }",
+    );
+    assert!(report.has_code("ISA003"), "{}", report.render_text());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "ISA003" && d.message.contains("sub3-reg")),
+        "{}",
+        report.render_text()
+    );
+    assert!(!report.has_code("ISA001"), "{}", report.render_text());
+}
+
+/// Renaming a form to something no constructor binds means the spec
+/// cannot compile into a decode engine: `ISA004`.
+#[test]
+fn unbound_form_is_isa004() {
+    let report = lint_mutated(AR32_SPEC_TEXT, "form swi", "form swj");
+    assert!(report.has_code("ISA004"), "{}", report.render_text());
+    assert!(!report.has_code("ISA001"), "{}", report.render_text());
+    assert!(!report.has_code("ISA003"), "{}", report.render_text());
+}
+
+/// A document that does not parse is a load error, not a lint finding.
+#[test]
+fn parse_failure_is_a_spec_error() {
+    let err = lint_spec_text("isa broken {").unwrap_err();
+    assert!(err.pos.line >= 1);
+}

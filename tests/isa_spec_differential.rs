@@ -1,0 +1,228 @@
+//! Suite-wide differential for the ISA spec plane: engines compiled from
+//! *re-parsed* spec documents must be bit-identical to the built-in
+//! tables. The documents are the shipped texts with a respelled trailing
+//! comment — semantically the same machine description with a different
+//! content hash — so nothing downstream can take the built-in fast path:
+//! every decode, encode, execution and synthesis result below really
+//! flows through `from_spec`-compiled tables.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::Arc;
+
+use powerfits::core::{FitsFlow, SynthOptions};
+use powerfits::isa::spec::{
+    Ar32Tables, IsaSpec, SpecCatalog, T16Tables, AR32_SPEC_TEXT, FITS_SPEC_TEXT, T16_SPEC_TEXT,
+};
+use powerfits::isa::thumb::translate;
+use powerfits::kernels::kernels::{Kernel, Scale};
+use powerfits::sim::{Ar32Set, Machine};
+
+/// The shipped text with one comment appended: same semantics, distinct
+/// content hash.
+fn respelled(text: &str) -> String {
+    format!("{text}\n# respelled for the differential suite\n")
+}
+
+/// A catalog whose three specs are all respelled re-parses of the shipped
+/// documents, so `is_builtin()` is false on every slot.
+fn respelled_catalog() -> Arc<SpecCatalog> {
+    let catalog = SpecCatalog {
+        ar32: Arc::new(IsaSpec::load(&respelled(AR32_SPEC_TEXT)).unwrap()),
+        t16: Arc::new(IsaSpec::load(&respelled(T16_SPEC_TEXT)).unwrap()),
+        fits: Arc::new(IsaSpec::load(&respelled(FITS_SPEC_TEXT)).unwrap()),
+    };
+    assert!(
+        !catalog.is_builtin(),
+        "respelling must change the content hash"
+    );
+    Arc::new(catalog)
+}
+
+/// The three synthesis presets the flow-level differential runs under.
+fn presets() -> [SynthOptions; 3] {
+    [
+        SynthOptions::default(),
+        SynthOptions {
+            toggle_aware: false,
+            ..SynthOptions::default()
+        },
+        SynthOptions {
+            max_dict_bits: 4,
+            space_budget: 0.9,
+            ..SynthOptions::default()
+        },
+    ]
+}
+
+/// AR32: every instruction of the kernel encodes to the same word and
+/// decodes back identically through both engines, and a full simulated
+/// run over the spec-loaded instruction set matches the built-in one.
+fn check_ar32(kernel: Kernel, spec_tables: &Ar32Tables) {
+    let scale = Scale::test();
+    let program = kernel.compile(scale).expect("kernel compiles");
+    let builtin = Ar32Tables::builtin();
+    for (i, instr) in program.text.iter().enumerate() {
+        let word = builtin.encode(instr);
+        assert_eq!(
+            word,
+            spec_tables.encode(instr),
+            "{kernel}: instr {i} encodes differently"
+        );
+        assert_eq!(
+            builtin.decode(word).unwrap(),
+            spec_tables.decode(word).unwrap(),
+            "{kernel}: word {word:#010x} decodes differently"
+        );
+    }
+    let native = Machine::new(Ar32Set::load(&program)).run().expect("native");
+    let via_spec = Machine::new(Ar32Set::load_with(&program, spec_tables))
+        .run()
+        .expect("spec-loaded run");
+    assert_eq!(via_spec.exit_code, native.exit_code, "{kernel}: exit code");
+    assert_eq!(via_spec.emitted, native.emitted, "{kernel}: emit stream");
+}
+
+/// T16: the kernel's translated Thumb stream encodes and re-decodes
+/// identically through both engines.
+fn check_t16(kernel: Kernel, spec_tables: &T16Tables) {
+    let program = kernel.compile(Scale::test()).expect("kernel compiles");
+    let thumb = translate(&program);
+    let builtin = T16Tables::builtin();
+    for (i, instr) in thumb.instrs.iter().enumerate() {
+        let mut a = Vec::with_capacity(2);
+        let mut b = Vec::with_capacity(2);
+        let ra = builtin.encode(instr, &mut a);
+        let rb = spec_tables.encode(instr, &mut b);
+        // Translation may emit instructions the encoding cannot carry
+        // (out-of-range branch offsets and the like); both engines must
+        // reject them the same way.
+        assert_eq!(
+            format!("{ra:?}"),
+            format!("{rb:?}"),
+            "{kernel}: T16 instr {i} encode outcome diverges"
+        );
+        if ra.is_err() {
+            continue;
+        }
+        assert_eq!(a, b, "{kernel}: T16 instr {i} encodes differently");
+        let (da, ua) = builtin.decode(&a).expect("builtin decodes");
+        let (db, ub) = spec_tables.decode(&b).expect("spec decodes");
+        assert_eq!((da, ua), (db, ub), "{kernel}: T16 instr {i} round-trip");
+    }
+}
+
+/// The full synthesis flow under a spec-loaded catalog: identical profile,
+/// FITS program, mapping and verified run — only the stamped catalog hash
+/// may (and must) differ.
+fn check_flow(kernel: Kernel, catalog: &Arc<SpecCatalog>) {
+    let program = kernel.compile(Scale::test()).expect("kernel compiles");
+    for (p, options) in presets().into_iter().enumerate() {
+        let base = FitsFlow {
+            options: options.clone(),
+            ..FitsFlow::default()
+        };
+        let spec_flow = FitsFlow {
+            options,
+            isa: Arc::clone(catalog),
+            ..FitsFlow::default()
+        };
+        let want = base.run(&program).expect("builtin flow");
+        let got = spec_flow.run(&program).expect("spec-loaded flow");
+        assert_eq!(
+            got.profile.dyn_total, want.profile.dyn_total,
+            "{kernel} preset {p}: profile"
+        );
+        assert_eq!(
+            got.fits.instrs, want.fits.instrs,
+            "{kernel} preset {p}: FITS program"
+        );
+        assert_eq!(
+            got.mapping.static_one_to_one_rate(),
+            want.mapping.static_one_to_one_rate(),
+            "{kernel} preset {p}: mapping rate"
+        );
+        assert_eq!(
+            got.iterations, want.iterations,
+            "{kernel} preset {p}: iterations"
+        );
+        let want_run = want.fits_run.expect("verification on");
+        let got_run = got.fits_run.expect("verification on");
+        assert_eq!(
+            got_run.exit_code, want_run.exit_code,
+            "{kernel} preset {p}: FITS exit code"
+        );
+        assert_eq!(
+            got_run.emitted, want_run.emitted,
+            "{kernel} preset {p}: FITS emit stream"
+        );
+        assert_eq!(got.isa_hash, catalog.hash_hex(), "{kernel}: stamped hash");
+        assert_ne!(got.isa_hash, want.isa_hash, "{kernel}: hash must differ");
+    }
+}
+
+fn check_kernel(kernel: Kernel) {
+    let catalog = respelled_catalog();
+    let ar32 = Ar32Tables::from_spec(&catalog.ar32).expect("AR32 engine compiles");
+    let t16 = T16Tables::from_spec(&catalog.t16).expect("T16 engine compiles");
+    check_ar32(kernel, &ar32);
+    check_t16(kernel, &t16);
+    check_flow(kernel, &catalog);
+}
+
+macro_rules! spec_differential_tests {
+    ($($name:ident => $kernel:ident),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check_kernel(Kernel::$kernel);
+            }
+        )+
+    };
+}
+
+spec_differential_tests! {
+    bitcount_spec_differential => Bitcount,
+    qsort_spec_differential => Qsort,
+    susan_smoothing_spec_differential => SusanSmoothing,
+    susan_edges_spec_differential => SusanEdges,
+    susan_corners_spec_differential => SusanCorners,
+    jpeg_dct_spec_differential => JpegDct,
+    lame_filter_spec_differential => LameFilter,
+    dijkstra_spec_differential => Dijkstra,
+    patricia_spec_differential => Patricia,
+    stringsearch_spec_differential => StringSearch,
+    ispell_spec_differential => Ispell,
+    blowfish_enc_spec_differential => BlowfishEnc,
+    blowfish_dec_spec_differential => BlowfishDec,
+    rijndael_enc_spec_differential => RijndaelEnc,
+    rijndael_dec_spec_differential => RijndaelDec,
+    sha_spec_differential => Sha,
+    adpcm_enc_spec_differential => AdpcmEnc,
+    adpcm_dec_spec_differential => AdpcmDec,
+    crc32_spec_differential => Crc32,
+    fft_spec_differential => Fft,
+    gsm_spec_differential => Gsm,
+}
+
+/// The whole 16-bit space decodes identically through both T16 engines
+/// (accepted words and rejections alike — errors are compared by their
+/// rendered form).
+#[test]
+fn t16_decode_is_exhaustively_identical() {
+    let catalog = respelled_catalog();
+    let spec_tables = T16Tables::from_spec(&catalog.t16).expect("T16 engine compiles");
+    let builtin = T16Tables::builtin();
+    for w in 0..=u16::MAX {
+        let a = builtin.decode(&[w]);
+        let b = spec_tables.decode(&[w]);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "word {w:#06x}"),
+            _ => assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "word {w:#06x}: divergent outcome"
+            ),
+        }
+    }
+}
