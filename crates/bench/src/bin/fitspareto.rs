@@ -1,0 +1,171 @@
+//! `fitspareto` — the multi-application Pareto frontier report.
+//!
+//! Synthesizes one *shared* FITS ISA per candidate knob setting over the
+//! kernel suite (merged equal-weight profile, per-kernel regression
+//! bounds), prices every accepted candidate at the SA-1100 reference
+//! scenario on the execute-once/replay-many engine, and reports the
+//! non-dominated frontier over (total code size, total I-cache fetch
+//! energy, decoder slots) next to the per-app baselines.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fits-bench --bin fitspareto -- --suite   # 21 kernels
+//! cargo run --release -p fits-bench --bin fitspareto -- --scale 256
+//! cargo run --release -p fits-bench --bin fitspareto -- --epsilon 0.5
+//! cargo run --release -p fits-bench --bin fitspareto -- --out pareto.json
+//! cargo run --release -p fits-bench --bin fitspareto -- --smoke  # CI gate
+//! ```
+//!
+//! `--suite` (the default) runs the full 21-kernel suite at test scale
+//! over the 3×3 (space budget × dictionary width) candidate grid;
+//! `--smoke` shrinks it to three kernels and four candidates. The
+//! candidate and per-app-vs-shared tables print to stdout and the
+//! archive is written to `PARETO.json` (`powerfits-pareto-v1`),
+//! schema-validated — including a frontier dominance recheck — before
+//! the write.
+
+use fits_bench::{
+    default_candidates, pareto_json, pareto_member_table, pareto_table, run_pareto_with, Artifacts,
+};
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_obs::json::validate_pareto_json;
+
+struct Options {
+    scale: Scale,
+    epsilon: f64,
+    out: String,
+    smoke: bool,
+    kernels: Option<Vec<Kernel>>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: Scale::test(),
+        epsilon: 1.0,
+        out: "PARETO.json".to_owned(),
+        smoke: false,
+        kernels: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--suite" => {} // the default; accepted for self-describing CI lines
+            "--scale" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scale needs a value"));
+                let n = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --scale value: {v}")));
+                opts.scale = Scale { n };
+            }
+            "--epsilon" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--epsilon needs a value"));
+                opts.epsilon = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid --epsilon value: {v}")));
+            }
+            "--out" => {
+                opts.out = args.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--kernels" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--kernels needs a comma-separated list"));
+                let kernels: Vec<Kernel> = v
+                    .split(',')
+                    .map(|name| {
+                        Kernel::from_name(name.trim())
+                            .unwrap_or_else(|| usage(&format!("unknown kernel {name:?}")))
+                    })
+                    .collect();
+                opts.kernels = Some(kernels);
+            }
+            "--smoke" => opts.smoke = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("fitspareto: {err}");
+    }
+    eprintln!(
+        "usage: fitspareto [--suite] [--scale N] [--epsilon E] [--out PATH] \
+         [--kernels a,b,c] [--smoke]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn fail(what: &str, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("fitspareto: {what}: {err}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let opts = parse_args();
+    let kernels: &[Kernel] = match (&opts.kernels, opts.smoke) {
+        (Some(list), _) => list,
+        (None, true) => &[Kernel::Crc32, Kernel::Bitcount, Kernel::Sha],
+        (None, false) => Kernel::ALL,
+    };
+    let candidates = if opts.smoke {
+        default_candidates().into_iter().take(4).collect()
+    } else {
+        default_candidates()
+    };
+
+    eprintln!(
+        "fitspareto: {} kernels x {} candidates at n={} (epsilon {})",
+        kernels.len(),
+        candidates.len(),
+        opts.scale.n,
+        opts.epsilon,
+    );
+
+    let started = std::time::Instant::now();
+    let results = match run_pareto_with(
+        &Artifacts::new(),
+        kernels,
+        opts.scale,
+        opts.epsilon,
+        &candidates,
+    ) {
+        Ok(r) => r,
+        Err(e) => fail("pareto enumeration", &e),
+    };
+    eprintln!(
+        "fitspareto: {} accepted, {} rejected, frontier {} in {:.2?} (merged profile {})",
+        results.points.len(),
+        results.rejected.len(),
+        results.frontier.len(),
+        started.elapsed(),
+        results.merged_hash,
+    );
+
+    println!("{}", pareto_table(&results));
+    println!("{}", pareto_member_table(&results));
+
+    let json = pareto_json(&results);
+    match validate_pareto_json(&json) {
+        Ok(counts) => {
+            if let Err(e) = std::fs::write(&opts.out, &json) {
+                fail(&format!("write {}", opts.out), &e);
+            }
+            eprintln!(
+                "fitspareto: wrote {} ({} kernels, {} points, frontier {}; schema ok)",
+                opts.out, counts.kernels, counts.points, counts.frontier
+            );
+            if opts.smoke {
+                println!("fitspareto: smoke ok");
+            }
+        }
+        Err(e) => fail("PARETO.json schema validation", &e),
+    }
+}

@@ -143,6 +143,18 @@ pub enum ExperimentError {
     Sim(fits_sim::SimError),
     /// The FITS binary failed to load.
     Decode(fits_core::exec::FitsDecodeError),
+    /// A multi-application synthesis failed (merge, translation or
+    /// regression bound).
+    Multi(fits_core::MultiError),
+    /// A shared-ISA translation failed static verification — a
+    /// translator bug surfaced as a diagnostic instead of a runaway
+    /// simulation.
+    Verify {
+        /// The member kernel whose translation failed verification.
+        kernel: String,
+        /// The rendered verifier report.
+        report: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -152,6 +164,10 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Flow(e) => write!(f, "flow: {e}"),
             ExperimentError::Sim(e) => write!(f, "sim: {e}"),
             ExperimentError::Decode(e) => write!(f, "decode: {e}"),
+            ExperimentError::Multi(e) => write!(f, "multi: {e}"),
+            ExperimentError::Verify { kernel, report } => {
+                write!(f, "verify({kernel}): {report}")
+            }
         }
     }
 }
@@ -170,6 +186,12 @@ thread_local! {
 #[must_use]
 pub fn timed_executions_on_this_thread() -> u64 {
     TIMED_EXECUTIONS.with(Cell::get)
+}
+
+/// Counts one timed execution on this thread (shared with the Pareto
+/// pricer, whose per-candidate member runs are timed executions too).
+pub(crate) fn note_timed_execution() {
+    TIMED_EXECUTIONS.with(|c| c.set(c.get() + 1));
 }
 
 /// Runs all four configurations for one kernel, using a private artifact
@@ -247,7 +269,7 @@ pub struct ScenarioRun {
 }
 
 /// Prices one replayed simulation under a scenario's tech node.
-fn priced(spec: &ScenarioSpec, sim: SimResult, decode: DecodeKind) -> ConfigRun {
+pub(crate) fn priced(spec: &ScenarioSpec, sim: SimResult, decode: DecodeKind) -> ConfigRun {
     let icache = cache_power(&spec.icache, &sim.icache, sim.cycles, &spec.tech);
     let chip = chip_power_with(&sim, &spec.icache, &spec.dcache, decode, &spec.tech);
     ConfigRun { sim, icache, chip }

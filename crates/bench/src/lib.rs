@@ -22,6 +22,7 @@ pub mod artifacts;
 pub mod cachebounds;
 pub mod experiment;
 pub mod figures;
+pub mod pareto;
 pub mod report;
 pub mod stamp;
 pub mod sweep;
@@ -34,6 +35,11 @@ pub use cachebounds::{
 pub use experiment::{
     paper_matrix, run_kernel, run_kernel_scenarios, run_kernel_with, run_suite, run_suite_with,
     Config, ConfigRun, ExperimentError, KernelResults, ScenarioRun, SuiteResults,
+};
+pub use pareto::{
+    default_candidates, pareto_json, pareto_member_table, pareto_table, price_shared_member,
+    run_pareto_with, synthesize_candidate, CandidateSpec, MemberPower, ParetoPoint, ParetoResults,
+    Rejection,
 };
 pub use report::{Row, Table};
 pub use sweep::{

@@ -65,10 +65,23 @@ pub fn json_f64(v: f64) -> String {
 /// comparable across machine-description changes.
 #[must_use]
 pub fn meta_json(indent: &str) -> String {
+    meta_json_with(indent, &[])
+}
+
+/// [`meta_json`] extended with record-specific fields — each `(key,
+/// value)` pair is appended verbatim, so the value must already be valid
+/// JSON (quote strings with [`escape`]). `PARETO.json` uses this to stamp
+/// the merged-profile hash next to the catalog hash.
+#[must_use]
+pub fn meta_json_with(indent: &str, extra: &[(&str, String)]) -> String {
+    let extra: String = extra
+        .iter()
+        .map(|(key, value)| format!(",\n{indent}  \"{}\": {value}", escape(key)))
+        .collect();
     format!(
         "{{\n{indent}  \"commit\": \"{commit}\",\n{indent}  \"timestamp_unix\": {stamp},\n\
          {indent}  \"host\": \"{host}\",\n{indent}  \"os\": \"{os}\",\n\
-         {indent}  \"arch\": \"{arch}\",\n{indent}  \"isa\": \"{isa}\"\n{indent}}}",
+         {indent}  \"arch\": \"{arch}\",\n{indent}  \"isa\": \"{isa}\"{extra}\n{indent}}}",
         commit = escape(&git_commit()),
         stamp = unix_timestamp(),
         host = escape(&hostname()),

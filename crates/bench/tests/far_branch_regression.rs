@@ -1,0 +1,50 @@
+//! Regression coverage for far-branch relaxation under tight budgets.
+//!
+//! A tight space budget drives the synthesizer toward wide dictionary
+//! coverage, which shrinks the translated text enough that some call
+//! displacements no longer fit their short field. The relaxation pass
+//! once validated a far `bl` against the *non-link* `b` entry's wider
+//! displacement field and then packed the displacement into the `bl`
+//! entry's own (narrower) field, truncating the target into a wild
+//! backward jump — the program then ran to the step ceiling instead of
+//! terminating. `gsm` at a 0.7 space budget is the observed trigger;
+//! every candidate here must translate CFI-clean and terminate fast.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use fits_bench::{synthesize_candidate, CandidateSpec};
+use fits_core::{profile, MultiMember};
+use fits_kernels::kernels::{Kernel, Scale};
+
+#[test]
+fn tight_budget_gsm_translates_cfi_clean() {
+    let program = Kernel::Gsm.compile(Scale::test()).unwrap();
+    let prof = profile(&program).unwrap();
+    let members = [MultiMember {
+        name: "gsm",
+        program: &program,
+        profile: &prof,
+    }];
+    for (space_budget, max_dict_bits) in [
+        (0.7, 4u8),
+        (0.7, 6),
+        (0.7, 8),
+        (0.45, 4),
+        (0.45, 6),
+        (0.45, 8),
+    ] {
+        let spec = CandidateSpec {
+            space_budget,
+            max_dict_bits,
+        };
+        let outcome = synthesize_candidate(&members, spec, 1.0)
+            .unwrap_or_else(|e| panic!("b{space_budget} d{max_dict_bits}: {e}"));
+        let member = &outcome.members[0];
+        let report = fits_verify::analyze(&program, &outcome.synthesis, &member.translation);
+        assert!(
+            report.is_clean(),
+            "b{space_budget} d{max_dict_bits} must be CFI-clean:\n{}",
+            report.render_text()
+        );
+    }
+}

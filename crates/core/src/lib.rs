@@ -48,6 +48,8 @@
 pub mod decoder;
 pub mod exec;
 pub mod flow;
+pub mod merge;
+pub mod multi;
 pub mod profile;
 pub mod synth;
 pub mod translate;
@@ -56,6 +58,13 @@ pub use decoder::{DecoderConfig, Dictionaries, Layout, MicroOp, OpcodeEntry, Reg
 pub use exec::{decode_word, disassemble, op_meta, FitsOp, FitsSet};
 pub use flow::{
     FitsFlow, FlowError, FlowObserver, FlowOutcome, FlowStage, FlowValidator, TeeObserver,
+};
+pub use merge::{
+    canonical_text, canonical_weights, profile_hash, CanonicalWeights, MergeError, Merged,
+};
+pub use multi::{
+    pareto_frontier, synthesize_multi, MemberOutcome, MultiError, MultiMember, MultiOptions,
+    MultiOutcome,
 };
 pub use profile::{profile, profile_with, OpKey, Profile};
 pub use synth::{synthesize, SynthOptions, Synthesis};

@@ -1,0 +1,556 @@
+//! Deterministic weighted profile merging — the front half of
+//! multi-application synthesis.
+//!
+//! PowerFITS synthesizes one ISA per application; a real deployment shares
+//! one programmable decoder across a product's whole workload. The merge
+//! builds the *union requirement analysis*: every per-family counter,
+//! histogram entry and operand-shape fact of the member profiles, combined
+//! under a workload-mix weight vector. Because [`Profile`]'s tables are
+//! `BTreeMap`s (the PR-5 determinism invariant), a merged profile is a pure
+//! function of its inputs and serializes canonically — which is what lets
+//! merged-profile synthesis feed the content-addressed serving cache.
+//!
+//! ## Weight canonicalization
+//!
+//! Weights arrive as arbitrary non-negative `f64`s and are canonicalized to
+//! the smallest proportional integer vector: every weight is scaled by
+//! `10^6 / min_positive_weight`, rounded, and the vector is divided by its
+//! collective gcd. Proportional vectors therefore canonicalize identically
+//! — `{1,1}`, `{2,2}` and `{0.5,0.5}` all become `{1,1}` — so equal mixes
+//! hash to equal cache keys. Ratios are resolved to one part in `10^6`
+//! relative to the smallest positive weight.
+//!
+//! ## Merge arithmetic
+//!
+//! Every integer quantity of the merged profile is the exact weighted sum
+//! `Σ wᵢ·qᵢ` (accumulated in `u128`, so no overflow for any sane input),
+//! after which the *whole* quantity vector is divided by its collective
+//! gcd. The final gcd division makes the result scale-canonical: merging
+//! with `{k·w}` equals merging with `{w}` for any `k`, and merging a
+//! profile with itself equals merging it alone (the self-merge identity).
+//! Synthesis itself is invariant under uniform scaling of the dynamic
+//! counts (it consumes shares, ranks and rates), so the canonical units
+//! change nothing downstream.
+//!
+//! Per-program artifacts that have no meaning for a kernel *set* —
+//! `exec_counts` and the reference `run` — are dropped from the merged
+//! profile (empty and `None` respectively).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use fits_isa::{Cond, MemOp, ShiftKind};
+
+use crate::profile::{OpKey, Profile, Stat, ValueHist};
+
+/// Resolution of the weight canonicalization: ratios are kept to one part
+/// in `10^6` of the smallest positive weight.
+pub const WEIGHT_RESOLUTION: u64 = 1_000_000;
+
+/// Largest accepted ratio between the largest and smallest positive
+/// weight. Beyond this the scaled integer weights would overflow the exact
+/// merge arithmetic; such vectors are rejected as [`MergeError::Unbalanced`].
+pub const MAX_WEIGHT_RATIO: f64 = 1e9;
+
+/// Typed weight/merge failures (never panics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// No members were given.
+    Empty,
+    /// The weight vector length does not match the member count.
+    WeightCount {
+        /// Number of member profiles.
+        members: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// A weight is NaN or infinite.
+    NonFinite {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// A weight is negative.
+    Negative {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// Every weight is zero: there is no workload to merge.
+    AllZero,
+    /// The ratio between the largest and smallest positive weight exceeds
+    /// [`MAX_WEIGHT_RATIO`].
+    Unbalanced {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// A merged quantity does not fit in 64 bits even after gcd reduction.
+    Overflow,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no member profiles to merge"),
+            MergeError::WeightCount { members, weights } => {
+                write!(f, "{weights} weights for {members} member profiles")
+            }
+            MergeError::NonFinite { index } => {
+                write!(f, "weight {index} is not a finite number")
+            }
+            MergeError::Negative { index } => write!(f, "weight {index} is negative"),
+            MergeError::AllZero => write!(f, "all weights are zero"),
+            MergeError::Unbalanced { index } => write!(
+                f,
+                "weight {index} exceeds {MAX_WEIGHT_RATIO:e} times the smallest positive weight"
+            ),
+            MergeError::Overflow => write!(f, "merged counters exceed 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A validated, canonicalized weight vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalWeights {
+    /// Canonical integer weights, aligned with the input vector.
+    /// Zero-weight members keep a `0` entry here (and appear in
+    /// [`CanonicalWeights::dropped`]).
+    pub weights: Vec<u64>,
+    /// Input indices dropped for zero weight — surfaced to callers as a
+    /// warning, not an error.
+    pub dropped: Vec<usize>,
+}
+
+/// Validates and canonicalizes a weight vector (see the module docs for
+/// the scheme). Proportional vectors canonicalize identically.
+///
+/// # Errors
+///
+/// [`MergeError::Empty`], [`MergeError::NonFinite`],
+/// [`MergeError::Negative`], [`MergeError::AllZero`] or
+/// [`MergeError::Unbalanced`] — all typed, never a panic.
+pub fn canonical_weights(weights: &[f64]) -> Result<CanonicalWeights, MergeError> {
+    if weights.is_empty() {
+        return Err(MergeError::Empty);
+    }
+    for (index, &w) in weights.iter().enumerate() {
+        if !w.is_finite() {
+            return Err(MergeError::NonFinite { index });
+        }
+        if w < 0.0 {
+            return Err(MergeError::Negative { index });
+        }
+    }
+    let min_pos = weights
+        .iter()
+        .copied()
+        .filter(|w| *w > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !min_pos.is_finite() {
+        return Err(MergeError::AllZero);
+    }
+    for (index, &w) in weights.iter().enumerate() {
+        if w / min_pos > MAX_WEIGHT_RATIO {
+            return Err(MergeError::Unbalanced { index });
+        }
+    }
+    let mut scaled: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut dropped = Vec::new();
+    for (index, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            scaled.push(0);
+            dropped.push(index);
+        } else {
+            // w >= min_pos, so the scaled weight is at least 10^6: positive
+            // members can never round down to zero.
+            let s = (w / min_pos * WEIGHT_RESOLUTION as f64).round() as u64;
+            scaled.push(s);
+        }
+    }
+    let g = scaled.iter().fold(0u64, |acc, &w| gcd_u64(acc, w)).max(1);
+    for w in &mut scaled {
+        *w /= g;
+    }
+    Ok(CanonicalWeights {
+        weights: scaled,
+        dropped,
+    })
+}
+
+fn gcd_u64(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd_u64(b, a % b)
+    }
+}
+
+fn gcd_u128(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The merge result.
+#[derive(Clone, Debug)]
+pub struct Merged {
+    /// The merged union profile (canonical relative units; `exec_counts`
+    /// empty, `run` `None`).
+    pub profile: Profile,
+    /// Canonical integer weights, aligned with the input member order
+    /// (zero for dropped members).
+    pub weights: Vec<u64>,
+    /// Input indices dropped for zero weight (warnings, not errors).
+    pub dropped: Vec<usize>,
+    /// The collective gcd divided out of the weighted sums. Composing
+    /// merges associatively requires re-weighting an inner result by its
+    /// `scale` — and because canonicalization divides each weight vector
+    /// by its *own* gcd, exact composition additionally requires the
+    /// inner mix to be gcd-free (e.g. uniform). See the merge-algebra
+    /// property tests.
+    pub scale: u64,
+}
+
+/// Weighted-sum accumulator in 128 bits: exact for any sane input.
+#[derive(Default)]
+struct Acc {
+    static_instrs: u128,
+    dyn_total: u128,
+    unclassified: (u128, u128),
+    families: BTreeMap<OpKey, (u128, u128)>,
+    operate_imms: BTreeMap<OpKey, HashMap<u32, (u128, u128)>>,
+    mem_disps: BTreeMap<MemOp, HashMap<u32, (u128, u128)>>,
+    shift_amounts: BTreeMap<ShiftKind, HashMap<u32, (u128, u128)>>,
+    branch_disps: BTreeMap<(Cond, bool), HashMap<u32, (u128, u128)>>,
+    rd_eq_rn: BTreeMap<OpKey, (u128, u128)>,
+    regs_used: u16,
+    pred_conds: BTreeSet<Cond>,
+    shift_kinds: BTreeSet<ShiftKind>,
+}
+
+fn absorb_hist(into: &mut HashMap<u32, (u128, u128)>, hist: &ValueHist, w: u128) {
+    for (value, s) in hist.by_dynamic_weight() {
+        let e = into.entry(value).or_default();
+        e.0 += u128::from(s.stat) * w;
+        e.1 += u128::from(s.dyn_) * w;
+    }
+}
+
+impl Acc {
+    fn absorb(&mut self, p: &Profile, w: u128) {
+        self.static_instrs += p.static_instrs as u128 * w;
+        self.dyn_total += u128::from(p.dyn_total) * w;
+        self.unclassified.0 += u128::from(p.unclassified.stat) * w;
+        self.unclassified.1 += u128::from(p.unclassified.dyn_) * w;
+        for (key, s) in &p.families {
+            let e = self.families.entry(*key).or_default();
+            e.0 += u128::from(s.stat) * w;
+            e.1 += u128::from(s.dyn_) * w;
+        }
+        for (key, hist) in &p.operate_imms {
+            absorb_hist(self.operate_imms.entry(*key).or_default(), hist, w);
+        }
+        for (op, hist) in &p.mem_disps {
+            absorb_hist(self.mem_disps.entry(*op).or_default(), hist, w);
+        }
+        for (kind, hist) in &p.shift_amounts {
+            absorb_hist(self.shift_amounts.entry(*kind).or_default(), hist, w);
+        }
+        for (key, hist) in &p.branch_disps {
+            absorb_hist(self.branch_disps.entry(*key).or_default(), hist, w);
+        }
+        for (key, (eq, total)) in &p.rd_eq_rn {
+            let e = self.rd_eq_rn.entry(*key).or_default();
+            e.0 += u128::from(*eq) * w;
+            e.1 += u128::from(*total) * w;
+        }
+        self.regs_used |= p.regs_used;
+        self.pred_conds.extend(p.pred_conds.iter().copied());
+        self.shift_kinds.extend(p.shift_kinds.iter().copied());
+    }
+
+    /// The collective gcd over every accumulated quantity.
+    fn collective_gcd(&self) -> u128 {
+        let mut g = gcd_u128(self.static_instrs, self.dyn_total);
+        g = gcd_u128(g, self.unclassified.0);
+        g = gcd_u128(g, self.unclassified.1);
+        let pairs = |g: u128, m: &HashMap<u32, (u128, u128)>| {
+            m.values()
+                .fold(g, |g, (a, b)| gcd_u128(gcd_u128(g, *a), *b))
+        };
+        for (a, b) in self.families.values().chain(self.rd_eq_rn.values()) {
+            g = gcd_u128(gcd_u128(g, *a), *b);
+        }
+        for m in self.operate_imms.values() {
+            g = pairs(g, m);
+        }
+        for m in self.mem_disps.values() {
+            g = pairs(g, m);
+        }
+        for m in self.shift_amounts.values() {
+            g = pairs(g, m);
+        }
+        for m in self.branch_disps.values() {
+            g = pairs(g, m);
+        }
+        g.max(1)
+    }
+}
+
+fn narrow(v: u128, g: u128) -> Result<u64, MergeError> {
+    u64::try_from(v / g).map_err(|_| MergeError::Overflow)
+}
+
+fn narrow_hist(m: &HashMap<u32, (u128, u128)>, g: u128) -> Result<ValueHist, MergeError> {
+    let mut hist = ValueHist::default();
+    for (value, (stat, dyn_)) in m {
+        hist.record_weighted(
+            *value,
+            Stat {
+                stat: narrow(*stat, g)?,
+                dyn_: narrow(*dyn_, g)?,
+            },
+        );
+    }
+    Ok(hist)
+}
+
+impl Profile {
+    /// Merges member profiles under a workload-mix weight vector into one
+    /// union requirement analysis (see the module docs of
+    /// [`crate::merge`] for canonicalization and arithmetic).
+    ///
+    /// Zero-weight members are dropped (reported in [`Merged::dropped`]);
+    /// the result is identical for proportional weight vectors; merging is
+    /// commutative, associative under `scale` re-weighting, and idempotent
+    /// on a single profile.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`MergeError`]s for an empty member set, invalid weights
+    /// (negative, non-finite, all-zero, pathologically unbalanced) or
+    /// 64-bit overflow of the reduced counters. Never panics.
+    pub fn merge_weighted(members: &[(&Profile, f64)]) -> Result<Merged, MergeError> {
+        let weights: Vec<f64> = members.iter().map(|(_, w)| *w).collect();
+        let canon = canonical_weights(&weights)?;
+
+        let mut acc = Acc::default();
+        for ((p, _), &w) in members.iter().zip(&canon.weights) {
+            if w > 0 {
+                acc.absorb(p, u128::from(w));
+            }
+        }
+        let g = acc.collective_gcd();
+
+        let mut profile = Profile {
+            static_instrs: usize::try_from(narrow(acc.static_instrs, g)?)
+                .map_err(|_| MergeError::Overflow)?,
+            dyn_total: narrow(acc.dyn_total, g)?,
+            exec_counts: Vec::new(),
+            unclassified: Stat {
+                stat: narrow(acc.unclassified.0, g)?,
+                dyn_: narrow(acc.unclassified.1, g)?,
+            },
+            regs_used: acc.regs_used,
+            pred_conds: acc.pred_conds,
+            shift_kinds: acc.shift_kinds,
+            run: None,
+            ..Profile::default()
+        };
+        for (key, (stat, dyn_)) in &acc.families {
+            profile.families.insert(
+                *key,
+                Stat {
+                    stat: narrow(*stat, g)?,
+                    dyn_: narrow(*dyn_, g)?,
+                },
+            );
+        }
+        for (key, m) in &acc.operate_imms {
+            profile.operate_imms.insert(*key, narrow_hist(m, g)?);
+        }
+        for (op, m) in &acc.mem_disps {
+            profile.mem_disps.insert(*op, narrow_hist(m, g)?);
+        }
+        for (kind, m) in &acc.shift_amounts {
+            profile.shift_amounts.insert(*kind, narrow_hist(m, g)?);
+        }
+        for (key, m) in &acc.branch_disps {
+            profile.branch_disps.insert(*key, narrow_hist(m, g)?);
+        }
+        for (key, (eq, total)) in &acc.rd_eq_rn {
+            profile
+                .rd_eq_rn
+                .insert(*key, (narrow(*eq, g)?, narrow(*total, g)?));
+        }
+
+        Ok(Merged {
+            profile,
+            weights: canon.weights,
+            dropped: canon.dropped,
+            scale: u64::try_from(g).map_err(|_| MergeError::Overflow)?,
+        })
+    }
+}
+
+/// Canonical text serialization of a profile's synthesis-relevant
+/// requirement tables (everything [`Profile::merge_weighted`] merges;
+/// excludes the per-program `exec_counts` and reference `run`).
+///
+/// Deterministic by construction: every table is a `BTreeMap`/`BTreeSet`
+/// and histograms are dumped in ascending value order. Two profiles with
+/// equal requirement analyses serialize identically.
+#[must_use]
+pub fn canonical_text(p: &Profile) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "static_instrs {}", p.static_instrs);
+    let _ = writeln!(out, "dyn_total {}", p.dyn_total);
+    let _ = writeln!(
+        out,
+        "unclassified {} {}",
+        p.unclassified.stat, p.unclassified.dyn_
+    );
+    for (key, s) in &p.families {
+        let _ = writeln!(out, "family {key:?} {} {}", s.stat, s.dyn_);
+    }
+    let hist_lines = |out: &mut String, label: &str, hist: &ValueHist| {
+        let mut entries = hist.by_dynamic_weight();
+        entries.sort_by_key(|(v, _)| *v);
+        for (v, s) in entries {
+            let _ = writeln!(out, "{label} {v} {} {}", s.stat, s.dyn_);
+        }
+    };
+    for (key, hist) in &p.operate_imms {
+        hist_lines(&mut out, &format!("operate {key:?}"), hist);
+    }
+    for (op, hist) in &p.mem_disps {
+        hist_lines(&mut out, &format!("mem {op:?}"), hist);
+    }
+    for (kind, hist) in &p.shift_amounts {
+        hist_lines(&mut out, &format!("shift {kind:?}"), hist);
+    }
+    for (key, hist) in &p.branch_disps {
+        hist_lines(&mut out, &format!("branch {key:?}"), hist);
+    }
+    for (key, (eq, total)) in &p.rd_eq_rn {
+        let _ = writeln!(out, "rd_eq_rn {key:?} {eq} {total}");
+    }
+    let _ = writeln!(out, "regs_used {:#06x}", p.regs_used);
+    let _ = writeln!(out, "pred_conds {:?}", p.pred_conds);
+    let _ = writeln!(out, "shift_kinds {:?}", p.shift_kinds);
+    out
+}
+
+/// FNV-1a 64 content hash of [`canonical_text`], as 16 hex digits — the
+/// merged-profile half of the multi-synthesis cache key, and the
+/// provenance hash stamped into `PARETO.json` meta.
+#[must_use]
+pub fn profile_hash(p: &Profile) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for byte in canonical_text(p).as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile;
+    use fits_kernels::kernels::{Kernel, Scale};
+
+    fn p(kernel: Kernel) -> Profile {
+        profile(&kernel.compile(Scale::test()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn proportional_weight_vectors_canonicalize_identically() {
+        for ws in [&[1.0, 1.0][..], &[2.0, 2.0], &[0.5, 0.5], &[7.0, 7.0]] {
+            assert_eq!(canonical_weights(ws).unwrap().weights, vec![1, 1]);
+        }
+        assert_eq!(canonical_weights(&[1.0, 2.0]).unwrap().weights, vec![1, 2]);
+        assert_eq!(canonical_weights(&[0.5, 1.0]).unwrap().weights, vec![1, 2]);
+        assert_eq!(
+            canonical_weights(&[1.0, 1.5]).unwrap().weights,
+            vec![2, 3],
+            "fractional ratios reduce to the smallest integer vector"
+        );
+    }
+
+    #[test]
+    fn weight_edge_cases_are_typed_errors() {
+        assert_eq!(canonical_weights(&[]), Err(MergeError::Empty));
+        assert_eq!(
+            canonical_weights(&[0.0, 0.0]),
+            Err(MergeError::AllZero),
+            "all-zero is an error, not a panic"
+        );
+        assert_eq!(
+            canonical_weights(&[1.0, -2.0]),
+            Err(MergeError::Negative { index: 1 })
+        );
+        assert_eq!(
+            canonical_weights(&[f64::NAN, 1.0]),
+            Err(MergeError::NonFinite { index: 0 })
+        );
+        assert_eq!(
+            canonical_weights(&[1.0, f64::INFINITY]),
+            Err(MergeError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            canonical_weights(&[1.0, 1e12]),
+            Err(MergeError::Unbalanced { index: 1 })
+        );
+    }
+
+    #[test]
+    fn zero_weight_members_are_dropped_with_a_warning() {
+        let a = p(Kernel::Crc32);
+        let b = p(Kernel::Bitcount);
+        let merged = Profile::merge_weighted(&[(&a, 1.0), (&b, 0.0)]).unwrap();
+        assert_eq!(merged.dropped, vec![1]);
+        assert_eq!(merged.weights, vec![1, 0]);
+        let solo = Profile::merge_weighted(&[(&a, 1.0)]).unwrap();
+        assert_eq!(
+            canonical_text(&merged.profile),
+            canonical_text(&solo.profile),
+            "a zero-weight member must contribute nothing"
+        );
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_weight_scale_invariant() {
+        let a = p(Kernel::Crc32);
+        let b = p(Kernel::Bitcount);
+        let one = Profile::merge_weighted(&[(&a, 1.0), (&b, 1.0)]).unwrap();
+        let two = Profile::merge_weighted(&[(&a, 2.0), (&b, 2.0)]).unwrap();
+        assert_eq!(
+            canonical_text(&one.profile),
+            canonical_text(&two.profile),
+            "{{1,1}} and {{2,2}} must merge identically"
+        );
+        assert_eq!(profile_hash(&one.profile), profile_hash(&two.profile));
+        // And the merged profile is the union: every family of each member
+        // appears.
+        for key in a.families.keys().chain(b.families.keys()) {
+            assert!(one.profile.families.contains_key(key), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn merged_profile_drops_per_program_artifacts() {
+        let a = p(Kernel::Crc32);
+        let merged = Profile::merge_weighted(&[(&a, 1.0), (&p(Kernel::Sha), 3.0)]).unwrap();
+        assert!(merged.profile.exec_counts.is_empty());
+        assert!(merged.profile.run.is_none());
+    }
+}

@@ -1485,11 +1485,14 @@ pub fn translate(program: &Program, config: &DecoderConfig) -> Result<Translatio
                 let uncond_disp = i64::from(pos[*target_arm]) - (i64::from(br_pos) + 1 + 2);
                 if !link && *cond != Cond::Al && sign_fits(uncond_disp, bal.1) {
                     BrForm::InvPair
-                } else if *cond == Cond::Al && !link {
-                    BrForm::Dict // should be rare
-                } else if sign_fits(disp, bal.1) && *cond == Cond::Al {
-                    BrForm::Short
                 } else {
+                    // Anything else out of short range goes through the
+                    // target dictionary. In particular a far `bl` must
+                    // NOT borrow the non-link `b` entry's (possibly
+                    // wider) displacement field: the displacement is
+                    // packed into the `bl` entry's own field, and
+                    // checking it against another entry's width
+                    // truncates the encoded target.
                     BrForm::Dict
                 }
             };

@@ -935,6 +935,164 @@ pub fn validate_cache_bounds_json(text: &str) -> Result<CacheBoundsCounts, Strin
     Ok(counts)
 }
 
+/// Shape summary of a validated `PARETO.json` document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParetoCounts {
+    /// Member kernels of the synthesis set.
+    pub kernels: usize,
+    /// Accepted candidate points.
+    pub points: usize,
+    /// Frontier size.
+    pub frontier: usize,
+    /// Rejected candidates.
+    pub rejected: usize,
+}
+
+/// Validates a `fitspareto` archive against the `powerfits-pareto-v1`
+/// schema: provenance meta carrying both the catalog and merged-profile
+/// hashes, non-empty kernel list, accepted candidate points with
+/// per-member power records (one per kernel), and a non-empty `frontier`
+/// index list that is *exactly* the non-dominated set over (code bytes,
+/// I-cache energy, decoder slots) — dominance is recomputed here, so a
+/// frontier that drifted from its points cannot validate.
+///
+/// # Errors
+///
+/// A description of the first violation (parse failure, missing or
+/// ill-typed field, empty or wrong frontier).
+pub fn validate_pareto_json(text: &str) -> Result<ParetoCounts, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("powerfits-pareto-v1") => {}
+        other => {
+            return Err(format!(
+                "schema must be \"powerfits-pareto-v1\", got {other:?}"
+            ))
+        }
+    }
+    let meta = doc
+        .get("meta")
+        .ok_or_else(|| "missing object field \"meta\"".to_string())?;
+    for key in ["commit", "host", "os", "arch", "isa", "merged_profile"] {
+        str_field("meta", meta, key)?;
+    }
+    num_field("meta", meta, "timestamp_unix")?;
+    num_field("document", &doc, "scale_n")?;
+    match doc.get("epsilon") {
+        Some(Value::Num(_)) => {}
+        _ => return Err("missing number field \"epsilon\"".to_string()),
+    }
+    num_field("document", &doc, "solo_code_bytes")?;
+    num_field("document", &doc, "solo_icache_j")?;
+
+    let kernels = require_nonempty_arr(&doc, "kernels")?;
+    if kernels.iter().any(|k| k.as_str().is_none()) {
+        return Err("\"kernels\" must contain only strings".to_string());
+    }
+
+    let points = require_nonempty_arr(&doc, "points")?;
+    let mut ids = Vec::with_capacity(points.len());
+    let mut axes = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let n = i + 1;
+        let id = p
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("point {n}: missing string field \"id\""))?;
+        if ids.contains(&id) {
+            return Err(format!("point {n}: duplicate id \"{id}\""));
+        }
+        ids.push(id);
+        for key in [
+            "space_budget",
+            "max_dict_bits",
+            "code_bytes",
+            "icache_j",
+            "decoder_slots",
+            "config_bits",
+            "iterations",
+        ] {
+            num_field(&format!("point {n}"), p, key)?;
+        }
+        let members = require_nonempty_arr(p, "members").map_err(|e| format!("point {n}: {e}"))?;
+        if members.len() != kernels.len() {
+            return Err(format!(
+                "point {n}: {} member records for {} kernels",
+                members.len(),
+                kernels.len()
+            ));
+        }
+        for (j, m) in members.iter().enumerate() {
+            let ctx = format!("point {n} member {}", j + 1);
+            str_field(&ctx, m, "kernel")?;
+            for key in [
+                "solo_code_bytes",
+                "shared_code_bytes",
+                "solo_icache_j",
+                "shared_icache_j",
+                "solo_cycles",
+                "shared_cycles",
+            ] {
+                num_field(&ctx, m, key)?;
+            }
+            // The regression may legitimately be negative (a shared ISA
+            // can beat a per-app one on a member): type-check only.
+            match m.get("regression") {
+                Some(Value::Num(_)) => {}
+                _ => return Err(format!("{ctx}: missing number field \"regression\"")),
+            }
+        }
+        let axis = |key: &str| p.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        axes.push([axis("code_bytes"), axis("icache_j"), axis("decoder_slots")]);
+    }
+
+    let frontier = require_nonempty_arr(&doc, "frontier")
+        .map_err(|_| "\"frontier\" must be a non-empty array".to_string())?;
+    let mut frontier_set = Vec::with_capacity(frontier.len());
+    for f in frontier {
+        let idx = f
+            .as_f64()
+            .filter(|v| v.fract() == 0.0 && *v >= 0.0 && (*v as usize) < points.len())
+            .ok_or_else(|| format!("frontier entry {f:?} is not a valid point index"))?
+            as usize;
+        if frontier_set.contains(&idx) {
+            return Err(format!("frontier index {idx} listed twice"));
+        }
+        frontier_set.push(idx);
+    }
+    // Recompute the non-dominated set and demand exact agreement.
+    let dominates =
+        |a: &[f64; 3], b: &[f64; 3]| (0..3).all(|k| a[k] <= b[k]) && (0..3).any(|k| a[k] < b[k]);
+    for (i, b) in axes.iter().enumerate() {
+        let dominated = axes.iter().any(|a| dominates(a, b));
+        if dominated && frontier_set.contains(&i) {
+            return Err(format!("frontier point {i} is dominated"));
+        }
+        if !dominated && !frontier_set.contains(&i) {
+            return Err(format!("non-dominated point {i} missing from the frontier"));
+        }
+    }
+
+    let rejected = match doc.get("rejected") {
+        Some(Value::Arr(items)) => {
+            for (i, r) in items.iter().enumerate() {
+                let ctx = format!("rejected {}", i + 1);
+                str_field(&ctx, r, "id")?;
+                str_field(&ctx, r, "reason")?;
+            }
+            items.len()
+        }
+        _ => return Err("missing array field \"rejected\"".to_string()),
+    };
+
+    Ok(ParetoCounts {
+        kernels: kernels.len(),
+        points: points.len(),
+        frontier: frontier_set.len(),
+        rejected,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

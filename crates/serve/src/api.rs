@@ -14,9 +14,10 @@
 use std::sync::Arc;
 
 use fits_bench::{
-    cache_bounds_report_with, isa_json, run_kernel_scenarios, synth_key, Artifacts, ExperimentError,
+    cache_bounds_report_with, isa_json, price_shared_member, run_kernel_scenarios, synth_key,
+    Artifacts, ExperimentError,
 };
-use fits_core::SynthOptions;
+use fits_core::{synthesize_multi, MultiError, MultiMember, MultiOptions, SynthOptions};
 use fits_isa::spec::{builtin_ar32, IsaSpec, SpecCatalog};
 use fits_kernels::kernels::{Kernel, Scale};
 use fits_obs::json::{escape, parse, Value};
@@ -690,6 +691,178 @@ impl SweepRequest {
     }
 }
 
+/// A validated `POST /synthesize-multi` request: one *shared* FITS ISA
+/// synthesized from the merged profile of a kernel set, with per-kernel
+/// regression bounds, priced at the SA-1100 reference scenario.
+///
+/// The member list is sorted by kernel name and the weight vector is
+/// canonicalized ([`fits_core::canonical_weights`]) before the cache key
+/// is built, so `{a, b}` and `{b, a}` share a key, `{1, 1}` and `{2, 2}`
+/// share a key, and zero-weight members vanish from both the key and the
+/// response (a request with an extra zero-weight kernel *is* the smaller
+/// request).
+#[derive(Clone, Debug)]
+pub struct SynthesizeMultiRequest {
+    /// Retained member kernels, sorted by name.
+    pub kernels: Vec<Kernel>,
+    /// Canonical integer weights, aligned with `kernels`.
+    pub weights: Vec<u64>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Per-kernel regression bound (dynamic expansion vs. the per-app
+    /// optimum).
+    pub epsilon: f64,
+    /// Synthesis options shared by the merged synthesis and the per-app
+    /// baselines.
+    pub synth: SynthOptions,
+    /// A replacement ISA catalog, or `None` for the shipped one.
+    pub isa: Option<Arc<SpecCatalog>>,
+}
+
+impl SynthesizeMultiRequest {
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`ApiError`] naming the offending field. Degenerate
+    /// weight vectors (all-zero, negative, non-finite) are `bad_value`
+    /// rejections at `/weights`, never panics.
+    pub fn from_body(body: &str) -> Result<SynthesizeMultiRequest, ApiError> {
+        let v = parse_body(body)?;
+        reject_unknown(
+            &v,
+            "",
+            &["kernels", "weights", "scale", "epsilon", "synth", "isa"],
+        )?;
+        let raw_kernels = match v.get("kernels") {
+            Some(Value::Arr(items)) if !items.is_empty() => {
+                let mut kernels = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let name = item.as_str().ok_or_else(|| {
+                        ApiError::new("bad_type", &format!("/kernels/{i}"), "expected a string")
+                    })?;
+                    let k = Kernel::from_name(name).ok_or_else(|| {
+                        ApiError::new(
+                            "bad_value",
+                            &format!("/kernels/{i}"),
+                            format!("unknown kernel {name:?}"),
+                        )
+                    })?;
+                    if kernels.contains(&k) {
+                        return Err(ApiError::new(
+                            "bad_value",
+                            &format!("/kernels/{i}"),
+                            format!("duplicate kernel {name:?}"),
+                        ));
+                    }
+                    kernels.push(k);
+                }
+                kernels
+            }
+            Some(Value::Arr(_)) => {
+                return Err(ApiError::new(
+                    "bad_value",
+                    "/kernels",
+                    "kernel list must not be empty",
+                ))
+            }
+            Some(_) => return Err(ApiError::new("bad_type", "/kernels", "expected an array")),
+            None => {
+                return Err(ApiError::new(
+                    "missing_field",
+                    "/kernels",
+                    "a kernel list is required",
+                ))
+            }
+        };
+        let raw_weights: Vec<f64> = match v.get("weights") {
+            None => vec![1.0; raw_kernels.len()],
+            Some(Value::Arr(items)) => {
+                if items.len() != raw_kernels.len() {
+                    return Err(ApiError::new(
+                        "bad_value",
+                        "/weights",
+                        format!("{} weights for {} kernels", items.len(), raw_kernels.len()),
+                    ));
+                }
+                let mut weights = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    weights.push(item.as_f64().ok_or_else(|| {
+                        ApiError::new("bad_type", &format!("/weights/{i}"), "expected a number")
+                    })?);
+                }
+                weights
+            }
+            Some(_) => return Err(ApiError::new("bad_type", "/weights", "expected an array")),
+        };
+
+        // Sort members by kernel name, then canonicalize the weights in
+        // that order: the cache key must not depend on request spelling.
+        let mut paired: Vec<(Kernel, f64)> = raw_kernels.into_iter().zip(raw_weights).collect();
+        paired.sort_by_key(|(k, _)| k.name());
+        let sorted_weights: Vec<f64> = paired.iter().map(|(_, w)| *w).collect();
+        let canon = fits_core::canonical_weights(&sorted_weights)
+            .map_err(|e| ApiError::new("bad_value", "/weights", e.to_string()))?;
+        let kernels: Vec<Kernel> = paired
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !canon.dropped.contains(i))
+            .map(|(_, (k, _))| *k)
+            .collect();
+        // `canonical_weights` keeps dropped positions as zeros so callers
+        // can line warnings up with inputs; the cache key must not.
+        let weights: Vec<u64> = canon
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !canon.dropped.contains(i))
+            .map(|(_, &w)| w)
+            .collect();
+
+        let epsilon = opt_f64(&v, "", "epsilon")?.unwrap_or(1.0);
+        if !epsilon.is_finite() || !(-1.0..=100.0).contains(&epsilon) {
+            return Err(ApiError::new(
+                "bad_value",
+                "/epsilon",
+                format!("expected a number in [-1, 100], got {epsilon}"),
+            ));
+        }
+
+        Ok(SynthesizeMultiRequest {
+            kernels,
+            weights,
+            scale: scale_field(&v, "")?,
+            epsilon,
+            synth: synth_field(&v, "", SynthOptions::default())?,
+            isa: isa_field(&v, "")?,
+        })
+    }
+
+    /// The canonical request string (the cache/coalescing key): sorted
+    /// member names plus the *canonical* weight vector, so proportional
+    /// weight spellings coalesce onto one execution.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "synthesize-multi|kernels={}|w={}|n={}|eps={:.6}|synth={}{}",
+            self.kernels
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join("+"),
+            self.weights
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            self.scale.n,
+            self.epsilon,
+            synth_key(&self.synth),
+            isa_suffix(self.isa.as_ref()),
+        )
+    }
+}
+
 // ---------------------------------------------------------------- responses
 
 fn saving(ours: f64, base: f64) -> f64 {
@@ -865,10 +1038,137 @@ pub fn sweep_body(artifacts: &Artifacts, req: &SweepRequest) -> Result<String, E
     ))
 }
 
+/// Computes the `/synthesize-multi` response body: one shared ISA over
+/// the member set, each member priced at the SA-1100 reference scenario
+/// through [`price_shared_member`] — the *same* compiled-replay path the
+/// `fitspareto` library report takes, so service and library numbers are
+/// bit-identical for equal inputs.
+///
+/// A candidate rejected by the per-kernel regression bound is **not** an
+/// internal error: the rejection is a deterministic function of the
+/// request, so it renders as a 200 body with `"accepted": false` (and is
+/// cached and coalesced like any other result).
+///
+/// # Errors
+///
+/// Propagates pipeline failures ([`ExperimentError`]), reported as 500s.
+pub fn synthesize_multi_body(
+    artifacts: &Artifacts,
+    req: &SynthesizeMultiRequest,
+) -> Result<String, ExperimentError> {
+    let scenario = ScenarioSpec::sa1100();
+    let head = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"endpoint\": \"synthesize-multi\",\n  \
+         \"kernels\": [{kernels}],\n  \"weights\": [{weights}],\n  \"scale_n\": {n},\n  \
+         \"epsilon\": {eps:.6},\n  \"synth\": {synth}",
+        kernels = req
+            .kernels
+            .iter()
+            .map(|k| format!("\"{}\"", escape(k.name())))
+            .collect::<Vec<_>>()
+            .join(", "),
+        weights = req
+            .weights
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        n = req.scale.n,
+        eps = req.epsilon,
+        synth = synth_json(&req.synth),
+    );
+
+    let programs: Vec<_> = req
+        .kernels
+        .iter()
+        .map(|&k| artifacts.program(k, req.scale))
+        .collect::<Result<_, _>>()?;
+    let profiles: Vec<_> = req
+        .kernels
+        .iter()
+        .map(|&k| artifacts.profile(k, req.scale))
+        .collect::<Result<_, _>>()?;
+    let members: Vec<MultiMember<'_>> = req
+        .kernels
+        .iter()
+        .zip(&programs)
+        .zip(&profiles)
+        .map(|((kernel, program), profile)| MultiMember {
+            name: kernel.name(),
+            program,
+            profile,
+        })
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let weights: Vec<f64> = req.weights.iter().map(|&w| w as f64).collect();
+    let options = MultiOptions {
+        synth: req.synth.clone(),
+        epsilon: req.epsilon,
+        ..MultiOptions::default()
+    };
+
+    let outcome = match synthesize_multi(&members, &weights, &options) {
+        Ok(outcome) => outcome,
+        Err(MultiError::RegressionBound {
+            member,
+            solo,
+            shared,
+            epsilon,
+        }) => {
+            return Ok(format!(
+                "{head},\n  \"accepted\": false,\n  \"rejected\": {{\"member\": \"{m}\", \
+                 \"solo_expansion\": {solo:.6}, \"shared_expansion\": {shared:.6}, \
+                 \"epsilon\": {epsilon:.6}}}\n}}\n",
+                m = escape(&member),
+            ))
+        }
+        Err(e) => return Err(ExperimentError::Multi(e)),
+    };
+
+    // Per-member pricing: the shared binary through the same replay path
+    // as the library report, the solo baseline from the shared artifact
+    // cache.
+    let matrix = ScenarioMatrix {
+        scenarios: vec![scenario.clone()],
+    };
+    let mut member_bodies = Vec::with_capacity(outcome.members.len());
+    for (kernel, m) in req.kernels.iter().zip(&outcome.members) {
+        let shared_run = price_shared_member(&m.translation.fits, &scenario)?;
+        let mut solo_runs = run_kernel_scenarios(artifacts, *kernel, req.scale, &matrix)?;
+        let solo_run = solo_runs.remove(0).fits;
+        let shared = fits_bench::IsaAggregate::from_run(&shared_run);
+        let solo = fits_bench::IsaAggregate::from_run(&solo_run);
+        member_bodies.push(format!(
+            "    {{\"kernel\": \"{kernel}\", \"solo_code_bytes\": {scb}, \
+             \"shared_code_bytes\": {hcb}, \"regression\": {reg:.6}, \
+             \"solo\": {solo}, \"shared\": {shared}}}",
+            kernel = escape(&m.name),
+            scb = m.solo_code_bytes,
+            hcb = m.translation.fits.code_bytes(),
+            reg = m.regression,
+            solo = isa_json(&solo),
+            shared = isa_json(&shared),
+        ));
+    }
+
+    Ok(format!(
+        "{head},\n  \"accepted\": true,\n  \"merged_profile\": \"{hash}\",\n  \
+         \"shared\": {{\"code_bytes\": {code}, \"config_bits\": {bits}, \
+         \"decoder_slots\": {slots}, \"iterations\": {iters}}},\n  \
+         \"members\": [\n{members}\n  ]\n}}\n",
+        hash = escape(&outcome.merged_hash),
+        code = outcome.shared_code_bytes(),
+        bits = outcome.synthesis.config.config_bits(),
+        slots = outcome.synthesis.config.ops.len(),
+        iters = outcome.iterations,
+        members = member_bodies.join(",\n"),
+    ))
+}
+
 /// Version of the `powerfits-serve-v1` response contract reported by
 /// `/healthz` (bumped when response shapes change within the same schema
 /// string; `fitsctl wait` asserts it).
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The `GET /healthz` body. `uptime_s` is seconds since the daemon
 /// started; `commit` is the build's git revision (or `"unknown"`).
@@ -1068,6 +1368,64 @@ pub fn validate_serve_json(text: &str) -> Result<String, String> {
                 need_isa(&ctx, s, "fits")?;
             }
         }
+        "synthesize-multi" => {
+            for key in ["kernels", "weights"] {
+                match v.get(key) {
+                    Some(Value::Arr(items)) if !items.is_empty() => {}
+                    _ => {
+                        return Err(format!(
+                            "synthesize-multi: missing non-empty array \"{key}\""
+                        ))
+                    }
+                }
+            }
+            need_num("synthesize-multi", &v, "scale_n")?;
+            if !matches!(v.get("epsilon"), Some(Value::Num(_))) {
+                return Err("synthesize-multi: missing number field \"epsilon\"".to_string());
+            }
+            match v.get("accepted") {
+                Some(Value::Bool(true)) => {
+                    need_str("synthesize-multi", &v, "merged_profile")?;
+                    let shared = v.get("shared").ok_or_else(|| {
+                        "synthesize-multi: missing object field \"shared\"".to_string()
+                    })?;
+                    for key in ["code_bytes", "config_bits", "decoder_slots", "iterations"] {
+                        need_num("synthesize-multi shared", shared, key)?;
+                    }
+                    let members = match v.get("members") {
+                        Some(Value::Arr(items)) if !items.is_empty() => items,
+                        _ => {
+                            return Err(
+                                "synthesize-multi: missing non-empty array \"members\"".to_string()
+                            )
+                        }
+                    };
+                    for (i, m) in members.iter().enumerate() {
+                        let ctx = format!("synthesize-multi member {i}");
+                        need_str(&ctx, m, "kernel")?;
+                        for key in ["solo_code_bytes", "shared_code_bytes", "regression"] {
+                            need_num(&ctx, m, key)?;
+                        }
+                        need_isa(&ctx, m, "solo")?;
+                        need_isa(&ctx, m, "shared")?;
+                    }
+                }
+                Some(Value::Bool(false)) => {
+                    let rejected = v.get("rejected").ok_or_else(|| {
+                        "synthesize-multi: missing object field \"rejected\"".to_string()
+                    })?;
+                    need_str("synthesize-multi rejected", rejected, "member")?;
+                    for key in ["solo_expansion", "shared_expansion", "epsilon"] {
+                        if !matches!(rejected.get(key), Some(Value::Num(_))) {
+                            return Err(format!(
+                                "synthesize-multi rejected: missing number field \"{key}\""
+                            ));
+                        }
+                    }
+                }
+                _ => return Err("synthesize-multi: missing boolean field \"accepted\"".to_string()),
+            }
+        }
         "analyze" => {
             need_str("analyze", &v, "kernel")?;
             need_str("analyze", &v, "scenario")?;
@@ -1202,6 +1560,8 @@ pub enum PostRequest {
     Analyze(Box<AnalyzeRequest>),
     /// `POST /sweep`.
     Sweep(SweepRequest),
+    /// `POST /synthesize-multi`.
+    SynthesizeMulti(SynthesizeMultiRequest),
 }
 
 impl PostRequest {
@@ -1224,6 +1584,9 @@ impl PostRequest {
                 AnalyzeRequest::from_body(body)?,
             )))),
             "/sweep" => Ok(Some(PostRequest::Sweep(SweepRequest::from_body(body)?))),
+            "/synthesize-multi" => Ok(Some(PostRequest::SynthesizeMulti(
+                SynthesizeMultiRequest::from_body(body)?,
+            ))),
             _ => Ok(None),
         }
     }
@@ -1236,6 +1599,7 @@ impl PostRequest {
             PostRequest::Simulate(r) => r.canonical(),
             PostRequest::Analyze(r) => r.canonical(),
             PostRequest::Sweep(r) => r.canonical(),
+            PostRequest::SynthesizeMulti(r) => r.canonical(),
         }
     }
 
@@ -1248,6 +1612,7 @@ impl PostRequest {
             PostRequest::Simulate(r) => &r.synth,
             PostRequest::Analyze(r) => &r.synth,
             PostRequest::Sweep(r) => &r.synth,
+            PostRequest::SynthesizeMulti(r) => &r.synth,
         }
     }
 
@@ -1261,6 +1626,7 @@ impl PostRequest {
             PostRequest::Simulate(r) => r.isa.as_ref(),
             PostRequest::Analyze(r) => r.isa.as_ref(),
             PostRequest::Sweep(r) => r.isa.as_ref(),
+            PostRequest::SynthesizeMulti(r) => r.isa.as_ref(),
         }
     }
 
@@ -1276,6 +1642,7 @@ impl PostRequest {
             PostRequest::Simulate(r) => simulate_body(artifacts, r),
             PostRequest::Analyze(r) => analyze_body(artifacts, r),
             PostRequest::Sweep(r) => sweep_body(artifacts, r),
+            PostRequest::SynthesizeMulti(r) => synthesize_multi_body(artifacts, r),
         }
     }
 }
@@ -1499,6 +1866,152 @@ mod tests {
         let err =
             AnalyzeRequest::from_body("{\"kernel\": \"crc32\", \"traced\": true}").unwrap_err();
         assert_eq!(err.code, "unknown_field");
+    }
+
+    #[test]
+    fn multi_request_canonicalizes_members_and_weights() {
+        // Member order and proportional weight spellings must not split
+        // the cache: all four of these are the same computation.
+        let a = SynthesizeMultiRequest::from_body("{\"kernels\": [\"crc32\", \"sha\"]}").unwrap();
+        let b = SynthesizeMultiRequest::from_body("{\"kernels\": [\"sha\", \"crc32\"]}").unwrap();
+        let c = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [2, 2]}",
+        )
+        .unwrap();
+        let d = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [0.5, 0.5]}",
+        )
+        .unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical(), c.canonical());
+        assert_eq!(a.canonical(), d.canonical());
+        assert!(a
+            .canonical()
+            .starts_with("synthesize-multi|kernels=crc32+sha|w=1,1|"));
+        // A zero-weight member vanishes: the padded request IS the
+        // two-member request, key and all.
+        let padded = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"fft\", \"sha\"], \"weights\": [3, 0, 3]}",
+        )
+        .unwrap();
+        assert_eq!(padded.kernels, vec![Kernel::Crc32, Kernel::Sha]);
+        assert_eq!(padded.canonical(), a.canonical());
+        // Unequal weights are a genuinely different merged profile.
+        let skewed = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [1, 3]}",
+        )
+        .unwrap();
+        assert_ne!(skewed.canonical(), a.canonical());
+        // ...and so is a different epsilon.
+        let tight = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"sha\"], \"epsilon\": 0.25}",
+        )
+        .unwrap();
+        assert_ne!(tight.canonical(), a.canonical());
+    }
+
+    #[test]
+    fn multi_request_rejects_degenerate_inputs() {
+        let err = SynthesizeMultiRequest::from_body("{}").unwrap_err();
+        assert_eq!(
+            (err.code, err.pointer.as_str()),
+            ("missing_field", "/kernels")
+        );
+        let err = SynthesizeMultiRequest::from_body("{\"kernels\": []}").unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/kernels"));
+        let err =
+            SynthesizeMultiRequest::from_body("{\"kernels\": [\"crc32\", \"crc32\"]}").unwrap_err();
+        assert_eq!(
+            (err.code, err.pointer.as_str()),
+            ("bad_value", "/kernels/1")
+        );
+        // Weight vector shape and content errors all point at /weights.
+        let err = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [1]}",
+        )
+        .unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/weights"));
+        let err = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [0, 0]}",
+        )
+        .unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/weights"));
+        let err = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [1, -1]}",
+        )
+        .unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/weights"));
+        let err = SynthesizeMultiRequest::from_body("{\"kernels\": [\"crc32\"], \"epsilon\": 200}")
+            .unwrap_err();
+        assert_eq!((err.code, err.pointer.as_str()), ("bad_value", "/epsilon"));
+        // Every rejection renders as a schema-valid error body.
+        assert_eq!(validate_serve_json(&err.body()).unwrap(), "error");
+    }
+
+    #[test]
+    fn multi_body_matches_the_library_pricing_bit_for_bit() {
+        let req =
+            SynthesizeMultiRequest::from_body("{\"kernels\": [\"bitcount\", \"crc32\"]}").unwrap();
+        let artifacts = Artifacts::new().with_synth(req.synth.clone());
+        let body = synthesize_multi_body(&artifacts, &req).unwrap();
+        assert_eq!(validate_serve_json(&body).unwrap(), "synthesize-multi");
+        assert!(body.contains("\"accepted\": true"));
+
+        // Re-run the same synthesis through the library entry points and
+        // demand the service body embeds the identical rendered numbers.
+        let programs: Vec<_> = req
+            .kernels
+            .iter()
+            .map(|&k| artifacts.program(k, req.scale).unwrap())
+            .collect();
+        let profiles: Vec<_> = req
+            .kernels
+            .iter()
+            .map(|&k| artifacts.profile(k, req.scale).unwrap())
+            .collect();
+        let members: Vec<MultiMember<'_>> = req
+            .kernels
+            .iter()
+            .zip(&programs)
+            .zip(&profiles)
+            .map(|((k, program), profile)| MultiMember {
+                name: k.name(),
+                program,
+                profile,
+            })
+            .collect();
+        let options = MultiOptions {
+            synth: req.synth.clone(),
+            epsilon: req.epsilon,
+            ..MultiOptions::default()
+        };
+        let outcome = synthesize_multi(&members, &[1.0, 1.0], &options).unwrap();
+        assert!(body.contains(&format!("\"merged_profile\": \"{}\"", outcome.merged_hash)));
+        let scenario = ScenarioSpec::sa1100();
+        for m in &outcome.members {
+            let run = price_shared_member(&m.translation.fits, &scenario).unwrap();
+            let shared = fits_bench::IsaAggregate::from_run(&run);
+            assert!(
+                body.contains(&format!("\"shared\": {}", isa_json(&shared))),
+                "service body drifted from library pricing for {}",
+                m.name
+            );
+        }
+        // Identical requests produce identical bytes on recomputation.
+        assert_eq!(body, synthesize_multi_body(&artifacts, &req).unwrap());
+    }
+
+    #[test]
+    fn multi_body_renders_a_regression_rejection_as_a_200() {
+        let req = SynthesizeMultiRequest::from_body(
+            "{\"kernels\": [\"bitcount\", \"crc32\"], \"epsilon\": -0.99}",
+        )
+        .unwrap();
+        let artifacts = Artifacts::new().with_synth(req.synth.clone());
+        let body = synthesize_multi_body(&artifacts, &req).unwrap();
+        assert_eq!(validate_serve_json(&body).unwrap(), "synthesize-multi");
+        assert!(body.contains("\"accepted\": false"));
+        assert!(body.contains("\"rejected\": {\"member\": "));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   simulate   [JSON]         POST /simulate   (default {"kernel":"crc32"})
 //!   analyze    [JSON]         POST /analyze    (default {"kernel":"crc32"})
 //!   sweep      [JSON]         POST /sweep      (default {} = full grid)
+//!   synthesize-multi [JSON]   POST /synthesize-multi
+//!                             (default {"kernels": ["crc32", "sha"]})
 //!   smoke                     drive every endpoint once, validate schemas
 //!   bench [--clients N] [--passes N] [--expect-hit-rate F]
 //!                             load-generate the full kernel suite
@@ -84,6 +86,7 @@ fn usage(err: &str) -> ! {
          top [--interval SECS] [--count N] | checklog PATH | \
          wait [--timeout SECS] | \
          synthesize [JSON] | simulate [JSON] | analyze [JSON] | sweep [JSON] | \
+         synthesize-multi [JSON] | \
          smoke | bench [--clients N] [--passes N] [--expect-hit-rate F]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -380,6 +383,47 @@ fn cmd_smoke(addr: SocketAddr) {
         "/sweep",
         "{\"kernels\": [\"crc32\", \"sha\"], \"icache_bytes\": [16384, 8192]}",
     );
+    // Shared-ISA synthesis must accept the pair, and a proportional
+    // weight respelling must come back byte-identical (one execution,
+    // one cache entry).
+    let multi = checked(
+        addr,
+        "POST",
+        "/synthesize-multi",
+        "{\"kernels\": [\"crc32\", \"sha\"]}",
+    );
+    if !multi.contains("\"accepted\": true") {
+        fail("smoke", &"/synthesize-multi did not accept the pair");
+    }
+    let respelled = checked(
+        addr,
+        "POST",
+        "/synthesize-multi",
+        "{\"kernels\": [\"sha\", \"crc32\"], \"weights\": [2, 2]}",
+    );
+    if multi != respelled {
+        fail(
+            "smoke",
+            &"respelled /synthesize-multi weights broke canonicalization",
+        );
+    }
+    // A degenerate weight vector must be a structured 400 at /weights.
+    match post(
+        addr,
+        "/synthesize-multi",
+        "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [0, 0]}",
+    ) {
+        Ok((400, text)) => {
+            if !text.contains("\"pointer\": \"/weights\"") {
+                fail("smoke", &"all-zero weights 400 lacks a /weights pointer");
+            }
+        }
+        Ok((status, _)) => fail(
+            "smoke",
+            &format!("all-zero weights answered HTTP {status}, want 400"),
+        ),
+        Err(e) => fail("smoke zero-weight request", &e),
+    }
     // A bad body must come back as a schema-valid structured 400.
     match post(addr, "/synthesize", "{\"kernel\": \"no-such-kernel\"}") {
         Ok((400, text)) => match validate_serve_json(&text) {
@@ -629,11 +673,11 @@ fn main() {
         "checklog" => cmd_checklog(&opts.rest),
         "wait" => cmd_wait(addr, &opts.rest),
         "smoke" => cmd_smoke(addr),
-        "synthesize" | "simulate" | "analyze" | "sweep" => {
-            let default = if opts.command == "sweep" {
-                "{}"
-            } else {
-                "{\"kernel\": \"crc32\"}"
+        "synthesize" | "simulate" | "analyze" | "sweep" | "synthesize-multi" => {
+            let default = match opts.command.as_str() {
+                "sweep" => "{}",
+                "synthesize-multi" => "{\"kernels\": [\"crc32\", \"sha\"]}",
+                _ => "{\"kernel\": \"crc32\"}",
             };
             let body = opts.rest.first().map_or(default, String::as_str);
             let target = format!("/{}", opts.command);

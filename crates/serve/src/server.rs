@@ -397,13 +397,13 @@ fn handle_connection(state: &ServerState, stream: &mut TcpStream, accepted: Inst
             }
         }
         ("GET", "/debug/flight") => Response::json(200, state.flight.render_json()),
-        ("POST", "/synthesize" | "/simulate" | "/analyze" | "/sweep") => {
+        ("POST", "/synthesize" | "/simulate" | "/analyze" | "/sweep" | "/synthesize-multi") => {
             handle_post(state, request.path(), &request.body, spans.as_ref())
         }
         (
             "GET" | "POST",
             "/healthz" | "/metrics" | "/debug/flight" | "/synthesize" | "/simulate" | "/analyze"
-            | "/sweep",
+            | "/sweep" | "/synthesize-multi",
         ) => {
             let err = ApiError {
                 code: "method_not_allowed",

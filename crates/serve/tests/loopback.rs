@@ -53,6 +53,12 @@ fn jobs() -> Vec<(&'static str, String)> {
                 fits_obs::json::escape(&respelled)
             ),
         ),
+        // A shared-ISA synthesis over both kernels: the multi pipeline
+        // must coalesce and cache exactly like the single-kernel ones.
+        (
+            "/synthesize-multi",
+            format!("{{\"kernels\": [\"{k0}\", \"{k1}\"]}}"),
+        ),
     ]
 }
 
@@ -227,6 +233,16 @@ fn validation_failures_are_structured_400s_end_to_end() {
             "{\"kernel\": \"crc32\", \"static_only\": \"yes\"}",
             "/static_only",
         ),
+        (
+            "/synthesize-multi",
+            "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [0, 0]}",
+            "/weights",
+        ),
+        (
+            "/synthesize-multi",
+            "{\"kernels\": [\"crc32\", \"sha\"], \"weights\": [1, -2]}",
+            "/weights",
+        ),
     ] {
         let (status, text) = client::post(addr, target, body).expect("request");
         assert_eq!(status, 400, "{target} {body}: {text}");
@@ -238,5 +254,51 @@ fn validation_failures_are_structured_400s_end_to_end() {
     }
     // Validation failures never reach the pipeline.
     assert_eq!(handle.state().metrics.executions.get(), 0);
+    handle.stop();
+}
+
+#[test]
+fn proportional_multi_weights_share_one_cache_slot() {
+    let handle = spawn(&ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr;
+    // Four spellings of the same merged profile: reordered members,
+    // scaled integer weights, fractional weights, and a padded request
+    // whose extra member carries weight zero. One execution serves all.
+    let spellings = [
+        "{\"kernels\": [\"bitcount\", \"crc32\"]}".to_string(),
+        "{\"kernels\": [\"crc32\", \"bitcount\"], \"weights\": [3, 3]}".to_string(),
+        "{\"kernels\": [\"bitcount\", \"crc32\"], \"weights\": [0.5, 0.5]}".to_string(),
+        "{\"kernels\": [\"bitcount\", \"sha\", \"crc32\"], \"weights\": [2, 0, 2]}".to_string(),
+    ];
+    let mut bodies = Vec::new();
+    for body in &spellings {
+        let (status, text) = client::post(addr, "/synthesize-multi", body).expect("request");
+        assert_eq!(status, 200, "{body}: {text}");
+        assert_eq!(validate_serve_json(&text).unwrap(), "synthesize-multi");
+        bodies.push(text);
+    }
+    for text in &bodies[1..] {
+        assert_eq!(
+            text, &bodies[0],
+            "proportional weight spellings must serve identical bytes"
+        );
+    }
+    let metrics = &handle.state().metrics;
+    assert_eq!(
+        metrics.executions.get(),
+        1,
+        "all spellings canonicalize onto one execution"
+    );
+    assert_eq!(
+        metrics.cache_hits.get(),
+        (spellings.len() - 1) as u64,
+        "every respelling after the first is a cache hit"
+    );
     handle.stop();
 }

@@ -44,6 +44,15 @@
 //!   with the `DF` liveness analysis. Its `CA001`–`CA003` diagnostics
 //!   audit an analysis result against rebuilt ground truth.
 //!
+//! A seventh family checks a *shared* configuration over a kernel set:
+//!
+//! * **`MULTI` — multi-application soundness** ([`verify_multi`]): a
+//!   configuration synthesized from a merged profile must still pass
+//!   `ISA005` vocabulary conformance, every member kernel's translated
+//!   stream must decode under it (`MULTI001`, no per-kernel encoding
+//!   fallout), and member binaries may diverge from the shared synthesis
+//!   only by appending dictionary entries (`MULTI002`).
+//!
 //! [`analyze`] runs everything and returns a [`Report`];
 //! [`verified_flow`] returns a [`FitsFlow`] that runs the same analyses as a
 //! gate inside [`FitsFlow::run`], and the `fitslint` binary (in
@@ -69,11 +78,13 @@ mod df;
 mod enc;
 pub mod fixpoint;
 mod isa;
+mod multi;
 mod tv;
 
 pub use ca::{analyze_fits_cache, analyze_native_cache, audit, CacheAnalysis, FetchClass};
 pub use cfg::{fits_cfg, native_cfg, Cfg, CfgBuild};
 pub use isa::{lint_spec, lint_spec_text, validate_decoder_config};
+pub use multi::{verify_multi, MultiMemberBin};
 
 /// How serious a finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]

@@ -1,0 +1,97 @@
+//! `MULTI` — soundness of a *shared* synthesized configuration over a
+//! kernel set.
+//!
+//! A multi-application synthesis accepts one [`DecoderConfig`] for several
+//! member programs. Two things can silently go wrong that the per-app
+//! analyses never see together:
+//!
+//! * **Coverage** (`MULTI001`): a member's translated stream contains a
+//!   word the decoder cannot resolve — an opcode the shared vocabulary
+//!   does not cover, or a dictionary index past the member's tables.
+//!   Every member word must decode under that member's own final
+//!   configuration.
+//! * **Configuration drift** (`MULTI002`): translation may only *append*
+//!   dictionary entries (far targets, overflow constants) to the shared
+//!   configuration — the opcode table and register window of every
+//!   member's binary must be byte-identical to the shared synthesis,
+//!   otherwise the members are not actually sharing one decoder.
+//!
+//! The rule also chains `ISA005` FITS-vocabulary conformance over the
+//! shared configuration, so a shared ISA is held to the same
+//! machine-description contract as a per-app one.
+
+use fits_core::{decode_word, DecoderConfig, FitsProgram};
+use fits_isa::spec::SpecCatalog;
+
+use crate::{Diagnostic, Report};
+
+/// One member binary of a shared-ISA synthesis.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiMemberBin<'a> {
+    /// Display name (kernel name in the suite runners).
+    pub name: &'a str,
+    /// The member translated under the shared configuration.
+    pub fits: &'a FitsProgram,
+}
+
+/// Runs the `MULTI` family over a shared configuration and its member
+/// binaries: `ISA005` conformance of the shared config, `MULTI002`
+/// configuration-drift checks, and `MULTI001` full decode coverage of
+/// every member stream.
+#[must_use]
+pub fn verify_multi(
+    shared: &DecoderConfig,
+    members: &[MultiMemberBin<'_>],
+    catalog: &SpecCatalog,
+) -> Report {
+    let mut diagnostics = validate_decoder_config(shared, catalog);
+
+    for m in members {
+        let config = &m.fits.config;
+        if config.ops != shared.ops {
+            diagnostics.push(Diagnostic::error(
+                "MULTI002",
+                format!(
+                    "member {}: opcode table diverges from the shared synthesis \
+                     ({} entries vs {})",
+                    m.name,
+                    config.ops.len(),
+                    shared.ops.len()
+                ),
+            ));
+        }
+        if config.regs != shared.regs {
+            diagnostics.push(Diagnostic::error(
+                "MULTI002",
+                format!(
+                    "member {}: register window diverges from the shared synthesis",
+                    m.name
+                ),
+            ));
+        }
+        for (j, &word) in m.fits.instrs.iter().enumerate() {
+            if let Err(e) = decode_word(config, word, j) {
+                diagnostics.push(
+                    Diagnostic::error(
+                        "MULTI001",
+                        format!(
+                            "member {}: word {word:#06x} is not covered by the shared \
+                             configuration: {e}",
+                            m.name
+                        ),
+                    )
+                    .at_fits(j),
+                );
+            }
+        }
+    }
+
+    Report {
+        name: "multi".to_owned(),
+        diagnostics,
+    }
+}
+
+fn validate_decoder_config(shared: &DecoderConfig, catalog: &SpecCatalog) -> Vec<Diagnostic> {
+    crate::validate_decoder_config(shared, &catalog.fits)
+}

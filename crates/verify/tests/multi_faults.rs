@@ -1,0 +1,119 @@
+//! Seeded-fault tests for the `MULTI` family: build an accepted
+//! multi-application synthesis, cook one defect into the shared
+//! configuration, and check the right rule code fires.
+
+#![allow(clippy::unwrap_used)]
+
+use fits_core::{profile, synthesize_multi, MultiMember, MultiOptions, MultiOutcome};
+use fits_isa::spec::SpecCatalog;
+use fits_isa::Program;
+use fits_kernels::kernels::{Kernel, Scale};
+use fits_verify::{verify_multi, MultiMemberBin};
+
+fn multi_outcome(kernels: &[Kernel]) -> (Vec<(String, Program)>, MultiOutcome) {
+    let compiled: Vec<(String, Program)> = kernels
+        .iter()
+        .map(|k| (k.name().to_owned(), k.compile(Scale::test()).unwrap()))
+        .collect();
+    let profiles: Vec<_> = compiled.iter().map(|(_, p)| profile(p).unwrap()).collect();
+    let members: Vec<MultiMember<'_>> = compiled
+        .iter()
+        .zip(&profiles)
+        .map(|((name, program), profile)| MultiMember {
+            name,
+            program,
+            profile,
+        })
+        .collect();
+    let weights = vec![1.0; members.len()];
+    let outcome = synthesize_multi(&members, &weights, &MultiOptions::default()).unwrap();
+    (compiled, outcome)
+}
+
+fn member_bins(outcome: &MultiOutcome) -> Vec<MultiMemberBin<'_>> {
+    outcome
+        .members
+        .iter()
+        .map(|m| MultiMemberBin {
+            name: &m.name,
+            fits: &m.translation.fits,
+        })
+        .collect()
+}
+
+/// An accepted multi synthesis passes `MULTI` clean: the shared config
+/// conforms to the FITS vocabulary spec and covers every member stream.
+#[test]
+fn accepted_multi_synthesis_is_clean() {
+    let (_compiled, outcome) = multi_outcome(&[Kernel::Crc32, Kernel::Bitcount, Kernel::Sha]);
+    let catalog = SpecCatalog::default();
+    let report = verify_multi(&outcome.synthesis.config, &member_bins(&outcome), &catalog);
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+/// Removing an opcode entry that some member word uses — from both the
+/// shared config and the member configs — cooks an uncovered opcode, and
+/// the coverage rule reports it as `MULTI001`.
+#[test]
+fn uncovered_member_opcode_is_multi001() {
+    let (_compiled, mut outcome) = multi_outcome(&[Kernel::Crc32, Kernel::Bitcount]);
+
+    // Find an opcode entry used by at least one member word and drop it
+    // everywhere, so the defect is a coverage hole rather than drift.
+    let shared = &mut outcome.synthesis.config;
+    let victim = {
+        let m = &outcome.members[0];
+        let word = m.translation.fits.instrs[0];
+        shared
+            .ops
+            .iter()
+            .position(|e| {
+                let suffix = 16 - u32::from(e.len);
+                word >> suffix == e.code >> suffix
+            })
+            .unwrap()
+    };
+    shared.ops.remove(victim);
+    for m in &mut outcome.members {
+        m.translation.fits.config.ops.remove(victim);
+    }
+
+    let catalog = SpecCatalog::default();
+    let report = verify_multi(&outcome.synthesis.config, &member_bins(&outcome), &catalog);
+    assert!(!report.is_clean());
+    assert!(report.has_code("MULTI001"), "{}", report.render_text());
+    assert!(
+        !report.has_code("MULTI002"),
+        "coverage fault must not read as drift: {}",
+        report.render_text()
+    );
+}
+
+/// A member whose opcode table silently diverges from the shared
+/// synthesis (here: one entry removed from the member only) is reported
+/// as `MULTI002` configuration drift.
+#[test]
+fn member_config_drift_is_multi002() {
+    let (_compiled, mut outcome) = multi_outcome(&[Kernel::Crc32, Kernel::Bitcount]);
+    outcome.members[1].translation.fits.config.ops.pop();
+
+    let catalog = SpecCatalog::default();
+    let report = verify_multi(&outcome.synthesis.config, &member_bins(&outcome), &catalog);
+    assert!(!report.is_clean());
+    assert!(report.has_code("MULTI002"), "{}", report.render_text());
+}
+
+/// A shared config whose register window is not a spec-declared window
+/// size fails the chained `ISA005` vocabulary conformance check.
+#[test]
+fn shared_config_vocabulary_violation_is_isa005() {
+    let (_compiled, mut outcome) = multi_outcome(&[Kernel::Crc32, Kernel::Bitcount]);
+    outcome.synthesis.config.regs.map.pop();
+    for m in &mut outcome.members {
+        m.translation.fits.config.regs.map.pop();
+    }
+
+    let catalog = SpecCatalog::default();
+    let report = verify_multi(&outcome.synthesis.config, &member_bins(&outcome), &catalog);
+    assert!(report.has_code("ISA005"), "{}", report.render_text());
+}

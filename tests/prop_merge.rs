@@ -1,0 +1,196 @@
+//! Property tests over the merge algebra behind multi-application
+//! synthesis: weighted profile merging must be commutative, invariant
+//! under proportional weight respelling, associative under `scale`
+//! re-weighting, idempotent on a single member — and the synthesis it
+//! feeds must be byte-identical across runs, which is the contract the
+//! content-addressed serving cache rests on.
+//!
+//! Randomness comes from the workspace's deterministic `fits-rng` stream,
+//! so failures reproduce exactly.
+
+#![allow(clippy::unwrap_used)]
+
+mod common;
+
+use common::{arb_steps, build};
+use fits_rng::StdRng;
+use powerfits::core::{
+    canonical_text, profile, profile_hash, synthesize, synthesize_multi, MultiMember, MultiOptions,
+    Profile, SynthOptions,
+};
+use powerfits::kernels::kernels::{Kernel, Scale};
+
+/// A pool of random profiles plus their weights for one property case.
+fn arb_profiles(r: &mut StdRng, count: usize) -> Vec<Profile> {
+    (0..count)
+        .map(|_| {
+            let program = build(&arb_steps(r, 40));
+            profile(&program).expect("random program profiles")
+        })
+        .collect()
+}
+
+/// Small positive integer weights: exact through the f64 canonicalization,
+/// so every algebraic identity below must hold bit-for-bit.
+fn arb_weight(r: &mut StdRng) -> f64 {
+    f64::from(r.gen_range(1..9u8))
+}
+
+#[test]
+fn merge_is_commutative_under_member_permutation() {
+    let mut r = StdRng::seed_from_u64(0x4d65);
+    for case in 0..24 {
+        let profiles = arb_profiles(&mut r, 3);
+        let weights: Vec<f64> = (0..3).map(|_| arb_weight(&mut r)).collect();
+        let forward: Vec<(&Profile, f64)> = profiles.iter().zip(weights.iter().copied()).collect();
+        // Rotate and swap: two non-trivial permutations of the same mix.
+        let rotated = [forward[1], forward[2], forward[0]];
+        let swapped = [forward[2], forward[1], forward[0]];
+        let a = Profile::merge_weighted(&forward).unwrap();
+        let b = Profile::merge_weighted(&rotated).unwrap();
+        let c = Profile::merge_weighted(&swapped).unwrap();
+        assert_eq!(
+            canonical_text(&a.profile),
+            canonical_text(&b.profile),
+            "case {case}: rotation changed the merge"
+        );
+        assert_eq!(
+            profile_hash(&a.profile),
+            profile_hash(&c.profile),
+            "case {case}: swap changed the merge"
+        );
+    }
+}
+
+#[test]
+fn merge_is_invariant_under_proportional_weights() {
+    let mut r = StdRng::seed_from_u64(0x70f2);
+    for case in 0..24 {
+        let profiles = arb_profiles(&mut r, 2);
+        let weights: Vec<f64> = (0..2).map(|_| arb_weight(&mut r)).collect();
+        let k = f64::from(r.gen_range(2..6u8));
+        let base: Vec<(&Profile, f64)> = profiles.iter().zip(weights.iter().copied()).collect();
+        let scaled: Vec<(&Profile, f64)> =
+            profiles.iter().zip(weights.iter().map(|w| w * k)).collect();
+        let fractional: Vec<(&Profile, f64)> =
+            profiles.iter().zip(weights.iter().map(|w| w / k)).collect();
+        let a = Profile::merge_weighted(&base).unwrap();
+        let b = Profile::merge_weighted(&scaled).unwrap();
+        let c = Profile::merge_weighted(&fractional).unwrap();
+        assert_eq!(
+            a.weights, b.weights,
+            "case {case}: canonical weights differ"
+        );
+        assert_eq!(
+            profile_hash(&a.profile),
+            profile_hash(&b.profile),
+            "case {case}: x{k} respelling changed the merge"
+        );
+        assert_eq!(
+            profile_hash(&a.profile),
+            profile_hash(&c.profile),
+            "case {case}: /{k} respelling changed the merge"
+        );
+    }
+}
+
+#[test]
+fn merge_is_associative_under_scale_reweighting() {
+    let mut r = StdRng::seed_from_u64(0xa550);
+    for case in 0..16 {
+        let profiles = arb_profiles(&mut r, 3);
+        // A uniform mix: the one weight vector every sub-merge
+        // canonicalizes exactly (non-uniform sub-vectors are divided by
+        // their own gcd, which shifts the mix relative to the flat merge).
+        let flat: Vec<(&Profile, f64)> = profiles.iter().map(|p| (p, 1.0)).collect();
+        let all = Profile::merge_weighted(&flat).unwrap();
+        // Merge the first two, then fold in the third. The inner result
+        // was divided by its collective gcd, so it re-enters the outer
+        // merge carrying `scale` as its weight (see the `Merged::scale`
+        // docs) — with that re-weighting the composition must equal the
+        // flat three-way merge exactly.
+        let inner = Profile::merge_weighted(&flat[..2]).unwrap();
+        #[allow(clippy::cast_precision_loss)]
+        let inner_weight = inner.scale as f64;
+        let composed = Profile::merge_weighted(&[(&inner.profile, inner_weight), flat[2]]).unwrap();
+        assert_eq!(
+            canonical_text(&all.profile),
+            canonical_text(&composed.profile),
+            "case {case}: ((a,b),c) != (a,b,c)"
+        );
+    }
+}
+
+#[test]
+fn self_merge_is_identity() {
+    let mut r = StdRng::seed_from_u64(0x1de4);
+    for case in 0..16 {
+        let [p] = &arb_profiles(&mut r, 1)[..] else {
+            unreachable!()
+        };
+        let solo = Profile::merge_weighted(&[(p, 1.0)]).unwrap();
+        // Merging a profile with itself (any mix) is merging it alone.
+        let doubled = Profile::merge_weighted(&[(p, 1.0), (p, 1.0)]).unwrap();
+        let skewed = Profile::merge_weighted(&[(p, 1.0), (p, 3.0)]).unwrap();
+        assert_eq!(
+            canonical_text(&solo.profile),
+            canonical_text(&doubled.profile),
+            "case {case}: a+a != a"
+        );
+        assert_eq!(
+            profile_hash(&solo.profile),
+            profile_hash(&skewed.profile),
+            "case {case}: a+3a != a"
+        );
+        // And the canonical units feed synthesis unchanged: the solo
+        // merge and the raw profile synthesize the same decoder.
+        let raw = synthesize(p, &SynthOptions::default());
+        let merged = synthesize(&solo.profile, &SynthOptions::default());
+        assert_eq!(
+            raw.config, merged.config,
+            "case {case}: canonical units changed the synthesized decoder"
+        );
+    }
+}
+
+#[test]
+fn merged_synthesis_is_byte_identical_across_runs() {
+    let kernels = [Kernel::Crc32, Kernel::Bitcount, Kernel::Sha];
+    let programs: Vec<_> = kernels
+        .iter()
+        .map(|k| k.compile(Scale::test()).unwrap())
+        .collect();
+    let profiles: Vec<_> = programs.iter().map(|p| profile(p).unwrap()).collect();
+    let members: Vec<MultiMember<'_>> = kernels
+        .iter()
+        .zip(&programs)
+        .zip(&profiles)
+        .map(|((k, program), profile)| MultiMember {
+            name: k.name(),
+            program,
+            profile,
+        })
+        .collect();
+    let weights = [1.0, 2.0, 1.0];
+    let options = MultiOptions::default();
+    let first = synthesize_multi(&members, &weights, &options).unwrap();
+    let second = synthesize_multi(&members, &weights, &options).unwrap();
+    assert_eq!(first.merged_hash, second.merged_hash);
+    assert_eq!(
+        first.synthesis.config, second.synthesis.config,
+        "shared decoder must be identical across runs"
+    );
+    assert_eq!(
+        canonical_text(&first.merged.profile),
+        canonical_text(&second.merged.profile)
+    );
+    for (a, b) in first.members.iter().zip(&second.members) {
+        assert_eq!(a.translation.fits.instrs, b.translation.fits.instrs);
+        assert_eq!(a.shared_expansion.to_bits(), b.shared_expansion.to_bits());
+    }
+    // Proportional weights reach the same outcome through the service
+    // path's integer canonicalization too.
+    let respelled = synthesize_multi(&members, &[2.0, 4.0, 2.0], &options).unwrap();
+    assert_eq!(first.merged_hash, respelled.merged_hash);
+    assert_eq!(first.synthesis.config, respelled.synthesis.config);
+}
